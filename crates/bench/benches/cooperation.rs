@@ -1,0 +1,47 @@
+//! E4 / F1 micro-benchmarks: the §4 resource trade-offs — intermediate
+//! compression levels and join strategies under memory budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eider_coop::compression::{compress, decompress, CompressionLevel};
+use eider_exec::collection::ChunkCollection;
+use eider_workload::Workload;
+
+fn cooperation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cooperation");
+    g.sample_size(10);
+
+    let chunks = Workload::new(42).orders_chunks(100_000, 5_000).expect("workload");
+
+    for level in [CompressionLevel::None, CompressionLevel::Light, CompressionLevel::Heavy] {
+        g.bench_function(format!("materialize_{}", level.label()), |b| {
+            b.iter(|| {
+                let mut col = ChunkCollection::new(level);
+                for chunk in &chunks {
+                    col.append(chunk.clone()).unwrap();
+                }
+                col.stored_bytes()
+            })
+        });
+    }
+
+    // Raw codec throughput on columnar bytes.
+    let mut blob = Vec::new();
+    for chunk in &chunks[..8] {
+        let mut w = eider_storage::serde::BinWriter::new();
+        eider_storage::serde::write_chunk(&mut w, chunk);
+        blob.extend_from_slice(w.as_bytes());
+    }
+    for level in [CompressionLevel::Light, CompressionLevel::Heavy] {
+        g.bench_function(format!("compress_{}", level.label()), |b| {
+            b.iter(|| compress(level, &blob).len())
+        });
+        let compressed = compress(level, &blob);
+        g.bench_function(format!("decompress_{}", level.label()), |b| {
+            b.iter(|| decompress(&compressed).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cooperation);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E2b micro-benchmarks: the §2 ETL path — bulk updates/deletes and CSV
+//! loading.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eider_bench::wrangling_db;
+use eider_etl::csv::CsvWriter;
+use eider_vector::Value;
+
+const ROWS: usize = 100_000;
+
+fn etl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("etl");
+    g.sample_size(10);
+
+    g.bench_function("bulk_update_sentinel_to_null", |b| {
+        b.iter_with_setup(
+            || wrangling_db(ROWS, 0.25, 5).expect("db"),
+            |db| {
+                let conn = db.connect();
+                conn.execute("UPDATE t SET d = NULL WHERE d = -999").unwrap()
+            },
+        )
+    });
+
+    g.bench_function("bulk_delete", |b| {
+        b.iter_with_setup(
+            || wrangling_db(ROWS, 0.25, 5).expect("db"),
+            |db| {
+                let conn = db.connect();
+                conn.execute("DELETE FROM t WHERE d = -999").unwrap()
+            },
+        )
+    });
+
+    g.bench_function("bulk_append", |b| {
+        b.iter_with_setup(
+            || {
+                let db = wrangling_db(10, 0.0, 5).expect("db");
+                let chunks =
+                    eider_workload::Workload::new(8).wrangling_chunks(ROWS, 0.25).unwrap();
+                (db, chunks)
+            },
+            |(db, chunks)| {
+                let entry = db.catalog().get_table("t").unwrap();
+                let txn = std::sync::Arc::new(db.txn_manager().begin());
+                for chunk in &chunks {
+                    entry.data.append_chunk(&txn, chunk).unwrap();
+                }
+                db.commit_transaction(std::sync::Arc::try_unwrap(txn).unwrap()).unwrap()
+            },
+        )
+    });
+
+    // CSV load through COPY FROM.
+    let mut csv_path = std::env::temp_dir();
+    csv_path.push(format!("eider_bench_{}.csv", std::process::id()));
+    {
+        let mut w = CsvWriter::create(
+            &csv_path,
+            Some(&["id".into(), "d".into(), "v".into()]),
+            ',',
+        )
+        .unwrap();
+        for chunk in eider_workload::Workload::new(4).wrangling_chunks(ROWS, 0.25).unwrap() {
+            w.write_chunk(&chunk).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let path_str = csv_path.display().to_string();
+    g.bench_function("copy_from_csv", |b| {
+        b.iter_with_setup(
+            || wrangling_db(10, 0.0, 5).expect("db"),
+            |db| {
+                let conn = db.connect();
+                let n = conn
+                    .execute(&format!("COPY t FROM '{path_str}' (HEADER)"))
+                    .unwrap();
+                assert_eq!(n as usize, ROWS);
+                std::hint::black_box(Value::BigInt(n as i64))
+            },
+        )
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&csv_path);
+}
+
+criterion_group!(benches, etl);
+criterion_main!(benches);

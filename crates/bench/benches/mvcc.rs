@@ -1,0 +1,63 @@
+//! E6 micro-benchmarks: MVCC costs (§6) — snapshot scans under versions,
+//! transaction throughput, conflict handling, WAL durability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eider_bench::wrangling_db;
+use eider_core::Database;
+
+fn mvcc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mvcc");
+    g.sample_size(10);
+
+    g.bench_function("begin_commit_empty", |b| {
+        let db = Database::in_memory().unwrap();
+        b.iter(|| {
+            let txn = db.txn_manager().begin();
+            txn.commit().unwrap()
+        })
+    });
+
+    // Scan cost with a long version chain vs a clean table.
+    let clean = wrangling_db(50_000, 0.25, 3).unwrap();
+    let versioned = wrangling_db(50_000, 0.25, 3).unwrap();
+    {
+        let conn = versioned.connect();
+        for k in 0..20 {
+            conn.execute(&format!("UPDATE t SET d = {k} WHERE id % 10 = 0")).unwrap();
+        }
+    }
+    let clean_conn = clean.connect();
+    let versioned_conn = versioned.connect();
+    g.bench_function("scan_clean_table", |b| {
+        b.iter(|| clean_conn.query("SELECT sum(v) FROM t").unwrap())
+    });
+    g.bench_function("scan_after_20_update_rounds", |b| {
+        b.iter(|| versioned_conn.query("SELECT sum(v) FROM t").unwrap())
+    });
+    g.bench_function("gc_reclaim", |b| {
+        b.iter(|| versioned.txn_manager().garbage_collect())
+    });
+
+    // Durable commit: WAL append + fsync per transaction.
+    let mut path = std::env::temp_dir();
+    path.push(format!("eider_mvcc_bench_{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let db = Database::open(&path).unwrap();
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    let mut i = 0;
+    g.bench_function("durable_insert_commit", |b| {
+        b.iter(|| {
+            i += 1;
+            conn.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap()
+        })
+    });
+    g.finish();
+    drop(conn);
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(format!("{}.wal", path.display()));
+}
+
+criterion_group!(benches, mvcc);
+criterion_main!(benches);

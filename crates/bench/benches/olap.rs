@@ -1,0 +1,77 @@
+//! E2a micro-benchmarks: vectorized engine vs tuple-at-a-time baseline on
+//! the §2 OLAP shapes (filter+aggregate, group-by, join).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eider_bench::{star_db, wrangling_db};
+use eider_exec::aggregate::AggKind;
+use eider_exec::expression::Expr;
+use eider_exec::ops::agg::AggExpr;
+use eider_exec::row_engine::{run_to_end, RowAggregate, RowFilter, RowSource};
+use eider_txn::CmpOp;
+use eider_vector::{LogicalType, Value};
+use eider_workload::Workload;
+
+const ROWS: usize = 200_000;
+
+fn olap(c: &mut Criterion) {
+    let db = wrangling_db(ROWS, 0.25, 7).expect("db");
+    let conn = db.connect();
+    let mut g = c.benchmark_group("olap");
+    g.sample_size(10);
+
+    g.bench_function("vectorized_filter_agg", |b| {
+        b.iter(|| conn.query("SELECT count(*), sum(v) FROM t WHERE d <> -999").unwrap())
+    });
+
+    let chunks = Workload::new(7).wrangling_chunks(ROWS, 0.25).expect("workload");
+    g.bench_function("row_engine_filter_agg", |b| {
+        b.iter(|| {
+            let src = Box::new(RowSource::from_chunks(&chunks));
+            let filter = Box::new(RowFilter::new(
+                src,
+                Expr::Compare {
+                    op: CmpOp::NotEq,
+                    left: Box::new(Expr::column(1, LogicalType::Integer)),
+                    right: Box::new(Expr::constant(Value::Integer(-999))),
+                },
+            ));
+            let mut agg = RowAggregate::new(
+                filter,
+                vec![
+                    AggExpr { kind: AggKind::CountStar, arg: None, distinct: false },
+                    AggExpr {
+                        kind: AggKind::Sum,
+                        arg: Some(Expr::column(2, LogicalType::Double)),
+                        distinct: false,
+                    },
+                ],
+            );
+            run_to_end(&mut agg).unwrap()
+        })
+    });
+
+    g.bench_function("vectorized_group_by", |b| {
+        b.iter(|| conn.query("SELECT d % 100, count(*), sum(v) FROM t GROUP BY d % 100").unwrap())
+    });
+
+    let star = star_db(ROWS, 5_000, 13).expect("db");
+    let sconn = star.connect();
+    g.bench_function("vectorized_join_agg", |b| {
+        b.iter(|| {
+            sconn
+                .query(
+                    "SELECT segment, sum(amount) FROM orders \
+                     JOIN customers ON orders.cid = customers.cid GROUP BY segment",
+                )
+                .unwrap()
+        })
+    });
+
+    g.bench_function("zone_map_selective_scan", |b| {
+        b.iter(|| conn.query("SELECT count(*) FROM t WHERE id > 190000").unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, olap);
+criterion_main!(benches);

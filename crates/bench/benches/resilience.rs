@@ -1,0 +1,54 @@
+//! E3 micro-benchmarks: the CPU price of distrusting the hardware (§3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eider_resilience::ancode::AnCodec;
+use eider_resilience::checksum::{crc32c, fletcher64};
+use eider_resilience::memtest::{MemTestKind, MemoryTester};
+use eider_storage::block::{decode_block, encode_block};
+use eider_workload::Workload;
+
+fn resilience(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resilience");
+    g.sample_size(10);
+
+    // Checksumming a 256 KiB block (every block write/read pays this).
+    let block_payload = vec![0xA5u8; 200_000];
+    g.bench_function("crc32c_256k_block", |b| b.iter(|| crc32c(&block_payload)));
+    g.bench_function("fletcher64_256k_block", |b| b.iter(|| fletcher64(&block_payload)));
+    let image = encode_block(&block_payload);
+    g.bench_function("block_encode_checksum", |b| b.iter(|| encode_block(&block_payload)));
+    g.bench_function("block_decode_verify", |b| b.iter(|| decode_block(&image, 0).unwrap()));
+
+    // AN-code overhead (paper target band: 1.1x - 1.6x).
+    let data = Workload::new(3).int_column(1_000_000, 1_000_000);
+    let codec = AnCodec::default();
+    let encoded = codec.encode_slice_i32(&data);
+    g.bench_function("sum_plain_1m", |b| {
+        b.iter(|| data.iter().map(|&v| i64::from(v)).sum::<i64>())
+    });
+    g.bench_function("sum_an_coded_1m", |b| b.iter(|| codec.sum_encoded(&encoded).unwrap()));
+    g.bench_function("filter_plain_1m", |b| {
+        b.iter(|| data.iter().filter(|&&v| v == 42).count())
+    });
+    g.bench_function("filter_an_coded_1m", |b| {
+        b.iter(|| codec.count_eq_encoded(&encoded, 42).unwrap())
+    });
+
+    // Allocation-time memory tests (buffer-manager integration, §3).
+    g.bench_function("memtest_quick_1mb", |b| {
+        b.iter_with_setup(
+            || vec![0u64; 1 << 17],
+            |mut buf| MemoryTester::new(MemTestKind::Quick).test(buf.as_mut_slice()),
+        )
+    });
+    g.bench_function("memtest_full_1mb", |b| {
+        b.iter_with_setup(
+            || vec![0u64; 1 << 17],
+            |mut buf| MemoryTester::new(MemTestKind::Full).test(buf.as_mut_slice()),
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, resilience);
+criterion_main!(benches);

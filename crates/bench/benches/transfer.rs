@@ -1,0 +1,69 @@
+//! E5 micro-benchmarks: result-set transfer paths (§5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eider_bench::star_db;
+use eider_client::protocol::{deserialize_result, serialize_result};
+
+const ROWS: usize = 200_000;
+
+fn transfer(c: &mut Criterion) {
+    let db = star_db(ROWS, 5_000, 21).expect("db");
+    let conn = db.connect();
+    let result = conn.query("SELECT * FROM orders").expect("query");
+    let mut g = c.benchmark_group("transfer");
+    g.sample_size(10);
+
+    g.bench_function("zero_copy_chunks", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for chunk in result.chunks() {
+                rows += chunk.len();
+            }
+            rows
+        })
+    });
+
+    g.bench_function("value_at_a_time_cursor", |b| {
+        b.iter(|| {
+            let mut cursor = result.cursor();
+            let mut acc = 0i64;
+            while cursor.step() {
+                for col in 0..result.column_count() {
+                    if let Some(v) = cursor.column(col).as_i64() {
+                        acc = acc.wrapping_add(v);
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_function("protocol_serialize", |b| b.iter(|| serialize_result(&result)));
+
+    let bytes = serialize_result(&result);
+    g.bench_function("protocol_deserialize", |b| {
+        b.iter(|| deserialize_result(&bytes).unwrap())
+    });
+
+    g.bench_function("appender_bulk_ingest", |b| {
+        b.iter_with_setup(
+            || {
+                let db = eider_bench::star_db(10, 10, 3).expect("db");
+                let entry = db.catalog().get_table("orders").unwrap();
+                (db, entry)
+            },
+            |(db, entry)| {
+                let txn = std::sync::Arc::new(db.txn_manager().begin());
+                let mut app = eider_client::Appender::new(entry, std::sync::Arc::clone(&txn));
+                for chunk in result.chunks() {
+                    app.append_chunk(&chunk).unwrap();
+                }
+                app.finish().unwrap()
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, transfer);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **Table 1** regenerator: 30-day consumer-hardware failure probabilities.
+//!
+//! Paper (from Nightingale et al., EuroSys'11):
+//!
+//! ```text
+//! Failure          Pr[1st failure]   Pr[2nd fail | 1 fail]
+//! CPU (MCE)        1 in 190          1 in 2.9
+//! DRAM bit flip    1 in 1700         1 in 12
+//! Disk failure     1 in 270          1 in 3.5
+//! ```
+//!
+//! We simulate a fleet of consumer machines whose per-component hazard
+//! rates are calibrated to the paper's first column and whose hazard jumps
+//! after a first failure (latent defects). The simulated fleet must
+//! reproduce both columns (see DESIGN.md substitution T1).
+
+use eider_resilience::failure_model::{simulate_table1, ComponentKind, FailureModel};
+
+fn main() {
+    let machines = 2_000_000;
+    println!("Table 1: 30-day OS crash probability ({machines} simulated machines)\n");
+    println!(
+        "{:<16} {:>18} {:>18} {:>12} {:>12}",
+        "Failure", "Pr[1st failure]", "Pr[2nd | 1 fail]", "paper 1st", "paper 2nd"
+    );
+    for report in simulate_table1(machines, 0x1EDC6F41) {
+        let c = report.component;
+        println!(
+            "{:<16} {:>18} {:>18} {:>12} {:>12}",
+            c.label(),
+            format!("1 in {:.0}", report.first_failure_one_in()),
+            format!("1 in {:.1}", report.second_failure_one_in()),
+            format!("1 in {:.0}", c.paper_first_failure_odds()),
+            format!("1 in {:.1}", c.paper_second_failure_odds()),
+        );
+    }
+    println!("\nHazard multipliers after first failure (the \"two orders of magnitude\"):");
+    for c in ComponentKind::ALL {
+        let m = FailureModel::for_component(c);
+        println!("  {:<16} x{:.0}", c.label(), m.hazard_multiplier());
+    }
+}

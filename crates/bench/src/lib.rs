@@ -1,0 +1,47 @@
+//! Shared helpers for the eider benchmark suite.
+//!
+//! Every table and figure of the paper has a regenerator here: see
+//! `src/bin/table1.rs`, `src/bin/figure1.rs` and the per-section binaries,
+//! plus the Criterion micro-benchmarks under `benches/`. EXPERIMENTS.md
+//! maps each to the paper's claims.
+
+use eider_core::{Database, Result};
+use eider_workload::Workload;
+use std::sync::Arc;
+
+/// Build an in-memory database with the §2 wrangling table loaded.
+pub fn wrangling_db(rows: usize, missing: f64, seed: u64) -> Result<Arc<Database>> {
+    let db = Database::in_memory()?;
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INTEGER, d INTEGER, v DOUBLE)")?;
+    let chunks = Workload::new(seed).wrangling_chunks(rows, missing)?;
+    let entry = db.catalog().get_table("t")?;
+    let txn = Arc::new(db.txn_manager().begin());
+    for chunk in &chunks {
+        entry.data.append_chunk(&txn, chunk)?;
+    }
+    db.commit_transaction(Arc::try_unwrap(txn).expect("sole owner"))?;
+    Ok(db)
+}
+
+/// Build an in-memory database with orders + customers loaded.
+pub fn star_db(orders: usize, customers: u64, seed: u64) -> Result<Arc<Database>> {
+    let db = Database::in_memory()?;
+    let conn = db.connect();
+    conn.execute(
+        "CREATE TABLE orders (oid BIGINT, cid BIGINT, amount DOUBLE, qty INTEGER, odate DATE)",
+    )?;
+    conn.execute("CREATE TABLE customers (cid BIGINT, name VARCHAR, segment VARCHAR)")?;
+    let mut w = Workload::new(seed);
+    let txn = Arc::new(db.txn_manager().begin());
+    let entry = db.catalog().get_table("orders")?;
+    for chunk in &w.orders_chunks(orders, customers)? {
+        entry.data.append_chunk(&txn, chunk)?;
+    }
+    let entry = db.catalog().get_table("customers")?;
+    for chunk in &w.customers_chunks(customers)? {
+        entry.data.append_chunk(&txn, chunk)?;
+    }
+    db.commit_transaction(Arc::try_unwrap(txn).expect("sole owner"))?;
+    Ok(db)
+}

@@ -1,0 +1,145 @@
+//! Bulk append: the application-to-DBMS direction of §5's transfer story.
+//!
+//! "The same is true for appending data to tables, the client application
+//! can fill chunks with its data. Once filled, they are handed over to
+//! DuckDB and appended to persistent storage. All APIs are built around
+//! bulk value handling to prevent function call overhead from becoming a
+//! bottleneck."
+
+use eider_catalog::TableEntry;
+use eider_txn::Transaction;
+use eider_vector::{DataChunk, EiderError, Result, Value, VECTOR_SIZE};
+use std::sync::Arc;
+
+/// Chunk-granular appender bound to a table and a transaction.
+pub struct Appender {
+    entry: Arc<TableEntry>,
+    txn: Arc<Transaction>,
+    buffer: DataChunk,
+    rows_appended: u64,
+}
+
+impl Appender {
+    pub fn new(entry: Arc<TableEntry>, txn: Arc<Transaction>) -> Self {
+        let buffer = DataChunk::new(&entry.column_types());
+        Appender { entry, txn, buffer, rows_appended: 0 }
+    }
+
+    /// Append one row; flushes automatically at chunk granularity.
+    pub fn append_row(&mut self, values: &[Value]) -> Result<()> {
+        for (i, (v, def)) in values.iter().zip(&self.entry.columns).enumerate() {
+            if def.not_null && v.is_null() {
+                return Err(EiderError::Constraint(format!(
+                    "NOT NULL constraint violated: column \"{}\" (value {i})",
+                    def.name
+                )));
+            }
+        }
+        self.buffer.append_row(values)?;
+        if self.buffer.len() >= VECTOR_SIZE {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Hand a whole application-filled chunk over (the zero-copy direction:
+    /// no per-value calls, the chunk moves as one unit).
+    pub fn append_chunk(&mut self, chunk: &DataChunk) -> Result<()> {
+        self.flush()?;
+        for (c, def) in chunk.columns().iter().zip(&self.entry.columns) {
+            if def.not_null && !c.validity().all_valid() {
+                return Err(EiderError::Constraint(format!(
+                    "NOT NULL constraint violated: column \"{}\"",
+                    def.name
+                )));
+            }
+        }
+        self.rows_appended += chunk.len() as u64;
+        self.entry.data.append_chunk(&self.txn, chunk)
+    }
+
+    /// Flush buffered rows into the table.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let chunk = std::mem::replace(&mut self.buffer, DataChunk::new(&self.entry.column_types()));
+        self.rows_appended += chunk.len() as u64;
+        self.entry.data.append_chunk(&self.txn, &chunk)
+    }
+
+    pub fn rows_appended(&self) -> u64 {
+        self.rows_appended
+    }
+
+    /// Flush and return the total appended row count.
+    pub fn finish(mut self) -> Result<u64> {
+        self.flush()?;
+        Ok(self.rows_appended)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eider_catalog::{Catalog, ColumnDefinition};
+    use eider_txn::TransactionManager;
+    use eider_vector::LogicalType;
+
+    fn setup() -> (Arc<TransactionManager>, Arc<TableEntry>) {
+        let cat = Catalog::new();
+        let entry = cat
+            .create_table(
+                "t",
+                vec![
+                    ColumnDefinition::new("id", LogicalType::Integer).not_null(),
+                    ColumnDefinition::new("v", LogicalType::Double),
+                ],
+                false,
+            )
+            .unwrap();
+        (TransactionManager::new(), entry)
+    }
+
+    #[test]
+    fn rows_flush_at_chunk_granularity() {
+        let (mgr, entry) = setup();
+        let txn = Arc::new(mgr.begin());
+        let mut app = Appender::new(Arc::clone(&entry), Arc::clone(&txn));
+        for i in 0..(VECTOR_SIZE + 10) {
+            app.append_row(&[Value::Integer(i as i32), Value::Double(0.5)]).unwrap();
+        }
+        // One full chunk already flushed; remainder pending.
+        assert_eq!(entry.data.count_visible(&txn), VECTOR_SIZE);
+        assert_eq!(app.finish().unwrap(), (VECTOR_SIZE + 10) as u64);
+        assert_eq!(entry.data.count_visible(&txn), VECTOR_SIZE + 10);
+    }
+
+    #[test]
+    fn chunk_handover() {
+        let (mgr, entry) = setup();
+        let txn = Arc::new(mgr.begin());
+        let chunk = DataChunk::from_rows(
+            &[LogicalType::Integer, LogicalType::Double],
+            &(0..100).map(|i| vec![Value::Integer(i), Value::Double(1.0)]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut app = Appender::new(Arc::clone(&entry), Arc::clone(&txn));
+        app.append_chunk(&chunk).unwrap();
+        assert_eq!(app.finish().unwrap(), 100);
+    }
+
+    #[test]
+    fn constraints_enforced() {
+        let (mgr, entry) = setup();
+        let txn = Arc::new(mgr.begin());
+        let mut app = Appender::new(Arc::clone(&entry), Arc::clone(&txn));
+        assert!(app.append_row(&[Value::Null, Value::Double(1.0)]).is_err());
+        let bad = DataChunk::from_rows(
+            &[LogicalType::Integer, LogicalType::Double],
+            &[vec![Value::Null, Value::Double(1.0)]],
+        )
+        .unwrap();
+        assert!(app.append_chunk(&bad).is_err());
+    }
+}

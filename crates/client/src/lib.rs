@@ -1,0 +1,28 @@
+//! The client transfer layer (§5: Transfer Efficiency).
+//!
+//! "Because both DBMS and analytics tool are located in a single process'
+//! address space, data transfer can be particularly efficient. ... The API
+//! allows the client application to essentially become the root operator
+//! in the physical query processing plan. ... the chunk is handed over
+//! without requiring copying."
+//!
+//! Three access paths coexist so the §5 experiment can compare them:
+//!
+//! * [`result::MaterializedResult`] / chunk streaming — the eider way:
+//!   `Arc<DataChunk>` handover, zero copies, bulk access;
+//! * [`result::ValueCursor`] — the ODBC/JDBC/SQLite-style value-at-a-time
+//!   API ("the function call overhead for each value becomes excessive");
+//! * [`protocol`] — a classic row-major byte-stream client protocol with a
+//!   simulated network bandwidth, standing in for the socket between a
+//!   client and a DBMS server (DESIGN.md substitution E5).
+//!
+//! [`appender::Appender`] is the reverse direction: "the client application
+//! can fill chunks with its data. Once filled, they are handed over ...
+//! and appended to persistent storage."
+
+pub mod appender;
+pub mod protocol;
+pub mod result;
+
+pub use appender::Appender;
+pub use result::{MaterializedResult, ValueCursor};

@@ -1,0 +1,193 @@
+//! Query results: zero-copy chunk access and the value-at-a-time baseline.
+
+use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A fully materialized query result.
+///
+/// Chunks are reference-counted: handing one to the application is an
+/// `Arc` clone, not a copy — the zero-copy transfer of §5/§6. The chunk
+/// layout is "exactly identical to the internal representation".
+#[derive(Debug, Clone)]
+pub struct MaterializedResult {
+    names: Vec<String>,
+    types: Vec<LogicalType>,
+    chunks: Vec<Arc<DataChunk>>,
+}
+
+impl MaterializedResult {
+    pub fn new(names: Vec<String>, types: Vec<LogicalType>, chunks: Vec<DataChunk>) -> Self {
+        MaterializedResult { names, types, chunks: chunks.into_iter().map(Arc::new).collect() }
+    }
+
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn column_types(&self) -> &[LogicalType] {
+        &self.types
+    }
+
+    pub fn column_count(&self) -> usize {
+        self.types.len()
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// Zero-copy bulk access: the application receives the engine's own
+    /// chunks ("the chunk is handed over without requiring copying").
+    pub fn chunks(&self) -> impl Iterator<Item = Arc<DataChunk>> + '_ {
+        self.chunks.iter().cloned()
+    }
+
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Value-at-a-time access (the slow API §5 warns about): locates the
+    /// chunk on every call, exactly like `sqlite3_column_*`.
+    pub fn value(&self, mut row: usize, col: usize) -> Result<Value> {
+        for chunk in &self.chunks {
+            if row < chunk.len() {
+                if col >= chunk.column_count() {
+                    return Err(EiderError::Execution(format!("no column {col}")));
+                }
+                return Ok(chunk.column(col).get_value(row));
+            }
+            row -= chunk.len();
+        }
+        Err(EiderError::Execution(format!("row {row} beyond result set")))
+    }
+
+    /// Open a SQLite-style stepping cursor over this result.
+    pub fn cursor(&self) -> ValueCursor<'_> {
+        ValueCursor { result: self, chunk_idx: 0, row_in_chunk: 0, started: false }
+    }
+
+    /// Materialize to row vectors (test convenience; copies everything).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.row_count());
+        for chunk in &self.chunks {
+            out.extend(chunk.to_rows());
+        }
+        out
+    }
+
+    /// First value of the first row (handy for scalar results).
+    pub fn scalar(&self) -> Result<Value> {
+        self.value(0, 0)
+    }
+}
+
+impl fmt::Display for MaterializedResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.names.join(" | "))?;
+        writeln!(f, "{}", "-".repeat(self.names.join(" | ").len().max(4)))?;
+        for chunk in &self.chunks {
+            write!(f, "{chunk}")?;
+        }
+        writeln!(f, "({} rows)", self.row_count())
+    }
+}
+
+/// The value-based cursor API: `step()` advances to the next row,
+/// `column(i)` fetches one value. One function call per value — the §5
+/// bottleneck, kept for familiarity and benchmarked against chunks.
+pub struct ValueCursor<'a> {
+    result: &'a MaterializedResult,
+    chunk_idx: usize,
+    row_in_chunk: usize,
+    started: bool,
+}
+
+impl ValueCursor<'_> {
+    /// Advance to the next row; `false` when exhausted.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.started = true;
+        } else {
+            self.row_in_chunk += 1;
+        }
+        while self.chunk_idx < self.result.chunks.len() {
+            if self.row_in_chunk < self.result.chunks[self.chunk_idx].len() {
+                return true;
+            }
+            self.chunk_idx += 1;
+            self.row_in_chunk = 0;
+        }
+        false
+    }
+
+    /// Fetch one column of the current row.
+    pub fn column(&self, col: usize) -> Value {
+        self.result.chunks[self.chunk_idx].column(col).get_value(self.row_in_chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> MaterializedResult {
+        let c1 = DataChunk::from_rows(
+            &[LogicalType::Integer, LogicalType::Varchar],
+            &[
+                vec![Value::Integer(1), Value::Varchar("a".into())],
+                vec![Value::Integer(2), Value::Varchar("b".into())],
+            ],
+        )
+        .unwrap();
+        let c2 = DataChunk::from_rows(
+            &[LogicalType::Integer, LogicalType::Varchar],
+            &[vec![Value::Integer(3), Value::Null]],
+        )
+        .unwrap();
+        MaterializedResult::new(
+            vec!["id".into(), "name".into()],
+            vec![LogicalType::Integer, LogicalType::Varchar],
+            vec![c1, c2],
+        )
+    }
+
+    #[test]
+    fn chunk_access_is_shared_not_copied() {
+        let r = result();
+        let first: Vec<Arc<DataChunk>> = r.chunks().collect();
+        let second: Vec<Arc<DataChunk>> = r.chunks().collect();
+        assert!(Arc::ptr_eq(&first[0], &second[0]), "same allocation");
+        assert_eq!(r.chunk_count(), 2);
+        assert_eq!(r.row_count(), 3);
+    }
+
+    #[test]
+    fn value_api_spans_chunks() {
+        let r = result();
+        assert_eq!(r.value(0, 0).unwrap(), Value::Integer(1));
+        assert_eq!(r.value(2, 0).unwrap(), Value::Integer(3));
+        assert!(r.value(2, 1).unwrap().is_null());
+        assert!(r.value(3, 0).is_err());
+        assert!(r.value(0, 5).is_err());
+    }
+
+    #[test]
+    fn cursor_steps_through_everything() {
+        let r = result();
+        let mut cur = r.cursor();
+        let mut ids = Vec::new();
+        while cur.step() {
+            ids.push(cur.column(0));
+        }
+        assert_eq!(ids, vec![Value::Integer(1), Value::Integer(2), Value::Integer(3)]);
+        assert!(!cur.step());
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = result().to_string();
+        assert!(s.contains("id | name"));
+        assert!(s.contains("(3 rows)"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The runtime resource policy shared between the cooperation layer and
+//! the execution engine.
+//!
+//! §4: "There are plenty of run-time choices in a DBMS that influence the
+//! resource consumption across the different hardware devices." The policy
+//! object is the channel: the controller (or the user, via PRAGMAs) writes
+//! it; operators read it at plan and run time.
+
+use crate::compression::CompressionLevel;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which join algorithm the physical planner should use.
+///
+/// "A hash join can be transparently replaced with a out-of-core merge
+/// join. The hash join uses a large amount of main memory ... but few CPU
+/// cycles ... The merge requires fewer main memory resources to run, but
+/// O(n log n) CPU cycles as well as disk IO."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    Hash,
+    OutOfCoreMerge,
+}
+
+/// Decide the join strategy from the estimated build-side footprint and
+/// the memory actually available to the DBMS right now.
+pub fn choose_join_strategy(build_bytes_estimate: usize, available_memory: usize) -> JoinStrategy {
+    // The hash table roughly doubles the build side (entries + buckets);
+    // demote to merge join when that would not fit comfortably.
+    match build_bytes_estimate.checked_mul(2) {
+        Some(need) if need <= available_memory => JoinStrategy::Hash,
+        _ => JoinStrategy::OutOfCoreMerge,
+    }
+}
+
+/// Shared mutable runtime policy (lock-free reads on the hot path).
+#[derive(Debug)]
+pub struct ResourcePolicy {
+    compression: AtomicU8,
+    memory_limit: AtomicUsize,
+    threads: AtomicUsize,
+}
+
+impl Default for ResourcePolicy {
+    fn default() -> Self {
+        ResourcePolicy {
+            compression: AtomicU8::new(CompressionLevel::None.as_u8()),
+            memory_limit: AtomicUsize::new(1 << 30),
+            threads: AtomicUsize::new(std::thread::available_parallelism().map_or(2, |n| n.get())),
+        }
+    }
+}
+
+impl ResourcePolicy {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn compression(&self) -> CompressionLevel {
+        CompressionLevel::from_u8(self.compression.load(Ordering::Relaxed)).expect("valid level")
+    }
+
+    pub fn set_compression(&self, level: CompressionLevel) {
+        self.compression.store(level.as_u8(), Ordering::Relaxed);
+    }
+
+    pub fn memory_limit(&self) -> usize {
+        self.memory_limit.load(Ordering::Relaxed)
+    }
+
+    pub fn set_memory_limit(&self, bytes: usize) {
+        self.memory_limit.store(bytes, Ordering::Relaxed);
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed).max(1)
+    }
+
+    pub fn set_threads(&self, n: usize) {
+        self.threads.store(n.max(1), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_strategy_crossover() {
+        assert_eq!(choose_join_strategy(100, 1000), JoinStrategy::Hash);
+        assert_eq!(choose_join_strategy(600, 1000), JoinStrategy::OutOfCoreMerge);
+        assert_eq!(choose_join_strategy(500, 1000), JoinStrategy::Hash);
+        assert_eq!(choose_join_strategy(usize::MAX / 2 + 1, usize::MAX), JoinStrategy::OutOfCoreMerge);
+    }
+
+    #[test]
+    fn policy_round_trips() {
+        let p = ResourcePolicy::new();
+        assert_eq!(p.compression(), CompressionLevel::None);
+        p.set_compression(CompressionLevel::Heavy);
+        assert_eq!(p.compression(), CompressionLevel::Heavy);
+        p.set_memory_limit(1234);
+        assert_eq!(p.memory_limit(), 1234);
+        p.set_threads(0);
+        assert_eq!(p.threads(), 1, "floor at one thread");
+    }
+}

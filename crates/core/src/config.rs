@@ -1,0 +1,27 @@
+//! Database configuration.
+
+/// Tunables fixed at open time (runtime-adjustable ones have PRAGMAs).
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Memory limit for operator allocations (PRAGMA memory_limit).
+    /// Deliberately modest by default — an embedded DBMS shares the
+    /// machine with its application (§4).
+    pub memory_limit: usize,
+    /// Worker thread cap (PRAGMA threads).
+    pub threads: usize,
+    /// Memory-test fresh buffers on allocation (§3).
+    pub memtest_allocations: bool,
+    /// WAL size (bytes) that triggers an automatic checkpoint.
+    pub wal_autocheckpoint: u64,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            memory_limit: 1 << 30,
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            memtest_allocations: true,
+            wal_autocheckpoint: 16 << 20,
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! `Connection`: the statement execution surface of the embedded database.
+
+use crate::database::Database;
+use crate::persist::{self, WalRecord};
+use crate::planner;
+use eider_client::MaterializedResult;
+use eider_coop::compression::CompressionLevel;
+use eider_etl::csv::{CsvReadOptions, CsvReader, CsvWriter};
+use eider_exec::ops::drain;
+use eider_sql::plan::LogicalPlan;
+use eider_sql::{optimizer, Binder};
+use eider_txn::Transaction;
+use eider_vector::{
+    DataChunk, EiderError, LogicalType, Result, Value, Vector,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A session: runs SQL, owns the current explicit transaction (if any).
+pub struct Connection {
+    db: Arc<Database>,
+    current_txn: Mutex<Option<Arc<Transaction>>>,
+}
+
+impl Connection {
+    pub(crate) fn new(db: Arc<Database>) -> Self {
+        Connection { db, current_txn: Mutex::new(None) }
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Run one or more `;`-separated statements; returns the last result.
+    pub fn query(&self, sql: &str) -> Result<MaterializedResult> {
+        let statements = eider_sql::parse_statements(sql)?;
+        if statements.is_empty() {
+            return Err(EiderError::Parse("empty statement".into()));
+        }
+        let mut last = None;
+        for stmt in &statements {
+            last = Some(self.run_statement(stmt)?);
+        }
+        Ok(last.expect("at least one statement"))
+    }
+
+    /// Run statements, returning the affected-row count of the last one
+    /// (0 for non-modifying statements).
+    pub fn execute(&self, sql: &str) -> Result<u64> {
+        let result = self.query(sql)?;
+        if result.column_names() == ["Count"] && result.row_count() == 1 {
+            if let Ok(Value::BigInt(n)) = result.scalar() {
+                return Ok(n as u64);
+            }
+        }
+        Ok(0)
+    }
+
+    /// True if an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.current_txn.lock().is_some()
+    }
+
+    fn run_statement(&self, stmt: &eider_sql::ast::Statement) -> Result<MaterializedResult> {
+        let plan = Binder::new(Arc::clone(self.db.catalog())).bind_statement(stmt)?;
+        let plan = optimizer::optimize(plan)?;
+        self.run_plan(plan)
+    }
+
+    fn run_plan(&self, plan: LogicalPlan) -> Result<MaterializedResult> {
+        // Transaction-control statements manipulate the session state.
+        match &plan {
+            LogicalPlan::Begin => {
+                let mut cur = self.current_txn.lock();
+                if cur.is_some() {
+                    return Err(EiderError::Transaction(
+                        "a transaction is already in progress".into(),
+                    ));
+                }
+                *cur = Some(Arc::new(self.db.txn_manager().begin()));
+                return Ok(empty_result());
+            }
+            LogicalPlan::Commit => {
+                let txn = self.take_txn()?;
+                self.db.commit_transaction(txn)?;
+                return Ok(empty_result());
+            }
+            LogicalPlan::Rollback => {
+                let txn = self.take_txn()?;
+                txn.rollback()?;
+                return Ok(empty_result());
+            }
+            LogicalPlan::Checkpoint => {
+                self.db.checkpoint()?;
+                return Ok(empty_result());
+            }
+            LogicalPlan::Pragma { name, value } => return self.run_pragma(name, value.as_ref()),
+            LogicalPlan::Explain { input } => {
+                let lines: Vec<Vec<Value>> = input
+                    .explain()
+                    .lines()
+                    .map(|l| vec![Value::Varchar(l.to_string())])
+                    .collect();
+                let chunk = DataChunk::from_rows(&[LogicalType::Varchar], &lines)?;
+                return Ok(MaterializedResult::new(
+                    vec!["explain".into()],
+                    vec![LogicalType::Varchar],
+                    vec![chunk],
+                ));
+            }
+            LogicalPlan::ShowTables => {
+                let rows: Vec<Vec<Value>> = self
+                    .db
+                    .catalog()
+                    .table_names()
+                    .into_iter()
+                    .map(|n| vec![Value::Varchar(n)])
+                    .collect();
+                let chunk = DataChunk::from_rows(&[LogicalType::Varchar], &rows)?;
+                return Ok(MaterializedResult::new(
+                    vec!["name".into()],
+                    vec![LogicalType::Varchar],
+                    vec![chunk],
+                ));
+            }
+            _ => {}
+        }
+        // Everything else runs inside a transaction: the session's explicit
+        // one, or an auto-commit transaction per statement.
+        let (txn, auto) = {
+            let cur = self.current_txn.lock();
+            match &*cur {
+                Some(t) => (Arc::clone(t), false),
+                None => (Arc::new(self.db.txn_manager().begin()), true),
+            }
+        };
+        let result = self.execute_in_txn(&txn, plan);
+        if auto {
+            match result {
+                Ok(r) => {
+                    let txn = Arc::try_unwrap(txn).map_err(|_| {
+                        EiderError::Internal("query kept the transaction alive".into())
+                    })?;
+                    self.db.commit_transaction(txn)?;
+                    Ok(r)
+                }
+                Err(e) => {
+                    if let Ok(txn) = Arc::try_unwrap(txn) {
+                        let _ = txn.rollback();
+                    }
+                    Err(e)
+                }
+            }
+        } else {
+            result
+        }
+    }
+
+    fn take_txn(&self) -> Result<Transaction> {
+        let arc = self
+            .current_txn
+            .lock()
+            .take()
+            .ok_or_else(|| EiderError::Transaction("no transaction is in progress".into()))?;
+        Arc::try_unwrap(arc).map_err(|_| {
+            EiderError::Transaction(
+                "cannot finish transaction: a query result stream is still open".into(),
+            )
+        })
+    }
+
+    fn execute_in_txn(
+        &self,
+        txn: &Arc<Transaction>,
+        plan: LogicalPlan,
+    ) -> Result<MaterializedResult> {
+        match plan {
+            LogicalPlan::CreateTable { name, mut columns, if_not_exists, as_select } => {
+                if let Some(select) = &as_select {
+                    // CTAS derives the schema from the query.
+                    let names = select.output_names();
+                    let types = select.output_types();
+                    columns = names
+                        .iter()
+                        .zip(&types)
+                        .map(|(n, &t)| eider_catalog::ColumnDefinition::new(n.clone(), t))
+                        .collect();
+                }
+                let entry =
+                    self.db.catalog().create_table(&name, columns.clone(), if_not_exists)?;
+                self.db.txn_manager().register_table(&entry.data);
+                self.db.wal_append(&WalRecord::CreateTable { name, columns })?;
+                if let Some(select) = as_select {
+                    let insert =
+                        LogicalPlan::Insert { entry, input: select };
+                    return self.execute_in_txn(txn, insert);
+                }
+                Ok(empty_result())
+            }
+            LogicalPlan::DropTable { name, if_exists } => {
+                self.db.catalog().drop_table(&name, if_exists)?;
+                self.db.wal_append(&WalRecord::DropTable { name })?;
+                Ok(empty_result())
+            }
+            LogicalPlan::CreateView { name, sql, or_replace } => {
+                self.db.catalog().create_view(&name, &sql, or_replace)?;
+                self.db.wal_append(&WalRecord::CreateView { name, sql })?;
+                Ok(empty_result())
+            }
+            LogicalPlan::DropView { name, if_exists } => {
+                self.db.catalog().drop_view(&name, if_exists)?;
+                self.db.wal_append(&WalRecord::DropView { name })?;
+                Ok(empty_result())
+            }
+            LogicalPlan::Insert { entry, input } => {
+                // Materialize the source so the WAL can log it, then append
+                // under the append lock (faithful physical positions).
+                let mut child = planner::lower(&self.db, txn, &input)?;
+                let chunks = drain(child.as_mut())?;
+                // Cast to table layout before logging: the WAL image must
+                // be exactly what lands in storage.
+                let types = entry.column_types();
+                let mut cast_chunks = Vec::with_capacity(chunks.len());
+                for chunk in chunks {
+                    let mut cols = Vec::with_capacity(types.len());
+                    for (i, &ty) in types.iter().enumerate() {
+                        let col = chunk.column(i).cast(ty)?;
+                        let def = &entry.columns[i];
+                        if def.not_null && !col.validity().all_valid() {
+                            return Err(EiderError::Constraint(format!(
+                                "NOT NULL constraint violated: column \"{}\" of table \"{}\"",
+                                def.name, entry.name
+                            )));
+                        }
+                        cols.push(col);
+                    }
+                    cast_chunks.push(DataChunk::from_vectors(cols)?);
+                }
+                let mut inserted = 0u64;
+                self.db.with_append_lock(|| {
+                    let mut first_row = entry.data.physical_rows() as u64;
+                    for chunk in &cast_chunks {
+                        self.db.wal_append(&WalRecord::Append {
+                            txn_id: txn.id(),
+                            table: entry.name.clone(),
+                            first_row,
+                            chunk: chunk.clone(),
+                        })?;
+                        entry.data.append_chunk(txn, chunk)?;
+                        first_row += chunk.len() as u64;
+                        inserted += chunk.len() as u64;
+                    }
+                    Ok(())
+                })?;
+                Ok(count_result(inserted))
+            }
+            LogicalPlan::Update { entry, input, columns } => {
+                let mut child = planner::lower(&self.db, txn, &input)?;
+                let chunks = drain(child.as_mut())?;
+                let (payloads, rows) = persist::split_row_ids(&chunks)?;
+                // Log one record per assigned column (column-wise, §2).
+                for (k, &col) in columns.iter().enumerate() {
+                    let ty = entry.columns[col].ty;
+                    let mut values = Vector::with_capacity(ty, rows.len());
+                    for p in &payloads {
+                        values.append_from(&p.column(k).cast(ty)?, 0, p.len())?;
+                    }
+                    self.db.wal_append(&WalRecord::Update {
+                        txn_id: txn.id(),
+                        table: entry.name.clone(),
+                        column: col as u32,
+                        rows: rows.clone(),
+                        values,
+                    })?;
+                }
+                // Execute through the standard operator.
+                let src = eider_exec::ops::ValuesOp::new(
+                    chunks.first().map(|c| c.types()).unwrap_or_default(),
+                    chunks,
+                );
+                let mut op = eider_exec::ops::UpdateOp::new(
+                    Arc::clone(&entry),
+                    Box::new(src),
+                    Arc::clone(txn),
+                    columns,
+                );
+                let out = drain(&mut op)?;
+                let n = out
+                    .first()
+                    .and_then(|c| c.row_values(0).first().and_then(Value::as_i64))
+                    .unwrap_or(0);
+                Ok(count_result(n as u64))
+            }
+            LogicalPlan::Delete { entry, input } => {
+                let mut child = planner::lower(&self.db, txn, &input)?;
+                let chunks = drain(child.as_mut())?;
+                let (_, rows) = persist::split_row_ids(&chunks)?;
+                self.db.wal_append(&WalRecord::Delete {
+                    txn_id: txn.id(),
+                    table: entry.name.clone(),
+                    rows,
+                })?;
+                let src = eider_exec::ops::ValuesOp::new(
+                    chunks.first().map(|c| c.types()).unwrap_or_default(),
+                    chunks,
+                );
+                let mut op = eider_exec::ops::DeleteOp::new(
+                    Arc::clone(&entry),
+                    Box::new(src),
+                    Arc::clone(txn),
+                );
+                let out = drain(&mut op)?;
+                let n = out
+                    .first()
+                    .and_then(|c| c.row_values(0).first().and_then(Value::as_i64))
+                    .unwrap_or(0);
+                Ok(count_result(n as u64))
+            }
+            LogicalPlan::CopyFrom { entry, path, options } => {
+                let opts = CsvReadOptions {
+                    header: options.header,
+                    delimiter: options.delimiter,
+                    null_string: options.null_string.clone(),
+                    ..Default::default()
+                };
+                let mut reader = CsvReader::open(&path, entry.column_types(), opts)?;
+                let mut loaded = 0u64;
+                loop {
+                    let Some(chunk) = reader.next_chunk()? else { break };
+                    for (col, def) in chunk.columns().iter().zip(&entry.columns) {
+                        if def.not_null && !col.validity().all_valid() {
+                            return Err(EiderError::Constraint(format!(
+                                "NOT NULL constraint violated loading \"{}\"",
+                                def.name
+                            )));
+                        }
+                    }
+                    self.db.with_append_lock(|| {
+                        let first_row = entry.data.physical_rows() as u64;
+                        self.db.wal_append(&WalRecord::Append {
+                            txn_id: txn.id(),
+                            table: entry.name.clone(),
+                            first_row,
+                            chunk: chunk.clone(),
+                        })?;
+                        entry.data.append_chunk(txn, &chunk)
+                    })?;
+                    loaded += chunk.len() as u64;
+                }
+                Ok(count_result(loaded))
+            }
+            LogicalPlan::CopyTo { input, path, options } => {
+                let names = input.output_names();
+                let mut child = planner::lower(&self.db, txn, &input)?;
+                let header = if options.header { Some(names.as_slice()) } else { None };
+                let mut writer = CsvWriter::create(&path, header, options.delimiter)?;
+                while let Some(chunk) = child.next_chunk()? {
+                    writer.write_chunk(&chunk)?;
+                }
+                Ok(count_result(writer.finish()?))
+            }
+            // Plain queries.
+            query => {
+                let names = query.output_names();
+                let types = query.output_types();
+                let mut op = planner::lower(&self.db, txn, &query)?;
+                let chunks = drain(op.as_mut())?;
+                Ok(MaterializedResult::new(names, types, chunks))
+            }
+        }
+    }
+
+    fn run_pragma(&self, name: &str, value: Option<&Value>) -> Result<MaterializedResult> {
+        let db = &self.db;
+        let reply = |v: Value| {
+            let chunk = DataChunk::from_rows(
+                &[v.logical_type().unwrap_or(LogicalType::Varchar)],
+                &[vec![v]],
+            )?;
+            Ok(MaterializedResult::new(
+                vec![name.to_string()],
+                chunk.types(),
+                vec![chunk],
+            ))
+        };
+        match name {
+            "memory_limit" => match value {
+                Some(v) => {
+                    let bytes = v.as_i64().ok_or_else(|| {
+                        EiderError::Bind("PRAGMA memory_limit takes a byte count".into())
+                    })?;
+                    db.buffers().set_memory_limit(bytes as usize);
+                    db.policy().set_memory_limit(bytes as usize);
+                    reply(Value::BigInt(bytes))
+                }
+                None => reply(Value::BigInt(db.buffers().memory_limit() as i64)),
+            },
+            "threads" => match value {
+                Some(v) => {
+                    let n = v.as_i64().unwrap_or(1).max(1) as usize;
+                    db.policy().set_threads(n);
+                    reply(Value::BigInt(n as i64))
+                }
+                None => reply(Value::BigInt(db.policy().threads() as i64)),
+            },
+            "compression" => match value {
+                Some(v) => {
+                    let level = match v.as_str().unwrap_or("").to_ascii_lowercase().as_str() {
+                        "none" => CompressionLevel::None,
+                        "light" => CompressionLevel::Light,
+                        "heavy" => CompressionLevel::Heavy,
+                        other => {
+                            return Err(EiderError::Bind(format!(
+                                "unknown compression level '{other}' (none/light/heavy)"
+                            )))
+                        }
+                    };
+                    db.policy().set_compression(level);
+                    reply(Value::Varchar(level.label().into()))
+                }
+                None => reply(Value::Varchar(db.policy().compression().label().into())),
+            },
+            "wal_autocheckpoint" => match value {
+                Some(v) => {
+                    let bytes = v.as_i64().unwrap_or(0).max(0) as u64;
+                    db.set_wal_autocheckpoint(bytes);
+                    reply(Value::BigInt(bytes as i64))
+                }
+                None => reply(Value::BigInt(db.config().wal_autocheckpoint as i64)),
+            },
+            "database_size" => reply(Value::BigInt(
+                (db.block_count() * eider_storage::BLOCK_SIZE as u64) as i64,
+            )),
+            "wal_size" => reply(Value::BigInt(db.wal_size() as i64)),
+            other => Err(EiderError::Bind(format!("unknown PRAGMA \"{other}\""))),
+        }
+    }
+}
+
+fn empty_result() -> MaterializedResult {
+    MaterializedResult::new(Vec::new(), Vec::new(), Vec::new())
+}
+
+fn count_result(n: u64) -> MaterializedResult {
+    let chunk = DataChunk::from_rows(&[LogicalType::BigInt], &[vec![Value::BigInt(n as i64)]])
+        .expect("count chunk");
+    MaterializedResult::new(vec!["Count".into()], vec![LogicalType::BigInt], vec![chunk])
+}

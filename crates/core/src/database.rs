@@ -1,0 +1,291 @@
+//! The `Database`: shared state, storage lifecycle, checkpointing, commit.
+
+use crate::config::DatabaseConfig;
+use crate::persist;
+use eider_catalog::Catalog;
+use eider_coop::policy::ResourcePolicy;
+use eider_resilience::health::HealthMonitor;
+use eider_storage::buffer::{BufferManager, BufferManagerConfig};
+use eider_storage::file_manager::{BlockManager, SingleFileBlockManager};
+use eider_storage::wal::WriteAheadLog;
+use eider_storage::INVALID_BLOCK;
+use eider_txn::{Transaction, TransactionManager};
+use eider_vector::{EiderError, Result};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+struct StorageState {
+    block_mgr: SingleFileBlockManager,
+    wal: Mutex<WriteAheadLog>,
+    /// Blocks occupied by the current checkpoint's meta chain.
+    current_chain: Mutex<Vec<u64>>,
+    path: PathBuf,
+}
+
+/// An embedded analytical database instance.
+///
+/// Create with [`Database::in_memory`] (transient) or [`Database::open`]
+/// (single-file persistent, §6). Cheap to share: wrap in `Arc` via the
+/// constructors and open [`crate::Connection`]s from any thread.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    txn_mgr: Arc<TransactionManager>,
+    buffers: Arc<BufferManager>,
+    policy: Arc<ResourcePolicy>,
+    health: Arc<HealthMonitor>,
+    config: Mutex<DatabaseConfig>,
+    storage: Option<StorageState>,
+    /// Serializes commit finalization + WAL commit marker (see
+    /// `commit_transaction`) and checkpointing.
+    commit_lock: Mutex<()>,
+    /// Serializes append-position capture with table appends so WAL
+    /// records carry faithful physical row positions.
+    append_lock: Mutex<()>,
+}
+
+impl Database {
+    /// Open a transient in-memory database.
+    pub fn in_memory() -> Result<Arc<Database>> {
+        Self::in_memory_with_config(DatabaseConfig::default())
+    }
+
+    pub fn in_memory_with_config(config: DatabaseConfig) -> Result<Arc<Database>> {
+        Ok(Arc::new(Self::build(config, None)?))
+    }
+
+    /// Open (or create) a persistent database at `path`; the WAL lives in
+    /// `<path>.wal`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Arc<Database>> {
+        Self::open_with_config(path, DatabaseConfig::default())
+    }
+
+    pub fn open_with_config(
+        path: impl AsRef<Path>,
+        config: DatabaseConfig,
+    ) -> Result<Arc<Database>> {
+        let path = path.as_ref().to_path_buf();
+        let health = Arc::new(HealthMonitor::new());
+        let exists = path.exists();
+        let block_mgr = if exists {
+            SingleFileBlockManager::open(&path, Arc::clone(&health))?
+        } else {
+            SingleFileBlockManager::create(&path, Arc::clone(&health))?
+        };
+        let mut db = Self::build_with_health(config, health)?;
+        // Load the checkpoint image.
+        let header = block_mgr.current_header();
+        let mut chain = Vec::new();
+        if header.meta_root != INVALID_BLOCK {
+            chain = persist::load_checkpoint(
+                header.meta_root,
+                &block_mgr,
+                &db.catalog,
+                &db.txn_mgr,
+            )?;
+        }
+        // Free list = all blocks not in the live chain.
+        let used: std::collections::HashSet<u64> = chain.iter().copied().collect();
+        let free: Vec<u64> =
+            (0..header.block_count).filter(|b| !used.contains(b)).collect();
+        block_mgr.restore_free_list(free, header.block_count);
+        // Replay the WAL on top.
+        let wal_path = Self::wal_path(&path);
+        let (records, torn) = WriteAheadLog::replay(&wal_path)?;
+        if torn {
+            // A torn tail is expected after a crash; everything before it
+            // replays fine. (A mid-log corruption would have surfaced as a
+            // checksum failure on an earlier record.)
+        }
+        persist::replay_wal(&records, &db.catalog, &db.txn_mgr)?;
+        let wal = WriteAheadLog::open(&wal_path)?;
+        db.storage = Some(StorageState {
+            block_mgr,
+            wal: Mutex::new(wal),
+            current_chain: Mutex::new(chain),
+            path,
+        });
+        Ok(Arc::new(db))
+    }
+
+    fn wal_path(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".wal");
+        PathBuf::from(p)
+    }
+
+    fn build(config: DatabaseConfig, _storage: Option<()>) -> Result<Database> {
+        Self::build_with_health(config, Arc::new(HealthMonitor::new()))
+    }
+
+    fn build_with_health(config: DatabaseConfig, health: Arc<HealthMonitor>) -> Result<Database> {
+        let buffers = BufferManager::with_health(
+            BufferManagerConfig {
+                memory_limit: config.memory_limit,
+                memtest_allocations: config.memtest_allocations,
+            },
+            Arc::clone(&health),
+        );
+        let policy = ResourcePolicy::new();
+        policy.set_memory_limit(config.memory_limit);
+        policy.set_threads(config.threads);
+        Ok(Database {
+            catalog: Catalog::new(),
+            txn_mgr: TransactionManager::new(),
+            buffers,
+            policy,
+            health,
+            config: Mutex::new(config),
+            storage: None,
+            commit_lock: Mutex::new(()),
+            append_lock: Mutex::new(()),
+        })
+    }
+
+    /// Open a connection (cheap; any number may coexist).
+    pub fn connect(self: &Arc<Self>) -> crate::Connection {
+        crate::Connection::new(Arc::clone(self))
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn txn_manager(&self) -> &Arc<TransactionManager> {
+        &self.txn_mgr
+    }
+
+    pub fn buffers(&self) -> Arc<BufferManager> {
+        Arc::clone(&self.buffers)
+    }
+
+    pub fn policy(&self) -> &Arc<ResourcePolicy> {
+        &self.policy
+    }
+
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        &self.health
+    }
+
+    pub fn config(&self) -> DatabaseConfig {
+        self.config.lock().clone()
+    }
+
+    pub fn set_wal_autocheckpoint(&self, bytes: u64) {
+        self.config.lock().wal_autocheckpoint = bytes;
+    }
+
+    pub fn is_persistent(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Current WAL size in bytes (0 for in-memory databases).
+    pub fn wal_size(&self) -> u64 {
+        self.storage.as_ref().map_or(0, |s| s.wal.lock().size_bytes())
+    }
+
+    /// Size of the database file in blocks.
+    pub fn block_count(&self) -> u64 {
+        self.storage.as_ref().map_or(0, |s| s.block_mgr.block_count())
+    }
+
+    /// Append a logical record to the WAL (no-op for in-memory databases).
+    pub(crate) fn wal_append(&self, record: &persist::WalRecord) -> Result<()> {
+        if let Some(s) = &self.storage {
+            s.wal.lock().append(&record.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Run `f` while holding the append lock, so captured physical row
+    /// positions match the actual append order.
+    pub(crate) fn with_append_lock<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let _guard = self.append_lock.lock();
+        f()
+    }
+
+    /// Commit a transaction: finalize in memory, then make it durable.
+    ///
+    /// The WAL commit marker is written *after* in-memory finalization but
+    /// before `commit` returns: a crash in between loses only a transaction
+    /// whose success was never reported, so no durability promise breaks.
+    pub fn commit_transaction(&self, txn: Transaction) -> Result<u64> {
+        let _guard = self.commit_lock.lock();
+        let txn_id = txn.id();
+        let had_writes = txn.is_read_write();
+        let commit_ts = txn.commit()?;
+        if had_writes {
+            if let Some(s) = &self.storage {
+                let mut wal = s.wal.lock();
+                wal.append(&persist::WalRecord::Commit { txn_id }.encode())?;
+                wal.sync()?;
+            }
+        }
+        drop(_guard);
+        // Opportunistic version GC + auto-checkpoint.
+        self.txn_mgr.garbage_collect();
+        if had_writes {
+            let threshold = self.config.lock().wal_autocheckpoint;
+            if threshold > 0 && self.wal_size() > threshold {
+                self.checkpoint()?;
+            }
+        }
+        Ok(commit_ts)
+    }
+
+    /// Write a checkpoint: serialize the committed image into fresh blocks,
+    /// atomically switch the header root, free the old chain, truncate the
+    /// WAL (§6's checkpoint protocol).
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(s) = &self.storage else {
+            return Ok(()); // nothing to do in memory
+        };
+        if !self.health.operational() {
+            return Err(EiderError::HardwareFault(
+                "refusing to checkpoint: hardware declared failed (§3: cease operation \
+                 rather than risk persisting corrupted data)"
+                    .into(),
+            ));
+        }
+        let _guard = self.commit_lock.lock();
+        let txn = self.txn_mgr.begin();
+        let (root, new_blocks) = persist::write_checkpoint(&self.catalog, &txn, &s.block_mgr)?;
+        let mut header = s.block_mgr.current_header();
+        header.meta_root = root;
+        header.free_root = INVALID_BLOCK;
+        s.block_mgr.write_header(header)?;
+        // The previous image's blocks are now reusable.
+        let mut chain = s.current_chain.lock();
+        for &b in chain.iter() {
+            s.block_mgr.free_block(b);
+        }
+        *chain = new_blocks;
+        s.wal.lock().reset()?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Path of the database file (persistent databases only).
+    pub fn path(&self) -> Option<&Path> {
+        self.storage.as_ref().map(|s| s.path.as_path())
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        // Best-effort checkpoint on close, like DuckDB: consume the WAL so
+        // the next open starts from a clean image.
+        if self.storage.is_some() && self.health.operational() {
+            let _ = self.checkpoint();
+        }
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("persistent", &self.is_persistent())
+            .field("tables", &self.catalog.table_names())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,34 @@
+//! eider-core: the embedded analytical database facade.
+//!
+//! This crate assembles every substrate of the paper's system (§6) into
+//! the library a data-science application links against:
+//!
+//! ```no_run
+//! use eider_core::{Database, DatabaseConfig};
+//!
+//! let db = Database::in_memory().unwrap();
+//! let conn = db.connect();
+//! conn.execute("CREATE TABLE t (a INTEGER, d INTEGER)").unwrap();
+//! conn.execute("INSERT INTO t VALUES (1, -999), (2, 42)").unwrap();
+//! // The paper's §2 wrangling update:
+//! conn.execute("UPDATE t SET d = NULL WHERE d = -999").unwrap();
+//! let result = conn.query("SELECT count(*) FROM t WHERE d IS NULL").unwrap();
+//! println!("{result}");
+//! ```
+//!
+//! The database runs *inside the process*: queries return reference-counted
+//! chunks (no serialization, no socket — §5), transactions are full MVCC
+//! (§6), storage is a single checksummed file plus a WAL (§3/§6), and
+//! resource limits cooperate with the host application (§4).
+
+pub mod config;
+pub mod connection;
+pub mod database;
+pub mod persist;
+pub mod planner;
+
+pub use config::DatabaseConfig;
+pub use connection::Connection;
+pub use database::Database;
+pub use eider_client::MaterializedResult;
+pub use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value};

@@ -1,0 +1,200 @@
+//! The physical planner: lowers bound logical plans onto executable
+//! operators, consulting the cooperation policy for strategy choices (§4).
+
+use crate::database::Database;
+use eider_exec::ops::{
+    CrossProductOp, DeleteOp, DistinctOp, ExternalSortOp, FilterOp, HashAggregateOp, HashJoinOp,
+    InsertOp, LimitOp, MergeJoinOp, NestedLoopJoinOp, OperatorBox, PhysicalOperator, ProjectionOp,
+    SimpleAggregateOp, TableScanOp, TopNOp, UpdateOp, ValuesOp,
+};
+use eider_coop::policy::{choose_join_strategy, JoinStrategy};
+use eider_exec::ops::join::JoinType;
+use eider_sql::plan::LogicalPlan;
+use eider_txn::{ScanOptions, Transaction};
+use eider_vector::{DataChunk, EiderError, LogicalType, Result};
+use std::sync::Arc;
+
+/// Chain two operators: pull left until exhausted, then right (UNION ALL).
+struct UnionAllOp {
+    left: OperatorBox,
+    right: OperatorBox,
+    on_right: bool,
+}
+
+impl PhysicalOperator for UnionAllOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.left.output_types()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if !self.on_right {
+            if let Some(chunk) = self.left.next_chunk()? {
+                return Ok(Some(chunk));
+            }
+            self.on_right = true;
+        }
+        self.right.next_chunk()
+    }
+}
+
+/// Rough cardinality estimate for join-strategy selection (§4). No real
+/// statistics: base tables report physical rows, filters assume 1/3
+/// selectivity, everything else passes through.
+fn estimate_rows(plan: &LogicalPlan) -> u64 {
+    match plan {
+        LogicalPlan::TableScan { entry, filters, .. } => {
+            let base = entry.data.physical_rows() as u64;
+            if filters.is_empty() {
+                base
+            } else {
+                (base / 3).max(1)
+            }
+        }
+        LogicalPlan::Filter { input, .. } => (estimate_rows(input) / 3).max(1),
+        LogicalPlan::Limit { input, limit, .. } => estimate_rows(input).min(*limit as u64),
+        LogicalPlan::Join { left, right, .. } => {
+            estimate_rows(left).max(estimate_rows(right))
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            estimate_rows(left).saturating_mul(estimate_rows(right))
+        }
+        LogicalPlan::Union { left, right } => {
+            estimate_rows(left).saturating_add(estimate_rows(right))
+        }
+        LogicalPlan::Values { rows, .. } => rows.len() as u64,
+        LogicalPlan::SingleRow => 1,
+        other => other.children().first().map_or(1, |c| estimate_rows(c)),
+    }
+}
+
+/// Lower a logical query plan (SELECT-shaped nodes plus INSERT/UPDATE/
+/// DELETE) to a physical operator tree.
+pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Result<OperatorBox> {
+    Ok(match plan {
+        LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, .. } => {
+            let opts = ScanOptions {
+                columns: column_ids.clone(),
+                filters: filters.clone(),
+                emit_row_ids: *emit_row_ids,
+            };
+            Box::new(TableScanOp::new(Arc::clone(&entry.data), Arc::clone(txn), opts))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            Box::new(FilterOp::new(lower(db, txn, input)?, predicate.clone()))
+        }
+        LogicalPlan::Projection { input, exprs, .. } => {
+            Box::new(ProjectionOp::new(lower(db, txn, input)?, exprs.clone()))
+        }
+        LogicalPlan::Aggregate { input, groups, aggs, .. } => {
+            let child = lower(db, txn, input)?;
+            if groups.is_empty() {
+                Box::new(SimpleAggregateOp::new(child, aggs.clone()))
+            } else {
+                Box::new(HashAggregateOp::new(
+                    child,
+                    groups.clone(),
+                    aggs.clone(),
+                    Some(db.buffers()),
+                ))
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = lower(db, txn, input)?;
+            let budget = db.policy().memory_limit() / 4;
+            Box::new(ExternalSortOp::new(child, keys.clone(), budget, Some(db.buffers()), false))
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            // ORDER BY + LIMIT fuses into Top-N.
+            if let LogicalPlan::Sort { input: sort_input, keys } = &**input {
+                if *limit != usize::MAX && limit.saturating_add(*offset) <= 1_000_000 {
+                    let child = lower(db, txn, sort_input)?;
+                    return Ok(Box::new(TopNOp::new(child, keys.clone(), *limit, *offset)));
+                }
+            }
+            Box::new(LimitOp::new(lower(db, txn, input)?, *limit, *offset))
+        }
+        LogicalPlan::Distinct { input } => Box::new(DistinctOp::new(lower(db, txn, input)?)),
+        LogicalPlan::Join { left, right, join_type, left_keys, right_keys } => {
+            let lchild = lower(db, txn, left)?;
+            let rchild = lower(db, txn, right)?;
+            // §4: the build side's estimated footprint against currently
+            // available memory decides hash vs out-of-core merge join.
+            let build_rows = estimate_rows(right);
+            let build_bytes = build_rows.saturating_mul(
+                (right.output_types().len() as u64).saturating_mul(16),
+            ) as usize;
+            let strategy = if *join_type == JoinType::Inner {
+                choose_join_strategy(build_bytes, db.buffers().available_memory())
+            } else {
+                JoinStrategy::Hash // left/semi/anti are hash-only
+            };
+            match strategy {
+                JoinStrategy::Hash => Box::new(HashJoinOp::new(
+                    lchild,
+                    rchild,
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    *join_type,
+                    db.policy().compression(),
+                    Some(db.buffers()),
+                )?),
+                JoinStrategy::OutOfCoreMerge => Box::new(MergeJoinOp::new(
+                    lchild,
+                    rchild,
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    db.policy().memory_limit() / 8,
+                    Some(db.buffers()),
+                )),
+            }
+        }
+        LogicalPlan::NestedLoopJoin { left, right, predicate } => Box::new(NestedLoopJoinOp::new(
+            lower(db, txn, left)?,
+            lower(db, txn, right)?,
+            predicate.clone(),
+            JoinType::Inner,
+        )?),
+        LogicalPlan::CrossJoin { left, right } => {
+            Box::new(CrossProductOp::new(lower(db, txn, left)?, lower(db, txn, right)?))
+        }
+        LogicalPlan::Union { left, right } => Box::new(UnionAllOp {
+            left: lower(db, txn, left)?,
+            right: lower(db, txn, right)?,
+            on_right: false,
+        }),
+        LogicalPlan::Values { rows, types, .. } => {
+            let mut chunk = DataChunk::new(types);
+            for row in rows {
+                let vals: Vec<eider_vector::Value> = row
+                    .iter()
+                    .zip(types)
+                    .map(|(e, &ty)| e.evaluate_row(&[])?.cast_to(ty))
+                    .collect::<Result<_>>()?;
+                chunk.append_row(&vals)?;
+            }
+            Box::new(ValuesOp::new(types.clone(), vec![chunk]))
+        }
+        LogicalPlan::SingleRow => Box::new(ValuesOp::single_row()),
+        LogicalPlan::Insert { entry, input } => Box::new(InsertOp::new(
+            Arc::clone(entry),
+            lower(db, txn, input)?,
+            Arc::clone(txn),
+        )),
+        LogicalPlan::Update { entry, input, columns } => Box::new(UpdateOp::new(
+            Arc::clone(entry),
+            lower(db, txn, input)?,
+            Arc::clone(txn),
+            columns.clone(),
+        )),
+        LogicalPlan::Delete { entry, input } => Box::new(DeleteOp::new(
+            Arc::clone(entry),
+            lower(db, txn, input)?,
+            Arc::clone(txn),
+        )),
+        other => {
+            return Err(EiderError::Internal(format!(
+                "plan node is not executable by the physical planner: {other:?}"
+            )))
+        }
+    })
+}

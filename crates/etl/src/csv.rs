@@ -1,0 +1,402 @@
+//! A from-scratch CSV reader/writer with schema sniffing.
+//!
+//! Quoting follows RFC 4180: fields containing the delimiter, quotes or
+//! newlines are wrapped in double quotes; embedded quotes double. The
+//! reader is streaming (buffered, chunk-at-a-time) and the sniffer infers
+//! column types from a sample, falling back through
+//! `BOOLEAN -> BIGINT -> DOUBLE -> DATE -> TIMESTAMP -> VARCHAR`.
+
+use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, VECTOR_SIZE};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Options for reading a CSV file.
+#[derive(Debug, Clone)]
+pub struct CsvReadOptions {
+    pub header: bool,
+    pub delimiter: char,
+    /// Strings equal to this (e.g. `-999`, `NA`) become NULL; empty string
+    /// always does.
+    pub null_string: String,
+    /// Rows sampled for type sniffing.
+    pub sample_rows: usize,
+}
+
+impl Default for CsvReadOptions {
+    fn default() -> Self {
+        CsvReadOptions { header: true, delimiter: ',', null_string: String::new(), sample_rows: 1024 }
+    }
+}
+
+/// Split one CSV record, honoring quotes. Returns an error on unterminated
+/// quotes (corrupted file).
+fn split_record(line: &str, delimiter: char) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(EiderError::Parse("unterminated quote in CSV record".into()));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn could_be(s: &str, ty: LogicalType) -> bool {
+    Value::parse_as(s, ty).is_ok()
+}
+
+/// Infer a column type from sampled strings.
+fn infer_type(samples: &[&str]) -> LogicalType {
+    let ladder = [
+        LogicalType::Boolean,
+        LogicalType::BigInt,
+        LogicalType::Double,
+        LogicalType::Date,
+        LogicalType::Timestamp,
+    ];
+    'ladder: for ty in ladder {
+        for s in samples {
+            if !could_be(s, ty) {
+                continue 'ladder;
+            }
+        }
+        if !samples.is_empty() {
+            return ty;
+        }
+    }
+    LogicalType::Varchar
+}
+
+/// Sniff column names and types from the head of a CSV file.
+pub fn sniff_csv_schema(
+    path: impl AsRef<Path>,
+    options: &CsvReadOptions,
+) -> Result<Vec<(String, LogicalType)>> {
+    let file = File::open(path.as_ref())?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut samples: Vec<Vec<String>> = Vec::new();
+    let mut first = true;
+    let mut sampled = 0usize;
+    while sampled < options.sample_rows {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields = split_record(trimmed, options.delimiter)?;
+        if first {
+            first = false;
+            if options.header {
+                names = fields;
+                samples.resize(names.len(), Vec::new());
+                continue;
+            }
+            names = (0..fields.len()).map(|i| format!("column{i}")).collect();
+            samples.resize(names.len(), Vec::new());
+        }
+        for (i, f) in fields.iter().enumerate() {
+            if i < samples.len() && !f.is_empty() && *f != options.null_string {
+                samples[i].push(f.clone());
+            }
+        }
+        sampled += 1;
+    }
+    if names.is_empty() {
+        return Err(EiderError::Parse("CSV file is empty".into()));
+    }
+    Ok(names
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let refs: Vec<&str> = samples[i].iter().map(String::as_str).collect();
+            (n, infer_type(&refs))
+        })
+        .collect())
+}
+
+/// Streaming CSV reader producing [`DataChunk`]s of the given types.
+pub struct CsvReader {
+    reader: BufReader<File>,
+    options: CsvReadOptions,
+    types: Vec<LogicalType>,
+    line: String,
+    rows_read: u64,
+    header_skipped: bool,
+}
+
+impl CsvReader {
+    pub fn open(
+        path: impl AsRef<Path>,
+        types: Vec<LogicalType>,
+        options: CsvReadOptions,
+    ) -> Result<Self> {
+        let file = File::open(path.as_ref())?;
+        Ok(CsvReader {
+            reader: BufReader::new(file),
+            options,
+            types,
+            line: String::new(),
+            rows_read: 0,
+            header_skipped: false,
+        })
+    }
+
+    pub fn rows_read(&self) -> u64 {
+        self.rows_read
+    }
+
+    /// Read the next chunk of up to [`VECTOR_SIZE`] rows; `None` at EOF.
+    pub fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        let mut chunk = DataChunk::new(&self.types);
+        while chunk.len() < VECTOR_SIZE {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                break;
+            }
+            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            if self.options.header && !self.header_skipped {
+                self.header_skipped = true;
+                continue;
+            }
+            self.header_skipped = true;
+            let fields = split_record(trimmed, self.options.delimiter)?;
+            if fields.len() != self.types.len() {
+                return Err(EiderError::Parse(format!(
+                    "CSV row {} has {} fields, expected {}",
+                    self.rows_read + 1,
+                    fields.len(),
+                    self.types.len()
+                )));
+            }
+            let row: Vec<Value> = fields
+                .iter()
+                .zip(&self.types)
+                .map(|(f, &ty)| {
+                    if f.is_empty() || *f == self.options.null_string {
+                        Ok(Value::Null)
+                    } else {
+                        Value::parse_as(f, ty)
+                    }
+                })
+                .collect::<Result<_>>()?;
+            chunk.append_row(&row)?;
+            self.rows_read += 1;
+        }
+        if chunk.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(chunk))
+        }
+    }
+}
+
+/// Buffered CSV writer.
+pub struct CsvWriter {
+    writer: BufWriter<File>,
+    delimiter: char,
+    rows_written: u64,
+}
+
+impl CsvWriter {
+    pub fn create(
+        path: impl AsRef<Path>,
+        header: Option<&[String]>,
+        delimiter: char,
+    ) -> Result<Self> {
+        let file = File::create(path.as_ref())?;
+        let mut w = CsvWriter { writer: BufWriter::new(file), delimiter, rows_written: 0 };
+        if let Some(names) = header {
+            let line: Vec<String> = names.iter().map(|n| w.quote(n)).collect();
+            writeln!(w.writer, "{}", line.join(&delimiter.to_string()))?;
+        }
+        Ok(w)
+    }
+
+    fn quote(&self, field: &str) -> String {
+        if field.contains(self.delimiter)
+            || field.contains('"')
+            || field.contains('\n')
+            || field.contains('\r')
+        {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+
+    pub fn write_chunk(&mut self, chunk: &DataChunk) -> Result<()> {
+        let sep = self.delimiter.to_string();
+        for row in 0..chunk.len() {
+            let fields: Vec<String> = chunk
+                .row_values(row)
+                .iter()
+                .map(|v| if v.is_null() { String::new() } else { self.quote(&v.to_string()) })
+                .collect();
+            writeln!(self.writer, "{}", fields.join(&sep))?;
+            self.rows_written += 1;
+        }
+        Ok(())
+    }
+
+    pub fn rows_written(&self) -> u64 {
+        self.rows_written
+    }
+
+    pub fn finish(mut self) -> Result<u64> {
+        self.writer.flush()?;
+        Ok(self.rows_written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("eider_csv_{}_{name}.csv", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn split_record_handles_quotes() {
+        assert_eq!(split_record("a,b,c", ',').unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(
+            split_record("\"a,b\",\"say \"\"hi\"\"\",", ',').unwrap(),
+            vec!["a,b", "say \"hi\"", ""]
+        );
+        assert!(split_record("\"open", ',').is_err());
+    }
+
+    #[test]
+    fn sniffing_infers_types() {
+        let path = tmp("sniff");
+        std::fs::write(
+            &path,
+            "id,price,flag,day,name\n1,2.5,true,2020-01-12,alpha\n2,3,false,2020-01-13,beta\n",
+        )
+        .unwrap();
+        let schema = sniff_csv_schema(&path, &CsvReadOptions::default()).unwrap();
+        assert_eq!(schema[0], ("id".to_string(), LogicalType::BigInt));
+        assert_eq!(schema[1], ("price".to_string(), LogicalType::Double));
+        assert_eq!(schema[2], ("flag".to_string(), LogicalType::Boolean));
+        assert_eq!(schema[3], ("day".to_string(), LogicalType::Date));
+        assert_eq!(schema[4], ("name".to_string(), LogicalType::Varchar));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let path = tmp("round");
+        {
+            let mut w = CsvWriter::create(
+                &path,
+                Some(&["a".to_string(), "b".to_string()]),
+                ',',
+            )
+            .unwrap();
+            let chunk = DataChunk::from_rows(
+                &[LogicalType::Integer, LogicalType::Varchar],
+                &[
+                    vec![Value::Integer(1), Value::Varchar("plain".into())],
+                    vec![Value::Null, Value::Varchar("with,comma".into())],
+                    vec![Value::Integer(3), Value::Varchar("say \"hi\"".into())],
+                ],
+            )
+            .unwrap();
+            w.write_chunk(&chunk).unwrap();
+            assert_eq!(w.finish().unwrap(), 3);
+        }
+        let mut r = CsvReader::open(
+            &path,
+            vec![LogicalType::Integer, LogicalType::Varchar],
+            CsvReadOptions::default(),
+        )
+        .unwrap();
+        let chunk = r.next_chunk().unwrap().unwrap();
+        assert_eq!(chunk.len(), 3);
+        assert!(chunk.row_values(1)[0].is_null());
+        assert_eq!(chunk.row_values(1)[1], Value::Varchar("with,comma".into()));
+        assert_eq!(chunk.row_values(2)[1], Value::Varchar("say \"hi\"".into()));
+        assert!(r.next_chunk().unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn null_string_option() {
+        let path = tmp("nulls");
+        std::fs::write(&path, "d\n-999\n5\n").unwrap();
+        let opts = CsvReadOptions { null_string: "-999".into(), ..Default::default() };
+        let mut r = CsvReader::open(&path, vec![LogicalType::Integer], opts).unwrap();
+        let chunk = r.next_chunk().unwrap().unwrap();
+        assert!(chunk.row_values(0)[0].is_null());
+        assert_eq!(chunk.row_values(1)[0], Value::Integer(5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn field_count_mismatch_errors() {
+        let path = tmp("mismatch");
+        std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
+        let mut r = CsvReader::open(
+            &path,
+            vec![LogicalType::Integer, LogicalType::Integer],
+            CsvReadOptions::default(),
+        )
+        .unwrap();
+        assert!(r.next_chunk().is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn large_file_streams_in_chunks() {
+        let path = tmp("large");
+        let mut body = String::from("x\n");
+        for i in 0..5000 {
+            body.push_str(&format!("{i}\n"));
+        }
+        std::fs::write(&path, body).unwrap();
+        let mut r =
+            CsvReader::open(&path, vec![LogicalType::BigInt], CsvReadOptions::default()).unwrap();
+        let mut total = 0;
+        let mut chunks = 0;
+        while let Some(c) = r.next_chunk().unwrap() {
+            total += c.len();
+            chunks += 1;
+        }
+        assert_eq!(total, 5000);
+        assert!(chunks >= 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

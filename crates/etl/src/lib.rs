@@ -1,0 +1,12 @@
+//! ETL support: CSV reading (with type sniffing) and writing.
+//!
+//! §2: "the database can directly scan existing files (e.g. CSV), reshape
+//! the result and then append it to a persistent table ... out-of-core
+//! processing, parallelization and transactional behaviour is also highly
+//! relevant in the ETL process." `COPY t FROM 'file.csv'` lands here; the
+//! reader streams chunk-at-a-time so arbitrarily large files load in
+//! bounded memory, inside a transaction.
+
+pub mod csv;
+
+pub use csv::{sniff_csv_schema, CsvReadOptions, CsvReader, CsvWriter};

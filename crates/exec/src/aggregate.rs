@@ -1,0 +1,299 @@
+//! Aggregate functions and their accumulation states.
+//!
+//! OLAP queries "involve multiple aggregates" (§2); these states are the
+//! targets of both the vectorized engine's hash aggregation and the
+//! row-at-a-time baseline, so the two engines share semantics exactly.
+
+use eider_vector::{EiderError, LogicalType, Result, Value};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// The aggregate function kinds eider supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Sample standard deviation (Welford's online algorithm).
+    StdDevSamp,
+    /// Sample variance.
+    VarSamp,
+}
+
+impl AggKind {
+    pub fn by_name(name: &str) -> Option<AggKind> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggKind::Count,
+            "sum" => AggKind::Sum,
+            "avg" | "mean" => AggKind::Avg,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "stddev" | "stddev_samp" => AggKind::StdDevSamp,
+            "variance" | "var_samp" => AggKind::VarSamp,
+            _ => return None,
+        })
+    }
+
+    /// Result type given the argument type.
+    pub fn result_type(&self, input: Option<LogicalType>) -> LogicalType {
+        match self {
+            AggKind::CountStar | AggKind::Count => LogicalType::BigInt,
+            AggKind::Sum => match input {
+                Some(LogicalType::Double) => LogicalType::Double,
+                _ => LogicalType::BigInt,
+            },
+            AggKind::Avg | AggKind::StdDevSamp | AggKind::VarSamp => LogicalType::Double,
+            AggKind::Min | AggKind::Max => input.unwrap_or(LogicalType::Varchar),
+        }
+    }
+}
+
+/// Accumulator state for one aggregate in one group.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    Count(i64),
+    SumInt { sum: i128, seen: bool },
+    SumDouble { sum: f64, seen: bool },
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Welford { count: i64, mean: f64, m2: f64, variance: bool },
+    /// DISTINCT wrapper: dedup first, feed the inner state at finalize.
+    Distinct { seen: HashSet<Value>, inner: Box<AggState> },
+}
+
+impl AggState {
+    /// Fresh state for an aggregate over the given input type.
+    pub fn new(kind: AggKind, input: Option<LogicalType>, distinct: bool) -> AggState {
+        let inner = match kind {
+            AggKind::CountStar | AggKind::Count => AggState::Count(0),
+            AggKind::Sum => match input {
+                Some(LogicalType::Double) => AggState::SumDouble { sum: 0.0, seen: false },
+                _ => AggState::SumInt { sum: 0, seen: false },
+            },
+            AggKind::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggKind::Min => AggState::Min(None),
+            AggKind::Max => AggState::Max(None),
+            AggKind::StdDevSamp => AggState::Welford { count: 0, mean: 0.0, m2: 0.0, variance: false },
+            AggKind::VarSamp => AggState::Welford { count: 0, mean: 0.0, m2: 0.0, variance: true },
+        };
+        if distinct {
+            AggState::Distinct { seen: HashSet::new(), inner: Box::new(inner) }
+        } else {
+            inner
+        }
+    }
+
+    /// Fold one input value into the state. `COUNT(*)` passes a non-null
+    /// placeholder for every row; all other aggregates skip NULLs.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            AggState::Distinct { seen, inner } => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                if seen.insert(v.clone()) {
+                    inner.update(v)?;
+                }
+                Ok(())
+            }
+            _ => self.update_inner(v),
+        }
+    }
+
+    fn update_inner(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::SumInt { sum, seen } => {
+                let x = v.as_i64().ok_or_else(|| {
+                    EiderError::TypeMismatch(format!("SUM over non-numeric {v}"))
+                })?;
+                *sum += i128::from(x);
+                *seen = true;
+            }
+            AggState::SumDouble { sum, seen } => {
+                let x = v.as_f64().ok_or_else(|| {
+                    EiderError::TypeMismatch(format!("SUM over non-numeric {v}"))
+                })?;
+                *sum += x;
+                *seen = true;
+            }
+            AggState::Avg { sum, count } => {
+                let x = v.as_f64().ok_or_else(|| {
+                    EiderError::TypeMismatch(format!("AVG over non-numeric {v}"))
+                })?;
+                *sum += x;
+                *count += 1;
+            }
+            AggState::Min(cur) => {
+                if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Less) {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Greater) {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Welford { count, mean, m2, .. } => {
+                let x = v.as_f64().ok_or_else(|| {
+                    EiderError::TypeMismatch(format!("STDDEV/VAR over non-numeric {v}"))
+                })?;
+                *count += 1;
+                let delta = x - *mean;
+                *mean += delta / *count as f64;
+                *m2 += delta * (x - *mean);
+            }
+            AggState::Distinct { .. } => unreachable!("handled in update"),
+        }
+        Ok(())
+    }
+
+    /// Produce the aggregate result.
+    pub fn finalize(&self) -> Result<Value> {
+        Ok(match self {
+            AggState::Count(c) => Value::BigInt(*c),
+            AggState::SumInt { sum, seen } => {
+                if !*seen {
+                    Value::Null
+                } else {
+                    Value::BigInt(i64::try_from(*sum).map_err(|_| {
+                        EiderError::Execution("SUM result exceeds BIGINT range".into())
+                    })?)
+                }
+            }
+            AggState::SumDouble { sum, seen } => {
+                if !*seen {
+                    Value::Null
+                } else {
+                    Value::Double(*sum)
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*sum / *count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::Welford { count, m2, variance, .. } => {
+                if *count < 2 {
+                    Value::Null
+                } else {
+                    let var = *m2 / (*count - 1) as f64;
+                    Value::Double(if *variance { var } else { var.sqrt() })
+                }
+            }
+            AggState::Distinct { inner, .. } => inner.finalize()?,
+        })
+    }
+
+    /// Rough heap footprint for memory accounting.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<AggState>()
+            + match self {
+                AggState::Distinct { seen, .. } => seen.len() * 48,
+                _ => 0,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggKind, ty: Option<LogicalType>, distinct: bool, vals: &[Value]) -> Value {
+        let mut s = AggState::new(kind, ty, distinct);
+        for v in vals {
+            s.update(v).unwrap();
+        }
+        s.finalize().unwrap()
+    }
+
+    #[test]
+    fn count_ignores_nulls() {
+        let vals = vec![Value::Integer(1), Value::Null, Value::Integer(3)];
+        assert_eq!(run(AggKind::Count, None, false, &vals), Value::BigInt(2));
+    }
+
+    #[test]
+    fn sum_int_and_double() {
+        let ints = vec![Value::Integer(1), Value::Integer(2), Value::Null];
+        assert_eq!(run(AggKind::Sum, Some(LogicalType::Integer), false, &ints), Value::BigInt(3));
+        let dbls = vec![Value::Double(1.5), Value::Double(2.5)];
+        assert_eq!(run(AggKind::Sum, Some(LogicalType::Double), false, &dbls), Value::Double(4.0));
+        assert_eq!(run(AggKind::Sum, Some(LogicalType::Integer), false, &[]), Value::Null);
+    }
+
+    #[test]
+    fn sum_uses_wide_accumulator() {
+        // Summing many i64::MAX values must not overflow mid-stream.
+        let vals = vec![Value::BigInt(i64::MAX), Value::BigInt(i64::MAX), Value::BigInt(-i64::MAX), Value::BigInt(-i64::MAX + 5)];
+        assert_eq!(run(AggKind::Sum, Some(LogicalType::BigInt), false, &vals), Value::BigInt(5));
+        // But a final result out of range errors.
+        let mut s = AggState::new(AggKind::Sum, Some(LogicalType::BigInt), false);
+        s.update(&Value::BigInt(i64::MAX)).unwrap();
+        s.update(&Value::BigInt(1)).unwrap();
+        assert!(s.finalize().is_err());
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let vals = vec![Value::Integer(10), Value::Integer(20), Value::Null];
+        assert_eq!(run(AggKind::Avg, None, false, &vals), Value::Double(15.0));
+        assert_eq!(run(AggKind::Min, Some(LogicalType::Integer), false, &vals), Value::Integer(10));
+        assert_eq!(run(AggKind::Max, Some(LogicalType::Integer), false, &vals), Value::Integer(20));
+        assert_eq!(run(AggKind::Min, Some(LogicalType::Integer), false, &[]), Value::Null);
+    }
+
+    #[test]
+    fn stddev_and_variance() {
+        let vals: Vec<Value> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&f| Value::Double(f))
+            .collect();
+        let var = run(AggKind::VarSamp, None, false, &vals);
+        if let Value::Double(v) = var {
+            assert!((v - 4.571428571428571).abs() < 1e-9);
+        } else {
+            panic!("{var:?}");
+        }
+        let sd = run(AggKind::StdDevSamp, None, false, &vals);
+        if let Value::Double(v) = sd {
+            assert!((v - 4.571428571428571f64.sqrt()).abs() < 1e-9);
+        } else {
+            panic!("{sd:?}");
+        }
+        assert_eq!(run(AggKind::StdDevSamp, None, false, &vals[..1]), Value::Null);
+    }
+
+    #[test]
+    fn distinct_aggregates() {
+        let vals = vec![
+            Value::Integer(5),
+            Value::Integer(5),
+            Value::Integer(7),
+            Value::Null,
+            Value::Integer(7),
+        ];
+        assert_eq!(run(AggKind::Count, None, true, &vals), Value::BigInt(2));
+        assert_eq!(run(AggKind::Sum, Some(LogicalType::Integer), true, &vals), Value::BigInt(12));
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(AggKind::Sum.result_type(Some(LogicalType::Integer)), LogicalType::BigInt);
+        assert_eq!(AggKind::Sum.result_type(Some(LogicalType::Double)), LogicalType::Double);
+        assert_eq!(AggKind::Avg.result_type(Some(LogicalType::Integer)), LogicalType::Double);
+        assert_eq!(AggKind::Min.result_type(Some(LogicalType::Varchar)), LogicalType::Varchar);
+        assert_eq!(AggKind::by_name("STDDEV"), Some(AggKind::StdDevSamp));
+        assert_eq!(AggKind::by_name("nope"), None);
+    }
+}

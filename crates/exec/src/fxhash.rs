@@ -1,0 +1,112 @@
+//! A fast, non-cryptographic hasher for join/aggregation keys.
+//!
+//! The default SipHash of `std::collections::HashMap` costs more per key
+//! than an entire vectorized kernel iteration; hash tables on the query
+//! path use this Fx-style multiply-xor hash instead (the algorithm rustc
+//! uses internally). HashDoS is not a concern for in-process analytical
+//! keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fx algorithm: `state = (state rotl 5 ^ word) * SEED` per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// Drop-in `BuildHasher` for `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// One-shot hash of a hashable value.
+pub fn fxhash<T: std::hash::Hash>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(fxhash(&42u64), fxhash(&42u64));
+        assert_ne!(fxhash(&42u64), fxhash(&43u64));
+        assert_ne!(fxhash(&"abc"), fxhash(&"abd"));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<i64, usize> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, (i * 2) as usize);
+        }
+        assert_eq!(m[&500], 1000);
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // Sequential keys must spread over buckets reasonably.
+        let mut buckets = [0usize; 64];
+        for i in 0..64_000u64 {
+            buckets[(fxhash(&i) % 64) as usize] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(min > 500 && max < 2000, "min {min}, max {max}");
+    }
+}

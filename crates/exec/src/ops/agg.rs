@@ -1,0 +1,349 @@
+//! Aggregation operators: ungrouped (simple) and hash-grouped.
+
+use crate::aggregate::{AggKind, AggState};
+use crate::expression::Expr;
+use crate::fxhash::FxHashMap;
+use crate::ops::{OperatorBox, PhysicalOperator};
+use eider_storage::buffer::{BufferManager, MemoryReservation};
+use eider_vector::{DataChunk, LogicalType, Result, Value, VECTOR_SIZE};
+use std::sync::Arc;
+
+/// One aggregate of the SELECT list: kind + argument expression.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    pub kind: AggKind,
+    /// `None` only for COUNT(*).
+    pub arg: Option<Expr>,
+    pub distinct: bool,
+}
+
+impl AggExpr {
+    pub fn result_type(&self) -> LogicalType {
+        self.kind.result_type(self.arg.as_ref().map(Expr::result_type))
+    }
+
+    fn new_state(&self) -> AggState {
+        AggState::new(self.kind, self.arg.as_ref().map(Expr::result_type), self.distinct)
+    }
+}
+
+/// Aggregation without GROUP BY: exactly one output row.
+pub struct SimpleAggregateOp {
+    child: OperatorBox,
+    aggs: Vec<AggExpr>,
+    done: bool,
+}
+
+impl SimpleAggregateOp {
+    pub fn new(child: OperatorBox, aggs: Vec<AggExpr>) -> Self {
+        SimpleAggregateOp { child, aggs, done: false }
+    }
+}
+
+impl PhysicalOperator for SimpleAggregateOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.aggs.iter().map(AggExpr::result_type).collect()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut states: Vec<AggState> = self.aggs.iter().map(AggExpr::new_state).collect();
+        while let Some(chunk) = self.child.next_chunk()? {
+            if chunk.is_empty() {
+                continue;
+            }
+            for (agg, state) in self.aggs.iter().zip(states.iter_mut()) {
+                match &agg.arg {
+                    Some(expr) => {
+                        let v = expr.evaluate(&chunk)?;
+                        for row in 0..v.len() {
+                            state.update(&v.get_value(row))?;
+                        }
+                    }
+                    None => {
+                        // COUNT(*): every row counts.
+                        for _ in 0..chunk.len() {
+                            state.update(&Value::Boolean(true))?;
+                        }
+                    }
+                }
+            }
+        }
+        let row: Vec<Value> = states.iter().map(AggState::finalize).collect::<Result<_>>()?;
+        let mut out = DataChunk::new(&self.output_types());
+        out.append_row(&row)?;
+        Ok(Some(out))
+    }
+}
+
+/// GROUP BY aggregation via a hash table of group keys.
+///
+/// Group keys use *grouping equality* (NULLs form one group), which is the
+/// `Eq`/`Hash` of [`Value`]. Memory is accounted against the buffer manager
+/// as the table grows (§4's hard limits apply to aggregation state too).
+pub struct HashAggregateOp {
+    child: OperatorBox,
+    groups: Vec<Expr>,
+    aggs: Vec<AggExpr>,
+    buffers: Option<Arc<BufferManager>>,
+    output: Option<std::vec::IntoIter<(Vec<Value>, Vec<AggState>)>>,
+    _reservation: Option<MemoryReservation>,
+}
+
+impl HashAggregateOp {
+    pub fn new(
+        child: OperatorBox,
+        groups: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+        buffers: Option<Arc<BufferManager>>,
+    ) -> Self {
+        HashAggregateOp { child, groups, aggs, buffers, output: None, _reservation: None }
+    }
+
+    fn aggregate_phase(&mut self) -> Result<()> {
+        let mut table: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+        let mut reservation = match &self.buffers {
+            Some(b) => Some(b.reserve(0)?),
+            None => None,
+        };
+        let mut accounted_groups = 0usize;
+        while let Some(chunk) = self.child.next_chunk()? {
+            if chunk.is_empty() {
+                continue;
+            }
+            let key_vectors = self
+                .groups
+                .iter()
+                .map(|g| g.evaluate(&chunk))
+                .collect::<Result<Vec<_>>>()?;
+            let arg_vectors: Vec<Option<eider_vector::Vector>> = self
+                .aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map(|e| e.evaluate(&chunk)).transpose())
+                .collect::<Result<_>>()?;
+            for row in 0..chunk.len() {
+                let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
+                let states = match table.get_mut(&key) {
+                    Some(s) => s,
+                    None => {
+                        let fresh: Vec<AggState> =
+                            self.aggs.iter().map(AggExpr::new_state).collect();
+                        table.insert(key.clone(), fresh);
+                        table.get_mut(&key).expect("just inserted")
+                    }
+                };
+                for (i, state) in states.iter_mut().enumerate() {
+                    match &arg_vectors[i] {
+                        Some(v) => state.update(&v.get_value(row))?,
+                        None => state.update(&Value::Boolean(true))?,
+                    }
+                }
+            }
+            // Periodic memory accounting: ~96 bytes per group + key data.
+            if let Some(res) = &mut reservation {
+                if table.len() > accounted_groups {
+                    let growth = (table.len() - accounted_groups) * 96;
+                    res.grow(growth)?;
+                    accounted_groups = table.len();
+                }
+            }
+        }
+        self._reservation = reservation;
+        self.output = Some(table.into_iter().collect::<Vec<_>>().into_iter());
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for HashAggregateOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        let mut t: Vec<LogicalType> = self.groups.iter().map(Expr::result_type).collect();
+        t.extend(self.aggs.iter().map(AggExpr::result_type));
+        t
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if self.output.is_none() {
+            self.aggregate_phase()?;
+        }
+        let out_types = self.output_types();
+        let it = self.output.as_mut().expect("aggregated");
+        let mut out = DataChunk::new(&out_types);
+        for (key, states) in it.by_ref().take(VECTOR_SIZE) {
+            let mut row = key;
+            for s in &states {
+                row.push(s.finalize()?);
+            }
+            out.append_row(&row)?;
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::basic::ValuesOp;
+    use crate::ops::drain_rows;
+
+    fn source() -> OperatorBox {
+        // (group, value): groups 0,1,2 with values i.
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| {
+                let v = if i % 10 == 0 { Value::Null } else { Value::Integer(i) };
+                vec![Value::Integer(i % 3), v]
+            })
+            .collect();
+        let chunk =
+            DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows).unwrap();
+        Box::new(ValuesOp::new(vec![LogicalType::Integer, LogicalType::Integer], vec![chunk]))
+    }
+
+    #[test]
+    fn simple_aggregate_all_functions() {
+        let aggs = vec![
+            AggExpr { kind: AggKind::CountStar, arg: None, distinct: false },
+            AggExpr {
+                kind: AggKind::Count,
+                arg: Some(Expr::column(1, LogicalType::Integer)),
+                distinct: false,
+            },
+            AggExpr {
+                kind: AggKind::Sum,
+                arg: Some(Expr::column(1, LogicalType::Integer)),
+                distinct: false,
+            },
+            AggExpr {
+                kind: AggKind::Min,
+                arg: Some(Expr::column(1, LogicalType::Integer)),
+                distinct: false,
+            },
+            AggExpr {
+                kind: AggKind::Max,
+                arg: Some(Expr::column(1, LogicalType::Integer)),
+                distinct: false,
+            },
+        ];
+        let mut op = SimpleAggregateOp::new(source(), aggs);
+        let rows = drain_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r[0], Value::BigInt(100)); // COUNT(*)
+        assert_eq!(r[1], Value::BigInt(90)); // COUNT(v) skips 10 NULLs
+        let expected_sum: i64 = (0..100).filter(|i| i % 10 != 0).sum();
+        assert_eq!(r[2], Value::BigInt(expected_sum));
+        assert_eq!(r[3], Value::Integer(1));
+        assert_eq!(r[4], Value::Integer(99));
+    }
+
+    #[test]
+    fn empty_input_aggregates() {
+        let empty = Box::new(ValuesOp::new(vec![LogicalType::Integer], vec![]));
+        let aggs = vec![
+            AggExpr { kind: AggKind::CountStar, arg: None, distinct: false },
+            AggExpr {
+                kind: AggKind::Sum,
+                arg: Some(Expr::column(0, LogicalType::Integer)),
+                distinct: false,
+            },
+        ];
+        let mut op = SimpleAggregateOp::new(empty, aggs);
+        let rows = drain_rows(&mut op).unwrap();
+        assert_eq!(rows[0][0], Value::BigInt(0));
+        assert!(rows[0][1].is_null(), "SUM of nothing is NULL");
+    }
+
+    #[test]
+    fn hash_aggregate_groups() {
+        let groups = vec![Expr::column(0, LogicalType::Integer)];
+        let aggs = vec![
+            AggExpr { kind: AggKind::CountStar, arg: None, distinct: false },
+            AggExpr {
+                kind: AggKind::Avg,
+                arg: Some(Expr::column(1, LogicalType::Integer)),
+                distinct: false,
+            },
+        ];
+        let mut op = HashAggregateOp::new(source(), groups, aggs, None);
+        let mut rows = drain_rows(&mut op).unwrap();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(rows.len(), 3);
+        // 100 rows over 3 groups: counts 34/33/33.
+        assert_eq!(rows[0][1], Value::BigInt(34));
+        assert_eq!(rows[1][1], Value::BigInt(33));
+        assert_eq!(rows[2][1], Value::BigInt(33));
+        // AVG is a double for every group.
+        assert!(matches!(rows[0][2], Value::Double(_)));
+    }
+
+    #[test]
+    fn null_group_key_forms_a_group() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Null, Value::Integer(1)],
+            vec![Value::Null, Value::Integer(2)],
+            vec![Value::Integer(1), Value::Integer(3)],
+        ];
+        let chunk =
+            DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows).unwrap();
+        let src: OperatorBox = Box::new(ValuesOp::new(
+            vec![LogicalType::Integer, LogicalType::Integer],
+            vec![chunk],
+        ));
+        let groups = vec![Expr::column(0, LogicalType::Integer)];
+        let aggs = vec![AggExpr {
+            kind: AggKind::Sum,
+            arg: Some(Expr::column(1, LogicalType::Integer)),
+            distinct: false,
+        }];
+        let mut op = HashAggregateOp::new(src, groups, aggs, None);
+        let mut out = drain_rows(&mut op).unwrap();
+        out.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][1], Value::BigInt(3)); // group 1
+        assert!(out[1][0].is_null());
+        assert_eq!(out[1][1], Value::BigInt(3)); // NULL group: 1 + 2
+    }
+
+    #[test]
+    fn distinct_count_per_group() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Integer(0), Value::Integer(5)],
+            vec![Value::Integer(0), Value::Integer(5)],
+            vec![Value::Integer(0), Value::Integer(6)],
+        ];
+        let chunk =
+            DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows).unwrap();
+        let src: OperatorBox = Box::new(ValuesOp::new(
+            vec![LogicalType::Integer, LogicalType::Integer],
+            vec![chunk],
+        ));
+        let groups = vec![Expr::column(0, LogicalType::Integer)];
+        let aggs = vec![AggExpr {
+            kind: AggKind::Count,
+            arg: Some(Expr::column(1, LogicalType::Integer)),
+            distinct: true,
+        }];
+        let mut op = HashAggregateOp::new(src, groups, aggs, None);
+        let out = drain_rows(&mut op).unwrap();
+        assert_eq!(out[0][1], Value::BigInt(2));
+    }
+
+    #[test]
+    fn grouped_count_values() {
+        // 100 rows over 3 groups: group 0 gets 34, groups 1/2 get 33.
+        let groups = vec![Expr::column(0, LogicalType::Integer)];
+        let aggs = vec![AggExpr { kind: AggKind::CountStar, arg: None, distinct: false }];
+        let mut op = HashAggregateOp::new(source(), groups, aggs, None);
+        let mut rows = drain_rows(&mut op).unwrap();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(rows[0][1], Value::BigInt(34));
+        assert_eq!(rows[1][1], Value::BigInt(33));
+        assert_eq!(rows[2][1], Value::BigInt(33));
+    }
+}

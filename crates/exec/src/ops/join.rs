@@ -1,0 +1,535 @@
+//! Hash join, nested-loop join and cross product.
+//!
+//! The hash join is the RAM-hungry/CPU-cheap end of §4's trade-off: the
+//! build side materializes into a [`ChunkCollection`] (optionally
+//! compressed under memory pressure, Figure 1) with an Fx-hashed bucket
+//! table on top. When the build side would blow the memory budget, the
+//! planner (or the cooperation policy at runtime) uses
+//! [`crate::ops::merge_join::MergeJoinOp`] instead.
+
+use crate::collection::ChunkCollection;
+use crate::expression::Expr;
+use crate::fxhash::{fxhash, FxHashMap};
+use crate::ops::{OperatorBox, PhysicalOperator};
+use eider_coop::compression::CompressionLevel;
+use eider_storage::buffer::BufferManager;
+use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, VECTOR_SIZE};
+use std::sync::Arc;
+
+/// Join flavours supported by the hash and nested-loop joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    /// All left rows; right columns NULL where unmatched.
+    Left,
+    /// Left rows with at least one match (EXISTS / IN).
+    Semi,
+    /// Left rows with no match (NOT EXISTS).
+    Anti,
+}
+
+impl JoinType {
+    fn emits_right_columns(self) -> bool {
+        matches!(self, JoinType::Inner | JoinType::Left)
+    }
+}
+
+/// Equi-join via an in-memory hash table on the right (build) side.
+pub struct HashJoinOp {
+    left: OperatorBox,
+    right: Option<OperatorBox>,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    join_type: JoinType,
+    build: Option<BuildSide>,
+    out_types: Vec<LogicalType>,
+    right_types: Vec<LogicalType>,
+    pending: Vec<DataChunk>,
+}
+
+struct BuildSide {
+    rows: ChunkCollection,
+    /// Key values per build row, parallel to (chunk, row) positions.
+    keys: Vec<Vec<Value>>,
+    positions: Vec<(u32, u32)>,
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+impl HashJoinOp {
+    pub fn new(
+        left: OperatorBox,
+        right: OperatorBox,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        join_type: JoinType,
+        compression: CompressionLevel,
+        buffers: Option<Arc<BufferManager>>,
+    ) -> Result<Self> {
+        assert_eq!(left_keys.len(), right_keys.len());
+        let right_types = right.output_types();
+        let mut out_types = left.output_types();
+        if join_type.emits_right_columns() {
+            out_types.extend(right_types.iter().copied());
+        }
+        let rows = match buffers {
+            Some(b) => ChunkCollection::with_accounting(compression, b)?,
+            None => ChunkCollection::new(compression),
+        };
+        Ok(HashJoinOp {
+            left,
+            right: Some(right),
+            left_keys,
+            right_keys,
+            join_type,
+            build: Some(BuildSide {
+                rows,
+                keys: Vec::new(),
+                positions: Vec::new(),
+                buckets: FxHashMap::default(),
+            }),
+            out_types,
+            right_types,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Pull the whole build side and hash it. Fails with `OutOfMemory`
+    /// when the collection exceeds the buffer-manager budget — the signal
+    /// that the cooperation policy should have chosen a merge join.
+    fn build_phase(&mut self) -> Result<()> {
+        let Some(mut right) = self.right.take() else {
+            return Ok(());
+        };
+        let build = self.build.as_mut().expect("build side present");
+        while let Some(chunk) = right.next_chunk()? {
+            if chunk.is_empty() {
+                continue;
+            }
+            let key_vectors = self
+                .right_keys
+                .iter()
+                .map(|k| k.evaluate(&chunk))
+                .collect::<Result<Vec<_>>>()?;
+            let chunk_idx = build.rows.chunk_count() as u32;
+            for row in 0..chunk.len() {
+                let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL keys never join
+                }
+                let h = fxhash(&key);
+                let idx = build.positions.len() as u32;
+                build.positions.push((chunk_idx, row as u32));
+                build.keys.push(key);
+                build.buckets.entry(h).or_default().push(idx);
+            }
+            build.rows.append(chunk)?;
+        }
+        Ok(())
+    }
+
+    fn probe_chunk(&mut self, chunk: &DataChunk) -> Result<Option<DataChunk>> {
+        let key_vectors = self
+            .left_keys
+            .iter()
+            .map(|k| k.evaluate(chunk))
+            .collect::<Result<Vec<_>>>()?;
+        let build = self.build.as_mut().expect("built");
+        let mut out = DataChunk::new(&self.out_types);
+        for row in 0..chunk.len() {
+            let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
+            let has_null_key = key.iter().any(Value::is_null);
+            let matches: Vec<u32> = if has_null_key {
+                Vec::new()
+            } else {
+                let h = fxhash(&key);
+                build
+                    .buckets
+                    .get(&h)
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&i| {
+                                let bk = &build.keys[i as usize];
+                                bk.iter().zip(&key).all(|(a, b)| {
+                                    a.sql_cmp(b) == Some(std::cmp::Ordering::Equal)
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            match self.join_type {
+                JoinType::Inner => {
+                    for &m in &matches {
+                        let (c, r) = build.positions[m as usize];
+                        let mut vals = chunk.row_values(row);
+                        vals.extend(build.rows.row(c as usize, r as usize)?);
+                        out.append_row(&vals)?;
+                    }
+                }
+                JoinType::Left => {
+                    if matches.is_empty() {
+                        let mut vals = chunk.row_values(row);
+                        vals.extend(self.right_types.iter().map(|_| Value::Null));
+                        out.append_row(&vals)?;
+                    } else {
+                        for &m in &matches {
+                            let (c, r) = build.positions[m as usize];
+                            let mut vals = chunk.row_values(row);
+                            vals.extend(build.rows.row(c as usize, r as usize)?);
+                            out.append_row(&vals)?;
+                        }
+                    }
+                }
+                JoinType::Semi => {
+                    if !matches.is_empty() {
+                        out.append_row(&chunk.row_values(row))?;
+                    }
+                }
+                JoinType::Anti => {
+                    if matches.is_empty() {
+                        out.append_row(&chunk.row_values(row))?;
+                    }
+                }
+            }
+            // Split oversized outputs (many-to-many joins can fan out).
+            if out.len() >= VECTOR_SIZE * 4 {
+                self.pending.push(out);
+                out = DataChunk::new(&self.out_types);
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+}
+
+impl PhysicalOperator for HashJoinOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.out_types.clone()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if self.right.is_some() {
+            self.build_phase()?;
+        }
+        loop {
+            if let Some(chunk) = self.pending.pop() {
+                return Ok(Some(chunk));
+            }
+            match self.left.next_chunk()? {
+                Some(chunk) => {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    if let Some(out) = self.probe_chunk(&chunk)? {
+                        return Ok(Some(out));
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Cross product (no predicate): every left row with every right row.
+/// The right side materializes in memory.
+pub struct CrossProductOp {
+    left: OperatorBox,
+    right: Option<OperatorBox>,
+    right_rows: Vec<Vec<Value>>,
+    out_types: Vec<LogicalType>,
+    current_left: Option<DataChunk>,
+    left_row: usize,
+    right_row: usize,
+}
+
+impl CrossProductOp {
+    pub fn new(left: OperatorBox, right: OperatorBox) -> Self {
+        let mut out_types = left.output_types();
+        out_types.extend(right.output_types());
+        CrossProductOp {
+            left,
+            right: Some(right),
+            right_rows: Vec::new(),
+            out_types,
+            current_left: None,
+            left_row: 0,
+            right_row: 0,
+        }
+    }
+}
+
+impl PhysicalOperator for CrossProductOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.out_types.clone()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if let Some(mut right) = self.right.take() {
+            while let Some(chunk) = right.next_chunk()? {
+                self.right_rows.extend(chunk.to_rows());
+            }
+        }
+        if self.right_rows.is_empty() {
+            return Ok(None);
+        }
+        let mut out = DataChunk::new(&self.out_types);
+        while out.len() < VECTOR_SIZE {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next_chunk()?;
+                self.left_row = 0;
+                self.right_row = 0;
+                if self.current_left.is_none() {
+                    break;
+                }
+            }
+            let left_chunk = self.current_left.as_ref().expect("present");
+            if self.left_row >= left_chunk.len() {
+                self.current_left = None;
+                continue;
+            }
+            let mut vals = left_chunk.row_values(self.left_row);
+            vals.extend(self.right_rows[self.right_row].iter().cloned());
+            out.append_row(&vals)?;
+            self.right_row += 1;
+            if self.right_row >= self.right_rows.len() {
+                self.right_row = 0;
+                self.left_row += 1;
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+}
+
+/// Join with an arbitrary predicate (inequality joins): block nested loop
+/// over a materialized right side. The predicate sees left columns first,
+/// then right columns.
+pub struct NestedLoopJoinOp {
+    cross: CrossProductOp,
+    predicate: Expr,
+    join_type: JoinType,
+    left_width: usize,
+    out_types: Vec<LogicalType>,
+}
+
+impl NestedLoopJoinOp {
+    pub fn new(left: OperatorBox, right: OperatorBox, predicate: Expr, join_type: JoinType) -> Result<Self> {
+        if join_type != JoinType::Inner {
+            return Err(EiderError::NotImplemented(
+                "nested-loop join currently supports INNER joins only".into(),
+            ));
+        }
+        let left_width = left.output_types().len();
+        let cross = CrossProductOp::new(left, right);
+        let out_types = cross.output_types();
+        Ok(NestedLoopJoinOp { cross, predicate, join_type, left_width, out_types })
+    }
+}
+
+impl PhysicalOperator for NestedLoopJoinOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        let _ = (self.join_type, self.left_width);
+        self.out_types.clone()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        while let Some(chunk) = self.cross.next_chunk()? {
+            let flags = self.predicate.evaluate(&chunk)?;
+            let sel = crate::expression::filter_selection(&flags)?;
+            if !sel.is_empty() {
+                return Ok(Some(chunk.select(&sel)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::basic::ValuesOp;
+    use crate::ops::drain_rows;
+    use eider_txn::CmpOp;
+
+    fn table(rows: Vec<Vec<Value>>, types: Vec<LogicalType>) -> OperatorBox {
+        let chunk = DataChunk::from_rows(&types, &rows).unwrap();
+        Box::new(ValuesOp::new(types, vec![chunk]))
+    }
+
+    fn left_side() -> OperatorBox {
+        table(
+            vec![
+                vec![Value::Integer(1), Value::Varchar("a".into())],
+                vec![Value::Integer(2), Value::Varchar("b".into())],
+                vec![Value::Integer(3), Value::Varchar("c".into())],
+                vec![Value::Null, Value::Varchar("n".into())],
+            ],
+            vec![LogicalType::Integer, LogicalType::Varchar],
+        )
+    }
+
+    fn right_side() -> OperatorBox {
+        table(
+            vec![
+                vec![Value::Integer(1), Value::Varchar("one".into())],
+                vec![Value::Integer(1), Value::Varchar("uno".into())],
+                vec![Value::Integer(3), Value::Varchar("three".into())],
+                vec![Value::Null, Value::Varchar("null".into())],
+            ],
+            vec![LogicalType::Integer, LogicalType::Varchar],
+        )
+    }
+
+    fn keys() -> (Vec<Expr>, Vec<Expr>) {
+        (
+            vec![Expr::column(0, LogicalType::Integer)],
+            vec![Expr::column(0, LogicalType::Integer)],
+        )
+    }
+
+    #[test]
+    fn inner_join_with_duplicates_and_nulls() {
+        let (lk, rk) = keys();
+        let mut op = HashJoinOp::new(
+            left_side(),
+            right_side(),
+            lk,
+            rk,
+            JoinType::Inner,
+            CompressionLevel::None,
+            None,
+        )
+        .unwrap();
+        let mut rows = drain_rows(&mut op).unwrap();
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        // key 1 matches twice, key 3 once; NULLs never join.
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn left_join_pads_unmatched_with_nulls() {
+        let (lk, rk) = keys();
+        let mut op = HashJoinOp::new(
+            left_side(),
+            right_side(),
+            lk,
+            rk,
+            JoinType::Left,
+            CompressionLevel::None,
+            None,
+        )
+        .unwrap();
+        let rows = drain_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), 5); // 2 for key 1, 1 for key 3, 1 null-padded key 2, 1 null-padded NULL
+        let unmatched: Vec<_> = rows.iter().filter(|r| r[2].is_null()).collect();
+        assert_eq!(unmatched.len(), 2);
+    }
+
+    #[test]
+    fn semi_and_anti_joins() {
+        let (lk, rk) = keys();
+        let mut semi = HashJoinOp::new(
+            left_side(),
+            right_side(),
+            lk.clone(),
+            rk.clone(),
+            JoinType::Semi,
+            CompressionLevel::None,
+            None,
+        )
+        .unwrap();
+        let rows = drain_rows(&mut semi).unwrap();
+        // keys 1 and 3 have matches; each left row appears once.
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.len() == 2));
+
+        let mut anti = HashJoinOp::new(
+            left_side(),
+            right_side(),
+            lk,
+            rk,
+            JoinType::Anti,
+            CompressionLevel::None,
+            None,
+        )
+        .unwrap();
+        let rows = drain_rows(&mut anti).unwrap();
+        // key 2 and the NULL-key row have no matches.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn join_with_compressed_build_side() {
+        let (lk, rk) = keys();
+        let mut op = HashJoinOp::new(
+            left_side(),
+            right_side(),
+            lk,
+            rk,
+            JoinType::Inner,
+            CompressionLevel::Heavy,
+            None,
+        )
+        .unwrap();
+        let rows = drain_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn cross_product_cardinality() {
+        let mut op = CrossProductOp::new(
+            table(vec![vec![Value::Integer(1)], vec![Value::Integer(2)]], vec![LogicalType::Integer]),
+            table(
+                vec![vec![Value::Integer(10)], vec![Value::Integer(20)], vec![Value::Integer(30)]],
+                vec![LogicalType::Integer],
+            ),
+        );
+        let rows = drain_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn nested_loop_inequality_join() {
+        let pred = Expr::Compare {
+            op: CmpOp::Lt,
+            left: Box::new(Expr::column(0, LogicalType::Integer)),
+            right: Box::new(Expr::column(1, LogicalType::Integer)),
+        };
+        let mut op = NestedLoopJoinOp::new(
+            table(vec![vec![Value::Integer(1)], vec![Value::Integer(25)]], vec![LogicalType::Integer]),
+            table(vec![vec![Value::Integer(10)], vec![Value::Integer(20)]], vec![LogicalType::Integer]),
+            pred,
+            JoinType::Inner,
+        )
+        .unwrap();
+        let rows = drain_rows(&mut op).unwrap();
+        // 1 < 10, 1 < 20; 25 matches nothing.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let (lk, rk) = keys();
+        let empty = table(vec![], vec![LogicalType::Integer, LogicalType::Varchar]);
+        let mut op = HashJoinOp::new(
+            left_side(),
+            empty,
+            lk,
+            rk,
+            JoinType::Inner,
+            CompressionLevel::None,
+            None,
+        )
+        .unwrap();
+        assert!(drain_rows(&mut op).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Resilience substrate for eider (§3 of the paper).
+//!
+//! Consumer hardware has no ECC RAM, no RAID and no administrator; the
+//! paper's position is that an embedded analytical DBMS must *distrust the
+//! hardware in every aspect*. This crate implements the detection machinery:
+//!
+//! * [`checksum`] — CRC-32C block checksums ("DuckDB computes and stores
+//!   check sums of all blocks in persistent storage and verifies this as
+//!   blocks are read").
+//! * [`ancode`] — AN-code hardening of in-memory integer data, after
+//!   Kolditz et al. (AHEAD, SIGMOD'18), the state of the art the paper
+//!   cites for detecting bit flips during query processing.
+//! * [`memtest`] — "moving inversions" memory tests (after MemTest86),
+//!   which the paper plans to integrate into the buffer manager.
+//! * [`fault`] — a deterministic fault injector and simulated faulty
+//!   memory, standing in for real hardware failures (see DESIGN.md,
+//!   substitutions table).
+//! * [`failure_model`] — the Monte-Carlo consumer-hardware failure model
+//!   that regenerates Table 1 (Nightingale et al. numbers).
+//! * [`health`] — a process-wide health monitor implementing the paper's
+//!   observation that "a system that has failed once is very likely to
+//!   fail again": after the first detected fault, checking escalates.
+
+pub mod ancode;
+pub mod checksum;
+pub mod failure_model;
+pub mod fault;
+pub mod health;
+pub mod memtest;
+
+pub use ancode::AnCodec;
+pub use checksum::{crc32c, Crc32c};
+pub use failure_model::{ComponentKind, FailureModel, FleetReport};
+pub use fault::{FaultInjector, SimulatedMemory};
+pub use health::{CheckingMode, HealthMonitor};
+pub use memtest::{MemTestKind, MemTestReport, MemoryTester};

@@ -1,0 +1,307 @@
+//! The abstract syntax tree produced by the parser.
+
+use eider_vector::Value;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    Select(SelectStatement),
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, AstExpr)>,
+        filter: Option<AstExpr>,
+    },
+    Delete {
+        table: String,
+        filter: Option<AstExpr>,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        if_not_exists: bool,
+        /// CREATE TABLE ... AS SELECT
+        as_select: Option<Box<SelectStatement>>,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    CreateView {
+        name: String,
+        sql: String,
+        or_replace: bool,
+    },
+    DropView {
+        name: String,
+        if_exists: bool,
+    },
+    Begin,
+    Commit,
+    Rollback,
+    Checkpoint,
+    Pragma {
+        name: String,
+        value: Option<AstExpr>,
+    },
+    Explain(Box<Statement>),
+    ShowTables,
+    CopyFrom {
+        table: String,
+        path: String,
+        options: CopyOptions,
+    },
+    CopyTo {
+        table: String,
+        path: String,
+        options: CopyOptions,
+    },
+}
+
+/// Options of COPY ... FROM/TO.
+#[derive(Debug, Clone)]
+pub struct CopyOptions {
+    pub header: bool,
+    pub delimiter: char,
+    pub null_string: String,
+}
+
+impl Default for CopyOptions {
+    fn default() -> Self {
+        CopyOptions { header: true, delimiter: ',', null_string: String::new() }
+    }
+}
+
+/// The source of an INSERT.
+#[derive(Debug, Clone)]
+pub enum InsertSource {
+    Values(Vec<Vec<AstExpr>>),
+    Select(Box<SelectStatement>),
+}
+
+/// One column of CREATE TABLE.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    pub name: String,
+    pub type_name: String,
+    pub not_null: bool,
+    pub default: Option<AstExpr>,
+}
+
+/// A SELECT statement (possibly with CTEs and UNIONs).
+#[derive(Debug, Clone)]
+pub struct SelectStatement {
+    pub ctes: Vec<(String, SelectStatement)>,
+    pub body: SelectBody,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<AstExpr>,
+    pub offset: Option<AstExpr>,
+}
+
+/// The set-operation structure of a SELECT.
+#[derive(Debug, Clone)]
+pub enum SelectBody {
+    Query(QueryBlock),
+    Union { left: Box<SelectBody>, right: Box<SelectBody>, all: bool },
+}
+
+/// One plain query block.
+#[derive(Debug, Clone)]
+pub struct QueryBlock {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub filter: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// expression with optional alias
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+/// A FROM-clause table reference.
+#[derive(Debug, Clone)]
+pub enum TableRef {
+    Named { name: String, alias: Option<String> },
+    Subquery { query: Box<SelectStatement>, alias: String },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<AstExpr>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone)]
+pub struct OrderItem {
+    pub expr: AstExpr,
+    pub descending: bool,
+    /// None = engine default (NULLS LAST asc / NULLS FIRST desc).
+    pub nulls_first: Option<bool>,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Concat,
+}
+
+/// A parse-level expression.
+#[derive(Debug, Clone)]
+pub enum AstExpr {
+    Literal(Value),
+    /// Possibly qualified column: `[table.]name`.
+    Column { table: Option<String>, name: String },
+    Binary { op: BinaryOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Unary { minus: bool, child: Box<AstExpr> },
+    Not(Box<AstExpr>),
+    IsNull { child: Box<AstExpr>, negated: bool },
+    Between { child: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
+    InList { child: Box<AstExpr>, list: Vec<AstExpr>, negated: bool },
+    InSubquery { child: Box<AstExpr>, query: Box<SelectStatement>, negated: bool },
+    Exists { query: Box<SelectStatement>, negated: bool },
+    Like { child: Box<AstExpr>, pattern: Box<AstExpr>, negated: bool },
+    Cast { child: Box<AstExpr>, type_name: String },
+    Case {
+        operand: Option<Box<AstExpr>>,
+        branches: Vec<(AstExpr, AstExpr)>,
+        else_expr: Option<Box<AstExpr>>,
+    },
+    /// Function call; `distinct` applies to aggregates, `star` to COUNT(*).
+    Function { name: String, args: Vec<AstExpr>, distinct: bool, star: bool },
+}
+
+impl AstExpr {
+    /// Canonical textual form for output column naming and GROUP BY
+    /// matching (normalized: lowercase identifiers, canonical spacing).
+    pub fn display_name(&self) -> String {
+        match self {
+            AstExpr::Literal(v) => v.to_string(),
+            AstExpr::Column { table: Some(t), name } => {
+                format!("{}.{}", t.to_lowercase(), name.to_lowercase())
+            }
+            AstExpr::Column { table: None, name } => name.to_lowercase(),
+            AstExpr::Binary { op, left, right } => {
+                let o = match op {
+                    BinaryOp::Add => "+",
+                    BinaryOp::Sub => "-",
+                    BinaryOp::Mul => "*",
+                    BinaryOp::Div => "/",
+                    BinaryOp::Mod => "%",
+                    BinaryOp::Eq => "=",
+                    BinaryOp::NotEq => "<>",
+                    BinaryOp::Lt => "<",
+                    BinaryOp::LtEq => "<=",
+                    BinaryOp::Gt => ">",
+                    BinaryOp::GtEq => ">=",
+                    BinaryOp::And => "AND",
+                    BinaryOp::Or => "OR",
+                    BinaryOp::Concat => "||",
+                };
+                format!("({} {} {})", left.display_name(), o, right.display_name())
+            }
+            AstExpr::Unary { minus, child } => {
+                format!("({}{})", if *minus { "-" } else { "+" }, child.display_name())
+            }
+            AstExpr::Not(c) => format!("(NOT {})", c.display_name()),
+            AstExpr::IsNull { child, negated } => format!(
+                "({} IS {}NULL)",
+                child.display_name(),
+                if *negated { "NOT " } else { "" }
+            ),
+            AstExpr::Between { child, low, high, negated } => format!(
+                "({} {}BETWEEN {} AND {})",
+                child.display_name(),
+                if *negated { "NOT " } else { "" },
+                low.display_name(),
+                high.display_name()
+            ),
+            AstExpr::InList { child, negated, .. } => {
+                format!("({} {}IN (...))", child.display_name(), if *negated { "NOT " } else { "" })
+            }
+            AstExpr::InSubquery { child, negated, .. } => {
+                format!("({} {}IN (subquery))", child.display_name(), if *negated { "NOT " } else { "" })
+            }
+            AstExpr::Exists { negated, .. } => {
+                format!("({}EXISTS(subquery))", if *negated { "NOT " } else { "" })
+            }
+            AstExpr::Like { child, pattern, negated } => format!(
+                "({} {}LIKE {})",
+                child.display_name(),
+                if *negated { "NOT " } else { "" },
+                pattern.display_name()
+            ),
+            AstExpr::Cast { child, type_name } => {
+                format!("CAST({} AS {})", child.display_name(), type_name.to_uppercase())
+            }
+            AstExpr::Case { .. } => "CASE".to_string(),
+            AstExpr::Function { name, args, distinct, star } => {
+                if *star {
+                    format!("{}(*)", name.to_lowercase())
+                } else {
+                    format!(
+                        "{}({}{})",
+                        name.to_lowercase(),
+                        if *distinct { "DISTINCT " } else { "" },
+                        args.iter().map(AstExpr::display_name).collect::<Vec<_>>().join(", ")
+                    )
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        let e = AstExpr::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(AstExpr::Column { table: Some("T".into()), name: "X".into() }),
+            right: Box::new(AstExpr::Literal(Value::Integer(1))),
+        };
+        assert_eq!(e.display_name(), "(t.x + 1)");
+        let f = AstExpr::Function {
+            name: "SUM".into(),
+            args: vec![AstExpr::Column { table: None, name: "v".into() }],
+            distinct: true,
+            star: false,
+        };
+        assert_eq!(f.display_name(), "sum(DISTINCT v)");
+    }
+}

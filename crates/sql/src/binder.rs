@@ -1,0 +1,1610 @@
+//! The binder: resolves names against the catalog, types every expression,
+//! and produces bound [`LogicalPlan`]s.
+
+use crate::ast::*;
+use crate::plan::{CsvOptions, LogicalPlan};
+use eider_catalog::{Catalog, ColumnDefinition, TableEntry};
+use eider_exec::expression::{ArithOp, Expr, ScalarFunc};
+use eider_exec::aggregate::AggKind;
+use eider_exec::ops::agg::AggExpr;
+use eider_exec::ops::join::JoinType;
+use eider_exec::ops::sort::SortKey;
+use eider_vector::{EiderError, LogicalType, Result, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One visible column during binding.
+#[derive(Debug, Clone)]
+struct BoundColumn {
+    qualifier: Option<String>,
+    name: String,
+    ty: LogicalType,
+}
+
+/// The set of columns an expression may reference.
+#[derive(Debug, Clone, Default)]
+struct BindContext {
+    columns: Vec<BoundColumn>,
+}
+
+impl BindContext {
+    fn push(&mut self, qualifier: Option<&str>, name: &str, ty: LogicalType) {
+        self.columns.push(BoundColumn {
+            qualifier: qualifier.map(|s| s.to_ascii_lowercase()),
+            name: name.to_ascii_lowercase(),
+            ty,
+        });
+    }
+
+    fn concat(mut self, other: BindContext) -> BindContext {
+        self.columns.extend(other.columns);
+        self
+    }
+
+    fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<(usize, LogicalType)> {
+        let name_l = name.to_ascii_lowercase();
+        let table_l = table.map(|s| s.to_ascii_lowercase());
+        let mut found: Option<(usize, LogicalType)> = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.name != name_l {
+                continue;
+            }
+            if let Some(t) = &table_l {
+                if c.qualifier.as_deref() != Some(t.as_str()) {
+                    continue;
+                }
+            }
+            if found.is_some() {
+                return Err(EiderError::Bind(format!(
+                    "column reference \"{name}\" is ambiguous"
+                )));
+            }
+            found = Some((i, c.ty));
+        }
+        found.ok_or_else(|| {
+            EiderError::Bind(match table {
+                Some(t) => format!("column \"{t}.{name}\" not found"),
+                None => format!("column \"{name}\" not found"),
+            })
+        })
+    }
+}
+
+/// Aggregate-binding environment for SELECT/HAVING/ORDER BY of a grouped
+/// query: group expressions become columns 0..G, aggregates G..G+A.
+struct AggEnv<'a> {
+    from_ctx: &'a BindContext,
+    group_displays: Vec<String>,
+    group_types: Vec<LogicalType>,
+    aggs: Vec<(AggExpr, String)>,
+}
+
+pub struct Binder {
+    catalog: Arc<Catalog>,
+    /// CTE scopes, innermost last.
+    cte_stack: Vec<HashMap<String, SelectStatement>>,
+    depth: usize,
+}
+
+impl Binder {
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Binder { catalog, cte_stack: Vec::new(), depth: 0 }
+    }
+
+    pub fn bind_statement(&mut self, stmt: &Statement) -> Result<LogicalPlan> {
+        match stmt {
+            Statement::Select(sel) => {
+                let (plan, _) = self.bind_select(sel)?;
+                Ok(plan)
+            }
+            Statement::Insert { table, columns, source } => {
+                self.bind_insert(table, columns.as_deref(), source)
+            }
+            Statement::Update { table, assignments, filter } => {
+                self.bind_update(table, assignments, filter.as_ref())
+            }
+            Statement::Delete { table, filter } => self.bind_delete(table, filter.as_ref()),
+            Statement::CreateTable { name, columns, if_not_exists, as_select } => {
+                let mut defs = Vec::with_capacity(columns.len());
+                for c in columns {
+                    let ty = LogicalType::parse_sql_name(&c.type_name)?;
+                    let default = match &c.default {
+                        Some(e) => {
+                            let bound = self.bind_scalar(e, &BindContext::default())?;
+                            Some(bound.evaluate_row(&[])?.cast_to(ty)?)
+                        }
+                        None => None,
+                    };
+                    let mut def = ColumnDefinition::new(c.name.clone(), ty);
+                    def.not_null = c.not_null;
+                    def.default = default;
+                    defs.push(def);
+                }
+                let as_plan = match as_select {
+                    Some(sel) => {
+                        let (plan, _) = self.bind_select(sel)?;
+                        Some(Box::new(plan))
+                    }
+                    None => None,
+                };
+                if defs.is_empty() && as_plan.is_none() {
+                    return Err(EiderError::Bind(format!(
+                        "CREATE TABLE {name} requires columns or AS SELECT"
+                    )));
+                }
+                Ok(LogicalPlan::CreateTable {
+                    name: name.clone(),
+                    columns: defs,
+                    if_not_exists: *if_not_exists,
+                    as_select: as_plan,
+                })
+            }
+            Statement::DropTable { name, if_exists } => {
+                Ok(LogicalPlan::DropTable { name: name.clone(), if_exists: *if_exists })
+            }
+            Statement::CreateView { name, sql, or_replace } => {
+                // Validate the view body binds today.
+                let stmts = crate::parser::parse_statements(sql)?;
+                match stmts.first() {
+                    Some(Statement::Select(sel)) => {
+                        self.bind_select(sel)?;
+                    }
+                    _ => return Err(EiderError::Bind("view body must be a SELECT".into())),
+                }
+                Ok(LogicalPlan::CreateView {
+                    name: name.clone(),
+                    sql: sql.clone(),
+                    or_replace: *or_replace,
+                })
+            }
+            Statement::DropView { name, if_exists } => {
+                Ok(LogicalPlan::DropView { name: name.clone(), if_exists: *if_exists })
+            }
+            Statement::Begin => Ok(LogicalPlan::Begin),
+            Statement::Commit => Ok(LogicalPlan::Commit),
+            Statement::Rollback => Ok(LogicalPlan::Rollback),
+            Statement::Checkpoint => Ok(LogicalPlan::Checkpoint),
+            Statement::Pragma { name, value } => {
+                let v = match value {
+                    Some(e) => {
+                        Some(self.bind_scalar(e, &BindContext::default())?.evaluate_row(&[])?)
+                    }
+                    None => None,
+                };
+                Ok(LogicalPlan::Pragma { name: name.to_ascii_lowercase(), value: v })
+            }
+            Statement::Explain(inner) => {
+                let plan = self.bind_statement(inner)?;
+                Ok(LogicalPlan::Explain { input: Box::new(plan) })
+            }
+            Statement::ShowTables => Ok(LogicalPlan::ShowTables),
+            Statement::CopyFrom { table, path, options } => {
+                let entry = self.catalog.get_table(table)?;
+                Ok(LogicalPlan::CopyFrom {
+                    entry,
+                    path: path.clone(),
+                    options: CsvOptions {
+                        header: options.header,
+                        delimiter: options.delimiter,
+                        null_string: options.null_string.clone(),
+                    },
+                })
+            }
+            Statement::CopyTo { table, path, options } => {
+                let entry = self.catalog.get_table(table)?;
+                let scan = self.scan_all(&entry, false);
+                Ok(LogicalPlan::CopyTo {
+                    input: Box::new(scan),
+                    path: path.clone(),
+                    options: CsvOptions {
+                        header: options.header,
+                        delimiter: options.delimiter,
+                        null_string: options.null_string.clone(),
+                    },
+                })
+            }
+        }
+    }
+
+    fn scan_all(&self, entry: &Arc<TableEntry>, emit_row_ids: bool) -> LogicalPlan {
+        let mut names = entry.column_names();
+        let mut types = entry.column_types();
+        if emit_row_ids {
+            names.push("__rowid".into());
+            types.push(LogicalType::BigInt);
+        }
+        LogicalPlan::TableScan {
+            entry: Arc::clone(entry),
+            column_ids: (0..entry.columns.len()).collect(),
+            filters: Vec::new(),
+            emit_row_ids,
+            names,
+            types,
+        }
+    }
+
+    // ---------------- SELECT ----------------
+
+    /// Bind a SELECT; returns the plan and its output context.
+    fn bind_select(&mut self, stmt: &SelectStatement) -> Result<(LogicalPlan, BindContext)> {
+        self.depth += 1;
+        if self.depth > 64 {
+            self.depth -= 1;
+            return Err(EiderError::Bind("query nesting too deep".into()));
+        }
+        let mut scope = HashMap::new();
+        for (name, query) in &stmt.ctes {
+            scope.insert(name.to_ascii_lowercase(), query.clone());
+        }
+        self.cte_stack.push(scope);
+        let result = self.bind_select_inner(stmt);
+        self.cte_stack.pop();
+        self.depth -= 1;
+        result
+    }
+
+    fn bind_select_inner(&mut self, stmt: &SelectStatement) -> Result<(LogicalPlan, BindContext)> {
+        let (mut plan, out_ctx) = self.bind_body(&stmt.body)?;
+        // ORDER BY binds against the output columns (ordinal, name, or an
+        // expression over output columns).
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for item in &stmt.order_by {
+                let expr = self.bind_order_expr(&item.expr, &out_ctx)?;
+                let nulls_first = item.nulls_first.unwrap_or(item.descending);
+                keys.push(SortKey { expr, descending: item.descending, nulls_first });
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+        if stmt.limit.is_some() || stmt.offset.is_some() {
+            let eval_const = |b: &mut Binder, e: &Option<AstExpr>, what: &str| -> Result<usize> {
+                match e {
+                    None => Ok(if what == "LIMIT" { usize::MAX } else { 0 }),
+                    Some(e) => {
+                        let v = b.bind_scalar(e, &BindContext::default())?.evaluate_row(&[])?;
+                        v.as_i64()
+                            .filter(|&x| x >= 0)
+                            .map(|x| x as usize)
+                            .ok_or_else(|| {
+                                EiderError::Bind(format!("{what} must be a non-negative integer"))
+                            })
+                    }
+                }
+            };
+            let limit = eval_const(self, &stmt.limit, "LIMIT")?;
+            let offset = eval_const(self, &stmt.offset, "OFFSET")?;
+            plan = LogicalPlan::Limit { input: Box::new(plan), limit, offset };
+        }
+        Ok((plan, out_ctx))
+    }
+
+    fn bind_order_expr(&mut self, ast: &AstExpr, out_ctx: &BindContext) -> Result<Expr> {
+        // Ordinal?
+        if let AstExpr::Literal(Value::Integer(i)) = ast {
+            let idx = *i as isize - 1;
+            if idx < 0 || idx as usize >= out_ctx.len() {
+                return Err(EiderError::Bind(format!("ORDER BY ordinal {i} out of range")));
+            }
+            let c = &out_ctx.columns[idx as usize];
+            return Ok(Expr::column(idx as usize, c.ty));
+        }
+        // Display-name match (covers aliases and aggregate expressions).
+        let display = ast.display_name();
+        for (i, c) in out_ctx.columns.iter().enumerate() {
+            if c.name == display.to_ascii_lowercase() {
+                return Ok(Expr::column(i, c.ty));
+            }
+        }
+        // Otherwise bind as an expression over the output columns.
+        self.bind_scalar(ast, out_ctx).map_err(|e| {
+            EiderError::Bind(format!(
+                "ORDER BY expression must reference output columns \
+                 (add it to the SELECT list): {e}"
+            ))
+        })
+    }
+
+    fn bind_body(&mut self, body: &SelectBody) -> Result<(LogicalPlan, BindContext)> {
+        match body {
+            SelectBody::Query(block) => self.bind_query_block(block),
+            SelectBody::Union { left, right, all } => {
+                let (lplan, lctx) = self.bind_body(left)?;
+                let (rplan, rctx) = self.bind_body(right)?;
+                if lctx.len() != rctx.len() {
+                    return Err(EiderError::Bind(format!(
+                        "UNION inputs have {} vs {} columns",
+                        lctx.len(),
+                        rctx.len()
+                    )));
+                }
+                // Cast the right side to the left side's types if needed.
+                let needs_cast = lctx
+                    .columns
+                    .iter()
+                    .zip(&rctx.columns)
+                    .any(|(l, r)| l.ty != r.ty);
+                let rplan = if needs_cast {
+                    let exprs: Vec<Expr> = lctx
+                        .columns
+                        .iter()
+                        .zip(&rctx.columns)
+                        .enumerate()
+                        .map(|(i, (l, r))| {
+                            if l.ty == r.ty {
+                                Expr::column(i, r.ty)
+                            } else {
+                                Expr::Cast { child: Box::new(Expr::column(i, r.ty)), to: l.ty }
+                            }
+                        })
+                        .collect();
+                    let names = rctx.columns.iter().map(|c| c.name.clone()).collect();
+                    LogicalPlan::Projection { input: Box::new(rplan), exprs, names }
+                } else {
+                    rplan
+                };
+                let mut plan =
+                    LogicalPlan::Union { left: Box::new(lplan), right: Box::new(rplan) };
+                if !*all {
+                    plan = LogicalPlan::Distinct { input: Box::new(plan) };
+                }
+                Ok((plan, lctx))
+            }
+        }
+    }
+
+    fn bind_query_block(&mut self, block: &QueryBlock) -> Result<(LogicalPlan, BindContext)> {
+        // 1. FROM
+        let (mut plan, ctx) = match &block.from {
+            Some(tref) => self.bind_table_ref(tref)?,
+            None => (LogicalPlan::SingleRow, BindContext::default()),
+        };
+        // 2. WHERE (with IN (SELECT) / EXISTS decorrelation to semi/anti
+        //    joins)
+        if let Some(filter) = &block.filter {
+            let mut plain = Vec::new();
+            for conjunct in split_ast_conjuncts(filter) {
+                match conjunct {
+                    AstExpr::InSubquery { child, query, negated } => {
+                        let key = self.bind_scalar(child, &ctx)?;
+                        let (sub, sub_ctx) = self.bind_select(query)?;
+                        if sub_ctx.len() != 1 {
+                            return Err(EiderError::Bind(
+                                "IN (SELECT ...) requires exactly one output column".into(),
+                            ));
+                        }
+                        let rkey = Expr::column(0, sub_ctx.columns[0].ty);
+                        let (lk, rk) = coerce_pair(key, rkey)?;
+                        plan = LogicalPlan::Join {
+                            left: Box::new(plan),
+                            right: Box::new(sub),
+                            join_type: if *negated { JoinType::Anti } else { JoinType::Semi },
+                            left_keys: vec![lk],
+                            right_keys: vec![rk],
+                        };
+                    }
+                    AstExpr::Exists { query, negated } => {
+                        let (sub, _) = self.bind_select(query)?;
+                        // Constant keys: every probe row matches iff the
+                        // subquery is non-empty.
+                        let one = Expr::constant(Value::Integer(1));
+                        let sub = LogicalPlan::Projection {
+                            input: Box::new(sub),
+                            exprs: vec![one.clone()],
+                            names: vec!["one".into()],
+                        };
+                        plan = LogicalPlan::Join {
+                            left: Box::new(plan),
+                            right: Box::new(sub),
+                            join_type: if *negated { JoinType::Anti } else { JoinType::Semi },
+                            left_keys: vec![one.clone()],
+                            right_keys: vec![one],
+                        };
+                    }
+                    other => plain.push(other.clone()),
+                }
+            }
+            if !plain.is_empty() {
+                let bound: Vec<Expr> =
+                    plain.iter().map(|c| self.bind_boolean(c, &ctx)).collect::<Result<_>>()?;
+                let predicate =
+                    if bound.len() == 1 { bound.into_iter().next().expect("one") } else { Expr::And(bound) };
+                plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+            }
+        }
+        // 3. Aggregation?
+        let has_aggs = !block.group_by.is_empty()
+            || block.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+                _ => false,
+            })
+            || block.having.as_ref().is_some_and(contains_aggregate);
+        let (mut plan, out_ctx) = if has_aggs {
+            self.bind_aggregate_block(block, plan, &ctx)?
+        } else {
+            if block.having.is_some() {
+                return Err(EiderError::Bind(
+                    "HAVING requires GROUP BY or aggregate functions".into(),
+                ));
+            }
+            // Plain projection.
+            let mut exprs = Vec::new();
+            let mut names = Vec::new();
+            for item in &block.projection {
+                match item {
+                    SelectItem::Wildcard => {
+                        for (i, c) in ctx.columns.iter().enumerate() {
+                            exprs.push(Expr::column(i, c.ty));
+                            names.push(c.name.clone());
+                        }
+                    }
+                    SelectItem::QualifiedWildcard(t) => {
+                        let tl = t.to_ascii_lowercase();
+                        let before = exprs.len();
+                        for (i, c) in ctx.columns.iter().enumerate() {
+                            if c.qualifier.as_deref() == Some(tl.as_str()) {
+                                exprs.push(Expr::column(i, c.ty));
+                                names.push(c.name.clone());
+                            }
+                        }
+                        if exprs.len() == before {
+                            return Err(EiderError::Bind(format!("unknown table \"{t}\" in {t}.*")));
+                        }
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        exprs.push(self.bind_scalar(expr, &ctx)?);
+                        names.push(
+                            alias.clone().unwrap_or_else(|| expr.display_name()).to_ascii_lowercase(),
+                        );
+                    }
+                }
+            }
+            let mut out_ctx = BindContext::default();
+            for (e, n) in exprs.iter().zip(&names) {
+                out_ctx.push(None, n, e.result_type());
+            }
+            (
+                LogicalPlan::Projection { input: Box::new(plan), exprs, names },
+                out_ctx,
+            )
+        };
+        // 4. DISTINCT
+        if block.distinct {
+            plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        }
+        Ok((plan, out_ctx))
+    }
+
+    fn bind_aggregate_block(
+        &mut self,
+        block: &QueryBlock,
+        input: LogicalPlan,
+        ctx: &BindContext,
+    ) -> Result<(LogicalPlan, BindContext)> {
+        // Resolve GROUP BY items (ordinals and select-alias references).
+        let mut group_asts: Vec<AstExpr> = Vec::with_capacity(block.group_by.len());
+        for g in &block.group_by {
+            let resolved = match g {
+                AstExpr::Literal(Value::Integer(i)) => {
+                    let idx = *i as isize - 1;
+                    let item = block.projection.get(idx.max(0) as usize).ok_or_else(|| {
+                        EiderError::Bind(format!("GROUP BY ordinal {i} out of range"))
+                    })?;
+                    match item {
+                        SelectItem::Expr { expr, .. } => expr.clone(),
+                        _ => {
+                            return Err(EiderError::Bind(
+                                "GROUP BY ordinal cannot reference *".into(),
+                            ))
+                        }
+                    }
+                }
+                AstExpr::Column { table: None, name } => {
+                    // Prefer an identically named select alias.
+                    let alias_match = block.projection.iter().find_map(|item| match item {
+                        SelectItem::Expr { expr, alias: Some(a) }
+                            if a.eq_ignore_ascii_case(name) =>
+                        {
+                            Some(expr.clone())
+                        }
+                        _ => None,
+                    });
+                    alias_match.unwrap_or_else(|| g.clone())
+                }
+                other => other.clone(),
+            };
+            group_asts.push(resolved);
+        }
+        let mut env = AggEnv {
+            from_ctx: ctx,
+            group_displays: group_asts.iter().map(AstExpr::display_name).collect(),
+            group_types: Vec::new(),
+            aggs: Vec::new(),
+        };
+        let groups: Vec<Expr> =
+            group_asts.iter().map(|g| self.bind_scalar(g, ctx)).collect::<Result<_>>()?;
+        env.group_types = groups.iter().map(Expr::result_type).collect();
+
+        // Bind select items and HAVING in the aggregate environment.
+        let mut proj_exprs = Vec::new();
+        let mut proj_names = Vec::new();
+        for item in &block.projection {
+            match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    return Err(EiderError::Bind(
+                        "* is not allowed in an aggregated SELECT".into(),
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_agg_scalar(expr, &mut env)?;
+                    proj_exprs.push(bound);
+                    proj_names.push(
+                        alias.clone().unwrap_or_else(|| expr.display_name()).to_ascii_lowercase(),
+                    );
+                }
+            }
+        }
+        let having = match &block.having {
+            Some(h) => Some(self.bind_agg_scalar(h, &mut env)?),
+            None => None,
+        };
+
+        // Aggregate node output: groups then aggs.
+        let mut agg_names: Vec<String> =
+            env.group_displays.iter().map(|d| d.to_ascii_lowercase()).collect();
+        agg_names.extend(env.aggs.iter().map(|(_, d)| d.to_ascii_lowercase()));
+        let aggs: Vec<AggExpr> = env.aggs.iter().map(|(a, _)| a.clone()).collect();
+        let mut plan = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            groups,
+            aggs,
+            names: agg_names,
+        };
+        if let Some(h) = having {
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: h };
+        }
+        let mut out_ctx = BindContext::default();
+        for (e, n) in proj_exprs.iter().zip(&proj_names) {
+            out_ctx.push(None, n, e.result_type());
+        }
+        let plan = LogicalPlan::Projection {
+            input: Box::new(plan),
+            exprs: proj_exprs,
+            names: proj_names,
+        };
+        Ok((plan, out_ctx))
+    }
+
+    fn bind_table_ref(&mut self, tref: &TableRef) -> Result<(LogicalPlan, BindContext)> {
+        match tref {
+            TableRef::Named { name, alias } => {
+                let qualifier = alias.as_deref().unwrap_or(name).to_string();
+                // CTEs shadow views shadow tables.
+                let cte = self
+                    .cte_stack
+                    .iter()
+                    .rev()
+                    .find_map(|scope| scope.get(&name.to_ascii_lowercase()).cloned());
+                if let Some(query) = cte {
+                    let (plan, sub_ctx) = self.bind_select(&query)?;
+                    let mut ctx = BindContext::default();
+                    for c in &sub_ctx.columns {
+                        ctx.push(Some(&qualifier), &c.name, c.ty);
+                    }
+                    return Ok((plan, ctx));
+                }
+                if let Some(view) = self.catalog.get_view(name) {
+                    let stmts = crate::parser::parse_statements(&view.sql)?;
+                    let Some(Statement::Select(sel)) = stmts.first() else {
+                        return Err(EiderError::Bind(format!("view {name} body is not a SELECT")));
+                    };
+                    let (plan, sub_ctx) = self.bind_select(sel)?;
+                    let mut ctx = BindContext::default();
+                    for c in &sub_ctx.columns {
+                        ctx.push(Some(&qualifier), &c.name, c.ty);
+                    }
+                    return Ok((plan, ctx));
+                }
+                let entry = self.catalog.get_table(name)?;
+                let mut ctx = BindContext::default();
+                for c in &entry.columns {
+                    ctx.push(Some(&qualifier), &c.name, c.ty);
+                }
+                Ok((self.scan_all(&entry, false), ctx))
+            }
+            TableRef::Subquery { query, alias } => {
+                let (plan, sub_ctx) = self.bind_select(query)?;
+                let mut ctx = BindContext::default();
+                for c in &sub_ctx.columns {
+                    ctx.push(Some(alias), &c.name, c.ty);
+                }
+                Ok((plan, ctx))
+            }
+            TableRef::Join { left, right, kind, on } => {
+                let (lplan, lctx) = self.bind_table_ref(left)?;
+                let (rplan, rctx) = self.bind_table_ref(right)?;
+                let left_len = lctx.len();
+                let combined = lctx.concat(rctx);
+                match kind {
+                    JoinKind::Cross => Ok((
+                        LogicalPlan::CrossJoin { left: Box::new(lplan), right: Box::new(rplan) },
+                        combined,
+                    )),
+                    JoinKind::Inner | JoinKind::Left => {
+                        let on_ast = on.as_ref().ok_or_else(|| {
+                            EiderError::Bind("JOIN requires an ON condition".into())
+                        })?;
+                        let mut equi: Vec<(Expr, Expr)> = Vec::new();
+                        let mut residual: Vec<Expr> = Vec::new();
+                        for conj in split_ast_conjuncts(on_ast) {
+                            let bound = self.bind_boolean(conj, &combined)?;
+                            match extract_equi_pair(&bound, left_len) {
+                                Some((l, r)) => equi.push(coerce_pair(l, r)?),
+                                None => residual.push(bound),
+                            }
+                        }
+                        let join_type = if *kind == JoinKind::Left {
+                            JoinType::Left
+                        } else {
+                            JoinType::Inner
+                        };
+                        if equi.is_empty() {
+                            if join_type == JoinType::Left {
+                                return Err(EiderError::NotImplemented(
+                                    "LEFT JOIN requires at least one equality condition".into(),
+                                ));
+                            }
+                            let predicate = if residual.len() == 1 {
+                                residual.into_iter().next().expect("one")
+                            } else {
+                                Expr::And(residual)
+                            };
+                            return Ok((
+                                LogicalPlan::NestedLoopJoin {
+                                    left: Box::new(lplan),
+                                    right: Box::new(rplan),
+                                    predicate,
+                                },
+                                combined,
+                            ));
+                        }
+                        if join_type == JoinType::Left && !residual.is_empty() {
+                            return Err(EiderError::NotImplemented(
+                                "LEFT JOIN with non-equality residual conditions".into(),
+                            ));
+                        }
+                        let (lk, rk): (Vec<Expr>, Vec<Expr>) = equi.into_iter().unzip();
+                        let mut plan = LogicalPlan::Join {
+                            left: Box::new(lplan),
+                            right: Box::new(rplan),
+                            join_type,
+                            left_keys: lk,
+                            right_keys: rk,
+                        };
+                        if !residual.is_empty() {
+                            let predicate = if residual.len() == 1 {
+                                residual.into_iter().next().expect("one")
+                            } else {
+                                Expr::And(residual)
+                            };
+                            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+                        }
+                        Ok((plan, combined))
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------- INSERT / UPDATE / DELETE ----------------
+
+    fn bind_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> Result<LogicalPlan> {
+        let entry = self.catalog.get_table(table)?;
+        let provided: Vec<usize> = match columns {
+            Some(cols) => {
+                let mut idxs = Vec::with_capacity(cols.len());
+                for c in cols {
+                    let idx = entry.column_index(c).ok_or_else(|| {
+                        EiderError::Bind(format!("table {table} has no column \"{c}\""))
+                    })?;
+                    if idxs.contains(&idx) {
+                        return Err(EiderError::Bind(format!("duplicate column \"{c}\"")));
+                    }
+                    idxs.push(idx);
+                }
+                idxs
+            }
+            None => (0..entry.columns.len()).collect(),
+        };
+        let (source_plan, arity) = match source {
+            InsertSource::Values(rows) => {
+                let empty = BindContext::default();
+                let mut bound_rows = Vec::with_capacity(rows.len());
+                let arity = rows.first().map_or(0, Vec::len);
+                for row in rows {
+                    if row.len() != arity {
+                        return Err(EiderError::Bind(
+                            "VALUES rows must all have the same number of expressions".into(),
+                        ));
+                    }
+                    let bound: Vec<Expr> =
+                        row.iter().map(|e| self.bind_scalar(e, &empty)).collect::<Result<_>>()?;
+                    bound_rows.push(bound);
+                }
+                // Column types: target column types (casts happen on insert).
+                let types: Vec<LogicalType> =
+                    provided.iter().map(|&i| entry.columns[i].ty).collect();
+                let names: Vec<String> =
+                    provided.iter().map(|&i| entry.columns[i].name.clone()).collect();
+                if arity != provided.len() {
+                    return Err(EiderError::Bind(format!(
+                        "INSERT expects {} values per row, got {arity}",
+                        provided.len()
+                    )));
+                }
+                (LogicalPlan::Values { rows: bound_rows, types, names }, arity)
+            }
+            InsertSource::Select(sel) => {
+                let (plan, ctx) = self.bind_select(sel)?;
+                (plan, ctx.len())
+            }
+        };
+        if arity != provided.len() {
+            return Err(EiderError::Bind(format!(
+                "INSERT column count mismatch: target expects {}, source provides {arity}",
+                provided.len()
+            )));
+        }
+        // Rearrange the source into full table width with defaults.
+        let src_types = source_plan.output_types();
+        let exprs: Vec<Expr> = entry
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(table_idx, def)| match provided.iter().position(|&p| p == table_idx) {
+                Some(src_pos) => {
+                    let e = Expr::column(src_pos, src_types[src_pos]);
+                    if src_types[src_pos] == def.ty {
+                        e
+                    } else {
+                        Expr::Cast { child: Box::new(e), to: def.ty }
+                    }
+                }
+                None => {
+                    let v = def.default.clone().unwrap_or(Value::Null);
+                    Expr::Cast { child: Box::new(Expr::constant(v)), to: def.ty }
+                }
+            })
+            .collect();
+        let names = entry.column_names();
+        let projected =
+            LogicalPlan::Projection { input: Box::new(source_plan), exprs, names };
+        Ok(LogicalPlan::Insert { entry, input: Box::new(projected) })
+    }
+
+    fn table_ctx(entry: &TableEntry) -> BindContext {
+        let mut ctx = BindContext::default();
+        for c in &entry.columns {
+            ctx.push(Some(&entry.name), &c.name, c.ty);
+        }
+        ctx
+    }
+
+    fn bind_update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, AstExpr)],
+        filter: Option<&AstExpr>,
+    ) -> Result<LogicalPlan> {
+        let entry = self.catalog.get_table(table)?;
+        let ctx = Self::table_ctx(&entry);
+        let mut plan = self.scan_all(&entry, true);
+        if let Some(f) = filter {
+            if ast_contains_subquery(f) {
+                return Err(EiderError::NotImplemented(
+                    "subqueries in UPDATE/DELETE WHERE clauses".into(),
+                ));
+            }
+            let predicate = self.bind_boolean(f, &ctx)?;
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+        let mut columns = Vec::with_capacity(assignments.len());
+        let mut exprs = Vec::with_capacity(assignments.len() + 1);
+        let mut names = Vec::with_capacity(assignments.len() + 1);
+        for (name, value) in assignments {
+            let idx = entry.column_index(name).ok_or_else(|| {
+                EiderError::Bind(format!("table {table} has no column \"{name}\""))
+            })?;
+            if columns.contains(&idx) {
+                return Err(EiderError::Bind(format!("column \"{name}\" assigned twice")));
+            }
+            columns.push(idx);
+            let bound = self.bind_scalar(value, &ctx)?;
+            let ty = entry.columns[idx].ty;
+            let bound = if bound.result_type() == ty {
+                bound
+            } else {
+                Expr::Cast { child: Box::new(bound), to: ty }
+            };
+            exprs.push(bound);
+            names.push(name.clone());
+        }
+        // Trailing row id.
+        exprs.push(Expr::column(entry.columns.len(), LogicalType::BigInt));
+        names.push("__rowid".into());
+        let projected = LogicalPlan::Projection { input: Box::new(plan), exprs, names };
+        Ok(LogicalPlan::Update { entry, input: Box::new(projected), columns })
+    }
+
+    fn bind_delete(&mut self, table: &str, filter: Option<&AstExpr>) -> Result<LogicalPlan> {
+        let entry = self.catalog.get_table(table)?;
+        let ctx = Self::table_ctx(&entry);
+        let mut plan = self.scan_all(&entry, true);
+        if let Some(f) = filter {
+            if ast_contains_subquery(f) {
+                return Err(EiderError::NotImplemented(
+                    "subqueries in UPDATE/DELETE WHERE clauses".into(),
+                ));
+            }
+            let predicate = self.bind_boolean(f, &ctx)?;
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+        let exprs = vec![Expr::column(entry.columns.len(), LogicalType::BigInt)];
+        let projected = LogicalPlan::Projection {
+            input: Box::new(plan),
+            exprs,
+            names: vec!["__rowid".into()],
+        };
+        Ok(LogicalPlan::Delete { entry, input: Box::new(projected) })
+    }
+
+    // ---------------- expressions ----------------
+
+    /// Bind an expression that must be boolean (WHERE/ON/HAVING).
+    fn bind_boolean(&mut self, ast: &AstExpr, ctx: &BindContext) -> Result<Expr> {
+        let e = self.bind_scalar(ast, ctx)?;
+        if e.result_type() != LogicalType::Boolean {
+            return Err(EiderError::Bind(format!(
+                "predicate must be BOOLEAN, got {}",
+                e.result_type()
+            )));
+        }
+        Ok(e)
+    }
+
+    /// Bind a scalar expression; aggregate functions are rejected.
+    fn bind_scalar(&mut self, ast: &AstExpr, ctx: &BindContext) -> Result<Expr> {
+        self.bind_expr_impl(ast, ctx, None)
+    }
+
+    /// Bind inside an aggregated query block.
+    fn bind_agg_scalar(&mut self, ast: &AstExpr, env: &mut AggEnv<'_>) -> Result<Expr> {
+        // Group expression match?
+        let display = ast.display_name();
+        if let Some(idx) = env.group_displays.iter().position(|d| *d == display) {
+            return Ok(Expr::column(idx, env.group_types[idx]));
+        }
+        // Aggregate function?
+        if let AstExpr::Function { name, args, distinct, star } = ast {
+            if let Some(kind) = AggKind::by_name(name) {
+                let arg = if *star {
+                    None
+                } else {
+                    if args.len() != 1 {
+                        return Err(EiderError::Bind(format!(
+                            "{name} takes exactly one argument"
+                        )));
+                    }
+                    let from_ctx = env.from_ctx.clone();
+                    Some(self.bind_scalar(&args[0], &from_ctx)?)
+                };
+                let agg = AggExpr { kind, arg, distinct: *distinct };
+                let idx = match env.aggs.iter().position(|(_, d)| *d == display) {
+                    Some(i) => i,
+                    None => {
+                        env.aggs.push((agg.clone(), display));
+                        env.aggs.len() - 1
+                    }
+                };
+                let ty = env.aggs[idx].0.result_type();
+                return Ok(Expr::column(env.group_displays.len() + idx, ty));
+            }
+        }
+        // Bare column that is not a group key: error.
+        if let AstExpr::Column { table, name } = ast {
+            let t = table.as_deref().map(|s| format!("{s}.")).unwrap_or_default();
+            return Err(EiderError::Bind(format!(
+                "column \"{t}{name}\" must appear in GROUP BY or inside an aggregate function"
+            )));
+        }
+        // Recurse structurally.
+        self.bind_expr_structurally(ast, &mut |b, child| b.bind_agg_scalar(child, env))
+    }
+
+    /// Bind an expression with leaf handling delegated to `leaf`.
+    fn bind_expr_structurally(
+        &mut self,
+        ast: &AstExpr,
+        leaf: &mut dyn FnMut(&mut Binder, &AstExpr) -> Result<Expr>,
+    ) -> Result<Expr> {
+        match ast {
+            AstExpr::Literal(v) => Ok(Expr::constant(v.clone())),
+            AstExpr::Binary { op, left, right } => {
+                let l = leaf(self, left)?;
+                let r = leaf(self, right)?;
+                self.bind_binary(*op, l, r)
+            }
+            AstExpr::Unary { minus, child } => {
+                let c = leaf(self, child)?;
+                if !*minus {
+                    return Ok(c);
+                }
+                let ty = c.result_type();
+                if !ty.is_numeric() {
+                    return Err(EiderError::Bind(format!("cannot negate {ty}")));
+                }
+                Ok(Expr::Arithmetic {
+                    op: ArithOp::Sub,
+                    left: Box::new(Expr::Cast {
+                        child: Box::new(Expr::constant(Value::Integer(0))),
+                        to: ty,
+                    }),
+                    right: Box::new(c),
+                    ty,
+                })
+            }
+            AstExpr::Not(child) => Ok(Expr::Not(Box::new(leaf(self, child)?))),
+            AstExpr::IsNull { child, negated } => Ok(Expr::IsNull {
+                child: Box::new(leaf(self, child)?),
+                negated: *negated,
+            }),
+            AstExpr::Between { child, low, high, negated } => {
+                let c = leaf(self, child)?;
+                let lo = leaf(self, low)?;
+                let hi = leaf(self, high)?;
+                let (c1, lo) = coerce_pair(c.clone(), lo)?;
+                let (c2, hi) = coerce_pair(c, hi)?;
+                let range = Expr::And(vec![
+                    Expr::Compare {
+                        op: eider_txn::CmpOp::GtEq,
+                        left: Box::new(c1),
+                        right: Box::new(lo),
+                    },
+                    Expr::Compare {
+                        op: eider_txn::CmpOp::LtEq,
+                        left: Box::new(c2),
+                        right: Box::new(hi),
+                    },
+                ]);
+                Ok(if *negated { Expr::Not(Box::new(range)) } else { range })
+            }
+            AstExpr::InList { child, list, negated } => {
+                let c = leaf(self, child)?;
+                let items: Vec<Expr> =
+                    list.iter().map(|e| leaf(self, e)).collect::<Result<_>>()?;
+                Ok(Expr::InList { child: Box::new(c), list: items, negated: *negated })
+            }
+            AstExpr::InSubquery { .. } | AstExpr::Exists { .. } => Err(EiderError::NotImplemented(
+                "subquery predicates are only supported as top-level WHERE conjuncts".into(),
+            )),
+            AstExpr::Like { child, pattern, negated } => {
+                let c = leaf(self, child)?;
+                let p = leaf(self, pattern)?;
+                let c = cast_to(c, LogicalType::Varchar);
+                let p = cast_to(p, LogicalType::Varchar);
+                Ok(Expr::Like { child: Box::new(c), pattern: Box::new(p), negated: *negated })
+            }
+            AstExpr::Cast { child, type_name } => {
+                let to = LogicalType::parse_sql_name(type_name)?;
+                Ok(Expr::Cast { child: Box::new(leaf(self, child)?), to })
+            }
+            AstExpr::Case { operand, branches, else_expr } => {
+                let mut bound_branches = Vec::with_capacity(branches.len());
+                for (cond, val) in branches {
+                    let c = match operand {
+                        Some(op) => {
+                            let l = leaf(self, op)?;
+                            let r = leaf(self, cond)?;
+                            let (l, r) = coerce_pair(l, r)?;
+                            Expr::Compare {
+                                op: eider_txn::CmpOp::Eq,
+                                left: Box::new(l),
+                                right: Box::new(r),
+                            }
+                        }
+                        None => {
+                            let c = leaf(self, cond)?;
+                            if c.result_type() != LogicalType::Boolean {
+                                return Err(EiderError::Bind(
+                                    "CASE WHEN condition must be BOOLEAN".into(),
+                                ));
+                            }
+                            c
+                        }
+                    };
+                    bound_branches.push((c, leaf(self, val)?));
+                }
+                let bound_else = match else_expr {
+                    Some(e) => Some(leaf(self, e)?),
+                    None => None,
+                };
+                // Unify result types.
+                let mut ty: Option<LogicalType> = None;
+                for (_, v) in &bound_branches {
+                    ty = Some(unify_types(ty, v.result_type())?);
+                }
+                if let Some(e) = &bound_else {
+                    ty = Some(unify_types(ty, e.result_type())?);
+                }
+                let ty = ty.unwrap_or(LogicalType::Varchar);
+                let branches = bound_branches
+                    .into_iter()
+                    .map(|(c, v)| (c, cast_to(v, ty)))
+                    .collect();
+                let else_expr = bound_else.map(|e| Box::new(cast_to(e, ty)));
+                Ok(Expr::Case { branches, else_expr, ty })
+            }
+            AstExpr::Function { name, args, distinct, star } => {
+                if AggKind::by_name(name).is_some() {
+                    return Err(EiderError::Bind(format!(
+                        "aggregate function {name} is not allowed here"
+                    )));
+                }
+                if *distinct || *star {
+                    return Err(EiderError::Bind(format!(
+                        "DISTINCT/* only apply to aggregate functions (in {name})"
+                    )));
+                }
+                let func = ScalarFunc::by_name(name).ok_or_else(|| {
+                    EiderError::Bind(format!("unknown function \"{name}\""))
+                })?;
+                let bound: Vec<Expr> =
+                    args.iter().map(|a| leaf(self, a)).collect::<Result<_>>()?;
+                validate_function_arity(func, bound.len())?;
+                let ty =
+                    func.result_type(&bound.iter().map(Expr::result_type).collect::<Vec<_>>());
+                Ok(Expr::Function { func, args: bound, ty })
+            }
+            AstExpr::Column { .. } => unreachable!("columns handled by leaf fn"),
+        }
+    }
+
+    fn bind_expr_impl(
+        &mut self,
+        ast: &AstExpr,
+        ctx: &BindContext,
+        _unused: Option<()>,
+    ) -> Result<Expr> {
+        match ast {
+            AstExpr::Column { table, name } => {
+                let (idx, ty) = ctx.resolve(table.as_deref(), name)?;
+                Ok(Expr::column(idx, ty))
+            }
+            other => {
+                let ctx = ctx.clone();
+                self.bind_expr_structurally(other, &mut move |b, child| {
+                    b.bind_expr_impl(child, &ctx, None)
+                })
+            }
+        }
+    }
+
+    fn bind_binary(&mut self, op: BinaryOp, l: Expr, r: Expr) -> Result<Expr> {
+        use eider_txn::CmpOp;
+        Ok(match op {
+            BinaryOp::And => Expr::And(vec![l, r]),
+            BinaryOp::Or => Expr::Or(vec![l, r]),
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => {
+                let cmp = match op {
+                    BinaryOp::Eq => CmpOp::Eq,
+                    BinaryOp::NotEq => CmpOp::NotEq,
+                    BinaryOp::Lt => CmpOp::Lt,
+                    BinaryOp::LtEq => CmpOp::LtEq,
+                    BinaryOp::Gt => CmpOp::Gt,
+                    _ => CmpOp::GtEq,
+                };
+                let (l, r) = coerce_pair(l, r)?;
+                Expr::Compare { op: cmp, left: Box::new(l), right: Box::new(r) }
+            }
+            BinaryOp::Concat => Expr::Function {
+                func: ScalarFunc::Concat,
+                args: vec![cast_to(l, LogicalType::Varchar), cast_to(r, LogicalType::Varchar)],
+                ty: LogicalType::Varchar,
+            },
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+                let (lt, rt) = (l.result_type(), r.result_type());
+                // VARCHAR operands coerce to DOUBLE in arithmetic.
+                let l = if lt == LogicalType::Varchar { cast_to(l, LogicalType::Double) } else { l };
+                let r = if rt == LogicalType::Varchar { cast_to(r, LogicalType::Double) } else { r };
+                let (lt, rt) = (l.result_type(), r.result_type());
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    return Err(EiderError::Bind(format!(
+                        "arithmetic over non-numeric types {lt} and {rt}"
+                    )));
+                }
+                let ty = match op {
+                    BinaryOp::Div => LogicalType::Double,
+                    // Widen to at least BIGINT to dodge gratuitous overflow.
+                    _ => {
+                        let t = LogicalType::max_numeric(lt, rt)?;
+                        if t.is_integral() {
+                            LogicalType::BigInt
+                        } else {
+                            t
+                        }
+                    }
+                };
+                let aop = match op {
+                    BinaryOp::Add => ArithOp::Add,
+                    BinaryOp::Sub => ArithOp::Sub,
+                    BinaryOp::Mul => ArithOp::Mul,
+                    BinaryOp::Div => ArithOp::Div,
+                    _ => ArithOp::Mod,
+                };
+                Expr::Arithmetic { op: aop, left: Box::new(l), right: Box::new(r), ty }
+            }
+        })
+    }
+}
+
+// ---------------- helpers ----------------
+
+fn cast_to(e: Expr, to: LogicalType) -> Expr {
+    if e.result_type() == to {
+        e
+    } else {
+        Expr::Cast { child: Box::new(e), to }
+    }
+}
+
+/// Insert casts so both sides of a comparison share a type.
+fn coerce_pair(l: Expr, r: Expr) -> Result<(Expr, Expr)> {
+    let (lt, rt) = (l.result_type(), r.result_type());
+    if lt == rt {
+        return Ok((l, r));
+    }
+    if lt.is_numeric() && rt.is_numeric() {
+        let t = LogicalType::max_numeric(lt, rt)?;
+        return Ok((cast_to(l, t), cast_to(r, t)));
+    }
+    match (lt, rt) {
+        (LogicalType::Date, LogicalType::Timestamp) => {
+            Ok((cast_to(l, LogicalType::Timestamp), r))
+        }
+        (LogicalType::Timestamp, LogicalType::Date) => {
+            Ok((l, cast_to(r, LogicalType::Timestamp)))
+        }
+        (LogicalType::Varchar, _) => Ok((cast_to(l, rt), r)),
+        (_, LogicalType::Varchar) => Ok((l, cast_to(r, lt))),
+        _ => Err(EiderError::Bind(format!("cannot compare {lt} with {rt}"))),
+    }
+}
+
+fn unify_types(acc: Option<LogicalType>, next: LogicalType) -> Result<LogicalType> {
+    match acc {
+        None => Ok(next),
+        Some(a) if a == next => Ok(a),
+        Some(a) if a.is_numeric() && next.is_numeric() => LogicalType::max_numeric(a, next),
+        Some(LogicalType::Date) if next == LogicalType::Timestamp => Ok(LogicalType::Timestamp),
+        Some(LogicalType::Timestamp) if next == LogicalType::Date => Ok(LogicalType::Timestamp),
+        Some(_) => Ok(LogicalType::Varchar),
+    }
+}
+
+fn validate_function_arity(func: ScalarFunc, n: usize) -> Result<()> {
+    let ok = match func {
+        ScalarFunc::Abs
+        | ScalarFunc::Floor
+        | ScalarFunc::Ceil
+        | ScalarFunc::Sqrt
+        | ScalarFunc::Length
+        | ScalarFunc::Lower
+        | ScalarFunc::Upper => n == 1,
+        ScalarFunc::Round => n == 1 || n == 2,
+        ScalarFunc::Substr => n == 2 || n == 3,
+        ScalarFunc::Concat => n >= 1,
+        ScalarFunc::Coalesce => n >= 1,
+        ScalarFunc::NullIf => n == 2,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(EiderError::Bind(format!("wrong number of arguments ({n}) for {func:?}")))
+    }
+}
+
+/// Split an AST expression on top-level ANDs.
+fn split_ast_conjuncts(e: &AstExpr) -> Vec<&AstExpr> {
+    match e {
+        AstExpr::Binary { op: BinaryOp::And, left, right } => {
+            let mut v = split_ast_conjuncts(left);
+            v.extend(split_ast_conjuncts(right));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+fn contains_aggregate(e: &AstExpr) -> bool {
+    match e {
+        AstExpr::Function { name, args, .. } => {
+            AggKind::by_name(name).is_some() || args.iter().any(contains_aggregate)
+        }
+        AstExpr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        AstExpr::Unary { child, .. } | AstExpr::Not(child) => contains_aggregate(child),
+        AstExpr::IsNull { child, .. } => contains_aggregate(child),
+        AstExpr::Between { child, low, high, .. } => {
+            contains_aggregate(child) || contains_aggregate(low) || contains_aggregate(high)
+        }
+        AstExpr::InList { child, list, .. } => {
+            contains_aggregate(child) || list.iter().any(contains_aggregate)
+        }
+        AstExpr::Like { child, pattern, .. } => {
+            contains_aggregate(child) || contains_aggregate(pattern)
+        }
+        AstExpr::Cast { child, .. } => contains_aggregate(child),
+        AstExpr::Case { operand, branches, else_expr } => {
+            operand.as_deref().is_some_and(contains_aggregate)
+                || branches
+                    .iter()
+                    .any(|(c, v)| contains_aggregate(c) || contains_aggregate(v))
+                || else_expr.as_deref().is_some_and(contains_aggregate)
+        }
+        _ => false,
+    }
+}
+
+fn ast_contains_subquery(e: &AstExpr) -> bool {
+    match e {
+        AstExpr::InSubquery { .. } | AstExpr::Exists { .. } => true,
+        AstExpr::Binary { left, right, .. } => {
+            ast_contains_subquery(left) || ast_contains_subquery(right)
+        }
+        AstExpr::Unary { child, .. } | AstExpr::Not(child) => ast_contains_subquery(child),
+        AstExpr::IsNull { child, .. } => ast_contains_subquery(child),
+        AstExpr::Between { child, low, high, .. } => {
+            ast_contains_subquery(child) || ast_contains_subquery(low) || ast_contains_subquery(high)
+        }
+        AstExpr::InList { child, list, .. } => {
+            ast_contains_subquery(child) || list.iter().any(ast_contains_subquery)
+        }
+        AstExpr::Like { child, pattern, .. } => {
+            ast_contains_subquery(child) || ast_contains_subquery(pattern)
+        }
+        AstExpr::Cast { child, .. } => ast_contains_subquery(child),
+        AstExpr::Case { operand, branches, else_expr } => {
+            operand.as_deref().is_some_and(ast_contains_subquery)
+                || branches
+                    .iter()
+                    .any(|(c, v)| ast_contains_subquery(c) || ast_contains_subquery(v))
+                || else_expr.as_deref().is_some_and(ast_contains_subquery)
+        }
+        AstExpr::Function { args, .. } => args.iter().any(ast_contains_subquery),
+        _ => false,
+    }
+}
+
+/// Collect all column indexes referenced by a bound expression.
+pub(crate) fn collect_columns(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::ColumnRef { index, .. } => out.push(*index),
+        Expr::Constant { .. } => {}
+        Expr::Compare { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::And(c) | Expr::Or(c) => c.iter().for_each(|e| collect_columns(e, out)),
+        Expr::Not(c) => collect_columns(c, out),
+        Expr::Arithmetic { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Cast { child, .. } => collect_columns(child, out),
+        Expr::IsNull { child, .. } => collect_columns(child, out),
+        Expr::Case { branches, else_expr, .. } => {
+            for (c, v) in branches {
+                collect_columns(c, out);
+                collect_columns(v, out);
+            }
+            if let Some(e) = else_expr {
+                collect_columns(e, out);
+            }
+        }
+        Expr::Function { args, .. } => args.iter().for_each(|e| collect_columns(e, out)),
+        Expr::Like { child, pattern, .. } => {
+            collect_columns(child, out);
+            collect_columns(pattern, out);
+        }
+        Expr::InList { child, list, .. } => {
+            collect_columns(child, out);
+            list.iter().for_each(|e| collect_columns(e, out));
+        }
+    }
+}
+
+/// Shift every column reference by `-shift` (used to rebase join-side keys).
+pub(crate) fn shift_columns(e: &Expr, shift: usize) -> Expr {
+    let mut c = e.clone();
+    shift_columns_mut(&mut c, shift);
+    c
+}
+
+fn shift_columns_mut(e: &mut Expr, shift: usize) {
+    match e {
+        Expr::ColumnRef { index, .. } => *index -= shift,
+        Expr::Constant { .. } => {}
+        Expr::Compare { left, right, .. } => {
+            shift_columns_mut(left, shift);
+            shift_columns_mut(right, shift);
+        }
+        Expr::And(c) | Expr::Or(c) => c.iter_mut().for_each(|e| shift_columns_mut(e, shift)),
+        Expr::Not(c) => shift_columns_mut(c, shift),
+        Expr::Arithmetic { left, right, .. } => {
+            shift_columns_mut(left, shift);
+            shift_columns_mut(right, shift);
+        }
+        Expr::Cast { child, .. } => shift_columns_mut(child, shift),
+        Expr::IsNull { child, .. } => shift_columns_mut(child, shift),
+        Expr::Case { branches, else_expr, .. } => {
+            for (c, v) in branches {
+                shift_columns_mut(c, shift);
+                shift_columns_mut(v, shift);
+            }
+            if let Some(e) = else_expr {
+                shift_columns_mut(e, shift);
+            }
+        }
+        Expr::Function { args, .. } => args.iter_mut().for_each(|e| shift_columns_mut(e, shift)),
+        Expr::Like { child, pattern, .. } => {
+            shift_columns_mut(child, shift);
+            shift_columns_mut(pattern, shift);
+        }
+        Expr::InList { child, list, .. } => {
+            shift_columns_mut(child, shift);
+            list.iter_mut().for_each(|e| shift_columns_mut(e, shift));
+        }
+    }
+}
+
+/// If `bound` is `left_side = right_side` with each side touching only one
+/// join input, return (left key, right key rebased to the right input).
+fn extract_equi_pair(bound: &Expr, left_len: usize) -> Option<(Expr, Expr)> {
+    let Expr::Compare { op: eider_txn::CmpOp::Eq, left, right } = bound else {
+        return None;
+    };
+    let mut lcols = Vec::new();
+    let mut rcols = Vec::new();
+    collect_columns(left, &mut lcols);
+    collect_columns(right, &mut rcols);
+    let all_left = |cols: &[usize]| !cols.is_empty() && cols.iter().all(|&c| c < left_len);
+    let all_right = |cols: &[usize]| !cols.is_empty() && cols.iter().all(|&c| c >= left_len);
+    if all_left(&lcols) && all_right(&rcols) {
+        Some(((**left).clone(), shift_columns(right, left_len)))
+    } else if all_right(&lcols) && all_left(&rcols) {
+        Some(((**right).clone(), shift_columns(left, left_len)))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statements;
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        cat.create_table(
+            "t",
+            vec![
+                ColumnDefinition::new("a", LogicalType::Integer),
+                ColumnDefinition::new("b", LogicalType::Varchar),
+                ColumnDefinition::new("d", LogicalType::Integer),
+            ],
+            false,
+        )
+        .unwrap();
+        cat.create_table(
+            "u",
+            vec![
+                ColumnDefinition::new("a", LogicalType::Integer),
+                ColumnDefinition::new("v", LogicalType::Double),
+            ],
+            false,
+        )
+        .unwrap();
+        cat
+    }
+
+    fn bind(sql: &str) -> Result<LogicalPlan> {
+        let cat = catalog();
+        let stmts = parse_statements(sql)?;
+        Binder::new(cat).bind_statement(&stmts[0])
+    }
+
+    #[test]
+    fn simple_select_binds() {
+        let plan = bind("SELECT a, b FROM t WHERE a > 5").unwrap();
+        assert_eq!(plan.output_names(), vec!["a", "b"]);
+        assert_eq!(
+            plan.output_types(),
+            vec![LogicalType::Integer, LogicalType::Varchar]
+        );
+    }
+
+    #[test]
+    fn wildcard_and_alias() {
+        let plan = bind("SELECT * FROM t AS x WHERE x.a = 1").unwrap();
+        assert_eq!(plan.output_names(), vec!["a", "b", "d"]);
+        let plan = bind("SELECT t.* , a + 1 AS next FROM t").unwrap();
+        assert_eq!(plan.output_names(), vec!["a", "b", "d", "next"]);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(bind("SELECT nope FROM t").is_err());
+        assert!(bind("SELECT a FROM missing").is_err());
+        assert!(bind("SELECT z.a FROM t").is_err());
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let err = bind("SELECT a FROM t, u").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        assert!(bind("SELECT t.a FROM t, u").is_ok());
+    }
+
+    #[test]
+    fn aggregate_binding() {
+        let plan = bind(
+            "SELECT d, count(*), sum(a) AS total FROM t GROUP BY d HAVING sum(a) > 10",
+        )
+        .unwrap();
+        assert_eq!(plan.output_names(), vec!["d", "count(*)", "total"]);
+        assert_eq!(
+            plan.output_types(),
+            vec![LogicalType::Integer, LogicalType::BigInt, LogicalType::BigInt]
+        );
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let err = bind("SELECT a, sum(d) FROM t GROUP BY d").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn group_by_expression_match() {
+        let plan = bind("SELECT a % 10, count(*) FROM t GROUP BY a % 10").unwrap();
+        assert_eq!(plan.output_types()[0], LogicalType::BigInt);
+    }
+
+    #[test]
+    fn implicit_aggregate_without_group_by() {
+        let plan = bind("SELECT count(*), min(a) FROM t").unwrap();
+        assert_eq!(plan.output_types(), vec![LogicalType::BigInt, LogicalType::Integer]);
+    }
+
+    #[test]
+    fn join_extracts_equi_keys() {
+        let plan = bind("SELECT t.a, u.v FROM t JOIN u ON t.a = u.a").unwrap();
+        fn find_join(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::Join { .. }) || p.children().iter().any(|c| find_join(c))
+        }
+        assert!(find_join(&plan));
+    }
+
+    #[test]
+    fn inequality_join_becomes_nested_loop() {
+        let plan = bind("SELECT t.a FROM t JOIN u ON t.a < u.a").unwrap();
+        fn find_nl(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::NestedLoopJoin { .. })
+                || p.children().iter().any(|c| find_nl(c))
+        }
+        assert!(find_nl(&plan));
+    }
+
+    #[test]
+    fn in_subquery_becomes_semi_join() {
+        let plan = bind("SELECT a FROM t WHERE a IN (SELECT a FROM u)").unwrap();
+        fn find_semi(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::Join { join_type: JoinType::Semi, .. })
+                || p.children().iter().any(|c| find_semi(c))
+        }
+        assert!(find_semi(&plan));
+        let plan = bind("SELECT a FROM t WHERE a NOT IN (SELECT a FROM u)").unwrap();
+        fn find_anti(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::Join { join_type: JoinType::Anti, .. })
+                || p.children().iter().any(|c| find_anti(c))
+        }
+        assert!(find_anti(&plan));
+    }
+
+    #[test]
+    fn update_plan_shape() {
+        let plan = bind("UPDATE t SET d = NULL WHERE d = -999").unwrap();
+        let LogicalPlan::Update { columns, .. } = &plan else { panic!() };
+        assert_eq!(columns, &vec![2]);
+        assert_eq!(plan.output_names(), vec!["Count"]);
+    }
+
+    #[test]
+    fn insert_fills_defaults_and_casts() {
+        let plan = bind("INSERT INTO t (a) VALUES (1), (2)").unwrap();
+        let LogicalPlan::Insert { input, .. } = &plan else { panic!() };
+        // The projection must produce full table width.
+        assert_eq!(input.output_types().len(), 3);
+    }
+
+    #[test]
+    fn insert_arity_mismatch() {
+        assert!(bind("INSERT INTO t (a, b) VALUES (1)").is_err());
+        assert!(bind("INSERT INTO t VALUES (1, 'x')").is_err());
+    }
+
+    #[test]
+    fn order_by_forms() {
+        assert!(bind("SELECT a FROM t ORDER BY 1 DESC").is_ok());
+        assert!(bind("SELECT a AS z FROM t ORDER BY z").is_ok());
+        assert!(bind("SELECT a FROM t ORDER BY a").is_ok());
+        assert!(bind("SELECT d, sum(a) FROM t GROUP BY d ORDER BY sum(a)").is_ok());
+        let err = bind("SELECT a FROM t ORDER BY b").unwrap_err();
+        assert!(err.to_string().contains("SELECT list"), "{err}");
+    }
+
+    #[test]
+    fn union_types_unify() {
+        let plan = bind("SELECT a FROM t UNION ALL SELECT CAST(v AS INTEGER) FROM u").unwrap();
+        assert_eq!(plan.output_types(), vec![LogicalType::Integer]);
+        assert!(bind("SELECT a, b FROM t UNION ALL SELECT a FROM u").is_err());
+    }
+
+    #[test]
+    fn ctes_resolve() {
+        let plan =
+            bind("WITH big AS (SELECT a FROM t WHERE a > 10) SELECT * FROM big").unwrap();
+        assert_eq!(plan.output_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn comparison_coercion() {
+        // VARCHAR compared with INTEGER: the string side is cast.
+        assert!(bind("SELECT a FROM t WHERE b = 5").is_ok());
+        assert!(bind("SELECT a FROM t WHERE a = 'x'").is_ok());
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        let plan = bind("SELECT a / 2, a + 1, a % 2 FROM t").unwrap();
+        assert_eq!(
+            plan.output_types(),
+            vec![LogicalType::Double, LogicalType::BigInt, LogicalType::BigInt]
+        );
+    }
+
+    #[test]
+    fn where_must_be_boolean() {
+        let err = bind("SELECT a FROM t WHERE a + 1").unwrap_err();
+        assert!(err.to_string().contains("BOOLEAN"), "{err}");
+    }
+
+    #[test]
+    fn case_type_unification() {
+        let plan =
+            bind("SELECT CASE WHEN a > 0 THEN 1 ELSE 2.5 END FROM t").unwrap();
+        assert_eq!(plan.output_types(), vec![LogicalType::Double]);
+    }
+}

@@ -1,0 +1,328 @@
+//! SQL tokenizer.
+
+use eider_vector::{EiderError, Result};
+
+/// One token of SQL input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword, original case preserved.
+    Ident(String),
+    /// `"quoted identifier"`.
+    QuotedIdent(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `'string literal'` with doubled-quote escapes.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+    /// `||` string concatenation.
+    Concat,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text. Comments (`-- ...` and `/* ... */`) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < n && chars[i + 1] == '-' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < n && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    i += 1;
+                }
+                if i + 1 >= n {
+                    return Err(EiderError::Parse("unterminated block comment".into()));
+                }
+                i += 2;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+                if i < n && chars[i] == '=' {
+                    i += 1; // tolerate '=='
+                }
+            }
+            '!' if i + 1 < n && chars[i + 1] == '=' => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < n && chars[i + 1] == '>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '|' if i + 1 < n && chars[i + 1] == '|' => {
+                tokens.push(Token::Concat);
+                i += 2;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= n {
+                        return Err(EiderError::Parse("unterminated string literal".into()));
+                    }
+                    if chars[i] == '\'' {
+                        if i + 1 < n && chars[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= n {
+                        return Err(EiderError::Parse("unterminated quoted identifier".into()));
+                    }
+                    if chars[i] == '"' {
+                        if i + 1 < n && chars[i + 1] == '"' {
+                            s.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::QuotedIdent(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E')
+                {
+                    if chars[i] == '.' {
+                        // A second dot terminates (e.g. `1.2.3` is an error
+                        // caught by parse below; `1..2` splits).
+                        if is_float {
+                            break;
+                        }
+                        // Don't swallow `1.` followed by a non-digit as float.
+                        if i + 1 < n && !chars[i + 1].is_ascii_digit() {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    if (chars[i] == 'e' || chars[i] == 'E') && i + 1 < n {
+                        if chars[i + 1] == '-' || chars[i + 1] == '+' {
+                            is_float = true;
+                            i += 1; // include sign
+                        } else if chars[i + 1].is_ascii_digit() {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| EiderError::Parse(format!("bad number '{text}'")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => tokens.push(Token::Integer(v)),
+                        Err(_) => {
+                            let v: f64 = text.parse().map_err(|_| {
+                                EiderError::Parse(format!("bad number '{text}'"))
+                            })?;
+                            tokens.push(Token::Float(v));
+                        }
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(EiderError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x >= 10.5;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Float(10.5)));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize("'it''s' \"Weird \"\"Name\"\"\"").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+        assert_eq!(toks[1], Token::QuotedIdent("Weird \"Name\"".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing\n + /* inline */ 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Integer(1),
+                Token::Plus,
+                Token::Integer(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("1 2.5 1e3 1.5e-2 9223372036854775807").unwrap();
+        assert_eq!(toks[0], Token::Integer(1));
+        assert_eq!(toks[1], Token::Float(2.5));
+        assert_eq!(toks[2], Token::Float(1000.0));
+        assert_eq!(toks[3], Token::Float(0.015));
+        assert_eq!(toks[4], Token::Integer(i64::MAX));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("<> != <= >= || = < >").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::NotEq,
+                Token::NotEq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Concat,
+                Token::Eq,
+                Token::Lt,
+                Token::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(toks[0].is_kw("select"));
+        assert!(!toks[0].is_kw("FROM"));
+    }
+}

@@ -1,0 +1,37 @@
+//! The SQL frontend: lexer, parser, binder, logical plans, optimizer.
+//!
+//! §6's pipeline up to (but not including) physical execution: SQL text is
+//! tokenized and parsed into an AST, the binder resolves names against the
+//! catalog and types every expression (producing the *bound* expression
+//! trees of `eider-exec`), and the optimizer folds constants, splits and
+//! pushes down filters (into table-scan zone-map filters where possible)
+//! and prunes unused columns. The output is a [`plan::LogicalPlan`] that
+//! eider-core lowers onto physical operators with a transaction attached.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use binder::Binder;
+pub use parser::parse_statements;
+pub use plan::LogicalPlan;
+
+/// Parse, bind and optimize a single SQL statement.
+pub fn compile(
+    catalog: &std::sync::Arc<eider_catalog::Catalog>,
+    sql: &str,
+) -> eider_vector::Result<LogicalPlan> {
+    let statements = parse_statements(sql)?;
+    if statements.len() != 1 {
+        return Err(eider_vector::EiderError::Parse(format!(
+            "expected exactly one statement, found {}",
+            statements.len()
+        )));
+    }
+    let stmt = statements.into_iter().next().expect("one statement");
+    let plan = Binder::new(catalog.clone()).bind_statement(&stmt)?;
+    optimizer::optimize(plan)
+}

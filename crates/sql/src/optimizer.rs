@@ -1,0 +1,383 @@
+//! Logical-plan rewrites: constant folding, filter splitting and pushdown
+//! into table scans (where the zone maps of §6 can skip row groups).
+
+use crate::plan::LogicalPlan;
+use eider_exec::expression::Expr;
+use eider_txn::{CmpOp, TableFilter};
+use eider_vector::Result;
+
+/// Run all rewrite passes.
+pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = fold_constants(plan)?;
+    let plan = push_filters(plan)?;
+    Ok(plan)
+}
+
+// ---------------- constant folding ----------------
+
+fn fold_expr(e: Expr) -> Result<Expr> {
+    // Fold bottom-up: if the whole subtree is input-free, evaluate it once.
+    if e.is_constant() {
+        if let Ok(v) = e.evaluate_row(&[]) {
+            // Preserve the static type: fold through a typed constant.
+            let ty = e.result_type();
+            let v = match v.cast_to(ty) {
+                Ok(v) => v,
+                Err(_) => v,
+            };
+            return Ok(Expr::Constant { value: v, ty });
+        }
+        return Ok(e);
+    }
+    Ok(match e {
+        Expr::Compare { op, left, right } => Expr::Compare {
+            op,
+            left: Box::new(fold_expr(*left)?),
+            right: Box::new(fold_expr(*right)?),
+        },
+        Expr::And(c) => Expr::And(c.into_iter().map(fold_expr).collect::<Result<_>>()?),
+        Expr::Or(c) => Expr::Or(c.into_iter().map(fold_expr).collect::<Result<_>>()?),
+        Expr::Not(c) => Expr::Not(Box::new(fold_expr(*c)?)),
+        Expr::Arithmetic { op, left, right, ty } => Expr::Arithmetic {
+            op,
+            left: Box::new(fold_expr(*left)?),
+            right: Box::new(fold_expr(*right)?),
+            ty,
+        },
+        Expr::Cast { child, to } => Expr::Cast { child: Box::new(fold_expr(*child)?), to },
+        Expr::IsNull { child, negated } => {
+            Expr::IsNull { child: Box::new(fold_expr(*child)?), negated }
+        }
+        Expr::Case { branches, else_expr, ty } => Expr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(c, v)| Ok::<_, eider_vector::EiderError>((fold_expr(c)?, fold_expr(v)?)))
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(fold_expr(*e)?)),
+                None => None,
+            },
+            ty,
+        },
+        Expr::Function { func, args, ty } => Expr::Function {
+            func,
+            args: args.into_iter().map(fold_expr).collect::<Result<_>>()?,
+            ty,
+        },
+        Expr::Like { child, pattern, negated } => Expr::Like {
+            child: Box::new(fold_expr(*child)?),
+            pattern: Box::new(fold_expr(*pattern)?),
+            negated,
+        },
+        Expr::InList { child, list, negated } => Expr::InList {
+            child: Box::new(fold_expr(*child)?),
+            list: list.into_iter().map(fold_expr).collect::<Result<_>>()?,
+            negated,
+        },
+        other => other,
+    })
+}
+
+fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan(plan, &|p| {
+        Ok(match p {
+            LogicalPlan::Filter { input, predicate } => {
+                LogicalPlan::Filter { input, predicate: fold_expr(predicate)? }
+            }
+            LogicalPlan::Projection { input, exprs, names } => LogicalPlan::Projection {
+                input,
+                exprs: exprs.into_iter().map(fold_expr).collect::<Result<_>>()?,
+                names,
+            },
+            other => other,
+        })
+    })
+}
+
+// ---------------- filter pushdown ----------------
+
+/// Split a predicate on top-level ANDs.
+fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(children) => {
+            for c in children {
+                split_conjuncts(c, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+/// Try to express a conjunct as a pushable `column <op> constant` filter
+/// against scan output column indexes.
+fn as_table_filter(e: &Expr) -> Option<(usize, CmpOp, eider_vector::Value)> {
+    let Expr::Compare { op, left, right } = e else {
+        return None;
+    };
+    // Widening numeric casts the binder inserted for type coercion do not
+    // block pushdown: `TableFilter::matches` compares with numeric
+    // promotion, so `CAST(int_col AS BIGINT) > 5` pushes as `int_col > 5`.
+    // Temporal casts (DATE -> TIMESTAMP) change the scale and must stay.
+    fn as_column(e: &Expr) -> Option<usize> {
+        match e {
+            Expr::ColumnRef { index, .. } => Some(*index),
+            Expr::Cast { child, to } if to.is_numeric() => match &**child {
+                Expr::ColumnRef { index, ty } if ty.is_numeric() => Some(*index),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    match (&**left, &**right) {
+        (l, Expr::Constant { value, .. }) if !value.is_null() => {
+            as_column(l).map(|idx| (idx, *op, value.clone()))
+        }
+        (Expr::Constant { value, .. }, r) if !value.is_null() => {
+            as_column(r).map(|idx| (idx, op.flip(), value.clone()))
+        }
+        _ => None,
+    }
+}
+
+fn push_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan(plan, &|p| {
+        Ok(match p {
+            LogicalPlan::Filter { input, predicate } => {
+                match *input {
+                    LogicalPlan::TableScan {
+                        entry,
+                        column_ids,
+                        mut filters,
+                        emit_row_ids,
+                        names,
+                        types,
+                    } => {
+                        let mut conjuncts = Vec::new();
+                        split_conjuncts(predicate, &mut conjuncts);
+                        let mut residual = Vec::new();
+                        for c in conjuncts {
+                            match as_table_filter(&c) {
+                                // Scan filters address *physical* column
+                                // ids; scans emit columns in column_ids
+                                // order, so map through it.
+                                Some((out_idx, op, value)) if out_idx < column_ids.len() => {
+                                    filters.push(TableFilter::new(
+                                        column_ids[out_idx],
+                                        op,
+                                        value,
+                                    ));
+                                }
+                                _ => residual.push(c),
+                            }
+                        }
+                        let scan = LogicalPlan::TableScan {
+                            entry,
+                            column_ids,
+                            filters,
+                            emit_row_ids,
+                            names,
+                            types,
+                        };
+                        if residual.is_empty() {
+                            scan
+                        } else {
+                            let predicate = if residual.len() == 1 {
+                                residual.into_iter().next().expect("one")
+                            } else {
+                                Expr::And(residual)
+                            };
+                            LogicalPlan::Filter { input: Box::new(scan), predicate }
+                        }
+                    }
+                    other => LogicalPlan::Filter { input: Box::new(other), predicate },
+                }
+            }
+            other => other,
+        })
+    })
+}
+
+/// Pushed-filter columns must still be scanned; verify invariant in debug.
+#[allow(dead_code)]
+fn filter_columns_visible(filters: &[TableFilter], column_ids: &[usize]) -> bool {
+    filters.iter().all(|f| column_ids.contains(&f.column))
+}
+
+/// Bottom-up plan rewrite.
+fn map_plan(
+    plan: LogicalPlan,
+    f: &dyn Fn(LogicalPlan) -> Result<LogicalPlan>,
+) -> Result<LogicalPlan> {
+    let rewritten = match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(map_plan(*input, f)?), predicate }
+        }
+        LogicalPlan::Projection { input, exprs, names } => {
+            LogicalPlan::Projection { input: Box::new(map_plan(*input, f)?), exprs, names }
+        }
+        LogicalPlan::Aggregate { input, groups, aggs, names } => LogicalPlan::Aggregate {
+            input: Box::new(map_plan(*input, f)?),
+            groups,
+            aggs,
+            names,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(map_plan(*input, f)?), keys }
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            LogicalPlan::Limit { input: Box::new(map_plan(*input, f)?), limit, offset }
+        }
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(map_plan(*input, f)?) }
+        }
+        LogicalPlan::Join { left, right, join_type, left_keys, right_keys } => LogicalPlan::Join {
+            left: Box::new(map_plan(*left, f)?),
+            right: Box::new(map_plan(*right, f)?),
+            join_type,
+            left_keys,
+            right_keys,
+        },
+        LogicalPlan::NestedLoopJoin { left, right, predicate } => LogicalPlan::NestedLoopJoin {
+            left: Box::new(map_plan(*left, f)?),
+            right: Box::new(map_plan(*right, f)?),
+            predicate,
+        },
+        LogicalPlan::CrossJoin { left, right } => LogicalPlan::CrossJoin {
+            left: Box::new(map_plan(*left, f)?),
+            right: Box::new(map_plan(*right, f)?),
+        },
+        LogicalPlan::Union { left, right } => LogicalPlan::Union {
+            left: Box::new(map_plan(*left, f)?),
+            right: Box::new(map_plan(*right, f)?),
+        },
+        LogicalPlan::Insert { entry, input } => {
+            LogicalPlan::Insert { entry, input: Box::new(map_plan(*input, f)?) }
+        }
+        LogicalPlan::Update { entry, input, columns } => {
+            LogicalPlan::Update { entry, input: Box::new(map_plan(*input, f)?), columns }
+        }
+        LogicalPlan::Delete { entry, input } => {
+            LogicalPlan::Delete { entry, input: Box::new(map_plan(*input, f)?) }
+        }
+        LogicalPlan::Explain { input } => {
+            LogicalPlan::Explain { input: Box::new(map_plan(*input, f)?) }
+        }
+        LogicalPlan::CopyTo { input, path, options } => {
+            LogicalPlan::CopyTo { input: Box::new(map_plan(*input, f)?), path, options }
+        }
+        LogicalPlan::CreateTable { name, columns, if_not_exists, as_select } => {
+            LogicalPlan::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+                as_select: match as_select {
+                    Some(p) => Some(Box::new(map_plan(*p, f)?)),
+                    None => None,
+                },
+            }
+        }
+        leaf => leaf,
+    };
+    f(rewritten)
+}
+
+/// Used by tests and EXPLAIN consumers: count scan filters in a plan.
+pub fn count_pushed_filters(plan: &LogicalPlan) -> usize {
+    let own = match plan {
+        LogicalPlan::TableScan { filters, .. } => filters.len(),
+        _ => 0,
+    };
+    own + plan.children().iter().map(|c| count_pushed_filters(c)).sum::<usize>()
+}
+
+/// Count residual Filter nodes.
+pub fn count_filter_nodes(plan: &LogicalPlan) -> usize {
+    let own = usize::from(matches!(plan, LogicalPlan::Filter { .. }));
+    own + plan.children().iter().map(|c| count_filter_nodes(c)).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::Binder;
+    use crate::parser::parse_statements;
+    use eider_catalog::{Catalog, ColumnDefinition};
+    use eider_vector::{LogicalType, Value};
+    
+
+    fn optimized(sql: &str) -> LogicalPlan {
+        let cat = Catalog::new();
+        cat.create_table(
+            "t",
+            vec![
+                ColumnDefinition::new("a", LogicalType::Integer),
+                ColumnDefinition::new("b", LogicalType::Varchar),
+            ],
+            false,
+        )
+        .unwrap();
+        let stmts = parse_statements(sql).unwrap();
+        let plan = Binder::new(cat).bind_statement(&stmts[0]).unwrap();
+        optimize(plan).unwrap()
+    }
+
+    #[test]
+    fn constant_folding_in_filters() {
+        let plan = optimized("SELECT a FROM t WHERE a > 2 + 3");
+        // 2 + 3 folds to a constant, so the comparison becomes pushable.
+        assert_eq!(count_pushed_filters(&plan), 1);
+        assert_eq!(count_filter_nodes(&plan), 0);
+    }
+
+    #[test]
+    fn simple_predicates_pushed_into_scan() {
+        let plan = optimized("SELECT a FROM t WHERE a = -999");
+        assert_eq!(count_pushed_filters(&plan), 1);
+        let plan = optimized("SELECT a FROM t WHERE 10 >= a AND a > 1");
+        assert_eq!(count_pushed_filters(&plan), 2);
+        assert_eq!(count_filter_nodes(&plan), 0);
+    }
+
+    #[test]
+    fn complex_predicates_stay_as_filters() {
+        let plan = optimized("SELECT a FROM t WHERE a + 1 > 5");
+        assert_eq!(count_pushed_filters(&plan), 0);
+        assert_eq!(count_filter_nodes(&plan), 1);
+        // OR cannot be split.
+        let plan = optimized("SELECT a FROM t WHERE a = 1 OR a = 2");
+        assert_eq!(count_pushed_filters(&plan), 0);
+        assert_eq!(count_filter_nodes(&plan), 1);
+    }
+
+    #[test]
+    fn mixed_conjuncts_split() {
+        let plan = optimized("SELECT a FROM t WHERE a > 5 AND length(b) > 2");
+        assert_eq!(count_pushed_filters(&plan), 1);
+        assert_eq!(count_filter_nodes(&plan), 1);
+    }
+
+    #[test]
+    fn filters_map_output_to_physical_columns() {
+        // Scan emits [a, b]; predicate on b (output index 1, physical 1).
+        let plan = optimized("SELECT b FROM t WHERE b = 'x'");
+        fn find_scan_filter(p: &LogicalPlan) -> Option<(usize, Value)> {
+            if let LogicalPlan::TableScan { filters, .. } = p {
+                if let Some(f) = filters.first() {
+                    return Some((f.column, f.value.clone()));
+                }
+            }
+            p.children().iter().find_map(|c| find_scan_filter(c))
+        }
+        let (col, val) = find_scan_filter(&plan).expect("pushed filter");
+        assert_eq!(col, 1);
+        assert_eq!(val, Value::Varchar("x".into()));
+    }
+
+    #[test]
+    fn null_comparisons_not_pushed() {
+        // a = NULL never matches anything, but pushing it as a zone-map
+        // filter would be wrong — keep it in the filter node.
+        let plan = optimized("SELECT a FROM t WHERE a = NULL");
+        assert_eq!(count_pushed_filters(&plan), 0);
+    }
+}

@@ -1,0 +1,1114 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use eider_vector::{EiderError, Result, Value};
+
+/// Parse a semicolon-separated script into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0, sql: sql.to_string(), depth: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_token(&Token::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.parse_statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    sql: String,
+    /// Expression nesting depth, bounded to keep recursion off the guard
+    /// page (corrupt or adversarial inputs must error, not abort; §3's
+    /// "distrust everything" applies to inputs too).
+    depth: usize,
+}
+
+/// Maximum expression nesting depth.
+const MAX_EXPR_DEPTH: usize = 64;
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> EiderError {
+        EiderError::Parse(format!("{} (near token {} of `{}`)", msg.into(), self.pos, self.sql))
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token) -> Result<()> {
+        if self.eat_token(t) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::QuotedIdent(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(self.error(format!("expected string literal, found {other:?}"))),
+        }
+    }
+
+    // ---------------- statements ----------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.peek_kw("SELECT") || self.peek_kw("WITH") || self.peek_kw("VALUES") {
+            return Ok(Statement::Select(self.parse_select()?));
+        }
+        if self.peek_kw("EXPLAIN") {
+            self.pos += 1;
+            return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
+        }
+        if self.eat_kw("INSERT") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.parse_update();
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.expect_ident()?;
+            let filter =
+                if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+            return Ok(Statement::Delete { table, filter });
+        }
+        if self.eat_kw("CREATE") {
+            return self.parse_create();
+        }
+        if self.eat_kw("DROP") {
+            if self.eat_kw("TABLE") {
+                let if_exists = self.parse_if_exists()?;
+                let name = self.expect_ident()?;
+                return Ok(Statement::DropTable { name, if_exists });
+            }
+            if self.eat_kw("VIEW") {
+                let if_exists = self.parse_if_exists()?;
+                let name = self.expect_ident()?;
+                return Ok(Statement::DropView { name, if_exists });
+            }
+            return Err(self.error("expected TABLE or VIEW after DROP"));
+        }
+        if self.eat_kw("BEGIN") || self.eat_kw("START") {
+            self.eat_kw("TRANSACTION");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") || self.eat_kw("ABORT") {
+            return Ok(Statement::Rollback);
+        }
+        if self.eat_kw("CHECKPOINT") {
+            return Ok(Statement::Checkpoint);
+        }
+        if self.eat_kw("PRAGMA") {
+            let name = self.expect_ident()?;
+            let value = if self.eat_token(&Token::Eq) {
+                Some(self.parse_expr()?)
+            } else if self.eat_token(&Token::LParen) {
+                let v = self.parse_expr()?;
+                self.expect_token(&Token::RParen)?;
+                Some(v)
+            } else {
+                None
+            };
+            return Ok(Statement::Pragma { name, value });
+        }
+        if self.eat_kw("SHOW") {
+            self.expect_kw("TABLES")?;
+            return Ok(Statement::ShowTables);
+        }
+        if self.eat_kw("COPY") {
+            return self.parse_copy();
+        }
+        Err(self.error(format!("unrecognized statement start {:?}", self.peek())))
+    }
+
+    fn parse_if_exists(&mut self) -> Result<bool> {
+        if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.expect_ident()?;
+        let mut columns = None;
+        if self.peek() == Some(&Token::LParen) {
+            // Distinguish column list from `INSERT INTO t (SELECT ...)`.
+            if !matches!(self.peek_at(1), Some(t) if t.is_kw("SELECT") || t.is_kw("WITH")) {
+                self.expect_token(&Token::LParen)?;
+                let mut cols = vec![self.expect_ident()?];
+                while self.eat_token(&Token::Comma) {
+                    cols.push(self.expect_ident()?);
+                }
+                self.expect_token(&Token::RParen)?;
+                columns = Some(cols);
+            }
+        }
+        let source = if self.eat_kw("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_token(&Token::LParen)?;
+                let mut row = vec![self.parse_expr()?];
+                while self.eat_token(&Token::Comma) {
+                    row.push(self.parse_expr()?);
+                }
+                self.expect_token(&Token::RParen)?;
+                rows.push(row);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else {
+            let wrapped = self.eat_token(&Token::LParen);
+            let select = self.parse_select()?;
+            if wrapped {
+                self.expect_token(&Token::RParen)?;
+            }
+            InsertSource::Select(Box::new(select))
+        };
+        Ok(Statement::Insert { table, columns, source })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        let table = self.expect_ident()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_token(&Token::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push((col, value));
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update { table, assignments, filter })
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        let or_replace = if self.eat_kw("OR") {
+            self.expect_kw("REPLACE")?;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("VIEW") {
+            let name = self.expect_ident()?;
+            self.expect_kw("AS")?;
+            // Store the remaining statement text verbatim: views re-parse
+            // at bind time.
+            let start = self.pos;
+            let select = self.parse_select()?;
+            let _ = select;
+            let sql = self.render_tokens(start, self.pos);
+            return Ok(Statement::CreateView { name, sql, or_replace });
+        }
+        self.expect_kw("TABLE")?;
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident()?;
+        if self.eat_kw("AS") {
+            let select = self.parse_select()?;
+            return Ok(Statement::CreateTable {
+                name,
+                columns: Vec::new(),
+                if_not_exists,
+                as_select: Some(Box::new(select)),
+            });
+        }
+        self.expect_token(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.expect_ident()?;
+            let type_name = self.parse_type_name()?;
+            let mut not_null = false;
+            let mut default = None;
+            loop {
+                if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                    not_null = true;
+                } else if self.eat_kw("DEFAULT") {
+                    default = Some(self.parse_expr()?);
+                } else if self.eat_kw("PRIMARY") {
+                    // PRIMARY KEY is accepted and treated as NOT NULL (no
+                    // index structures; see DESIGN.md non-goals).
+                    self.expect_kw("KEY")?;
+                    not_null = true;
+                } else if self.eat_kw("NULL") {
+                    // explicit NULL-able marker
+                } else {
+                    break;
+                }
+            }
+            columns.push(ColumnDef { name: col_name, type_name, not_null, default });
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_token(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns, if_not_exists, as_select: None })
+    }
+
+    fn parse_type_name(&mut self) -> Result<String> {
+        let base = self.expect_ident()?;
+        // Swallow parametrized types: VARCHAR(20), DECIMAL(10,2).
+        if self.eat_token(&Token::LParen) {
+            while !self.eat_token(&Token::RParen) {
+                if self.advance().is_none() {
+                    return Err(self.error("unterminated type parameters"));
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_copy(&mut self) -> Result<Statement> {
+        let table = self.expect_ident()?;
+        let to = if self.eat_kw("FROM") {
+            false
+        } else {
+            self.expect_kw("TO")?;
+            true
+        };
+        let path = self.expect_string()?;
+        let mut options = CopyOptions::default();
+        if self.eat_token(&Token::LParen) {
+            loop {
+                let opt = self.expect_ident()?.to_ascii_uppercase();
+                match opt.as_str() {
+                    "HEADER" => {
+                        options.header = match self.peek() {
+                            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => {
+                                self.pos += 1;
+                                false
+                            }
+                            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => {
+                                self.pos += 1;
+                                true
+                            }
+                            _ => true,
+                        }
+                    }
+                    "DELIMITER" | "DELIM" | "SEP" => {
+                        let s = self.expect_string()?;
+                        options.delimiter = s.chars().next().unwrap_or(',');
+                    }
+                    "NULL" | "NULLSTR" => {
+                        options.null_string = self.expect_string()?;
+                    }
+                    other => return Err(self.error(format!("unknown COPY option {other}"))),
+                }
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+        }
+        Ok(if to {
+            Statement::CopyTo { table, path, options }
+        } else {
+            Statement::CopyFrom { table, path, options }
+        })
+    }
+
+    /// Reconstruct SQL text from tokens (for view definitions).
+    fn render_tokens(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        for t in &self.tokens[start..end] {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            match t {
+                Token::Ident(s) => out.push_str(s),
+                Token::QuotedIdent(s) => {
+                    out.push('"');
+                    out.push_str(&s.replace('"', "\"\""));
+                    out.push('"');
+                }
+                Token::Integer(v) => out.push_str(&v.to_string()),
+                Token::Float(v) => out.push_str(&v.to_string()),
+                Token::Str(s) => {
+                    out.push('\'');
+                    out.push_str(&s.replace('\'', "''"));
+                    out.push('\'');
+                }
+                Token::LParen => out.push('('),
+                Token::RParen => out.push(')'),
+                Token::Comma => out.push(','),
+                Token::Semicolon => out.push(';'),
+                Token::Star => out.push('*'),
+                Token::Plus => out.push('+'),
+                Token::Minus => out.push('-'),
+                Token::Slash => out.push('/'),
+                Token::Percent => out.push('%'),
+                Token::Eq => out.push('='),
+                Token::NotEq => out.push_str("<>"),
+                Token::Lt => out.push('<'),
+                Token::LtEq => out.push_str("<="),
+                Token::Gt => out.push('>'),
+                Token::GtEq => out.push_str(">="),
+                Token::Dot => out.push('.'),
+                Token::Concat => out.push_str("||"),
+            }
+        }
+        out
+    }
+
+    // ---------------- SELECT ----------------
+
+    pub fn parse_select(&mut self) -> Result<SelectStatement> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("WITH") {
+            loop {
+                let name = self.expect_ident()?;
+                self.expect_kw("AS")?;
+                self.expect_token(&Token::LParen)?;
+                let query = self.parse_select()?;
+                self.expect_token(&Token::RParen)?;
+                ctes.push((name, query));
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.parse_select_body()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let descending = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                let nulls_first = if self.eat_kw("NULLS") {
+                    if self.eat_kw("FIRST") {
+                        Some(true)
+                    } else {
+                        self.expect_kw("LAST")?;
+                        Some(false)
+                    }
+                } else {
+                    None
+                };
+                order_by.push(OrderItem { expr, descending, nulls_first });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_kw("LIMIT") {
+                limit = Some(self.parse_expr()?);
+            } else if self.eat_kw("OFFSET") {
+                offset = Some(self.parse_expr()?);
+            } else {
+                break;
+            }
+        }
+        Ok(SelectStatement { ctes, body, order_by, limit, offset })
+    }
+
+    fn parse_select_body(&mut self) -> Result<SelectBody> {
+        let mut left = SelectBody::Query(self.parse_query_block()?);
+        while self.peek_kw("UNION") {
+            self.pos += 1;
+            let all = self.eat_kw("ALL");
+            if !all {
+                self.eat_kw("DISTINCT");
+            }
+            let right = SelectBody::Query(self.parse_query_block()?);
+            left = SelectBody::Union { left: Box::new(left), right: Box::new(right), all };
+        }
+        Ok(left)
+    }
+
+    fn parse_query_block(&mut self) -> Result<QueryBlock> {
+        self.expect_kw("SELECT")?;
+        let distinct = if self.eat_kw("DISTINCT") {
+            true
+        } else {
+            self.eat_kw("ALL");
+            false
+        };
+        let mut projection = Vec::new();
+        loop {
+            if self.eat_token(&Token::Star) {
+                projection.push(SelectItem::Wildcard);
+            } else if matches!(self.peek(), Some(Token::Ident(_)))
+                && self.peek_at(1) == Some(&Token::Dot)
+                && self.peek_at(2) == Some(&Token::Star)
+            {
+                let t = self.expect_ident()?;
+                self.pos += 2;
+                projection.push(SelectItem::QualifiedWildcard(t));
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.expect_ident()?)
+                } else {
+                    match self.peek() {
+                        Some(Token::Ident(s))
+                            if !is_reserved_after_select_item(s) =>
+                        {
+                            let a = s.clone();
+                            self.pos += 1;
+                            Some(a)
+                        }
+                        Some(Token::QuotedIdent(s)) => {
+                            let a = s.clone();
+                            self.pos += 1;
+                            Some(a)
+                        }
+                        _ => None,
+                    }
+                };
+                projection.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw("FROM") { Some(self.parse_table_ref()?) } else { None };
+        let filter = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
+        Ok(QueryBlock { distinct, projection, from, filter, group_by, having })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else if self.eat_token(&Token::Comma) {
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let on = if kind != JoinKind::Cross {
+                self.expect_kw("ON")?;
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableRef> {
+        if self.eat_token(&Token::LParen) {
+            let query = self.parse_select()?;
+            self.expect_token(&Token::RParen)?;
+            self.eat_kw("AS");
+            let alias = self.expect_ident()?;
+            return Ok(TableRef::Subquery { query: Box::new(query), alias });
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.expect_ident()?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !is_reserved_after_table(s) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                Some(Token::QuotedIdent(s)) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // ---------------- expressions (precedence climbing) ----------------
+
+    pub fn parse_expr(&mut self) -> Result<AstExpr> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(EiderError::Parse(format!(
+                "expression nesting exceeds the maximum depth of {MAX_EXPR_DEPTH}"
+            )));
+        }
+        let result = self.parse_or();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left =
+                AstExpr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("NOT") {
+            if self.peek_kw("EXISTS") {
+                // NOT EXISTS(...)
+                let e = self.parse_not()?;
+                if let AstExpr::Exists { query, negated } = e {
+                    return Ok(AstExpr::Exists { query, negated: !negated });
+                }
+                return Ok(AstExpr::Not(Box::new(e)));
+            }
+            return Ok(AstExpr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<AstExpr> {
+        let left = self.parse_additive()?;
+        // postfix predicates: IS [NOT] NULL, [NOT] BETWEEN/IN/LIKE
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(AstExpr::IsNull { child: Box::new(left), negated });
+        }
+        let negated = if self.peek_kw("NOT")
+            && matches!(self.peek_at(1), Some(t) if t.is_kw("BETWEEN") || t.is_kw("IN") || t.is_kw("LIKE"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(AstExpr::Between {
+                child: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_token(&Token::LParen)?;
+            if self.peek_kw("SELECT") || self.peek_kw("WITH") {
+                let query = self.parse_select()?;
+                self.expect_token(&Token::RParen)?;
+                return Ok(AstExpr::InSubquery {
+                    child: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_token(&Token::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_token(&Token::RParen)?;
+            return Ok(AstExpr::InList { child: Box::new(left), list, negated });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(AstExpr::Like { child: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(self.error("dangling NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinaryOp::Eq,
+            Some(Token::NotEq) => BinaryOp::NotEq,
+            Some(Token::Lt) => BinaryOp::Lt,
+            Some(Token::LtEq) => BinaryOp::LtEq,
+            Some(Token::Gt) => BinaryOp::Gt,
+            Some(Token::GtEq) => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        Ok(AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                Some(Token::Concat) => BinaryOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr> {
+        if self.eat_token(&Token::Minus) {
+            return Ok(AstExpr::Unary { minus: true, child: Box::new(self.parse_unary()?) });
+        }
+        if self.eat_token(&Token::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr> {
+        match self.peek().cloned() {
+            Some(Token::Integer(v)) => {
+                self.pos += 1;
+                // Literals small enough become INTEGER, else BIGINT.
+                Ok(AstExpr::Literal(if v >= i64::from(i32::MIN) && v <= i64::from(i32::MAX) {
+                    Value::Integer(v as i32)
+                } else {
+                    Value::BigInt(v)
+                }))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::Double(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::Varchar(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.peek_kw("SELECT") || self.peek_kw("WITH") {
+                    return Err(self.error(
+                        "scalar subqueries in expressions are not supported \
+                         (IN (SELECT ...) and EXISTS are)",
+                    ));
+                }
+                let e = self.parse_expr()?;
+                self.expect_token(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(word)) => {
+                // Keyword-led expressions.
+                if word.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(AstExpr::Literal(Value::Null));
+                }
+                if word.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(AstExpr::Literal(Value::Boolean(true)));
+                }
+                if word.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(AstExpr::Literal(Value::Boolean(false)));
+                }
+                if word.eq_ignore_ascii_case("DATE") {
+                    if let Some(Token::Str(_)) = self.peek_at(1) {
+                        self.pos += 1;
+                        let s = self.expect_string()?;
+                        return Ok(AstExpr::Literal(Value::Date(
+                            eider_vector::date::parse_date(&s)?,
+                        )));
+                    }
+                }
+                if word.eq_ignore_ascii_case("TIMESTAMP") {
+                    if let Some(Token::Str(_)) = self.peek_at(1) {
+                        self.pos += 1;
+                        let s = self.expect_string()?;
+                        return Ok(AstExpr::Literal(Value::Timestamp(
+                            eider_vector::date::parse_timestamp(&s)?,
+                        )));
+                    }
+                }
+                if word.eq_ignore_ascii_case("CAST") {
+                    self.pos += 1;
+                    self.expect_token(&Token::LParen)?;
+                    let child = self.parse_expr()?;
+                    self.expect_kw("AS")?;
+                    let type_name = self.parse_type_name()?;
+                    self.expect_token(&Token::RParen)?;
+                    return Ok(AstExpr::Cast { child: Box::new(child), type_name });
+                }
+                if word.eq_ignore_ascii_case("CASE") {
+                    return self.parse_case();
+                }
+                if word.eq_ignore_ascii_case("EXISTS") {
+                    self.pos += 1;
+                    self.expect_token(&Token::LParen)?;
+                    let query = self.parse_select()?;
+                    self.expect_token(&Token::RParen)?;
+                    return Ok(AstExpr::Exists { query: Box::new(query), negated: false });
+                }
+                // Function call?
+                if self.peek_at(1) == Some(&Token::LParen) {
+                    self.pos += 2;
+                    if self.eat_token(&Token::Star) {
+                        self.expect_token(&Token::RParen)?;
+                        return Ok(AstExpr::Function {
+                            name: word,
+                            args: Vec::new(),
+                            distinct: false,
+                            star: true,
+                        });
+                    }
+                    let distinct = self.eat_kw("DISTINCT");
+                    let mut args = Vec::new();
+                    if !self.eat_token(&Token::RParen) {
+                        args.push(self.parse_expr()?);
+                        while self.eat_token(&Token::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                        self.expect_token(&Token::RParen)?;
+                    }
+                    return Ok(AstExpr::Function { name: word, args, distinct, star: false });
+                }
+                // Qualified or bare column.
+                self.pos += 1;
+                if self.eat_token(&Token::Dot) {
+                    let col = self.expect_ident()?;
+                    return Ok(AstExpr::Column { table: Some(word), name: col });
+                }
+                Ok(AstExpr::Column { table: None, name: word })
+            }
+            Some(Token::QuotedIdent(word)) => {
+                self.pos += 1;
+                if self.eat_token(&Token::Dot) {
+                    let col = self.expect_ident()?;
+                    return Ok(AstExpr::Column { table: Some(word), name: col });
+                }
+                Ok(AstExpr::Column { table: None, name: word })
+            }
+            other => Err(self.error(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<AstExpr> {
+        self.expect_kw("CASE")?;
+        let operand = if !self.peek_kw("WHEN") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_kw("THEN")?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN branch"));
+        }
+        let else_expr =
+            if self.eat_kw("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_kw("END")?;
+        Ok(AstExpr::Case { operand, branches, else_expr })
+    }
+}
+
+fn is_reserved_after_select_item(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION", "AS", "ON",
+        "JOIN", "INNER", "LEFT", "CROSS", "AND", "OR", "NOT", "WHEN", "THEN", "ELSE", "END",
+        "ASC", "DESC", "NULLS",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+fn is_reserved_after_table(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION", "ON", "JOIN", "INNER",
+        "LEFT", "CROSS", "SET", "AND", "OR", "USING",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(sql: &str) -> Statement {
+        let mut v = parse_statements(sql).unwrap();
+        assert_eq!(v.len(), 1, "{sql}");
+        v.remove(0)
+    }
+
+    #[test]
+    fn select_with_all_clauses() {
+        let s = one(
+            "SELECT a, sum(b) AS total FROM t WHERE c > 5 GROUP BY a \
+             HAVING sum(b) > 10 ORDER BY total DESC NULLS LAST LIMIT 5 OFFSET 2",
+        );
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(sel.order_by[0].descending);
+        assert_eq!(sel.order_by[0].nulls_first, Some(false));
+        assert!(sel.limit.is_some() && sel.offset.is_some());
+        let SelectBody::Query(q) = &sel.body else { panic!() };
+        assert_eq!(q.projection.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn joins() {
+        let s = one("SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.z");
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectBody::Query(q) = &sel.body else { panic!() };
+        let Some(TableRef::Join { kind, .. }) = &q.from else { panic!() };
+        assert_eq!(*kind, JoinKind::Left);
+    }
+
+    #[test]
+    fn implicit_cross_join_and_aliases() {
+        let s = one("SELECT t1.a FROM t t1, t t2 WHERE t1.a = t2.a");
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectBody::Query(q) = &sel.body else { panic!() };
+        assert!(matches!(
+            &q.from,
+            Some(TableRef::Join { kind: JoinKind::Cross, .. })
+        ));
+    }
+
+    #[test]
+    fn insert_forms() {
+        let s = one("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)");
+        let Statement::Insert { columns, source, .. } = s else { panic!() };
+        assert_eq!(columns.unwrap().len(), 2);
+        let InsertSource::Values(rows) = source else { panic!() };
+        assert_eq!(rows.len(), 2);
+        let s = one("INSERT INTO t SELECT * FROM u");
+        assert!(matches!(
+            s,
+            Statement::Insert { source: InsertSource::Select(_), .. }
+        ));
+    }
+
+    #[test]
+    fn the_papers_wrangling_update() {
+        let s = one("UPDATE t SET d = NULL WHERE d = -999");
+        let Statement::Update { table, assignments, filter } = s else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(assignments.len(), 1);
+        assert!(matches!(assignments[0].1, AstExpr::Literal(Value::Null)));
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn create_table_with_constraints() {
+        let s = one(
+            "CREATE TABLE IF NOT EXISTS sensors (id INTEGER PRIMARY KEY, \
+             v DOUBLE DEFAULT 0.0, name VARCHAR(20) NOT NULL, ts TIMESTAMP)",
+        );
+        let Statement::CreateTable { columns, if_not_exists, .. } = s else { panic!() };
+        assert!(if_not_exists);
+        assert_eq!(columns.len(), 4);
+        assert!(columns[0].not_null); // PRIMARY KEY implies NOT NULL
+        assert!(columns[1].default.is_some());
+        assert!(columns[2].not_null);
+    }
+
+    #[test]
+    fn create_view_round_trips_sql() {
+        let s = one("CREATE VIEW v AS SELECT a + 1 FROM t WHERE b = 'x''y'");
+        let Statement::CreateView { sql, .. } = s else { panic!() };
+        // The stored text must re-parse.
+        let reparsed = parse_statements(&sql).unwrap();
+        assert!(matches!(reparsed[0], Statement::Select(_)));
+    }
+
+    #[test]
+    fn expressions() {
+        let s = one(
+            "SELECT CASE WHEN a BETWEEN 1 AND 5 THEN 'low' ELSE upper(b) END, \
+             a IN (1, 2, 3), c IS NOT NULL, d NOT LIKE '%x%', \
+             CAST(e AS BIGINT), -f + 2 * 3, DATE '2020-01-12' FROM t",
+        );
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectBody::Query(q) = &sel.body else { panic!() };
+        assert_eq!(q.projection.len(), 7);
+    }
+
+    #[test]
+    fn subquery_predicates() {
+        let s = one("SELECT * FROM t WHERE x IN (SELECT y FROM u) AND EXISTS(SELECT 1 FROM v)");
+        let Statement::Select(_) = s else { panic!() };
+        let err = parse_statements("SELECT (SELECT 1)").unwrap_err();
+        assert!(err.to_string().contains("scalar subqueries"));
+    }
+
+    #[test]
+    fn union_and_ctes() {
+        let s = one(
+            "WITH big AS (SELECT a FROM t WHERE a > 100) \
+             SELECT * FROM big UNION ALL SELECT a FROM u",
+        );
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.ctes.len(), 1);
+        assert!(matches!(sel.body, SelectBody::Union { all: true, .. }));
+    }
+
+    #[test]
+    fn utility_statements() {
+        assert!(matches!(one("BEGIN TRANSACTION"), Statement::Begin));
+        assert!(matches!(one("COMMIT"), Statement::Commit));
+        assert!(matches!(one("ROLLBACK"), Statement::Rollback));
+        assert!(matches!(one("CHECKPOINT"), Statement::Checkpoint));
+        assert!(matches!(one("SHOW TABLES"), Statement::ShowTables));
+        let s = one("PRAGMA memory_limit = 1000000");
+        assert!(matches!(s, Statement::Pragma { .. }));
+        let s = one("EXPLAIN SELECT 1");
+        assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn copy_statements() {
+        let s = one("COPY t FROM 'data.csv' (HEADER, DELIMITER '|', NULL '-999')");
+        let Statement::CopyFrom { options, .. } = s else { panic!() };
+        assert!(options.header);
+        assert_eq!(options.delimiter, '|');
+        assert_eq!(options.null_string, "-999");
+        assert!(matches!(one("COPY t TO 'out.csv'"), Statement::CopyTo { .. }));
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let v = parse_statements("SELECT 1; SELECT 2;; SELECT 3").unwrap();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_are_errors() {
+        for bad in ["SELECT a,", "INSERT t", "CREATE TABLE t", "SELECT * FROM", "UPDATE"] {
+            assert!(parse_statements(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

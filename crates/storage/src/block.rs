@@ -1,0 +1,117 @@
+//! Block geometry and the checksummed block codec.
+//!
+//! Every on-disk block is exactly [`BLOCK_SIZE`] bytes: an 8-byte checksum
+//! slot (CRC-32C of the payload, zero-extended to u64) followed by
+//! [`BLOCK_PAYLOAD`] payload bytes. Blocks are read and written in their
+//! entirety (§6), and the checksum is verified on every read (§3).
+
+use eider_vector::{EiderError, Result};
+use eider_resilience::checksum::crc32c;
+
+/// Fixed block size: 256 KiB, per §6 of the paper.
+pub const BLOCK_SIZE: usize = 256 * 1024;
+
+/// Bytes of payload per block (block size minus the checksum slot).
+pub const BLOCK_PAYLOAD: usize = BLOCK_SIZE - 8;
+
+/// Index of a block within the database file.
+pub type BlockId = u64;
+
+/// Sentinel for "no block" (e.g. end of a meta-block chain).
+pub const INVALID_BLOCK: BlockId = u64::MAX;
+
+/// Encode `payload` into a full block image: checksum header + payload,
+/// zero-padded to [`BLOCK_SIZE`]. Panics if the payload is oversized
+/// (caller bug, not data-dependent).
+pub fn encode_block(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= BLOCK_PAYLOAD,
+        "payload of {} bytes exceeds block payload capacity {}",
+        payload.len(),
+        BLOCK_PAYLOAD
+    );
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    buf[8..8 + payload.len()].copy_from_slice(payload);
+    let crc = crc32c(&buf[8..]);
+    buf[..8].copy_from_slice(&u64::from(crc).to_le_bytes());
+    buf
+}
+
+/// Verify a full block image and return its payload ([`BLOCK_PAYLOAD`]
+/// bytes including padding). Fails with a `Corruption` error on checksum
+/// mismatch — the silent-error detection §3 requires.
+pub fn decode_block(buf: &[u8], id: BlockId) -> Result<Vec<u8>> {
+    if buf.len() != BLOCK_SIZE {
+        return Err(EiderError::Corruption(format!(
+            "block {id} has size {} instead of {BLOCK_SIZE}",
+            buf.len()
+        )));
+    }
+    let stored = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    let actual = u64::from(crc32c(&buf[8..]));
+    if stored != actual {
+        return Err(EiderError::Corruption(format!(
+            "checksum mismatch on block {id}: stored {stored:#x}, computed {actual:#x} — \
+             persistent storage corrupted this block"
+        )));
+    }
+    Ok(buf[8..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let payload = vec![7u8; 1000];
+        let block = encode_block(&payload);
+        assert_eq!(block.len(), BLOCK_SIZE);
+        let decoded = decode_block(&block, 3).unwrap();
+        assert_eq!(&decoded[..1000], payload.as_slice());
+        assert!(decoded[1000..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let block = encode_block(&[]);
+        let decoded = decode_block(&block, 0).unwrap();
+        assert_eq!(decoded.len(), BLOCK_PAYLOAD);
+    }
+
+    #[test]
+    fn bit_flip_in_payload_detected() {
+        let mut block = encode_block(&[1, 2, 3, 4]);
+        block[100] ^= 0x10;
+        let err = decode_block(&block, 9).unwrap_err();
+        assert!(err.is_integrity_error());
+        assert!(err.to_string().contains("block 9"));
+    }
+
+    #[test]
+    fn bit_flip_in_checksum_slot_detected() {
+        let mut block = encode_block(&[1, 2, 3, 4]);
+        block[0] ^= 1;
+        assert!(decode_block(&block, 0).is_err());
+    }
+
+    #[test]
+    fn bit_flip_in_padding_detected() {
+        // The checksum covers padding too: corruption anywhere in the
+        // 256 KiB image is caught, not only in the logical payload.
+        let mut block = encode_block(&[1, 2, 3, 4]);
+        block[BLOCK_SIZE - 1] ^= 0x80;
+        assert!(decode_block(&block, 0).is_err());
+    }
+
+    #[test]
+    fn short_block_rejected() {
+        assert!(decode_block(&[0u8; 100], 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds block payload")]
+    fn oversized_payload_panics() {
+        encode_block(&vec![0u8; BLOCK_PAYLOAD + 1]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The buffer manager: memory accounting and tested allocations.
+//!
+//! Two of the paper's requirements meet here:
+//!
+//! * **Cooperation (§4)** — "DuckDB for now allows the user to manually set
+//!   hard limits on memory": every memory-hungry operator (hash join build
+//!   sides, sort runs, aggregation tables) reserves its footprint through
+//!   the buffer manager, which enforces the configured limit and thereby
+//!   drives operators to spill or switch strategies.
+//! * **Resilience (§3)** — "we plan to integrate memory tests into the
+//!   buffer manager, which will test all buffers on allocation to detect
+//!   existing errors": [`BufferManager::allocate_tested`] runs a moving-
+//!   inversions pass over each fresh buffer, escalating from quick to full
+//!   tests once the [`HealthMonitor`] has seen a fault.
+
+use eider_resilience::health::{CheckingMode, FaultCategory, HealthMonitor};
+use eider_resilience::memtest::{MemRegion, MemTestKind, MemoryTester};
+use eider_vector::{EiderError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Configuration for the buffer manager.
+#[derive(Debug, Clone)]
+pub struct BufferManagerConfig {
+    /// Hard memory limit in bytes for tracked allocations (§4).
+    pub memory_limit: usize,
+    /// Whether to memory-test buffers on allocation (§3).
+    pub memtest_allocations: bool,
+}
+
+impl Default for BufferManagerConfig {
+    fn default() -> Self {
+        // The paper's cooperation argument: never assume the whole machine.
+        // Default to a deliberately modest 1 GiB rather than probing for
+        // all available RAM the way server DBMSs do.
+        BufferManagerConfig { memory_limit: 1 << 30, memtest_allocations: true }
+    }
+}
+
+/// Tracks all operator memory against the configured limit.
+#[derive(Debug)]
+pub struct BufferManager {
+    limit: AtomicUsize,
+    used: AtomicUsize,
+    memtest_allocations: bool,
+    health: Arc<HealthMonitor>,
+}
+
+impl BufferManager {
+    pub fn new(config: BufferManagerConfig) -> Arc<Self> {
+        Self::with_health(config, Arc::new(HealthMonitor::new()))
+    }
+
+    pub fn with_health(config: BufferManagerConfig, health: Arc<HealthMonitor>) -> Arc<Self> {
+        Arc::new(BufferManager {
+            limit: AtomicUsize::new(config.memory_limit),
+            used: AtomicUsize::new(0),
+            memtest_allocations: config.memtest_allocations,
+            health,
+        })
+    }
+
+    pub fn memory_limit(&self) -> usize {
+        self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Adjust the limit at runtime (`PRAGMA memory_limit`, or the adaptive
+    /// controller of §4 shrinking the DBMS under application pressure).
+    pub fn set_memory_limit(&self, bytes: usize) {
+        self.limit.store(bytes, Ordering::Relaxed);
+    }
+
+    pub fn used_memory(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    pub fn available_memory(&self) -> usize {
+        self.memory_limit().saturating_sub(self.used_memory())
+    }
+
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        &self.health
+    }
+
+    /// Reserve `bytes` against the limit; fails with `OutOfMemory` when the
+    /// budget is exhausted, which is the signal operators use to spill.
+    pub fn reserve(self: &Arc<Self>, bytes: usize) -> Result<MemoryReservation> {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = current + bytes;
+            if new > self.memory_limit() {
+                return Err(EiderError::OutOfMemory(format!(
+                    "cannot reserve {bytes} bytes: {current} of {} in use \
+                     (raise the limit with PRAGMA memory_limit or let the operator spill)",
+                    self.memory_limit()
+                )));
+            }
+            match self.used.compare_exchange_weak(
+                current,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(MemoryReservation { mgr: Arc::clone(self), bytes }),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: usize) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Allocate a zeroed, memory-tested buffer of `bytes` (rounded up to
+    /// whole 8-byte words). In `Relaxed` health mode a quick test runs; in
+    /// `Paranoid` mode (a fault has been seen) the full moving-inversions
+    /// battery runs. A failing buffer is reported and the allocation
+    /// refused — the quarantine policy §3 sketches.
+    pub fn allocate_tested(self: &Arc<Self>, bytes: usize) -> Result<TestedBuffer> {
+        let reservation = self.reserve(bytes)?;
+        let words = (bytes + 7) / 8;
+        let mut data = vec![0u64; words];
+        if self.memtest_allocations {
+            let kind = match self.health.mode() {
+                CheckingMode::Relaxed => MemTestKind::Quick,
+                CheckingMode::Paranoid => MemTestKind::Full,
+                CheckingMode::Failed => {
+                    return Err(EiderError::HardwareFault(
+                        "refusing allocation: hardware declared failed after repeated faults"
+                            .into(),
+                    ))
+                }
+            };
+            let report = MemoryTester::new(kind).test(data.as_mut_slice());
+            if !report.is_healthy() {
+                self.health.record_fault(FaultCategory::MemoryCorruption);
+                return Err(EiderError::HardwareFault(format!(
+                    "memory test failed on fresh buffer: {} faulty words (first at {:?})",
+                    report.faulty_words().len(),
+                    report.errors.first().map(|e| e.word)
+                )));
+            }
+            data.fill(0);
+        }
+        Ok(TestedBuffer { words: data, len_bytes: bytes, _reservation: reservation })
+    }
+}
+
+/// RAII memory reservation; releases its bytes on drop.
+#[derive(Debug)]
+pub struct MemoryReservation {
+    mgr: Arc<BufferManager>,
+    bytes: usize,
+}
+
+impl MemoryReservation {
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grow the reservation in place (e.g. a hash table doubling).
+    pub fn grow(&mut self, extra: usize) -> Result<()> {
+        let add = self.mgr.reserve(extra)?;
+        // Merge: forget the temp guard, absorb its bytes.
+        let add_bytes = add.bytes;
+        std::mem::forget(add);
+        self.bytes += add_bytes;
+        Ok(())
+    }
+
+    /// Shrink the reservation (e.g. after spilling a partition).
+    pub fn shrink(&mut self, less: usize) {
+        let less = less.min(self.bytes);
+        self.bytes -= less;
+        self.mgr.release(less);
+    }
+}
+
+impl Drop for MemoryReservation {
+    fn drop(&mut self) {
+        self.mgr.release(self.bytes);
+    }
+}
+
+/// A zeroed buffer that passed its allocation-time memory test.
+#[derive(Debug)]
+pub struct TestedBuffer {
+    words: Vec<u64>,
+    len_bytes: usize,
+    _reservation: MemoryReservation,
+}
+
+impl TestedBuffer {
+    pub fn len(&self) -> usize {
+        self.len_bytes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Re-run a memory test over the buffer *in place is impossible* — the
+    /// test is destructive — so this checks a scratch copy pattern instead:
+    /// periodic re-verification per §6 ("periodically to detect new
+    /// errors") is done by the owner when the buffer is free.
+    pub fn retest(&mut self, kind: MemTestKind) -> bool {
+        let report = MemoryTester::new(kind).test(self.words.as_mut_slice());
+        self.words.fill(0);
+        report.is_healthy()
+    }
+}
+
+/// Adapter: treat a byte slice as a word-addressable [`MemRegion`] (tail
+/// bytes that do not fill a word are not tested).
+pub struct ByteRegion<'a>(pub &'a mut [u8]);
+
+impl MemRegion for ByteRegion<'_> {
+    fn len_words(&self) -> usize {
+        self.0.len() / 8
+    }
+    fn read_word(&self, idx: usize) -> u64 {
+        u64::from_le_bytes(self.0[idx * 8..idx * 8 + 8].try_into().expect("8"))
+    }
+    fn write_word(&mut self, idx: usize, value: u64) {
+        self.0[idx * 8..idx * 8 + 8].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(limit: usize) -> Arc<BufferManager> {
+        BufferManager::new(BufferManagerConfig { memory_limit: limit, memtest_allocations: true })
+    }
+
+    #[test]
+    fn reserve_and_release() {
+        let m = mgr(1000);
+        let r = m.reserve(400).unwrap();
+        assert_eq!(m.used_memory(), 400);
+        let r2 = m.reserve(600).unwrap();
+        assert_eq!(m.available_memory(), 0);
+        assert!(m.reserve(1).is_err());
+        drop(r);
+        assert_eq!(m.used_memory(), 600);
+        drop(r2);
+        assert_eq!(m.used_memory(), 0);
+    }
+
+    #[test]
+    fn grow_and_shrink() {
+        let m = mgr(1000);
+        let mut r = m.reserve(100).unwrap();
+        r.grow(200).unwrap();
+        assert_eq!(m.used_memory(), 300);
+        assert!(r.grow(800).is_err());
+        r.shrink(250);
+        assert_eq!(m.used_memory(), 50);
+        drop(r);
+        assert_eq!(m.used_memory(), 0);
+    }
+
+    #[test]
+    fn tested_allocation_is_zeroed_and_accounted() {
+        let m = mgr(1 << 20);
+        let buf = m.allocate_tested(4096).unwrap();
+        assert_eq!(buf.len(), 4096);
+        assert!(buf.as_words().iter().all(|&w| w == 0));
+        assert!(m.used_memory() >= 4096);
+        drop(buf);
+        assert_eq!(m.used_memory(), 0);
+    }
+
+    #[test]
+    fn allocation_over_limit_fails() {
+        let m = mgr(1024);
+        assert!(m.allocate_tested(2048).is_err());
+    }
+
+    #[test]
+    fn paranoid_mode_uses_full_test_and_failed_mode_refuses() {
+        let m = mgr(1 << 20);
+        // Trip the health monitor into Failed.
+        for _ in 0..8 {
+            m.health().record_fault(FaultCategory::MemoryCorruption);
+        }
+        let err = m.allocate_tested(64).unwrap_err();
+        assert!(matches!(err, EiderError::HardwareFault(_)));
+    }
+
+    #[test]
+    fn limit_can_change_at_runtime() {
+        let m = mgr(100);
+        assert!(m.reserve(200).is_err());
+        m.set_memory_limit(500);
+        let _r = m.reserve(200).unwrap();
+        assert_eq!(m.memory_limit(), 500);
+    }
+
+    #[test]
+    fn concurrent_reservations_respect_limit() {
+        let m = mgr(10_000);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    let mut ok = 0;
+                    for _ in 0..100 {
+                        if let Ok(r) = m.reserve(100) {
+                            ok += 1;
+                            drop(r);
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.used_memory(), 0);
+    }
+
+    #[test]
+    fn byte_region_round_trips_words() {
+        let mut bytes = vec![0u8; 20];
+        let mut region = ByteRegion(&mut bytes);
+        assert_eq!(region.len_words(), 2);
+        region.write_word(1, 0xDEADBEEF);
+        assert_eq!(region.read_word(1), 0xDEADBEEF);
+        assert_eq!(region.read_word(0), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! MVCC transactions and versioned table storage (§6 of the paper).
+//!
+//! "DuckDB provides ACID-compliance through Multi-Version Concurrency
+//! Control (MVCC). ... We implement HyPer's serializable variant of MVCC
+//! that is tailored specifically for hybrid OLAP/OLTP systems. This variant
+//! updates data in-place immediately, and keeps previous states stored in a
+//! separate undo buffer for concurrent transactions and aborts."
+//!
+//! The combined OLAP & ETL workload of §2 shapes everything here:
+//! * bulk appends and bulk updates/deletes are first-class (chunk-at-a-time
+//!   APIs, per-row-group locking rather than per-row locks);
+//! * updates touch single columns without rewriting the others ("when some
+//!   columns in a table are changed, the unchanged columns should not be
+//!   rewritten in any way");
+//! * concurrent dashboards work: readers scan consistent snapshots while
+//!   ETL writers commit, without blocking each other.
+//!
+//! Modules:
+//! * [`manager`] — transaction lifecycle, commit/abort, serializability
+//!   validation (precision-locking style, conservative range summaries),
+//!   and garbage collection of obsolete undo versions;
+//! * [`table`] — [`DataTable`]: columnar row groups with per-row version
+//!   stamps, in-place updates + undo chains, and zone-map scan skipping;
+//! * [`predicate`] — scan filters, read predicates and write summaries.
+
+pub mod manager;
+pub mod predicate;
+pub mod table;
+
+pub use manager::{Transaction, TransactionManager, TXN_ID_START};
+pub use predicate::{CmpOp, ReadPredicate, TableFilter};
+pub use table::{DataTable, RowId, ScanOptions, ROW_GROUP_SIZE};

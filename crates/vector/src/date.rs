@@ -1,0 +1,213 @@
+//! Calendar conversions for the DATE and TIMESTAMP physical encodings.
+//!
+//! DATE is stored as days since 1970-01-01, TIMESTAMP as microseconds since
+//! 1970-01-01 00:00:00. The civil-from-days / days-from-civil conversions
+//! use Howard Hinnant's proleptic-Gregorian algorithms, which are exact for
+//! the full i32 range.
+
+use crate::error::{EiderError, Result};
+
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+pub const SECS_PER_DAY: i64 = 86_400;
+pub const MICROS_PER_DAY: i64 = MICROS_PER_SEC * SECS_PER_DAY;
+
+/// Days since the Unix epoch for a proleptic Gregorian calendar date.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Parse `YYYY-MM-DD` into days since the epoch.
+pub fn parse_date(s: &str) -> Result<i32> {
+    let err = || EiderError::TypeMismatch(format!("'{s}' is not a valid DATE (YYYY-MM-DD)"));
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let mut parts = body.splitn(3, '-');
+    let y: i32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let y = if neg { -y } else { y };
+    let m: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let d: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+        return Err(err());
+    }
+    let days = days_from_civil(y, m, d);
+    i32::try_from(days).map_err(|_| err())
+}
+
+/// Format days since epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(i64::from(days));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Parse `YYYY-MM-DD[ HH:MM:SS[.ffffff]]` into microseconds since epoch.
+pub fn parse_timestamp(s: &str) -> Result<i64> {
+    let err =
+        || EiderError::TypeMismatch(format!("'{s}' is not a valid TIMESTAMP (YYYY-MM-DD HH:MM:SS)"));
+    let s = s.trim();
+    let (date_part, time_part) = match s.find(|c| c == ' ' || c == 'T') {
+        Some(idx) => (&s[..idx], Some(&s[idx + 1..])),
+        None => (s, None),
+    };
+    let days = i64::from(parse_date(date_part)?);
+    let mut micros = days * MICROS_PER_DAY;
+    if let Some(t) = time_part {
+        let (hms, frac) = match t.find('.') {
+            Some(idx) => (&t[..idx], Some(&t[idx + 1..])),
+            None => (t, None),
+        };
+        let mut it = hms.splitn(3, ':');
+        let h: i64 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let mi: i64 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let sec: i64 = match it.next() {
+            Some(v) => v.parse().map_err(|_| err())?,
+            None => 0,
+        };
+        if h > 23 || mi > 59 || sec > 59 {
+            return Err(err());
+        }
+        micros += ((h * 3600 + mi * 60 + sec) * MICROS_PER_SEC) as i64;
+        if let Some(frac) = frac {
+            if frac.is_empty() || frac.len() > 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(err());
+            }
+            let mut v: i64 = frac.parse().map_err(|_| err())?;
+            for _ in frac.len()..6 {
+                v *= 10;
+            }
+            micros += v;
+        }
+    }
+    Ok(micros)
+}
+
+/// Format microseconds since epoch as `YYYY-MM-DD HH:MM:SS[.ffffff]`.
+pub fn format_timestamp(micros: i64) -> String {
+    let days = micros.div_euclid(MICROS_PER_DAY);
+    let in_day = micros.rem_euclid(MICROS_PER_DAY);
+    let (y, m, d) = civil_from_days(days);
+    let secs = in_day / MICROS_PER_SEC;
+    let frac = in_day % MICROS_PER_SEC;
+    let (h, mi, s) = (secs / 3600, (secs / 60) % 60, secs % 60);
+    if frac == 0 {
+        format!("{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+    } else {
+        format!("{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}.{frac:06}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(parse_date("2020-01-12").unwrap(), 18273); // CIDR'20 start
+        assert_eq!(format_date(18273), "2020-01-12");
+        assert_eq!(parse_date("1969-12-31").unwrap(), -1);
+        assert_eq!(format_date(-1), "1969-12-31");
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(parse_date("2020-02-29").is_ok());
+        assert!(parse_date("2019-02-29").is_err());
+        assert!(parse_date("2000-02-29").is_ok());
+        assert!(parse_date("1900-02-29").is_err());
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        for s in ["2020-13-01", "2020-00-10", "2020-04-31", "x", "2020-1", ""] {
+            assert!(parse_date(s).is_err(), "{s} should be invalid");
+        }
+    }
+
+    #[test]
+    fn round_trip_every_day_for_decades() {
+        for days in -20000..40000 {
+            let s = format_date(days);
+            assert_eq!(parse_date(&s).unwrap(), days, "mismatch for {s}");
+        }
+    }
+
+    #[test]
+    fn timestamps_round_trip() {
+        for s in [
+            "2020-01-12 00:00:00",
+            "2020-01-12 23:59:59",
+            "1969-12-31 23:59:59.000001",
+            "2038-01-19 03:14:07.999999",
+        ] {
+            let us = parse_timestamp(s).unwrap();
+            assert_eq!(format_timestamp(us), s);
+        }
+        // Date-only timestamps parse as midnight.
+        assert_eq!(
+            parse_timestamp("2020-01-12").unwrap(),
+            18273 * MICROS_PER_DAY
+        );
+    }
+
+    #[test]
+    fn invalid_timestamps_rejected() {
+        for s in ["2020-01-12 24:00:00", "2020-01-12 00:61:00", "2020-01-12 00:00:00.1234567"] {
+            assert!(parse_timestamp(s).is_err(), "{s} should be invalid");
+        }
+    }
+
+    #[test]
+    fn negative_timestamp_formatting_uses_euclidean_split() {
+        let us = parse_timestamp("1969-12-31 12:00:00").unwrap();
+        assert!(us < 0);
+        assert_eq!(format_timestamp(us), "1969-12-31 12:00:00");
+    }
+}

@@ -1,0 +1,131 @@
+//! The error type shared by every eider subsystem.
+
+use std::fmt;
+
+/// Convenience alias used across all eider crates.
+pub type Result<T> = std::result::Result<T, EiderError>;
+
+/// Errors produced anywhere in the system.
+///
+/// The variants mirror the subsystem boundaries of the paper: parse/bind
+/// errors from the SQL frontend, execution errors from the vectorized
+/// engine, transaction conflicts from MVCC (§6), storage/corruption errors
+/// from the checksummed block store (§3), and resource errors from the
+/// cooperation layer (§4).
+#[derive(Debug)]
+pub enum EiderError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A name or type could not be resolved during binding.
+    Bind(String),
+    /// Catalog-level failure (duplicate table, unknown schema, ...).
+    Catalog(String),
+    /// Runtime failure inside an operator or expression.
+    Execution(String),
+    /// A value could not be converted between logical types.
+    TypeMismatch(String),
+    /// Constraint violation (NOT NULL, ...).
+    Constraint(String),
+    /// Failure in the block store, WAL or buffer manager.
+    Storage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Checksum mismatch or otherwise detected data corruption. The paper's
+    /// resilience requirement (§3) demands these are surfaced loudly rather
+    /// than propagating silently.
+    Corruption(String),
+    /// Detected faulty hardware (failed memory test, repeated checksum
+    /// failures). Operation must cease rather than risk silent corruption.
+    HardwareFault(String),
+    /// Transaction-level failure other than a conflict (e.g. using a
+    /// finished transaction).
+    Transaction(String),
+    /// Write-write or serializability conflict; the transaction aborted.
+    Conflict(String),
+    /// A configured resource limit (memory, ...) was exceeded.
+    OutOfMemory(String),
+    /// Valid SQL that eider does not (yet) support.
+    NotImplemented(String),
+    /// Invariant violation: a bug in eider itself.
+    Internal(String),
+}
+
+impl EiderError {
+    /// True if the failure indicates (possibly silent) data corruption or
+    /// a hardware fault, i.e. the class of errors §3 of the paper is about.
+    pub fn is_integrity_error(&self) -> bool {
+        matches!(self, EiderError::Corruption(_) | EiderError::HardwareFault(_))
+    }
+
+    /// True if retrying the transaction could succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EiderError::Conflict(_))
+    }
+}
+
+impl fmt::Display for EiderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EiderError::Parse(m) => write!(f, "Parser Error: {m}"),
+            EiderError::Bind(m) => write!(f, "Binder Error: {m}"),
+            EiderError::Catalog(m) => write!(f, "Catalog Error: {m}"),
+            EiderError::Execution(m) => write!(f, "Execution Error: {m}"),
+            EiderError::TypeMismatch(m) => write!(f, "Type Error: {m}"),
+            EiderError::Constraint(m) => write!(f, "Constraint Error: {m}"),
+            EiderError::Storage(m) => write!(f, "Storage Error: {m}"),
+            EiderError::Io(e) => write!(f, "IO Error: {e}"),
+            EiderError::Corruption(m) => write!(f, "Corruption Error: {m}"),
+            EiderError::HardwareFault(m) => write!(f, "Hardware Fault: {m}"),
+            EiderError::Transaction(m) => write!(f, "Transaction Error: {m}"),
+            EiderError::Conflict(m) => write!(f, "Conflict: {m}"),
+            EiderError::OutOfMemory(m) => write!(f, "Out of Memory: {m}"),
+            EiderError::NotImplemented(m) => write!(f, "Not Implemented: {m}"),
+            EiderError::Internal(m) => write!(f, "Internal Error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EiderError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EiderError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EiderError {
+    fn from(e: std::io::Error) -> Self {
+        EiderError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_prefix() {
+        let e = EiderError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "Parser Error: unexpected token");
+        let e = EiderError::Corruption("checksum mismatch block 3".into());
+        assert!(e.to_string().starts_with("Corruption Error:"));
+    }
+
+    #[test]
+    fn integrity_classification() {
+        assert!(EiderError::Corruption("x".into()).is_integrity_error());
+        assert!(EiderError::HardwareFault("x".into()).is_integrity_error());
+        assert!(!EiderError::Parse("x".into()).is_integrity_error());
+        assert!(EiderError::Conflict("x".into()).is_transient());
+        assert!(!EiderError::Storage("x".into()).is_transient());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: EiderError = io.into();
+        assert!(matches!(e, EiderError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,107 @@
+//! Selection vectors: indirection used by filters to avoid copying data.
+//!
+//! A filter in the vectorized engine does not materialize the surviving
+//! rows; it produces a list of qualifying row indexes that downstream
+//! kernels iterate over. Materialization happens once, at the next
+//! pipeline breaker.
+
+/// A list of selected row indexes into a vector of at most
+/// [`crate::VECTOR_SIZE`] rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectionVector {
+    indexes: Vec<u32>,
+}
+
+impl SelectionVector {
+    pub fn new() -> Self {
+        SelectionVector { indexes: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        SelectionVector { indexes: Vec::with_capacity(cap) }
+    }
+
+    /// The identity selection `0..count`.
+    pub fn identity(count: usize) -> Self {
+        SelectionVector { indexes: (0..count as u32).collect() }
+    }
+
+    pub fn from_indexes(indexes: Vec<u32>) -> Self {
+        SelectionVector { indexes }
+    }
+
+    pub fn push(&mut self, idx: u32) {
+        self.indexes.push(idx);
+    }
+
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> u32 {
+        self.indexes[i]
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        &self.indexes
+    }
+
+    pub fn clear(&mut self) {
+        self.indexes.clear();
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.indexes.iter()
+    }
+
+    /// Compose: keep only the entries of `self` selected by `inner`
+    /// (`result[i] = self[inner[i]]`). Used when a second filter refines
+    /// the output of a first one.
+    pub fn compose(&self, inner: &SelectionVector) -> SelectionVector {
+        SelectionVector {
+            indexes: inner.indexes.iter().map(|&i| self.indexes[i as usize]).collect(),
+        }
+    }
+}
+
+impl FromIterator<u32> for SelectionVector {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        SelectionVector { indexes: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a SelectionVector {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.indexes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_covers_range() {
+        let s = SelectionVector::identity(4);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn compose_refines() {
+        let first = SelectionVector::from_indexes(vec![1, 3, 5, 7]);
+        let second = SelectionVector::from_indexes(vec![0, 2]);
+        assert_eq!(first.compose(&second).as_slice(), &[1, 5]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: SelectionVector = (0..3u32).filter(|x| x % 2 == 0).collect();
+        assert_eq!(s.as_slice(), &[0, 2]);
+    }
+}

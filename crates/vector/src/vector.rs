@@ -1,0 +1,523 @@
+//! A `Vector` is one column slice: up to [`crate::VECTOR_SIZE`] values of a
+//! single logical type plus a validity mask.
+
+use crate::error::{EiderError, Result};
+use crate::selection::SelectionVector;
+use crate::types::LogicalType;
+use crate::validity::ValidityMask;
+use crate::value::Value;
+
+/// Typed storage behind a [`Vector`].
+///
+/// Temporal types share integer physical storage (`Date` -> `I32`,
+/// `Timestamp` -> `I64`); the logical type lives on the `Vector`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VectorData {
+    Bool(Vec<bool>),
+    I8(Vec<i8>),
+    I16(Vec<i16>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Str(Vec<String>),
+}
+
+impl VectorData {
+    fn new_for(ty: LogicalType, cap: usize) -> VectorData {
+        match ty {
+            LogicalType::Boolean => VectorData::Bool(Vec::with_capacity(cap)),
+            LogicalType::TinyInt => VectorData::I8(Vec::with_capacity(cap)),
+            LogicalType::SmallInt => VectorData::I16(Vec::with_capacity(cap)),
+            LogicalType::Integer | LogicalType::Date => VectorData::I32(Vec::with_capacity(cap)),
+            LogicalType::BigInt | LogicalType::Timestamp => VectorData::I64(Vec::with_capacity(cap)),
+            LogicalType::Double => VectorData::F64(Vec::with_capacity(cap)),
+            LogicalType::Varchar => VectorData::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            VectorData::Bool(v) => v.len(),
+            VectorData::I8(v) => v.len(),
+            VectorData::I16(v) => v.len(),
+            VectorData::I32(v) => v.len(),
+            VectorData::I64(v) => v.len(),
+            VectorData::F64(v) => v.len(),
+            VectorData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One column slice with NULL tracking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    ty: LogicalType,
+    data: VectorData,
+    validity: ValidityMask,
+}
+
+macro_rules! typed_accessors {
+    ($as_ref:ident, $as_mut:ident, $variant:ident, $t:ty) => {
+        /// Borrow the typed data slice. Panics if the physical type differs
+        /// (an internal invariant violation, not a user error).
+        pub fn $as_ref(&self) -> &[$t] {
+            match &self.data {
+                VectorData::$variant(v) => v,
+                other => panic!(
+                    concat!("vector is not ", stringify!($variant), ": {:?}"),
+                    std::mem::discriminant(other)
+                ),
+            }
+        }
+
+        /// Mutable access to the typed data. The caller must keep `validity`
+        /// in sync with any length change.
+        pub fn $as_mut(&mut self) -> &mut Vec<$t> {
+            match &mut self.data {
+                VectorData::$variant(v) => v,
+                _ => panic!(concat!("vector is not ", stringify!($variant))),
+            }
+        }
+    };
+}
+
+impl Vector {
+    pub fn new(ty: LogicalType) -> Self {
+        Vector::with_capacity(ty, 0)
+    }
+
+    pub fn with_capacity(ty: LogicalType, cap: usize) -> Self {
+        Vector {
+            ty,
+            data: VectorData::new_for(ty, cap),
+            validity: ValidityMask::default(),
+        }
+    }
+
+    /// Build from raw parts; `validity.len()` must match the data length.
+    pub fn from_parts(ty: LogicalType, data: VectorData, validity: ValidityMask) -> Result<Self> {
+        if data.len() != validity.len() {
+            return Err(EiderError::Internal(format!(
+                "vector data length {} != validity length {}",
+                data.len(),
+                validity.len()
+            )));
+        }
+        Ok(Vector { ty, data, validity })
+    }
+
+    /// Build a vector from `Value`s, casting each to `ty`.
+    pub fn from_values(ty: LogicalType, values: &[Value]) -> Result<Self> {
+        let mut v = Vector::with_capacity(ty, values.len());
+        for val in values {
+            v.push_value(val)?;
+        }
+        Ok(v)
+    }
+
+    /// A vector holding `count` copies of `value`.
+    pub fn constant(ty: LogicalType, value: &Value, count: usize) -> Result<Self> {
+        let mut v = Vector::with_capacity(ty, count);
+        for _ in 0..count {
+            v.push_value(value)?;
+        }
+        Ok(v)
+    }
+
+    pub fn logical_type(&self) -> LogicalType {
+        self.ty
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn validity(&self) -> &ValidityMask {
+        &self.validity
+    }
+
+    pub fn validity_mut(&mut self) -> &mut ValidityMask {
+        &mut self.validity
+    }
+
+    pub fn data(&self) -> &VectorData {
+        &self.data
+    }
+
+    pub fn is_null(&self, row: usize) -> bool {
+        !self.validity.is_valid(row)
+    }
+
+    typed_accessors!(as_bool, as_bool_mut, Bool, bool);
+    typed_accessors!(as_i8, as_i8_mut, I8, i8);
+    typed_accessors!(as_i16, as_i16_mut, I16, i16);
+    typed_accessors!(as_i32, as_i32_mut, I32, i32);
+    typed_accessors!(as_i64, as_i64_mut, I64, i64);
+    typed_accessors!(as_f64, as_f64_mut, F64, f64);
+    typed_accessors!(as_str, as_str_mut, Str, String);
+
+    /// Append one `Value`, casting it to this vector's type.
+    pub fn push_value(&mut self, value: &Value) -> Result<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let value = if value.logical_type() == Some(self.ty) {
+            value.clone()
+        } else {
+            value.cast_to(self.ty)?
+        };
+        match (&mut self.data, value) {
+            (VectorData::Bool(v), Value::Boolean(x)) => v.push(x),
+            (VectorData::I8(v), Value::TinyInt(x)) => v.push(x),
+            (VectorData::I16(v), Value::SmallInt(x)) => v.push(x),
+            (VectorData::I32(v), Value::Integer(x)) => v.push(x),
+            (VectorData::I32(v), Value::Date(x)) => v.push(x),
+            (VectorData::I64(v), Value::BigInt(x)) => v.push(x),
+            (VectorData::I64(v), Value::Timestamp(x)) => v.push(x),
+            (VectorData::F64(v), Value::Double(x)) => v.push(x),
+            (VectorData::Str(v), Value::Varchar(x)) => v.push(x),
+            (_, v) => {
+                return Err(EiderError::Internal(format!(
+                    "cast produced {v:?} for vector of type {}",
+                    self.ty
+                )))
+            }
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    /// Append a NULL (a default value occupies the data slot).
+    pub fn push_null(&mut self) {
+        match &mut self.data {
+            VectorData::Bool(v) => v.push(false),
+            VectorData::I8(v) => v.push(0),
+            VectorData::I16(v) => v.push(0),
+            VectorData::I32(v) => v.push(0),
+            VectorData::I64(v) => v.push(0),
+            VectorData::F64(v) => v.push(0.0),
+            VectorData::Str(v) => v.push(String::new()),
+        }
+        self.validity.push(false);
+    }
+
+    /// Read one row out as a `Value` (slow path; kernels use typed slices).
+    pub fn get_value(&self, row: usize) -> Value {
+        if self.is_null(row) {
+            return Value::Null;
+        }
+        match (&self.data, self.ty) {
+            (VectorData::Bool(v), _) => Value::Boolean(v[row]),
+            (VectorData::I8(v), _) => Value::TinyInt(v[row]),
+            (VectorData::I16(v), _) => Value::SmallInt(v[row]),
+            (VectorData::I32(v), LogicalType::Date) => Value::Date(v[row]),
+            (VectorData::I32(v), _) => Value::Integer(v[row]),
+            (VectorData::I64(v), LogicalType::Timestamp) => Value::Timestamp(v[row]),
+            (VectorData::I64(v), _) => Value::BigInt(v[row]),
+            (VectorData::F64(v), _) => Value::Double(v[row]),
+            (VectorData::Str(v), _) => Value::Varchar(v[row].clone()),
+        }
+    }
+
+    /// Overwrite one row (used by in-place MVCC updates, §6).
+    pub fn set_value(&mut self, row: usize, value: &Value) -> Result<()> {
+        if value.is_null() {
+            self.validity.set_invalid(row);
+            return Ok(());
+        }
+        let value = value.cast_to(self.ty)?;
+        match (&mut self.data, value) {
+            (VectorData::Bool(v), Value::Boolean(x)) => v[row] = x,
+            (VectorData::I8(v), Value::TinyInt(x)) => v[row] = x,
+            (VectorData::I16(v), Value::SmallInt(x)) => v[row] = x,
+            (VectorData::I32(v), Value::Integer(x)) => v[row] = x,
+            (VectorData::I32(v), Value::Date(x)) => v[row] = x,
+            (VectorData::I64(v), Value::BigInt(x)) => v[row] = x,
+            (VectorData::I64(v), Value::Timestamp(x)) => v[row] = x,
+            (VectorData::F64(v), Value::Double(x)) => v[row] = x,
+            (VectorData::Str(v), Value::Varchar(x)) => v[row] = x,
+            (_, v) => {
+                return Err(EiderError::Internal(format!(
+                    "cast produced {v:?} for vector of type {}",
+                    self.ty
+                )))
+            }
+        }
+        self.validity.set_valid(row);
+        Ok(())
+    }
+
+    /// Append `count` rows of `other` starting at `offset`. Types must match.
+    pub fn append_from(&mut self, other: &Vector, offset: usize, count: usize) -> Result<()> {
+        if other.ty != self.ty {
+            return Err(EiderError::TypeMismatch(format!(
+                "cannot append {} vector to {} vector",
+                other.ty, self.ty
+            )));
+        }
+        let end = offset + count;
+        match (&mut self.data, &other.data) {
+            (VectorData::Bool(d), VectorData::Bool(s)) => d.extend_from_slice(&s[offset..end]),
+            (VectorData::I8(d), VectorData::I8(s)) => d.extend_from_slice(&s[offset..end]),
+            (VectorData::I16(d), VectorData::I16(s)) => d.extend_from_slice(&s[offset..end]),
+            (VectorData::I32(d), VectorData::I32(s)) => d.extend_from_slice(&s[offset..end]),
+            (VectorData::I64(d), VectorData::I64(s)) => d.extend_from_slice(&s[offset..end]),
+            (VectorData::F64(d), VectorData::F64(s)) => d.extend_from_slice(&s[offset..end]),
+            (VectorData::Str(d), VectorData::Str(s)) => d.extend_from_slice(&s[offset..end]),
+            _ => {
+                return Err(EiderError::Internal(
+                    "physical type mismatch in append_from".into(),
+                ))
+            }
+        }
+        self.validity.extend_from(&other.validity, offset, count);
+        Ok(())
+    }
+
+    /// Materialize the rows chosen by `sel` into a new vector.
+    pub fn select(&self, sel: &SelectionVector) -> Vector {
+        let idx = sel.as_slice();
+        let data = match &self.data {
+            VectorData::Bool(v) => VectorData::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            VectorData::I8(v) => VectorData::I8(idx.iter().map(|&i| v[i as usize]).collect()),
+            VectorData::I16(v) => VectorData::I16(idx.iter().map(|&i| v[i as usize]).collect()),
+            VectorData::I32(v) => VectorData::I32(idx.iter().map(|&i| v[i as usize]).collect()),
+            VectorData::I64(v) => VectorData::I64(idx.iter().map(|&i| v[i as usize]).collect()),
+            VectorData::F64(v) => VectorData::F64(idx.iter().map(|&i| v[i as usize]).collect()),
+            VectorData::Str(v) => {
+                VectorData::Str(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        };
+        Vector { ty: self.ty, data, validity: self.validity.select(idx) }
+    }
+
+    /// A contiguous sub-slice `[offset, offset+count)` as a new vector.
+    pub fn slice(&self, offset: usize, count: usize) -> Vector {
+        let mut out = Vector::with_capacity(self.ty, count);
+        out.append_from(self, offset, count).expect("same type");
+        out
+    }
+
+    /// Cast every row to `ty`, erroring on the first failure.
+    pub fn cast(&self, ty: LogicalType) -> Result<Vector> {
+        if ty == self.ty {
+            return Ok(self.clone());
+        }
+        let mut out = Vector::with_capacity(ty, self.len());
+        for row in 0..self.len() {
+            out.push_value(&self.get_value(row))?;
+        }
+        Ok(out)
+    }
+
+    pub fn truncate(&mut self, new_len: usize) {
+        match &mut self.data {
+            VectorData::Bool(v) => v.truncate(new_len),
+            VectorData::I8(v) => v.truncate(new_len),
+            VectorData::I16(v) => v.truncate(new_len),
+            VectorData::I32(v) => v.truncate(new_len),
+            VectorData::I64(v) => v.truncate(new_len),
+            VectorData::F64(v) => v.truncate(new_len),
+            VectorData::Str(v) => v.truncate(new_len),
+        }
+        self.validity.truncate(new_len);
+    }
+
+    pub fn clear(&mut self) {
+        self.truncate(0);
+        self.validity.clear();
+    }
+
+    /// Approximate heap footprint in bytes, for memory accounting (§4).
+    pub fn size_bytes(&self) -> usize {
+        let data = match &self.data {
+            VectorData::Bool(v) => v.capacity(),
+            VectorData::I8(v) => v.capacity(),
+            VectorData::I16(v) => v.capacity() * 2,
+            VectorData::I32(v) => v.capacity() * 4,
+            VectorData::I64(v) => v.capacity() * 8,
+            VectorData::F64(v) => v.capacity() * 8,
+            VectorData::Str(v) => {
+                v.capacity() * std::mem::size_of::<String>()
+                    + v.iter().map(|s| s.capacity()).sum::<usize>()
+            }
+        };
+        data + (self.len() + 7) / 8
+    }
+
+    /// Min and max over valid rows, or `None` if all rows are NULL. This
+    /// powers the per-row-group zone maps used for scan skipping (§6:
+    /// "skip irrelevant blocks of rows during a scan").
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for row in 0..self.len() {
+            if self.is_null(row) {
+                continue;
+            }
+            let v = self.get_value(row);
+            match &min {
+                None => {
+                    min = Some(v.clone());
+                    max = Some(v);
+                }
+                Some(_) => {
+                    if v.total_cmp(min.as_ref().unwrap()) == std::cmp::Ordering::Less {
+                        min = Some(v.clone());
+                    }
+                    if v.total_cmp(max.as_ref().unwrap()) == std::cmp::Ordering::Greater {
+                        max = Some(v);
+                    }
+                }
+            }
+        }
+        min.zip(max)
+    }
+
+    /// Collect all rows as values (testing / display convenience).
+    pub fn to_values(&self) -> Vec<Value> {
+        (0..self.len()).map(|i| self.get_value(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip_all_types() {
+        let cases: Vec<(LogicalType, Value)> = vec![
+            (LogicalType::Boolean, Value::Boolean(true)),
+            (LogicalType::TinyInt, Value::TinyInt(-3)),
+            (LogicalType::SmallInt, Value::SmallInt(300)),
+            (LogicalType::Integer, Value::Integer(-70000)),
+            (LogicalType::BigInt, Value::BigInt(1 << 40)),
+            (LogicalType::Double, Value::Double(2.5)),
+            (LogicalType::Varchar, Value::Varchar("duck".into())),
+            (LogicalType::Date, Value::Date(18273)),
+            (LogicalType::Timestamp, Value::Timestamp(1_600_000_000_000_000)),
+        ];
+        for (ty, val) in cases {
+            let mut v = Vector::new(ty);
+            v.push_value(&val).unwrap();
+            v.push_null();
+            assert_eq!(v.get_value(0), val, "{ty}");
+            assert!(v.get_value(1).is_null());
+            assert_eq!(v.len(), 2);
+        }
+    }
+
+    #[test]
+    fn push_value_casts() {
+        let mut v = Vector::new(LogicalType::BigInt);
+        v.push_value(&Value::Integer(7)).unwrap();
+        assert_eq!(v.get_value(0), Value::BigInt(7));
+        let mut v = Vector::new(LogicalType::TinyInt);
+        assert!(v.push_value(&Value::Integer(1000)).is_err());
+    }
+
+    #[test]
+    fn select_materializes_subset() {
+        let v = Vector::from_values(
+            LogicalType::Integer,
+            &[Value::Integer(10), Value::Null, Value::Integer(30), Value::Integer(40)],
+        )
+        .unwrap();
+        let sel = SelectionVector::from_indexes(vec![3, 1, 0]);
+        let out = v.select(&sel);
+        assert_eq!(out.to_values(), vec![Value::Integer(40), Value::Null, Value::Integer(10)]);
+    }
+
+    #[test]
+    fn append_from_preserves_validity() {
+        let src = Vector::from_values(
+            LogicalType::Varchar,
+            &[Value::Varchar("a".into()), Value::Null, Value::Varchar("c".into())],
+        )
+        .unwrap();
+        let mut dst = Vector::new(LogicalType::Varchar);
+        dst.append_from(&src, 1, 2).unwrap();
+        assert_eq!(dst.len(), 2);
+        assert!(dst.get_value(0).is_null());
+        assert_eq!(dst.get_value(1), Value::Varchar("c".into()));
+    }
+
+    #[test]
+    fn append_type_mismatch_errors() {
+        let src = Vector::new(LogicalType::Integer);
+        let mut dst = Vector::new(LogicalType::BigInt);
+        assert!(dst.append_from(&src, 0, 0).is_err());
+    }
+
+    #[test]
+    fn set_value_in_place() {
+        let mut v =
+            Vector::from_values(LogicalType::Integer, &[Value::Integer(1), Value::Integer(2)])
+                .unwrap();
+        v.set_value(0, &Value::Integer(-999)).unwrap();
+        v.set_value(1, &Value::Null).unwrap();
+        assert_eq!(v.get_value(0), Value::Integer(-999));
+        assert!(v.get_value(1).is_null());
+        // Un-NULL a row again.
+        v.set_value(1, &Value::Integer(5)).unwrap();
+        assert_eq!(v.get_value(1), Value::Integer(5));
+    }
+
+    #[test]
+    fn min_max_ignores_nulls() {
+        let v = Vector::from_values(
+            LogicalType::Integer,
+            &[Value::Null, Value::Integer(5), Value::Integer(-2), Value::Null],
+        )
+        .unwrap();
+        let (min, max) = v.min_max().unwrap();
+        assert_eq!(min, Value::Integer(-2));
+        assert_eq!(max, Value::Integer(5));
+        let all_null = Vector::from_values(LogicalType::Integer, &[Value::Null]).unwrap();
+        assert!(all_null.min_max().is_none());
+    }
+
+    #[test]
+    fn cast_vector() {
+        let v = Vector::from_values(
+            LogicalType::Integer,
+            &[Value::Integer(1), Value::Null, Value::Integer(3)],
+        )
+        .unwrap();
+        let c = v.cast(LogicalType::Varchar).unwrap();
+        assert_eq!(c.get_value(0), Value::Varchar("1".into()));
+        assert!(c.get_value(1).is_null());
+    }
+
+    #[test]
+    fn slice_is_contiguous_copy() {
+        let v = Vector::from_values(
+            LogicalType::Integer,
+            (0..10).map(Value::Integer).collect::<Vec<_>>().as_slice(),
+        )
+        .unwrap();
+        let s = v.slice(4, 3);
+        assert_eq!(
+            s.to_values(),
+            vec![Value::Integer(4), Value::Integer(5), Value::Integer(6)]
+        );
+    }
+
+    #[test]
+    fn constant_vector() {
+        let v = Vector::constant(LogicalType::Integer, &Value::Integer(7), 5).unwrap();
+        assert_eq!(v.len(), 5);
+        assert!(v.to_values().iter().all(|x| *x == Value::Integer(7)));
+        let n = Vector::constant(LogicalType::Integer, &Value::Null, 3).unwrap();
+        assert_eq!(n.validity().count_invalid(), 3);
+    }
+}

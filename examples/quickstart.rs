@@ -1,0 +1,59 @@
+//! Quickstart: open an embedded database, create a table, run SQL, and
+//! fetch results — all inside your process, no server.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eider::{Database, Result};
+
+fn main() -> Result<()> {
+    // In-memory database. Use Database::open("my.db") for a persistent
+    // single-file database with WAL + checkpoints.
+    let db = Database::in_memory()?;
+    let conn = db.connect();
+
+    conn.execute(
+        "CREATE TABLE weather (
+            city    VARCHAR NOT NULL,
+            day     DATE,
+            temp_lo INTEGER,
+            temp_hi INTEGER,
+            precip  DOUBLE
+         )",
+    )?;
+
+    conn.execute(
+        "INSERT INTO weather VALUES
+            ('Amsterdam', DATE '2020-01-12', 2, 7, 4.2),
+            ('Amsterdam', DATE '2020-01-13', 3, 8, 0.0),
+            ('San Francisco', DATE '2020-01-12', 8, 15, 0.3),
+            ('San Francisco', DATE '2020-01-13', 9, 16, NULL)",
+    )?;
+
+    // An analytical query: aggregates over a filtered scan.
+    let result = conn.query(
+        "SELECT city,
+                count(*)       AS days,
+                min(temp_lo)   AS coldest,
+                max(temp_hi)   AS warmest,
+                avg(precip)    AS avg_precip
+         FROM weather
+         WHERE day >= DATE '2020-01-12'
+         GROUP BY city
+         ORDER BY city",
+    )?;
+    println!("{result}");
+
+    // Zero-copy access: chunks are handed over by reference (§5 of the
+    // paper); iterate them like the engine's own operators do.
+    let result = conn.query("SELECT city, temp_hi - temp_lo AS swing FROM weather")?;
+    for chunk in result.chunks() {
+        for row in 0..chunk.len() {
+            let city = chunk.column(0).get_value(row);
+            let swing = chunk.column(1).get_value(row);
+            println!("{city:>15}: {swing} degrees of daily swing");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Property-based tests over core data structures and engine invariants.
+
+use eider::{Database, Value};
+use eider_storage::serde::{read_chunk, write_chunk, BinReader, BinWriter};
+use eider_vector::{DataChunk, LogicalType};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(Value::Integer),
+        any::<i64>().prop_map(Value::BigInt),
+        any::<bool>().prop_map(Value::Boolean),
+        (-1e12f64..1e12).prop_map(Value::Double),
+        "[a-zA-Z0-9 ,'%_]{0,24}".prop_map(Value::Varchar),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunk_serialization_round_trips(
+        ints in prop::collection::vec(prop::option::of(any::<i32>()), 0..200),
+        strs in prop::collection::vec(prop::option::of("[a-z]{0,16}"), 0..200),
+    ) {
+        let n = ints.len().min(strs.len());
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    ints[i].map_or(Value::Null, Value::Integer),
+                    strs[i].clone().map_or(Value::Null, Value::Varchar),
+                ]
+            })
+            .collect();
+        let chunk =
+            DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Varchar], &rows).unwrap();
+        let mut w = BinWriter::new();
+        write_chunk(&mut w, &chunk);
+        let bytes = w.into_bytes();
+        let back = read_chunk(&mut BinReader::new(&bytes)).unwrap();
+        prop_assert_eq!(back.to_rows(), chunk.to_rows());
+    }
+
+    #[test]
+    fn value_total_order_is_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Transitivity (on the <= relation).
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn compression_round_trips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        for level in [
+            eider_coop::compression::CompressionLevel::None,
+            eider_coop::compression::CompressionLevel::Light,
+            eider_coop::compression::CompressionLevel::Heavy,
+        ] {
+            let compressed = eider_coop::compression::compress(level, &data);
+            let back = eider_coop::compression::decompress(&compressed).unwrap();
+            prop_assert_eq!(&back, &data);
+        }
+    }
+
+    #[test]
+    fn crc_detects_any_single_bit_flip(
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        bit in any::<usize>(),
+    ) {
+        let crc = eider_resilience::checksum::crc32c(&data);
+        let mut corrupted = data.clone();
+        let bit = bit % (corrupted.len() * 8);
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(eider_resilience::checksum::crc32c(&corrupted), crc);
+    }
+
+    #[test]
+    fn an_codes_round_trip_and_detect(v in any::<i32>(), flip in 0usize..63) {
+        let codec = eider_resilience::ancode::AnCodec::default();
+        let code = codec.encode(i64::from(v));
+        prop_assert_eq!(codec.decode(code).unwrap(), i64::from(v));
+        let corrupted = code ^ (1i64 << flip);
+        if corrupted != code {
+            // A single bit flip is either detected or (with probability
+            // 1/A) decodes to a *different* value — never silently the same.
+            match codec.decode(corrupted) {
+                Ok(decoded) => prop_assert_ne!(decoded, i64::from(v)),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sql_filter_matches_model(values in prop::collection::vec(any::<i32>(), 1..100), pivot in any::<i32>()) {
+        let db = Database::in_memory().unwrap();
+        let conn = db.connect();
+        conn.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        let rows: Vec<String> = values.iter().map(|v| format!("({v})")).collect();
+        conn.execute(&format!("INSERT INTO t VALUES {}", rows.join(","))).unwrap();
+        let r = conn
+            .query(&format!("SELECT count(*) FROM t WHERE v > {pivot}"))
+            .unwrap();
+        let expected = values.iter().filter(|&&v| v > pivot).count() as i64;
+        prop_assert_eq!(r.scalar().unwrap(), Value::BigInt(expected));
+    }
+
+    #[test]
+    fn sort_produces_sorted_permutation(values in prop::collection::vec(any::<i32>(), 0..200)) {
+        let db = Database::in_memory().unwrap();
+        let conn = db.connect();
+        conn.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        if !values.is_empty() {
+            let rows: Vec<String> = values.iter().map(|v| format!("({v})")).collect();
+            conn.execute(&format!("INSERT INTO t VALUES {}", rows.join(","))).unwrap();
+        }
+        let r = conn.query("SELECT v FROM t ORDER BY v").unwrap();
+        let got: Vec<i32> = r
+            .to_rows()
+            .into_iter()
+            .map(|row| match row[0] {
+                Value::Integer(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}
