@@ -36,8 +36,7 @@ fn etl(c: &mut Criterion) {
         b.iter_with_setup(
             || {
                 let db = wrangling_db(10, 0.0, 5).expect("db");
-                let chunks =
-                    eider_workload::Workload::new(8).wrangling_chunks(ROWS, 0.25).unwrap();
+                let chunks = eider_workload::Workload::new(8).wrangling_chunks(ROWS, 0.25).unwrap();
                 (db, chunks)
             },
             |(db, chunks)| {
@@ -55,12 +54,8 @@ fn etl(c: &mut Criterion) {
     let mut csv_path = std::env::temp_dir();
     csv_path.push(format!("eider_bench_{}.csv", std::process::id()));
     {
-        let mut w = CsvWriter::create(
-            &csv_path,
-            Some(&["id".into(), "d".into(), "v".into()]),
-            ',',
-        )
-        .unwrap();
+        let mut w = CsvWriter::create(&csv_path, Some(&["id".into(), "d".into(), "v".into()]), ',')
+            .unwrap();
         for chunk in eider_workload::Workload::new(4).wrangling_chunks(ROWS, 0.25).unwrap() {
             w.write_chunk(&chunk).unwrap();
         }
@@ -72,9 +67,7 @@ fn etl(c: &mut Criterion) {
             || wrangling_db(10, 0.0, 5).expect("db"),
             |db| {
                 let conn = db.connect();
-                let n = conn
-                    .execute(&format!("COPY t FROM '{path_str}' (HEADER)"))
-                    .unwrap();
+                let n = conn.execute(&format!("COPY t FROM '{path_str}' (HEADER)")).unwrap();
                 assert_eq!(n as usize, ROWS);
                 std::hint::black_box(Value::BigInt(n as i64))
             },

@@ -34,9 +34,7 @@ fn mvcc(c: &mut Criterion) {
     g.bench_function("scan_after_20_update_rounds", |b| {
         b.iter(|| versioned_conn.query("SELECT sum(v) FROM t").unwrap())
     });
-    g.bench_function("gc_reclaim", |b| {
-        b.iter(|| versioned.txn_manager().garbage_collect())
-    });
+    g.bench_function("gc_reclaim", |b| b.iter(|| versioned.txn_manager().garbage_collect()));
 
     // Durable commit: WAL append + fsync per transaction.
     let mut path = std::env::temp_dir();

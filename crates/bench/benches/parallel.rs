@@ -1,0 +1,100 @@
+//! Morsel-driven parallel execution vs the serial pull loop on the
+//! scan → filter → aggregate hot path (the §2 OLAP shape), plus grouped
+//! aggregation and parallel hash-join build.
+//!
+//! Prints per-thread-count timings and an explicit speedup summary. On a
+//! machine with 4+ cores the parallel executor is expected to clear 2× on
+//! the scan→aggregate workload; on fewer cores the run still validates the
+//! machinery but cannot show wall-clock gains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eider_bench::{star_db, wrangling_db};
+use eider_core::Database;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROWS: usize = 1_000_000;
+const SCAN_AGG: &str = "SELECT count(*), sum(id), avg(v) FROM t WHERE d <> -999";
+const GROUP_AGG: &str = "SELECT d % 32, count(*), sum(v) FROM t WHERE d <> -999 GROUP BY d % 32";
+
+fn with_threads(db: &Arc<Database>, threads: usize) -> eider_core::Connection {
+    let conn = db.connect();
+    conn.execute(&format!("PRAGMA threads = {threads}")).expect("pragma");
+    conn
+}
+
+/// Min wall time of `runs` executions (min is the stable statistic for
+/// speedup ratios; means absorb scheduler noise).
+fn min_time(conn: &eider_core::Connection, sql: &str, runs: usize) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let t = Instant::now();
+        conn.query(sql).expect("query");
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+fn scan_aggregate(c: &mut Criterion) {
+    let db = wrangling_db(ROWS, 0.25, 7).expect("db");
+    let mut g = c.benchmark_group("parallel/scan_agg");
+    g.sample_size(10);
+    for threads in [1, 2, 4, 8] {
+        let conn = with_threads(&db, threads);
+        g.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| conn.query(SCAN_AGG).expect("query"))
+        });
+    }
+    g.finish();
+}
+
+fn grouped_aggregate(c: &mut Criterion) {
+    let db = wrangling_db(ROWS, 0.25, 7).expect("db");
+    let mut g = c.benchmark_group("parallel/group_agg");
+    g.sample_size(10);
+    for threads in [1, 4] {
+        let conn = with_threads(&db, threads);
+        g.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| conn.query(GROUP_AGG).expect("query"))
+        });
+    }
+    g.finish();
+}
+
+fn join_build(c: &mut Criterion) {
+    let db = star_db(500_000, 2_000, 7).expect("db");
+    let sql = "SELECT count(*) FROM customers c JOIN orders o ON c.cid = o.cid \
+               WHERE o.amount > 250.0";
+    let mut g = c.benchmark_group("parallel/join_build");
+    g.sample_size(10);
+    for threads in [1, 4] {
+        let conn = with_threads(&db, threads);
+        g.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| conn.query(sql).expect("query"))
+        });
+    }
+    g.finish();
+}
+
+fn speedup_summary(_c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let db = wrangling_db(ROWS, 0.25, 7).expect("db");
+    let serial = min_time(&with_threads(&db, 1), SCAN_AGG, 5);
+    let threads = cores.max(4);
+    let parallel = min_time(&with_threads(&db, threads), SCAN_AGG, 5);
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
+    println!(
+        "\nscan->filter->aggregate over {ROWS} rows: serial {serial:?}, \
+         {threads} threads {parallel:?} -> {speedup:.2}x speedup \
+         ({cores} core(s) available)"
+    );
+    if cores < 4 {
+        println!(
+            "note: fewer than 4 cores available; the >=2x target needs 4+ \
+             cores to manifest as wall-clock time"
+        );
+    }
+}
+
+criterion_group!(benches, scan_aggregate, grouped_aggregate, join_build, speedup_summary);
+criterion_main!(benches);

@@ -27,9 +27,7 @@ fn resilience(c: &mut Criterion) {
         b.iter(|| data.iter().map(|&v| i64::from(v)).sum::<i64>())
     });
     g.bench_function("sum_an_coded_1m", |b| b.iter(|| codec.sum_encoded(&encoded).unwrap()));
-    g.bench_function("filter_plain_1m", |b| {
-        b.iter(|| data.iter().filter(|&&v| v == 42).count())
-    });
+    g.bench_function("filter_plain_1m", |b| b.iter(|| data.iter().filter(|&&v| v == 42).count()));
     g.bench_function("filter_an_coded_1m", |b| {
         b.iter(|| codec.count_eq_encoded(&encoded, 42).unwrap())
     });

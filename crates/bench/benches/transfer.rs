@@ -41,9 +41,7 @@ fn transfer(c: &mut Criterion) {
     g.bench_function("protocol_serialize", |b| b.iter(|| serialize_result(&result)));
 
     let bytes = serialize_result(&result);
-    g.bench_function("protocol_deserialize", |b| {
-        b.iter(|| deserialize_result(&bytes).unwrap())
-    });
+    g.bench_function("protocol_deserialize", |b| b.iter(|| deserialize_result(&bytes).unwrap()));
 
     g.bench_function("appender_bulk_ingest", |b| {
         b.iter_with_setup(

@@ -23,10 +23,8 @@ fn main() {
     let _ = batch; // built below via chunked inserts instead
     let chunk_rows = 10_000;
     for base in (0..rows).step_by(chunk_rows) {
-        let values: Vec<String> =
-            (base..base + chunk_rows).map(|i| format!("({i}, 1)")).collect();
-        conn.execute(&format!("INSERT INTO metrics VALUES {}", values.join(",")))
-            .expect("seed");
+        let values: Vec<String> = (base..base + chunk_rows).map(|i| format!("({i}, 1)")).collect();
+        conn.execute(&format!("INSERT INTO metrics VALUES {}", values.join(","))).expect("seed");
     }
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -44,9 +42,7 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let conn = db.connect();
             while !stop.load(Ordering::Relaxed) {
-                let r = conn
-                    .query("SELECT sum(val), count(*) FROM metrics")
-                    .expect("olap query");
+                let r = conn.query("SELECT sum(val), count(*) FROM metrics").expect("olap query");
                 let sum = r.value(0, 0).unwrap().as_i64().unwrap();
                 let count = r.value(0, 1).unwrap().as_i64().unwrap();
                 if count != rows as i64 || sum % count != 0 {
@@ -80,9 +76,19 @@ fn main() {
         h.join().expect("thread");
     }
     let secs = started.elapsed().as_secs_f64();
-    println!("# E2c: concurrent dashboard ({rows} rows, 3 OLAP readers + 1 ETL writer, {secs:.1}s)");
-    println!("  OLAP queries completed : {} ({:.1}/s)", reads.load(Ordering::Relaxed), reads.load(Ordering::Relaxed) as f64 / secs);
-    println!("  bulk updates committed : {} ({:.1}/s)", writes.load(Ordering::Relaxed), writes.load(Ordering::Relaxed) as f64 / secs);
+    println!(
+        "# E2c: concurrent dashboard ({rows} rows, 3 OLAP readers + 1 ETL writer, {secs:.1}s)"
+    );
+    println!(
+        "  OLAP queries completed : {} ({:.1}/s)",
+        reads.load(Ordering::Relaxed),
+        reads.load(Ordering::Relaxed) as f64 / secs
+    );
+    println!(
+        "  bulk updates committed : {} ({:.1}/s)",
+        writes.load(Ordering::Relaxed),
+        writes.load(Ordering::Relaxed) as f64 / secs
+    );
     println!("  torn snapshots observed: {} (must be 0)", torn.load(Ordering::Relaxed));
     assert_eq!(torn.load(Ordering::Relaxed), 0, "MVCC must serve consistent snapshots");
 }

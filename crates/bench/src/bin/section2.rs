@@ -25,9 +25,7 @@ fn main() {
     let conn = db.connect();
 
     let started = Instant::now();
-    let r = conn
-        .query("SELECT count(*), sum(v) FROM t WHERE d <> -999")
-        .expect("query");
+    let r = conn.query("SELECT count(*), sum(v) FROM t WHERE d <> -999").expect("query");
     let vec_time = started.elapsed();
     let vec_count = r.value(0, 0).unwrap();
 

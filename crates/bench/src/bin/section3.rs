@@ -38,7 +38,11 @@ fn main() {
     }
     println!("  injected flips     : {trials}");
     println!("  detected           : {detected} ({:.1}%)", 100.0 * detected as f64 / trials as f64);
-    println!("  health monitor     : {} disk faults recorded, mode {:?}", health.disk_faults(), health.mode());
+    println!(
+        "  health monitor     : {} disk faults recorded, mode {:?}",
+        health.disk_faults(),
+        health.mode()
+    );
 
     println!("\n# E3b: AN-code hardening overhead (paper target: 1.1x-1.6x slower)");
     let data32 = Workload::new(3).int_column(4_000_000, 1_000_000);

@@ -2,11 +2,11 @@
 //! across memory budgets — the RAM/CPU trade-off the paper's example
 //! describes, including the crossover where the hash join stops fitting.
 
+use eider_coop::compression::CompressionLevel;
 use eider_coop::policy::{choose_join_strategy, JoinStrategy};
 use eider_exec::expression::Expr;
-use eider_exec::ops::{drain, HashJoinOp, MergeJoinOp, TableScanOp};
 use eider_exec::ops::join::JoinType;
-use eider_coop::compression::CompressionLevel;
+use eider_exec::ops::{drain, HashJoinOp, MergeJoinOp, TableScanOp};
 use eider_txn::ScanOptions;
 use eider_vector::LogicalType;
 use std::sync::Arc;
@@ -67,7 +67,8 @@ fn main() {
             budget / 8,
             None,
         );
-        let merge_rows: usize = drain(&mut merge).expect("merge join").iter().map(|c| c.len()).sum();
+        let merge_rows: usize =
+            drain(&mut merge).expect("merge join").iter().map(|c| c.len()).sum();
         let merge_ms = started.elapsed().as_secs_f64() * 1e3;
         drop(txn);
 

@@ -121,11 +121,8 @@ impl Catalog {
             return Err(EiderError::Catalog(format!("a view named \"{name}\" already exists")));
         }
         let types = columns.iter().map(|c| c.ty).collect();
-        let entry = Arc::new(TableEntry {
-            name: name.to_string(),
-            columns,
-            data: DataTable::new(types),
-        });
+        let entry =
+            Arc::new(TableEntry { name: name.to_string(), columns, data: DataTable::new(types) });
         tables.insert(key(name), Arc::clone(&entry));
         Ok(entry)
     }
@@ -140,9 +137,11 @@ impl Catalog {
     }
 
     pub fn get_table(&self, name: &str) -> Result<Arc<TableEntry>> {
-        self.tables.read().get(&key(name)).cloned().ok_or_else(|| {
-            EiderError::Catalog(format!("table \"{name}\" does not exist"))
-        })
+        self.tables
+            .read()
+            .get(&key(name))
+            .cloned()
+            .ok_or_else(|| EiderError::Catalog(format!("table \"{name}\" does not exist")))
     }
 
     pub fn has_table(&self, name: &str) -> bool {
@@ -157,7 +156,10 @@ impl Catalog {
         if views.contains_key(&key(name)) && !or_replace {
             return Err(EiderError::Catalog(format!("view \"{name}\" already exists")));
         }
-        views.insert(key(name), Arc::new(ViewEntry { name: name.to_string(), sql: sql.to_string() }));
+        views.insert(
+            key(name),
+            Arc::new(ViewEntry { name: name.to_string(), sql: sql.to_string() }),
+        );
         Ok(())
     }
 
@@ -176,8 +178,7 @@ impl Catalog {
 
     /// Sorted table names (stable output for `SHOW TABLES` and tests).
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.tables.read().values().map(|t| t.name.clone()).collect();
+        let mut names: Vec<String> = self.tables.read().values().map(|t| t.name.clone()).collect();
         names.sort();
         names
     }

@@ -13,7 +13,9 @@
 //! paper compares against, rebuilt (DESIGN.md substitution E5).
 
 use crate::result::MaterializedResult;
-use eider_storage::serde::{read_value, write_value, BinReader, BinWriter, tag_to_type, type_to_tag};
+use eider_storage::serde::{
+    read_value, tag_to_type, type_to_tag, write_value, BinReader, BinWriter,
+};
 use eider_vector::{DataChunk, EiderError, Result, VECTOR_SIZE};
 
 /// Serialize a result set into the row-major wire format.

@@ -185,17 +185,18 @@ fn lzss_compress(data: &[u8]) -> Vec<u8> {
     let mut flag_pos = out.len();
     out.push(0);
     let mut flag_bit = 0u32;
-    let put_token = |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u32, is_match: bool| {
-        if *flag_bit == 8 {
-            *flag_pos = out.len();
-            out.push(0);
-            *flag_bit = 0;
-        }
-        if is_match {
-            out[*flag_pos] |= 1 << *flag_bit;
-        }
-        *flag_bit += 1;
-    };
+    let put_token =
+        |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u32, is_match: bool| {
+            if *flag_bit == 8 {
+                *flag_pos = out.len();
+                out.push(0);
+                *flag_bit = 0;
+            }
+            if is_match {
+                out[*flag_pos] |= 1 << *flag_bit;
+            }
+            *flag_bit += 1;
+        };
     while i < data.len() {
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
@@ -310,8 +311,7 @@ mod tests {
     #[test]
     fn round_trip_all_levels_all_patterns() {
         for data in patterns() {
-            for level in
-                [CompressionLevel::None, CompressionLevel::Light, CompressionLevel::Heavy]
+            for level in [CompressionLevel::None, CompressionLevel::Light, CompressionLevel::Heavy]
             {
                 let c = compress(level, &data);
                 let d = decompress(&c).unwrap();

@@ -112,11 +112,7 @@ impl AdaptiveController {
             .total_memory
             .saturating_sub(usage.app_memory_bytes)
             .max(self.config.min_dbms_memory);
-        Decision {
-            compression: self.level,
-            dbms_memory_budget: remaining,
-            app_pressure: pressure,
-        }
+        Decision { compression: self.level, dbms_memory_budget: remaining, app_pressure: pressure }
     }
 }
 
@@ -149,7 +145,7 @@ mod tests {
         let total = 1_000_000;
         let mut c = AdaptiveController::new(ControllerConfig::for_budget(total));
         c.observe(usage(0.50, total)); // -> Light
-        // Dropping just below the engage threshold keeps Light.
+                                       // Dropping just below the engage threshold keeps Light.
         assert_eq!(c.observe(usage(0.40, total)).compression, CompressionLevel::Light);
         // Dropping below the disengage threshold releases it.
         assert_eq!(c.observe(usage(0.30, total)).compression, CompressionLevel::None);

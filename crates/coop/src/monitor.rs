@@ -65,10 +65,8 @@ pub struct SimulatedApplication {
 impl SimulatedApplication {
     pub fn new(phases: Vec<TracePhase>) -> Arc<Self> {
         assert!(!phases.is_empty(), "trace needs at least one phase");
-        let first = ResourceUsage {
-            app_memory_bytes: phases[0].memory_bytes,
-            app_cpu: phases[0].cpu,
-        };
+        let first =
+            ResourceUsage { app_memory_bytes: phases[0].memory_bytes, app_cpu: phases[0].cpu };
         Arc::new(SimulatedApplication {
             phases,
             position: AtomicUsize::new(0),

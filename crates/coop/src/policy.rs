@@ -33,12 +33,26 @@ pub fn choose_join_strategy(build_bytes_estimate: usize, available_memory: usize
     }
 }
 
+/// Clamp a requested worker-thread count by the host application's CPU
+/// load (a fraction in `[0, 1]` across all cores): the DBMS takes the
+/// cores the application is not using, but never fewer than one.
+///
+/// This is the CPU-axis analogue of [`choose_join_strategy`]: §4's
+/// cooperation story applied to the parallel executor's fan-out.
+pub fn clamp_worker_threads(requested: usize, app_cpu_load: f64) -> usize {
+    let free = (1.0 - app_cpu_load.clamp(0.0, 1.0)) * requested as f64;
+    (free.floor() as usize).clamp(1, requested.max(1))
+}
+
 /// Shared mutable runtime policy (lock-free reads on the hot path).
 #[derive(Debug)]
 pub struct ResourcePolicy {
     compression: AtomicU8,
     memory_limit: AtomicUsize,
     threads: AtomicUsize,
+    /// Host application CPU load, stored as percent (0..=100) so it fits
+    /// an atomic.
+    app_cpu_percent: AtomicU8,
 }
 
 impl Default for ResourcePolicy {
@@ -47,6 +61,7 @@ impl Default for ResourcePolicy {
             compression: AtomicU8::new(CompressionLevel::None.as_u8()),
             memory_limit: AtomicUsize::new(1 << 30),
             threads: AtomicUsize::new(std::thread::available_parallelism().map_or(2, |n| n.get())),
+            app_cpu_percent: AtomicU8::new(0),
         }
     }
 }
@@ -79,6 +94,26 @@ impl ResourcePolicy {
     pub fn set_threads(&self, n: usize) {
         self.threads.store(n.max(1), Ordering::Relaxed);
     }
+
+    /// Record the host application's CPU load (fraction in `[0, 1]`);
+    /// pushed by whoever samples a [`crate::monitor::ResourceMonitor`].
+    pub fn set_app_cpu_load(&self, load: f64) {
+        let pct = (load.clamp(0.0, 1.0) * 100.0).round() as u8;
+        self.app_cpu_percent.store(pct, Ordering::Relaxed);
+    }
+
+    /// Last recorded host application CPU load, as a fraction.
+    pub fn app_cpu_load(&self) -> f64 {
+        f64::from(self.app_cpu_percent.load(Ordering::Relaxed)) / 100.0
+    }
+
+    /// How many workers the parallel executor should actually fan out to
+    /// *right now*: the configured [`ResourcePolicy::threads`] cap,
+    /// dynamically shrunk while the host application is burning CPU
+    /// (§4 — the embedded DBMS shares the machine, it does not own it).
+    pub fn worker_threads(&self) -> usize {
+        clamp_worker_threads(self.threads(), self.app_cpu_load())
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +125,28 @@ mod tests {
         assert_eq!(choose_join_strategy(100, 1000), JoinStrategy::Hash);
         assert_eq!(choose_join_strategy(600, 1000), JoinStrategy::OutOfCoreMerge);
         assert_eq!(choose_join_strategy(500, 1000), JoinStrategy::Hash);
-        assert_eq!(choose_join_strategy(usize::MAX / 2 + 1, usize::MAX), JoinStrategy::OutOfCoreMerge);
+        assert_eq!(
+            choose_join_strategy(usize::MAX / 2 + 1, usize::MAX),
+            JoinStrategy::OutOfCoreMerge
+        );
+    }
+
+    #[test]
+    fn worker_threads_shrink_under_app_cpu_pressure() {
+        assert_eq!(clamp_worker_threads(8, 0.0), 8);
+        assert_eq!(clamp_worker_threads(8, 0.5), 4);
+        assert_eq!(clamp_worker_threads(8, 0.95), 1, "floor at one worker");
+        assert_eq!(clamp_worker_threads(1, 0.0), 1);
+        assert_eq!(clamp_worker_threads(4, 2.0), 1, "load clamped to [0,1]");
+
+        let p = ResourcePolicy::new();
+        p.set_threads(8);
+        assert_eq!(p.worker_threads(), 8);
+        p.set_app_cpu_load(0.75);
+        assert_eq!(p.app_cpu_load(), 0.75);
+        assert_eq!(p.worker_threads(), 2);
+        p.set_app_cpu_load(0.0);
+        assert_eq!(p.worker_threads(), 8);
     }
 
     #[test]

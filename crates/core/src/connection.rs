@@ -10,9 +10,7 @@ use eider_exec::ops::drain;
 use eider_sql::plan::LogicalPlan;
 use eider_sql::{optimizer, Binder};
 use eider_txn::Transaction;
-use eider_vector::{
-    DataChunk, EiderError, LogicalType, Result, Value, Vector,
-};
+use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, Vector};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -96,11 +94,8 @@ impl Connection {
             }
             LogicalPlan::Pragma { name, value } => return self.run_pragma(name, value.as_ref()),
             LogicalPlan::Explain { input } => {
-                let lines: Vec<Vec<Value>> = input
-                    .explain()
-                    .lines()
-                    .map(|l| vec![Value::Varchar(l.to_string())])
-                    .collect();
+                let lines: Vec<Vec<Value>> =
+                    input.explain().lines().map(|l| vec![Value::Varchar(l.to_string())]).collect();
                 let chunk = DataChunk::from_rows(&[LogicalType::Varchar], &lines)?;
                 return Ok(MaterializedResult::new(
                     vec!["explain".into()],
@@ -191,8 +186,7 @@ impl Connection {
                 self.db.txn_manager().register_table(&entry.data);
                 self.db.wal_append(&WalRecord::CreateTable { name, columns })?;
                 if let Some(select) = as_select {
-                    let insert =
-                        LogicalPlan::Insert { entry, input: select };
+                    let insert = LogicalPlan::Insert { entry, input: select };
                     return self.execute_in_txn(txn, insert);
                 }
                 Ok(empty_result())
@@ -359,11 +353,16 @@ impl Connection {
                 }
                 Ok(count_result(writer.finish()?))
             }
-            // Plain queries.
+            // Plain queries: morsel-parallel when the planner recognizes
+            // the shape and the cooperation policy grants more than one
+            // worker; the serial pull loop otherwise.
             query => {
                 let names = query.output_names();
                 let types = query.output_types();
-                let mut op = planner::lower(&self.db, txn, &query)?;
+                let mut op = match planner::lower_parallel(&self.db, txn, &query)? {
+                    Some(parallel) => parallel,
+                    None => planner::lower(&self.db, txn, &query)?,
+                };
                 let chunks = drain(op.as_mut())?;
                 Ok(MaterializedResult::new(names, types, chunks))
             }
@@ -377,11 +376,7 @@ impl Connection {
                 &[v.logical_type().unwrap_or(LogicalType::Varchar)],
                 &[vec![v]],
             )?;
-            Ok(MaterializedResult::new(
-                vec![name.to_string()],
-                chunk.types(),
-                vec![chunk],
-            ))
+            Ok(MaterializedResult::new(vec![name.to_string()], chunk.types(), vec![chunk]))
         };
         match name {
             "memory_limit" => match value {
@@ -428,9 +423,9 @@ impl Connection {
                 }
                 None => reply(Value::BigInt(db.config().wal_autocheckpoint as i64)),
             },
-            "database_size" => reply(Value::BigInt(
-                (db.block_count() * eider_storage::BLOCK_SIZE as u64) as i64,
-            )),
+            "database_size" => {
+                reply(Value::BigInt((db.block_count() * eider_storage::BLOCK_SIZE as u64) as i64))
+            }
             "wal_size" => reply(Value::BigInt(db.wal_size() as i64)),
             other => Err(EiderError::Bind(format!("unknown PRAGMA \"{other}\""))),
         }

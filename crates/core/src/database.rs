@@ -77,17 +77,12 @@ impl Database {
         let header = block_mgr.current_header();
         let mut chain = Vec::new();
         if header.meta_root != INVALID_BLOCK {
-            chain = persist::load_checkpoint(
-                header.meta_root,
-                &block_mgr,
-                &db.catalog,
-                &db.txn_mgr,
-            )?;
+            chain =
+                persist::load_checkpoint(header.meta_root, &block_mgr, &db.catalog, &db.txn_mgr)?;
         }
         // Free list = all blocks not in the live chain.
         let used: std::collections::HashSet<u64> = chain.iter().copied().collect();
-        let free: Vec<u64> =
-            (0..header.block_count).filter(|b| !used.contains(b)).collect();
+        let free: Vec<u64> = (0..header.block_count).filter(|b| !used.contains(b)).collect();
         block_mgr.restore_free_list(free, header.block_count);
         // Replay the WAL on top.
         let wal_path = Self::wal_path(&path);

@@ -33,17 +33,44 @@ pub fn row_id_from_linear(idx: u64) -> RowId {
 /// Logical WAL record kinds.
 #[derive(Debug)]
 pub enum WalRecord {
-    CreateTable { name: String, columns: Vec<ColumnDefinition> },
-    DropTable { name: String },
-    CreateView { name: String, sql: String },
-    DropView { name: String },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDefinition>,
+    },
+    DropTable {
+        name: String,
+    },
+    CreateView {
+        name: String,
+        sql: String,
+    },
+    DropView {
+        name: String,
+    },
     /// Bulk append of a chunk in table-column order. `first_row` is the
     /// linear physical position the chunk landed at.
-    Append { txn_id: u64, table: String, first_row: u64, chunk: DataChunk },
+    Append {
+        txn_id: u64,
+        table: String,
+        first_row: u64,
+        chunk: DataChunk,
+    },
     /// Column-wise update: unchanged columns never hit the log (§2).
-    Update { txn_id: u64, table: String, column: u32, rows: Vec<u64>, values: Vector },
-    Delete { txn_id: u64, table: String, rows: Vec<u64> },
-    Commit { txn_id: u64 },
+    Update {
+        txn_id: u64,
+        table: String,
+        column: u32,
+        rows: Vec<u64>,
+        values: Vector,
+    },
+    Delete {
+        txn_id: u64,
+        table: String,
+        rows: Vec<u64>,
+    },
+    Commit {
+        txn_id: u64,
+    },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
@@ -148,14 +175,11 @@ impl WalRecord {
         let mut r = BinReader::new(bytes);
         let tag = r.read_u8()?;
         Ok(match tag {
-            TAG_CREATE_TABLE => WalRecord::CreateTable {
-                name: r.read_str()?,
-                columns: read_column_defs(&mut r)?,
-            },
-            TAG_DROP_TABLE => WalRecord::DropTable { name: r.read_str()? },
-            TAG_CREATE_VIEW => {
-                WalRecord::CreateView { name: r.read_str()?, sql: r.read_str()? }
+            TAG_CREATE_TABLE => {
+                WalRecord::CreateTable { name: r.read_str()?, columns: read_column_defs(&mut r)? }
             }
+            TAG_DROP_TABLE => WalRecord::DropTable { name: r.read_str()? },
+            TAG_CREATE_VIEW => WalRecord::CreateView { name: r.read_str()?, sql: r.read_str()? },
             TAG_DROP_VIEW => WalRecord::DropView { name: r.read_str()? },
             TAG_APPEND => WalRecord::Append {
                 txn_id: r.read_u64()?,
@@ -186,9 +210,7 @@ impl WalRecord {
                 WalRecord::Delete { txn_id, table, rows }
             }
             TAG_COMMIT => WalRecord::Commit { txn_id: r.read_u64()? },
-            other => {
-                return Err(EiderError::Corruption(format!("unknown WAL record tag {other}")))
-            }
+            other => return Err(EiderError::Corruption(format!("unknown WAL record tag {other}"))),
         })
     }
 }
@@ -348,9 +370,7 @@ pub fn split_row_ids(chunks: &[DataChunk]) -> Result<(Vec<DataChunk>, Vec<u64>)>
                     let rid = RowId::decode(v);
                     rows.push(rid.group as u64 * ROW_GROUP_SIZE as u64 + rid.row as u64);
                 }
-                other => {
-                    return Err(EiderError::Internal(format!("bad row id value {other}")))
-                }
+                other => return Err(EiderError::Internal(format!("bad row id value {other}"))),
             }
         }
         payloads.push(chunk.project(&(0..idx_col).collect::<Vec<_>>()));
@@ -378,13 +398,7 @@ mod tests {
                 columns: vec![ColumnDefinition::new("a", LogicalType::Integer).not_null()],
             },
             WalRecord::Append { txn_id: 9, table: "t".into(), first_row: 0, chunk },
-            WalRecord::Update {
-                txn_id: 9,
-                table: "t".into(),
-                column: 0,
-                rows: vec![0, 1],
-                values,
-            },
+            WalRecord::Update { txn_id: 9, table: "t".into(), column: 0, rows: vec![0, 1], values },
             WalRecord::Delete { txn_id: 9, table: "t".into(), rows: vec![1] },
             WalRecord::Commit { txn_id: 9 },
             WalRecord::DropTable { name: "t".into() },

@@ -1,17 +1,34 @@
 //! The physical planner: lowers bound logical plans onto executable
 //! operators, consulting the cooperation policy for strategy choices (§4).
+//!
+//! Two lowering paths exist:
+//!
+//! * [`lower`] — the serial Vector Volcano pull pipeline, able to execute
+//!   every plan;
+//! * [`lower_parallel`] — recognizes *pipeline-shaped* plans
+//!   (`scan → filter*/project* → [aggregate | sort]`, plus hash-join build
+//!   sides) and routes them through the morsel-driven parallel executor
+//!   ([`eider_exec::parallel`]), returning `None` for anything it cannot
+//!   prove parallel-safe so the caller falls back to [`lower`]. Worker
+//!   count is the cooperation policy's
+//!   [`worker_threads`](eider_coop::policy::ResourcePolicy::worker_threads)
+//!   — `PRAGMA threads` clamped by host CPU load.
 
 use crate::database::Database;
+use eider_coop::policy::{choose_join_strategy, JoinStrategy};
+use eider_exec::ops::join::JoinType;
 use eider_exec::ops::{
     CrossProductOp, DeleteOp, DistinctOp, ExternalSortOp, FilterOp, HashAggregateOp, HashJoinOp,
     InsertOp, LimitOp, MergeJoinOp, NestedLoopJoinOp, OperatorBox, PhysicalOperator, ProjectionOp,
     SimpleAggregateOp, TableScanOp, TopNOp, UpdateOp, ValuesOp,
 };
-use eider_coop::policy::{choose_join_strategy, JoinStrategy};
-use eider_exec::ops::join::JoinType;
+use eider_exec::parallel::morsel::{slice_morsels, MORSEL_ROWS};
+use eider_exec::parallel::{
+    MorselSource, ParallelPipeline, ParallelPipelineOp, PipelineOutput, PipelineSink, PipelineStep,
+};
 use eider_sql::plan::LogicalPlan;
-use eider_txn::{ScanOptions, Transaction};
-use eider_vector::{DataChunk, EiderError, LogicalType, Result};
+use eider_txn::{DataTable, ScanOptions, Transaction};
+use eider_vector::{DataChunk, EiderError, LogicalType, Result, VECTOR_SIZE};
 use std::sync::Arc;
 
 /// Chain two operators: pull left until exhausted, then right (UNION ALL).
@@ -52,9 +69,7 @@ fn estimate_rows(plan: &LogicalPlan) -> u64 {
         }
         LogicalPlan::Filter { input, .. } => (estimate_rows(input) / 3).max(1),
         LogicalPlan::Limit { input, limit, .. } => estimate_rows(input).min(*limit as u64),
-        LogicalPlan::Join { left, right, .. } => {
-            estimate_rows(left).max(estimate_rows(right))
-        }
+        LogicalPlan::Join { left, right, .. } => estimate_rows(left).max(estimate_rows(right)),
         LogicalPlan::CrossJoin { left, right } => {
             estimate_rows(left).saturating_mul(estimate_rows(right))
         }
@@ -116,31 +131,46 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
         LogicalPlan::Distinct { input } => Box::new(DistinctOp::new(lower(db, txn, input)?)),
         LogicalPlan::Join { left, right, join_type, left_keys, right_keys } => {
             let lchild = lower(db, txn, left)?;
-            let rchild = lower(db, txn, right)?;
             // §4: the build side's estimated footprint against currently
             // available memory decides hash vs out-of-core merge join.
             let build_rows = estimate_rows(right);
-            let build_bytes = build_rows.saturating_mul(
-                (right.output_types().len() as u64).saturating_mul(16),
-            ) as usize;
+            let build_bytes = build_rows
+                .saturating_mul((right.output_types().len() as u64).saturating_mul(16))
+                as usize;
             let strategy = if *join_type == JoinType::Inner {
                 choose_join_strategy(build_bytes, db.buffers().available_memory())
             } else {
                 JoinStrategy::Hash // left/semi/anti are hash-only
             };
             match strategy {
-                JoinStrategy::Hash => Box::new(HashJoinOp::new(
-                    lchild,
-                    rchild,
-                    left_keys.clone(),
-                    right_keys.clone(),
-                    *join_type,
-                    db.policy().compression(),
-                    Some(db.buffers()),
-                )?),
+                JoinStrategy::Hash => {
+                    // Morsel-parallel build when the build side is
+                    // pipeline-shaped and large enough.
+                    match try_parallel_join_build(
+                        db,
+                        txn,
+                        lchild,
+                        right,
+                        left_keys.clone(),
+                        right_keys,
+                        *join_type,
+                        build_bytes,
+                    )? {
+                        Ok(op) => op,
+                        Err(lchild) => Box::new(HashJoinOp::new(
+                            lchild,
+                            lower(db, txn, right)?,
+                            left_keys.clone(),
+                            right_keys.clone(),
+                            *join_type,
+                            db.policy().compression(),
+                            Some(db.buffers()),
+                        )?),
+                    }
+                }
                 JoinStrategy::OutOfCoreMerge => Box::new(MergeJoinOp::new(
                     lchild,
-                    rchild,
+                    lower(db, txn, right)?,
                     left_keys.clone(),
                     right_keys.clone(),
                     db.policy().memory_limit() / 8,
@@ -175,26 +205,239 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
             Box::new(ValuesOp::new(types.clone(), vec![chunk]))
         }
         LogicalPlan::SingleRow => Box::new(ValuesOp::single_row()),
-        LogicalPlan::Insert { entry, input } => Box::new(InsertOp::new(
-            Arc::clone(entry),
-            lower(db, txn, input)?,
-            Arc::clone(txn),
-        )),
+        LogicalPlan::Insert { entry, input } => {
+            Box::new(InsertOp::new(Arc::clone(entry), lower(db, txn, input)?, Arc::clone(txn)))
+        }
         LogicalPlan::Update { entry, input, columns } => Box::new(UpdateOp::new(
             Arc::clone(entry),
             lower(db, txn, input)?,
             Arc::clone(txn),
             columns.clone(),
         )),
-        LogicalPlan::Delete { entry, input } => Box::new(DeleteOp::new(
-            Arc::clone(entry),
-            lower(db, txn, input)?,
-            Arc::clone(txn),
-        )),
+        LogicalPlan::Delete { entry, input } => {
+            Box::new(DeleteOp::new(Arc::clone(entry), lower(db, txn, input)?, Arc::clone(txn)))
+        }
         other => {
             return Err(EiderError::Internal(format!(
                 "plan node is not executable by the physical planner: {other:?}"
             )))
         }
     })
+}
+
+/// A table must span at least this many rows before fan-out pays for the
+/// thread dispatch (two minimum-size morsels).
+const PARALLEL_MIN_ROWS: usize = 2 * VECTOR_SIZE;
+
+/// The streaming part of a pipeline-shaped plan: one base table scan plus
+/// filter/projection steps, all safe to replicate per worker.
+struct ScanChain {
+    table: Arc<DataTable>,
+    opts: ScanOptions,
+    steps: Vec<PipelineStep>,
+}
+
+/// Decompose `scan → (filter | project)*` plans; `None` for anything else
+/// (joins, unions, nested aggregates, row-id-emitting scans for
+/// UPDATE/DELETE — those stay on the serial path).
+fn extract_chain(plan: &LogicalPlan) -> Option<ScanChain> {
+    match plan {
+        LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, .. }
+            if !emit_row_ids =>
+        {
+            Some(ScanChain {
+                table: Arc::clone(&entry.data),
+                opts: ScanOptions {
+                    columns: column_ids.clone(),
+                    filters: filters.clone(),
+                    emit_row_ids: false,
+                },
+                steps: Vec::new(),
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut chain = extract_chain(input)?;
+            chain.steps.push(PipelineStep::Filter(predicate.clone()));
+            Some(chain)
+        }
+        LogicalPlan::Projection { input, exprs, .. } => {
+            let mut chain = extract_chain(input)?;
+            chain.steps.push(PipelineStep::Project(exprs.clone()));
+            Some(chain)
+        }
+        _ => None,
+    }
+}
+
+/// Build the morsel source for a chain, or `None` when the table is too
+/// small for parallel workers to earn their dispatch cost. Morsel size
+/// depends only on the data (aiming for ~16 morsels on moderate tables,
+/// capped at [`MORSEL_ROWS`] on large ones), *never* on the thread count:
+/// per-morsel aggregate partials merge in morsel order, so a fixed
+/// decomposition makes results bit-identical across worker counts even
+/// for floating-point aggregates.
+fn make_source(chain: &ScanChain, txn: &Arc<Transaction>) -> Option<Arc<MorselSource>> {
+    let sizes = chain.table.group_sizes();
+    let total: usize = sizes.iter().sum();
+    if total < PARALLEL_MIN_ROWS {
+        return None;
+    }
+    // Slice before constructing: a rejected source must leave no trace on
+    // the transaction (MorselSource records read predicates, and the
+    // serial fallback will record its own).
+    let morsel_rows = (total / 16).clamp(VECTOR_SIZE, MORSEL_ROWS);
+    let morsels = slice_morsels(&sizes, morsel_rows);
+    if morsels.len() < 2 {
+        return None;
+    }
+    Some(Arc::new(MorselSource::from_morsels(
+        Arc::clone(&chain.table),
+        txn,
+        chain.opts.clone(),
+        morsels,
+    )))
+}
+
+/// Lower a pipeline-shaped chain + sink to a parallel operator.
+/// `buffers` (when given) makes the sink's aggregate state count against
+/// the shared memory budget, mirroring the serial operator's accounting.
+fn chain_to_op(
+    chain: ScanChain,
+    txn: &Arc<Transaction>,
+    sink: PipelineSink,
+    threads: usize,
+    buffers: Option<Arc<eider_storage::buffer::BufferManager>>,
+) -> Option<OperatorBox> {
+    let source = make_source(&chain, txn)?;
+    let pipeline =
+        ParallelPipeline::new(source, Arc::clone(txn), chain.steps, sink).with_buffers(buffers);
+    Some(Box::new(ParallelPipelineOp::new(pipeline, threads)))
+}
+
+/// Try to lower `plan` onto the morsel-driven parallel executor. Returns
+/// `Ok(None)` when the plan is not parallel-shaped, the policy grants only
+/// one worker, or the table is too small to split — callers then use the
+/// serial [`lower`].
+pub fn lower_parallel(
+    db: &Database,
+    txn: &Arc<Transaction>,
+    plan: &LogicalPlan,
+) -> Result<Option<OperatorBox>> {
+    let threads = db.policy().worker_threads();
+    if threads <= 1 {
+        return Ok(None);
+    }
+    Ok(parallel_plan(txn, plan, threads, db.policy().memory_limit(), &db.buffers()))
+}
+
+fn parallel_plan(
+    txn: &Arc<Transaction>,
+    plan: &LogicalPlan,
+    threads: usize,
+    memory_limit: usize,
+    buffers: &Arc<eider_storage::buffer::BufferManager>,
+) -> Option<OperatorBox> {
+    // Whole plan as one data-parallel chain (scan/filter/project)?
+    if let Some(chain) = extract_chain(plan) {
+        return chain_to_op(chain, txn, PipelineSink::Collect, threads, None);
+    }
+    match plan {
+        LogicalPlan::Aggregate { input, groups, aggs, .. } => {
+            let chain = extract_chain(input)?;
+            let sink = if groups.is_empty() {
+                PipelineSink::SimpleAggregate(aggs.clone())
+            } else {
+                PipelineSink::HashAggregate { groups: groups.clone(), aggs: aggs.clone() }
+            };
+            chain_to_op(chain, txn, sink, threads, Some(Arc::clone(buffers)))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let chain = extract_chain(input)?;
+            // The parallel sort holds every row in worker memory (no run
+            // spilling yet — see ROADMAP): oversized sorts stay on the
+            // serial ExternalSortOp, which spills within its budget. Same
+            // crude ~16 bytes/value estimate the join planner uses.
+            let total_rows: usize = chain.table.group_sizes().iter().sum();
+            let width = input.output_types().len() + keys.len();
+            let estimated = total_rows.saturating_mul(width).saturating_mul(16);
+            if estimated > memory_limit / 4 {
+                return None;
+            }
+            chain_to_op(chain, txn, PipelineSink::Sort(keys.clone()), threads, None)
+        }
+        // SELECT-list over an aggregate (the binder always wraps one):
+        // parallelize underneath, project the handful of result rows
+        // serially.
+        LogicalPlan::Projection { input, exprs, .. } => {
+            let child = parallel_plan(txn, input, threads, memory_limit, buffers)?;
+            Some(Box::new(ProjectionOp::new(child, exprs.clone())))
+        }
+        // HAVING over an aggregate, same shape.
+        LogicalPlan::Filter { input, predicate } => {
+            let child = parallel_plan(txn, input, threads, memory_limit, buffers)?;
+            Some(Box::new(FilterOp::new(child, predicate.clone())))
+        }
+        _ => None,
+    }
+}
+
+/// Parallelize a hash join's build side when it is pipeline-shaped: the
+/// workers evaluate, key and hash the build rows morsel-parallel, and
+/// [`HashJoinOp::from_prebuilt`] splices the partials into the bucket
+/// table. The probe side streams serially (open item: parallel probe).
+/// Runs the build eagerly; the caller is about to pull the join anyway.
+///
+/// Unlike the serial build, the worker partials are not charged to the
+/// buffer manager until the final splice, so they cannot abort early on
+/// memory pressure — `build_bytes_estimate` therefore needs real headroom
+/// (4×) against currently available memory, or the serial incremental
+/// build (which can abort chunk-by-chunk) runs instead.
+fn try_parallel_join_build(
+    db: &Database,
+    txn: &Arc<Transaction>,
+    left: OperatorBox,
+    right_plan: &LogicalPlan,
+    left_keys: Vec<eider_exec::Expr>,
+    right_keys: &[eider_exec::Expr],
+    join_type: JoinType,
+    build_bytes_estimate: usize,
+) -> Result<std::result::Result<OperatorBox, OperatorBox>> {
+    let threads = db.policy().worker_threads();
+    let parallel = || -> Option<(ParallelPipeline, usize)> {
+        if threads <= 1 {
+            return None;
+        }
+        if build_bytes_estimate.saturating_mul(4) > db.buffers().available_memory() {
+            return None;
+        }
+        let chain = extract_chain(right_plan)?;
+        let source = make_source(&chain, txn)?;
+        Some((
+            ParallelPipeline::new(
+                source,
+                Arc::clone(txn),
+                chain.steps,
+                PipelineSink::JoinBuild { keys: right_keys.to_vec() },
+            ),
+            threads,
+        ))
+    };
+    match parallel() {
+        Some((pipeline, threads)) => {
+            let right_types = pipeline.chain_types();
+            let PipelineOutput::JoinBuild(partials) = pipeline.execute(threads)? else {
+                unreachable!("join-build sink produces partials")
+            };
+            Ok(Ok(Box::new(HashJoinOp::from_prebuilt(
+                left,
+                right_types,
+                partials,
+                left_keys,
+                join_type,
+                db.policy().compression(),
+                Some(db.buffers()),
+            )?)))
+        }
+        None => Ok(Err(left)),
+    }
 }

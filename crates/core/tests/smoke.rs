@@ -7,9 +7,8 @@ fn full_sql_pipeline_in_memory() {
     let db = Database::in_memory().unwrap();
     let conn = db.connect();
     conn.execute("CREATE TABLE t (a INTEGER, d INTEGER, v DOUBLE)").unwrap();
-    let n = conn
-        .execute("INSERT INTO t VALUES (1, -999, 1.5), (2, 7, 2.5), (3, -999, 3.5)")
-        .unwrap();
+    let n =
+        conn.execute("INSERT INTO t VALUES (1, -999, 1.5), (2, 7, 2.5), (3, -999, 3.5)").unwrap();
     assert_eq!(n, 3);
     // The paper's §2 wrangling update.
     let n = conn.execute("UPDATE t SET d = NULL WHERE d = -999").unwrap();
@@ -26,8 +25,7 @@ fn joins_group_order() {
     conn.execute("CREATE TABLE orders (cid INTEGER, amount DOUBLE)").unwrap();
     conn.execute("CREATE TABLE customers (cid INTEGER, name VARCHAR)").unwrap();
     conn.execute("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob')").unwrap();
-    conn.execute("INSERT INTO orders VALUES (1, 10.0), (1, 20.0), (2, 5.0), (3, 99.0)")
-        .unwrap();
+    conn.execute("INSERT INTO orders VALUES (1, 10.0), (1, 20.0), (2, 5.0), (3, 99.0)").unwrap();
     let r = conn
         .query(
             "SELECT name, sum(amount) AS total FROM orders \

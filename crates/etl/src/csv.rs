@@ -25,7 +25,12 @@ pub struct CsvReadOptions {
 
 impl Default for CsvReadOptions {
     fn default() -> Self {
-        CsvReadOptions { header: true, delimiter: ',', null_string: String::new(), sample_rows: 1024 }
+        CsvReadOptions {
+            header: true,
+            delimiter: ',',
+            null_string: String::new(),
+            sample_rows: 1024,
+        }
     }
 }
 
@@ -320,12 +325,8 @@ mod tests {
     fn read_write_round_trip() {
         let path = tmp("round");
         {
-            let mut w = CsvWriter::create(
-                &path,
-                Some(&["a".to_string(), "b".to_string()]),
-                ',',
-            )
-            .unwrap();
+            let mut w =
+                CsvWriter::create(&path, Some(&["a".to_string(), "b".to_string()]), ',').unwrap();
             let chunk = DataChunk::from_rows(
                 &[LogicalType::Integer, LogicalType::Varchar],
                 &[

@@ -55,14 +55,31 @@ impl AggKind {
 #[derive(Debug, Clone)]
 pub enum AggState {
     Count(i64),
-    SumInt { sum: i128, seen: bool },
-    SumDouble { sum: f64, seen: bool },
-    Avg { sum: f64, count: i64 },
+    SumInt {
+        sum: i128,
+        seen: bool,
+    },
+    SumDouble {
+        sum: f64,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
-    Welford { count: i64, mean: f64, m2: f64, variance: bool },
+    Welford {
+        count: i64,
+        mean: f64,
+        m2: f64,
+        variance: bool,
+    },
     /// DISTINCT wrapper: dedup first, feed the inner state at finalize.
-    Distinct { seen: HashSet<Value>, inner: Box<AggState> },
+    Distinct {
+        seen: HashSet<Value>,
+        inner: Box<AggState>,
+    },
 }
 
 impl AggState {
@@ -77,7 +94,9 @@ impl AggState {
             AggKind::Avg => AggState::Avg { sum: 0.0, count: 0 },
             AggKind::Min => AggState::Min(None),
             AggKind::Max => AggState::Max(None),
-            AggKind::StdDevSamp => AggState::Welford { count: 0, mean: 0.0, m2: 0.0, variance: false },
+            AggKind::StdDevSamp => {
+                AggState::Welford { count: 0, mean: 0.0, m2: 0.0, variance: false }
+            }
             AggKind::VarSamp => AggState::Welford { count: 0, mean: 0.0, m2: 0.0, variance: true },
         };
         if distinct {
@@ -111,23 +130,23 @@ impl AggState {
         match self {
             AggState::Count(c) => *c += 1,
             AggState::SumInt { sum, seen } => {
-                let x = v.as_i64().ok_or_else(|| {
-                    EiderError::TypeMismatch(format!("SUM over non-numeric {v}"))
-                })?;
+                let x = v
+                    .as_i64()
+                    .ok_or_else(|| EiderError::TypeMismatch(format!("SUM over non-numeric {v}")))?;
                 *sum += i128::from(x);
                 *seen = true;
             }
             AggState::SumDouble { sum, seen } => {
-                let x = v.as_f64().ok_or_else(|| {
-                    EiderError::TypeMismatch(format!("SUM over non-numeric {v}"))
-                })?;
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| EiderError::TypeMismatch(format!("SUM over non-numeric {v}")))?;
                 *sum += x;
                 *seen = true;
             }
             AggState::Avg { sum, count } => {
-                let x = v.as_f64().ok_or_else(|| {
-                    EiderError::TypeMismatch(format!("AVG over non-numeric {v}"))
-                })?;
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| EiderError::TypeMismatch(format!("AVG over non-numeric {v}")))?;
                 *sum += x;
                 *count += 1;
             }
@@ -151,6 +170,92 @@ impl AggState {
                 *m2 += delta * (x - *mean);
             }
             AggState::Distinct { .. } => unreachable!("handled in update"),
+        }
+        Ok(())
+    }
+
+    /// Fold another accumulator of the *same shape* into this one, as if
+    /// every value `other` saw had been fed to `self`. This is the
+    /// combine step of parallel aggregation: each worker accumulates a
+    /// partial state over its morsels and the finalize phase merges them.
+    ///
+    /// All states merge exactly except `Welford`, which uses Chan et al.'s
+    /// parallel variance combination (exact in real arithmetic, subject to
+    /// the usual floating-point rounding), and `Distinct`, which unions
+    /// the seen sets.
+    pub fn merge(&mut self, other: &AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += *b,
+            (
+                AggState::SumInt { sum, seen },
+                AggState::SumInt { sum: other_sum, seen: other_seen },
+            ) => {
+                *sum += *other_sum;
+                *seen |= *other_seen;
+            }
+            (
+                AggState::SumDouble { sum, seen },
+                AggState::SumDouble { sum: other_sum, seen: other_seen },
+            ) => {
+                *sum += *other_sum;
+                *seen |= *other_seen;
+            }
+            (
+                AggState::Avg { sum, count },
+                AggState::Avg { sum: other_sum, count: other_count },
+            ) => {
+                *sum += *other_sum;
+                *count += *other_count;
+            }
+            (AggState::Min(cur), AggState::Min(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Less) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Greater) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            (
+                AggState::Welford { count, mean, m2, .. },
+                AggState::Welford { count: count2, mean: mean2, m2: m2_2, .. },
+            ) => {
+                if *count2 > 0 {
+                    if *count == 0 {
+                        (*count, *mean, *m2) = (*count2, *mean2, *m2_2);
+                    } else {
+                        let total = *count + *count2;
+                        let delta = *mean2 - *mean;
+                        *mean += delta * *count2 as f64 / total as f64;
+                        *m2 += *m2_2
+                            + delta * delta * (*count as f64) * (*count2 as f64) / total as f64;
+                        *count = total;
+                    }
+                }
+            }
+            (AggState::Distinct { seen, inner }, AggState::Distinct { seen: other_seen, .. }) => {
+                // Iterate the incoming set in value order, not HashSet
+                // order: the inner accumulator may be order-sensitive in
+                // floating point (SUM(DISTINCT v)), and parallel merges
+                // must be reproducible run to run.
+                let mut incoming: Vec<&Value> = other_seen.iter().collect();
+                incoming.sort_by(|a, b| a.total_cmp(b));
+                for v in incoming {
+                    if seen.insert(v.clone()) {
+                        inner.update(v)?;
+                    }
+                }
+            }
+            (a, b) => {
+                return Err(EiderError::Internal(format!(
+                    "cannot merge mismatched aggregate states {a:?} / {b:?}"
+                )))
+            }
         }
         Ok(())
     }
@@ -235,7 +340,12 @@ mod tests {
     #[test]
     fn sum_uses_wide_accumulator() {
         // Summing many i64::MAX values must not overflow mid-stream.
-        let vals = vec![Value::BigInt(i64::MAX), Value::BigInt(i64::MAX), Value::BigInt(-i64::MAX), Value::BigInt(-i64::MAX + 5)];
+        let vals = vec![
+            Value::BigInt(i64::MAX),
+            Value::BigInt(i64::MAX),
+            Value::BigInt(-i64::MAX),
+            Value::BigInt(-i64::MAX + 5),
+        ];
         assert_eq!(run(AggKind::Sum, Some(LogicalType::BigInt), false, &vals), Value::BigInt(5));
         // But a final result out of range errors.
         let mut s = AggState::new(AggKind::Sum, Some(LogicalType::BigInt), false);
@@ -255,10 +365,8 @@ mod tests {
 
     #[test]
     fn stddev_and_variance() {
-        let vals: Vec<Value> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
-            .iter()
-            .map(|&f| Value::Double(f))
-            .collect();
+        let vals: Vec<Value> =
+            [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().map(|&f| Value::Double(f)).collect();
         let var = run(AggKind::VarSamp, None, false, &vals);
         if let Value::Double(v) = var {
             assert!((v - 4.571428571428571).abs() < 1e-9);
@@ -285,6 +393,62 @@ mod tests {
         ];
         assert_eq!(run(AggKind::Count, None, true, &vals), Value::BigInt(2));
         assert_eq!(run(AggKind::Sum, Some(LogicalType::Integer), true, &vals), Value::BigInt(12));
+    }
+
+    #[test]
+    fn merge_equals_sequential_update() {
+        // Splitting any value stream across partial states and merging
+        // must match feeding one state sequentially.
+        let vals: Vec<Value> = (0..100)
+            .map(|i| {
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Integer(((i * 37) % 50 - 25) as i32)
+                }
+            })
+            .collect();
+        let cases: Vec<(AggKind, bool)> = vec![
+            (AggKind::CountStar, false),
+            (AggKind::Count, false),
+            (AggKind::Sum, false),
+            (AggKind::Avg, false),
+            (AggKind::Min, false),
+            (AggKind::Max, false),
+            (AggKind::VarSamp, false),
+            (AggKind::StdDevSamp, false),
+            (AggKind::Count, true),
+            (AggKind::Sum, true),
+        ];
+        for (kind, distinct) in cases {
+            let ty = Some(LogicalType::Integer);
+            let mut whole = AggState::new(kind, ty, distinct);
+            for v in &vals {
+                whole.update(v).unwrap();
+            }
+            let mut merged = AggState::new(kind, ty, distinct);
+            for part in vals.chunks(17) {
+                let mut partial = AggState::new(kind, ty, distinct);
+                for v in part {
+                    partial.update(v).unwrap();
+                }
+                merged.merge(&partial).unwrap();
+            }
+            let (a, b) = (whole.finalize().unwrap(), merged.finalize().unwrap());
+            match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => {
+                    assert!((x - y).abs() < 1e-9, "{kind:?} distinct={distinct}: {x} vs {y}")
+                }
+                _ => assert_eq!(a, b, "{kind:?} distinct={distinct}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_states() {
+        let mut a = AggState::new(AggKind::Count, None, false);
+        let b = AggState::new(AggKind::Avg, None, false);
+        assert!(a.merge(&b).is_err());
     }
 
     #[test]

@@ -15,8 +15,7 @@
 use crate::fxhash::fxhash;
 use eider_txn::CmpOp;
 use eider_vector::{
-    DataChunk, EiderError, LogicalType, Result, SelectionVector, Value, Vector,
-    VectorData,
+    DataChunk, EiderError, LogicalType, Result, SelectionVector, Value, Vector, VectorData,
 };
 use std::cmp::Ordering;
 
@@ -88,19 +87,56 @@ impl ScalarFunc {
 #[derive(Debug, Clone)]
 pub enum Expr {
     /// Reference to a column of the input chunk.
-    ColumnRef { index: usize, ty: LogicalType },
-    Constant { value: Value, ty: LogicalType },
-    Compare { op: CmpOp, left: Box<Expr>, right: Box<Expr> },
+    ColumnRef {
+        index: usize,
+        ty: LogicalType,
+    },
+    Constant {
+        value: Value,
+        ty: LogicalType,
+    },
+    Compare {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     And(Vec<Expr>),
     Or(Vec<Expr>),
     Not(Box<Expr>),
-    Arithmetic { op: ArithOp, left: Box<Expr>, right: Box<Expr>, ty: LogicalType },
-    Cast { child: Box<Expr>, to: LogicalType },
-    IsNull { child: Box<Expr>, negated: bool },
-    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>>, ty: LogicalType },
-    Function { func: ScalarFunc, args: Vec<Expr>, ty: LogicalType },
-    Like { child: Box<Expr>, pattern: Box<Expr>, negated: bool },
-    InList { child: Box<Expr>, list: Vec<Expr>, negated: bool },
+    Arithmetic {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+        ty: LogicalType,
+    },
+    Cast {
+        child: Box<Expr>,
+        to: LogicalType,
+    },
+    IsNull {
+        child: Box<Expr>,
+        negated: bool,
+    },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+        ty: LogicalType,
+    },
+    Function {
+        func: ScalarFunc,
+        args: Vec<Expr>,
+        ty: LogicalType,
+    },
+    Like {
+        child: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        child: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
 }
 
 impl Expr {
@@ -373,9 +409,7 @@ impl Expr {
                     (Value::Varchar(s), Value::Varchar(p)) => {
                         Ok(Value::Boolean(like_match(&p, &s) != *negated))
                     }
-                    (a, b) => {
-                        Err(EiderError::TypeMismatch(format!("LIKE over {a} and {b}")))
-                    }
+                    (a, b) => Err(EiderError::TypeMismatch(format!("LIKE over {a} and {b}"))),
                 }
             }
             Expr::InList { child, list, negated } => {
@@ -551,12 +585,20 @@ fn conjunction(vecs: &[Vector], is_and: bool, count: usize) -> Result<Vector> {
 
 // ---------------- arithmetic kernels ----------------
 
-fn arithmetic_vectors(op: ArithOp, left: &Vector, right: &Vector, ty: LogicalType) -> Result<Vector> {
+fn arithmetic_vectors(
+    op: ArithOp,
+    left: &Vector,
+    right: &Vector,
+    ty: LogicalType,
+) -> Result<Vector> {
     let n = left.len();
     let mut validity = left.validity().clone();
     validity.combine(right.validity());
     match ty {
-        LogicalType::BigInt | LogicalType::Integer | LogicalType::SmallInt | LogicalType::TinyInt => {
+        LogicalType::BigInt
+        | LogicalType::Integer
+        | LogicalType::SmallInt
+        | LogicalType::TinyInt => {
             // Integral kernel over the common physical representation.
             let lv = left.cast(LogicalType::BigInt)?;
             let rv = right.cast(LogicalType::BigInt)?;
@@ -715,7 +757,8 @@ fn evaluate_function(func: ScalarFunc, args: &[Value]) -> Result<Value> {
     if args.iter().any(Value::is_null) {
         return Ok(Value::Null);
     }
-    let num_err = |name: &str| EiderError::TypeMismatch(format!("{name} requires a numeric argument"));
+    let num_err =
+        |name: &str| EiderError::TypeMismatch(format!("{name} requires a numeric argument"));
     Ok(match func {
         ScalarFunc::Abs => match &args[0] {
             Value::Double(f) => Value::Double(f.abs()),
@@ -727,7 +770,9 @@ fn evaluate_function(func: ScalarFunc, args: &[Value]) -> Result<Value> {
             let m = 10f64.powi(digits as i32);
             Value::Double((f * m).round() / m)
         }
-        ScalarFunc::Floor => Value::Double(args[0].as_f64().ok_or_else(|| num_err("floor"))?.floor()),
+        ScalarFunc::Floor => {
+            Value::Double(args[0].as_f64().ok_or_else(|| num_err("floor"))?.floor())
+        }
         ScalarFunc::Ceil => Value::Double(args[0].as_f64().ok_or_else(|| num_err("ceil"))?.ceil()),
         ScalarFunc::Sqrt => {
             let f = args[0].as_f64().ok_or_else(|| num_err("sqrt"))?;
@@ -741,12 +786,12 @@ fn evaluate_function(func: ScalarFunc, args: &[Value]) -> Result<Value> {
             Value::Varchar(s) => Value::BigInt(s.chars().count() as i64),
             v => return Err(EiderError::TypeMismatch(format!("length over {v}"))),
         },
-        ScalarFunc::Lower => Value::Varchar(
-            args[0].as_str().map(str::to_lowercase).ok_or_else(|| num_err("lower"))?,
-        ),
-        ScalarFunc::Upper => Value::Varchar(
-            args[0].as_str().map(str::to_uppercase).ok_or_else(|| num_err("upper"))?,
-        ),
+        ScalarFunc::Lower => {
+            Value::Varchar(args[0].as_str().map(str::to_lowercase).ok_or_else(|| num_err("lower"))?)
+        }
+        ScalarFunc::Upper => {
+            Value::Varchar(args[0].as_str().map(str::to_uppercase).ok_or_else(|| num_err("upper"))?)
+        }
         ScalarFunc::Substr => {
             let s = args[0]
                 .as_str()
@@ -844,10 +889,7 @@ mod tests {
     fn arithmetic_with_overflow_and_div_zero() {
         let c = DataChunk::from_rows(
             &[LogicalType::BigInt, LogicalType::BigInt],
-            &[
-                vec![Value::BigInt(10), Value::BigInt(3)],
-                vec![Value::BigInt(10), Value::BigInt(0)],
-            ],
+            &[vec![Value::BigInt(10), Value::BigInt(3)], vec![Value::BigInt(10), Value::BigInt(0)]],
         )
         .unwrap();
         let div = Expr::Arithmetic {
@@ -912,7 +954,8 @@ mod tests {
 
     #[test]
     fn is_null_and_not() {
-        let e = Expr::IsNull { child: Box::new(Expr::column(2, LogicalType::Varchar)), negated: false };
+        let e =
+            Expr::IsNull { child: Box::new(Expr::column(2, LogicalType::Varchar)), negated: false };
         let v = e.evaluate(&chunk()).unwrap();
         assert_eq!(v.get_value(2), Value::Boolean(true));
         assert_eq!(v.get_value(0), Value::Boolean(false));
@@ -972,21 +1015,27 @@ mod tests {
     fn scalar_functions() {
         let f = |func, args: Vec<Value>| evaluate_function(func, &args).unwrap();
         assert_eq!(f(ScalarFunc::Abs, vec![Value::Integer(-5)]), Value::BigInt(5));
-        assert_eq!(f(ScalarFunc::Round, vec![Value::Double(2.567), Value::Integer(1)]), Value::Double(2.6));
-        assert_eq!(f(ScalarFunc::Length, vec![Value::Varchar("héllo".into())]), Value::BigInt(5));
-        assert_eq!(f(ScalarFunc::Upper, vec![Value::Varchar("ab".into())]), Value::Varchar("AB".into()));
         assert_eq!(
-            f(ScalarFunc::Substr, vec![Value::Varchar("hello".into()), Value::Integer(2), Value::Integer(3)]),
+            f(ScalarFunc::Round, vec![Value::Double(2.567), Value::Integer(1)]),
+            Value::Double(2.6)
+        );
+        assert_eq!(f(ScalarFunc::Length, vec![Value::Varchar("héllo".into())]), Value::BigInt(5));
+        assert_eq!(
+            f(ScalarFunc::Upper, vec![Value::Varchar("ab".into())]),
+            Value::Varchar("AB".into())
+        );
+        assert_eq!(
+            f(
+                ScalarFunc::Substr,
+                vec![Value::Varchar("hello".into()), Value::Integer(2), Value::Integer(3)]
+            ),
             Value::Varchar("ell".into())
         );
         assert_eq!(
             f(ScalarFunc::Coalesce, vec![Value::Null, Value::Integer(7)]),
             Value::Integer(7)
         );
-        assert_eq!(
-            f(ScalarFunc::NullIf, vec![Value::Integer(7), Value::Integer(7)]),
-            Value::Null
-        );
+        assert_eq!(f(ScalarFunc::NullIf, vec![Value::Integer(7), Value::Integer(7)]), Value::Null);
         assert_eq!(f(ScalarFunc::Sqrt, vec![Value::Double(-1.0)]), Value::Null);
         assert_eq!(
             f(ScalarFunc::Concat, vec![Value::Varchar("a".into()), Value::Integer(1)]),

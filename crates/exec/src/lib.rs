@@ -23,6 +23,10 @@
 //! * [`ops`] — the operators: scan, filter, project, hash join, out-of-core
 //!   merge join, nested-loop join, cross product, hash/simple aggregate,
 //!   external sort, top-n, limit, distinct, insert/update/delete;
+//! * [`parallel`] — the morsel-driven parallel executor: a scan is sliced
+//!   into row-range morsels dispensed to worker threads, each running the
+//!   serial operators above, with explicit merge/finalize steps for
+//!   aggregates, sorts and hash-join builds;
 //! * [`row_engine`] — a classical tuple-at-a-time Volcano interpreter, the
 //!   baseline the OLAP benchmark compares against (§2/§6: why vectorized).
 
@@ -31,8 +35,10 @@ pub mod collection;
 pub mod expression;
 pub mod fxhash;
 pub mod ops;
+pub mod parallel;
 pub mod row_engine;
 
 pub use collection::ChunkCollection;
 pub use expression::{ArithOp, Expr, ScalarFunc};
 pub use ops::{OperatorBox, PhysicalOperator};
+pub use parallel::{ParallelPipeline, PipelineSink, PipelineStep, TaskScheduler};

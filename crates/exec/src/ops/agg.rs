@@ -27,6 +27,68 @@ impl AggExpr {
     }
 }
 
+/// Fold one chunk into ungrouped aggregate states — the single
+/// definition of per-chunk update semantics (COUNT(*) counts every row
+/// via a non-null sentinel; other aggregates evaluate their argument),
+/// shared by the serial operator and the parallel executor's sink.
+pub fn update_simple_states(
+    aggs: &[AggExpr],
+    states: &mut [AggState],
+    chunk: &DataChunk,
+) -> Result<()> {
+    for (agg, state) in aggs.iter().zip(states.iter_mut()) {
+        match &agg.arg {
+            Some(expr) => {
+                let v = expr.evaluate(chunk)?;
+                for row in 0..v.len() {
+                    state.update(&v.get_value(row))?;
+                }
+            }
+            None => {
+                // COUNT(*): every row counts.
+                for _ in 0..chunk.len() {
+                    state.update(&Value::Boolean(true))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fold one chunk into a GROUP BY hash table (grouping equality: NULL
+/// keys form one group). Shared by the serial operator and the parallel
+/// executor's per-morsel partials so the two engines cannot diverge.
+pub fn update_group_table(
+    groups: &[Expr],
+    aggs: &[AggExpr],
+    table: &mut FxHashMap<Vec<Value>, Vec<AggState>>,
+    chunk: &DataChunk,
+) -> Result<()> {
+    let key_vectors = groups.iter().map(|g| g.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
+    let arg_vectors: Vec<Option<eider_vector::Vector>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.evaluate(chunk)).transpose())
+        .collect::<Result<_>>()?;
+    for row in 0..chunk.len() {
+        let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
+        let states = match table.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                let fresh: Vec<AggState> = aggs.iter().map(AggExpr::new_state).collect();
+                table.insert(key.clone(), fresh);
+                table.get_mut(&key).expect("just inserted")
+            }
+        };
+        for (i, state) in states.iter_mut().enumerate() {
+            match &arg_vectors[i] {
+                Some(v) => state.update(&v.get_value(row))?,
+                None => state.update(&Value::Boolean(true))?,
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Aggregation without GROUP BY: exactly one output row.
 pub struct SimpleAggregateOp {
     child: OperatorBox,
@@ -55,22 +117,7 @@ impl PhysicalOperator for SimpleAggregateOp {
             if chunk.is_empty() {
                 continue;
             }
-            for (agg, state) in self.aggs.iter().zip(states.iter_mut()) {
-                match &agg.arg {
-                    Some(expr) => {
-                        let v = expr.evaluate(&chunk)?;
-                        for row in 0..v.len() {
-                            state.update(&v.get_value(row))?;
-                        }
-                    }
-                    None => {
-                        // COUNT(*): every row counts.
-                        for _ in 0..chunk.len() {
-                            state.update(&Value::Boolean(true))?;
-                        }
-                    }
-                }
-            }
+            update_simple_states(&self.aggs, &mut states, &chunk)?;
         }
         let row: Vec<Value> = states.iter().map(AggState::finalize).collect::<Result<_>>()?;
         let mut out = DataChunk::new(&self.output_types());
@@ -114,34 +161,7 @@ impl HashAggregateOp {
             if chunk.is_empty() {
                 continue;
             }
-            let key_vectors = self
-                .groups
-                .iter()
-                .map(|g| g.evaluate(&chunk))
-                .collect::<Result<Vec<_>>>()?;
-            let arg_vectors: Vec<Option<eider_vector::Vector>> = self
-                .aggs
-                .iter()
-                .map(|a| a.arg.as_ref().map(|e| e.evaluate(&chunk)).transpose())
-                .collect::<Result<_>>()?;
-            for row in 0..chunk.len() {
-                let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
-                let states = match table.get_mut(&key) {
-                    Some(s) => s,
-                    None => {
-                        let fresh: Vec<AggState> =
-                            self.aggs.iter().map(AggExpr::new_state).collect();
-                        table.insert(key.clone(), fresh);
-                        table.get_mut(&key).expect("just inserted")
-                    }
-                };
-                for (i, state) in states.iter_mut().enumerate() {
-                    match &arg_vectors[i] {
-                        Some(v) => state.update(&v.get_value(row))?,
-                        None => state.update(&Value::Boolean(true))?,
-                    }
-                }
-            }
+            update_group_table(&self.groups, &self.aggs, &mut table, &chunk)?;
             // Periodic memory accounting: ~96 bytes per group + key data.
             if let Some(res) = &mut reservation {
                 if table.len() > accounted_groups {
@@ -291,10 +311,8 @@ mod tests {
         ];
         let chunk =
             DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows).unwrap();
-        let src: OperatorBox = Box::new(ValuesOp::new(
-            vec![LogicalType::Integer, LogicalType::Integer],
-            vec![chunk],
-        ));
+        let src: OperatorBox =
+            Box::new(ValuesOp::new(vec![LogicalType::Integer, LogicalType::Integer], vec![chunk]));
         let groups = vec![Expr::column(0, LogicalType::Integer)];
         let aggs = vec![AggExpr {
             kind: AggKind::Sum,
@@ -319,10 +337,8 @@ mod tests {
         ];
         let chunk =
             DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows).unwrap();
-        let src: OperatorBox = Box::new(ValuesOp::new(
-            vec![LogicalType::Integer, LogicalType::Integer],
-            vec![chunk],
-        ));
+        let src: OperatorBox =
+            Box::new(ValuesOp::new(vec![LogicalType::Integer, LogicalType::Integer], vec![chunk]));
         let groups = vec![Expr::column(0, LogicalType::Integer)];
         let aggs = vec![AggExpr {
             kind: AggKind::Count,

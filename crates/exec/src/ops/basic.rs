@@ -93,11 +93,8 @@ impl PhysicalOperator for ProjectionOp {
     fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
         match self.child.next_chunk()? {
             Some(chunk) => {
-                let cols = self
-                    .exprs
-                    .iter()
-                    .map(|e| e.evaluate(&chunk))
-                    .collect::<Result<Vec<_>>>()?;
+                let cols =
+                    self.exprs.iter().map(|e| e.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
                 Ok(Some(DataChunk::from_vectors(cols)?))
             }
             None => Ok(None),

@@ -55,6 +55,34 @@ struct BuildSide {
     buckets: FxHashMap<u64, Vec<u32>>,
 }
 
+/// One build-side chunk with its hash-eligible rows, produced by a
+/// parallel-build worker and consumed by [`HashJoinOp::from_prebuilt`].
+pub struct BuildPartial {
+    /// The build-side rows as produced by the worker's pipeline.
+    pub chunk: DataChunk,
+    /// `(row index, key values, fxhash of the key)` for every row whose
+    /// key has no NULLs (NULL keys never join).
+    pub entries: Vec<(u32, Vec<Value>, u64)>,
+}
+
+impl BuildPartial {
+    /// Evaluate `keys` over `chunk` and precompute the hash-table entries
+    /// — the per-worker (parallel) half of the build.
+    pub fn compute(chunk: DataChunk, keys: &[Expr]) -> Result<BuildPartial> {
+        let key_vectors = keys.iter().map(|k| k.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
+        let mut entries = Vec::with_capacity(chunk.len());
+        for row in 0..chunk.len() {
+            let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            let h = fxhash(&key);
+            entries.push((row as u32, key, h));
+        }
+        Ok(BuildPartial { chunk, entries })
+    }
+}
+
 impl HashJoinOp {
     pub fn new(
         left: OperatorBox,
@@ -93,6 +121,59 @@ impl HashJoinOp {
         })
     }
 
+    /// Construct a hash join whose build side was already evaluated —
+    /// the merge/finalize step of the morsel-parallel build
+    /// (`eider_exec::parallel`). Each entry carries one build-side chunk
+    /// plus its join-eligible rows as `(row, key values, key hash)`,
+    /// precomputed by the workers; this constructor only splices them
+    /// into one bucket table, so the expensive part (expression
+    /// evaluation, hashing) stays parallel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_prebuilt(
+        left: OperatorBox,
+        right_types: Vec<LogicalType>,
+        prebuilt: Vec<BuildPartial>,
+        left_keys: Vec<Expr>,
+        join_type: JoinType,
+        compression: CompressionLevel,
+        buffers: Option<Arc<BufferManager>>,
+    ) -> Result<Self> {
+        let mut out_types = left.output_types();
+        if join_type.emits_right_columns() {
+            out_types.extend(right_types.iter().copied());
+        }
+        let mut build = BuildSide {
+            rows: match buffers {
+                Some(b) => ChunkCollection::with_accounting(compression, b)?,
+                None => ChunkCollection::new(compression),
+            },
+            keys: Vec::new(),
+            positions: Vec::new(),
+            buckets: FxHashMap::default(),
+        };
+        for partial in prebuilt {
+            let chunk_idx = build.rows.chunk_count() as u32;
+            for (row, key, hash) in partial.entries {
+                let idx = build.positions.len() as u32;
+                build.positions.push((chunk_idx, row));
+                build.keys.push(key);
+                build.buckets.entry(hash).or_default().push(idx);
+            }
+            build.rows.append(partial.chunk)?;
+        }
+        Ok(HashJoinOp {
+            left,
+            right: None,
+            left_keys,
+            right_keys: Vec::new(),
+            join_type,
+            build: Some(build),
+            out_types,
+            right_types,
+            pending: Vec::new(),
+        })
+    }
+
     /// Pull the whole build side and hash it. Fails with `OutOfMemory`
     /// when the collection exceeds the buffer-manager budget — the signal
     /// that the cooperation policy should have chosen a merge join.
@@ -105,11 +186,8 @@ impl HashJoinOp {
             if chunk.is_empty() {
                 continue;
             }
-            let key_vectors = self
-                .right_keys
-                .iter()
-                .map(|k| k.evaluate(&chunk))
-                .collect::<Result<Vec<_>>>()?;
+            let key_vectors =
+                self.right_keys.iter().map(|k| k.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
             let chunk_idx = build.rows.chunk_count() as u32;
             for row in 0..chunk.len() {
                 let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
@@ -128,11 +206,8 @@ impl HashJoinOp {
     }
 
     fn probe_chunk(&mut self, chunk: &DataChunk) -> Result<Option<DataChunk>> {
-        let key_vectors = self
-            .left_keys
-            .iter()
-            .map(|k| k.evaluate(chunk))
-            .collect::<Result<Vec<_>>>()?;
+        let key_vectors =
+            self.left_keys.iter().map(|k| k.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
         let build = self.build.as_mut().expect("built");
         let mut out = DataChunk::new(&self.out_types);
         for row in 0..chunk.len() {
@@ -151,9 +226,9 @@ impl HashJoinOp {
                             .copied()
                             .filter(|&i| {
                                 let bk = &build.keys[i as usize];
-                                bk.iter().zip(&key).all(|(a, b)| {
-                                    a.sql_cmp(b) == Some(std::cmp::Ordering::Equal)
-                                })
+                                bk.iter()
+                                    .zip(&key)
+                                    .all(|(a, b)| a.sql_cmp(b) == Some(std::cmp::Ordering::Equal))
                             })
                             .collect()
                     })
@@ -321,7 +396,12 @@ pub struct NestedLoopJoinOp {
 }
 
 impl NestedLoopJoinOp {
-    pub fn new(left: OperatorBox, right: OperatorBox, predicate: Expr, join_type: JoinType) -> Result<Self> {
+    pub fn new(
+        left: OperatorBox,
+        right: OperatorBox,
+        predicate: Expr,
+        join_type: JoinType,
+    ) -> Result<Self> {
         if join_type != JoinType::Inner {
             return Err(EiderError::NotImplemented(
                 "nested-loop join currently supports INNER joins only".into(),
@@ -389,10 +469,7 @@ mod tests {
     }
 
     fn keys() -> (Vec<Expr>, Vec<Expr>) {
-        (
-            vec![Expr::column(0, LogicalType::Integer)],
-            vec![Expr::column(0, LogicalType::Integer)],
-        )
+        (vec![Expr::column(0, LogicalType::Integer)], vec![Expr::column(0, LogicalType::Integer)])
     }
 
     #[test]
@@ -487,7 +564,10 @@ mod tests {
     #[test]
     fn cross_product_cardinality() {
         let mut op = CrossProductOp::new(
-            table(vec![vec![Value::Integer(1)], vec![Value::Integer(2)]], vec![LogicalType::Integer]),
+            table(
+                vec![vec![Value::Integer(1)], vec![Value::Integer(2)]],
+                vec![LogicalType::Integer],
+            ),
             table(
                 vec![vec![Value::Integer(10)], vec![Value::Integer(20)], vec![Value::Integer(30)]],
                 vec![LogicalType::Integer],
@@ -505,8 +585,14 @@ mod tests {
             right: Box::new(Expr::column(1, LogicalType::Integer)),
         };
         let mut op = NestedLoopJoinOp::new(
-            table(vec![vec![Value::Integer(1)], vec![Value::Integer(25)]], vec![LogicalType::Integer]),
-            table(vec![vec![Value::Integer(10)], vec![Value::Integer(20)]], vec![LogicalType::Integer]),
+            table(
+                vec![vec![Value::Integer(1)], vec![Value::Integer(25)]],
+                vec![LogicalType::Integer],
+            ),
+            table(
+                vec![vec![Value::Integer(10)], vec![Value::Integer(20)]],
+                vec![LogicalType::Integer],
+            ),
             pred,
             JoinType::Inner,
         )

@@ -210,9 +210,7 @@ impl PhysicalOperator for MergeJoinOp {
                         let rrow = &self.right_run[self.run_pos];
                         let mut vals =
                             left_row[self.nkeys..self.nkeys + self.left_payload].to_vec();
-                        vals.extend_from_slice(
-                            &rrow[self.nkeys..self.nkeys + self.right_payload],
-                        );
+                        vals.extend_from_slice(&rrow[self.nkeys..self.nkeys + self.right_payload]);
                         out.append_row(&vals)?;
                         self.run_pos += 1;
                     }
@@ -272,8 +270,7 @@ mod tests {
             ],
             vec![LogicalType::Integer, LogicalType::Varchar],
         );
-        let mut op =
-            MergeJoinOp::new(left, right, key_expr(), key_expr(), 1 << 30, None);
+        let mut op = MergeJoinOp::new(left, right, key_expr(), key_expr(), 1 << 30, None);
         let rows = drain_rows(&mut op).unwrap();
         // left key 1 (x2 left rows) matches two right rows -> 4; key 3 -> 1.
         assert_eq!(rows.len(), 5);
@@ -285,9 +282,8 @@ mod tests {
     #[test]
     fn large_join_with_tiny_budget_spills() {
         let n = 20_000;
-        let left_rows: Vec<Vec<Value>> = (0..n)
-            .map(|i| vec![Value::Integer(i % 1000), Value::Integer(i)])
-            .collect();
+        let left_rows: Vec<Vec<Value>> =
+            (0..n).map(|i| vec![Value::Integer(i % 1000), Value::Integer(i)]).collect();
         let right_rows: Vec<Vec<Value>> =
             (0..1000).map(|i| vec![Value::Integer(i), Value::Integer(i * 10)]).collect();
         let left = table(left_rows, vec![LogicalType::Integer, LogicalType::Integer]);

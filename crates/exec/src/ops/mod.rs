@@ -12,7 +12,7 @@ pub mod sort;
 
 pub use agg::{AggExpr, HashAggregateOp, SimpleAggregateOp};
 pub use basic::{DistinctOp, FilterOp, LimitOp, ProjectionOp, ValuesOp};
-pub use join::{CrossProductOp, HashJoinOp, JoinType, NestedLoopJoinOp};
+pub use join::{BuildPartial, CrossProductOp, HashJoinOp, JoinType, NestedLoopJoinOp};
 pub use merge_join::MergeJoinOp;
 pub use modify::{DeleteOp, InsertOp, UpdateOp};
 pub use scan::TableScanOp;

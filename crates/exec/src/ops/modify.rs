@@ -247,8 +247,7 @@ mod tests {
                 vec![Value::Integer(i), d]
             })
             .collect();
-        let mut ins =
-            InsertOp::new(Arc::clone(&entry), values_source(rows), Arc::clone(&txn));
+        let mut ins = InsertOp::new(Arc::clone(&entry), values_source(rows), Arc::clone(&txn));
         drain_rows(&mut ins).unwrap();
         txn.is_read_write();
 
@@ -295,8 +294,7 @@ mod tests {
         let txn = Arc::new(mgr.begin());
         let rows: Vec<Vec<Value>> =
             (0..100).map(|i| vec![Value::Integer(i), Value::Integer(i)]).collect();
-        let mut ins =
-            InsertOp::new(Arc::clone(&entry), values_source(rows), Arc::clone(&txn));
+        let mut ins = InsertOp::new(Arc::clone(&entry), values_source(rows), Arc::clone(&txn));
         drain_rows(&mut ins).unwrap();
 
         let scan = TableScanOp::new(

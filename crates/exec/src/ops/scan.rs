@@ -17,11 +17,7 @@ pub struct TableScanOp {
 
 impl TableScanOp {
     pub fn new(table: Arc<DataTable>, txn: Arc<Transaction>, opts: ScanOptions) -> Self {
-        let mut types: Vec<LogicalType> =
-            opts.columns.iter().map(|&c| table.types()[c]).collect();
-        if opts.emit_row_ids {
-            types.push(LogicalType::BigInt);
-        }
+        let types = opts.output_types(&table);
         TableScanOp { table, txn, opts, state: None, types }
     }
 }

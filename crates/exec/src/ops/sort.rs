@@ -177,11 +177,8 @@ impl ExternalSortOp {
             if chunk.is_empty() {
                 continue;
             }
-            let key_vectors = self
-                .keys
-                .iter()
-                .map(|k| k.expr.evaluate(&chunk))
-                .collect::<Result<Vec<_>>>()?;
+            let key_vectors =
+                self.keys.iter().map(|k| k.expr.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
             for row in 0..chunk.len() {
                 let mut r: Row = Vec::with_capacity(self.keys.len() + chunk.column_count());
                 for kv in &key_vectors {
@@ -331,11 +328,8 @@ impl TopNOp {
         // (keys, payload) rows kept sorted ascending; worst row trimmed.
         let mut top: Vec<(Row, Row)> = Vec::with_capacity(cap + 1);
         while let Some(chunk) = child.next_chunk()? {
-            let key_vectors = self
-                .keys
-                .iter()
-                .map(|k| k.expr.evaluate(&chunk))
-                .collect::<Result<Vec<_>>>()?;
+            let key_vectors =
+                self.keys.iter().map(|k| k.expr.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
             for row in 0..chunk.len() {
                 let key: Row = key_vectors.iter().map(|v| v.get_value(row)).collect();
                 if top.len() == cap {
@@ -428,8 +422,7 @@ mod tests {
         let mut op = ExternalSortOp::new(shuffled_source(50), keys, 1 << 30, None, false);
         let rows = drain_rows(&mut op).unwrap();
         assert!(rows[0][0].is_null());
-        let non_null: Vec<i64> =
-            rows[1..].iter().filter_map(|r| r[0].as_i64()).collect();
+        let non_null: Vec<i64> = rows[1..].iter().filter_map(|r| r[0].as_i64()).collect();
         for w in non_null.windows(2) {
             assert!(w[0] >= w[1]);
         }
@@ -475,20 +468,15 @@ mod tests {
         ];
         let chunk =
             DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows).unwrap();
-        let src: OperatorBox = Box::new(ValuesOp::new(
-            vec![LogicalType::Integer, LogicalType::Integer],
-            vec![chunk],
-        ));
+        let src: OperatorBox =
+            Box::new(ValuesOp::new(vec![LogicalType::Integer, LogicalType::Integer], vec![chunk]));
         let keys = vec![
             SortKey::asc(Expr::column(0, LogicalType::Integer)),
             SortKey::desc(Expr::column(1, LogicalType::Integer)),
         ];
         let mut op = ExternalSortOp::new(src, keys, 1 << 30, None, false);
         let rows = drain_rows(&mut op).unwrap();
-        assert_eq!(
-            first_col(&rows),
-            vec![Value::Integer(0), Value::Integer(1), Value::Integer(1)]
-        );
+        assert_eq!(first_col(&rows), vec![Value::Integer(0), Value::Integer(1), Value::Integer(1)]);
         assert_eq!(rows[1][1], Value::Integer(9));
         assert_eq!(rows[2][1], Value::Integer(3));
     }

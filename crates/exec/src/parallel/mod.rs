@@ -1,0 +1,41 @@
+//! Morsel-driven parallel query execution.
+//!
+//! The serial Vector Volcano engine pulls chunks through a single thread;
+//! this module makes the scan-shaped core of a query run on every core the
+//! cooperation policy will give it, following the morsel-driven design of
+//! Leis et al. (SIGMOD 2014) adapted to eider's chunk model:
+//!
+//! * a [`MorselSource`] slices a table scan into
+//!   *morsels* — contiguous row ranges of one row group, vector-aligned —
+//!   and hands them to whichever worker asks next (atomic work stealing,
+//!   no pre-partitioning, so skew self-balances);
+//! * a [`TaskScheduler`] fans a closure out over
+//!   N scoped worker threads sharing the query's snapshot transaction;
+//! * a [`ParallelPipeline`] describes the
+//!   per-morsel operator chain (filter/projection, built from the same
+//!   [`FilterOp`](crate::ops::FilterOp)/[`ProjectionOp`](crate::ops::ProjectionOp)
+//!   operators the serial engine uses) and the pipeline-breaking sink at
+//!   the top: collect, simple aggregate, hash aggregate, sort, or
+//!   hash-join build — each with a worker-local state and an explicit
+//!   merge/finalize step.
+//!
+//! Worker count is decided per query by
+//! [`ResourcePolicy::worker_threads`](eider_coop::policy::ResourcePolicy::worker_threads):
+//! the configured thread cap (`PRAGMA threads`) dynamically clamped by the
+//! host application's CPU load, preserving the paper's §4 resource-sharing
+//! contract under parallel execution.
+//!
+//! Results are deterministic across worker counts: collected chunks are
+//! re-ordered by morsel sequence number (so plain scans match the serial
+//! engine row-for-row), sorts break ties by scan position (matching a
+//! stable serial sort), and grouped aggregates emit groups in key order.
+
+pub mod morsel;
+pub mod pipeline;
+pub mod scheduler;
+
+pub use morsel::{Morsel, MorselScanOp, MorselSource};
+pub use pipeline::{
+    ParallelPipeline, ParallelPipelineOp, PipelineOutput, PipelineSink, PipelineStep,
+};
+pub use scheduler::TaskScheduler;

@@ -1,0 +1,271 @@
+//! Morsels: the unit of parallel scan work.
+//!
+//! A morsel is a contiguous, vector-aligned row range inside one row group
+//! of a [`DataTable`]. The [`MorselSource`] snapshots the table's group
+//! sizes once, slices them into morsels, and dispenses them through an
+//! atomic cursor: workers that finish early simply grab the next morsel,
+//! so load balances without any up-front partitioning (the core idea of
+//! morsel-driven scheduling).
+
+use crate::ops::PhysicalOperator;
+use eider_txn::{DataTable, ScanOptions, Transaction};
+use eider_vector::{DataChunk, LogicalType, Result, VECTOR_SIZE};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Preferred morsel size: big enough to amortize dispatch, small enough
+/// that a handful of morsels per worker keeps the fleet busy.
+pub const MORSEL_ROWS: usize = 8 * VECTOR_SIZE;
+
+/// One unit of scan work: rows `[row_begin, row_end)` of `group`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position in the serial scan order; merges sort by this to make
+    /// parallel output deterministic.
+    pub seq: usize,
+    pub group: usize,
+    pub row_begin: usize,
+    pub row_end: usize,
+}
+
+impl Morsel {
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_begin
+    }
+}
+
+/// Slice per-group row counts into vector-aligned morsels of about
+/// `morsel_rows` rows each. Pure; callers (notably the planner) can count
+/// the work before committing to a parallel scan.
+pub fn slice_morsels(group_sizes: &[usize], morsel_rows: usize) -> Vec<Morsel> {
+    let step = morsel_rows.max(VECTOR_SIZE) / VECTOR_SIZE * VECTOR_SIZE;
+    let mut morsels = Vec::new();
+    let mut seq = 0;
+    for (group, &len) in group_sizes.iter().enumerate() {
+        let mut begin = 0;
+        while begin < len {
+            let end = (begin + step).min(len);
+            morsels.push(Morsel { seq, group, row_begin: begin, row_end: end });
+            seq += 1;
+            begin = end;
+        }
+    }
+    morsels
+}
+
+/// Shared dispenser of a table scan's morsels.
+pub struct MorselSource {
+    table: Arc<DataTable>,
+    opts: ScanOptions,
+    morsels: Vec<Morsel>,
+    cursor: AtomicUsize,
+    /// Set by a failing worker so its peers stop claiming work instead of
+    /// scanning the rest of the table before the error surfaces.
+    aborted: AtomicBool,
+}
+
+impl MorselSource {
+    /// Slice `table` into morsels of about `morsel_rows` rows (clamped to
+    /// whole vectors). Records the scan's read predicates on `txn` once —
+    /// the per-worker range cursors deliberately do not.
+    pub fn new(
+        table: Arc<DataTable>,
+        txn: &Transaction,
+        opts: ScanOptions,
+        morsel_rows: usize,
+    ) -> Self {
+        let morsels = slice_morsels(&table.group_sizes(), morsel_rows);
+        Self::from_morsels(table, txn, opts, morsels)
+    }
+
+    /// Build a source over pre-sliced morsels (see [`slice_morsels`]).
+    /// Records the scan's read predicates on `txn` once.
+    pub fn from_morsels(
+        table: Arc<DataTable>,
+        txn: &Transaction,
+        opts: ScanOptions,
+        morsels: Vec<Morsel>,
+    ) -> Self {
+        table.record_scan_read(txn, &opts);
+        MorselSource {
+            table,
+            opts,
+            morsels,
+            cursor: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Default-sized morsels ([`MORSEL_ROWS`]).
+    pub fn with_default_morsels(
+        table: Arc<DataTable>,
+        txn: &Transaction,
+        opts: ScanOptions,
+    ) -> Self {
+        Self::new(table, txn, opts, MORSEL_ROWS)
+    }
+
+    pub fn table(&self) -> &Arc<DataTable> {
+        &self.table
+    }
+
+    pub fn scan_options(&self) -> &ScanOptions {
+        &self.opts
+    }
+
+    pub fn morsel_count(&self) -> usize {
+        self.morsels.len()
+    }
+
+    /// Total rows covered (physical, before visibility/filters).
+    pub fn total_rows(&self) -> usize {
+        self.morsels.iter().map(Morsel::rows).sum()
+    }
+
+    /// Claim the next undispensed morsel; `None` once the scan is fully
+    /// handed out or a worker has [aborted](MorselSource::abort) the
+    /// pipeline. Safe to call from any number of workers concurrently.
+    pub fn next_morsel(&self) -> Option<Morsel> {
+        if self.aborted.load(Ordering::Relaxed) {
+            return None;
+        }
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.morsels.get(i).copied()
+    }
+
+    /// Stop dispensing: peers finish their current morsel and return,
+    /// letting the failing worker's error surface promptly (the serial
+    /// engine aborts at the first bad chunk; a fleet should not scan the
+    /// rest of the table first).
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Relaxed);
+    }
+
+    /// Rewind the dispenser (tests; a query uses a source exactly once).
+    pub fn reset(&self) {
+        self.cursor.store(0, Ordering::Relaxed);
+        self.aborted.store(false, Ordering::Relaxed);
+    }
+}
+
+/// A [`PhysicalOperator`] leaf that scans exactly one morsel. Workers
+/// build one per claimed morsel and stack the pipeline's filter and
+/// projection operators on top, so per-thread execution reuses the serial
+/// operators unchanged.
+pub struct MorselScanOp {
+    source: Arc<MorselSource>,
+    txn: Arc<Transaction>,
+    state: eider_txn::table::TableScanState,
+    types: Vec<LogicalType>,
+}
+
+impl MorselScanOp {
+    pub fn new(source: Arc<MorselSource>, txn: Arc<Transaction>, morsel: Morsel) -> Self {
+        let types = source.scan_options().output_types(source.table());
+        let state = source.table().begin_scan_range(morsel.group, morsel.row_begin, morsel.row_end);
+        MorselScanOp { source, txn, state, types }
+    }
+}
+
+impl PhysicalOperator for MorselScanOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.types.clone()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        self.source.table().scan_next(&self.txn, self.source.scan_options(), &mut self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::drain_rows;
+    use eider_txn::TransactionManager;
+    use eider_vector::Value;
+
+    fn table_with(n: i32) -> (Arc<TransactionManager>, Arc<DataTable>) {
+        let mgr = TransactionManager::new();
+        let table = DataTable::new(vec![LogicalType::Integer]);
+        let setup = mgr.begin();
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Integer(i)]).collect();
+        table
+            .append_chunk(&setup, &DataChunk::from_rows(&[LogicalType::Integer], &rows).unwrap())
+            .unwrap();
+        setup.commit().unwrap();
+        (mgr, table)
+    }
+
+    #[test]
+    fn morsels_tile_the_table_exactly() {
+        let (mgr, table) = table_with(50_000);
+        let txn = mgr.begin();
+        let opts = ScanOptions { columns: vec![0], ..Default::default() };
+        let src = MorselSource::new(table, &txn, opts, MORSEL_ROWS);
+        assert_eq!(src.total_rows(), 50_000);
+        assert_eq!(src.morsel_count(), 50_000usize.div_ceil(MORSEL_ROWS));
+        // Sequential, contiguous, vector-aligned.
+        let mut expected_begin = 0;
+        for (i, m) in src.morsels.iter().enumerate() {
+            assert_eq!(m.seq, i);
+            assert_eq!(m.row_begin, expected_begin);
+            assert_eq!(m.row_begin % VECTOR_SIZE, 0);
+            expected_begin = m.row_end;
+        }
+    }
+
+    #[test]
+    fn dispenser_hands_each_morsel_out_once() {
+        let (mgr, table) = table_with(100_000);
+        let txn = mgr.begin();
+        let opts = ScanOptions { columns: vec![0], ..Default::default() };
+        let src = Arc::new(MorselSource::new(table, &txn, opts, VECTOR_SIZE));
+        let taken: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let src = Arc::clone(&src);
+                    s.spawn(move || {
+                        let mut seqs = Vec::new();
+                        while let Some(m) = src.next_morsel() {
+                            seqs.push(m.seq);
+                        }
+                        seqs
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<usize> = taken.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..src.morsel_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn abort_stops_dispensing() {
+        let (mgr, table) = table_with(50_000);
+        let txn = mgr.begin();
+        let opts = ScanOptions { columns: vec![0], ..Default::default() };
+        let src = MorselSource::new(table, &txn, opts, VECTOR_SIZE);
+        assert!(src.next_morsel().is_some());
+        src.abort();
+        assert!(src.next_morsel().is_none(), "aborted source must stop dispensing");
+        src.reset();
+        assert_eq!(src.next_morsel().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn morsel_scans_union_to_full_scan() {
+        let (mgr, table) = table_with(20_000);
+        let txn = Arc::new(mgr.begin());
+        let opts = ScanOptions { columns: vec![0], ..Default::default() };
+        let src = Arc::new(MorselSource::new(Arc::clone(&table), &txn, opts.clone(), 4096));
+        let mut rows = Vec::new();
+        while let Some(m) = src.next_morsel() {
+            let mut op = MorselScanOp::new(Arc::clone(&src), Arc::clone(&txn), m);
+            rows.extend(drain_rows(&mut op).unwrap());
+        }
+        let serial: Vec<Vec<Value>> =
+            table.scan_collect(&txn, &opts).unwrap().iter().flat_map(|c| c.to_rows()).collect();
+        assert_eq!(rows, serial);
+    }
+}

@@ -1,0 +1,781 @@
+//! Parallel pipelines: per-worker operator chains plus a merging sink.
+//!
+//! A pipeline executes `scan → (filter|project)* → sink` with every worker
+//! running the same chain over the morsels it claims. The sink is the
+//! pipeline breaker; each variant defines a worker-local partial state and
+//! a merge/finalize step:
+//!
+//! | sink | worker-local state | merge |
+//! |---|---|---|
+//! | [`PipelineSink::Collect`] | produced chunks, tagged by morsel | re-order by morsel sequence |
+//! | [`PipelineSink::SimpleAggregate`] | per-morsel [`AggState`] rows | [`AggState::merge`] in morsel order |
+//! | [`PipelineSink::HashAggregate`] | per-morsel group hash tables | merge tables in morsel order, emit groups key-sorted |
+//! | [`PipelineSink::Sort`] | locally sorted runs | k-way merge, ties broken by scan position |
+//! | [`PipelineSink::JoinBuild`] | hashed build chunks ([`BuildPartial`]) | splice via [`HashJoinOp::from_prebuilt`](crate::ops::HashJoinOp::from_prebuilt) |
+//!
+//! Partial aggregate states are kept *per morsel* (not just per worker)
+//! and merged in morsel order, so results do not depend on which worker
+//! happened to claim which morsel: a query returns bit-identical results
+//! at every thread count, including floating-point aggregates.
+
+use crate::aggregate::AggState;
+use crate::fxhash::FxHashMap;
+use crate::ops::agg::{update_group_table, update_simple_states, AggExpr};
+use crate::ops::join::BuildPartial;
+use crate::ops::sort::{compare_keys, SortKey};
+use crate::ops::{FilterOp, OperatorBox, PhysicalOperator, ProjectionOp};
+use crate::parallel::morsel::{MorselScanOp, MorselSource};
+use crate::parallel::scheduler::TaskScheduler;
+use eider_storage::buffer::{BufferManager, MemoryReservation};
+use eider_txn::Transaction;
+use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, VECTOR_SIZE};
+use std::sync::Arc;
+
+/// One streaming operator of the per-worker chain.
+#[derive(Debug, Clone)]
+pub enum PipelineStep {
+    /// WHERE: keep rows where the expression is TRUE.
+    Filter(crate::expression::Expr),
+    /// SELECT list: compute one expression per output column.
+    Project(Vec<crate::expression::Expr>),
+}
+
+impl PipelineStep {
+    /// Wrap `child` in this step's serial operator.
+    fn instantiate(&self, child: OperatorBox) -> OperatorBox {
+        match self {
+            PipelineStep::Filter(pred) => Box::new(FilterOp::new(child, pred.clone())),
+            PipelineStep::Project(exprs) => Box::new(ProjectionOp::new(child, exprs.clone())),
+        }
+    }
+
+    fn output_types(&self, input: Vec<LogicalType>) -> Vec<LogicalType> {
+        match self {
+            PipelineStep::Filter(_) => input,
+            PipelineStep::Project(exprs) => {
+                exprs.iter().map(crate::expression::Expr::result_type).collect()
+            }
+        }
+    }
+}
+
+/// The pipeline breaker at the top of a parallel pipeline.
+#[derive(Debug, Clone)]
+pub enum PipelineSink {
+    /// Materialize the chain's chunks in serial scan order.
+    Collect,
+    /// Ungrouped aggregation; one output row.
+    SimpleAggregate(Vec<AggExpr>),
+    /// GROUP BY aggregation; groups emitted in key order.
+    HashAggregate { groups: Vec<crate::expression::Expr>, aggs: Vec<AggExpr> },
+    /// ORDER BY; ties preserve scan order (stable like the serial sort).
+    Sort(Vec<SortKey>),
+    /// Hash-join build side: chunks plus precomputed key hashes.
+    JoinBuild { keys: Vec<crate::expression::Expr> },
+}
+
+/// What a pipeline produces.
+pub enum PipelineOutput {
+    Chunks(Vec<DataChunk>),
+    /// Build partials in scan order, ready for
+    /// [`HashJoinOp::from_prebuilt`](crate::ops::HashJoinOp::from_prebuilt).
+    JoinBuild(Vec<BuildPartial>),
+}
+
+impl PipelineOutput {
+    /// Unwrap the chunk form (every sink but `JoinBuild`).
+    pub fn into_chunks(self) -> Vec<DataChunk> {
+        match self {
+            PipelineOutput::Chunks(c) => c,
+            PipelineOutput::JoinBuild(_) => {
+                panic!("join-build pipeline produces partials, not chunks")
+            }
+        }
+    }
+}
+
+/// Worker-local partial results, tagged for deterministic merging.
+enum LocalState {
+    Collect(Vec<((usize, usize), DataChunk)>),
+    /// Aggregate partials plus the worker's buffer-manager reservation
+    /// covering them (held until the merge step has consumed them).
+    Agg(Vec<(usize, AggPartial)>, Option<MemoryReservation>),
+    /// Sorted-run rows plus the reservation charging them to the budget.
+    Sort(Vec<SortRow>, Option<MemoryReservation>),
+    JoinBuild(Vec<(usize, usize, BuildPartial)>),
+}
+
+/// Partial aggregate state of one morsel.
+enum AggPartial {
+    Simple(Vec<AggState>),
+    Hash(FxHashMap<Vec<Value>, Vec<AggState>>),
+}
+
+/// A sort row: key values, scan position for tie-breaking, payload.
+type SortRow = (Vec<Value>, (usize, usize, usize), Vec<Value>);
+
+/// A parallel pipeline instance, bound to one query's transaction.
+pub struct ParallelPipeline {
+    source: Arc<MorselSource>,
+    txn: Arc<Transaction>,
+    steps: Vec<PipelineStep>,
+    sink: PipelineSink,
+    buffers: Option<Arc<BufferManager>>,
+}
+
+impl ParallelPipeline {
+    pub fn new(
+        source: Arc<MorselSource>,
+        txn: Arc<Transaction>,
+        steps: Vec<PipelineStep>,
+        sink: PipelineSink,
+    ) -> Self {
+        ParallelPipeline { source, txn, steps, sink, buffers: None }
+    }
+
+    /// Account aggregate state against a buffer manager (§4's hard memory
+    /// limits apply to parallel aggregation state as they do to the
+    /// serial operator): workers charge their partials as they grow, the
+    /// merge step charges the merged table, and the query aborts with
+    /// `OutOfMemory` instead of sailing past the budget.
+    pub fn with_buffers(mut self, buffers: Option<Arc<BufferManager>>) -> Self {
+        self.buffers = buffers;
+        self
+    }
+
+    /// Column types the per-worker chain feeds into the sink.
+    pub fn chain_types(&self) -> Vec<LogicalType> {
+        let mut types = self.source.scan_options().output_types(self.source.table());
+        for step in &self.steps {
+            types = step.output_types(types);
+        }
+        types
+    }
+
+    /// Column types of the pipeline's final output.
+    pub fn output_types(&self) -> Vec<LogicalType> {
+        match &self.sink {
+            PipelineSink::Collect | PipelineSink::Sort(_) | PipelineSink::JoinBuild { .. } => {
+                self.chain_types()
+            }
+            PipelineSink::SimpleAggregate(aggs) => aggs.iter().map(AggExpr::result_type).collect(),
+            PipelineSink::HashAggregate { groups, aggs } => {
+                let mut t: Vec<LogicalType> =
+                    groups.iter().map(crate::expression::Expr::result_type).collect();
+                t.extend(aggs.iter().map(AggExpr::result_type));
+                t
+            }
+        }
+    }
+
+    /// Execute on `threads` workers (clamped to the morsel count — there
+    /// is no point spawning a worker with nothing to claim).
+    pub fn execute(&self, threads: usize) -> Result<PipelineOutput> {
+        let threads = threads.clamp(1, self.source.morsel_count().max(1));
+        let scheduler = TaskScheduler::new(threads);
+        let locals = scheduler.run(|_| self.run_worker())?;
+        self.merge(locals)
+    }
+
+    // ---- worker side ----
+
+    fn run_worker(&self) -> Result<LocalState> {
+        let result = self.run_worker_inner();
+        if result.is_err() {
+            self.source.abort();
+        }
+        result
+    }
+
+    fn run_worker_inner(&self) -> Result<LocalState> {
+        let mut local = match &self.sink {
+            PipelineSink::Collect => LocalState::Collect(Vec::new()),
+            PipelineSink::SimpleAggregate(_) | PipelineSink::HashAggregate { .. } => {
+                let reservation = match &self.buffers {
+                    Some(b) => Some(b.reserve(0)?),
+                    None => None,
+                };
+                LocalState::Agg(Vec::new(), reservation)
+            }
+            PipelineSink::Sort(_) => {
+                let reservation = match &self.buffers {
+                    Some(b) => Some(b.reserve(0)?),
+                    None => None,
+                };
+                LocalState::Sort(Vec::new(), reservation)
+            }
+            PipelineSink::JoinBuild { .. } => LocalState::JoinBuild(Vec::new()),
+        };
+        while let Some(morsel) = self.source.next_morsel() {
+            let mut op: OperatorBox = Box::new(MorselScanOp::new(
+                Arc::clone(&self.source),
+                Arc::clone(&self.txn),
+                morsel,
+            ));
+            for step in &self.steps {
+                op = step.instantiate(op);
+            }
+            let mut agg_partial = match &self.sink {
+                PipelineSink::SimpleAggregate(aggs) => {
+                    Some(AggPartial::Simple(aggs.iter().map(new_state).collect()))
+                }
+                PipelineSink::HashAggregate { .. } => Some(AggPartial::Hash(FxHashMap::default())),
+                _ => None,
+            };
+            let mut intra = 0usize;
+            while let Some(chunk) = op.next_chunk()? {
+                if chunk.is_empty() {
+                    continue;
+                }
+                self.consume_chunk(&mut local, agg_partial.as_mut(), morsel.seq, intra, chunk)?;
+                intra += 1;
+            }
+            if let (Some(partial), LocalState::Agg(parts, reservation)) = (agg_partial, &mut local)
+            {
+                if let Some(res) = reservation {
+                    // Same ~96 bytes/group heuristic the serial hash
+                    // aggregate accounts with.
+                    let groups = match &partial {
+                        AggPartial::Simple(states) => states.len(),
+                        AggPartial::Hash(table) => table.len(),
+                    };
+                    res.grow(groups * 96)?;
+                }
+                parts.push((morsel.seq, partial));
+            }
+        }
+        if let LocalState::Sort(rows, _) = &mut local {
+            // Local run sort happens on the worker — this is the parallel
+            // share of the O(n log n); the merge only interleaves runs.
+            if let PipelineSink::Sort(keys) = &self.sink {
+                rows.sort_by(|a, b| compare_keys(&a.0, &b.0, keys).then(a.1.cmp(&b.1)));
+            }
+        }
+        Ok(local)
+    }
+
+    fn consume_chunk(
+        &self,
+        local: &mut LocalState,
+        agg: Option<&mut AggPartial>,
+        seq: usize,
+        intra: usize,
+        chunk: DataChunk,
+    ) -> Result<()> {
+        match (&self.sink, local) {
+            (PipelineSink::Collect, LocalState::Collect(chunks)) => {
+                chunks.push(((seq, intra), chunk));
+            }
+            (PipelineSink::SimpleAggregate(aggs), LocalState::Agg(..)) => {
+                let Some(AggPartial::Simple(states)) = agg else { unreachable!() };
+                update_simple_states(aggs, states, &chunk)?;
+            }
+            (PipelineSink::HashAggregate { groups, aggs }, LocalState::Agg(..)) => {
+                let Some(AggPartial::Hash(table)) = agg else { unreachable!() };
+                update_group_table(groups, aggs, table, &chunk)?;
+            }
+            (PipelineSink::Sort(keys), LocalState::Sort(rows, reservation)) => {
+                let key_vectors =
+                    keys.iter().map(|k| k.expr.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
+                let mut chunk_bytes = 0usize;
+                for row in 0..chunk.len() {
+                    let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
+                    let payload = chunk.row_values(row);
+                    chunk_bytes += key.iter().chain(&payload).map(Value::size_bytes).sum::<usize>();
+                    rows.push((key, (seq, intra, row), payload));
+                }
+                if let Some(res) = reservation {
+                    res.grow(chunk_bytes)?;
+                }
+            }
+            (PipelineSink::JoinBuild { keys }, LocalState::JoinBuild(parts)) => {
+                parts.push((seq, intra, BuildPartial::compute(chunk, keys)?));
+            }
+            _ => unreachable!("local state matches sink"),
+        }
+        Ok(())
+    }
+
+    // ---- merge/finalize side ----
+
+    fn merge(&self, locals: Vec<LocalState>) -> Result<PipelineOutput> {
+        match &self.sink {
+            PipelineSink::Collect => {
+                let mut tagged: Vec<((usize, usize), DataChunk)> = locals
+                    .into_iter()
+                    .flat_map(|l| match l {
+                        LocalState::Collect(chunks) => chunks,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                tagged.sort_by_key(|(pos, _)| *pos);
+                Ok(PipelineOutput::Chunks(tagged.into_iter().map(|(_, c)| c).collect()))
+            }
+            PipelineSink::SimpleAggregate(aggs) => {
+                let (mut parts, _worker_reservations) = collect_agg_partials(locals);
+                parts.sort_by_key(|(seq, _)| *seq);
+                let mut states: Vec<AggState> = aggs.iter().map(new_state).collect();
+                for (_, partial) in parts {
+                    let AggPartial::Simple(part) = partial else { unreachable!() };
+                    for (s, p) in states.iter_mut().zip(&part) {
+                        s.merge(p)?;
+                    }
+                }
+                let row: Vec<Value> =
+                    states.iter().map(AggState::finalize).collect::<Result<_>>()?;
+                let mut out = DataChunk::new(&self.output_types());
+                out.append_row(&row)?;
+                Ok(PipelineOutput::Chunks(vec![out]))
+            }
+            PipelineSink::HashAggregate { .. } => {
+                let (mut parts, _worker_reservations) = collect_agg_partials(locals);
+                parts.sort_by_key(|(seq, _)| *seq);
+                let mut merge_reservation = match &self.buffers {
+                    Some(b) => Some(b.reserve(0)?),
+                    None => None,
+                };
+                let mut table: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+                for (_, partial) in parts {
+                    let AggPartial::Hash(part) = partial else { unreachable!() };
+                    for (key, part_states) in part {
+                        match table.get_mut(&key) {
+                            Some(states) => {
+                                for (s, p) in states.iter_mut().zip(&part_states) {
+                                    s.merge(p)?;
+                                }
+                            }
+                            None => {
+                                table.insert(key, part_states);
+                            }
+                        }
+                    }
+                }
+                if let Some(res) = &mut merge_reservation {
+                    res.grow(table.len() * 96)?;
+                }
+                // Serial hash aggregation emits groups in hash-iteration
+                // order, which is unspecified anyway; the parallel merge
+                // sorts by key so output is identical for every worker
+                // count.
+                let mut entries: Vec<(Vec<Value>, Vec<AggState>)> = table.into_iter().collect();
+                entries.sort_by(|a, b| cmp_value_rows(&a.0, &b.0));
+                let out_types = self.output_types();
+                let mut chunks = Vec::new();
+                let mut out = DataChunk::new(&out_types);
+                for (key, states) in entries {
+                    let mut row = key;
+                    for s in &states {
+                        row.push(s.finalize()?);
+                    }
+                    out.append_row(&row)?;
+                    if out.len() >= VECTOR_SIZE {
+                        chunks.push(std::mem::replace(&mut out, DataChunk::new(&out_types)));
+                    }
+                }
+                if !out.is_empty() {
+                    chunks.push(out);
+                }
+                Ok(PipelineOutput::Chunks(chunks))
+            }
+            PipelineSink::Sort(keys) => {
+                let mut run_reservations = Vec::new();
+                let runs: Vec<Vec<SortRow>> = locals
+                    .into_iter()
+                    .map(|l| match l {
+                        LocalState::Sort(rows, reservation) => {
+                            run_reservations.extend(reservation);
+                            rows
+                        }
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let rows = kway_merge(runs, keys);
+                let out_types = self.output_types();
+                let mut chunks = Vec::new();
+                for window in rows.chunks(VECTOR_SIZE) {
+                    let mut out = DataChunk::new(&out_types);
+                    for (_, _, payload) in window {
+                        out.append_row(payload)?;
+                    }
+                    chunks.push(out);
+                }
+                Ok(PipelineOutput::Chunks(chunks))
+            }
+            PipelineSink::JoinBuild { .. } => {
+                let mut tagged: Vec<(usize, usize, BuildPartial)> = locals
+                    .into_iter()
+                    .flat_map(|l| match l {
+                        LocalState::JoinBuild(parts) => parts,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                tagged.sort_by_key(|(seq, intra, _)| (*seq, *intra));
+                Ok(PipelineOutput::JoinBuild(tagged.into_iter().map(|(_, _, p)| p).collect()))
+            }
+        }
+    }
+}
+
+fn new_state(agg: &AggExpr) -> AggState {
+    AggState::new(
+        agg.kind,
+        agg.arg.as_ref().map(crate::expression::Expr::result_type),
+        agg.distinct,
+    )
+}
+
+/// Lexicographic total order over group-key rows.
+fn cmp_value_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Merge locally sorted runs into one globally sorted row list; ties fall
+/// back to scan position, reproducing a stable serial sort.
+fn kway_merge(runs: Vec<Vec<SortRow>>, keys: &[SortKey]) -> Vec<SortRow> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<SortRow>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<SortRow>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some(candidate) = head else { continue };
+            best = match best {
+                None => Some(i),
+                Some(j) => {
+                    let current = heads[j].as_ref().expect("best is populated");
+                    let ord = compare_keys(&candidate.0, &current.0, keys)
+                        .then(candidate.1.cmp(&current.1));
+                    if ord == std::cmp::Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(j)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(i) => {
+                let row = heads[i].take().expect("best is populated");
+                heads[i] = iters[i].next();
+                out.push(row);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// A [`PhysicalOperator`] facade over a parallel pipeline, so the physical
+/// planner can splice parallel execution into an otherwise serial plan
+/// (e.g. under a LIMIT, or as the probe input of a join). Executes eagerly
+/// on the first `next_chunk` pull.
+pub struct ParallelPipelineOp {
+    pipeline: ParallelPipeline,
+    threads: usize,
+    output: Option<std::vec::IntoIter<DataChunk>>,
+}
+
+impl ParallelPipelineOp {
+    pub fn new(pipeline: ParallelPipeline, threads: usize) -> Self {
+        ParallelPipelineOp { pipeline, threads, output: None }
+    }
+}
+
+impl PhysicalOperator for ParallelPipelineOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.pipeline.output_types()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if self.output.is_none() {
+            match self.pipeline.execute(self.threads)? {
+                PipelineOutput::Chunks(chunks) => self.output = Some(chunks.into_iter()),
+                PipelineOutput::JoinBuild(_) => {
+                    return Err(EiderError::Internal(
+                        "join-build pipelines are consumed by HashJoinOp, not pulled".into(),
+                    ))
+                }
+            }
+        }
+        Ok(self.output.as_mut().expect("executed").next())
+    }
+}
+
+/// Split aggregate locals into partials plus the worker reservations that
+/// keep them accounted; the caller holds the reservations until the merge
+/// has consumed every partial.
+fn collect_agg_partials(
+    locals: Vec<LocalState>,
+) -> (Vec<(usize, AggPartial)>, Vec<MemoryReservation>) {
+    let mut partials = Vec::new();
+    let mut reservations = Vec::new();
+    for l in locals {
+        match l {
+            LocalState::Agg(parts, reservation) => {
+                partials.extend(parts);
+                reservations.extend(reservation);
+            }
+            _ => unreachable!(),
+        }
+    }
+    (partials, reservations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggKind;
+    use crate::expression::Expr;
+    use crate::ops::{drain_rows, HashAggregateOp, SimpleAggregateOp, TableScanOp};
+    use eider_txn::{CmpOp, DataTable, ScanOptions, TableFilter, TransactionManager};
+
+    const ROWS: i32 = 40_000;
+
+    /// Two-column table: (i, i % 7), scanned with a `< 30_000` filter
+    /// pushed down and a residual pipeline filter on parity.
+    fn fixture() -> (Arc<TransactionManager>, Arc<DataTable>) {
+        let mgr = TransactionManager::new();
+        let table = DataTable::new(vec![LogicalType::Integer, LogicalType::Integer]);
+        let setup = mgr.begin();
+        let rows: Vec<Vec<Value>> =
+            (0..ROWS).map(|i| vec![Value::Integer(i), Value::Integer(i % 7)]).collect();
+        table
+            .append_chunk(
+                &setup,
+                &DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows)
+                    .unwrap(),
+            )
+            .unwrap();
+        setup.commit().unwrap();
+        (mgr, table)
+    }
+
+    fn scan_opts() -> ScanOptions {
+        ScanOptions {
+            columns: vec![0, 1],
+            filters: vec![TableFilter::new(0, CmpOp::Lt, Value::Integer(30_000))],
+            emit_row_ids: false,
+        }
+    }
+
+    /// `col0 % 2 = 0` as a residual filter expression.
+    fn parity_filter() -> Expr {
+        Expr::Compare {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Arithmetic {
+                op: crate::expression::ArithOp::Mod,
+                left: Box::new(Expr::column(0, LogicalType::Integer)),
+                right: Box::new(Expr::constant(Value::Integer(2))),
+                ty: LogicalType::BigInt,
+            }),
+            right: Box::new(Expr::constant(Value::BigInt(0))),
+        }
+    }
+
+    fn pipeline(
+        table: &Arc<DataTable>,
+        txn: &Arc<Transaction>,
+        sink: PipelineSink,
+    ) -> ParallelPipeline {
+        let source =
+            Arc::new(MorselSource::new(Arc::clone(table), txn, scan_opts(), VECTOR_SIZE * 2));
+        ParallelPipeline::new(
+            source,
+            Arc::clone(txn),
+            vec![PipelineStep::Filter(parity_filter())],
+            sink,
+        )
+    }
+
+    fn serial_chain(table: &Arc<DataTable>, txn: &Arc<Transaction>) -> OperatorBox {
+        Box::new(FilterOp::new(
+            Box::new(TableScanOp::new(Arc::clone(table), Arc::clone(txn), scan_opts())),
+            parity_filter(),
+        ))
+    }
+
+    fn rows_at(pipeline: &ParallelPipeline, threads: usize) -> Vec<Vec<Value>> {
+        pipeline
+            .execute(threads)
+            .unwrap()
+            .into_chunks()
+            .iter()
+            .flat_map(DataChunk::to_rows)
+            .collect()
+    }
+
+    #[test]
+    fn collect_matches_serial_scan_at_every_thread_count() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let serial = drain_rows(serial_chain(&table, &txn).as_mut()).unwrap();
+        assert_eq!(serial.len(), 15_000);
+        for threads in [1, 2, 3, 8] {
+            let p = pipeline(&table, &txn, PipelineSink::Collect);
+            assert_eq!(rows_at(&p, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn simple_aggregate_matches_serial_operator() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let aggs = vec![
+            AggExpr { kind: AggKind::CountStar, arg: None, distinct: false },
+            AggExpr {
+                kind: AggKind::Sum,
+                arg: Some(Expr::column(0, LogicalType::Integer)),
+                distinct: false,
+            },
+            AggExpr {
+                kind: AggKind::Min,
+                arg: Some(Expr::column(1, LogicalType::Integer)),
+                distinct: false,
+            },
+            AggExpr {
+                kind: AggKind::Avg,
+                arg: Some(Expr::column(0, LogicalType::Integer)),
+                distinct: false,
+            },
+        ];
+        let mut serial_op = SimpleAggregateOp::new(serial_chain(&table, &txn), aggs.clone());
+        let serial = drain_rows(&mut serial_op).unwrap();
+        for threads in [1, 2, 8] {
+            let p = pipeline(&table, &txn, PipelineSink::SimpleAggregate(aggs.clone()));
+            assert_eq!(rows_at(&p, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn hash_aggregate_matches_serial_operator_groupwise() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let groups = vec![Expr::column(1, LogicalType::Integer)];
+        let aggs = vec![
+            AggExpr { kind: AggKind::CountStar, arg: None, distinct: false },
+            AggExpr {
+                kind: AggKind::Sum,
+                arg: Some(Expr::column(0, LogicalType::Integer)),
+                distinct: false,
+            },
+            AggExpr {
+                kind: AggKind::Count,
+                arg: Some(Expr::column(0, LogicalType::Integer)),
+                distinct: true,
+            },
+        ];
+        let mut serial_op =
+            HashAggregateOp::new(serial_chain(&table, &txn), groups.clone(), aggs.clone(), None);
+        let mut serial = drain_rows(&mut serial_op).unwrap();
+        serial.sort_by(|a, b| cmp_value_rows(a, b));
+        for threads in [1, 2, 8] {
+            let p = pipeline(
+                &table,
+                &txn,
+                PipelineSink::HashAggregate { groups: groups.clone(), aggs: aggs.clone() },
+            );
+            // Parallel output is already key-sorted.
+            assert_eq!(rows_at(&p, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sort_matches_serial_sort_including_ties() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        // Sort on the 7-valued column: heavy ties exercise the positional
+        // tie-break.
+        let keys = vec![SortKey::desc(Expr::column(1, LogicalType::Integer))];
+        let mut serial_op = crate::ops::ExternalSortOp::new(
+            serial_chain(&table, &txn),
+            keys.clone(),
+            1 << 30,
+            None,
+            false,
+        );
+        let serial = drain_rows(&mut serial_op).unwrap();
+        for threads in [1, 2, 8] {
+            let p = pipeline(&table, &txn, PipelineSink::Sort(keys.clone()));
+            assert_eq!(rows_at(&p, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_build_partials_feed_a_working_hash_join() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        // Join on the unique column: a 1:1 join keeps the output linear.
+        let build_keys = vec![Expr::column(0, LogicalType::Integer)];
+        let probe_keys = vec![Expr::column(0, LogicalType::Integer)];
+
+        let serial_join = || -> Vec<Vec<Value>> {
+            let mut op = crate::ops::HashJoinOp::new(
+                serial_chain(&table, &txn),
+                serial_chain(&table, &txn),
+                probe_keys.clone(),
+                build_keys.clone(),
+                crate::ops::JoinType::Inner,
+                eider_coop::compression::CompressionLevel::None,
+                None,
+            )
+            .unwrap();
+            let mut rows = drain_rows(&mut op).unwrap();
+            rows.sort_by(|a, b| cmp_value_rows(a, b));
+            rows
+        };
+        let serial = serial_join();
+
+        for threads in [1, 2, 8] {
+            let p = pipeline(&table, &txn, PipelineSink::JoinBuild { keys: build_keys.clone() });
+            let PipelineOutput::JoinBuild(partials) = p.execute(threads).unwrap() else {
+                panic!("expected join-build output")
+            };
+            let mut op = crate::ops::HashJoinOp::from_prebuilt(
+                serial_chain(&table, &txn),
+                p.chain_types(),
+                partials,
+                probe_keys.clone(),
+                crate::ops::JoinType::Inner,
+                eider_coop::compression::CompressionLevel::None,
+                None,
+            )
+            .unwrap();
+            let mut rows = drain_rows(&mut op).unwrap();
+            rows.sort_by(|a, b| cmp_value_rows(a, b));
+            assert_eq!(rows.len(), serial.len(), "threads={threads}");
+            assert_eq!(rows, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn projection_steps_compose() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let project = PipelineStep::Project(vec![Expr::Arithmetic {
+            op: crate::expression::ArithOp::Add,
+            left: Box::new(Expr::column(0, LogicalType::Integer)),
+            right: Box::new(Expr::constant(Value::Integer(1))),
+            ty: LogicalType::BigInt,
+        }]);
+        let source =
+            Arc::new(MorselSource::new(Arc::clone(&table), &txn, scan_opts(), VECTOR_SIZE));
+        let p = ParallelPipeline::new(
+            source,
+            Arc::clone(&txn),
+            vec![PipelineStep::Filter(parity_filter()), project.clone()],
+            PipelineSink::Collect,
+        );
+        assert_eq!(p.output_types(), vec![LogicalType::BigInt]);
+        let mut serial_op = project.instantiate(serial_chain(&table, &txn));
+        let serial = drain_rows(serial_op.as_mut()).unwrap();
+        assert_eq!(rows_at(&p, 4), serial);
+    }
+}

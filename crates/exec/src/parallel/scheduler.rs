@@ -1,0 +1,116 @@
+//! The worker-thread scheduler backing parallel pipelines.
+//!
+//! Deliberately simple: pipelines are the unit of scheduling, and a
+//! pipeline's workers are homogeneous (same closure, different morsels),
+//! so a scoped fork-join is all that is needed — no task queue, no
+//! wakeups. Scoped threads let workers borrow the query's transaction and
+//! operator state without `'static` gymnastics, and joining inside the
+//! scope guarantees no worker outlives its query.
+
+use eider_vector::{EiderError, Result};
+
+/// Fans a worker closure out over N threads and collects the results.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskScheduler {
+    threads: usize,
+}
+
+impl TaskScheduler {
+    /// A scheduler running `threads` workers (floored at one).
+    pub fn new(threads: usize) -> Self {
+        TaskScheduler { threads: threads.max(1) }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `worker(worker_index)` on every thread and return all results
+    /// in worker order. With one thread the closure runs inline on the
+    /// caller — thread count 1 therefore behaves *exactly* like serial
+    /// execution, which the equivalence tests rely on.
+    ///
+    /// The first worker error (in worker order) wins; a panicking worker
+    /// propagates the panic to the caller.
+    pub fn run<T, F>(&self, worker: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        if self.threads == 1 {
+            return Ok(vec![worker(0)?]);
+        }
+        let results: Vec<std::thread::Result<Result<T>>> = std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = (0..self.threads)
+                .map(|i| {
+                    std::thread::Builder::new()
+                        .name(format!("eider-worker-{i}"))
+                        .spawn_scoped(scope, move || worker(i))
+                        .map_err(|e| {
+                            EiderError::Internal(format!("failed to spawn worker thread: {e}"))
+                        })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h {
+                    Ok(handle) => handle.join(),
+                    Err(e) => Ok(Err(e)),
+                })
+                .collect()
+        });
+        // A panic is an invariant violation and must never be masked by an
+        // ordinary error from an earlier worker: surface panics first.
+        let mut results_ok = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(inner) => results_ok.push(inner),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        let mut out = Vec::with_capacity(results_ok.len());
+        for r in results_ok {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_worker_once_in_order() {
+        let sched = TaskScheduler::new(4);
+        let calls = AtomicUsize::new(0);
+        let out = sched
+            .run(|i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(i * 10)
+            })
+            .unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let sched = TaskScheduler::new(0); // floors to 1
+        assert_eq!(sched.threads(), 1);
+        let caller = std::thread::current().id();
+        let out = sched.run(|_| Ok(std::thread::current().id())).unwrap();
+        assert_eq!(out, vec![caller]);
+    }
+
+    #[test]
+    fn first_error_in_worker_order_wins() {
+        let sched = TaskScheduler::new(3);
+        let err = sched
+            .run(|i| -> Result<()> { Err(EiderError::Internal(format!("worker {i}"))) })
+            .unwrap_err();
+        assert!(err.to_string().contains("worker 0"), "{err}");
+    }
+}

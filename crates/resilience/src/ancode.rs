@@ -135,9 +135,8 @@ impl AnCodec {
                 self.a
             )));
         }
-        i64::try_from(total / i128::from(self.a)).map_err(|_| {
-            EiderError::Execution("AN-coded sum exceeds BIGINT range".into())
-        })
+        i64::try_from(total / i128::from(self.a))
+            .map_err(|_| EiderError::Execution("AN-coded sum exceeds BIGINT range".into()))
     }
 
     /// Hardened filter: count of elements equal to `needle`, comparing in

@@ -105,12 +105,8 @@ pub struct MemoryTester {
 }
 
 const QUICK_PATTERNS: [u64; 2] = [0x0000_0000_0000_0000, 0xAAAA_AAAA_AAAA_AAAA];
-const FULL_PATTERNS: [u64; 4] = [
-    0x0000_0000_0000_0000,
-    0xFFFF_FFFF_FFFF_FFFF,
-    0xAAAA_AAAA_AAAA_AAAA,
-    0x5555_5555_5555_5555,
-];
+const FULL_PATTERNS: [u64; 4] =
+    [0x0000_0000_0000_0000, 0xFFFF_FFFF_FFFF_FFFF, 0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555];
 
 impl MemoryTester {
     pub fn new(kind: MemTestKind) -> Self {
@@ -124,11 +120,8 @@ impl MemoryTester {
     /// Run the configured test over `region`. The region's previous
     /// contents are destroyed (buffers are tested *before* first use).
     pub fn test<R: MemRegion + ?Sized>(&self, region: &mut R) -> MemTestReport {
-        let mut report = MemTestReport {
-            errors: Vec::new(),
-            words_tested: region.len_words(),
-            passes: 0,
-        };
+        let mut report =
+            MemTestReport { errors: Vec::new(), words_tested: region.len_words(), passes: 0 };
         match self.kind {
             MemTestKind::Quick => {
                 for &p in &QUICK_PATTERNS {
@@ -227,10 +220,7 @@ mod tests {
         // because each cell is written after its neighbour's last write...
         // except moving inversions interleaves writes between checks.
         let report = MemoryTester::new(MemTestKind::Quick).test(&mut mem);
-        assert!(
-            !report.is_healthy(),
-            "moving inversions must catch coupling faults"
-        );
+        assert!(!report.is_healthy(), "moving inversions must catch coupling faults");
         assert!(report.faulty_words().contains(&50));
     }
 

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset eider's benches use — [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — measuring wall-clock
+//! time with a short warm-up and printing mean/min per iteration. No
+//! statistical analysis, plots, or baselines; swap the workspace path
+//! dependency for crates.io `criterion` for those.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// (mean, min) per-iteration wall time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up, then averaging over the sample count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+
+    /// Time `routine` with a fresh, untimed `setup` value per iteration.
+    pub fn iter_with_setup<S, R, FS, FR>(&mut self, mut setup: FS, mut routine: FR)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> R,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations measured per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Shortened measurement knob accepted for API compatibility; the shim
+    /// always runs exactly `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: self.samples, result: None };
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => {
+                println!(
+                    "bench {:<40} mean {:>12.3?}   min {:>12.3?}   ({} samples)",
+                    format!("{}/{}", self.name, id),
+                    mean,
+                    min,
+                    self.samples
+                );
+                self.criterion.results.push((format!("{}/{}", self.name, id), mean));
+            }
+            None => println!("bench {}/{}: closure never called iter()", self.name, id),
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim reads no CLI flags.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, samples: 10 }
+    }
+
+    /// Ungrouped single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+
+    /// Mean per-iteration duration of a finished benchmark, by full name
+    /// (`"group/id"`). Used by benches that assert speedup ratios.
+    pub fn mean_of(&self, full_name: &str) -> Option<Duration> {
+        self.results.iter().find(|(n, _)| n == full_name).map(|(_, d)| *d)
+    }
+}
+
+/// Declare a bench group: a function running several `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert!(c.mean_of("g/noop").is_some());
+        assert!(c.mean_of("g/other").is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the strategy combinators and macros eider's property tests
+//! use — [`strategy::Strategy`], [`prelude::any`], [`strategy::Just`], ranges and
+//! string character-class patterns as strategies, `prop::collection::vec`,
+//! `prop::option::of`, [`prop_oneof!`], [`proptest!`], [`prop_assert_eq!`]
+//! and [`prop_assert_ne!`] — on a deterministic seeded generator.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: no shrinking (failures report the generated case but do not
+//! minimize it) and a fixed seed per test (cases are reproducible from the
+//! test name alone). Swap the workspace path dependency for crates.io
+//! `proptest` to restore full behaviour.
+
+pub mod strategy;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy producing `None` about a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`: `Some(inner)` or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.ratio(1, 4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error raised by `prop_assert_*`; carries the formatted message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+
+    pub mod prop {
+        //! The `prop::` paths (`prop::collection`, `prop::option`).
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Choose among strategies with identical output types, uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert equality inside a proptest body; failure aborts the case with a
+/// message instead of panicking mid-generator.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "prop_assert_eq! failed: {:?} != {:?} at {}:{}",
+                a,
+                b,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "prop_assert_ne! failed: both {:?} at {}:{}",
+                a,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn adds(a in 0i32..10, b in 0i32..10) { prop_assert_eq!(a + b, b + a); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(#[test] fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::strategy::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e.0);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_sizes_in_range(v in prop::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert_eq!((3..7).contains(&v.len()), true);
+        }
+
+        #[test]
+        fn oneof_and_map_produce_all_variants(
+            vals in prop::collection::vec(
+                prop_oneof![
+                    Just(0i64),
+                    (1i64..10).prop_map(|v| v * 100),
+                ],
+                0..50,
+            )
+        ) {
+            for v in &vals {
+                prop_assert_eq!(*v == 0 || (100..1000).contains(v), true);
+            }
+        }
+
+        #[test]
+        fn string_pattern_respects_charset(s in "[ab]{2,4}") {
+            prop_assert_eq!((2..=4).contains(&s.len()), true);
+            prop_assert_eq!(s.chars().all(|c| c == 'a' || c == 'b'), true);
+        }
+    }
+}

@@ -136,12 +136,7 @@ pub enum SelectItem {
 pub enum TableRef {
     Named { name: String, alias: Option<String> },
     Subquery { query: Box<SelectStatement>, alias: String },
-    Join {
-        left: Box<TableRef>,
-        right: Box<TableRef>,
-        kind: JoinKind,
-        on: Option<AstExpr>,
-    },
+    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<AstExpr> },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,24 +179,65 @@ pub enum BinaryOp {
 pub enum AstExpr {
     Literal(Value),
     /// Possibly qualified column: `[table.]name`.
-    Column { table: Option<String>, name: String },
-    Binary { op: BinaryOp, left: Box<AstExpr>, right: Box<AstExpr> },
-    Unary { minus: bool, child: Box<AstExpr> },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Unary {
+        minus: bool,
+        child: Box<AstExpr>,
+    },
     Not(Box<AstExpr>),
-    IsNull { child: Box<AstExpr>, negated: bool },
-    Between { child: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
-    InList { child: Box<AstExpr>, list: Vec<AstExpr>, negated: bool },
-    InSubquery { child: Box<AstExpr>, query: Box<SelectStatement>, negated: bool },
-    Exists { query: Box<SelectStatement>, negated: bool },
-    Like { child: Box<AstExpr>, pattern: Box<AstExpr>, negated: bool },
-    Cast { child: Box<AstExpr>, type_name: String },
+    IsNull {
+        child: Box<AstExpr>,
+        negated: bool,
+    },
+    Between {
+        child: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        child: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    InSubquery {
+        child: Box<AstExpr>,
+        query: Box<SelectStatement>,
+        negated: bool,
+    },
+    Exists {
+        query: Box<SelectStatement>,
+        negated: bool,
+    },
+    Like {
+        child: Box<AstExpr>,
+        pattern: Box<AstExpr>,
+        negated: bool,
+    },
+    Cast {
+        child: Box<AstExpr>,
+        type_name: String,
+    },
     Case {
         operand: Option<Box<AstExpr>>,
         branches: Vec<(AstExpr, AstExpr)>,
         else_expr: Option<Box<AstExpr>>,
     },
     /// Function call; `distinct` applies to aggregates, `star` to COUNT(*).
-    Function { name: String, args: Vec<AstExpr>, distinct: bool, star: bool },
+    Function {
+        name: String,
+        args: Vec<AstExpr>,
+        distinct: bool,
+        star: bool,
+    },
 }
 
 impl AstExpr {
@@ -237,11 +273,9 @@ impl AstExpr {
                 format!("({}{})", if *minus { "-" } else { "+" }, child.display_name())
             }
             AstExpr::Not(c) => format!("(NOT {})", c.display_name()),
-            AstExpr::IsNull { child, negated } => format!(
-                "({} IS {}NULL)",
-                child.display_name(),
-                if *negated { "NOT " } else { "" }
-            ),
+            AstExpr::IsNull { child, negated } => {
+                format!("({} IS {}NULL)", child.display_name(), if *negated { "NOT " } else { "" })
+            }
             AstExpr::Between { child, low, high, negated } => format!(
                 "({} {}BETWEEN {} AND {})",
                 child.display_name(),
@@ -253,7 +287,11 @@ impl AstExpr {
                 format!("({} {}IN (...))", child.display_name(), if *negated { "NOT " } else { "" })
             }
             AstExpr::InSubquery { child, negated, .. } => {
-                format!("({} {}IN (subquery))", child.display_name(), if *negated { "NOT " } else { "" })
+                format!(
+                    "({} {}IN (subquery))",
+                    child.display_name(),
+                    if *negated { "NOT " } else { "" }
+                )
             }
             AstExpr::Exists { negated, .. } => {
                 format!("({}EXISTS(subquery))", if *negated { "NOT " } else { "" })

@@ -4,8 +4,8 @@
 use crate::ast::*;
 use crate::plan::{CsvOptions, LogicalPlan};
 use eider_catalog::{Catalog, ColumnDefinition, TableEntry};
-use eider_exec::expression::{ArithOp, Expr, ScalarFunc};
 use eider_exec::aggregate::AggKind;
+use eider_exec::expression::{ArithOp, Expr, ScalarFunc};
 use eider_exec::ops::agg::AggExpr;
 use eider_exec::ops::join::JoinType;
 use eider_exec::ops::sort::SortKey;
@@ -59,9 +59,7 @@ impl BindContext {
                 }
             }
             if found.is_some() {
-                return Err(EiderError::Bind(format!(
-                    "column reference \"{name}\" is ambiguous"
-                )));
+                return Err(EiderError::Bind(format!("column reference \"{name}\" is ambiguous")));
             }
             found = Some((i, c.ty));
         }
@@ -266,12 +264,9 @@ impl Binder {
                     None => Ok(if what == "LIMIT" { usize::MAX } else { 0 }),
                     Some(e) => {
                         let v = b.bind_scalar(e, &BindContext::default())?.evaluate_row(&[])?;
-                        v.as_i64()
-                            .filter(|&x| x >= 0)
-                            .map(|x| x as usize)
-                            .ok_or_else(|| {
-                                EiderError::Bind(format!("{what} must be a non-negative integer"))
-                            })
+                        v.as_i64().filter(|&x| x >= 0).map(|x| x as usize).ok_or_else(|| {
+                            EiderError::Bind(format!("{what} must be a non-negative integer"))
+                        })
                     }
                 }
             };
@@ -322,11 +317,7 @@ impl Binder {
                     )));
                 }
                 // Cast the right side to the left side's types if needed.
-                let needs_cast = lctx
-                    .columns
-                    .iter()
-                    .zip(&rctx.columns)
-                    .any(|(l, r)| l.ty != r.ty);
+                let needs_cast = lctx.columns.iter().zip(&rctx.columns).any(|(l, r)| l.ty != r.ty);
                 let rplan = if needs_cast {
                     let exprs: Vec<Expr> = lctx
                         .columns
@@ -346,8 +337,7 @@ impl Binder {
                 } else {
                     rplan
                 };
-                let mut plan =
-                    LogicalPlan::Union { left: Box::new(lplan), right: Box::new(rplan) };
+                let mut plan = LogicalPlan::Union { left: Box::new(lplan), right: Box::new(rplan) };
                 if !*all {
                     plan = LogicalPlan::Distinct { input: Box::new(plan) };
                 }
@@ -410,8 +400,11 @@ impl Binder {
             if !plain.is_empty() {
                 let bound: Vec<Expr> =
                     plain.iter().map(|c| self.bind_boolean(c, &ctx)).collect::<Result<_>>()?;
-                let predicate =
-                    if bound.len() == 1 { bound.into_iter().next().expect("one") } else { Expr::And(bound) };
+                let predicate = if bound.len() == 1 {
+                    bound.into_iter().next().expect("one")
+                } else {
+                    Expr::And(bound)
+                };
                 plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
             }
         }
@@ -451,13 +444,18 @@ impl Binder {
                             }
                         }
                         if exprs.len() == before {
-                            return Err(EiderError::Bind(format!("unknown table \"{t}\" in {t}.*")));
+                            return Err(EiderError::Bind(format!(
+                                "unknown table \"{t}\" in {t}.*"
+                            )));
                         }
                     }
                     SelectItem::Expr { expr, alias } => {
                         exprs.push(self.bind_scalar(expr, &ctx)?);
                         names.push(
-                            alias.clone().unwrap_or_else(|| expr.display_name()).to_ascii_lowercase(),
+                            alias
+                                .clone()
+                                .unwrap_or_else(|| expr.display_name())
+                                .to_ascii_lowercase(),
                         );
                     }
                 }
@@ -466,10 +464,7 @@ impl Binder {
             for (e, n) in exprs.iter().zip(&names) {
                 out_ctx.push(None, n, e.result_type());
             }
-            (
-                LogicalPlan::Projection { input: Box::new(plan), exprs, names },
-                out_ctx,
-            )
+            (LogicalPlan::Projection { input: Box::new(plan), exprs, names }, out_ctx)
         };
         // 4. DISTINCT
         if block.distinct {
@@ -534,9 +529,7 @@ impl Binder {
         for item in &block.projection {
             match item {
                 SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
-                    return Err(EiderError::Bind(
-                        "* is not allowed in an aggregated SELECT".into(),
-                    ))
+                    return Err(EiderError::Bind("* is not allowed in an aggregated SELECT".into()))
                 }
                 SelectItem::Expr { expr, alias } => {
                     let bound = self.bind_agg_scalar(expr, &mut env)?;
@@ -557,12 +550,8 @@ impl Binder {
             env.group_displays.iter().map(|d| d.to_ascii_lowercase()).collect();
         agg_names.extend(env.aggs.iter().map(|(_, d)| d.to_ascii_lowercase()));
         let aggs: Vec<AggExpr> = env.aggs.iter().map(|(a, _)| a.clone()).collect();
-        let mut plan = LogicalPlan::Aggregate {
-            input: Box::new(input),
-            groups,
-            aggs,
-            names: agg_names,
-        };
+        let mut plan =
+            LogicalPlan::Aggregate { input: Box::new(input), groups, aggs, names: agg_names };
         if let Some(h) = having {
             plan = LogicalPlan::Filter { input: Box::new(plan), predicate: h };
         }
@@ -570,11 +559,8 @@ impl Binder {
         for (e, n) in proj_exprs.iter().zip(&proj_names) {
             out_ctx.push(None, n, e.result_type());
         }
-        let plan = LogicalPlan::Projection {
-            input: Box::new(plan),
-            exprs: proj_exprs,
-            names: proj_names,
-        };
+        let plan =
+            LogicalPlan::Projection { input: Box::new(plan), exprs: proj_exprs, names: proj_names };
         Ok((plan, out_ctx))
     }
 
@@ -646,11 +632,8 @@ impl Binder {
                                 None => residual.push(bound),
                             }
                         }
-                        let join_type = if *kind == JoinKind::Left {
-                            JoinType::Left
-                        } else {
-                            JoinType::Inner
-                        };
+                        let join_type =
+                            if *kind == JoinKind::Left { JoinType::Left } else { JoinType::Inner };
                         if equi.is_empty() {
                             if join_type == JoinType::Left {
                                 return Err(EiderError::NotImplemented(
@@ -785,8 +768,7 @@ impl Binder {
             })
             .collect();
         let names = entry.column_names();
-        let projected =
-            LogicalPlan::Projection { input: Box::new(source_plan), exprs, names };
+        let projected = LogicalPlan::Projection { input: Box::new(source_plan), exprs, names };
         Ok(LogicalPlan::Insert { entry, input: Box::new(projected) })
     }
 
@@ -858,11 +840,8 @@ impl Binder {
             plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
         }
         let exprs = vec![Expr::column(entry.columns.len(), LogicalType::BigInt)];
-        let projected = LogicalPlan::Projection {
-            input: Box::new(plan),
-            exprs,
-            names: vec!["__rowid".into()],
-        };
+        let projected =
+            LogicalPlan::Projection { input: Box::new(plan), exprs, names: vec!["__rowid".into()] };
         Ok(LogicalPlan::Delete { entry, input: Box::new(projected) })
     }
 
@@ -899,9 +878,7 @@ impl Binder {
                     None
                 } else {
                     if args.len() != 1 {
-                        return Err(EiderError::Bind(format!(
-                            "{name} takes exactly one argument"
-                        )));
+                        return Err(EiderError::Bind(format!("{name} takes exactly one argument")));
                     }
                     let from_ctx = env.from_ctx.clone();
                     Some(self.bind_scalar(&args[0], &from_ctx)?)
@@ -962,10 +939,9 @@ impl Binder {
                 })
             }
             AstExpr::Not(child) => Ok(Expr::Not(Box::new(leaf(self, child)?))),
-            AstExpr::IsNull { child, negated } => Ok(Expr::IsNull {
-                child: Box::new(leaf(self, child)?),
-                negated: *negated,
-            }),
+            AstExpr::IsNull { child, negated } => {
+                Ok(Expr::IsNull { child: Box::new(leaf(self, child)?), negated: *negated })
+            }
             AstExpr::Between { child, low, high, negated } => {
                 let c = leaf(self, child)?;
                 let lo = leaf(self, low)?;
@@ -988,8 +964,7 @@ impl Binder {
             }
             AstExpr::InList { child, list, negated } => {
                 let c = leaf(self, child)?;
-                let items: Vec<Expr> =
-                    list.iter().map(|e| leaf(self, e)).collect::<Result<_>>()?;
+                let items: Vec<Expr> = list.iter().map(|e| leaf(self, e)).collect::<Result<_>>()?;
                 Ok(Expr::InList { child: Box::new(c), list: items, negated: *negated })
             }
             AstExpr::InSubquery { .. } | AstExpr::Exists { .. } => Err(EiderError::NotImplemented(
@@ -1045,10 +1020,8 @@ impl Binder {
                     ty = Some(unify_types(ty, e.result_type())?);
                 }
                 let ty = ty.unwrap_or(LogicalType::Varchar);
-                let branches = bound_branches
-                    .into_iter()
-                    .map(|(c, v)| (c, cast_to(v, ty)))
-                    .collect();
+                let branches =
+                    bound_branches.into_iter().map(|(c, v)| (c, cast_to(v, ty))).collect();
                 let else_expr = bound_else.map(|e| Box::new(cast_to(e, ty)));
                 Ok(Expr::Case { branches, else_expr, ty })
             }
@@ -1063,14 +1036,11 @@ impl Binder {
                         "DISTINCT/* only apply to aggregate functions (in {name})"
                     )));
                 }
-                let func = ScalarFunc::by_name(name).ok_or_else(|| {
-                    EiderError::Bind(format!("unknown function \"{name}\""))
-                })?;
-                let bound: Vec<Expr> =
-                    args.iter().map(|a| leaf(self, a)).collect::<Result<_>>()?;
+                let func = ScalarFunc::by_name(name)
+                    .ok_or_else(|| EiderError::Bind(format!("unknown function \"{name}\"")))?;
+                let bound: Vec<Expr> = args.iter().map(|a| leaf(self, a)).collect::<Result<_>>()?;
                 validate_function_arity(func, bound.len())?;
-                let ty =
-                    func.result_type(&bound.iter().map(Expr::result_type).collect::<Vec<_>>());
+                let ty = func.result_type(&bound.iter().map(Expr::result_type).collect::<Vec<_>>());
                 Ok(Expr::Function { func, args: bound, ty })
             }
             AstExpr::Column { .. } => unreachable!("columns handled by leaf fn"),
@@ -1127,8 +1097,10 @@ impl Binder {
             BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
                 let (lt, rt) = (l.result_type(), r.result_type());
                 // VARCHAR operands coerce to DOUBLE in arithmetic.
-                let l = if lt == LogicalType::Varchar { cast_to(l, LogicalType::Double) } else { l };
-                let r = if rt == LogicalType::Varchar { cast_to(r, LogicalType::Double) } else { r };
+                let l =
+                    if lt == LogicalType::Varchar { cast_to(l, LogicalType::Double) } else { l };
+                let r =
+                    if rt == LogicalType::Varchar { cast_to(r, LogicalType::Double) } else { r };
                 let (lt, rt) = (l.result_type(), r.result_type());
                 if !lt.is_numeric() || !rt.is_numeric() {
                     return Err(EiderError::Bind(format!(
@@ -1181,12 +1153,8 @@ fn coerce_pair(l: Expr, r: Expr) -> Result<(Expr, Expr)> {
         return Ok((cast_to(l, t), cast_to(r, t)));
     }
     match (lt, rt) {
-        (LogicalType::Date, LogicalType::Timestamp) => {
-            Ok((cast_to(l, LogicalType::Timestamp), r))
-        }
-        (LogicalType::Timestamp, LogicalType::Date) => {
-            Ok((l, cast_to(r, LogicalType::Timestamp)))
-        }
+        (LogicalType::Date, LogicalType::Timestamp) => Ok((cast_to(l, LogicalType::Timestamp), r)),
+        (LogicalType::Timestamp, LogicalType::Date) => Ok((l, cast_to(r, LogicalType::Timestamp))),
         (LogicalType::Varchar, _) => Ok((cast_to(l, rt), r)),
         (_, LogicalType::Varchar) => Ok((l, cast_to(r, lt))),
         _ => Err(EiderError::Bind(format!("cannot compare {lt} with {rt}"))),
@@ -1243,7 +1211,9 @@ fn contains_aggregate(e: &AstExpr) -> bool {
         AstExpr::Function { name, args, .. } => {
             AggKind::by_name(name).is_some() || args.iter().any(contains_aggregate)
         }
-        AstExpr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        AstExpr::Binary { left, right, .. } => {
+            contains_aggregate(left) || contains_aggregate(right)
+        }
         AstExpr::Unary { child, .. } | AstExpr::Not(child) => contains_aggregate(child),
         AstExpr::IsNull { child, .. } => contains_aggregate(child),
         AstExpr::Between { child, low, high, .. } => {
@@ -1258,9 +1228,7 @@ fn contains_aggregate(e: &AstExpr) -> bool {
         AstExpr::Cast { child, .. } => contains_aggregate(child),
         AstExpr::Case { operand, branches, else_expr } => {
             operand.as_deref().is_some_and(contains_aggregate)
-                || branches
-                    .iter()
-                    .any(|(c, v)| contains_aggregate(c) || contains_aggregate(v))
+                || branches.iter().any(|(c, v)| contains_aggregate(c) || contains_aggregate(v))
                 || else_expr.as_deref().is_some_and(contains_aggregate)
         }
         _ => false,
@@ -1276,7 +1244,9 @@ fn ast_contains_subquery(e: &AstExpr) -> bool {
         AstExpr::Unary { child, .. } | AstExpr::Not(child) => ast_contains_subquery(child),
         AstExpr::IsNull { child, .. } => ast_contains_subquery(child),
         AstExpr::Between { child, low, high, .. } => {
-            ast_contains_subquery(child) || ast_contains_subquery(low) || ast_contains_subquery(high)
+            ast_contains_subquery(child)
+                || ast_contains_subquery(low)
+                || ast_contains_subquery(high)
         }
         AstExpr::InList { child, list, .. } => {
             ast_contains_subquery(child) || list.iter().any(ast_contains_subquery)
@@ -1439,10 +1409,7 @@ mod tests {
     fn simple_select_binds() {
         let plan = bind("SELECT a, b FROM t WHERE a > 5").unwrap();
         assert_eq!(plan.output_names(), vec!["a", "b"]);
-        assert_eq!(
-            plan.output_types(),
-            vec![LogicalType::Integer, LogicalType::Varchar]
-        );
+        assert_eq!(plan.output_types(), vec![LogicalType::Integer, LogicalType::Varchar]);
     }
 
     #[test]
@@ -1469,10 +1436,8 @@ mod tests {
 
     #[test]
     fn aggregate_binding() {
-        let plan = bind(
-            "SELECT d, count(*), sum(a) AS total FROM t GROUP BY d HAVING sum(a) > 10",
-        )
-        .unwrap();
+        let plan = bind("SELECT d, count(*), sum(a) AS total FROM t GROUP BY d HAVING sum(a) > 10")
+            .unwrap();
         assert_eq!(plan.output_names(), vec!["d", "count(*)", "total"]);
         assert_eq!(
             plan.output_types(),
@@ -1574,8 +1539,7 @@ mod tests {
 
     #[test]
     fn ctes_resolve() {
-        let plan =
-            bind("WITH big AS (SELECT a FROM t WHERE a > 10) SELECT * FROM big").unwrap();
+        let plan = bind("WITH big AS (SELECT a FROM t WHERE a > 10) SELECT * FROM big").unwrap();
         assert_eq!(plan.output_names(), vec!["a"]);
     }
 
@@ -1603,8 +1567,7 @@ mod tests {
 
     #[test]
     fn case_type_unification() {
-        let plan =
-            bind("SELECT CASE WHEN a > 0 THEN 1 ELSE 2.5 END FROM t").unwrap();
+        let plan = bind("SELECT CASE WHEN a > 0 THEN 1 ELSE 2.5 END FROM t").unwrap();
         assert_eq!(plan.output_types(), vec![LogicalType::Double]);
     }
 }

@@ -1,4 +1,9 @@
-//! SQL tokenizer.
+//! SQL tokenizer: turns statement text into a [`Token`] stream.
+//!
+//! Handles quoted identifiers and strings (with `''` escapes), numeric
+//! literals (integer and floating), line comments, and the operator set
+//! the parser understands. Positions are tracked per token so parse
+//! errors can point at the offending location.
 
 use eider_vector::{EiderError, Result};
 
@@ -190,7 +195,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             c if c.is_ascii_digit() => {
                 let start = i;
                 let mut is_float = false;
-                while i < n && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E')
+                while i < n
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E')
                 {
                     if chars[i] == '.' {
                         // A second dot terminates (e.g. `1.2.3` is an error
@@ -226,9 +235,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     match text.parse::<i64>() {
                         Ok(v) => tokens.push(Token::Integer(v)),
                         Err(_) => {
-                            let v: f64 = text.parse().map_err(|_| {
-                                EiderError::Parse(format!("bad number '{text}'"))
-                            })?;
+                            let v: f64 = text
+                                .parse()
+                                .map_err(|_| EiderError::Parse(format!("bad number '{text}'")))?;
                             tokens.push(Token::Float(v));
                         }
                     }
@@ -274,12 +283,7 @@ mod tests {
         let toks = tokenize("SELECT 1 -- trailing\n + /* inline */ 2").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Ident("SELECT".into()),
-                Token::Integer(1),
-                Token::Plus,
-                Token::Integer(2)
-            ]
+            vec![Token::Ident("SELECT".into()), Token::Integer(1), Token::Plus, Token::Integer(2)]
         );
     }
 

@@ -161,11 +161,7 @@ fn push_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
                                 // ids; scans emit columns in column_ids
                                 // order, so map through it.
                                 Some((out_idx, op, value)) if out_idx < column_ids.len() => {
-                                    filters.push(TableFilter::new(
-                                        column_ids[out_idx],
-                                        op,
-                                        value,
-                                    ));
+                                    filters.push(TableFilter::new(column_ids[out_idx], op, value));
                                 }
                                 _ => residual.push(c),
                             }
@@ -215,12 +211,9 @@ fn map_plan(
         LogicalPlan::Projection { input, exprs, names } => {
             LogicalPlan::Projection { input: Box::new(map_plan(*input, f)?), exprs, names }
         }
-        LogicalPlan::Aggregate { input, groups, aggs, names } => LogicalPlan::Aggregate {
-            input: Box::new(map_plan(*input, f)?),
-            groups,
-            aggs,
-            names,
-        },
+        LogicalPlan::Aggregate { input, groups, aggs, names } => {
+            LogicalPlan::Aggregate { input: Box::new(map_plan(*input, f)?), groups, aggs, names }
+        }
         LogicalPlan::Sort { input, keys } => {
             LogicalPlan::Sort { input: Box::new(map_plan(*input, f)?), keys }
         }
@@ -303,7 +296,6 @@ mod tests {
     use crate::parser::parse_statements;
     use eider_catalog::{Catalog, ColumnDefinition};
     use eider_vector::{LogicalType, Value};
-    
 
     fn optimized(sql: &str) -> LogicalPlan {
         let cat = Catalog::new();

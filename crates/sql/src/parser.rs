@@ -1,4 +1,11 @@
-//! Recursive-descent SQL parser.
+//! Recursive-descent SQL parser: token stream → [`Statement`] ASTs.
+//!
+//! Covers the dialect the engine executes: SELECT (joins, GROUP BY /
+//! HAVING, ORDER BY / LIMIT, DISTINCT, UNION ALL, subqueries, CTEs),
+//! INSERT / UPDATE / DELETE, CREATE / DROP TABLE and VIEW, COPY, PRAGMA,
+//! EXPLAIN and transaction control. Expression parsing is precedence
+//! climbing; anything unsupported fails here with a position rather than
+//! deep in the binder.
 
 use crate::ast::*;
 use crate::lexer::{tokenize, Token};
@@ -129,8 +136,7 @@ impl Parser {
         if self.eat_kw("DELETE") {
             self.expect_kw("FROM")?;
             let table = self.expect_ident()?;
-            let filter =
-                if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+            let filter = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
             return Ok(Statement::Delete { table, filter });
         }
         if self.eat_kw("CREATE") {
@@ -525,9 +531,7 @@ impl Parser {
                     Some(self.expect_ident()?)
                 } else {
                     match self.peek() {
-                        Some(Token::Ident(s))
-                            if !is_reserved_after_select_item(s) =>
-                        {
+                        Some(Token::Ident(s)) if !is_reserved_after_select_item(s) => {
                             let a = s.clone();
                             self.pos += 1;
                             Some(a)
@@ -589,12 +593,7 @@ impl Parser {
             } else {
                 None
             };
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
         Ok(left)
     }
@@ -647,7 +646,8 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.eat_kw("OR") {
             let right = self.parse_and()?;
-            left = AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+            left =
+                AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -724,7 +724,11 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let pattern = self.parse_additive()?;
-            return Ok(AstExpr::Like { child: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(AstExpr::Like {
+                child: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if negated {
             return Err(self.error("dangling NOT"));
@@ -834,9 +838,9 @@ impl Parser {
                     if let Some(Token::Str(_)) = self.peek_at(1) {
                         self.pos += 1;
                         let s = self.expect_string()?;
-                        return Ok(AstExpr::Literal(Value::Date(
-                            eider_vector::date::parse_date(&s)?,
-                        )));
+                        return Ok(AstExpr::Literal(Value::Date(eider_vector::date::parse_date(
+                            &s,
+                        )?)));
                     }
                 }
                 if word.eq_ignore_ascii_case("TIMESTAMP") {
@@ -912,11 +916,7 @@ impl Parser {
 
     fn parse_case(&mut self) -> Result<AstExpr> {
         self.expect_kw("CASE")?;
-        let operand = if !self.peek_kw("WHEN") {
-            Some(Box::new(self.parse_expr()?))
-        } else {
-            None
-        };
+        let operand = if !self.peek_kw("WHEN") { Some(Box::new(self.parse_expr()?)) } else { None };
         let mut branches = Vec::new();
         while self.eat_kw("WHEN") {
             let cond = self.parse_expr()?;
@@ -927,8 +927,7 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.error("CASE requires at least one WHEN branch"));
         }
-        let else_expr =
-            if self.eat_kw("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let else_expr = if self.eat_kw("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
         self.expect_kw("END")?;
         Ok(AstExpr::Case { operand, branches, else_expr })
     }
@@ -937,8 +936,8 @@ impl Parser {
 fn is_reserved_after_select_item(word: &str) -> bool {
     const RESERVED: &[&str] = &[
         "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION", "AS", "ON",
-        "JOIN", "INNER", "LEFT", "CROSS", "AND", "OR", "NOT", "WHEN", "THEN", "ELSE", "END",
-        "ASC", "DESC", "NULLS",
+        "JOIN", "INNER", "LEFT", "CROSS", "AND", "OR", "NOT", "WHEN", "THEN", "ELSE", "END", "ASC",
+        "DESC", "NULLS",
     ];
     RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
 }
@@ -963,10 +962,8 @@ mod tests {
 
     #[test]
     fn select_with_all_clauses() {
-        let s = one(
-            "SELECT a, sum(b) AS total FROM t WHERE c > 5 GROUP BY a \
-             HAVING sum(b) > 10 ORDER BY total DESC NULLS LAST LIMIT 5 OFFSET 2",
-        );
+        let s = one("SELECT a, sum(b) AS total FROM t WHERE c > 5 GROUP BY a \
+             HAVING sum(b) > 10 ORDER BY total DESC NULLS LAST LIMIT 5 OFFSET 2");
         let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.order_by.len(), 1);
         assert!(sel.order_by[0].descending);
@@ -992,10 +989,7 @@ mod tests {
         let s = one("SELECT t1.a FROM t t1, t t2 WHERE t1.a = t2.a");
         let Statement::Select(sel) = s else { panic!() };
         let SelectBody::Query(q) = &sel.body else { panic!() };
-        assert!(matches!(
-            &q.from,
-            Some(TableRef::Join { kind: JoinKind::Cross, .. })
-        ));
+        assert!(matches!(&q.from, Some(TableRef::Join { kind: JoinKind::Cross, .. })));
     }
 
     #[test]
@@ -1006,10 +1000,7 @@ mod tests {
         let InsertSource::Values(rows) = source else { panic!() };
         assert_eq!(rows.len(), 2);
         let s = one("INSERT INTO t SELECT * FROM u");
-        assert!(matches!(
-            s,
-            Statement::Insert { source: InsertSource::Select(_), .. }
-        ));
+        assert!(matches!(s, Statement::Insert { source: InsertSource::Select(_), .. }));
     }
 
     #[test]
@@ -1024,10 +1015,8 @@ mod tests {
 
     #[test]
     fn create_table_with_constraints() {
-        let s = one(
-            "CREATE TABLE IF NOT EXISTS sensors (id INTEGER PRIMARY KEY, \
-             v DOUBLE DEFAULT 0.0, name VARCHAR(20) NOT NULL, ts TIMESTAMP)",
-        );
+        let s = one("CREATE TABLE IF NOT EXISTS sensors (id INTEGER PRIMARY KEY, \
+             v DOUBLE DEFAULT 0.0, name VARCHAR(20) NOT NULL, ts TIMESTAMP)");
         let Statement::CreateTable { columns, if_not_exists, .. } = s else { panic!() };
         assert!(if_not_exists);
         assert_eq!(columns.len(), 4);
@@ -1047,11 +1036,9 @@ mod tests {
 
     #[test]
     fn expressions() {
-        let s = one(
-            "SELECT CASE WHEN a BETWEEN 1 AND 5 THEN 'low' ELSE upper(b) END, \
+        let s = one("SELECT CASE WHEN a BETWEEN 1 AND 5 THEN 'low' ELSE upper(b) END, \
              a IN (1, 2, 3), c IS NOT NULL, d NOT LIKE '%x%', \
-             CAST(e AS BIGINT), -f + 2 * 3, DATE '2020-01-12' FROM t",
-        );
+             CAST(e AS BIGINT), -f + 2 * 3, DATE '2020-01-12' FROM t");
         let Statement::Select(sel) = s else { panic!() };
         let SelectBody::Query(q) = &sel.body else { panic!() };
         assert_eq!(q.projection.len(), 7);
@@ -1067,10 +1054,8 @@ mod tests {
 
     #[test]
     fn union_and_ctes() {
-        let s = one(
-            "WITH big AS (SELECT a FROM t WHERE a > 100) \
-             SELECT * FROM big UNION ALL SELECT a FROM u",
-        );
+        let s = one("WITH big AS (SELECT a FROM t WHERE a > 100) \
+             SELECT * FROM big UNION ALL SELECT a FROM u");
         let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.ctes.len(), 1);
         assert!(matches!(sel.body, SelectBody::Union { all: true, .. }));

@@ -160,9 +160,7 @@ impl LogicalPlan {
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Distinct { input } => input.output_types(),
-            LogicalPlan::Projection { exprs, .. } => {
-                exprs.iter().map(Expr::result_type).collect()
-            }
+            LogicalPlan::Projection { exprs, .. } => exprs.iter().map(Expr::result_type).collect(),
             LogicalPlan::Aggregate { groups, aggs, .. } => {
                 let mut t: Vec<LogicalType> = groups.iter().map(Expr::result_type).collect();
                 t.extend(aggs.iter().map(AggExpr::result_type));
@@ -242,12 +240,9 @@ impl LogicalPlan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         let line: String = match self {
-            LogicalPlan::TableScan { entry, column_ids, filters, .. } => format!(
-                "SCAN {} cols={:?} filters={}",
-                entry.name,
-                column_ids,
-                filters.len()
-            ),
+            LogicalPlan::TableScan { entry, column_ids, filters, .. } => {
+                format!("SCAN {} cols={:?} filters={}", entry.name, column_ids, filters.len())
+            }
             LogicalPlan::Filter { .. } => "FILTER".into(),
             LogicalPlan::Projection { names, .. } => format!("PROJECT {names:?}"),
             LogicalPlan::Aggregate { groups, aggs, .. } => {

@@ -5,8 +5,8 @@
 //! [`BLOCK_PAYLOAD`] payload bytes. Blocks are read and written in their
 //! entirety (§6), and the checksum is verified on every read (§3).
 
-use eider_vector::{EiderError, Result};
 use eider_resilience::checksum::crc32c;
+use eider_vector::{EiderError, Result};
 
 /// Fixed block size: 256 KiB, per §6 of the paper.
 pub const BLOCK_SIZE: usize = 256 * 1024;

@@ -50,7 +50,12 @@ pub struct DatabaseHeader {
 
 impl DatabaseHeader {
     fn empty() -> Self {
-        DatabaseHeader { iteration: 0, meta_root: INVALID_BLOCK, free_root: INVALID_BLOCK, block_count: 0 }
+        DatabaseHeader {
+            iteration: 0,
+            meta_root: INVALID_BLOCK,
+            free_root: INVALID_BLOCK,
+            block_count: 0,
+        }
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -134,12 +139,8 @@ impl SingleFileBlockManager {
     /// Create a fresh database file (fails if it already contains data).
     pub fn create(path: impl AsRef<Path>, health: Arc<HealthMonitor>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
         // Main header.
         let mut main = Vec::with_capacity(16);
         main.extend_from_slice(MAGIC);
@@ -517,8 +518,7 @@ mod tests {
     #[test]
     fn open_missing_file_is_io_error() {
         let health = Arc::new(HealthMonitor::new());
-        let err =
-            SingleFileBlockManager::open("/nonexistent/eider.db", health).unwrap_err();
+        let err = SingleFileBlockManager::open("/nonexistent/eider.db", health).unwrap_err();
         assert!(matches!(err, EiderError::Io(_)));
     }
 

@@ -34,7 +34,9 @@ pub mod wal;
 
 pub use block::{BlockId, BLOCK_PAYLOAD, BLOCK_SIZE, INVALID_BLOCK};
 pub use buffer::{BufferManager, BufferManagerConfig, MemoryReservation, TestedBuffer};
-pub use file_manager::{BlockManager, DatabaseHeader, InMemoryBlockManager, SingleFileBlockManager};
+pub use file_manager::{
+    BlockManager, DatabaseHeader, InMemoryBlockManager, SingleFileBlockManager,
+};
 pub use meta::{MetaBlockReader, MetaBlockWriter};
 pub use spill::{SpillFile, SpillReader};
 pub use wal::WriteAheadLog;

@@ -5,7 +5,9 @@
 //! itself one of the paper's artifacts — §5 benchmarks the cost of exactly
 //! this kind of encoding against zero-copy chunk handover.
 
-use eider_vector::{DataChunk, EiderError, LogicalType, Result, ValidityMask, Value, Vector, VectorData};
+use eider_vector::{
+    DataChunk, EiderError, LogicalType, Result, ValidityMask, Value, Vector, VectorData,
+};
 
 /// Append-only binary writer.
 #[derive(Debug, Default)]

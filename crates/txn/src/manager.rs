@@ -66,9 +66,7 @@ impl WriteSummary {
         };
         match read.column {
             None => true, // unpredicated read of a written table
-            Some(_) => ranges
-                .iter()
-                .any(|(&col, (min, max))| read.overlaps(col, min, max)),
+            Some(_) => ranges.iter().any(|(&col, (min, max))| read.overlaps(col, min, max)),
         }
     }
 }
@@ -112,11 +110,7 @@ impl TxnState {
     }
 
     pub fn note_updated_group(&mut self, table: &Arc<DataTable>, group: usize) {
-        if !self
-            .updated_groups
-            .iter()
-            .any(|(t, g)| t.id() == table.id() && *g == group)
-        {
+        if !self.updated_groups.iter().any(|(t, g)| t.id() == table.id() && *g == group) {
             self.updated_groups.push((Arc::clone(table), group));
         }
     }
@@ -227,10 +221,9 @@ impl Transaction {
         for del in &state.deletes {
             del.table.finalize_delete(del.group, &del.rows, commit_ts);
         }
-        mgr.commit_log.write().push(CommitRecord {
-            commit_ts,
-            summary: std::mem::take(&mut state.summary),
-        });
+        mgr.commit_log
+            .write()
+            .push(CommitRecord { commit_ts, summary: std::mem::take(&mut state.summary) });
         // Publish: only now do new snapshots include this commit.
         mgr.clock.store(commit_ts, Ordering::SeqCst);
         self.finish();
@@ -341,12 +334,7 @@ impl TransactionManager {
 
     /// The oldest snapshot any live transaction can observe.
     pub fn oldest_active_snapshot(&self) -> u64 {
-        self.active
-            .lock()
-            .values()
-            .min()
-            .copied()
-            .unwrap_or_else(|| self.committed_ts())
+        self.active.lock().values().min().copied().unwrap_or_else(|| self.committed_ts())
     }
 
     /// Drop undo versions and commit records no live snapshot needs.
@@ -421,7 +409,8 @@ mod tests {
         s.merge_value(1, 0, &Value::Integer(15));
         s.merge_value(1, 2, &Value::Varchar("x".into()));
         // Range read overlapping [5,15].
-        let f = crate::predicate::TableFilter::new(0, crate::predicate::CmpOp::Lt, Value::Integer(7));
+        let f =
+            crate::predicate::TableFilter::new(0, crate::predicate::CmpOp::Lt, Value::Integer(7));
         let read = ReadPredicate::from_filter(1, &f);
         assert!(s.conflicts_with(&read));
         // Disjoint range.

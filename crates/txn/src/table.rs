@@ -143,10 +143,32 @@ pub struct ScanOptions {
     pub emit_row_ids: bool,
 }
 
+impl ScanOptions {
+    /// Column types a scan with these options produces over `table` —
+    /// the single source of truth shared by the serial scan operator,
+    /// the morsel scan and the parallel planner.
+    pub fn output_types(&self, table: &DataTable) -> Vec<LogicalType> {
+        let mut types: Vec<LogicalType> = self.columns.iter().map(|&c| table.types()[c]).collect();
+        if self.emit_row_ids {
+            types.push(LogicalType::BigInt);
+        }
+        types
+    }
+}
+
 /// Cursor state for a chunk-at-a-time scan.
+///
+/// A state either covers the whole table ([`DataTable::begin_scan`]) or a
+/// single-group row range ([`DataTable::begin_scan_range`]), which is the
+/// granularity the morsel-driven parallel executor hands to its workers.
 pub struct TableScanState {
     group: usize,
     offset: usize,
+    /// Bounded scans: `(group, row_end)` — the scan covers rows
+    /// `[offset, row_end)` of exactly `group` and nothing else.
+    bound: Option<(usize, usize)>,
+    /// Zone maps are consulted once per visited group.
+    zone_checked: bool,
 }
 
 /// A versioned, columnar table.
@@ -263,6 +285,16 @@ impl DataTable {
 
     /// Begin a scan; records the read predicates on the transaction.
     pub fn begin_scan(&self, txn: &Transaction, opts: &ScanOptions) -> TableScanState {
+        self.record_scan_read(txn, opts);
+        TableScanState { group: 0, offset: 0, bound: None, zone_checked: false }
+    }
+
+    /// Record the read predicates a scan with `opts` implies, without
+    /// creating a cursor. The parallel executor calls this once per scan
+    /// while its workers cursor over row ranges via
+    /// [`DataTable::begin_scan_range`] (which deliberately does *not*
+    /// record, to avoid one predicate per morsel).
+    pub fn record_scan_read(&self, txn: &Transaction, opts: &ScanOptions) {
         if opts.filters.is_empty() {
             txn.record_read(ReadPredicate::whole_table(self.id));
         } else {
@@ -270,7 +302,35 @@ impl DataTable {
                 txn.record_read(ReadPredicate::from_filter(self.id, f));
             }
         }
-        TableScanState { group: 0, offset: 0 }
+    }
+
+    /// Begin a bounded scan over rows `[row_begin, row_end)` of one row
+    /// group — a *morsel*. Visibility, undo reconstruction, filters and
+    /// zone maps behave exactly as in a full scan restricted to that
+    /// window. Does not record read predicates; see
+    /// [`DataTable::record_scan_read`].
+    pub fn begin_scan_range(
+        &self,
+        group: usize,
+        row_begin: usize,
+        row_end: usize,
+    ) -> TableScanState {
+        TableScanState {
+            group,
+            offset: row_begin,
+            bound: Some((group, row_end)),
+            zone_checked: false,
+        }
+    }
+
+    /// Per-group *physical* row counts (dead and uncommitted versions
+    /// included) — the morsel source's work list; visibility is applied
+    /// later, inside [`DataTable::scan_next`]. Groups appended after this
+    /// snapshot are simply not part of the scan, matching what a serial
+    /// scan racing the same appends would observe under snapshot
+    /// isolation.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.groups.read().iter().map(|g| g.read().len()).collect()
     }
 
     /// Produce the next chunk (≤ [`VECTOR_SIZE`] rows) of the scan, or
@@ -283,6 +343,11 @@ impl DataTable {
         state: &mut TableScanState,
     ) -> Result<Option<DataChunk>> {
         loop {
+            if let Some((bound_group, _)) = state.bound {
+                if state.group != bound_group {
+                    return Ok(None);
+                }
+            }
             let group_arc = {
                 let groups = self.groups.read();
                 match groups.get(state.group) {
@@ -291,7 +356,7 @@ impl DataTable {
                 }
             };
             let g = group_arc.read();
-            if state.offset == 0 && !opts.filters.is_empty() && g.undo.is_empty() {
+            if !state.zone_checked && !opts.filters.is_empty() && g.undo.is_empty() {
                 // Zone-map skipping for the whole group. Groups with undo
                 // entries still pass (maps only widen, so this is already
                 // conservative; the check is just belt-and-braces).
@@ -303,17 +368,24 @@ impl DataTable {
                     drop(g);
                     state.group += 1;
                     state.offset = 0;
+                    state.zone_checked = false;
                     continue;
                 }
             }
-            if state.offset >= g.len() {
+            state.zone_checked = true;
+            let group_end = match state.bound {
+                Some((_, row_end)) => row_end.min(g.len()),
+                None => g.len(),
+            };
+            if state.offset >= group_end {
                 drop(g);
                 state.group += 1;
                 state.offset = 0;
+                state.zone_checked = false;
                 continue;
             }
             let lo = state.offset;
-            let hi = (lo + VECTOR_SIZE).min(g.len());
+            let hi = (lo + VECTOR_SIZE).min(group_end);
             state.offset = hi;
 
             // 1. Visibility.
@@ -420,9 +492,7 @@ impl DataTable {
         new_values: &Vector,
     ) -> Result<usize> {
         if new_values.len() != rows.len() {
-            return Err(EiderError::Internal(
-                "update_rows: value count != row count".into(),
-            ));
+            return Err(EiderError::Internal("update_rows: value count != row count".into()));
         }
         if column >= self.types.len() {
             return Err(EiderError::Internal(format!("no column {column}")));
@@ -458,8 +528,7 @@ impl DataTable {
                 let stamp = g.stamp_of(row);
                 if stamp != txn.id() && stamp > txn.start_ts() {
                     return Err(EiderError::Conflict(
-                        "row was updated by a concurrent transaction (first-updater-wins)"
-                            .into(),
+                        "row was updated by a concurrent transaction (first-updater-wins)".into(),
                     ));
                 }
             }
@@ -960,8 +1029,7 @@ mod tests {
         let rows = [RowId { group: 0, row: 0 }];
         for i in 0..5 {
             let t = mgr.begin();
-            let v =
-                Vector::from_values(LogicalType::Integer, &[Value::Integer(i + 10)]).unwrap();
+            let v = Vector::from_values(LogicalType::Integer, &[Value::Integer(i + 10)]).unwrap();
             table.update_rows(&t, &rows, 0, &v).unwrap();
             t.commit().unwrap();
         }
@@ -995,6 +1063,69 @@ mod tests {
         txn.commit().unwrap();
         let t = mgr.begin();
         assert_eq!(table.count_visible(&t), n);
+    }
+
+    #[test]
+    fn bounded_range_scans_partition_a_full_scan() {
+        let mgr = TransactionManager::new();
+        let table = DataTable::new(vec![LogicalType::Integer]);
+        let setup = mgr.begin();
+        let n = ROW_GROUP_SIZE + 5000; // two groups
+        let rows: Vec<Vec<Value>> = (0..n as i32).map(|i| vec![Value::Integer(i)]).collect();
+        table
+            .append_chunk(&setup, &DataChunk::from_rows(&[LogicalType::Integer], &rows).unwrap())
+            .unwrap();
+        setup.commit().unwrap();
+
+        let txn = mgr.begin();
+        let opts = ScanOptions { columns: vec![0], ..Default::default() };
+        // Cover the table with half-group morsels; the union of their rows
+        // must equal the full serial scan.
+        let mut ranged = Vec::new();
+        for (group, &len) in table.group_sizes().iter().enumerate() {
+            for (lo, hi) in [(0, len / 2), (len / 2, len)] {
+                let mut state = table.begin_scan_range(group, lo, hi);
+                while let Some(chunk) = table.scan_next(&txn, &opts, &mut state).unwrap() {
+                    for row in 0..chunk.len() {
+                        ranged.push(chunk.row_values(row)[0].clone());
+                    }
+                }
+            }
+        }
+        let mut full = Vec::new();
+        for chunk in table.scan_collect(&txn, &opts).unwrap() {
+            for row in 0..chunk.len() {
+                full.push(chunk.row_values(row)[0].clone());
+            }
+        }
+        assert_eq!(ranged.len(), n);
+        assert_eq!(ranged, full);
+    }
+
+    #[test]
+    fn bounded_scan_respects_filters_and_bounds() {
+        let mgr = TransactionManager::new();
+        let table = DataTable::new(vec![LogicalType::Integer]);
+        let setup = mgr.begin();
+        let rows: Vec<Vec<Value>> = (0..10_000).map(|i| vec![Value::Integer(i)]).collect();
+        table
+            .append_chunk(&setup, &DataChunk::from_rows(&[LogicalType::Integer], &rows).unwrap())
+            .unwrap();
+        setup.commit().unwrap();
+        let txn = mgr.begin();
+        let opts = ScanOptions {
+            columns: vec![0],
+            filters: vec![TableFilter::new(0, CmpOp::Lt, Value::Integer(6000))],
+            ..Default::default()
+        };
+        let mut state = table.begin_scan_range(0, 4096, 8192);
+        let mut got = Vec::new();
+        while let Some(chunk) = table.scan_next(&txn, &opts, &mut state).unwrap() {
+            for row in 0..chunk.len() {
+                got.push(chunk.row_values(row)[0].as_i64().unwrap());
+            }
+        }
+        assert_eq!(got, (4096..6000).collect::<Vec<i64>>());
     }
 
     #[test]
@@ -1052,8 +1183,7 @@ mod tests {
         // Writer: set every row to k, transactionally.
         for k in 2..6 {
             let txn = mgr.begin();
-            let ids: Vec<RowId> =
-                (0..10_000u32).map(|r| RowId { group: 0, row: r }).collect();
+            let ids: Vec<RowId> = (0..10_000u32).map(|r| RowId { group: 0, row: r }).collect();
             let vals = Vector::constant(LogicalType::Integer, &Value::Integer(k), 10_000).unwrap();
             table.update_rows(&txn, &ids, 0, &vals).unwrap();
             txn.commit().unwrap();

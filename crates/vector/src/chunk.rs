@@ -103,9 +103,7 @@ impl DataChunk {
     /// Append `count` rows of `other` starting at `offset`.
     pub fn append_from(&mut self, other: &DataChunk, offset: usize, count: usize) -> Result<()> {
         if other.column_count() != self.column_count() {
-            return Err(EiderError::Internal(
-                "appending chunk with different column count".into(),
-            ));
+            return Err(EiderError::Internal("appending chunk with different column count".into()));
         }
         for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
             dst.append_from(src, offset, count)?;
@@ -156,9 +154,7 @@ impl DataChunk {
                 )));
             }
             if c.validity().len() != c.len() {
-                return Err(EiderError::Internal(format!(
-                    "column {i} validity length mismatch"
-                )));
+                return Err(EiderError::Internal(format!("column {i} validity length mismatch")));
             }
         }
         Ok(())
@@ -225,9 +221,7 @@ mod tests {
     fn append_row_arity_checked() {
         let mut c = sample();
         assert!(c.append_row(&[Value::Integer(4)]).is_err());
-        assert!(c
-            .append_row(&[Value::Integer(4), Value::Varchar("four".into())])
-            .is_ok());
+        assert!(c.append_row(&[Value::Integer(4), Value::Varchar("four".into())]).is_ok());
         assert_eq!(c.len(), 4);
     }
 

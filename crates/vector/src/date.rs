@@ -84,8 +84,9 @@ pub fn format_date(days: i32) -> String {
 
 /// Parse `YYYY-MM-DD[ HH:MM:SS[.ffffff]]` into microseconds since epoch.
 pub fn parse_timestamp(s: &str) -> Result<i64> {
-    let err =
-        || EiderError::TypeMismatch(format!("'{s}' is not a valid TIMESTAMP (YYYY-MM-DD HH:MM:SS)"));
+    let err = || {
+        EiderError::TypeMismatch(format!("'{s}' is not a valid TIMESTAMP (YYYY-MM-DD HH:MM:SS)"))
+    };
     let s = s.trim();
     let (date_part, time_part) = match s.find(|c| c == ' ' || c == 'T') {
         Some(idx) => (&s[..idx], Some(&s[idx + 1..])),
@@ -191,10 +192,7 @@ mod tests {
             assert_eq!(format_timestamp(us), s);
         }
         // Date-only timestamps parse as midnight.
-        assert_eq!(
-            parse_timestamp("2020-01-12").unwrap(),
-            18273 * MICROS_PER_DAY
-        );
+        assert_eq!(parse_timestamp("2020-01-12").unwrap(), 18273 * MICROS_PER_DAY);
     }
 
     #[test]

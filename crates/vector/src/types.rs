@@ -175,10 +175,7 @@ mod tests {
         for ty in LogicalType::ALL {
             assert_eq!(LogicalType::parse_sql_name(&ty.to_string()).unwrap(), ty);
         }
-        assert_eq!(
-            LogicalType::parse_sql_name("int").unwrap(),
-            LogicalType::Integer
-        );
+        assert_eq!(LogicalType::parse_sql_name("int").unwrap(), LogicalType::Integer);
         assert!(LogicalType::parse_sql_name("BLOB2").is_err());
     }
 

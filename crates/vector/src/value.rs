@@ -95,15 +95,21 @@ impl Value {
                 "false" | "f" | "0" | "no" => Value::Boolean(false),
                 _ => return Err(conv("not a boolean")),
             },
-            LogicalType::TinyInt => Value::TinyInt(s.trim().parse().map_err(|_| conv("not a TINYINT"))?),
+            LogicalType::TinyInt => {
+                Value::TinyInt(s.trim().parse().map_err(|_| conv("not a TINYINT"))?)
+            }
             LogicalType::SmallInt => {
                 Value::SmallInt(s.trim().parse().map_err(|_| conv("not a SMALLINT"))?)
             }
             LogicalType::Integer => {
                 Value::Integer(s.trim().parse().map_err(|_| conv("not an INTEGER"))?)
             }
-            LogicalType::BigInt => Value::BigInt(s.trim().parse().map_err(|_| conv("not a BIGINT"))?),
-            LogicalType::Double => Value::Double(s.trim().parse().map_err(|_| conv("not a DOUBLE"))?),
+            LogicalType::BigInt => {
+                Value::BigInt(s.trim().parse().map_err(|_| conv("not a BIGINT"))?)
+            }
+            LogicalType::Double => {
+                Value::Double(s.trim().parse().map_err(|_| conv("not a DOUBLE"))?)
+            }
             LogicalType::Varchar => Value::Varchar(s.to_string()),
             LogicalType::Date => Value::Date(parse_date(s)?),
             LogicalType::Timestamp => Value::Timestamp(parse_timestamp(s)?),
@@ -119,14 +125,13 @@ impl Value {
         if self.logical_type() == Some(ty) {
             return Ok(self.clone());
         }
-        let overflow =
-            |v: &dyn fmt::Display| EiderError::TypeMismatch(format!("value {v} out of range for {ty}"));
+        let overflow = |v: &dyn fmt::Display| {
+            EiderError::TypeMismatch(format!("value {v} out of range for {ty}"))
+        };
         match (self, ty) {
             (Value::Varchar(s), _) => Value::parse_as(s, ty),
             (_, LogicalType::Varchar) => Ok(Value::Varchar(self.to_string())),
-            (Value::Boolean(b), t) if t.is_numeric() => {
-                Value::BigInt(i64::from(*b)).cast_to(t)
-            }
+            (Value::Boolean(b), t) if t.is_numeric() => Value::BigInt(i64::from(*b)).cast_to(t),
             (_, LogicalType::Boolean) => match self.as_i64() {
                 Some(v) => Ok(Value::Boolean(v != 0)),
                 None => match self {
@@ -152,9 +157,9 @@ impl Value {
                 .map(Value::Double)
                 .ok_or_else(|| EiderError::TypeMismatch(format!("cannot cast {self} to DOUBLE"))),
             (_, t) if t.is_integral() => {
-                let v = self
-                    .as_i64()
-                    .ok_or_else(|| EiderError::TypeMismatch(format!("cannot cast {self} to {t}")))?;
+                let v = self.as_i64().ok_or_else(|| {
+                    EiderError::TypeMismatch(format!("cannot cast {self} to {t}"))
+                })?;
                 Ok(match t {
                     LogicalType::TinyInt => {
                         Value::TinyInt(i8::try_from(v).map_err(|_| overflow(&v))?)
@@ -219,9 +224,9 @@ impl Value {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Greater,
             (false, true) => Ordering::Less,
-            (false, false) => self
-                .sql_cmp(other)
-                .unwrap_or_else(|| self.class_rank().cmp(&other.class_rank())),
+            (false, false) => {
+                self.sql_cmp(other).unwrap_or_else(|| self.class_rank().cmp(&other.class_rank()))
+            }
         }
     }
 
@@ -258,7 +263,10 @@ impl Hash for Value {
                 state.write_u8(2);
                 // Hash doubles through their integral value when exact so
                 // that 1 (BIGINT) and 1.0 (DOUBLE) land in the same bucket.
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     state.write_i64(*f as i64);
                 } else {
@@ -355,14 +363,8 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_comparison() {
-        assert_eq!(
-            Value::Integer(5).sql_cmp(&Value::BigInt(5)),
-            Some(Ordering::Equal)
-        );
-        assert_eq!(
-            Value::TinyInt(3).sql_cmp(&Value::Double(3.5)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Integer(5).sql_cmp(&Value::BigInt(5)), Some(Ordering::Equal));
+        assert_eq!(Value::TinyInt(3).sql_cmp(&Value::Double(3.5)), Some(Ordering::Less));
         assert_eq!(Value::Null.sql_cmp(&Value::Integer(1)), None);
     }
 
@@ -377,27 +379,15 @@ mod tests {
 
     #[test]
     fn casts_widen_and_narrow() {
-        assert_eq!(
-            Value::Integer(42).cast_to(LogicalType::BigInt).unwrap(),
-            Value::BigInt(42)
-        );
-        assert_eq!(
-            Value::BigInt(42).cast_to(LogicalType::TinyInt).unwrap(),
-            Value::TinyInt(42)
-        );
+        assert_eq!(Value::Integer(42).cast_to(LogicalType::BigInt).unwrap(), Value::BigInt(42));
+        assert_eq!(Value::BigInt(42).cast_to(LogicalType::TinyInt).unwrap(), Value::TinyInt(42));
         assert!(Value::BigInt(1000).cast_to(LogicalType::TinyInt).is_err());
-        assert_eq!(
-            Value::Double(2.6).cast_to(LogicalType::Integer).unwrap(),
-            Value::Integer(3)
-        );
+        assert_eq!(Value::Double(2.6).cast_to(LogicalType::Integer).unwrap(), Value::Integer(3));
         assert_eq!(
             Value::Varchar("17".into()).cast_to(LogicalType::Integer).unwrap(),
             Value::Integer(17)
         );
-        assert_eq!(
-            Value::Null.cast_to(LogicalType::Integer).unwrap(),
-            Value::Null
-        );
+        assert_eq!(Value::Null.cast_to(LogicalType::Integer).unwrap(), Value::Null);
     }
 
     #[test]
@@ -434,10 +424,7 @@ mod tests {
     #[test]
     fn boolean_parsing() {
         for (s, b) in [("true", true), ("T", true), ("0", false), ("No", false)] {
-            assert_eq!(
-                Value::parse_as(s, LogicalType::Boolean).unwrap(),
-                Value::Boolean(b)
-            );
+            assert_eq!(Value::parse_as(s, LogicalType::Boolean).unwrap(), Value::Boolean(b));
         }
         assert!(Value::parse_as("maybe", LogicalType::Boolean).is_err());
     }

@@ -29,7 +29,9 @@ impl VectorData {
             LogicalType::TinyInt => VectorData::I8(Vec::with_capacity(cap)),
             LogicalType::SmallInt => VectorData::I16(Vec::with_capacity(cap)),
             LogicalType::Integer | LogicalType::Date => VectorData::I32(Vec::with_capacity(cap)),
-            LogicalType::BigInt | LogicalType::Timestamp => VectorData::I64(Vec::with_capacity(cap)),
+            LogicalType::BigInt | LogicalType::Timestamp => {
+                VectorData::I64(Vec::with_capacity(cap))
+            }
             LogicalType::Double => VectorData::F64(Vec::with_capacity(cap)),
             LogicalType::Varchar => VectorData::Str(Vec::with_capacity(cap)),
         }
@@ -91,11 +93,7 @@ impl Vector {
     }
 
     pub fn with_capacity(ty: LogicalType, cap: usize) -> Self {
-        Vector {
-            ty,
-            data: VectorData::new_for(ty, cap),
-            validity: ValidityMask::default(),
-        }
+        Vector { ty, data: VectorData::new_for(ty, cap), validity: ValidityMask::default() }
     }
 
     /// Build from raw parts; `validity.len()` must match the data length.
@@ -273,11 +271,7 @@ impl Vector {
             (VectorData::I64(d), VectorData::I64(s)) => d.extend_from_slice(&s[offset..end]),
             (VectorData::F64(d), VectorData::F64(s)) => d.extend_from_slice(&s[offset..end]),
             (VectorData::Str(d), VectorData::Str(s)) => d.extend_from_slice(&s[offset..end]),
-            _ => {
-                return Err(EiderError::Internal(
-                    "physical type mismatch in append_from".into(),
-                ))
-            }
+            _ => return Err(EiderError::Internal("physical type mismatch in append_from".into())),
         }
         self.validity.extend_from(&other.validity, offset, count);
         Ok(())
@@ -506,10 +500,7 @@ mod tests {
         )
         .unwrap();
         let s = v.slice(4, 3);
-        assert_eq!(
-            s.to_values(),
-            vec![Value::Integer(4), Value::Integer(5), Value::Integer(6)]
-        );
+        assert_eq!(s.to_values(), vec![Value::Integer(4), Value::Integer(5), Value::Integer(6)]);
     }
 
     #[test]

@@ -35,8 +35,7 @@ impl Workload {
         rows: usize,
         missing_fraction: f64,
     ) -> Result<Vec<DataChunk>> {
-        let types =
-            [LogicalType::Integer, LogicalType::Integer, LogicalType::Double];
+        let types = [LogicalType::Integer, LogicalType::Integer, LogicalType::Double];
         let mut chunks = Vec::new();
         let mut produced = 0usize;
         while produced < rows {
@@ -99,7 +98,8 @@ impl Workload {
     /// [`Workload::orders_chunks`].
     pub fn customers_chunks(&mut self, customers: u64) -> Result<Vec<DataChunk>> {
         let types = [LogicalType::BigInt, LogicalType::Varchar, LogicalType::Varchar];
-        const SEGMENTS: [&str; 5] = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+        const SEGMENTS: [&str; 5] =
+            ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
         let mut chunks = Vec::new();
         let mut produced = 0u64;
         while produced < customers {
@@ -203,12 +203,8 @@ mod tests {
         let customers = w.customers_chunks(100).unwrap();
         assert_eq!(total_rows(&customers), 100);
         // Every order's customer exists.
-        let max_cid = orders
-            .iter()
-            .flat_map(|c| c.to_rows())
-            .filter_map(|r| r[1].as_i64())
-            .max()
-            .unwrap();
+        let max_cid =
+            orders.iter().flat_map(|c| c.to_rows()).filter_map(|r| r[1].as_i64()).max().unwrap();
         assert!(max_cid < 100);
     }
 

@@ -38,8 +38,13 @@ fn main() -> Result<()> {
                 // A transactional refresh: either the whole batch of KPI
                 // values changes, or none of it does.
                 conn.execute("BEGIN")?;
-                conn.execute(&format!("UPDATE kpis SET value = value + {k} WHERE metric = 'revenue'"))?;
-                conn.execute(&format!("UPDATE kpis SET value = value + {} WHERE metric = 'users'", k * 2.0))?;
+                conn.execute(&format!(
+                    "UPDATE kpis SET value = value + {k} WHERE metric = 'revenue'"
+                ))?;
+                conn.execute(&format!(
+                    "UPDATE kpis SET value = value + {} WHERE metric = 'users'",
+                    k * 2.0
+                ))?;
                 conn.execute("COMMIT")?;
                 refreshes += 1;
                 k += 1.0;

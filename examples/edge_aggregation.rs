@@ -61,11 +61,16 @@ fn main() -> Result<()> {
     // The paper's motivation is constrained radio links; assume LTE-ish
     // 10 Mbit/s.
     let uplink = Bandwidth { bits_per_second: 10e6 };
-    println!("raw upload      : {:>10} bytes = {:>8.1}s on a 10 Mbit/s uplink", raw_bytes, uplink.wire_seconds(raw_bytes));
-    println!("summary upload  : {:>10} bytes = {:>8.3}s on a 10 Mbit/s uplink", summary_bytes, uplink.wire_seconds(summary_bytes));
     println!(
-        "bandwidth saved : {:.1}x",
-        raw_bytes as f64 / summary_bytes as f64
+        "raw upload      : {:>10} bytes = {:>8.1}s on a 10 Mbit/s uplink",
+        raw_bytes,
+        uplink.wire_seconds(raw_bytes)
     );
+    println!(
+        "summary upload  : {:>10} bytes = {:>8.3}s on a 10 Mbit/s uplink",
+        summary_bytes,
+        uplink.wire_seconds(summary_bytes)
+    );
+    println!("bandwidth saved : {:.1}x", raw_bytes as f64 / summary_bytes as f64);
     Ok(())
 }

@@ -18,11 +18,7 @@ fn main() -> Result<()> {
     let mut csv = std::env::temp_dir();
     csv.push(format!("eider_etl_example_{}.csv", std::process::id()));
     {
-        let mut w = CsvWriter::create(
-            &csv,
-            Some(&["id".into(), "d".into(), "v".into()]),
-            ',',
-        )?;
+        let mut w = CsvWriter::create(&csv, Some(&["id".into(), "d".into(), "v".into()]), ',')?;
         for chunk in Workload::new(42).wrangling_chunks(500_000, 0.25)? {
             w.write_chunk(&chunk)?;
         }

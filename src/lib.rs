@@ -1,1 +1,26 @@
+//! eider: an embedded analytical database, reproducing the system
+//! described in *Data Management for Data Science — Towards Embedded
+//! Analytics* (CIDR 2020).
+//!
+//! This crate is the single dependency an application links against; it
+//! re-exports the [`eider_core`] facade. The database runs inside your
+//! process — no server, no socket, no serialization:
+//!
+//! ```no_run
+//! use eider::{Database, Value};
+//!
+//! let db = Database::in_memory().unwrap();
+//! let conn = db.connect();
+//! conn.execute("CREATE TABLE t (a INTEGER, d INTEGER)").unwrap();
+//! conn.execute("INSERT INTO t VALUES (1, -999), (2, 42)").unwrap();
+//! conn.execute("UPDATE t SET d = NULL WHERE d = -999").unwrap();
+//! let n = conn.query("SELECT count(*) FROM t WHERE d IS NULL").unwrap();
+//! assert_eq!(n.scalar().unwrap(), Value::BigInt(1));
+//! ```
+//!
+//! Queries over large tables execute morsel-parallel across the worker
+//! threads the cooperation policy grants (`PRAGMA threads`, clamped by
+//! host CPU load); see `eider_exec::parallel` and ARCHITECTURE.md for the
+//! execution model, and README.md for a tour of the workspace.
+
 pub use eider_core::*;

@@ -72,8 +72,7 @@ fn repeated_reopen_cycles() {
         if round == 0 {
             conn.execute("CREATE TABLE log (round INTEGER, filler VARCHAR)").unwrap();
         }
-        conn.execute(&format!("INSERT INTO log VALUES ({round}, 'payload-{round}')"))
-            .unwrap();
+        conn.execute(&format!("INSERT INTO log VALUES ({round}, 'payload-{round}')")).unwrap();
         let r = conn.query("SELECT count(*) FROM log").unwrap();
         assert_eq!(r.scalar().unwrap(), Value::BigInt(round + 1));
     }
@@ -176,10 +175,8 @@ fn csv_round_trip_through_copy() {
     let db = Database::in_memory().unwrap();
     let conn = db.connect();
     conn.execute("CREATE TABLE t (id INTEGER, name VARCHAR, score DOUBLE)").unwrap();
-    conn.execute(
-        "INSERT INTO t VALUES (1, 'with,comma', 1.5), (2, NULL, 2.5), (3, 'plain', NULL)",
-    )
-    .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'with,comma', 1.5), (2, NULL, 2.5), (3, 'plain', NULL)")
+        .unwrap();
     let mut path = std::env::temp_dir();
     path.push(format!("eider_copy_{}.csv", std::process::id()));
     let n = conn.execute(&format!("COPY t TO '{}'", path.display())).unwrap();

@@ -19,10 +19,7 @@ fn empty_table_behaviour() {
     assert_eq!(c.query("SELECT * FROM e ORDER BY v LIMIT 5").unwrap().row_count(), 0);
     assert_eq!(c.execute("UPDATE e SET v = 1").unwrap(), 0);
     assert_eq!(c.execute("DELETE FROM e").unwrap(), 0);
-    assert_eq!(
-        c.query("SELECT e1.v FROM e e1 JOIN e e2 ON e1.v = e2.v").unwrap().row_count(),
-        0
-    );
+    assert_eq!(c.query("SELECT e1.v FROM e e1 JOIN e e2 ON e1.v = e2.v").unwrap().row_count(), 0);
     let r = c.query("SELECT v, count(*) FROM e GROUP BY v").unwrap();
     assert_eq!(r.row_count(), 0, "no groups from no rows");
 }
@@ -65,14 +62,16 @@ fn boundary_integers() {
 fn strings_with_tricky_content() {
     let c = conn();
     c.execute("CREATE TABLE s (v VARCHAR)").unwrap();
-    c.execute("INSERT INTO s VALUES ('it''s'), (''), ('percent%under_score'), ('dück')")
-        .unwrap();
+    c.execute("INSERT INTO s VALUES ('it''s'), (''), ('percent%under_score'), ('dück')").unwrap();
     assert_eq!(
         c.query("SELECT v FROM s WHERE v = 'it''s'").unwrap().scalar().unwrap(),
         Value::Varchar("it's".into())
     );
     assert_eq!(
-        c.query("SELECT count(*) FROM s WHERE v LIKE '%\\%under\\_score'").unwrap().scalar().unwrap(),
+        c.query("SELECT count(*) FROM s WHERE v LIKE '%\\%under\\_score'")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         // no escape support: % and _ are wildcards, so the pattern with
         // backslashes matches nothing
         Value::BigInt(0)
@@ -107,9 +106,7 @@ fn self_join_and_alias_scoping() {
     let c = conn();
     c.execute("CREATE TABLE t (v INTEGER)").unwrap();
     c.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
-    let r = c
-        .query("SELECT a.v, b.v FROM t a JOIN t b ON a.v + 1 = b.v ORDER BY a.v")
-        .unwrap();
+    let r = c.query("SELECT a.v, b.v FROM t a JOIN t b ON a.v + 1 = b.v ORDER BY a.v").unwrap();
     assert_eq!(
         r.to_rows(),
         vec![
@@ -132,14 +129,10 @@ fn date_and_timestamp_queries() {
          (NULL, NULL)",
     )
     .unwrap();
-    let r = c
-        .query("SELECT count(*) FROM ev WHERE d >= DATE '2020-02-01'")
-        .unwrap();
+    let r = c.query("SELECT count(*) FROM ev WHERE d >= DATE '2020-02-01'").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::BigInt(1));
     // DATE compares against TIMESTAMP with promotion.
-    let r = c
-        .query("SELECT count(*) FROM ev WHERE ts > DATE '2020-01-12'")
-        .unwrap();
+    let r = c.query("SELECT count(*) FROM ev WHERE ts > DATE '2020-01-12'").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::BigInt(2));
     let r = c.query("SELECT min(d), max(ts) FROM ev").unwrap();
     assert_eq!(r.value(0, 0).unwrap().to_string(), "2020-01-12");
@@ -170,9 +163,7 @@ fn distinct_aggregates_and_stddev() {
     c.execute("CREATE TABLE t (g INTEGER, v INTEGER)").unwrap();
     c.execute("INSERT INTO t VALUES (1, 5), (1, 5), (1, 7), (2, 5), (2, NULL)").unwrap();
     let r = c
-        .query(
-            "SELECT g, count(DISTINCT v), sum(DISTINCT v) FROM t GROUP BY g ORDER BY g",
-        )
+        .query("SELECT g, count(DISTINCT v), sum(DISTINCT v) FROM t GROUP BY g ORDER BY g")
         .unwrap();
     assert_eq!(
         r.to_rows(),
@@ -244,16 +235,10 @@ fn wide_table_many_columns() {
     let vals: Vec<String> = (0..64).map(|i| i.to_string()).collect();
     c.execute(&format!("INSERT INTO wide VALUES ({})", vals.join(","))).unwrap();
     let r = c.query("SELECT c0, c31, c63 FROM wide").unwrap();
-    assert_eq!(
-        r.to_rows()[0],
-        vec![Value::Integer(0), Value::Integer(31), Value::Integer(63)]
-    );
+    assert_eq!(r.to_rows()[0], vec![Value::Integer(0), Value::Integer(31), Value::Integer(63)]);
     // Update one column; the other 63 stay untouched (§2's column-wise
     // update requirement).
     c.execute("UPDATE wide SET c31 = -1").unwrap();
     let r = c.query("SELECT c30, c31, c32 FROM wide").unwrap();
-    assert_eq!(
-        r.to_rows()[0],
-        vec![Value::Integer(30), Value::Integer(-1), Value::Integer(32)]
-    );
+    assert_eq!(r.to_rows()[0], vec![Value::Integer(30), Value::Integer(-1), Value::Integer(32)]);
 }

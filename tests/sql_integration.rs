@@ -87,14 +87,10 @@ fn join_varieties() {
     conn.execute("INSERT INTO a VALUES (1, 'one'), (2, 'two'), (3, 'three')").unwrap();
     conn.execute("INSERT INTO b VALUES (1, 10), (1, 11), (3, 30), (4, 40)").unwrap();
 
-    let r = conn
-        .query("SELECT count(*) FROM a JOIN b ON a.x = b.x")
-        .unwrap();
+    let r = conn.query("SELECT count(*) FROM a JOIN b ON a.x = b.x").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::BigInt(3));
 
-    let r = conn
-        .query("SELECT count(*) FROM a LEFT JOIN b ON a.x = b.x")
-        .unwrap();
+    let r = conn.query("SELECT count(*) FROM a LEFT JOIN b ON a.x = b.x").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::BigInt(4)); // 2 for x=1, 1 for x=3, null-padded x=2
 
     let r = conn.query("SELECT count(*) FROM a, b").unwrap();
@@ -102,26 +98,19 @@ fn join_varieties() {
 
     // Inequality join goes through the nested-loop operator:
     // a={1,2,3}, b={1,1,3,4}: pairs with a.x < b.x are (1,3),(1,4),(2,3),(2,4),(3,4).
-    let r = conn
-        .query("SELECT count(*) FROM a JOIN b ON a.x < b.x")
-        .unwrap();
+    let r = conn.query("SELECT count(*) FROM a JOIN b ON a.x < b.x").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::BigInt(5));
 
     // Semi/anti via IN / NOT IN subqueries.
-    let r = conn
-        .query("SELECT tag FROM a WHERE x IN (SELECT x FROM b) ORDER BY tag")
-        .unwrap();
+    let r = conn.query("SELECT tag FROM a WHERE x IN (SELECT x FROM b) ORDER BY tag").unwrap();
     assert_eq!(
         r.to_rows(),
         vec![vec![Value::Varchar("one".into())], vec![Value::Varchar("three".into())]]
     );
-    let r = conn
-        .query("SELECT tag FROM a WHERE x NOT IN (SELECT x FROM b)")
-        .unwrap();
+    let r = conn.query("SELECT tag FROM a WHERE x NOT IN (SELECT x FROM b)").unwrap();
     assert_eq!(r.to_rows(), vec![vec![Value::Varchar("two".into())]]);
-    let r = conn
-        .query("SELECT count(*) FROM a WHERE EXISTS(SELECT 1 FROM b WHERE val > 35)")
-        .unwrap();
+    let r =
+        conn.query("SELECT count(*) FROM a WHERE EXISTS(SELECT 1 FROM b WHERE val > 35)").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::BigInt(3));
 }
 
@@ -133,14 +122,11 @@ fn distinct_union_cte_views() {
     let r = conn.query("SELECT DISTINCT v FROM t ORDER BY v").unwrap();
     assert_eq!(r.row_count(), 3);
 
-    let r = conn
-        .query("SELECT v FROM t UNION SELECT v + 10 FROM t ORDER BY 1")
-        .unwrap();
+    let r = conn.query("SELECT v FROM t UNION SELECT v + 10 FROM t ORDER BY 1").unwrap();
     assert_eq!(r.row_count(), 6); // {1,2,3,11,12,13}
 
-    let r = conn
-        .query("WITH big AS (SELECT v FROM t WHERE v >= 2) SELECT count(*) FROM big")
-        .unwrap();
+    let r =
+        conn.query("WITH big AS (SELECT v FROM t WHERE v >= 2) SELECT count(*) FROM big").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::BigInt(4));
 
     conn.execute("CREATE VIEW doubled AS SELECT v * 2 AS d FROM t").unwrap();
@@ -156,9 +142,7 @@ fn subquery_in_from_and_ctas() {
     conn.execute("CREATE TABLE t (v INTEGER)").unwrap();
     conn.execute("INSERT INTO t VALUES (1), (2), (3), (4)").unwrap();
     let r = conn
-        .query(
-            "SELECT avg(sq.doubled) FROM (SELECT v * 2 AS doubled FROM t WHERE v > 1) sq",
-        )
+        .query("SELECT avg(sq.doubled) FROM (SELECT v * 2 AS doubled FROM t WHERE v > 1) sq")
         .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Double(6.0));
 
@@ -170,16 +154,11 @@ fn subquery_in_from_and_ctas() {
 #[test]
 fn insert_defaults_and_constraints() {
     let conn = db().connect();
-    conn.execute(
-        "CREATE TABLE items (id INTEGER NOT NULL, qty INTEGER DEFAULT 1, note VARCHAR)",
-    )
-    .unwrap();
+    conn.execute("CREATE TABLE items (id INTEGER NOT NULL, qty INTEGER DEFAULT 1, note VARCHAR)")
+        .unwrap();
     conn.execute("INSERT INTO items (id) VALUES (7)").unwrap();
     let r = conn.query("SELECT id, qty, note FROM items").unwrap();
-    assert_eq!(
-        r.to_rows()[0],
-        vec![Value::Integer(7), Value::Integer(1), Value::Null]
-    );
+    assert_eq!(r.to_rows()[0], vec![Value::Integer(7), Value::Integer(1), Value::Null]);
     let err = conn.execute("INSERT INTO items (id) VALUES (NULL)").unwrap_err();
     assert!(err.to_string().contains("NOT NULL"), "{err}");
     // Failed statement rolled back: nothing extra in the table.
@@ -231,8 +210,7 @@ fn large_scale_aggregation_across_row_groups() {
     let conn = db().connect();
     conn.execute("CREATE TABLE big (v INTEGER)").unwrap();
     for batch in 0..13 {
-        let rows: Vec<String> =
-            (0..10_000).map(|i| format!("({})", batch * 10_000 + i)).collect();
+        let rows: Vec<String> = (0..10_000).map(|i| format!("({})", batch * 10_000 + i)).collect();
         conn.execute(&format!("INSERT INTO big VALUES {}", rows.join(","))).unwrap();
     }
     let r = conn.query("SELECT count(*), sum(v), min(v), max(v) FROM big").unwrap();
