@@ -12,6 +12,13 @@ cargo build --release
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
 
+echo "==> serial/parallel equivalence: integration suites at 1 and 4 workers"
+# EIDER_THREADS pins the default worker cap, so every query in these
+# suites (not just the ones that set PRAGMA threads) runs serial once and
+# morsel-parallel once, on any host including 1-core CI runners.
+EIDER_THREADS=1 cargo test -q --test parallel_execution --test sql_integration
+EIDER_THREADS=4 cargo test -q --test parallel_execution --test sql_integration
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 

@@ -1,6 +1,7 @@
 //! Morsel-driven parallel execution vs the serial pull loop on the
 //! scan → filter → aggregate hot path (the §2 OLAP shape), plus grouped
-//! aggregation and parallel hash-join build.
+//! aggregation, the pipeline-DAG hash join (parallel build *and* parallel
+//! probe) and big spilling sorts.
 //!
 //! Prints per-thread-count timings and an explicit speedup summary. On a
 //! machine with 4+ cores the parallel executor is expected to clear 2× on
@@ -76,6 +77,50 @@ fn join_build(c: &mut Criterion) {
     g.finish();
 }
 
+/// The probe direction of the DAG: the 500k-row fact table streams
+/// morsel-parallel against the small serially-built dimension side, with
+/// the grouped aggregate fused onto the same pipeline.
+fn join_probe(c: &mut Criterion) {
+    let db = star_db(500_000, 2_000, 7).expect("db");
+    let sql = "SELECT c.segment, count(*), sum(o.amount) FROM orders o \
+               JOIN customers c ON o.cid = c.cid GROUP BY c.segment";
+    let mut g = c.benchmark_group("parallel/join_probe");
+    g.sample_size(10);
+    for threads in [1, 4] {
+        let conn = with_threads(&db, threads);
+        g.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| conn.query(sql).expect("query"))
+        });
+    }
+    g.finish();
+}
+
+/// ORDER BY over the full table: worker-local runs sort in parallel and
+/// spill through the external-sort run format once they pass the budget
+/// (a constrained run is measured alongside the unconstrained one).
+fn big_sort(c: &mut Criterion) {
+    const SORT_ROWS: usize = 300_000;
+    let db = wrangling_db(SORT_ROWS, 0.25, 7).expect("db");
+    let sql = "SELECT id, v FROM t ORDER BY v DESC, id";
+    let mut g = c.benchmark_group("parallel/big_sort");
+    g.sample_size(10);
+    for threads in [1, 4] {
+        let conn = with_threads(&db, threads);
+        g.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| conn.query(sql).expect("query"))
+        });
+    }
+    {
+        // Spilling variant: a budget far below the data size forces every
+        // worker to write multiple runs to disk.
+        let conn = with_threads(&db, 4);
+        conn.execute("PRAGMA memory_limit = 4000000").expect("pragma");
+        g.bench_function("threads_4_spilling", |b| b.iter(|| conn.query(sql).expect("query")));
+        conn.execute("PRAGMA memory_limit = 1073741824").expect("pragma");
+    }
+    g.finish();
+}
+
 fn speedup_summary(_c: &mut Criterion) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let db = wrangling_db(ROWS, 0.25, 7).expect("db");
@@ -96,5 +141,13 @@ fn speedup_summary(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, scan_aggregate, grouped_aggregate, join_build, speedup_summary);
+criterion_group!(
+    benches,
+    scan_aggregate,
+    grouped_aggregate,
+    join_build,
+    join_probe,
+    big_sort,
+    speedup_summary
+);
 criterion_main!(benches);

@@ -8,8 +8,10 @@
 //! * never probes for all of RAM — limits are explicit and adjustable at
 //!   runtime ([`ResourcePolicy`], `PRAGMA memory_limit` / `threads`);
 //! * watches the application's resource usage through a
-//!   [`monitor::ResourceMonitor`] (simulated in this reproduction — see
-//!   DESIGN.md substitutions) and reacts: the [`controller::AdaptiveController`]
+//!   [`monitor::ResourceMonitor`] — the real `/proc`-based
+//!   [`hostprobe::HostResourceProbe`] on Linux hosts, the scripted
+//!   [`monitor::SimulatedApplication`] everywhere else (and in the
+//!   figure-regeneration harnesses) — and reacts: the [`controller::AdaptiveController`]
 //!   implements Figure 1's reactive compression ladder
 //!   (None → Light → Heavy as application RAM pressure grows, with
 //!   hysteresis so the system does not flap);
@@ -26,10 +28,12 @@
 
 pub mod compression;
 pub mod controller;
+pub mod hostprobe;
 pub mod monitor;
 pub mod policy;
 
 pub use compression::{compress, decompress, CompressionLevel};
 pub use controller::{AdaptiveController, ControllerConfig, Decision};
+pub use hostprobe::HostResourceProbe;
 pub use monitor::{ResourceMonitor, ResourceUsage, SimulatedApplication, StaticMonitor};
 pub use policy::{choose_join_strategy, JoinStrategy, ResourcePolicy};

@@ -390,6 +390,18 @@ impl Connection {
                 }
                 None => reply(Value::BigInt(db.buffers().memory_limit() as i64)),
             },
+            "host_probe" => match value {
+                Some(v) => {
+                    let enabled = v.as_i64().unwrap_or(0) != 0;
+                    if !db.set_host_probe(enabled) {
+                        return Err(EiderError::Bind(
+                            "PRAGMA host_probe: /proc is not available on this host".into(),
+                        ));
+                    }
+                    reply(Value::BigInt(i64::from(enabled)))
+                }
+                None => reply(Value::BigInt(i64::from(db.config().host_probe))),
+            },
             "threads" => match value {
                 Some(v) => {
                     let n = v.as_i64().unwrap_or(1).max(1) as usize;

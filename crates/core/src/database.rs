@@ -3,6 +3,7 @@
 use crate::config::DatabaseConfig;
 use crate::persist;
 use eider_catalog::Catalog;
+use eider_coop::hostprobe::HostResourceProbe;
 use eider_coop::policy::ResourcePolicy;
 use eider_resilience::health::HealthMonitor;
 use eider_storage::buffer::{BufferManager, BufferManagerConfig};
@@ -34,6 +35,9 @@ pub struct Database {
     buffers: Arc<BufferManager>,
     policy: Arc<ResourcePolicy>,
     health: Arc<HealthMonitor>,
+    /// The `/proc`-based host sampler (`None` off-Linux); consulted only
+    /// while `config.host_probe` is on.
+    host_probe: Option<HostResourceProbe>,
     config: Mutex<DatabaseConfig>,
     storage: Option<StorageState>,
     /// Serializes commit finalization + WAL commit marker (see
@@ -130,6 +134,7 @@ impl Database {
             buffers,
             policy,
             health,
+            host_probe: HostResourceProbe::available().then(HostResourceProbe::new),
             config: Mutex::new(config),
             storage: None,
             commit_lock: Mutex::new(()),
@@ -168,6 +173,34 @@ impl Database {
 
     pub fn set_wal_autocheckpoint(&self, bytes: u64) {
         self.config.lock().wal_autocheckpoint = bytes;
+    }
+
+    /// Enable/disable the real host resource probe (`PRAGMA host_probe`).
+    /// Returns whether the request took effect — enabling fails (and
+    /// leaves the flag off) on platforms without `/proc`.
+    pub fn set_host_probe(&self, enabled: bool) -> bool {
+        if enabled && self.host_probe.is_none() {
+            return false;
+        }
+        self.config.lock().host_probe = enabled;
+        true
+    }
+
+    /// Refresh the cooperation policy's view of the host (§4's loop): when
+    /// the real probe is enabled, push the measured "everyone but us" CPU
+    /// load into [`ResourcePolicy::set_app_cpu_load`]. With the probe off
+    /// (the default), whatever a simulated-application driver
+    /// ([`eider_coop::monitor::SimulatedApplication`]) last pushed stays
+    /// authoritative.
+    pub fn refresh_host_load(&self) {
+        if !self.config.lock().host_probe {
+            return;
+        }
+        if let Some(probe) = &self.host_probe {
+            if let Some(cpu) = probe.sample_other_cpu() {
+                self.policy.set_app_cpu_load(cpu);
+            }
+        }
     }
 
     pub fn is_persistent(&self) -> bool {

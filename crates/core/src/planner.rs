@@ -5,12 +5,21 @@
 //!
 //! * [`lower`] — the serial Vector Volcano pull pipeline, able to execute
 //!   every plan;
-//! * [`lower_parallel`] — recognizes *pipeline-shaped* plans
-//!   (`scan → filter*/project* → [aggregate | sort]`, plus hash-join build
-//!   sides) and routes them through the morsel-driven parallel executor
-//!   ([`eider_exec::parallel`]), returning `None` for anything it cannot
-//!   prove parallel-safe so the caller falls back to [`lower`]. Worker
-//!   count is the cooperation policy's
+//! * [`lower_parallel`] — decomposes the plan into a **pipeline DAG**
+//!   ([`eider_exec::parallel::graph`]) when it can prove the shape
+//!   parallel-safe, returning `None` otherwise so the caller falls back to
+//!   [`lower`]. A DAG node is either a morsel-parallel pipeline
+//!   (`scan → filter*/project*/probe* → sink`) or a serially-evaluated
+//!   breaker input (a join build or probe side too small or irregular to
+//!   split); breaker state — the shared immutable
+//!   [`BuildSide`](eider_exec::ops::BuildSide), spilled sort runs — flows
+//!   between nodes in dependency order. Recognized shapes: plain chains,
+//!   aggregates (grouped and simple), ORDER BY with disk-spilling runs,
+//!   ORDER BY + LIMIT as a bounded Top-N, DISTINCT as a grouped aggregate,
+//!   hash joins with morsel-parallel probe (and build, when the build side
+//!   is itself a chain), UNION ALL of parallel arms, and serial
+//!   projection/filter/aggregate/sort/distinct wrappers over any of the
+//!   above. Worker count is the cooperation policy's
 //!   [`worker_threads`](eider_coop::policy::ResourcePolicy::worker_threads)
 //!   — `PRAGMA threads` clamped by host CPU load.
 
@@ -22,10 +31,12 @@ use eider_exec::ops::{
     InsertOp, LimitOp, MergeJoinOp, NestedLoopJoinOp, OperatorBox, PhysicalOperator, ProjectionOp,
     SimpleAggregateOp, TableScanOp, TopNOp, UpdateOp, ValuesOp,
 };
-use eider_exec::parallel::morsel::{slice_morsels, MORSEL_ROWS};
-use eider_exec::parallel::{
-    MorselSource, ParallelPipeline, ParallelPipelineOp, PipelineOutput, PipelineSink, PipelineStep,
+use eider_exec::parallel::graph::{
+    fold_link_types, GraphLink, GraphNode, PipelineGraph, PipelineGraphOp,
 };
+use eider_exec::parallel::morsel::{slice_morsels, Morsel, MORSEL_ROWS};
+use eider_exec::parallel::{MorselSource, PipelineSink, PipelineStep};
+use eider_exec::Expr;
 use eider_sql::plan::LogicalPlan;
 use eider_txn::{DataTable, ScanOptions, Transaction};
 use eider_vector::{DataChunk, EiderError, LogicalType, Result, VECTOR_SIZE};
@@ -82,6 +93,13 @@ fn estimate_rows(plan: &LogicalPlan) -> u64 {
     }
 }
 
+/// Estimated bytes of a materialized build side (the same crude ~16
+/// bytes/value the planner has always used in lieu of real statistics).
+fn estimate_build_bytes(plan: &LogicalPlan) -> usize {
+    estimate_rows(plan).saturating_mul((plan.output_types().len() as u64).saturating_mul(16))
+        as usize
+}
+
 /// Lower a logical query plan (SELECT-shaped nodes plus INSERT/UPDATE/
 /// DELETE) to a physical operator tree.
 pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Result<OperatorBox> {
@@ -133,41 +151,34 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
             let lchild = lower(db, txn, left)?;
             // §4: the build side's estimated footprint against currently
             // available memory decides hash vs out-of-core merge join.
-            let build_rows = estimate_rows(right);
-            let build_bytes = build_rows
-                .saturating_mul((right.output_types().len() as u64).saturating_mul(16))
-                as usize;
             let strategy = if *join_type == JoinType::Inner {
-                choose_join_strategy(build_bytes, db.buffers().available_memory())
+                choose_join_strategy(estimate_build_bytes(right), db.buffers().available_memory())
             } else {
                 JoinStrategy::Hash // left/semi/anti are hash-only
             };
             match strategy {
-                JoinStrategy::Hash => {
-                    // Morsel-parallel build when the build side is
-                    // pipeline-shaped and large enough.
-                    match try_parallel_join_build(
-                        db,
-                        txn,
+                // Even on the serial path, a chain-shaped build side over a
+                // large table builds morsel-parallel (the probe then
+                // streams with early-stop semantics intact — LIMIT over a
+                // join pulls only what it needs).
+                JoinStrategy::Hash => match parallel_build_side(db, txn, right, right_keys)? {
+                    Some(build) => Box::new(eider_exec::ops::JoinProbeOp::new(
                         lchild,
-                        right,
+                        build,
                         left_keys.clone(),
-                        right_keys,
                         *join_type,
-                        build_bytes,
-                    )? {
-                        Ok(op) => op,
-                        Err(lchild) => Box::new(HashJoinOp::new(
-                            lchild,
-                            lower(db, txn, right)?,
-                            left_keys.clone(),
-                            right_keys.clone(),
-                            *join_type,
-                            db.policy().compression(),
-                            Some(db.buffers()),
-                        )?),
-                    }
-                }
+                        right.output_types(),
+                    )),
+                    None => Box::new(HashJoinOp::new(
+                        lchild,
+                        lower(db, txn, right)?,
+                        left_keys.clone(),
+                        right_keys.clone(),
+                        *join_type,
+                        db.policy().compression(),
+                        Some(db.buffers()),
+                    )?),
+                },
                 JoinStrategy::OutOfCoreMerge => Box::new(MergeJoinOp::new(
                     lchild,
                     lower(db, txn, right)?,
@@ -229,215 +240,547 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
 /// thread dispatch (two minimum-size morsels).
 const PARALLEL_MIN_ROWS: usize = 2 * VECTOR_SIZE;
 
-/// The streaming part of a pipeline-shaped plan: one base table scan plus
-/// filter/projection steps, all safe to replicate per worker.
-struct ScanChain {
-    table: Arc<DataTable>,
-    opts: ScanOptions,
-    steps: Vec<PipelineStep>,
-}
+/// Bound on `limit + offset` for the *parallel* Top-N sink. Each worker
+/// buffers up to twice this many rows unaccounted (mirroring the serial
+/// `TopNOp`, which is also unaccounted but exists once, not per worker),
+/// so the parallel fusion keeps a deliberately smaller cap; larger fused
+/// Top-Ns fall back to the serial operator.
+const PARALLEL_TOPN_MAX_ROWS: usize = 100_000;
 
-/// Decompose `scan → (filter | project)*` plans; `None` for anything else
-/// (joins, unions, nested aggregates, row-id-emitting scans for
-/// UPDATE/DELETE — those stay on the serial path).
-fn extract_chain(plan: &LogicalPlan) -> Option<ScanChain> {
-    match plan {
-        LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, .. }
-            if !emit_row_ids =>
-        {
-            Some(ScanChain {
-                table: Arc::clone(&entry.data),
-                opts: ScanOptions {
-                    columns: column_ids.clone(),
-                    filters: filters.clone(),
-                    emit_row_ids: false,
-                },
-                steps: Vec::new(),
-            })
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            let mut chain = extract_chain(input)?;
-            chain.steps.push(PipelineStep::Filter(predicate.clone()));
-            Some(chain)
-        }
-        LogicalPlan::Projection { input, exprs, .. } => {
-            let mut chain = extract_chain(input)?;
-            chain.steps.push(PipelineStep::Project(exprs.clone()));
-            Some(chain)
-        }
-        _ => None,
-    }
-}
-
-/// Build the morsel source for a chain, or `None` when the table is too
-/// small for parallel workers to earn their dispatch cost. Morsel size
-/// depends only on the data (aiming for ~16 morsels on moderate tables,
-/// capped at [`MORSEL_ROWS`] on large ones), *never* on the thread count:
-/// per-morsel aggregate partials merge in morsel order, so a fixed
-/// decomposition makes results bit-identical across worker counts even
-/// for floating-point aggregates.
-fn make_source(chain: &ScanChain, txn: &Arc<Transaction>) -> Option<Arc<MorselSource>> {
-    let sizes = chain.table.group_sizes();
+/// Slice a table into morsels, or `None` when it is too small for
+/// parallel workers to earn their dispatch cost. Morsel size depends only
+/// on the data (aiming for ~16 morsels on moderate tables, capped at
+/// [`MORSEL_ROWS`] on large ones), *never* on the thread count: per-morsel
+/// partial states merge in morsel order, so a fixed decomposition makes
+/// results bit-identical across worker counts even for floating-point
+/// aggregates. Pure — sources are constructed only after the whole DAG
+/// shape is validated, so a rejected plan leaves no trace on the
+/// transaction.
+fn plan_morsels(table: &DataTable) -> Option<Vec<Morsel>> {
+    let sizes = table.group_sizes();
     let total: usize = sizes.iter().sum();
     if total < PARALLEL_MIN_ROWS {
         return None;
     }
-    // Slice before constructing: a rejected source must leave no trace on
-    // the transaction (MorselSource records read predicates, and the
-    // serial fallback will record its own).
     let morsel_rows = (total / 16).clamp(VECTOR_SIZE, MORSEL_ROWS);
     let morsels = slice_morsels(&sizes, morsel_rows);
     if morsels.len() < 2 {
         return None;
     }
-    Some(Arc::new(MorselSource::from_morsels(
-        Arc::clone(&chain.table),
-        txn,
-        chain.opts.clone(),
-        morsels,
-    )))
+    Some(morsels)
 }
 
-/// Lower a pipeline-shaped chain + sink to a parallel operator.
-/// `buffers` (when given) makes the sink's aggregate state count against
-/// the shared memory budget, mirroring the serial operator's accounting.
-fn chain_to_op(
-    chain: ScanChain,
+/// The streaming part of a pipeline-shaped plan: one base table scan plus
+/// filter/projection/probe links, all safe to replicate per worker.
+/// Links are [`GraphLink`]s directly — probe links refer to planned nodes
+/// by index, resolved when the graph executes.
+struct ChainSpec {
+    table: Arc<DataTable>,
+    opts: ScanOptions,
+    links: Vec<GraphLink>,
+}
+
+impl ChainSpec {
+    fn output_types(&self) -> Vec<LogicalType> {
+        fold_link_types(self.opts.output_types(&self.table), &self.links)
+    }
+}
+
+/// A planned DAG node; materialized into a [`GraphNode`] only once the
+/// whole shape is validated (serial inputs lower at that point).
+enum NodeSpec<'p> {
+    Pipeline { chain: ChainSpec, morsels: Vec<Morsel>, sink: PipelineSink },
+    SerialBuild { plan: &'p LogicalPlan, keys: Vec<Expr> },
+    SerialProbe { plan: &'p LogicalPlan, links: Vec<GraphLink> },
+}
+
+/// Phase-1 planner state: recognizes parallel shapes and accumulates node
+/// specs without side effects, so any failure can simply discard it and
+/// fall back to the serial path.
+struct SpecBuilder<'a, 'p> {
+    db: &'a Database,
+    nodes: Vec<NodeSpec<'p>>,
+}
+
+impl<'a, 'p> SpecBuilder<'a, 'p> {
+    fn new(db: &'a Database) -> Self {
+        SpecBuilder { db, nodes: Vec::new() }
+    }
+
+    fn push(&mut self, node: NodeSpec<'p>) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Hash joins parallelize; a join the cooperation policy would demote
+    /// to an out-of-core merge join stays serial.
+    fn join_parallel_safe(&self, build_plan: &LogicalPlan, join_type: JoinType) -> bool {
+        join_type != JoinType::Inner
+            || choose_join_strategy(
+                estimate_build_bytes(build_plan),
+                self.db.buffers().available_memory(),
+            ) == JoinStrategy::Hash
+    }
+
+    /// Decompose `scan → (filter | project | hash-join probe)*` plans;
+    /// `None` for anything else (unions, nested aggregates,
+    /// row-id-emitting scans for UPDATE/DELETE — those stay serial or are
+    /// handled by the caller). Join build sides become DAG nodes: a
+    /// morsel-parallel build pipeline when the build side is itself a
+    /// chain over a large-enough table, a serially-evaluated build
+    /// otherwise (small dimension tables).
+    fn chain_of(&mut self, plan: &'p LogicalPlan) -> Option<ChainSpec> {
+        match plan {
+            LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, .. }
+                if !emit_row_ids =>
+            {
+                Some(ChainSpec {
+                    table: Arc::clone(&entry.data),
+                    opts: ScanOptions {
+                        columns: column_ids.clone(),
+                        filters: filters.clone(),
+                        emit_row_ids: false,
+                    },
+                    links: Vec::new(),
+                })
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let mut chain = self.chain_of(input)?;
+                chain.links.push(GraphLink::Step(PipelineStep::Filter(predicate.clone())));
+                Some(chain)
+            }
+            LogicalPlan::Projection { input, exprs, .. } => {
+                let mut chain = self.chain_of(input)?;
+                chain.links.push(GraphLink::Step(PipelineStep::Project(exprs.clone())));
+                Some(chain)
+            }
+            LogicalPlan::Join { left, right, join_type, left_keys, right_keys } => {
+                if !self.join_parallel_safe(right, *join_type) {
+                    return None;
+                }
+                let mut chain = self.chain_of(left)?;
+                let build = self.build_node(right, right_keys);
+                chain.links.push(GraphLink::Probe {
+                    build,
+                    left_keys: left_keys.clone(),
+                    join_type: *join_type,
+                    right_types: right.output_types(),
+                });
+                Some(chain)
+            }
+            _ => None,
+        }
+    }
+
+    /// Plan a join build side as a DAG node (always succeeds — any plan
+    /// can at worst build serially).
+    fn build_node(&mut self, plan: &'p LogicalPlan, keys: &[Expr]) -> usize {
+        let mark = self.nodes.len();
+        if let Some(chain) = self.chain_of(plan) {
+            if let Some(morsels) = plan_morsels(&chain.table) {
+                return self.push(NodeSpec::Pipeline {
+                    chain,
+                    morsels,
+                    sink: PipelineSink::JoinBuild { keys: keys.to_vec() },
+                });
+            }
+        }
+        self.nodes.truncate(mark); // discard nodes of a rejected sub-chain
+        self.push(NodeSpec::SerialBuild { plan, keys: keys.to_vec() })
+    }
+
+    /// A chain plus its morsel slicing, discarding any nodes planned
+    /// underneath it when the base table is too small to split.
+    fn chain_with_morsels(&mut self, plan: &'p LogicalPlan) -> Option<(ChainSpec, Vec<Morsel>)> {
+        let mark = self.nodes.len();
+        if let Some(chain) = self.chain_of(plan) {
+            if let Some(morsels) = plan_morsels(&chain.table) {
+                return Some((chain, morsels));
+            }
+        }
+        self.nodes.truncate(mark);
+        None
+    }
+
+    /// Recognize `chain → sink` shapes: plain chains (collect), aggregates,
+    /// ORDER BY (with run spilling), ORDER BY + LIMIT (Top-N) and DISTINCT
+    /// (a grouped aggregate with no aggregate functions).
+    fn sink_pipeline(&mut self, plan: &'p LogicalPlan) -> Option<usize> {
+        if let Some((chain, morsels)) = self.chain_with_morsels(plan) {
+            return Some(self.push(NodeSpec::Pipeline {
+                chain,
+                morsels,
+                sink: PipelineSink::Collect,
+            }));
+        }
+        let (input, sink): (&LogicalPlan, _) = match plan {
+            LogicalPlan::Aggregate { input, groups, aggs, .. } => {
+                let sink = if groups.is_empty() {
+                    PipelineSink::SimpleAggregate(aggs.clone())
+                } else {
+                    PipelineSink::HashAggregate { groups: groups.clone(), aggs: aggs.clone() }
+                };
+                (input, sink)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                (input, PipelineSink::Sort { keys: keys.clone(), limit: None })
+            }
+            LogicalPlan::Limit { input, limit, offset } => {
+                let LogicalPlan::Sort { input: sort_input, keys } = &**input else { return None };
+                if *limit == usize::MAX || limit.saturating_add(*offset) > PARALLEL_TOPN_MAX_ROWS {
+                    return None;
+                }
+                (
+                    sort_input,
+                    PipelineSink::Sort { keys: keys.clone(), limit: Some((*limit, *offset)) },
+                )
+            }
+            LogicalPlan::Distinct { input } => {
+                // DISTINCT = GROUP BY every column, no aggregates. Groups
+                // are column references over the chain's output.
+                let (chain, morsels) = self.chain_with_morsels(input)?;
+                let groups: Vec<Expr> = chain
+                    .output_types()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ty)| Expr::column(i, ty))
+                    .collect();
+                return Some(self.push(NodeSpec::Pipeline {
+                    chain,
+                    morsels,
+                    sink: PipelineSink::HashAggregate { groups, aggs: Vec::new() },
+                }));
+            }
+            _ => return None,
+        };
+        let (chain, morsels) = self.chain_with_morsels(input)?;
+        Some(self.push(NodeSpec::Pipeline { chain, morsels, sink }))
+    }
+
+    /// Recognize the DAG's output nodes: a sink pipeline, or a UNION ALL
+    /// tree of them (each arm becomes its own pipeline; the graph
+    /// concatenates their chunks in order).
+    fn output_nodes(&mut self, plan: &'p LogicalPlan) -> Option<Vec<usize>> {
+        if let Some(node) = self.sink_pipeline(plan) {
+            return Some(vec![node]);
+        }
+        match plan {
+            LogicalPlan::Union { left, right } => {
+                let mark = self.nodes.len();
+                let result = (|| {
+                    let mut outputs = self.output_nodes(left)?;
+                    outputs.extend(self.output_nodes(right)?);
+                    Some(outputs)
+                })();
+                if result.is_none() {
+                    self.nodes.truncate(mark);
+                }
+                result
+            }
+            _ => None,
+        }
+    }
+
+    /// Fallback for joins whose *probe* side cannot fan out (small or
+    /// non-chain): keep the expensive build morsel-parallel and probe it
+    /// from a serially-pulled chain. Only worth a DAG when the build is a
+    /// parallel pipeline — otherwise the serial path is strictly simpler.
+    fn serial_probe(&mut self, plan: &'p LogicalPlan) -> Option<usize> {
+        let LogicalPlan::Join { left, right, join_type, left_keys, right_keys } = plan else {
+            return None;
+        };
+        if !self.join_parallel_safe(right, *join_type) {
+            return None;
+        }
+        let (chain, morsels) = self.chain_with_morsels(right)?;
+        let build = self.push(NodeSpec::Pipeline {
+            chain,
+            morsels,
+            sink: PipelineSink::JoinBuild { keys: right_keys.clone() },
+        });
+        Some(self.push(NodeSpec::SerialProbe {
+            plan: left,
+            links: vec![GraphLink::Probe {
+                build,
+                left_keys: left_keys.clone(),
+                join_type: *join_type,
+                right_types: right.output_types(),
+            }],
+        }))
+    }
+}
+
+/// Materialize a validated spec into an executable graph operator. Only
+/// now are morsel sources constructed (recording scan read predicates on
+/// the transaction) and serial inputs lowered.
+fn materialize(
+    db: &Database,
     txn: &Arc<Transaction>,
-    sink: PipelineSink,
     threads: usize,
-    buffers: Option<Arc<eider_storage::buffer::BufferManager>>,
-) -> Option<OperatorBox> {
-    let source = make_source(&chain, txn)?;
-    let pipeline =
-        ParallelPipeline::new(source, Arc::clone(txn), chain.steps, sink).with_buffers(buffers);
-    Some(Box::new(ParallelPipelineOp::new(pipeline, threads)))
+    nodes: Vec<NodeSpec<'_>>,
+    outputs: Vec<usize>,
+) -> Result<OperatorBox> {
+    let mut graph = PipelineGraph::new(Arc::clone(txn), threads)
+        .with_buffers(Some(db.buffers()))
+        .with_compression(db.policy().compression())
+        .with_sort_budget(db.policy().memory_limit() / 4);
+    for node in nodes {
+        match node {
+            NodeSpec::Pipeline { chain, morsels, sink } => {
+                let source = Arc::new(MorselSource::from_morsels(
+                    Arc::clone(&chain.table),
+                    txn,
+                    chain.opts.clone(),
+                    morsels,
+                ));
+                graph.add(GraphNode::Pipeline { source, links: chain.links, sink });
+            }
+            NodeSpec::SerialBuild { plan, keys } => {
+                graph.add(GraphNode::SerialBuild { input: Some(lower(db, txn, plan)?), keys });
+            }
+            NodeSpec::SerialProbe { plan, links } => {
+                graph.add(GraphNode::SerialPipeline { input: Some(lower(db, txn, plan)?), links });
+            }
+        }
+    }
+    graph.set_outputs(outputs);
+    Ok(Box::new(PipelineGraphOp::new(graph)))
 }
 
-/// Try to lower `plan` onto the morsel-driven parallel executor. Returns
-/// `Ok(None)` when the plan is not parallel-shaped, the policy grants only
-/// one worker, or the table is too small to split — callers then use the
+/// Morsel-parallel evaluation of a hash-join build side for the *serial*
+/// lowering path: when the build plan is a plain chain (no nested joins)
+/// over a splittable table and the policy grants workers, run one
+/// `JoinBuild` pipeline eagerly and hand the spliced [`BuildSide`] to a
+/// streaming probe. This keeps the expensive half of a join parallel even
+/// for plan shapes the DAG does not recognize (LIMIT without ORDER BY,
+/// CTAS sources, UPDATE/DELETE inputs, …).
+///
+/// [`BuildSide`]: eider_exec::ops::BuildSide
+fn parallel_build_side(
+    db: &Database,
+    txn: &Arc<Transaction>,
+    build_plan: &LogicalPlan,
+    keys: &[Expr],
+) -> Result<Option<Arc<eider_exec::ops::BuildSide>>> {
+    let threads = db.policy().worker_threads();
+    if threads <= 1 {
+        return Ok(None);
+    }
+    let mut spec = SpecBuilder::new(db);
+    let Some(chain) = spec.chain_of(build_plan) else { return Ok(None) };
+    if !spec.nodes.is_empty() {
+        return Ok(None); // nested build sides: keep the serial path simple
+    }
+    let Some(morsels) = plan_morsels(&chain.table) else { return Ok(None) };
+    let source =
+        Arc::new(MorselSource::from_morsels(Arc::clone(&chain.table), txn, chain.opts, morsels));
+    let steps: Vec<PipelineStep> = chain
+        .links
+        .into_iter()
+        .map(|link| match link {
+            GraphLink::Step(step) => step,
+            GraphLink::Probe { .. } => unreachable!("probe links imply planned nodes"),
+        })
+        .collect();
+    let pipeline = eider_exec::parallel::ParallelPipeline::new(
+        source,
+        Arc::clone(txn),
+        steps,
+        PipelineSink::JoinBuild { keys: keys.to_vec() },
+    )
+    .with_buffers(Some(db.buffers()));
+    let eider_exec::parallel::PipelineOutput::JoinBuild { partials, reservations } =
+        pipeline.execute(threads)?
+    else {
+        unreachable!("join-build sink produces partials")
+    };
+    let build = eider_exec::ops::BuildSide::from_partials(
+        partials,
+        db.policy().compression(),
+        Some(db.buffers()),
+    )?;
+    drop(reservations);
+    Ok(Some(Arc::new(build)))
+}
+
+/// Try to lower `plan` onto the pipeline-DAG executor. Returns `Ok(None)`
+/// when the plan is not parallel-shaped, the policy grants only one
+/// worker, or the tables are too small to split — callers then use the
 /// serial [`lower`].
 pub fn lower_parallel(
     db: &Database,
     txn: &Arc<Transaction>,
     plan: &LogicalPlan,
 ) -> Result<Option<OperatorBox>> {
+    // §4's loop: sample the real host before deciding the fan-out (no-op
+    // unless `PRAGMA host_probe` enabled the /proc sampler).
+    db.refresh_host_load();
     let threads = db.policy().worker_threads();
     if threads <= 1 {
         return Ok(None);
     }
-    Ok(parallel_plan(txn, plan, threads, db.policy().memory_limit(), &db.buffers()))
+    parallel_plan(db, txn, plan, threads)
 }
 
 fn parallel_plan(
+    db: &Database,
     txn: &Arc<Transaction>,
     plan: &LogicalPlan,
     threads: usize,
-    memory_limit: usize,
-    buffers: &Arc<eider_storage::buffer::BufferManager>,
-) -> Option<OperatorBox> {
-    // Whole plan as one data-parallel chain (scan/filter/project)?
-    if let Some(chain) = extract_chain(plan) {
-        return chain_to_op(chain, txn, PipelineSink::Collect, threads, None);
+) -> Result<Option<OperatorBox>> {
+    if let Some(op) = try_graph(db, txn, plan, threads)? {
+        return Ok(Some(op));
     }
-    match plan {
+    // Serial wrappers over a parallel child: the few result rows of an
+    // aggregate (SELECT list, HAVING) or the concatenated chunks of a
+    // UNION ALL flow through ordinary serial operators while the heavy
+    // scan work underneath stays morsel-parallel.
+    Ok(match plan {
+        LogicalPlan::Projection { input, exprs, .. } => parallel_plan(db, txn, input, threads)?
+            .map(|child| -> OperatorBox { Box::new(ProjectionOp::new(child, exprs.clone())) }),
+        LogicalPlan::Filter { input, predicate } => parallel_plan(db, txn, input, threads)?
+            .map(|child| -> OperatorBox { Box::new(FilterOp::new(child, predicate.clone())) }),
         LogicalPlan::Aggregate { input, groups, aggs, .. } => {
-            let chain = extract_chain(input)?;
-            let sink = if groups.is_empty() {
-                PipelineSink::SimpleAggregate(aggs.clone())
-            } else {
-                PipelineSink::HashAggregate { groups: groups.clone(), aggs: aggs.clone() }
-            };
-            chain_to_op(chain, txn, sink, threads, Some(Arc::clone(buffers)))
+            parallel_plan(db, txn, input, threads)?.map(|child| -> OperatorBox {
+                if groups.is_empty() {
+                    Box::new(SimpleAggregateOp::new(child, aggs.clone()))
+                } else {
+                    Box::new(HashAggregateOp::new(
+                        child,
+                        groups.clone(),
+                        aggs.clone(),
+                        Some(db.buffers()),
+                    ))
+                }
+            })
         }
         LogicalPlan::Sort { input, keys } => {
-            let chain = extract_chain(input)?;
-            // The parallel sort holds every row in worker memory (no run
-            // spilling yet — see ROADMAP): oversized sorts stay on the
-            // serial ExternalSortOp, which spills within its budget. Same
-            // crude ~16 bytes/value estimate the join planner uses.
-            let total_rows: usize = chain.table.group_sizes().iter().sum();
-            let width = input.output_types().len() + keys.len();
-            let estimated = total_rows.saturating_mul(width).saturating_mul(16);
-            if estimated > memory_limit / 4 {
-                return None;
-            }
-            chain_to_op(chain, txn, PipelineSink::Sort(keys.clone()), threads, None)
+            parallel_plan(db, txn, input, threads)?.map(|child| -> OperatorBox {
+                Box::new(ExternalSortOp::new(
+                    child,
+                    keys.clone(),
+                    db.policy().memory_limit() / 4,
+                    Some(db.buffers()),
+                    false,
+                ))
+            })
         }
-        // SELECT-list over an aggregate (the binder always wraps one):
-        // parallelize underneath, project the handful of result rows
-        // serially.
-        LogicalPlan::Projection { input, exprs, .. } => {
-            let child = parallel_plan(txn, input, threads, memory_limit, buffers)?;
-            Some(Box::new(ProjectionOp::new(child, exprs.clone())))
-        }
-        // HAVING over an aggregate, same shape.
-        LogicalPlan::Filter { input, predicate } => {
-            let child = parallel_plan(txn, input, threads, memory_limit, buffers)?;
-            Some(Box::new(FilterOp::new(child, predicate.clone())))
-        }
+        LogicalPlan::Distinct { input } => parallel_plan(db, txn, input, threads)?
+            .map(|child| -> OperatorBox { Box::new(DistinctOp::new(child)) }),
         _ => None,
-    }
+    })
 }
 
-/// Parallelize a hash join's build side when it is pipeline-shaped: the
-/// workers evaluate, key and hash the build rows morsel-parallel, and
-/// [`HashJoinOp::from_prebuilt`] splices the partials into the bucket
-/// table. The probe side streams serially (open item: parallel probe).
-/// Runs the build eagerly; the caller is about to pull the join anyway.
-///
-/// Unlike the serial build, the worker partials are not charged to the
-/// buffer manager until the final splice, so they cannot abort early on
-/// memory pressure — `build_bytes_estimate` therefore needs real headroom
-/// (4×) against currently available memory, or the serial incremental
-/// build (which can abort chunk-by-chunk) runs instead.
-fn try_parallel_join_build(
+/// Recognize and materialize a whole-plan pipeline DAG: sink pipelines and
+/// UNION ALL trees first, then the serial-probe fallback for joins with a
+/// small probe side.
+fn try_graph(
     db: &Database,
     txn: &Arc<Transaction>,
-    left: OperatorBox,
-    right_plan: &LogicalPlan,
-    left_keys: Vec<eider_exec::Expr>,
-    right_keys: &[eider_exec::Expr],
-    join_type: JoinType,
-    build_bytes_estimate: usize,
-) -> Result<std::result::Result<OperatorBox, OperatorBox>> {
-    let threads = db.policy().worker_threads();
-    let parallel = || -> Option<(ParallelPipeline, usize)> {
-        if threads <= 1 {
-            return None;
+    plan: &LogicalPlan,
+    threads: usize,
+) -> Result<Option<OperatorBox>> {
+    let mut spec = SpecBuilder::new(db);
+    if let Some(outputs) = spec.output_nodes(plan) {
+        return materialize(db, txn, threads, spec.nodes, outputs).map(Some);
+    }
+    let mut spec = SpecBuilder::new(db);
+    if let Some(output) = spec.serial_probe(plan) {
+        return materialize(db, txn, threads, spec.nodes, vec![output]).map(Some);
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eider_sql::{optimizer, Binder};
+
+    /// 3×`PARALLEL_MIN_ROWS` rows in `big`, a handful in `small`.
+    fn fixture() -> Arc<Database> {
+        let db = Database::in_memory().unwrap();
+        let conn = db.connect();
+        conn.execute("CREATE TABLE big (id INTEGER, k INTEGER, v DOUBLE)").unwrap();
+        conn.execute("CREATE TABLE small (k INTEGER, name VARCHAR)").unwrap();
+        let rows: Vec<String> = (0..(3 * PARALLEL_MIN_ROWS) as i32)
+            .map(|i| format!("({i}, {}, {}.5)", i % 50, i % 7))
+            .collect();
+        for batch in rows.chunks(4096) {
+            conn.execute(&format!("INSERT INTO big VALUES {}", batch.join(","))).unwrap();
         }
-        if build_bytes_estimate.saturating_mul(4) > db.buffers().available_memory() {
-            return None;
+        let small: Vec<String> = (0..50).map(|i| format!("({i}, 'n{i}')")).collect();
+        conn.execute(&format!("INSERT INTO small VALUES {}", small.join(","))).unwrap();
+        db.policy().set_threads(4);
+        db
+    }
+
+    fn plan_of(db: &Database, sql: &str) -> LogicalPlan {
+        let stmt = eider_sql::parse_statements(sql).unwrap().remove(0);
+        let plan = Binder::new(Arc::clone(db.catalog())).bind_statement(&stmt).unwrap();
+        optimizer::optimize(plan).unwrap()
+    }
+
+    fn routes_parallel(db: &Arc<Database>, sql: &str) -> bool {
+        let txn = Arc::new(db.txn_manager().begin());
+        let plan = plan_of(db, sql);
+        lower_parallel(db, &txn, &plan).unwrap().is_some()
+    }
+
+    /// The acceptance-critical happy paths must route through the DAG —
+    /// no serial fallback.
+    #[test]
+    fn dag_covers_probe_sort_topn_distinct_union() {
+        let db = fixture();
+        for sql in [
+            // Morsel-parallel probe over a serially-built dimension table.
+            "SELECT big.id, small.name FROM big JOIN small ON big.k = small.k",
+            // Aggregate fused above the probe.
+            "SELECT small.name, count(*) FROM big JOIN small ON big.k = small.k \
+             GROUP BY small.name",
+            // Plain big sort.
+            "SELECT id, v FROM big ORDER BY v DESC, id",
+            // Top-N and DISTINCT.
+            "SELECT id FROM big ORDER BY id DESC LIMIT 5 OFFSET 2",
+            "SELECT DISTINCT k FROM big",
+            // UNION ALL of two pipelines, bare and under an aggregate.
+            "SELECT id FROM big WHERE id < 100 UNION ALL SELECT id FROM big WHERE id > 5000",
+            "SELECT count(*) FROM (SELECT id FROM big WHERE id < 100 \
+             UNION ALL SELECT id FROM big WHERE id > 5000) u",
+        ] {
+            assert!(routes_parallel(&db, sql), "expected parallel DAG for: {sql}");
         }
-        let chain = extract_chain(right_plan)?;
-        let source = make_source(&chain, txn)?;
-        Some((
-            ParallelPipeline::new(
-                source,
-                Arc::clone(txn),
-                chain.steps,
-                PipelineSink::JoinBuild { keys: right_keys.to_vec() },
-            ),
-            threads,
-        ))
-    };
-    match parallel() {
-        Some((pipeline, threads)) => {
-            let right_types = pipeline.chain_types();
-            let PipelineOutput::JoinBuild(partials) = pipeline.execute(threads)? else {
-                unreachable!("join-build sink produces partials")
-            };
-            Ok(Ok(Box::new(HashJoinOp::from_prebuilt(
-                left,
-                right_types,
-                partials,
-                left_keys,
-                join_type,
-                db.policy().compression(),
-                Some(db.buffers()),
-            )?)))
-        }
-        None => Ok(Err(left)),
+    }
+
+    /// The old planner refused to parallelize sorts whose estimated
+    /// footprint exceeded a quarter of the memory limit; the DAG spills
+    /// runs instead, so the gate is gone.
+    #[test]
+    fn big_sorts_no_longer_fall_back_to_serial() {
+        let db = fixture();
+        db.buffers().set_memory_limit(1 << 20);
+        db.policy().set_memory_limit(1 << 20);
+        assert!(
+            routes_parallel(&db, "SELECT id, v FROM big ORDER BY v DESC, id"),
+            "sort beyond the old estimate gate must stay on the parallel DAG"
+        );
+    }
+
+    /// A probe side too small to split still probes a parallel build.
+    #[test]
+    fn small_probe_side_keeps_the_build_parallel() {
+        let db = fixture();
+        assert!(routes_parallel(
+            &db,
+            "SELECT count(*) FROM small JOIN big ON small.k = big.k WHERE big.id < 1000",
+        ));
+    }
+
+    #[test]
+    fn serial_fallbacks_remain_for_unsupported_shapes() {
+        let db = fixture();
+        // Table too small to split, and one-worker policies.
+        assert!(!routes_parallel(&db, "SELECT k FROM small"));
+        db.policy().set_threads(1);
+        assert!(!routes_parallel(&db, "SELECT id FROM big"));
     }
 }

@@ -37,26 +37,61 @@ impl StoredChunk {
     }
 }
 
+/// A bounded FIFO cache of decompressed chunks, owned by each *reader* of
+/// a collection rather than by the collection itself: once its build phase
+/// ends a collection is immutable, so any number of workers (e.g. the
+/// morsel-parallel join probe) can read it concurrently through `&self`,
+/// each with a private cache.
+///
+/// Decompressed chunks kept hot are bounded to `CACHE_SLOTS * chunk size`
+/// regardless of collection size; sequential access hits slot after slot,
+/// and probe phases that bounce across a modest number of build chunks
+/// stay cached instead of re-decompressing per row.
+#[derive(Default)]
+pub struct ChunkCache {
+    slots: Vec<(usize, DataChunk)>,
+}
+
+const CACHE_SLOTS: usize = 16;
+
+impl ChunkCache {
+    pub fn new() -> Self {
+        ChunkCache::default()
+    }
+
+    fn get(&self, idx: usize) -> Option<&DataChunk> {
+        self.slots.iter().find(|(i, _)| *i == idx).map(|(_, c)| c)
+    }
+
+    fn insert(&mut self, idx: usize, chunk: DataChunk) {
+        if self.slots.len() >= CACHE_SLOTS {
+            self.slots.remove(0);
+        }
+        self.slots.push((idx, chunk));
+    }
+}
+
 /// An append-then-read collection of chunks.
 pub struct ChunkCollection {
     chunks: Vec<StoredChunk>,
     level: CompressionLevel,
     buffers: Option<(Arc<BufferManager>, MemoryReservation)>,
     rows: usize,
-    /// Small decompression cache (FIFO, bounded): sequential access hits
-    /// slot after slot; probe phases that bounce across a modest number of
-    /// build chunks stay cached instead of re-decompressing per row.
-    cache: Vec<(usize, DataChunk)>,
+    /// Cache backing the convenience `&mut self` accessors; shared readers
+    /// bring their own [`ChunkCache`] instead.
+    cache: ChunkCache,
 }
-
-/// Decompressed chunks kept hot; bounds cache memory to
-/// `CACHE_SLOTS * chunk size` regardless of collection size.
-const CACHE_SLOTS: usize = 16;
 
 impl ChunkCollection {
     /// Unaccounted collection (tests, small intermediates).
     pub fn new(level: CompressionLevel) -> Self {
-        ChunkCollection { chunks: Vec::new(), level, buffers: None, rows: 0, cache: Vec::new() }
+        ChunkCollection {
+            chunks: Vec::new(),
+            level,
+            buffers: None,
+            rows: 0,
+            cache: ChunkCache::new(),
+        }
     }
 
     /// Collection whose footprint is reserved against the buffer manager;
@@ -69,7 +104,7 @@ impl ChunkCollection {
             level,
             buffers: Some((buffers, reservation)),
             rows: 0,
-            cache: Vec::new(),
+            cache: ChunkCache::new(),
         })
     }
 
@@ -116,23 +151,50 @@ impl ChunkCollection {
         Ok(())
     }
 
-    /// Fetch chunk `idx`, decompressing if needed (cached one deep).
-    pub fn chunk(&mut self, idx: usize) -> Result<DataChunk> {
+    /// Fetch chunk `idx` through a caller-owned cache without mutating the
+    /// collection — the concurrent read path (shared join build sides).
+    pub fn chunk_shared(&self, cache: &mut ChunkCache, idx: usize) -> Result<DataChunk> {
         match &self.chunks[idx] {
             StoredChunk::Plain(c) => Ok(c.clone()),
             StoredChunk::Compressed { bytes, .. } => {
-                if let Some((_, c)) = self.cache.iter().find(|(i, _)| *i == idx) {
+                if let Some(c) = cache.get(idx) {
                     return Ok(c.clone());
                 }
                 let raw = decompress(bytes)?;
                 let chunk = read_chunk(&mut BinReader::new(&raw))?;
-                if self.cache.len() >= CACHE_SLOTS {
-                    self.cache.remove(0);
-                }
-                self.cache.push((idx, chunk.clone()));
+                cache.insert(idx, chunk.clone());
                 Ok(chunk)
             }
         }
+    }
+
+    /// Read one row through a caller-owned cache without cloning whole
+    /// chunks (probe-side match gathering calls this once per matched row).
+    pub fn row_shared(
+        &self,
+        cache: &mut ChunkCache,
+        chunk_idx: usize,
+        row: usize,
+    ) -> Result<Vec<eider_vector::Value>> {
+        match &self.chunks[chunk_idx] {
+            StoredChunk::Plain(c) => Ok(c.row_values(row)),
+            StoredChunk::Compressed { .. } => {
+                if let Some(c) = cache.get(chunk_idx) {
+                    return Ok(c.row_values(row));
+                }
+                let chunk = self.chunk_shared(cache, chunk_idx)?; // populates the cache
+                Ok(chunk.row_values(row))
+            }
+        }
+    }
+
+    /// Fetch chunk `idx`, decompressing if needed, through the collection's
+    /// own cache (single-reader convenience).
+    pub fn chunk(&mut self, idx: usize) -> Result<DataChunk> {
+        let mut cache = std::mem::take(&mut self.cache);
+        let result = self.chunk_shared(&mut cache, idx);
+        self.cache = cache;
+        result
     }
 
     /// Rows in chunk `idx` without decompressing it.
@@ -140,19 +202,12 @@ impl ChunkCollection {
         self.chunks[idx].rows()
     }
 
-    /// Read one row out without cloning whole chunks (probe-side match
-    /// gathering calls this once per matched row).
+    /// Read one row out through the collection's own cache.
     pub fn row(&mut self, chunk_idx: usize, row: usize) -> Result<Vec<eider_vector::Value>> {
-        match &self.chunks[chunk_idx] {
-            StoredChunk::Plain(c) => Ok(c.row_values(row)),
-            StoredChunk::Compressed { .. } => {
-                if let Some((_, c)) = self.cache.iter().find(|(i, _)| *i == chunk_idx) {
-                    return Ok(c.row_values(row));
-                }
-                let chunk = self.chunk(chunk_idx)?; // populates the cache
-                Ok(chunk.row_values(row))
-            }
-        }
+        let mut cache = std::mem::take(&mut self.cache);
+        let result = self.row_shared(&mut cache, chunk_idx, row);
+        self.cache = cache;
+        result
     }
 
     /// Iterate all chunks in order, decompressing lazily.

@@ -71,7 +71,7 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// One-shot hash of a hashable value.
-pub fn fxhash<T: std::hash::Hash>(v: &T) -> u64 {
+pub fn fxhash<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
     let mut h = FxHasher::default();
     v.hash(&mut h);
     h.finish()

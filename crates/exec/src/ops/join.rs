@@ -6,14 +6,28 @@
 //! table on top. When the build side would blow the memory budget, the
 //! planner (or the cooperation policy at runtime) uses
 //! [`crate::ops::merge_join::MergeJoinOp`] instead.
+//!
+//! The build and probe phases are split into first-class pieces so the
+//! pipeline-DAG executor can schedule them as separate pipelines:
+//!
+//! * [`BuildSide`] — the immutable hashed build table. Built either
+//!   serially chunk-by-chunk or spliced from morsel-parallel
+//!   [`BuildPartial`]s; once finished it is read through `&self` only, so
+//!   any number of probe workers can share one `Arc<BuildSide>`.
+//! * [`JoinProbeOp`] — a streaming operator that probes its child's chunks
+//!   against a borrowed build side. The serial [`HashJoinOp`] is exactly
+//!   "drain right into a `BuildSide`, then `JoinProbeOp` over left"; the
+//!   parallel executor stacks the same `JoinProbeOp` on every worker's
+//!   morsel chain.
 
-use crate::collection::ChunkCollection;
+use crate::collection::{ChunkCache, ChunkCollection};
 use crate::expression::Expr;
 use crate::fxhash::{fxhash, FxHashMap};
 use crate::ops::{OperatorBox, PhysicalOperator};
 use eider_coop::compression::CompressionLevel;
 use eider_storage::buffer::BufferManager;
 use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, VECTOR_SIZE};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Join flavours supported by the hash and nested-loop joins.
@@ -29,25 +43,21 @@ pub enum JoinType {
 }
 
 impl JoinType {
-    fn emits_right_columns(self) -> bool {
+    /// Whether the join's output rows carry the build side's columns.
+    pub fn emits_right_columns(self) -> bool {
         matches!(self, JoinType::Inner | JoinType::Left)
     }
 }
 
-/// Equi-join via an in-memory hash table on the right (build) side.
-pub struct HashJoinOp {
-    left: OperatorBox,
-    right: Option<OperatorBox>,
-    left_keys: Vec<Expr>,
-    right_keys: Vec<Expr>,
-    join_type: JoinType,
-    build: Option<BuildSide>,
-    out_types: Vec<LogicalType>,
-    right_types: Vec<LogicalType>,
-    pending: Vec<DataChunk>,
-}
-
-struct BuildSide {
+/// The immutable hashed build side of an equi-join: materialized rows plus
+/// an Fx-hashed bucket table over the precomputed key values.
+///
+/// Mutable only while building ([`BuildSide::append_chunk`] /
+/// [`BuildSide::append_partial`]); every probe accessor takes `&self` with
+/// a caller-owned [`ChunkCache`], so one `Arc<BuildSide>` serves any number
+/// of concurrent probe workers — the pipeline-DAG executor's join-breaker
+/// state.
+pub struct BuildSide {
     rows: ChunkCollection,
     /// Key values per build row, parallel to (chunk, row) positions.
     keys: Vec<Vec<Value>>,
@@ -55,8 +65,107 @@ struct BuildSide {
     buckets: FxHashMap<u64, Vec<u32>>,
 }
 
+impl BuildSide {
+    /// An empty build side; `buffers` (when given) accounts the
+    /// materialized rows against the shared memory budget.
+    pub fn new(
+        compression: CompressionLevel,
+        buffers: Option<Arc<BufferManager>>,
+    ) -> Result<BuildSide> {
+        Ok(BuildSide {
+            rows: match buffers {
+                Some(b) => ChunkCollection::with_accounting(compression, b)?,
+                None => ChunkCollection::new(compression),
+            },
+            keys: Vec::new(),
+            positions: Vec::new(),
+            buckets: FxHashMap::default(),
+        })
+    }
+
+    /// Splice morsel-parallel build partials (in scan order) into one
+    /// build side — the merge/finalize step of a parallel build pipeline.
+    /// The expensive part (expression evaluation, hashing) happened on the
+    /// workers; this only fills the bucket table.
+    pub fn from_partials(
+        partials: Vec<BuildPartial>,
+        compression: CompressionLevel,
+        buffers: Option<Arc<BufferManager>>,
+    ) -> Result<BuildSide> {
+        let mut build = BuildSide::new(compression, buffers)?;
+        for partial in partials {
+            build.append_partial(partial)?;
+        }
+        Ok(build)
+    }
+
+    /// Serial incremental build: hash one chunk's keys and append it.
+    pub fn append_chunk(&mut self, chunk: DataChunk, key_exprs: &[Expr]) -> Result<()> {
+        self.append_partial(BuildPartial::compute(chunk, key_exprs)?)
+    }
+
+    /// Append one precomputed partial (see [`BuildPartial::compute`]).
+    pub fn append_partial(&mut self, partial: BuildPartial) -> Result<()> {
+        let chunk_idx = self.rows.chunk_count() as u32;
+        for (row, key, hash) in partial.entries {
+            let idx = self.positions.len() as u32;
+            self.positions.push((chunk_idx, row));
+            self.keys.push(key);
+            self.buckets.entry(hash).or_default().push(idx);
+        }
+        self.rows.append(partial.chunk)
+    }
+
+    /// Number of join-eligible (non-NULL-key) build rows.
+    pub fn entry_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Total materialized build rows (including NULL-key rows).
+    pub fn row_count(&self) -> usize {
+        self.rows.row_count()
+    }
+
+    /// Indices of build entries whose key equals `key` (empty for NULL
+    /// keys — they never join).
+    pub fn matches(&self, key: &[Value]) -> Vec<u32> {
+        if key.iter().any(Value::is_null) {
+            return Vec::new();
+        }
+        let h = fxhash(key);
+        self.buckets
+            .get(&h)
+            .map(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let bk = &self.keys[i as usize];
+                        bk.iter()
+                            .zip(key)
+                            .all(|(a, b)| a.sql_cmp(b) == Some(std::cmp::Ordering::Equal))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Values of build entry `idx` (as returned by [`BuildSide::matches`]),
+    /// read through the caller's decompression cache.
+    pub fn entry_values(&self, cache: &mut ChunkCache, idx: u32) -> Result<Vec<Value>> {
+        let (c, r) = self.positions[idx as usize];
+        self.rows.row_shared(cache, c as usize, r as usize)
+    }
+}
+
+// The probe phase shares one `Arc<BuildSide>` across worker threads.
+const _: () = {
+    const fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<BuildSide>()
+};
+
 /// One build-side chunk with its hash-eligible rows, produced by a
-/// parallel-build worker and consumed by [`HashJoinOp::from_prebuilt`].
+/// parallel-build worker and consumed by [`BuildSide::from_partials`].
 pub struct BuildPartial {
     /// The build-side rows as produced by the worker's pipeline.
     pub chunk: DataChunk,
@@ -81,6 +190,151 @@ impl BuildPartial {
         }
         Ok(BuildPartial { chunk, entries })
     }
+
+    /// Approximate heap footprint (chunk plus hash entries), used by the
+    /// parallel build's memory accounting.
+    pub fn footprint_bytes(&self) -> usize {
+        self.chunk.size_bytes()
+            + self
+                .entries
+                .iter()
+                .map(|(_, key, _)| 24 + key.iter().map(Value::size_bytes).sum::<usize>())
+                .sum::<usize>()
+    }
+}
+
+/// Streaming probe against a borrowed build side: pulls chunks from its
+/// child, joins each row via [`BuildSide::matches`], and emits the joined
+/// chunks in child-row order.
+///
+/// This single implementation serves both engines: [`HashJoinOp`] wraps it
+/// after a serial build, and the parallel executor stacks one on every
+/// worker's morsel chain (`PipelineStep::JoinProbe`) so the probe side
+/// runs morsel-parallel against one shared `Arc<BuildSide>`.
+pub struct JoinProbeOp {
+    child: OperatorBox,
+    build: Arc<BuildSide>,
+    left_keys: Vec<Expr>,
+    join_type: JoinType,
+    right_types: Vec<LogicalType>,
+    out_types: Vec<LogicalType>,
+    cache: ChunkCache,
+    pending: VecDeque<DataChunk>,
+}
+
+impl JoinProbeOp {
+    pub fn new(
+        child: OperatorBox,
+        build: Arc<BuildSide>,
+        left_keys: Vec<Expr>,
+        join_type: JoinType,
+        right_types: Vec<LogicalType>,
+    ) -> Self {
+        let mut out_types = child.output_types();
+        if join_type.emits_right_columns() {
+            out_types.extend(right_types.iter().copied());
+        }
+        JoinProbeOp {
+            child,
+            build,
+            left_keys,
+            join_type,
+            right_types,
+            out_types,
+            cache: ChunkCache::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Probe one chunk, queueing output chunks in row order.
+    fn probe_chunk(&mut self, chunk: &DataChunk) -> Result<()> {
+        let key_vectors =
+            self.left_keys.iter().map(|k| k.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
+        let mut out = DataChunk::new(&self.out_types);
+        for row in 0..chunk.len() {
+            let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
+            let matches = self.build.matches(&key);
+            match self.join_type {
+                JoinType::Inner => {
+                    for &m in &matches {
+                        let mut vals = chunk.row_values(row);
+                        vals.extend(self.build.entry_values(&mut self.cache, m)?);
+                        out.append_row(&vals)?;
+                    }
+                }
+                JoinType::Left => {
+                    if matches.is_empty() {
+                        let mut vals = chunk.row_values(row);
+                        vals.extend(self.right_types.iter().map(|_| Value::Null));
+                        out.append_row(&vals)?;
+                    } else {
+                        for &m in &matches {
+                            let mut vals = chunk.row_values(row);
+                            vals.extend(self.build.entry_values(&mut self.cache, m)?);
+                            out.append_row(&vals)?;
+                        }
+                    }
+                }
+                JoinType::Semi => {
+                    if !matches.is_empty() {
+                        out.append_row(&chunk.row_values(row))?;
+                    }
+                }
+                JoinType::Anti => {
+                    if matches.is_empty() {
+                        out.append_row(&chunk.row_values(row))?;
+                    }
+                }
+            }
+            // Split oversized outputs (many-to-many joins can fan out).
+            if out.len() >= VECTOR_SIZE * 4 {
+                self.pending.push_back(out);
+                out = DataChunk::new(&self.out_types);
+            }
+        }
+        if !out.is_empty() {
+            self.pending.push_back(out);
+        }
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for JoinProbeOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.out_types.clone()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        loop {
+            if let Some(chunk) = self.pending.pop_front() {
+                return Ok(Some(chunk));
+            }
+            match self.child.next_chunk()? {
+                Some(chunk) => {
+                    if !chunk.is_empty() {
+                        self.probe_chunk(&chunk)?;
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Equi-join via an in-memory hash table on the right (build) side —
+/// the serial composition "build [`BuildSide`] from right, then
+/// [`JoinProbeOp`] over left".
+pub struct HashJoinOp {
+    /// Present until the build phase runs.
+    inputs: Option<(OperatorBox, OperatorBox)>,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    join_type: JoinType,
+    compression: CompressionLevel,
+    buffers: Option<Arc<BufferManager>>,
+    out_types: Vec<LogicalType>,
+    right_types: Vec<LogicalType>,
+    probe: Option<JoinProbeOp>,
 }
 
 impl HashJoinOp {
@@ -99,186 +353,39 @@ impl HashJoinOp {
         if join_type.emits_right_columns() {
             out_types.extend(right_types.iter().copied());
         }
-        let rows = match buffers {
-            Some(b) => ChunkCollection::with_accounting(compression, b)?,
-            None => ChunkCollection::new(compression),
-        };
         Ok(HashJoinOp {
-            left,
-            right: Some(right),
+            inputs: Some((left, right)),
             left_keys,
             right_keys,
             join_type,
-            build: Some(BuildSide {
-                rows,
-                keys: Vec::new(),
-                positions: Vec::new(),
-                buckets: FxHashMap::default(),
-            }),
+            compression,
+            buffers,
             out_types,
             right_types,
-            pending: Vec::new(),
+            probe: None,
         })
     }
 
-    /// Construct a hash join whose build side was already evaluated —
-    /// the merge/finalize step of the morsel-parallel build
-    /// (`eider_exec::parallel`). Each entry carries one build-side chunk
-    /// plus its join-eligible rows as `(row, key values, key hash)`,
-    /// precomputed by the workers; this constructor only splices them
-    /// into one bucket table, so the expensive part (expression
-    /// evaluation, hashing) stays parallel.
-    #[allow(clippy::too_many_arguments)]
-    pub fn from_prebuilt(
-        left: OperatorBox,
-        right_types: Vec<LogicalType>,
-        prebuilt: Vec<BuildPartial>,
-        left_keys: Vec<Expr>,
-        join_type: JoinType,
-        compression: CompressionLevel,
-        buffers: Option<Arc<BufferManager>>,
-    ) -> Result<Self> {
-        let mut out_types = left.output_types();
-        if join_type.emits_right_columns() {
-            out_types.extend(right_types.iter().copied());
-        }
-        let mut build = BuildSide {
-            rows: match buffers {
-                Some(b) => ChunkCollection::with_accounting(compression, b)?,
-                None => ChunkCollection::new(compression),
-            },
-            keys: Vec::new(),
-            positions: Vec::new(),
-            buckets: FxHashMap::default(),
-        };
-        for partial in prebuilt {
-            let chunk_idx = build.rows.chunk_count() as u32;
-            for (row, key, hash) in partial.entries {
-                let idx = build.positions.len() as u32;
-                build.positions.push((chunk_idx, row));
-                build.keys.push(key);
-                build.buckets.entry(hash).or_default().push(idx);
-            }
-            build.rows.append(partial.chunk)?;
-        }
-        Ok(HashJoinOp {
-            left,
-            right: None,
-            left_keys,
-            right_keys: Vec::new(),
-            join_type,
-            build: Some(build),
-            out_types,
-            right_types,
-            pending: Vec::new(),
-        })
-    }
-
-    /// Pull the whole build side and hash it. Fails with `OutOfMemory`
-    /// when the collection exceeds the buffer-manager budget — the signal
-    /// that the cooperation policy should have chosen a merge join.
+    /// Pull the whole build side and hash it, then stand up the probe.
+    /// Fails with `OutOfMemory` when the collection exceeds the
+    /// buffer-manager budget — the signal that the cooperation policy
+    /// should have chosen a merge join.
     fn build_phase(&mut self) -> Result<()> {
-        let Some(mut right) = self.right.take() else {
-            return Ok(());
-        };
-        let build = self.build.as_mut().expect("build side present");
+        let (left, mut right) = self.inputs.take().expect("build runs once");
+        let mut build = BuildSide::new(self.compression, self.buffers.clone())?;
         while let Some(chunk) = right.next_chunk()? {
-            if chunk.is_empty() {
-                continue;
+            if !chunk.is_empty() {
+                build.append_chunk(chunk, &self.right_keys)?;
             }
-            let key_vectors =
-                self.right_keys.iter().map(|k| k.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
-            let chunk_idx = build.rows.chunk_count() as u32;
-            for row in 0..chunk.len() {
-                let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
-                if key.iter().any(Value::is_null) {
-                    continue; // NULL keys never join
-                }
-                let h = fxhash(&key);
-                let idx = build.positions.len() as u32;
-                build.positions.push((chunk_idx, row as u32));
-                build.keys.push(key);
-                build.buckets.entry(h).or_default().push(idx);
-            }
-            build.rows.append(chunk)?;
         }
+        self.probe = Some(JoinProbeOp::new(
+            left,
+            Arc::new(build),
+            self.left_keys.clone(),
+            self.join_type,
+            self.right_types.clone(),
+        ));
         Ok(())
-    }
-
-    fn probe_chunk(&mut self, chunk: &DataChunk) -> Result<Option<DataChunk>> {
-        let key_vectors =
-            self.left_keys.iter().map(|k| k.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
-        let build = self.build.as_mut().expect("built");
-        let mut out = DataChunk::new(&self.out_types);
-        for row in 0..chunk.len() {
-            let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
-            let has_null_key = key.iter().any(Value::is_null);
-            let matches: Vec<u32> = if has_null_key {
-                Vec::new()
-            } else {
-                let h = fxhash(&key);
-                build
-                    .buckets
-                    .get(&h)
-                    .map(|cands| {
-                        cands
-                            .iter()
-                            .copied()
-                            .filter(|&i| {
-                                let bk = &build.keys[i as usize];
-                                bk.iter()
-                                    .zip(&key)
-                                    .all(|(a, b)| a.sql_cmp(b) == Some(std::cmp::Ordering::Equal))
-                            })
-                            .collect()
-                    })
-                    .unwrap_or_default()
-            };
-            match self.join_type {
-                JoinType::Inner => {
-                    for &m in &matches {
-                        let (c, r) = build.positions[m as usize];
-                        let mut vals = chunk.row_values(row);
-                        vals.extend(build.rows.row(c as usize, r as usize)?);
-                        out.append_row(&vals)?;
-                    }
-                }
-                JoinType::Left => {
-                    if matches.is_empty() {
-                        let mut vals = chunk.row_values(row);
-                        vals.extend(self.right_types.iter().map(|_| Value::Null));
-                        out.append_row(&vals)?;
-                    } else {
-                        for &m in &matches {
-                            let (c, r) = build.positions[m as usize];
-                            let mut vals = chunk.row_values(row);
-                            vals.extend(build.rows.row(c as usize, r as usize)?);
-                            out.append_row(&vals)?;
-                        }
-                    }
-                }
-                JoinType::Semi => {
-                    if !matches.is_empty() {
-                        out.append_row(&chunk.row_values(row))?;
-                    }
-                }
-                JoinType::Anti => {
-                    if matches.is_empty() {
-                        out.append_row(&chunk.row_values(row))?;
-                    }
-                }
-            }
-            // Split oversized outputs (many-to-many joins can fan out).
-            if out.len() >= VECTOR_SIZE * 4 {
-                self.pending.push(out);
-                out = DataChunk::new(&self.out_types);
-            }
-        }
-        if out.is_empty() {
-            Ok(None)
-        } else {
-            Ok(Some(out))
-        }
     }
 }
 
@@ -288,25 +395,10 @@ impl PhysicalOperator for HashJoinOp {
     }
 
     fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
-        if self.right.is_some() {
+        if self.probe.is_none() {
             self.build_phase()?;
         }
-        loop {
-            if let Some(chunk) = self.pending.pop() {
-                return Ok(Some(chunk));
-            }
-            match self.left.next_chunk()? {
-                Some(chunk) => {
-                    if chunk.is_empty() {
-                        continue;
-                    }
-                    if let Some(out) = self.probe_chunk(&chunk)? {
-                        return Ok(Some(out));
-                    }
-                }
-                None => return Ok(None),
-            }
-        }
+        self.probe.as_mut().expect("built").next_chunk()
     }
 }
 

@@ -1,0 +1,657 @@
+//! The pipeline DAG: multi-pipeline scheduling with breaker-state handoff.
+//!
+//! A single [`ParallelPipeline`] can only express `scan → step* → sink`.
+//! Real query shapes are *graphs* of such pipelines connected by pipeline
+//! breakers: a hash join's build pipeline must finish before its probe
+//! pipeline starts, a sort's runs must all exist before the merge, and a
+//! UNION ALL is two sibling pipelines feeding one result. The
+//! [`PipelineGraph`] models exactly that:
+//!
+//! * **nodes** are pipelines (or serially-evaluated build sides for inputs
+//!   too small or too irregular to split into morsels);
+//! * **edges** are breaker states passed between them — today an immutable
+//!   shared [`BuildSide`] flowing from a build node into the
+//!   [`GraphLink::Probe`] links of later pipelines;
+//! * **outputs** name the nodes whose chunks concatenate (in order) into
+//!   the graph's result; more than one output node models UNION ALL.
+//!
+//! Nodes are stored in dependency order (the planner appends a join's
+//! build node before the pipeline that probes it), so execution is a
+//! simple in-order walk: each node runs to completion on the
+//! [`TaskScheduler`](crate::parallel::scheduler::TaskScheduler) fan-out,
+//! its breaker state is parked in the result table, and later nodes
+//! resolve their links against it. Every node's merge step is
+//! deterministic, so the whole DAG returns bit-identical rows at any
+//! worker count.
+//!
+//! The [`PipelineGraphOp`] facade lets the physical planner splice a DAG
+//! into an otherwise serial plan; it holds the output's buffer-manager
+//! reservations until dropped (pipeline teardown).
+
+use crate::expression::Expr;
+use crate::ops::join::{BuildSide, JoinType};
+use crate::ops::{OperatorBox, PhysicalOperator};
+use crate::parallel::morsel::MorselSource;
+use crate::parallel::pipeline::{
+    sink_output_types, ParallelPipeline, PipelineOutput, PipelineSink, PipelineStep,
+};
+use eider_coop::compression::CompressionLevel;
+use eider_storage::buffer::{BufferManager, MemoryReservation};
+use eider_txn::Transaction;
+use eider_vector::{DataChunk, EiderError, LogicalType, Result};
+use std::sync::Arc;
+
+/// Index of a node inside its [`PipelineGraph`].
+pub type NodeId = usize;
+
+/// One streaming link of a pipeline node's chain.
+pub enum GraphLink {
+    /// A plain per-worker step (filter / projection).
+    Step(PipelineStep),
+    /// Morsel-parallel hash-join probe against the [`BuildSide`] produced
+    /// by node `build` (which must precede this node). Resolved into a
+    /// [`PipelineStep::JoinProbe`] once the build node has run.
+    Probe {
+        build: NodeId,
+        left_keys: Vec<Expr>,
+        join_type: JoinType,
+        right_types: Vec<LogicalType>,
+    },
+}
+
+/// One node of the DAG.
+pub enum GraphNode {
+    /// A morsel-parallel pipeline over a table scan.
+    Pipeline { source: Arc<MorselSource>, links: Vec<GraphLink>, sink: PipelineSink },
+    /// A join build side evaluated serially (the input is not
+    /// pipeline-shaped, or too small for fan-out to pay off). The *probe*
+    /// side still runs morsel-parallel — this is what keeps small
+    /// dimension-table joins on the parallel path.
+    SerialBuild { input: Option<OperatorBox>, keys: Vec<Expr> },
+    /// The mirror case: a *probe* side too small or irregular to split,
+    /// pulled serially through the resolved probe links and drained into
+    /// chunks. The expensive build pipeline stays morsel-parallel.
+    SerialPipeline { input: Option<OperatorBox>, links: Vec<GraphLink> },
+}
+
+/// Column types a chain of links produces over `base`-typed chunks —
+/// shared by node typing here and by the planner's chain specs.
+pub fn fold_link_types(base: Vec<LogicalType>, links: &[GraphLink]) -> Vec<LogicalType> {
+    let mut types = base;
+    for link in links {
+        types = match link {
+            GraphLink::Step(step) => step.output_types(types),
+            GraphLink::Probe { join_type, right_types, .. } => {
+                if join_type.emits_right_columns() {
+                    types.extend(right_types.iter().copied());
+                }
+                types
+            }
+        };
+    }
+    types
+}
+
+/// Breaker state parked between nodes during execution.
+enum NodeOutput {
+    /// Consumed (or never produced chunks/build state).
+    Taken,
+    Chunks {
+        chunks: Vec<DataChunk>,
+        reservations: Vec<MemoryReservation>,
+    },
+    Build(Arc<BuildSide>),
+}
+
+/// An executable DAG of parallel pipelines, bound to one query's
+/// transaction. Build with [`PipelineGraph::new`] + [`PipelineGraph::add`],
+/// then declare the output node(s) with [`PipelineGraph::set_outputs`].
+pub struct PipelineGraph {
+    nodes: Vec<GraphNode>,
+    outputs: Vec<NodeId>,
+    txn: Arc<Transaction>,
+    threads: usize,
+    buffers: Option<Arc<BufferManager>>,
+    compression: CompressionLevel,
+    sort_budget: usize,
+}
+
+impl PipelineGraph {
+    pub fn new(txn: Arc<Transaction>, threads: usize) -> Self {
+        PipelineGraph {
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+            txn,
+            threads: threads.max(1),
+            buffers: None,
+            compression: CompressionLevel::None,
+            sort_budget: usize::MAX,
+        }
+    }
+
+    /// Account pipeline state (collected chunks, sort runs, aggregate
+    /// partials, build sides) against a buffer manager.
+    pub fn with_buffers(mut self, buffers: Option<Arc<BufferManager>>) -> Self {
+        self.buffers = buffers;
+        self
+    }
+
+    /// Compression level for materialized build sides (Figure 1's
+    /// intermediate compression).
+    pub fn with_compression(mut self, compression: CompressionLevel) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Total in-memory budget for sort runs; larger sorts spill to disk.
+    pub fn with_sort_budget(mut self, budget: usize) -> Self {
+        self.sort_budget = budget;
+        self
+    }
+
+    /// Append a node; returns its id. Nodes referenced by
+    /// [`GraphLink::Probe`] must be appended before their probers —
+    /// execution walks in append order.
+    pub fn add(&mut self, node: GraphNode) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Declare which nodes' chunks form the graph's result, concatenated
+    /// in order (several nodes = UNION ALL).
+    pub fn set_outputs(&mut self, outputs: Vec<NodeId>) {
+        self.outputs = outputs;
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Column types a node's chain feeds into its sink.
+    fn chain_types(&self, id: NodeId) -> Vec<LogicalType> {
+        match &self.nodes[id] {
+            GraphNode::SerialBuild { input, .. } => {
+                input.as_ref().map(|op| op.output_types()).unwrap_or_default()
+            }
+            GraphNode::Pipeline { source, links, .. } => {
+                let base = source.scan_options().output_types(source.table());
+                fold_link_types(base, links)
+            }
+            GraphNode::SerialPipeline { input, links } => {
+                let base = input.as_ref().map(|op| op.output_types()).unwrap_or_default();
+                fold_link_types(base, links)
+            }
+        }
+    }
+
+    /// Column types of the graph's final output (the output nodes agree on
+    /// them by construction — UNION ALL requires it).
+    pub fn output_types(&self) -> Vec<LogicalType> {
+        let Some(&first) = self.outputs.first() else { return Vec::new() };
+        match &self.nodes[first] {
+            GraphNode::SerialBuild { .. } => Vec::new(),
+            GraphNode::Pipeline { sink, .. } => sink_output_types(sink, || self.chain_types(first)),
+            GraphNode::SerialPipeline { .. } => self.chain_types(first),
+        }
+    }
+
+    /// Execute every node in dependency order and concatenate the output
+    /// nodes' chunks. Returns the chunks plus the buffer-manager
+    /// reservations that keep them accounted until teardown.
+    pub fn execute(mut self) -> Result<(Vec<DataChunk>, Vec<MemoryReservation>)> {
+        let nodes = std::mem::take(&mut self.nodes);
+        let mut results: Vec<NodeOutput> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let output = match node {
+                GraphNode::SerialBuild { input, keys } => {
+                    let mut op = input.ok_or_else(|| {
+                        EiderError::Internal("serial build node executed twice".into())
+                    })?;
+                    let mut build = BuildSide::new(self.compression, self.buffers.clone())?;
+                    while let Some(chunk) = op.next_chunk()? {
+                        if !chunk.is_empty() {
+                            build.append_chunk(chunk, &keys)?;
+                        }
+                    }
+                    NodeOutput::Build(Arc::new(build))
+                }
+                GraphNode::SerialPipeline { input, links } => {
+                    let op = input.ok_or_else(|| {
+                        EiderError::Internal("serial pipeline node executed twice".into())
+                    })?;
+                    let mut op = Self::resolve_links(links, &results)?
+                        .into_iter()
+                        .fold(op, |child, step| step.instantiate(child));
+                    let mut chunks = Vec::new();
+                    while let Some(chunk) = op.next_chunk()? {
+                        if !chunk.is_empty() {
+                            chunks.push(chunk);
+                        }
+                    }
+                    NodeOutput::Chunks { chunks, reservations: Vec::new() }
+                }
+                GraphNode::Pipeline { source, links, sink } => {
+                    let steps = Self::resolve_links(links, &results)?;
+                    let pipeline =
+                        ParallelPipeline::new(source, Arc::clone(&self.txn), steps, sink)
+                            .with_buffers(self.buffers.clone())
+                            .with_sort_budget(self.sort_budget);
+                    match pipeline.execute(self.threads)? {
+                        PipelineOutput::Chunks { chunks, reservations } => {
+                            NodeOutput::Chunks { chunks, reservations }
+                        }
+                        PipelineOutput::JoinBuild { partials, reservations } => {
+                            let build = BuildSide::from_partials(
+                                partials,
+                                self.compression,
+                                self.buffers.clone(),
+                            )?;
+                            // The workers' partial reservations release
+                            // only now, after the splice re-accounted the
+                            // same rows inside the build side.
+                            drop(reservations);
+                            NodeOutput::Build(Arc::new(build))
+                        }
+                    }
+                }
+            };
+            results.push(output);
+        }
+        let mut chunks = Vec::new();
+        let mut reservations = Vec::new();
+        for &id in &self.outputs {
+            match std::mem::replace(&mut results[id], NodeOutput::Taken) {
+                NodeOutput::Chunks { chunks: c, reservations: r } => {
+                    chunks.extend(c);
+                    reservations.extend(r);
+                }
+                _ => {
+                    return Err(EiderError::Internal(
+                        "pipeline-DAG output node did not produce chunks".into(),
+                    ))
+                }
+            }
+        }
+        Ok((chunks, reservations))
+    }
+
+    /// Resolve probe links against already-executed build nodes.
+    fn resolve_links(links: Vec<GraphLink>, results: &[NodeOutput]) -> Result<Vec<PipelineStep>> {
+        links
+            .into_iter()
+            .map(|link| match link {
+                GraphLink::Step(step) => Ok(step),
+                GraphLink::Probe { build, left_keys, join_type, right_types } => {
+                    match results.get(build) {
+                        Some(NodeOutput::Build(b)) => Ok(PipelineStep::JoinProbe {
+                            build: Arc::clone(b),
+                            left_keys,
+                            join_type,
+                            right_types,
+                        }),
+                        _ => Err(EiderError::Internal(
+                            "probe link references a node that produced no build side \
+                             (planner emitted nodes out of dependency order?)"
+                                .into(),
+                        )),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A [`PhysicalOperator`] facade over a pipeline DAG: executes eagerly on
+/// the first pull, then streams the concatenated output chunks. Holds the
+/// output's memory reservations until dropped.
+pub struct PipelineGraphOp {
+    graph: Option<PipelineGraph>,
+    out_types: Vec<LogicalType>,
+    output: Option<std::vec::IntoIter<DataChunk>>,
+    _reservations: Vec<MemoryReservation>,
+}
+
+impl PipelineGraphOp {
+    pub fn new(graph: PipelineGraph) -> Self {
+        PipelineGraphOp {
+            out_types: graph.output_types(),
+            graph: Some(graph),
+            output: None,
+            _reservations: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for PipelineGraphOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.out_types.clone()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if self.output.is_none() {
+            let graph = self
+                .graph
+                .take()
+                .ok_or_else(|| EiderError::Internal("pipeline DAG executed twice".into()))?;
+            let (chunks, reservations) = graph.execute()?;
+            self.output = Some(chunks.into_iter());
+            self._reservations = reservations;
+        }
+        Ok(self.output.as_mut().expect("executed").next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::Expr;
+    use crate::ops::sort::SortKey;
+    use crate::ops::{drain_rows, FilterOp, HashJoinOp, TableScanOp};
+    use eider_txn::{CmpOp, DataTable, ScanOptions, TableFilter, TransactionManager};
+    use eider_vector::{Value, VECTOR_SIZE};
+
+    const ROWS: i32 = 30_000;
+
+    /// (i, i % 100) — the second column joins 1:300 against a small build.
+    fn fixture() -> (Arc<TransactionManager>, Arc<DataTable>) {
+        let mgr = TransactionManager::new();
+        let table = DataTable::new(vec![LogicalType::Integer, LogicalType::Integer]);
+        let setup = mgr.begin();
+        let rows: Vec<Vec<Value>> =
+            (0..ROWS).map(|i| vec![Value::Integer(i), Value::Integer(i % 100)]).collect();
+        table
+            .append_chunk(
+                &setup,
+                &DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows)
+                    .unwrap(),
+            )
+            .unwrap();
+        setup.commit().unwrap();
+        (mgr, table)
+    }
+
+    fn probe_opts() -> ScanOptions {
+        ScanOptions { columns: vec![0, 1], filters: vec![], emit_row_ids: false }
+    }
+
+    fn build_scan(table: &Arc<DataTable>, txn: &Arc<Transaction>) -> OperatorBox {
+        // Build side: rows with id < 100 (one per key value).
+        Box::new(TableScanOp::new(
+            Arc::clone(table),
+            Arc::clone(txn),
+            ScanOptions {
+                columns: vec![0, 1],
+                filters: vec![TableFilter::new(0, CmpOp::Lt, Value::Integer(100))],
+                emit_row_ids: false,
+            },
+        ))
+    }
+
+    fn join_key() -> Vec<Expr> {
+        vec![Expr::column(1, LogicalType::Integer)]
+    }
+
+    fn serial_join_rows(table: &Arc<DataTable>, txn: &Arc<Transaction>) -> Vec<Vec<Value>> {
+        let probe: OperatorBox =
+            Box::new(TableScanOp::new(Arc::clone(table), Arc::clone(txn), probe_opts()));
+        let mut op = HashJoinOp::new(
+            probe,
+            build_scan(table, txn),
+            join_key(),
+            join_key(),
+            JoinType::Inner,
+            CompressionLevel::None,
+            None,
+        )
+        .unwrap();
+        drain_rows(&mut op).unwrap()
+    }
+
+    fn probe_graph(
+        table: &Arc<DataTable>,
+        txn: &Arc<Transaction>,
+        threads: usize,
+        parallel_build: bool,
+    ) -> PipelineGraph {
+        let mut graph = PipelineGraph::new(Arc::clone(txn), threads);
+        let build = if parallel_build {
+            let source =
+                Arc::new(MorselSource::new(Arc::clone(table), txn, probe_opts(), VECTOR_SIZE));
+            graph.add(GraphNode::Pipeline {
+                source,
+                links: vec![GraphLink::Step(PipelineStep::Filter(Expr::Compare {
+                    op: CmpOp::Lt,
+                    left: Box::new(Expr::column(0, LogicalType::Integer)),
+                    right: Box::new(Expr::constant(Value::Integer(100))),
+                }))],
+                sink: PipelineSink::JoinBuild { keys: join_key() },
+            })
+        } else {
+            graph.add(GraphNode::SerialBuild {
+                input: Some(build_scan(table, txn)),
+                keys: join_key(),
+            })
+        };
+        let source =
+            Arc::new(MorselSource::new(Arc::clone(table), txn, probe_opts(), VECTOR_SIZE * 2));
+        let probe = graph.add(GraphNode::Pipeline {
+            source,
+            links: vec![GraphLink::Probe {
+                build,
+                left_keys: join_key(),
+                join_type: JoinType::Inner,
+                right_types: vec![LogicalType::Integer, LogicalType::Integer],
+            }],
+            sink: PipelineSink::Collect,
+        });
+        graph.set_outputs(vec![probe]);
+        graph
+    }
+
+    #[test]
+    fn serial_build_feeds_parallel_probe() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let serial = serial_join_rows(&table, &txn);
+        assert_eq!(serial.len(), ROWS as usize);
+        for threads in [1, 2, 3, 8] {
+            let graph = probe_graph(&table, &txn, threads, false);
+            assert_eq!(graph.output_types().len(), 4);
+            let (chunks, _res) = graph.execute().unwrap();
+            let rows: Vec<Vec<Value>> = chunks.iter().flat_map(DataChunk::to_rows).collect();
+            assert_eq!(rows, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_pipeline_hands_build_side_to_probe_pipeline() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let serial = serial_join_rows(&table, &txn);
+        for threads in [1, 2, 8] {
+            let graph = probe_graph(&table, &txn, threads, true);
+            let (chunks, _res) = graph.execute().unwrap();
+            let rows: Vec<Vec<Value>> = chunks.iter().flat_map(DataChunk::to_rows).collect();
+            assert_eq!(rows, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn union_all_concatenates_output_nodes_in_order() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let arm = |cmp: CmpOp, bound: i32| ScanOptions {
+            columns: vec![0, 1],
+            filters: vec![TableFilter::new(0, cmp, Value::Integer(bound))],
+            emit_row_ids: false,
+        };
+        let serial: Vec<Vec<Value>> = {
+            let mut low: OperatorBox = Box::new(TableScanOp::new(
+                Arc::clone(&table),
+                Arc::clone(&txn),
+                arm(CmpOp::Lt, 5_000),
+            ));
+            let mut high: OperatorBox = Box::new(TableScanOp::new(
+                Arc::clone(&table),
+                Arc::clone(&txn),
+                arm(CmpOp::GtEq, 25_000),
+            ));
+            let mut rows = drain_rows(low.as_mut()).unwrap();
+            rows.extend(drain_rows(high.as_mut()).unwrap());
+            rows
+        };
+        for threads in [1, 2, 8] {
+            let mut graph = PipelineGraph::new(Arc::clone(&txn), threads);
+            let low = graph.add(GraphNode::Pipeline {
+                source: Arc::new(MorselSource::new(
+                    Arc::clone(&table),
+                    &txn,
+                    arm(CmpOp::Lt, 5_000),
+                    VECTOR_SIZE,
+                )),
+                links: vec![],
+                sink: PipelineSink::Collect,
+            });
+            let high = graph.add(GraphNode::Pipeline {
+                source: Arc::new(MorselSource::new(
+                    Arc::clone(&table),
+                    &txn,
+                    arm(CmpOp::GtEq, 25_000),
+                    VECTOR_SIZE,
+                )),
+                links: vec![],
+                sink: PipelineSink::Collect,
+            });
+            graph.set_outputs(vec![low, high]);
+            let (chunks, _res) = graph.execute().unwrap();
+            let rows: Vec<Vec<Value>> = chunks.iter().flat_map(DataChunk::to_rows).collect();
+            assert_eq!(rows, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn probe_chain_feeds_sort_sink_with_limit() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        // TopN over the join output: ORDER BY id DESC LIMIT 7 OFFSET 2.
+        let mut serial = serial_join_rows(&table, &txn);
+        serial.sort_by(|a, b| b[0].total_cmp(&a[0]));
+        let expected: Vec<Vec<Value>> = serial[2..9].to_vec();
+        for threads in [1, 2, 8] {
+            let mut graph = PipelineGraph::new(Arc::clone(&txn), threads);
+            let build = graph.add(GraphNode::SerialBuild {
+                input: Some(build_scan(&table, &txn)),
+                keys: join_key(),
+            });
+            let probe = graph.add(GraphNode::Pipeline {
+                source: Arc::new(MorselSource::new(
+                    Arc::clone(&table),
+                    &txn,
+                    probe_opts(),
+                    VECTOR_SIZE * 2,
+                )),
+                links: vec![GraphLink::Probe {
+                    build,
+                    left_keys: join_key(),
+                    join_type: JoinType::Inner,
+                    right_types: vec![LogicalType::Integer, LogicalType::Integer],
+                }],
+                sink: PipelineSink::Sort {
+                    keys: vec![SortKey::desc(Expr::column(0, LogicalType::Integer))],
+                    limit: Some((7, 2)),
+                },
+            });
+            graph.set_outputs(vec![probe]);
+            let (chunks, _res) = graph.execute().unwrap();
+            let rows: Vec<Vec<Value>> = chunks.iter().flat_map(DataChunk::to_rows).collect();
+            assert_eq!(rows, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn probe_link_against_non_build_node_errors() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let mut graph = PipelineGraph::new(Arc::clone(&txn), 2);
+        // Node 0 collects chunks — probing it must fail, not panic.
+        let collect = graph.add(GraphNode::Pipeline {
+            source: Arc::new(MorselSource::new(
+                Arc::clone(&table),
+                &txn,
+                probe_opts(),
+                VECTOR_SIZE,
+            )),
+            links: vec![],
+            sink: PipelineSink::Collect,
+        });
+        let probe = graph.add(GraphNode::Pipeline {
+            source: Arc::new(MorselSource::new(
+                Arc::clone(&table),
+                &txn,
+                probe_opts(),
+                VECTOR_SIZE,
+            )),
+            links: vec![GraphLink::Probe {
+                build: collect,
+                left_keys: join_key(),
+                join_type: JoinType::Inner,
+                right_types: vec![LogicalType::Integer, LogicalType::Integer],
+            }],
+            sink: PipelineSink::Collect,
+        });
+        graph.set_outputs(vec![probe]);
+        let err = graph.execute().unwrap_err();
+        assert!(err.to_string().contains("no build side"), "{err}");
+    }
+
+    #[test]
+    fn graph_op_streams_chunks_and_runs_once() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let graph = probe_graph(&table, &txn, 4, false);
+        let types = graph.output_types();
+        let mut op = PipelineGraphOp::new(graph);
+        assert_eq!(op.output_types(), types);
+        let rows = drain_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), ROWS as usize);
+        // Exhausted: further pulls keep returning None, not re-executing.
+        assert!(op.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn filter_op_composes_with_serial_build() {
+        // Regression guard: a SerialBuild node over a filtered serial chain
+        // (FilterOp, not a pushed-down TableFilter) must work identically.
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let filtered: OperatorBox = Box::new(FilterOp::new(
+            Box::new(TableScanOp::new(Arc::clone(&table), Arc::clone(&txn), probe_opts())),
+            Expr::Compare {
+                op: CmpOp::Lt,
+                left: Box::new(Expr::column(0, LogicalType::Integer)),
+                right: Box::new(Expr::constant(Value::Integer(100))),
+            },
+        ));
+        let mut graph = PipelineGraph::new(Arc::clone(&txn), 4);
+        let build = graph.add(GraphNode::SerialBuild { input: Some(filtered), keys: join_key() });
+        let probe = graph.add(GraphNode::Pipeline {
+            source: Arc::new(MorselSource::new(
+                Arc::clone(&table),
+                &txn,
+                probe_opts(),
+                VECTOR_SIZE * 2,
+            )),
+            links: vec![GraphLink::Probe {
+                build,
+                left_keys: join_key(),
+                join_type: JoinType::Inner,
+                right_types: vec![LogicalType::Integer, LogicalType::Integer],
+            }],
+            sink: PipelineSink::Collect,
+        });
+        graph.set_outputs(vec![probe]);
+        let (chunks, _res) = graph.execute().unwrap();
+        let n: usize = chunks.iter().map(DataChunk::len).sum();
+        assert_eq!(n, ROWS as usize);
+    }
+}

@@ -1,23 +1,31 @@
-//! Morsel-driven parallel query execution.
+//! Morsel-driven parallel query execution as a pipeline DAG.
 //!
 //! The serial Vector Volcano engine pulls chunks through a single thread;
-//! this module makes the scan-shaped core of a query run on every core the
-//! cooperation policy will give it, following the morsel-driven design of
-//! Leis et al. (SIGMOD 2014) adapted to eider's chunk model:
+//! this module makes whole query shapes run on every core the cooperation
+//! policy will give them, following the morsel-driven design of Leis et
+//! al. (SIGMOD 2014) adapted to eider's chunk model:
 //!
-//! * a [`MorselSource`] slices a table scan into
-//!   *morsels* — contiguous row ranges of one row group, vector-aligned —
-//!   and hands them to whichever worker asks next (atomic work stealing,
-//!   no pre-partitioning, so skew self-balances);
-//! * a [`TaskScheduler`] fans a closure out over
-//!   N scoped worker threads sharing the query's snapshot transaction;
-//! * a [`ParallelPipeline`] describes the
-//!   per-morsel operator chain (filter/projection, built from the same
-//!   [`FilterOp`](crate::ops::FilterOp)/[`ProjectionOp`](crate::ops::ProjectionOp)
-//!   operators the serial engine uses) and the pipeline-breaking sink at
-//!   the top: collect, simple aggregate, hash aggregate, sort, or
-//!   hash-join build — each with a worker-local state and an explicit
-//!   merge/finalize step.
+//! * a [`MorselSource`] slices a table scan into *morsels* — contiguous
+//!   row ranges of one row group, vector-aligned — and hands them to
+//!   whichever worker asks next (atomic work stealing, no
+//!   pre-partitioning, so skew self-balances);
+//! * a [`TaskScheduler`] fans a closure out over N scoped worker threads
+//!   sharing the query's snapshot transaction;
+//! * a [`ParallelPipeline`] describes one pipeline's per-morsel operator
+//!   chain — filter, projection, and hash-join *probe* against a shared
+//!   immutable build side, built from the same serial operators
+//!   ([`FilterOp`](crate::ops::FilterOp),
+//!   [`ProjectionOp`](crate::ops::ProjectionOp),
+//!   [`JoinProbeOp`](crate::ops::JoinProbeOp)) — plus the
+//!   pipeline-breaking sink at the top: collect, simple aggregate, hash
+//!   aggregate (which with no aggregate functions is DISTINCT), sort
+//!   (disk-spilling, optionally Top-N-bounded), or hash-join build — each
+//!   with a worker-local state and an explicit merge/finalize step;
+//! * a [`PipelineGraph`] connects pipelines into a **DAG** executed in
+//!   dependency order, passing breaker state between them: a join's build
+//!   pipeline produces an `Arc<BuildSide>` its probe pipeline shares
+//!   across workers, sort runs spill to disk between production and
+//!   merge, and UNION ALL concatenates sibling pipelines' outputs.
 //!
 //! Worker count is decided per query by
 //! [`ResourcePolicy::worker_threads`](eider_coop::policy::ResourcePolicy::worker_threads):
@@ -26,14 +34,22 @@
 //! contract under parallel execution.
 //!
 //! Results are deterministic across worker counts: collected chunks are
-//! re-ordered by morsel sequence number (so plain scans match the serial
-//! engine row-for-row), sorts break ties by scan position (matching a
-//! stable serial sort), and grouped aggregates emit groups in key order.
+//! re-ordered by morsel sequence number (so plain scans — and joined
+//! chunks, which stay in probe-morsel order — match run to run), sorts
+//! break ties by scan position (a total comparator, so the k-way merge is
+//! independent of how rows landed in worker runs), and grouped aggregates
+//! emit groups in key order. Memory is accounted against the
+//! [`BufferManager`](eider_storage::buffer::BufferManager): aggregate
+//! partials, buffered sort runs (released as they spill), collected
+//! chunks and build sides all charge the §4 budget, and output
+//! reservations release on pipeline teardown.
 
+pub mod graph;
 pub mod morsel;
 pub mod pipeline;
 pub mod scheduler;
 
+pub use graph::{GraphLink, GraphNode, NodeId, PipelineGraph, PipelineGraphOp};
 pub use morsel::{Morsel, MorselScanOp, MorselSource};
 pub use pipeline::{
     ParallelPipeline, ParallelPipelineOp, PipelineOutput, PipelineSink, PipelineStep,

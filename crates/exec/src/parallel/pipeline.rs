@@ -1,59 +1,113 @@
 //! Parallel pipelines: per-worker operator chains plus a merging sink.
 //!
-//! A pipeline executes `scan → (filter|project)* → sink` with every worker
-//! running the same chain over the morsels it claims. The sink is the
-//! pipeline breaker; each variant defines a worker-local partial state and
-//! a merge/finalize step:
+//! A pipeline executes `scan → step* → sink` with every worker running the
+//! same chain over the morsels it claims. Steps are streaming operators —
+//! filter, projection, and (new with the pipeline DAG) a hash-join *probe*
+//! against a shared immutable [`BuildSide`] produced by an earlier
+//! pipeline. The sink is the pipeline breaker; each variant defines a
+//! worker-local partial state and a merge/finalize step:
 //!
 //! | sink | worker-local state | merge |
 //! |---|---|---|
 //! | [`PipelineSink::Collect`] | produced chunks, tagged by morsel | re-order by morsel sequence |
 //! | [`PipelineSink::SimpleAggregate`] | per-morsel [`AggState`] rows | [`AggState::merge`] in morsel order |
 //! | [`PipelineSink::HashAggregate`] | per-morsel group hash tables | merge tables in morsel order, emit groups key-sorted |
-//! | [`PipelineSink::Sort`] | locally sorted runs | k-way merge, ties broken by scan position |
-//! | [`PipelineSink::JoinBuild`] | hashed build chunks ([`BuildPartial`]) | splice via [`HashJoinOp::from_prebuilt`](crate::ops::HashJoinOp::from_prebuilt) |
+//! | [`PipelineSink::Sort`] | sorted runs, spilled past the budget | streaming k-way merge of memory + disk runs, ties broken by scan position |
+//! | [`PipelineSink::JoinBuild`] | hashed build chunks ([`BuildPartial`]) | splice via [`BuildSide::from_partials`] |
 //!
 //! Partial aggregate states are kept *per morsel* (not just per worker)
 //! and merged in morsel order, so results do not depend on which worker
 //! happened to claim which morsel: a query returns bit-identical results
-//! at every thread count, including floating-point aggregates.
+//! at every thread count, including floating-point aggregates. Sort runs
+//! *are* per worker (and spill per worker), but every row carries its scan
+//! position and the merge comparator is total, so the merged order is
+//! independent of how rows landed in runs.
+//!
+//! Memory accounting (§4): when a [`BufferManager`] is attached, workers
+//! charge their partial state as it grows — aggregate groups, buffered
+//! sort rows (released again when a run spills to disk), collected result
+//! chunks, and join-build partials. Reservations for materialized output
+//! travel inside [`PipelineOutput`] and release on pipeline teardown.
 
 use crate::aggregate::AggState;
 use crate::fxhash::FxHashMap;
 use crate::ops::agg::{update_group_table, update_simple_states, AggExpr};
-use crate::ops::join::BuildPartial;
+use crate::ops::join::{BuildPartial, BuildSide, JoinProbeOp, JoinType};
 use crate::ops::sort::{compare_keys, SortKey};
 use crate::ops::{FilterOp, OperatorBox, PhysicalOperator, ProjectionOp};
 use crate::parallel::morsel::{MorselScanOp, MorselSource};
 use crate::parallel::scheduler::TaskScheduler;
 use eider_storage::buffer::{BufferManager, MemoryReservation};
+use eider_storage::spill::{SpillFile, SpillReader};
 use eider_txn::Transaction;
 use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, VECTOR_SIZE};
 use std::sync::Arc;
 
 /// One streaming operator of the per-worker chain.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum PipelineStep {
     /// WHERE: keep rows where the expression is TRUE.
     Filter(crate::expression::Expr),
     /// SELECT list: compute one expression per output column.
     Project(Vec<crate::expression::Expr>),
+    /// Hash-join probe against a build side produced by an earlier
+    /// pipeline of the DAG. Every worker probes the same `Arc<BuildSide>`;
+    /// joined chunks stay in morsel order, so downstream merges remain
+    /// deterministic.
+    JoinProbe {
+        build: Arc<BuildSide>,
+        left_keys: Vec<crate::expression::Expr>,
+        join_type: JoinType,
+        right_types: Vec<LogicalType>,
+    },
+}
+
+impl std::fmt::Debug for PipelineStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineStep::Filter(e) => f.debug_tuple("Filter").field(e).finish(),
+            PipelineStep::Project(es) => f.debug_tuple("Project").field(es).finish(),
+            PipelineStep::JoinProbe { build, left_keys, join_type, .. } => f
+                .debug_struct("JoinProbe")
+                .field("build_rows", &build.row_count())
+                .field("left_keys", left_keys)
+                .field("join_type", join_type)
+                .finish_non_exhaustive(),
+        }
+    }
 }
 
 impl PipelineStep {
     /// Wrap `child` in this step's serial operator.
-    fn instantiate(&self, child: OperatorBox) -> OperatorBox {
+    pub fn instantiate(&self, child: OperatorBox) -> OperatorBox {
         match self {
             PipelineStep::Filter(pred) => Box::new(FilterOp::new(child, pred.clone())),
             PipelineStep::Project(exprs) => Box::new(ProjectionOp::new(child, exprs.clone())),
+            PipelineStep::JoinProbe { build, left_keys, join_type, right_types } => {
+                Box::new(JoinProbeOp::new(
+                    child,
+                    Arc::clone(build),
+                    left_keys.clone(),
+                    *join_type,
+                    right_types.clone(),
+                ))
+            }
         }
     }
 
-    fn output_types(&self, input: Vec<LogicalType>) -> Vec<LogicalType> {
+    /// Column types this step produces over `input`-typed chunks.
+    pub fn output_types(&self, input: Vec<LogicalType>) -> Vec<LogicalType> {
         match self {
             PipelineStep::Filter(_) => input,
             PipelineStep::Project(exprs) => {
                 exprs.iter().map(crate::expression::Expr::result_type).collect()
+            }
+            PipelineStep::JoinProbe { join_type, right_types, .. } => {
+                let mut t = input;
+                if join_type.emits_right_columns() {
+                    t.extend(right_types.iter().copied());
+                }
+                t
             }
         }
     }
@@ -66,43 +120,172 @@ pub enum PipelineSink {
     Collect,
     /// Ungrouped aggregation; one output row.
     SimpleAggregate(Vec<AggExpr>),
-    /// GROUP BY aggregation; groups emitted in key order.
+    /// GROUP BY aggregation; groups emitted in key order. With empty
+    /// `aggs` this is exactly DISTINCT.
     HashAggregate { groups: Vec<crate::expression::Expr>, aggs: Vec<AggExpr> },
     /// ORDER BY; ties preserve scan order (stable like the serial sort).
-    Sort(Vec<SortKey>),
-    /// Hash-join build side: chunks plus precomputed key hashes.
+    /// Runs larger than the pipeline's sort budget spill to disk in the
+    /// serial external sort's run format, so arbitrarily large sorts
+    /// parallelize. `limit` (as `(limit, offset)`) makes it a Top-N:
+    /// workers keep a bounded buffer and the merge stops early.
+    Sort { keys: Vec<SortKey>, limit: Option<(usize, usize)> },
+    /// Hash-join build side: chunks plus precomputed key hashes, spliced
+    /// into a shared [`BuildSide`] by the pipeline DAG.
     JoinBuild { keys: Vec<crate::expression::Expr> },
 }
 
-/// What a pipeline produces.
+/// What a pipeline produces. Reservations keep materialized state charged
+/// to the buffer manager until the output's consumer drops it (pipeline
+/// teardown).
 pub enum PipelineOutput {
-    Chunks(Vec<DataChunk>),
-    /// Build partials in scan order, ready for
-    /// [`HashJoinOp::from_prebuilt`](crate::ops::HashJoinOp::from_prebuilt).
-    JoinBuild(Vec<BuildPartial>),
+    Chunks {
+        chunks: Vec<DataChunk>,
+        reservations: Vec<MemoryReservation>,
+    },
+    /// Build partials in scan order, ready for [`BuildSide::from_partials`].
+    JoinBuild {
+        partials: Vec<BuildPartial>,
+        reservations: Vec<MemoryReservation>,
+    },
 }
 
 impl PipelineOutput {
-    /// Unwrap the chunk form (every sink but `JoinBuild`).
+    /// Unwrap the chunk form (every sink but `JoinBuild`), dropping the
+    /// accounting (tests and callers that re-account themselves).
     pub fn into_chunks(self) -> Vec<DataChunk> {
         match self {
-            PipelineOutput::Chunks(c) => c,
-            PipelineOutput::JoinBuild(_) => {
+            PipelineOutput::Chunks { chunks, .. } => chunks,
+            PipelineOutput::JoinBuild { .. } => {
                 panic!("join-build pipeline produces partials, not chunks")
             }
         }
     }
 }
 
+/// A sort row: key values, scan position for tie-breaking, payload.
+type SortRow = (Vec<Value>, (usize, usize, usize), Vec<Value>);
+
+fn sort_row_bytes(row: &SortRow) -> usize {
+    row.0.iter().chain(&row.2).map(Value::size_bytes).sum()
+}
+
+/// Worker-local sort state: the in-memory run plus runs already spilled.
+///
+/// Like the serial [`ExternalSortOp`](crate::ops::ExternalSortOp), a
+/// worker reserves its run budget against the buffer manager *upfront*
+/// (halving the request under memory pressure — spilling more often
+/// instead of failing, §4's disk-for-RAM trade) and spills whenever its
+/// buffered rows reach that budget.
+struct SortLocal {
+    rows: Vec<SortRow>,
+    bytes: usize,
+    /// Spill threshold in buffered-row bytes.
+    budget: usize,
+    spills: Vec<SpillReader>,
+    reservation: Option<MemoryReservation>,
+}
+
+impl SortLocal {
+    fn order(rows: &mut [SortRow], keys: &[SortKey]) {
+        rows.sort_by(|a, b| compare_keys(&a.0, &b.0, keys).then(a.1.cmp(&b.1)));
+    }
+
+    /// Sort the buffered run and write it to a spill file. Spilled rows use
+    /// the serial external sort's run format — chunks of `key columns +
+    /// payload` — extended with three position columns so the merge can
+    /// tie-break on scan position.
+    fn spill(&mut self, keys: &[SortKey], spill_types: &[LogicalType]) -> Result<()> {
+        if self.rows.is_empty() {
+            return Ok(());
+        }
+        Self::order(&mut self.rows, keys);
+        let mut file = SpillFile::create()?;
+        let mut encoded: Vec<Vec<Value>> = Vec::with_capacity(VECTOR_SIZE);
+        for window in self.rows.chunks(VECTOR_SIZE) {
+            encoded.clear();
+            for (key, (seq, intra, row), payload) in window {
+                let mut r = Vec::with_capacity(spill_types.len());
+                r.extend(key.iter().cloned());
+                r.push(Value::BigInt(*seq as i64));
+                r.push(Value::BigInt(*intra as i64));
+                r.push(Value::BigInt(*row as i64));
+                r.extend(payload.iter().cloned());
+                encoded.push(r);
+            }
+            file.write_chunk(&DataChunk::from_rows(spill_types, &encoded)?)?;
+        }
+        self.spills.push(file.finish()?);
+        self.rows.clear();
+        self.bytes = 0;
+        Ok(())
+    }
+
+    /// Top-N bound: keep only the best `cap` rows (amortized — prunes once
+    /// the buffer doubles past the cap).
+    fn prune(&mut self, cap: usize, keys: &[SortKey]) {
+        if self.rows.len() < cap.saturating_mul(2).max(cap + VECTOR_SIZE) {
+            return;
+        }
+        Self::order(&mut self.rows, keys);
+        self.rows.truncate(cap);
+        self.bytes = self.rows.iter().map(sort_row_bytes).sum();
+    }
+}
+
+/// One sorted run feeding the merge: either a worker's in-memory leftover
+/// or a spilled run streamed back chunk by chunk.
+enum SortRun {
+    Memory { rows: std::vec::IntoIter<SortRow>, reservation: Option<MemoryReservation> },
+    Spill { reader: SpillReader, chunk: Option<DataChunk>, row: usize, nkeys: usize },
+}
+
+impl SortRun {
+    fn next(&mut self) -> Result<Option<SortRow>> {
+        match self {
+            SortRun::Memory { rows, reservation } => {
+                let next = rows.next();
+                if next.is_none() {
+                    // Run exhausted: release its buffered bytes promptly so
+                    // they do not overlap with the remaining runs' memory.
+                    *reservation = None;
+                }
+                Ok(next)
+            }
+            SortRun::Spill { reader, chunk, row, nkeys } => loop {
+                if let Some(c) = chunk {
+                    if *row < c.len() {
+                        let values = c.row_values(*row);
+                        *row += 1;
+                        let key = values[..*nkeys].to_vec();
+                        let pos = (
+                            values[*nkeys].as_i64().unwrap_or(0) as usize,
+                            values[*nkeys + 1].as_i64().unwrap_or(0) as usize,
+                            values[*nkeys + 2].as_i64().unwrap_or(0) as usize,
+                        );
+                        let payload = values[*nkeys + 3..].to_vec();
+                        return Ok(Some((key, pos, payload)));
+                    }
+                }
+                *chunk = reader.next_chunk()?;
+                *row = 0;
+                if chunk.is_none() {
+                    return Ok(None);
+                }
+            },
+        }
+    }
+}
+
 /// Worker-local partial results, tagged for deterministic merging.
 enum LocalState {
-    Collect(Vec<((usize, usize), DataChunk)>),
+    /// Produced chunks plus the reservation charging them to the budget.
+    Collect(Vec<((usize, usize), DataChunk)>, Option<MemoryReservation>),
     /// Aggregate partials plus the worker's buffer-manager reservation
     /// covering them (held until the merge step has consumed them).
     Agg(Vec<(usize, AggPartial)>, Option<MemoryReservation>),
-    /// Sorted-run rows plus the reservation charging them to the budget.
-    Sort(Vec<SortRow>, Option<MemoryReservation>),
-    JoinBuild(Vec<(usize, usize, BuildPartial)>),
+    Sort(SortLocal),
+    /// Build partials plus the reservation charging them.
+    JoinBuild(Vec<(usize, usize, BuildPartial)>, Option<MemoryReservation>),
 }
 
 /// Partial aggregate state of one morsel.
@@ -111,8 +294,16 @@ enum AggPartial {
     Hash(FxHashMap<Vec<Value>, Vec<AggState>>),
 }
 
-/// A sort row: key values, scan position for tie-breaking, payload.
-type SortRow = (Vec<Value>, (usize, usize, usize), Vec<Value>);
+/// Per-execution context shared by all workers of one pipeline run.
+struct WorkerCtx {
+    /// Bytes of buffered sort rows per worker before a run spills.
+    sort_budget: usize,
+    /// Row layout of a spilled sort run: keys + 3 position columns +
+    /// payload (empty for non-sort sinks).
+    spill_types: Vec<LogicalType>,
+    /// Top-N bound (`limit + offset`): workers keep at most this many rows.
+    sort_cap: Option<usize>,
+}
 
 /// A parallel pipeline instance, bound to one query's transaction.
 pub struct ParallelPipeline {
@@ -121,6 +312,8 @@ pub struct ParallelPipeline {
     steps: Vec<PipelineStep>,
     sink: PipelineSink,
     buffers: Option<Arc<BufferManager>>,
+    /// Total sort-run budget (split across workers); rows beyond it spill.
+    sort_budget: usize,
 }
 
 impl ParallelPipeline {
@@ -130,16 +323,25 @@ impl ParallelPipeline {
         steps: Vec<PipelineStep>,
         sink: PipelineSink,
     ) -> Self {
-        ParallelPipeline { source, txn, steps, sink, buffers: None }
+        ParallelPipeline { source, txn, steps, sink, buffers: None, sort_budget: usize::MAX }
     }
 
-    /// Account aggregate state against a buffer manager (§4's hard memory
-    /// limits apply to parallel aggregation state as they do to the
-    /// serial operator): workers charge their partials as they grow, the
-    /// merge step charges the merged table, and the query aborts with
-    /// `OutOfMemory` instead of sailing past the budget.
+    /// Account sink state against a buffer manager (§4's hard memory
+    /// limits apply to parallel pipeline state as they do to the serial
+    /// operators): workers charge partial aggregates, buffered sort rows,
+    /// collected chunks and join-build partials as they grow. Sorts react
+    /// to pressure by spilling; everything else aborts with `OutOfMemory`
+    /// instead of sailing past the budget.
     pub fn with_buffers(mut self, buffers: Option<Arc<BufferManager>>) -> Self {
         self.buffers = buffers;
+        self
+    }
+
+    /// Total bytes of sort rows the pipeline may buffer in memory; beyond
+    /// it, worker runs spill to disk (the serial external sort's budget
+    /// knob, applied per worker).
+    pub fn with_sort_budget(mut self, budget: usize) -> Self {
+        self.sort_budget = budget.max(1 << 16);
         self
     }
 
@@ -154,57 +356,100 @@ impl ParallelPipeline {
 
     /// Column types of the pipeline's final output.
     pub fn output_types(&self) -> Vec<LogicalType> {
-        match &self.sink {
-            PipelineSink::Collect | PipelineSink::Sort(_) | PipelineSink::JoinBuild { .. } => {
-                self.chain_types()
-            }
-            PipelineSink::SimpleAggregate(aggs) => aggs.iter().map(AggExpr::result_type).collect(),
-            PipelineSink::HashAggregate { groups, aggs } => {
-                let mut t: Vec<LogicalType> =
-                    groups.iter().map(crate::expression::Expr::result_type).collect();
-                t.extend(aggs.iter().map(AggExpr::result_type));
-                t
-            }
-        }
+        sink_output_types(&self.sink, || self.chain_types())
     }
 
     /// Execute on `threads` workers (clamped to the morsel count — there
     /// is no point spawning a worker with nothing to claim).
     pub fn execute(&self, threads: usize) -> Result<PipelineOutput> {
         let threads = threads.clamp(1, self.source.morsel_count().max(1));
+        let ctx = self.worker_ctx(threads);
         let scheduler = TaskScheduler::new(threads);
-        let locals = scheduler.run(|_| self.run_worker())?;
+        let locals = scheduler.run(|_| self.run_worker(&ctx))?;
         self.merge(locals)
+    }
+
+    fn worker_ctx(&self, threads: usize) -> WorkerCtx {
+        let PipelineSink::Sort { keys, limit } = &self.sink else {
+            return WorkerCtx { sort_budget: usize::MAX, spill_types: Vec::new(), sort_cap: None };
+        };
+        let mut spill_types: Vec<LogicalType> = keys.iter().map(|k| k.expr.result_type()).collect();
+        spill_types.extend([LogicalType::BigInt; 3]);
+        spill_types.extend(self.chain_types());
+        // Explicit budget if one was set; otherwise a quarter of the
+        // attached memory limit (the serial sort's convention); otherwise
+        // unbounded (never spill).
+        let total = if self.sort_budget != usize::MAX {
+            self.sort_budget
+        } else if let Some(b) = &self.buffers {
+            b.memory_limit() / 4
+        } else {
+            usize::MAX
+        };
+        let per_worker =
+            if total == usize::MAX { usize::MAX } else { (total / threads.max(1)).max(1 << 16) };
+        WorkerCtx {
+            sort_budget: per_worker,
+            spill_types,
+            sort_cap: limit.map(|(l, o)| l.saturating_add(o).max(1)),
+        }
     }
 
     // ---- worker side ----
 
-    fn run_worker(&self) -> Result<LocalState> {
-        let result = self.run_worker_inner();
+    fn run_worker(&self, ctx: &WorkerCtx) -> Result<LocalState> {
+        let result = self.run_worker_inner(ctx);
         if result.is_err() {
             self.source.abort();
         }
         result
     }
 
-    fn run_worker_inner(&self) -> Result<LocalState> {
+    fn reserve(&self) -> Result<Option<MemoryReservation>> {
+        Ok(match &self.buffers {
+            Some(b) => Some(b.reserve(0)?),
+            None => None,
+        })
+    }
+
+    fn run_worker_inner(&self, ctx: &WorkerCtx) -> Result<LocalState> {
         let mut local = match &self.sink {
-            PipelineSink::Collect => LocalState::Collect(Vec::new()),
+            PipelineSink::Collect => LocalState::Collect(Vec::new(), self.reserve()?),
             PipelineSink::SimpleAggregate(_) | PipelineSink::HashAggregate { .. } => {
-                let reservation = match &self.buffers {
-                    Some(b) => Some(b.reserve(0)?),
-                    None => None,
-                };
-                LocalState::Agg(Vec::new(), reservation)
+                LocalState::Agg(Vec::new(), self.reserve()?)
             }
-            PipelineSink::Sort(_) => {
-                let reservation = match &self.buffers {
-                    Some(b) => Some(b.reserve(0)?),
-                    None => None,
+            PipelineSink::Sort { .. } => {
+                // Top-N buffers are bounded by their cap (like the serial
+                // TopNOp, unaccounted); full sorts reserve their run budget
+                // upfront, halving under pressure — each halving doubles
+                // how often the worker spills instead of failing the query.
+                let (reservation, budget) = if ctx.sort_cap.is_some() {
+                    (None, usize::MAX)
+                } else {
+                    match (&self.buffers, ctx.sort_budget) {
+                        (Some(buffers), mut want) if ctx.sort_budget != usize::MAX => loop {
+                            match buffers.reserve(want) {
+                                Ok(r) => break (Some(r), want),
+                                Err(e) => {
+                                    if want <= (1 << 16) {
+                                        return Err(e);
+                                    }
+                                    want /= 2;
+                                }
+                            }
+                        },
+                        (_, budget) => (None, budget),
+                    }
                 };
-                LocalState::Sort(Vec::new(), reservation)
+                LocalState::Sort(SortLocal {
+                    rows: Vec::new(),
+                    bytes: 0,
+                    budget,
+                    spills: Vec::new(),
+                    reservation,
+                })
             }
-            PipelineSink::JoinBuild { .. } => LocalState::JoinBuild(Vec::new()),
+            PipelineSink::JoinBuild { .. } => LocalState::JoinBuild(Vec::new(), self.reserve()?),
         };
         while let Some(morsel) = self.source.next_morsel() {
             let mut op: OperatorBox = Box::new(MorselScanOp::new(
@@ -227,7 +472,14 @@ impl ParallelPipeline {
                 if chunk.is_empty() {
                     continue;
                 }
-                self.consume_chunk(&mut local, agg_partial.as_mut(), morsel.seq, intra, chunk)?;
+                self.consume_chunk(
+                    ctx,
+                    &mut local,
+                    agg_partial.as_mut(),
+                    morsel.seq,
+                    intra,
+                    chunk,
+                )?;
                 intra += 1;
             }
             if let (Some(partial), LocalState::Agg(parts, reservation)) = (agg_partial, &mut local)
@@ -244,11 +496,14 @@ impl ParallelPipeline {
                 parts.push((morsel.seq, partial));
             }
         }
-        if let LocalState::Sort(rows, _) = &mut local {
+        if let LocalState::Sort(state) = &mut local {
             // Local run sort happens on the worker — this is the parallel
             // share of the O(n log n); the merge only interleaves runs.
-            if let PipelineSink::Sort(keys) = &self.sink {
-                rows.sort_by(|a, b| compare_keys(&a.0, &b.0, keys).then(a.1.cmp(&b.1)));
+            if let PipelineSink::Sort { keys, .. } = &self.sink {
+                SortLocal::order(&mut state.rows, keys);
+                if let Some(cap) = ctx.sort_cap {
+                    state.rows.truncate(cap);
+                }
             }
         }
         Ok(local)
@@ -256,6 +511,7 @@ impl ParallelPipeline {
 
     fn consume_chunk(
         &self,
+        ctx: &WorkerCtx,
         local: &mut LocalState,
         agg: Option<&mut AggPartial>,
         seq: usize,
@@ -263,7 +519,10 @@ impl ParallelPipeline {
         chunk: DataChunk,
     ) -> Result<()> {
         match (&self.sink, local) {
-            (PipelineSink::Collect, LocalState::Collect(chunks)) => {
+            (PipelineSink::Collect, LocalState::Collect(chunks, reservation)) => {
+                if let Some(res) = reservation {
+                    res.grow(chunk.size_bytes())?;
+                }
                 chunks.push(((seq, intra), chunk));
             }
             (PipelineSink::SimpleAggregate(aggs), LocalState::Agg(..)) => {
@@ -274,22 +533,35 @@ impl ParallelPipeline {
                 let Some(AggPartial::Hash(table)) = agg else { unreachable!() };
                 update_group_table(groups, aggs, table, &chunk)?;
             }
-            (PipelineSink::Sort(keys), LocalState::Sort(rows, reservation)) => {
+            (PipelineSink::Sort { keys, .. }, LocalState::Sort(state)) => {
                 let key_vectors =
                     keys.iter().map(|k| k.expr.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
                 let mut chunk_bytes = 0usize;
+                let mut staged: Vec<SortRow> = Vec::with_capacity(chunk.len());
                 for row in 0..chunk.len() {
                     let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
                     let payload = chunk.row_values(row);
-                    chunk_bytes += key.iter().chain(&payload).map(Value::size_bytes).sum::<usize>();
-                    rows.push((key, (seq, intra, row), payload));
+                    let entry = (key, (seq, intra, row), payload);
+                    chunk_bytes += sort_row_bytes(&entry);
+                    staged.push(entry);
                 }
-                if let Some(res) = reservation {
-                    res.grow(chunk_bytes)?;
+                state.rows.extend(staged);
+                state.bytes += chunk_bytes;
+                match ctx.sort_cap {
+                    Some(cap) => state.prune(cap, keys),
+                    None => {
+                        if state.bytes >= state.budget {
+                            state.spill(keys, &ctx.spill_types)?;
+                        }
+                    }
                 }
             }
-            (PipelineSink::JoinBuild { keys }, LocalState::JoinBuild(parts)) => {
-                parts.push((seq, intra, BuildPartial::compute(chunk, keys)?));
+            (PipelineSink::JoinBuild { keys }, LocalState::JoinBuild(parts, reservation)) => {
+                let partial = BuildPartial::compute(chunk, keys)?;
+                if let Some(res) = reservation {
+                    res.grow(partial.footprint_bytes())?;
+                }
+                parts.push((seq, intra, partial));
             }
             _ => unreachable!("local state matches sink"),
         }
@@ -301,15 +573,22 @@ impl ParallelPipeline {
     fn merge(&self, locals: Vec<LocalState>) -> Result<PipelineOutput> {
         match &self.sink {
             PipelineSink::Collect => {
-                let mut tagged: Vec<((usize, usize), DataChunk)> = locals
-                    .into_iter()
-                    .flat_map(|l| match l {
-                        LocalState::Collect(chunks) => chunks,
+                let mut tagged: Vec<((usize, usize), DataChunk)> = Vec::new();
+                let mut reservations = Vec::new();
+                for l in locals {
+                    match l {
+                        LocalState::Collect(chunks, reservation) => {
+                            tagged.extend(chunks);
+                            reservations.extend(reservation);
+                        }
                         _ => unreachable!(),
-                    })
-                    .collect();
+                    }
+                }
                 tagged.sort_by_key(|(pos, _)| *pos);
-                Ok(PipelineOutput::Chunks(tagged.into_iter().map(|(_, c)| c).collect()))
+                Ok(PipelineOutput::Chunks {
+                    chunks: tagged.into_iter().map(|(_, c)| c).collect(),
+                    reservations,
+                })
             }
             PipelineSink::SimpleAggregate(aggs) => {
                 let (mut parts, _worker_reservations) = collect_agg_partials(locals);
@@ -325,7 +604,7 @@ impl ParallelPipeline {
                     states.iter().map(AggState::finalize).collect::<Result<_>>()?;
                 let mut out = DataChunk::new(&self.output_types());
                 out.append_row(&row)?;
-                Ok(PipelineOutput::Chunks(vec![out]))
+                Ok(PipelineOutput::Chunks { chunks: vec![out], reservations: Vec::new() })
             }
             PipelineSink::HashAggregate { .. } => {
                 let (mut parts, _worker_reservations) = collect_agg_partials(locals);
@@ -375,43 +654,72 @@ impl ParallelPipeline {
                 if !out.is_empty() {
                     chunks.push(out);
                 }
-                Ok(PipelineOutput::Chunks(chunks))
+                Ok(PipelineOutput::Chunks {
+                    chunks,
+                    reservations: merge_reservation.into_iter().collect(),
+                })
             }
-            PipelineSink::Sort(keys) => {
-                let mut run_reservations = Vec::new();
-                let runs: Vec<Vec<SortRow>> = locals
-                    .into_iter()
-                    .map(|l| match l {
-                        LocalState::Sort(rows, reservation) => {
-                            run_reservations.extend(reservation);
-                            rows
-                        }
-                        _ => unreachable!(),
-                    })
-                    .collect();
-                let rows = kway_merge(runs, keys);
-                let out_types = self.output_types();
-                let mut chunks = Vec::new();
-                for window in rows.chunks(VECTOR_SIZE) {
-                    let mut out = DataChunk::new(&out_types);
-                    for (_, _, payload) in window {
-                        out.append_row(payload)?;
+            PipelineSink::Sort { keys, limit } => {
+                let nkeys = keys.len();
+                let mut runs: Vec<SortRun> = Vec::new();
+                for l in locals {
+                    let LocalState::Sort(state) = l else { unreachable!() };
+                    for reader in state.spills {
+                        runs.push(SortRun::Spill { reader, chunk: None, row: 0, nkeys });
                     }
-                    chunks.push(out);
+                    if !state.rows.is_empty() {
+                        runs.push(SortRun::Memory {
+                            rows: state.rows.into_iter(),
+                            reservation: state.reservation,
+                        });
+                    }
                 }
-                Ok(PipelineOutput::Chunks(chunks))
+                let (take, skip) = match limit {
+                    Some((l, o)) => (*l, *o),
+                    None => (usize::MAX, 0),
+                };
+                let chunks = merge_sort_runs(runs, keys, &self.output_types(), take, skip)?;
+                Ok(PipelineOutput::Chunks { chunks, reservations: Vec::new() })
             }
             PipelineSink::JoinBuild { .. } => {
-                let mut tagged: Vec<(usize, usize, BuildPartial)> = locals
-                    .into_iter()
-                    .flat_map(|l| match l {
-                        LocalState::JoinBuild(parts) => parts,
+                let mut tagged: Vec<(usize, usize, BuildPartial)> = Vec::new();
+                let mut reservations = Vec::new();
+                for l in locals {
+                    match l {
+                        LocalState::JoinBuild(parts, reservation) => {
+                            tagged.extend(parts);
+                            reservations.extend(reservation);
+                        }
                         _ => unreachable!(),
-                    })
-                    .collect();
+                    }
+                }
                 tagged.sort_by_key(|(seq, intra, _)| (*seq, *intra));
-                Ok(PipelineOutput::JoinBuild(tagged.into_iter().map(|(_, _, p)| p).collect()))
+                Ok(PipelineOutput::JoinBuild {
+                    partials: tagged.into_iter().map(|(_, _, p)| p).collect(),
+                    reservations,
+                })
             }
+        }
+    }
+}
+
+/// Output column types a sink produces over a chain with the given types
+/// (lazily computed — aggregate sinks do not need them). Shared by
+/// [`ParallelPipeline::output_types`] and the pipeline DAG's node typing.
+pub fn sink_output_types(
+    sink: &PipelineSink,
+    chain_types: impl FnOnce() -> Vec<LogicalType>,
+) -> Vec<LogicalType> {
+    match sink {
+        PipelineSink::Collect | PipelineSink::Sort { .. } | PipelineSink::JoinBuild { .. } => {
+            chain_types()
+        }
+        PipelineSink::SimpleAggregate(aggs) => aggs.iter().map(AggExpr::result_type).collect(),
+        PipelineSink::HashAggregate { groups, aggs } => {
+            let mut t: Vec<LogicalType> =
+                groups.iter().map(crate::expression::Expr::result_type).collect();
+            t.extend(aggs.iter().map(AggExpr::result_type));
+            t
         }
     }
 }
@@ -435,15 +743,27 @@ fn cmp_value_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     a.len().cmp(&b.len())
 }
 
-/// Merge locally sorted runs into one globally sorted row list; ties fall
-/// back to scan position, reproducing a stable serial sort.
-fn kway_merge(runs: Vec<Vec<SortRow>>, keys: &[SortKey]) -> Vec<SortRow> {
-    let total: usize = runs.iter().map(Vec::len).sum();
-    let mut iters: Vec<std::vec::IntoIter<SortRow>> =
-        runs.into_iter().map(Vec::into_iter).collect();
-    let mut heads: Vec<Option<SortRow>> = iters.iter_mut().map(Iterator::next).collect();
-    let mut out = Vec::with_capacity(total);
-    loop {
+/// Streaming k-way merge of sorted runs (in-memory and spilled) into
+/// output chunks, skipping `skip` rows and emitting at most `take`. Ties
+/// fall back to scan position, reproducing a stable serial sort — the
+/// comparator is total, so the merged order does not depend on how rows
+/// were distributed across runs.
+fn merge_sort_runs(
+    mut runs: Vec<SortRun>,
+    keys: &[SortKey],
+    out_types: &[LogicalType],
+    take: usize,
+    skip: usize,
+) -> Result<Vec<DataChunk>> {
+    let mut heads: Vec<Option<SortRow>> = Vec::with_capacity(runs.len());
+    for run in &mut runs {
+        heads.push(run.next()?);
+    }
+    let mut chunks = Vec::new();
+    let mut out = DataChunk::new(out_types);
+    let mut skipped = 0usize;
+    let mut emitted = 0usize;
+    while emitted < take {
         let mut best: Option<usize> = None;
         for (i, head) in heads.iter().enumerate() {
             let Some(candidate) = head else { continue };
@@ -461,31 +781,40 @@ fn kway_merge(runs: Vec<Vec<SortRow>>, keys: &[SortKey]) -> Vec<SortRow> {
                 }
             };
         }
-        match best {
-            Some(i) => {
-                let row = heads[i].take().expect("best is populated");
-                heads[i] = iters[i].next();
-                out.push(row);
-            }
-            None => break,
+        let Some(i) = best else { break };
+        let row = heads[i].take().expect("best is populated");
+        heads[i] = runs[i].next()?;
+        if skipped < skip {
+            skipped += 1;
+            continue;
+        }
+        out.append_row(&row.2)?;
+        emitted += 1;
+        if out.len() >= VECTOR_SIZE {
+            chunks.push(std::mem::replace(&mut out, DataChunk::new(out_types)));
         }
     }
-    out
+    if !out.is_empty() {
+        chunks.push(out);
+    }
+    Ok(chunks)
 }
 
 /// A [`PhysicalOperator`] facade over a parallel pipeline, so the physical
 /// planner can splice parallel execution into an otherwise serial plan
 /// (e.g. under a LIMIT, or as the probe input of a join). Executes eagerly
-/// on the first `next_chunk` pull.
+/// on the first `next_chunk` pull. Holds the output's memory reservations
+/// until dropped.
 pub struct ParallelPipelineOp {
     pipeline: ParallelPipeline,
     threads: usize,
     output: Option<std::vec::IntoIter<DataChunk>>,
+    _reservations: Vec<MemoryReservation>,
 }
 
 impl ParallelPipelineOp {
     pub fn new(pipeline: ParallelPipeline, threads: usize) -> Self {
-        ParallelPipelineOp { pipeline, threads, output: None }
+        ParallelPipelineOp { pipeline, threads, output: None, _reservations: Vec::new() }
     }
 }
 
@@ -497,10 +826,13 @@ impl PhysicalOperator for ParallelPipelineOp {
     fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
         if self.output.is_none() {
             match self.pipeline.execute(self.threads)? {
-                PipelineOutput::Chunks(chunks) => self.output = Some(chunks.into_iter()),
-                PipelineOutput::JoinBuild(_) => {
+                PipelineOutput::Chunks { chunks, reservations } => {
+                    self.output = Some(chunks.into_iter());
+                    self._reservations = reservations;
+                }
+                PipelineOutput::JoinBuild { .. } => {
                     return Err(EiderError::Internal(
-                        "join-build pipelines are consumed by HashJoinOp, not pulled".into(),
+                        "join-build pipelines are consumed by the pipeline DAG, not pulled".into(),
                     ))
                 }
             }
@@ -535,6 +867,7 @@ mod tests {
     use crate::aggregate::AggKind;
     use crate::expression::Expr;
     use crate::ops::{drain_rows, HashAggregateOp, SimpleAggregateOp, TableScanOp};
+    use eider_storage::buffer::{BufferManager, BufferManagerConfig};
     use eider_txn::{CmpOp, DataTable, ScanOptions, TableFilter, TransactionManager};
 
     const ROWS: i32 = 40_000;
@@ -625,6 +958,22 @@ mod tests {
     }
 
     #[test]
+    fn collect_charges_materialized_chunks_and_releases_on_drop() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let buffers = BufferManager::new(BufferManagerConfig {
+            memory_limit: 64 << 20,
+            memtest_allocations: false,
+        });
+        let p =
+            pipeline(&table, &txn, PipelineSink::Collect).with_buffers(Some(Arc::clone(&buffers)));
+        let output = p.execute(4).unwrap();
+        assert!(buffers.used_memory() > 0, "collected chunks must be charged");
+        drop(output);
+        assert_eq!(buffers.used_memory(), 0, "released on teardown");
+    }
+
+    #[test]
     fn simple_aggregate_matches_serial_operator() {
         let (mgr, table) = fixture();
         let txn = Arc::new(mgr.begin());
@@ -688,6 +1037,24 @@ mod tests {
     }
 
     #[test]
+    fn distinct_as_empty_aggregate_dedups_key_sorted() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        // DISTINCT over the 7-valued column = HashAggregate with no aggs.
+        let groups = vec![Expr::column(1, LogicalType::Integer)];
+        for threads in [1, 2, 8] {
+            let p = pipeline(
+                &table,
+                &txn,
+                PipelineSink::HashAggregate { groups: groups.clone(), aggs: Vec::new() },
+            );
+            let rows = rows_at(&p, threads);
+            let expected: Vec<Vec<Value>> = (0..7).map(|i| vec![Value::Integer(i)]).collect();
+            assert_eq!(rows, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn sort_matches_serial_sort_including_ties() {
         let (mgr, table) = fixture();
         let txn = Arc::new(mgr.begin());
@@ -703,13 +1070,81 @@ mod tests {
         );
         let serial = drain_rows(&mut serial_op).unwrap();
         for threads in [1, 2, 8] {
-            let p = pipeline(&table, &txn, PipelineSink::Sort(keys.clone()));
+            let p = pipeline(&table, &txn, PipelineSink::Sort { keys: keys.clone(), limit: None });
             assert_eq!(rows_at(&p, threads), serial, "threads={threads}");
         }
     }
 
     #[test]
-    fn join_build_partials_feed_a_working_hash_join() {
+    fn spilling_sort_matches_in_memory_sort() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let keys = vec![
+            SortKey::desc(Expr::column(1, LogicalType::Integer)),
+            SortKey::asc(Expr::column(0, LogicalType::Integer)),
+        ];
+        let reference = rows_at(
+            &pipeline(&table, &txn, PipelineSink::Sort { keys: keys.clone(), limit: None }),
+            4,
+        );
+        assert_eq!(reference.len(), 15_000);
+        for threads in [1, 2, 3, 8] {
+            // A budget far below the data size forces every worker to spill
+            // multiple runs through the external-sort run format.
+            let p = pipeline(&table, &txn, PipelineSink::Sort { keys: keys.clone(), limit: None })
+                .with_sort_budget(1 << 16);
+            assert_eq!(rows_at(&p, threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sort_spills_under_memory_pressure_instead_of_failing() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let keys = vec![SortKey::asc(Expr::column(0, LogicalType::Integer))];
+        let reference = rows_at(
+            &pipeline(&table, &txn, PipelineSink::Sort { keys: keys.clone(), limit: None }),
+            2,
+        );
+        // ~15k rows at ~100 B/row of Value representation far exceed a
+        // 512 KiB budget: reservations fail mid-scan and workers must react
+        // by spilling rather than erroring.
+        let buffers = BufferManager::new(BufferManagerConfig {
+            memory_limit: 512 << 10,
+            memtest_allocations: false,
+        });
+        let p = pipeline(&table, &txn, PipelineSink::Sort { keys: keys.clone(), limit: None })
+            .with_buffers(Some(Arc::clone(&buffers)));
+        let rows = p.execute(4).unwrap().into_chunks();
+        let rows: Vec<Vec<Value>> = rows.iter().flat_map(DataChunk::to_rows).collect();
+        assert_eq!(rows, reference);
+        assert_eq!(buffers.used_memory(), 0, "all sort reservations released");
+    }
+
+    #[test]
+    fn topn_limit_matches_full_sort_prefix() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let keys = vec![
+            SortKey::desc(Expr::column(1, LogicalType::Integer)),
+            SortKey::asc(Expr::column(0, LogicalType::Integer)),
+        ];
+        let full = rows_at(
+            &pipeline(&table, &txn, PipelineSink::Sort { keys: keys.clone(), limit: None }),
+            4,
+        );
+        for threads in [1, 2, 8] {
+            let p = pipeline(
+                &table,
+                &txn,
+                PipelineSink::Sort { keys: keys.clone(), limit: Some((25, 10)) },
+            );
+            assert_eq!(rows_at(&p, threads), full[10..35].to_vec(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_build_partials_splice_into_a_shared_build_side() {
         let (mgr, table) = fixture();
         let txn = Arc::new(mgr.begin());
         // Join on the unique column: a 1:1 join keeps the output linear.
@@ -735,23 +1170,92 @@ mod tests {
 
         for threads in [1, 2, 8] {
             let p = pipeline(&table, &txn, PipelineSink::JoinBuild { keys: build_keys.clone() });
-            let PipelineOutput::JoinBuild(partials) = p.execute(threads).unwrap() else {
+            let right_types = p.chain_types();
+            let PipelineOutput::JoinBuild { partials, reservations } = p.execute(threads).unwrap()
+            else {
                 panic!("expected join-build output")
             };
-            let mut op = crate::ops::HashJoinOp::from_prebuilt(
+            let build = Arc::new(
+                BuildSide::from_partials(
+                    partials,
+                    eider_coop::compression::CompressionLevel::None,
+                    None,
+                )
+                .unwrap(),
+            );
+            drop(reservations);
+            let mut op = JoinProbeOp::new(
                 serial_chain(&table, &txn),
-                p.chain_types(),
-                partials,
+                build,
                 probe_keys.clone(),
                 crate::ops::JoinType::Inner,
-                eider_coop::compression::CompressionLevel::None,
-                None,
-            )
-            .unwrap();
+                right_types,
+            );
             let mut rows = drain_rows(&mut op).unwrap();
             rows.sort_by(|a, b| cmp_value_rows(a, b));
             assert_eq!(rows.len(), serial.len(), "threads={threads}");
             assert_eq!(rows, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn probe_step_joins_morsel_parallel_with_deterministic_order() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        // Build the 7-valued column's rows below 70 (10 build rows per key).
+        let build_opts = ScanOptions {
+            columns: vec![0, 1],
+            filters: vec![TableFilter::new(0, CmpOp::Lt, Value::Integer(70))],
+            emit_row_ids: false,
+        };
+        let mut build =
+            BuildSide::new(eider_coop::compression::CompressionLevel::None, None).unwrap();
+        let build_key = vec![Expr::column(1, LogicalType::Integer)];
+        let mut scan: OperatorBox =
+            Box::new(TableScanOp::new(Arc::clone(&table), Arc::clone(&txn), build_opts));
+        while let Some(chunk) = scan.next_chunk().unwrap() {
+            build.append_chunk(chunk, &build_key).unwrap();
+        }
+        let build = Arc::new(build);
+        let probe_step = PipelineStep::JoinProbe {
+            build: Arc::clone(&build),
+            left_keys: vec![Expr::column(1, LogicalType::Integer)],
+            join_type: JoinType::Inner,
+            right_types: vec![LogicalType::Integer, LogicalType::Integer],
+        };
+        // Serial reference: the same probe operator over the serial chain.
+        let mut serial_op = probe_step.instantiate(serial_chain(&table, &txn));
+        let serial = drain_rows(serial_op.as_mut()).unwrap();
+        assert_eq!(serial.len(), 15_000 * 10);
+        let source =
+            Arc::new(MorselSource::new(Arc::clone(&table), &txn, scan_opts(), VECTOR_SIZE * 2));
+        let p = ParallelPipeline::new(
+            source,
+            Arc::clone(&txn),
+            vec![PipelineStep::Filter(parity_filter()), probe_step],
+            PipelineSink::Collect,
+        );
+        assert_eq!(p.output_types().len(), 4);
+        let reference = rows_at(&p, 1);
+        assert_eq!(reference, serial, "single worker matches the serial probe");
+        for threads in [2, 3, 8] {
+            let source =
+                Arc::new(MorselSource::new(Arc::clone(&table), &txn, scan_opts(), VECTOR_SIZE * 2));
+            let p = ParallelPipeline::new(
+                source,
+                Arc::clone(&txn),
+                vec![
+                    PipelineStep::Filter(parity_filter()),
+                    PipelineStep::JoinProbe {
+                        build: Arc::clone(&build),
+                        left_keys: vec![Expr::column(1, LogicalType::Integer)],
+                        join_type: JoinType::Inner,
+                        right_types: vec![LogicalType::Integer, LogicalType::Integer],
+                    },
+                ],
+                PipelineSink::Collect,
+            );
+            assert_eq!(rows_at(&p, threads), reference, "threads={threads}");
         }
     }
 

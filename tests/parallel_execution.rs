@@ -1,16 +1,17 @@
-//! The morsel-driven parallel executor must be invisible to SQL: every
-//! query returns the same rows at 1, 2 and N worker threads, repeated runs
-//! are bit-identical, and the cooperation clamp keeps the engine polite
-//! when the host application burns CPU.
+//! The pipeline-DAG parallel executor must be invisible to SQL: every
+//! query returns the same rows at 1, 2, 3 and 8 worker threads, repeated
+//! runs are bit-identical, and the cooperation clamp keeps the engine
+//! polite when the host application burns CPU.
 
 use eider::Value;
 use eider_bench::{star_db, wrangling_db};
 
 const ROWS: usize = 60_000;
 
-/// Queries spanning every parallel sink: collect, simple aggregate,
-/// grouped aggregate (incl. DISTINCT), sort, hash-join build — plus
-/// shapes that must fall back to the serial path (LIMIT, UNION).
+/// Queries spanning every parallel sink and DAG shape: collect, simple
+/// aggregate, grouped aggregate (incl. DISTINCT aggregates), spilling
+/// sort, Top-N (ORDER BY + LIMIT), DISTINCT as a grouped aggregate, and
+/// UNION ALL of sibling pipelines — bare and under an aggregate.
 const WRANGLING_QUERIES: &[&str] = &[
     "SELECT count(*), sum(id) FROM t WHERE d <> -999",
     "SELECT min(v), max(v), avg(v), stddev(v) FROM t",
@@ -21,6 +22,9 @@ const WRANGLING_QUERIES: &[&str] = &[
     "SELECT count(*) FROM t WHERE v > 500.0",
     "SELECT sum(DISTINCT v), count(DISTINCT d) FROM t WHERE id < 40000",
     "SELECT id FROM t ORDER BY id LIMIT 25 OFFSET 10",
+    "SELECT id, v FROM t WHERE id < 20000 ORDER BY v DESC, id LIMIT 40 OFFSET 5",
+    "SELECT DISTINCT d % 10 FROM t WHERE d <> -999",
+    "SELECT id FROM t WHERE id < 3000 UNION ALL SELECT id FROM t WHERE id >= 57000",
     "SELECT count(*) FROM (SELECT id FROM t WHERE id < 100 UNION ALL SELECT id FROM t WHERE id >= 59900) u",
 ];
 
@@ -94,21 +98,62 @@ fn parallel_runs_are_deterministic() {
 }
 
 #[test]
-fn join_with_parallel_build_matches_serial() {
+fn join_with_parallel_probe_matches_serial() {
     let db = star_db(50_000, 500, 3).unwrap();
+    // Fact-table probe side runs morsel-parallel against the small
+    // dimension build; the grouped aggregate rides the same pipeline, so
+    // its double sums carry the parallel merge tree's ±ulp (exact
+    // equality across parallel thread counts is asserted below).
     let sql = "SELECT c.segment, count(*), sum(o.amount) FROM orders o \
                JOIN customers c ON o.cid = c.cid GROUP BY c.segment";
     let serial = sorted(rows_for(&db, sql, 1));
-    for threads in [2, 8] {
-        assert_eq!(sorted(rows_for(&db, sql, threads)), serial, "threads={threads}");
+    let reference = sorted(rows_for(&db, sql, 2));
+    assert_rows_close(&reference, &serial, sql);
+    for threads in [3, 8] {
+        assert_eq!(sorted(rows_for(&db, sql, threads)), reference, "threads={threads}");
     }
-    // Join with the big table as the (parallel) build side.
+    // Join with the big table as the (morsel-parallel) build side and the
+    // small one as a serially-pulled probe.
     let sql = "SELECT count(*) FROM customers c JOIN orders o ON c.cid = o.cid \
                WHERE o.amount > 250.0";
     let serial = rows_for(&db, sql, 1);
     for threads in [2, 8] {
         assert_eq!(rows_for(&db, sql, threads), serial, "threads={threads}");
     }
+}
+
+#[test]
+fn limit_over_join_stays_correct_with_the_parallel_build() {
+    // Plain LIMIT over a join is not a DAG shape, but the serial path
+    // still evaluates a chain-shaped big build side morsel-parallel and
+    // streams the probe with early-stop semantics. Probe rows arrive in
+    // scan order and matches in build-entry order, so even the unsorted
+    // prefix is identical at every thread count.
+    let db = star_db(50_000, 500, 31).unwrap();
+    let sql = "SELECT c.cid, o.oid FROM customers c JOIN orders o ON c.cid = o.cid LIMIT 20";
+    let serial = rows_for(&db, sql, 1);
+    assert_eq!(serial.len(), 20);
+    for threads in [2, 4, 8] {
+        assert_eq!(rows_for(&db, sql, threads), serial, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_probe_is_deterministic_run_to_run() {
+    let db = star_db(50_000, 500, 13).unwrap();
+    // Probe chunks re-order by morsel sequence, so even the raw (unsorted,
+    // ungrouped) join output is byte-identical across runs and thread
+    // counts — including the double column.
+    let sql = "SELECT o.oid, o.amount, c.segment FROM orders o \
+               JOIN customers c ON o.cid = c.cid WHERE o.qty > 2";
+    let a = rows_for(&db, sql, 4);
+    let b = rows_for(&db, sql, 4);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same thread count must reproduce byte-identical rows");
+    let c = rows_for(&db, sql, 2);
+    let d = rows_for(&db, sql, 8);
+    assert_eq!(a, c, "4 vs 2 threads");
+    assert_eq!(a, d, "4 vs 8 threads");
 }
 
 #[test]
@@ -132,21 +177,61 @@ fn writes_interleaved_with_parallel_reads_stay_consistent() {
 }
 
 #[test]
-fn oversized_sorts_fall_back_to_the_spilling_serial_path() {
+fn oversized_sorts_spill_worker_runs_instead_of_falling_back() {
     let db = wrangling_db(ROWS, 0.25, 17).unwrap();
     let conn = db.connect();
     conn.execute("PRAGMA threads = 4").unwrap();
     let sql = "SELECT id, v FROM t ORDER BY v DESC, id";
     let unconstrained = conn.query(sql).unwrap().to_rows();
-    // A memory limit far below the table size: the planner must route the
-    // sort to the serial ExternalSortOp (which spills runs to disk)
-    // rather than materializing everything in parallel workers — and the
-    // answer must not change.
+    // A memory limit far below the data size: the parallel sort keeps
+    // running (no serial fallback) — its workers sort bounded runs, spill
+    // them through the external-sort run format, and the merge streams
+    // them back. Every thread count returns the identical row order.
     conn.execute("PRAGMA memory_limit = 1000000").unwrap();
-    let constrained = conn.query(sql).unwrap().to_rows();
-    assert_eq!(constrained.len(), ROWS);
-    assert_eq!(constrained, unconstrained);
+    for threads in [1, 2, 3, 8] {
+        let constrained = rows_for(&db, sql, threads);
+        assert_eq!(constrained.len(), ROWS, "threads={threads}");
+        assert_eq!(constrained, unconstrained, "threads={threads}");
+    }
     conn.execute("PRAGMA memory_limit = 1073741824").unwrap();
+    assert_eq!(db.buffers().used_memory(), 0, "sort reservations all released");
+}
+
+#[test]
+fn topn_and_distinct_survive_tight_memory_limits() {
+    let db = wrangling_db(ROWS, 0.25, 23).unwrap();
+    let conn = db.connect();
+    conn.execute("PRAGMA threads = 4").unwrap();
+    let topn = "SELECT id, v FROM t ORDER BY v, id LIMIT 11 OFFSET 3";
+    let distinct = "SELECT DISTINCT d % 25 FROM t WHERE d <> -999";
+    let topn_rows = conn.query(topn).unwrap().to_rows();
+    let distinct_rows = sorted(conn.query(distinct).unwrap().to_rows());
+    assert_eq!(topn_rows.len(), 11);
+    assert_eq!(distinct_rows.len(), 25);
+    conn.execute("PRAGMA memory_limit = 2000000").unwrap();
+    assert_eq!(conn.query(topn).unwrap().to_rows(), topn_rows);
+    assert_eq!(sorted(conn.query(distinct).unwrap().to_rows()), distinct_rows);
+    conn.execute("PRAGMA memory_limit = 1073741824").unwrap();
+}
+
+#[test]
+fn host_probe_pragma_feeds_the_policy_from_proc() {
+    let db = wrangling_db(ROWS, 0.25, 29).unwrap();
+    let conn = db.connect();
+    conn.execute("PRAGMA threads = 4").unwrap();
+    // Simulated load is authoritative while the probe is off.
+    db.policy().set_app_cpu_load(0.5);
+    conn.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(db.policy().app_cpu_load(), 0.5, "probe off: load untouched");
+    // On Linux the real probe overwrites it with a measured fraction.
+    if conn.execute("PRAGMA host_probe = 1").is_ok() {
+        let r = conn.query("SELECT count(*) FROM t WHERE d <> -999").unwrap();
+        assert_eq!(r.row_count(), 1);
+        let load = db.policy().app_cpu_load();
+        assert!((0.0..=1.0).contains(&load), "measured load {load}");
+        conn.execute("PRAGMA host_probe = 0").unwrap();
+    }
+    db.policy().set_app_cpu_load(0.0);
 }
 
 #[test]
