@@ -1,7 +1,24 @@
 #!/usr/bin/env bash
 # The full CI gate, runnable locally. Mirrors .github/workflows/ci.yml.
+#
+#   ./ci.sh              run the full gate
+#   ./ci.sh bench-smoke  run the olap + parallel (join) benches with a small
+#                        sample size and write BENCH_olap.json — the
+#                        machine-readable perf trajectory CI archives
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "bench-smoke" ]]; then
+    echo "==> bench smoke: olap + parallel benches, ${EIDER_BENCH_SAMPLES:=3} samples"
+    export EIDER_BENCH_SAMPLES
+    export EIDER_BENCH_JSON="$PWD/BENCH_olap.json"
+    # No rm: the summary merges by bench name, so recorded baseline-*
+    # entries survive while re-measured benches replace their own rows.
+    cargo bench -p eider-bench --bench olap
+    cargo bench -p eider-bench --bench parallel
+    echo "==> wrote $EIDER_BENCH_JSON"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check

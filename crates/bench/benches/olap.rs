@@ -54,6 +54,26 @@ fn olap(c: &mut Criterion) {
         b.iter(|| conn.query("SELECT d % 100, count(*), sum(v) FROM t GROUP BY d % 100").unwrap())
     });
 
+    // High-cardinality grouping: ~150k distinct integer groups (sequential
+    // oid modulo), the shape that punishes per-group allocation the most.
+    let wide = star_db(ROWS, 120_000, 17).expect("db");
+    let wconn = wide.connect();
+    g.bench_function("high_cardinality_group_by", |b| {
+        b.iter(|| {
+            wconn
+                .query(
+                    "SELECT oid % 150000, count(*), sum(amount) FROM orders GROUP BY oid % 150000",
+                )
+                .unwrap()
+        })
+    });
+
+    // Varchar keys: 120k distinct customer names exercise the
+    // variable-width (escape-encoded) key path end to end.
+    g.bench_function("varchar_group_by", |b| {
+        b.iter(|| wconn.query("SELECT name, count(*) FROM customers GROUP BY name").unwrap())
+    });
+
     let star = star_db(ROWS, 5_000, 13).expect("db");
     let sconn = star.connect();
     g.bench_function("vectorized_join_agg", |b| {

@@ -4,7 +4,7 @@
 //! targets of both the vectorized engine's hash aggregation and the
 //! row-at-a-time baseline, so the two engines share semantics exactly.
 
-use eider_vector::{EiderError, LogicalType, Result, Value};
+use eider_vector::{EiderError, LogicalType, Result, SelectionVector, Value, Vector, VectorData};
 use std::cmp::Ordering;
 use std::collections::HashSet;
 
@@ -300,6 +300,156 @@ impl AggState {
         })
     }
 
+    /// Bulk-update kernel: fold a whole vector (optionally restricted to
+    /// `sel`'s rows) into this state in one typed loop — the §2
+    /// "low cycles per value" path for SUM/COUNT/AVG/MIN/MAX/STDDEV over
+    /// the numeric physical types. Returns `Ok(false)` when no kernel
+    /// covers this state/vector combination (DISTINCT, booleans, string
+    /// sums, ...); the caller then falls back to per-row [`AggState::update`].
+    pub fn update_vector(&mut self, v: &Vector, sel: Option<&SelectionVector>) -> Result<bool> {
+        // COUNT only needs validity, not data.
+        if let AggState::Count(c) = self {
+            match sel {
+                None => *c += v.validity().count_valid() as i64,
+                Some(sel) => {
+                    let validity = v.validity();
+                    *c += sel.iter().filter(|&&i| validity.is_valid(i as usize)).count() as i64;
+                }
+            }
+            return Ok(true);
+        }
+        macro_rules! reduce {
+            ($d:expr, $body:expr) => {{
+                let d = $d;
+                let validity = v.validity();
+                let mut apply = $body;
+                match sel {
+                    None => {
+                        if validity.all_valid() {
+                            for x in d.iter() {
+                                apply(x);
+                            }
+                        } else {
+                            for (i, x) in d.iter().enumerate() {
+                                if validity.is_valid(i) {
+                                    apply(x);
+                                }
+                            }
+                        }
+                    }
+                    Some(sel) => {
+                        for &i in sel.iter() {
+                            let i = i as usize;
+                            if validity.is_valid(i) {
+                                apply(&d[i]);
+                            }
+                        }
+                    }
+                }
+            }};
+        }
+        macro_rules! numeric_kernels {
+            ($d:expr, $t:ty, $as_i64:expr, $as_f64:expr) => {
+                match self {
+                    AggState::SumInt { sum, seen } => {
+                        let mut acc: i128 = 0;
+                        let mut any = false;
+                        reduce!($d, |x| {
+                            acc += i128::from($as_i64(x));
+                            any = true;
+                        });
+                        *sum += acc;
+                        *seen |= any;
+                        Ok(true)
+                    }
+                    AggState::SumDouble { sum, seen } => {
+                        let mut any = false;
+                        reduce!($d, |x| {
+                            *sum += $as_f64(x);
+                            any = true;
+                        });
+                        *seen |= any;
+                        Ok(true)
+                    }
+                    AggState::Avg { sum, count } => {
+                        reduce!($d, |x| {
+                            *sum += $as_f64(x);
+                            *count += 1;
+                        });
+                        Ok(true)
+                    }
+                    AggState::Min(_) | AggState::Max(_) => {
+                        // Reduce to the chunk-local extreme first, then do a
+                        // single Value comparison against the stored state.
+                        // `partial_cmp` (not `<`/`>`) keeps the per-row
+                        // path's semantics for doubles: an incomparable
+                        // pair (NaN) never replaces the held value, exactly
+                        // like `Value::total_cmp`'s Equal fallback.
+                        let want = if matches!(self, AggState::Max(_)) {
+                            Ordering::Greater
+                        } else {
+                            Ordering::Less
+                        };
+                        let mut best: Option<$t> = None;
+                        reduce!($d, |x: &$t| {
+                            best = match best {
+                                None => Some(*x),
+                                Some(b) => {
+                                    if (*x).partial_cmp(&b) == Some(want) {
+                                        Some(*x)
+                                    } else {
+                                        Some(b)
+                                    }
+                                }
+                            };
+                        });
+                        if let Some(b) = best {
+                            self.update(&value_of(v.logical_type(), &b))?;
+                        }
+                        Ok(true)
+                    }
+                    AggState::Welford { count, mean, m2, .. } => {
+                        reduce!($d, |x| {
+                            let xf = $as_f64(x);
+                            *count += 1;
+                            let delta = xf - *mean;
+                            *mean += delta / *count as f64;
+                            *m2 += delta * (xf - *mean);
+                        });
+                        Ok(true)
+                    }
+                    _ => Ok(false),
+                }
+            };
+        }
+        match v.data() {
+            VectorData::I8(d) => {
+                numeric_kernels!(d, i8, |x: &i8| i64::from(*x), |x: &i8| *x as f64)
+            }
+            VectorData::I16(d) => {
+                numeric_kernels!(d, i16, |x: &i16| i64::from(*x), |x: &i16| *x as f64)
+            }
+            VectorData::I32(d) => {
+                numeric_kernels!(d, i32, |x: &i32| i64::from(*x), |x: &i32| *x as f64)
+            }
+            VectorData::I64(d) => numeric_kernels!(d, i64, |x: &i64| *x, |x: &i64| *x as f64),
+            VectorData::F64(d) => match self {
+                // SUM over an integer state never sees doubles (the state is
+                // chosen from the input type), so only the double-native
+                // kernels apply here; the rest falls back.
+                AggState::SumDouble { .. }
+                | AggState::Avg { .. }
+                | AggState::Min(_)
+                | AggState::Max(_)
+                | AggState::Welford { .. } => {
+                    numeric_kernels!(d, f64, |x: &f64| *x as i64, |x: &f64| *x)
+                }
+                _ => Ok(false),
+            },
+            VectorData::Bool(_) | VectorData::Str(_) => Ok(false),
+        }
+    }
+
     /// Rough heap footprint for memory accounting.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<AggState>()
@@ -308,6 +458,183 @@ impl AggState {
                 _ => 0,
             }
     }
+}
+
+/// Native-to-`Value` lift that preserves the column's logical type
+/// (`I32` storage may be `INTEGER` or `DATE`, `I64` may be `TIMESTAMP`).
+trait TypedValue: Copy {
+    fn to_value(self, ty: LogicalType) -> Value;
+}
+
+impl TypedValue for i8 {
+    fn to_value(self, _ty: LogicalType) -> Value {
+        Value::TinyInt(self)
+    }
+}
+impl TypedValue for i16 {
+    fn to_value(self, _ty: LogicalType) -> Value {
+        Value::SmallInt(self)
+    }
+}
+impl TypedValue for i32 {
+    fn to_value(self, ty: LogicalType) -> Value {
+        if ty == LogicalType::Date {
+            Value::Date(self)
+        } else {
+            Value::Integer(self)
+        }
+    }
+}
+impl TypedValue for i64 {
+    fn to_value(self, ty: LogicalType) -> Value {
+        if ty == LogicalType::Timestamp {
+            Value::Timestamp(self)
+        } else {
+            Value::BigInt(self)
+        }
+    }
+}
+impl TypedValue for f64 {
+    fn to_value(self, _ty: LogicalType) -> Value {
+        Value::Double(self)
+    }
+}
+
+fn value_of<T: TypedValue>(ty: LogicalType, x: &T) -> Value {
+    x.to_value(ty)
+}
+
+/// Scatter-update kernel for grouped aggregation: fold every row of `arg`
+/// into `states[group_ids[row]][agg_idx]` with the aggregate's typed
+/// update inlined per physical type. `arg = None` is COUNT(*) (every row
+/// counts). DISTINCT states and unkernelled combinations fall back to the
+/// per-row [`AggState::update`] semantics inside the same loop, so the
+/// two paths cannot diverge.
+pub fn update_grouped_states(
+    states: &mut [Vec<AggState>],
+    agg_idx: usize,
+    group_ids: &[u32],
+    arg: Option<&Vector>,
+) -> Result<()> {
+    let Some(v) = arg else {
+        for &g in group_ids {
+            match &mut states[g as usize][agg_idx] {
+                AggState::Count(c) => *c += 1,
+                st => st.update(&Value::Boolean(true))?,
+            }
+        }
+        return Ok(());
+    };
+    debug_assert_eq!(v.len(), group_ids.len());
+    let validity = v.validity();
+    let ty = v.logical_type();
+    macro_rules! grouped_loop {
+        ($d:expr, $as_i64:expr, $as_f64:expr) => {{
+            let d = $d;
+            for (row, &g) in group_ids.iter().enumerate() {
+                if !validity.is_valid(row) {
+                    continue;
+                }
+                let x = d[row];
+                match &mut states[g as usize][agg_idx] {
+                    AggState::Count(c) => *c += 1,
+                    AggState::SumInt { sum, seen } => {
+                        *sum += i128::from($as_i64(x));
+                        *seen = true;
+                    }
+                    AggState::SumDouble { sum, seen } => {
+                        *sum += $as_f64(x);
+                        *seen = true;
+                    }
+                    AggState::Avg { sum, count } => {
+                        *sum += $as_f64(x);
+                        *count += 1;
+                    }
+                    AggState::Welford { count, mean, m2, .. } => {
+                        let xf = $as_f64(x);
+                        *count += 1;
+                        let delta = xf - *mean;
+                        *mean += delta / *count as f64;
+                        *m2 += delta * (xf - *mean);
+                    }
+                    // MIN/MAX and DISTINCT go through the shared per-row
+                    // update (stack-only `Value`s for these types).
+                    st => st.update(&value_of(ty, &x))?,
+                }
+            }
+        }};
+    }
+    match v.data() {
+        VectorData::I8(d) => grouped_loop!(d, |x: i8| i64::from(x), |x: i8| x as f64),
+        VectorData::I16(d) => grouped_loop!(d, |x: i16| i64::from(x), |x: i16| x as f64),
+        VectorData::I32(d) => grouped_loop!(d, |x: i32| i64::from(x), |x: i32| x as f64),
+        VectorData::I64(d) => grouped_loop!(d, |x: i64| x, |x: i64| x as f64),
+        VectorData::F64(d) => {
+            // An integral SUM state never legitimately sees doubles; route
+            // that combination through the per-row path so it errors the
+            // same way the `Value` path always has.
+            for (row, &g) in group_ids.iter().enumerate() {
+                if !validity.is_valid(row) {
+                    continue;
+                }
+                let x = d[row];
+                match &mut states[g as usize][agg_idx] {
+                    AggState::Count(c) => *c += 1,
+                    AggState::SumDouble { sum, seen } => {
+                        *sum += x;
+                        *seen = true;
+                    }
+                    AggState::Avg { sum, count } => {
+                        *sum += x;
+                        *count += 1;
+                    }
+                    AggState::Welford { count, mean, m2, .. } => {
+                        *count += 1;
+                        let delta = x - *mean;
+                        *mean += delta / *count as f64;
+                        *m2 += delta * (x - *mean);
+                    }
+                    st => st.update(&Value::Double(x))?,
+                }
+            }
+        }
+        VectorData::Str(d) => {
+            // MIN/MAX over strings compare borrowed; the fallback only
+            // clones when a row actually becomes the new extreme.
+            for (row, &g) in group_ids.iter().enumerate() {
+                if !validity.is_valid(row) {
+                    continue;
+                }
+                let x = &d[row];
+                match &mut states[g as usize][agg_idx] {
+                    AggState::Count(c) => *c += 1,
+                    AggState::Min(cur) => {
+                        if cur.as_ref().and_then(Value::as_str).map_or(true, |m| x.as_str() < m) {
+                            *cur = Some(Value::Varchar(x.clone()));
+                        }
+                    }
+                    AggState::Max(cur) => {
+                        if cur.as_ref().and_then(Value::as_str).map_or(true, |m| x.as_str() > m) {
+                            *cur = Some(Value::Varchar(x.clone()));
+                        }
+                    }
+                    st => st.update(&Value::Varchar(x.clone()))?,
+                }
+            }
+        }
+        VectorData::Bool(d) => {
+            for (row, &g) in group_ids.iter().enumerate() {
+                if !validity.is_valid(row) {
+                    continue;
+                }
+                match &mut states[g as usize][agg_idx] {
+                    AggState::Count(c) => *c += 1,
+                    st => st.update(&Value::Boolean(d[row]))?,
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -440,6 +767,137 @@ mod tests {
                     assert!((x - y).abs() < 1e-9, "{kind:?} distinct={distinct}: {x} vs {y}")
                 }
                 _ => assert_eq!(a, b, "{kind:?} distinct={distinct}"),
+            }
+        }
+    }
+
+    #[test]
+    fn update_vector_matches_per_row_updates() {
+        use eider_vector::Vector;
+        let cases: Vec<(LogicalType, Vec<Value>)> = vec![
+            (
+                LogicalType::Integer,
+                (0..200)
+                    .map(|i| if i % 7 == 0 { Value::Null } else { Value::Integer(i * 3 - 100) })
+                    .collect(),
+            ),
+            (
+                LogicalType::Double,
+                (0..200)
+                    .map(|i| {
+                        if i % 5 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Double(f64::from(i) * 0.25 - 10.0)
+                        }
+                    })
+                    .collect(),
+            ),
+            (LogicalType::BigInt, (0..100).map(|i| Value::BigInt(i64::from(i) << 20)).collect()),
+        ];
+        let kinds = [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::VarSamp,
+        ];
+        for (ty, vals) in cases {
+            let v = Vector::from_values(ty, &vals).unwrap();
+            for kind in kinds {
+                let mut bulk = AggState::new(kind, Some(ty), false);
+                assert!(bulk.update_vector(&v, None).unwrap(), "{kind:?} over {ty}");
+                let mut scalar = AggState::new(kind, Some(ty), false);
+                for val in &vals {
+                    scalar.update(val).unwrap();
+                }
+                let (a, b) = (bulk.finalize().unwrap(), scalar.finalize().unwrap());
+                match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => {
+                        assert!((x - y).abs() < 1e-9, "{kind:?} over {ty}: {x} vs {y}")
+                    }
+                    _ => assert_eq!(a, b, "{kind:?} over {ty}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_min_max_match_per_row_on_nan() {
+        use eider_vector::Vector;
+        // NaN is incomparable: the per-row path keeps the held value on
+        // the total_cmp Equal fallback, and the bulk kernel must agree in
+        // BOTH orders.
+        for vals in [
+            vec![Value::Double(1.0), Value::Double(f64::NAN)],
+            vec![Value::Double(f64::NAN), Value::Double(1.0)],
+        ] {
+            let v = Vector::from_values(LogicalType::Double, &vals).unwrap();
+            for kind in [AggKind::Min, AggKind::Max] {
+                let mut bulk = AggState::new(kind, Some(LogicalType::Double), false);
+                assert!(bulk.update_vector(&v, None).unwrap());
+                let mut scalar = AggState::new(kind, Some(LogicalType::Double), false);
+                for val in &vals {
+                    scalar.update(val).unwrap();
+                }
+                let (a, b) = (bulk.finalize().unwrap(), scalar.finalize().unwrap());
+                // Compare bit patterns (NaN != NaN under ==).
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "{kind:?} over {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_vector_respects_selection() {
+        use eider_vector::Vector;
+        let v = Vector::from_values(
+            LogicalType::Integer,
+            &(0..10).map(Value::Integer).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let sel = SelectionVector::from_indexes(vec![1, 3, 5]);
+        let mut s = AggState::new(AggKind::Sum, Some(LogicalType::Integer), false);
+        assert!(s.update_vector(&v, Some(&sel)).unwrap());
+        assert_eq!(s.finalize().unwrap(), Value::BigInt(9));
+    }
+
+    #[test]
+    fn update_vector_rejects_distinct() {
+        use eider_vector::Vector;
+        let v = Vector::from_values(LogicalType::Integer, &[Value::Integer(1)]).unwrap();
+        let mut s = AggState::new(AggKind::Sum, Some(LogicalType::Integer), true);
+        assert!(!s.update_vector(&v, None).unwrap(), "DISTINCT must take the per-row path");
+    }
+
+    #[test]
+    fn grouped_kernel_matches_per_row_updates() {
+        use eider_vector::Vector;
+        let vals: Vec<Value> = (0..300)
+            .map(|i| if i % 9 == 0 { Value::Null } else { Value::Integer(i % 40) })
+            .collect();
+        let v = Vector::from_values(LogicalType::Integer, &vals).unwrap();
+        let group_ids: Vec<u32> = (0..300u32).map(|i| i % 4).collect();
+        let kinds = [AggKind::Count, AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max];
+        for kind in kinds {
+            for distinct in [false, true] {
+                let mut grouped: Vec<Vec<AggState>> = (0..4)
+                    .map(|_| vec![AggState::new(kind, Some(LogicalType::Integer), distinct)])
+                    .collect();
+                update_grouped_states(&mut grouped, 0, &group_ids, Some(&v)).unwrap();
+                for g in 0..4usize {
+                    let mut scalar = AggState::new(kind, Some(LogicalType::Integer), distinct);
+                    for (row, val) in vals.iter().enumerate() {
+                        if group_ids[row] as usize == g {
+                            scalar.update(val).unwrap();
+                        }
+                    }
+                    assert_eq!(
+                        grouped[g][0].finalize().unwrap(),
+                        scalar.finalize().unwrap(),
+                        "{kind:?} distinct={distinct} group {g}"
+                    );
+                }
             }
         }
     }

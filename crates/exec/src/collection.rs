@@ -168,6 +168,16 @@ impl ChunkCollection {
         }
     }
 
+    /// Borrow chunk `idx` when it is stored uncompressed — the zero-copy
+    /// path probe-side gathers take; compressed chunks return `None` and
+    /// go through [`ChunkCollection::chunk_shared`] instead.
+    pub fn plain_chunk(&self, idx: usize) -> Option<&DataChunk> {
+        match &self.chunks[idx] {
+            StoredChunk::Plain(c) => Some(c),
+            StoredChunk::Compressed { .. } => None,
+        }
+    }
+
     /// Read one row through a caller-owned cache without cloning whole
     /// chunks (probe-side match gathering calls this once per matched row).
     pub fn row_shared(

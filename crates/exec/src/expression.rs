@@ -268,6 +268,54 @@ impl Expr {
             }
             Expr::Like { child, pattern, negated } => {
                 let c = child.evaluate(chunk)?;
+                // Constant patterns (the common `col LIKE 'x%'` shape) are
+                // extracted, validated and compiled ONCE per vector; only
+                // the match itself runs per row.
+                if pattern.is_constant() {
+                    return match pattern.evaluate_row(&[])? {
+                        Value::Null => {
+                            let mut out = Vector::with_capacity(LogicalType::Boolean, count);
+                            for _ in 0..count {
+                                out.push_null();
+                            }
+                            Ok(out)
+                        }
+                        Value::Varchar(p) => {
+                            let matcher = LikeMatcher::new(&p);
+                            let mut out = Vector::with_capacity(LogicalType::Boolean, count);
+                            match c.data() {
+                                VectorData::Str(d) => {
+                                    let validity = c.validity();
+                                    for (i, s) in d.iter().enumerate() {
+                                        if validity.is_valid(i) {
+                                            out.push_value(&Value::Boolean(
+                                                matcher.matches(s) != *negated,
+                                            ))?;
+                                        } else {
+                                            out.push_null();
+                                        }
+                                    }
+                                    Ok(out)
+                                }
+                                _ => {
+                                    if c.validity().count_valid() == 0 {
+                                        for _ in 0..count {
+                                            out.push_null();
+                                        }
+                                        return Ok(out);
+                                    }
+                                    Err(EiderError::TypeMismatch(format!(
+                                        "LIKE requires strings, got {} LIKE pattern",
+                                        c.logical_type()
+                                    )))
+                                }
+                            }
+                        }
+                        other => Err(EiderError::TypeMismatch(format!(
+                            "LIKE requires a string pattern, got {other}"
+                        ))),
+                    };
+                }
                 let p = pattern.evaluate(chunk)?;
                 let mut out = Vector::with_capacity(LogicalType::Boolean, count);
                 for row in 0..count {
@@ -287,6 +335,37 @@ impl Expr {
             }
             Expr::InList { child, list, negated } => {
                 let c = child.evaluate(chunk)?;
+                // Constant lists (the common `col IN (1, 2, 3)` shape) are
+                // evaluated once per vector instead of materializing one
+                // constant vector per item per chunk.
+                if list.iter().all(Expr::is_constant) {
+                    let mut consts: Vec<Value> = Vec::with_capacity(list.len());
+                    let mut list_has_null = false;
+                    for item in list {
+                        match item.evaluate_row(&[])? {
+                            Value::Null => list_has_null = true,
+                            v => consts.push(v),
+                        }
+                    }
+                    let mut out = Vector::with_capacity(LogicalType::Boolean, count);
+                    for row in 0..count {
+                        let needle = c.get_value(row);
+                        if needle.is_null() {
+                            out.push_null();
+                            continue;
+                        }
+                        let found =
+                            consts.iter().any(|v| needle.sql_cmp(v) == Some(Ordering::Equal));
+                        if found {
+                            out.push_value(&Value::Boolean(!*negated))?;
+                        } else if list_has_null {
+                            out.push_null(); // x IN (..., NULL) is NULL when unmatched
+                        } else {
+                            out.push_value(&Value::Boolean(*negated))?;
+                        }
+                    }
+                    return Ok(out);
+                }
                 let items: Vec<Vector> =
                     list.iter().map(|e| e.evaluate(chunk)).collect::<Result<_>>()?;
                 let mut out = Vector::with_capacity(LogicalType::Boolean, count);
@@ -437,35 +516,55 @@ impl Expr {
     }
 }
 
-/// SQL LIKE with `%` (any run) and `_` (any single char), iterative
-/// backtracking matcher.
-pub fn like_match(pattern: &str, s: &str) -> bool {
-    let p: Vec<char> = pattern.chars().collect();
-    let t: Vec<char> = s.chars().collect();
-    let (mut pi, mut ti) = (0usize, 0usize);
-    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
-    while ti < t.len() {
-        // '%' is never a literal: without this guard, a '%' in the *text*
-        // would consume the wildcard as a plain character match.
-        if pi < p.len() && p[pi] != '%' && (p[pi] == '_' || p[pi] == t[ti]) {
-            pi += 1;
-            ti += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            star_p = pi;
-            star_t = ti;
-            pi += 1;
-        } else if star_p != usize::MAX {
-            star_t += 1;
-            ti = star_t;
-            pi = star_p + 1;
-        } else {
-            return false;
+/// A LIKE pattern compiled once (`%` = any run, `_` = any single char):
+/// the pattern's chars are decoded a single time, and matching walks the
+/// text by byte position without allocating — so a constant pattern costs
+/// one compilation per *vector*, not a re-parse per row.
+pub struct LikeMatcher {
+    pattern: Vec<char>,
+}
+
+impl LikeMatcher {
+    pub fn new(pattern: &str) -> LikeMatcher {
+        LikeMatcher { pattern: pattern.chars().collect() }
+    }
+
+    /// Iterative backtracking match, allocation-free per call.
+    pub fn matches(&self, s: &str) -> bool {
+        let p = &self.pattern;
+        let (mut pi, mut ti) = (0usize, 0usize); // pattern char idx, text byte idx
+        let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+        while ti < s.len() {
+            let tc = s[ti..].chars().next().expect("ti is a char boundary");
+            // '%' is never a literal: without this guard, a '%' in the
+            // *text* would consume the wildcard as a plain char match.
+            if pi < p.len() && p[pi] != '%' && (p[pi] == '_' || p[pi] == tc) {
+                pi += 1;
+                ti += tc.len_utf8();
+            } else if pi < p.len() && p[pi] == '%' {
+                star_p = pi;
+                star_t = ti;
+                pi += 1;
+            } else if star_p != usize::MAX {
+                let sc = s[star_t..].chars().next().expect("star_t is a char boundary");
+                star_t += sc.len_utf8();
+                ti = star_t;
+                pi = star_p + 1;
+            } else {
+                return false;
+            }
         }
+        while pi < p.len() && p[pi] == '%' {
+            pi += 1;
+        }
+        pi == p.len()
     }
-    while pi < p.len() && p[pi] == '%' {
-        pi += 1;
-    }
-    pi == p.len()
+}
+
+/// SQL LIKE convenience over [`LikeMatcher`] (row-wise paths and tests;
+/// the vectorized path compiles the matcher once per vector instead).
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    LikeMatcher::new(pattern).matches(s)
 }
 
 /// Turn a Boolean vector into the selection of rows that are TRUE
@@ -1054,6 +1153,82 @@ mod tests {
         let v = e.evaluate(&c).unwrap();
         assert_eq!(v.get_value(0), Value::Boolean(true));
         assert!(v.get_value(1).is_null(), "unmatched with NULL in list is NULL");
+    }
+
+    #[test]
+    fn in_list_constant_and_columnar_paths_agree() {
+        let c = chunk();
+        // Constant list (hoisted) vs the same list with a column smuggled
+        // in (per-row path) on a list that contains the column's value.
+        let hoisted = Expr::InList {
+            child: Box::new(Expr::column(0, LogicalType::Integer)),
+            list: vec![Expr::constant(Value::Integer(2)), Expr::constant(Value::Integer(4))],
+            negated: false,
+        };
+        let columnar = Expr::InList {
+            child: Box::new(Expr::column(0, LogicalType::Integer)),
+            list: vec![
+                Expr::constant(Value::Integer(2)),
+                Expr::constant(Value::Integer(4)),
+                Expr::column(1, LogicalType::Integer),
+            ],
+            negated: false,
+        };
+        let h = hoisted.evaluate(&c).unwrap();
+        assert_eq!(
+            h.to_values(),
+            vec![
+                Value::Boolean(false),
+                Value::Boolean(true),
+                Value::Boolean(false),
+                Value::Boolean(true)
+            ]
+        );
+        // The columnar variant still matches rows the constants match.
+        let v = columnar.evaluate(&c).unwrap();
+        assert_eq!(v.get_value(1), Value::Boolean(true));
+        assert_eq!(v.get_value(3), Value::Boolean(true));
+    }
+
+    #[test]
+    fn constant_like_pattern_is_hoisted() {
+        let c = DataChunk::from_rows(
+            &[LogicalType::Varchar],
+            &[
+                vec![Value::Varchar("alpha".into())],
+                vec![Value::Null],
+                vec![Value::Varchar("beta".into())],
+            ],
+        )
+        .unwrap();
+        let e = Expr::Like {
+            child: Box::new(Expr::column(0, LogicalType::Varchar)),
+            pattern: Box::new(Expr::constant(Value::Varchar("%a".into()))),
+            negated: false,
+        };
+        let v = e.evaluate(&c).unwrap();
+        assert_eq!(v.get_value(0), Value::Boolean(true));
+        assert!(v.get_value(1).is_null());
+        assert_eq!(v.get_value(2), Value::Boolean(true));
+        // NULL pattern: every row is NULL.
+        let e = Expr::Like {
+            child: Box::new(Expr::column(0, LogicalType::Varchar)),
+            pattern: Box::new(Expr::constant(Value::Null)),
+            negated: false,
+        };
+        let v = e.evaluate(&c).unwrap();
+        assert!((0..3).all(|i| v.get_value(i).is_null()));
+    }
+
+    #[test]
+    fn like_matcher_handles_multibyte_text() {
+        let m = LikeMatcher::new("h_llo%");
+        assert!(m.matches("héllo world"));
+        assert!(m.matches("hallo"));
+        assert!(!m.matches("hllo"));
+        let m = LikeMatcher::new("%é%");
+        assert!(m.matches("café au lait"));
+        assert!(!m.matches("cafe"));
     }
 
     #[test]

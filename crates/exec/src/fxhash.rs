@@ -1,11 +1,21 @@
-//! A fast, non-cryptographic hasher for join/aggregation keys.
+//! A fast, non-cryptographic hasher for join/aggregation keys, plus the
+//! vectorized hash kernels the group-by and join key paths run on.
 //!
 //! The default SipHash of `std::collections::HashMap` costs more per key
 //! than an entire vectorized kernel iteration; hash tables on the query
 //! path use this Fx-style multiply-xor hash instead (the algorithm rustc
 //! uses internally). HashDoS is not a concern for in-process analytical
 //! keys.
+//!
+//! [`hash_vector`] is the §2 "low cycles per value" version of key
+//! hashing: it hashes a whole [`Vector`] into a `u64` hash column in one
+//! tight loop per physical type, and combines follow-up key columns into
+//! the same column (`first = false`) instead of re-dispatching per row.
+//! The hashes agree with the row-format key encoding of
+//! [`crate::rowkey`]: two keys hash equal whenever their encoded bytes are
+//! equal (doubles are normalized the same way on both paths).
 
+use eider_vector::{Vector, VectorData};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Fx algorithm: `state = (state rotl 5 ^ word) * SEED` per word.
@@ -77,6 +87,101 @@ pub fn fxhash<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
     h.finish()
 }
 
+// ---------------- vectorized hash kernels ----------------
+
+/// One Fx mix step: fold `word` into a running hash.
+#[inline(always)]
+pub fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// The word NULL key values hash through (NULL keys form one group under
+/// grouping equality, so they need one deterministic hash).
+pub const NULL_HASH_WORD: u64 = 0xdead_beef_c01d_cafe;
+
+/// Normalize a double so that values that are *key-equal* hash and encode
+/// identically: `-0.0` folds into `+0.0` and every NaN folds into the one
+/// canonical NaN. Shared with [`crate::rowkey`]'s encoder.
+#[inline(always)]
+pub fn normalize_f64(f: f64) -> f64 {
+    if f == 0.0 {
+        0.0
+    } else if f.is_nan() {
+        f64::NAN
+    } else {
+        f
+    }
+}
+
+/// Fx-hash of a byte string (same result as `FxHasher::write` + `finish`
+/// from a fresh hasher), used for varchar key words.
+#[inline]
+fn fx_bytes_word(bytes: &[u8]) -> u64 {
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = fx_mix(h, u64::from_le_bytes(c.try_into().expect("8 bytes")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h = fx_mix(h, u64::from_le_bytes(w));
+    }
+    // Fold the length in so "a\0" and "a" cannot collide via zero padding.
+    fx_mix(h, bytes.len() as u64)
+}
+
+macro_rules! hash_loop {
+    ($data:expr, $validity:expr, $hashes:expr, $first:expr, $word:expr) => {{
+        let data = $data;
+        if $validity.all_valid() {
+            if $first {
+                for (h, x) in $hashes.iter_mut().zip(data.iter()) {
+                    *h = fx_mix(0, $word(x));
+                }
+            } else {
+                for (h, x) in $hashes.iter_mut().zip(data.iter()) {
+                    *h = fx_mix(*h, $word(x));
+                }
+            }
+        } else {
+            for (i, (h, x)) in $hashes.iter_mut().zip(data.iter()).enumerate() {
+                let w = if $validity.is_valid(i) { $word(x) } else { NULL_HASH_WORD };
+                *h = if $first { fx_mix(0, w) } else { fx_mix(*h, w) };
+            }
+        }
+    }};
+}
+
+/// Hash a whole vector into `hashes` in one typed loop.
+///
+/// With `first = true` the column starts the hash; with `first = false`
+/// it is combined into the already-present hashes (multi-column keys).
+/// `hashes` is resized to the vector's length on the first column and
+/// must already have that length on follow-up columns.
+pub fn hash_vector(v: &Vector, hashes: &mut Vec<u64>, first: bool) {
+    if first {
+        hashes.clear();
+        hashes.resize(v.len(), 0);
+    }
+    debug_assert_eq!(hashes.len(), v.len());
+    let validity = v.validity();
+    match v.data() {
+        VectorData::Bool(d) => hash_loop!(d, validity, hashes, first, |x: &bool| u64::from(*x)),
+        VectorData::I8(d) => hash_loop!(d, validity, hashes, first, |x: &i8| *x as i64 as u64),
+        VectorData::I16(d) => hash_loop!(d, validity, hashes, first, |x: &i16| *x as i64 as u64),
+        VectorData::I32(d) => hash_loop!(d, validity, hashes, first, |x: &i32| *x as i64 as u64),
+        VectorData::I64(d) => hash_loop!(d, validity, hashes, first, |x: &i64| *x as u64),
+        VectorData::F64(d) => {
+            hash_loop!(d, validity, hashes, first, |x: &f64| normalize_f64(*x).to_bits())
+        }
+        VectorData::Str(d) => {
+            hash_loop!(d, validity, hashes, first, |x: &String| fx_bytes_word(x.as_bytes()))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +201,51 @@ mod tests {
         }
         assert_eq!(m[&500], 1000);
         assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hash_vector_matches_per_row_mix() {
+        use eider_vector::{LogicalType, Value};
+        let v = Vector::from_values(
+            LogicalType::Integer,
+            &[Value::Integer(1), Value::Null, Value::Integer(-7)],
+        )
+        .unwrap();
+        let mut hashes = Vec::new();
+        hash_vector(&v, &mut hashes, true);
+        assert_eq!(hashes.len(), 3);
+        assert_eq!(hashes[0], fx_mix(0, 1u64));
+        assert_eq!(hashes[1], fx_mix(0, NULL_HASH_WORD));
+        assert_eq!(hashes[2], fx_mix(0, -7i64 as u64));
+        // Combining a second column changes every hash.
+        let before = hashes.clone();
+        hash_vector(&v, &mut hashes, false);
+        assert!(before.iter().zip(&hashes).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn double_hash_normalizes_zero_and_nan() {
+        use eider_vector::{LogicalType, Value};
+        let v = Vector::from_values(
+            LogicalType::Double,
+            &[
+                Value::Double(0.0),
+                Value::Double(-0.0),
+                Value::Double(f64::NAN),
+                Value::Double(-f64::NAN),
+            ],
+        )
+        .unwrap();
+        let mut hashes = Vec::new();
+        hash_vector(&v, &mut hashes, true);
+        assert_eq!(hashes[0], hashes[1], "-0.0 and 0.0 are one group");
+        assert_eq!(hashes[2], hashes[3], "all NaNs are one group");
+    }
+
+    #[test]
+    fn string_hash_distinguishes_embedded_nul() {
+        assert_ne!(fx_bytes_word(b"a"), fx_bytes_word(b"a\0"));
+        assert_ne!(fx_bytes_word(b""), fx_bytes_word(b"\0"));
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   into row-range morsels dispensed to worker threads, each running the
 //!   serial operators above, with explicit merge/finalize steps for
 //!   aggregates, sorts and hash-join builds;
+//! * [`rowkey`] — normalized row-format key encoding (NULL sentinel,
+//!   order-preserving bytes) plus the arena-backed [`rowkey::KeyedTable`]
+//!   behind grouped aggregation; [`fxhash`] holds the matching vectorized
+//!   hash kernels;
 //! * [`row_engine`] — a classical tuple-at-a-time Volcano interpreter, the
 //!   baseline the OLAP benchmark compares against (§2/§6: why vectorized).
 
@@ -37,6 +41,7 @@ pub mod fxhash;
 pub mod ops;
 pub mod parallel;
 pub mod row_engine;
+pub mod rowkey;
 
 pub use collection::ChunkCollection;
 pub use expression::{ArithOp, Expr, ScalarFunc};

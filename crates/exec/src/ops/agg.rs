@@ -1,11 +1,17 @@
 //! Aggregation operators: ungrouped (simple) and hash-grouped.
+//!
+//! Grouping runs on the row-format key path ([`crate::rowkey`]): group
+//! keys are hashed vectorized, normalized into byte rows and deduplicated
+//! in an arena-backed [`KeyedTable`], and aggregate states update through
+//! the typed scatter kernels of [`crate::aggregate`] — no per-row
+//! `Vec<Value>` anywhere on the hot path (§2's cycles-per-value budget).
 
-use crate::aggregate::{AggKind, AggState};
+use crate::aggregate::{update_grouped_states, AggKind, AggState};
 use crate::expression::Expr;
-use crate::fxhash::FxHashMap;
 use crate::ops::{OperatorBox, PhysicalOperator};
+use crate::rowkey::{KeyLayout, KeyedTable};
 use eider_storage::buffer::{BufferManager, MemoryReservation};
-use eider_vector::{DataChunk, LogicalType, Result, Value, VECTOR_SIZE};
+use eider_vector::{DataChunk, LogicalType, Result, Value, Vector, VECTOR_SIZE};
 use std::sync::Arc;
 
 /// One aggregate of the SELECT list: kind + argument expression.
@@ -31,6 +37,9 @@ impl AggExpr {
 /// definition of per-chunk update semantics (COUNT(*) counts every row
 /// via a non-null sentinel; other aggregates evaluate their argument),
 /// shared by the serial operator and the parallel executor's sink.
+/// Each aggregate first tries the typed bulk kernel
+/// ([`AggState::update_vector`]); DISTINCT and rare type combinations
+/// fall back to the per-row `Value` path with identical semantics.
 pub fn update_simple_states(
     aggs: &[AggExpr],
     states: &mut [AggState],
@@ -40,14 +49,20 @@ pub fn update_simple_states(
         match &agg.arg {
             Some(expr) => {
                 let v = expr.evaluate(chunk)?;
-                for row in 0..v.len() {
-                    state.update(&v.get_value(row))?;
+                if !state.update_vector(&v, None)? {
+                    for row in 0..v.len() {
+                        state.update(&v.get_value(row))?;
+                    }
                 }
             }
             None => {
                 // COUNT(*): every row counts.
-                for _ in 0..chunk.len() {
-                    state.update(&Value::Boolean(true))?;
+                if let AggState::Count(c) = state {
+                    *c += chunk.len() as i64;
+                } else {
+                    for _ in 0..chunk.len() {
+                        state.update(&Value::Boolean(true))?;
+                    }
                 }
             }
         }
@@ -55,38 +70,125 @@ pub fn update_simple_states(
     Ok(())
 }
 
-/// Fold one chunk into a GROUP BY hash table (grouping equality: NULL
-/// keys form one group). Shared by the serial operator and the parallel
+/// The GROUP BY hash table: an arena-backed [`KeyedTable`] whose payloads
+/// are the per-group aggregate states, plus the reused per-chunk group-id
+/// buffer. One instance per serial operator; the parallel sink keeps one
+/// per morsel and merges them on encoded byte keys.
+pub struct GroupTable {
+    table: KeyedTable<Vec<AggState>>,
+    group_ids: Vec<u32>,
+    /// Aggregates per group, for the state part of memory accounting.
+    state_width: usize,
+}
+
+impl GroupTable {
+    pub fn new(groups: &[Expr], aggs: &[AggExpr]) -> GroupTable {
+        GroupTable::with_capacity(groups, aggs, 0)
+    }
+
+    /// Pre-size for `cap` expected groups (e.g. the cardinality the first
+    /// morsel of a parallel aggregate observed).
+    pub fn with_capacity(groups: &[Expr], aggs: &[AggExpr], cap: usize) -> GroupTable {
+        let layout = KeyLayout::new(groups.iter().map(Expr::result_type).collect());
+        GroupTable {
+            table: KeyedTable::with_capacity(layout, cap),
+            group_ids: Vec::new(),
+            state_width: aggs.len(),
+        }
+    }
+
+    /// Number of distinct groups seen so far.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Heap footprint of the table: key arena + buckets + scratch, plus
+    /// the per-group aggregate-state rows. DISTINCT dedup sets are charged
+    /// coarsely via [`AggState::size_bytes`]'s base cost only when states
+    /// are enumerated, so treat this as a lower bound like every other
+    /// estimate the buffer manager consumes.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.table_bytes()
+            + self.table.len() * self.state_width * std::mem::size_of::<AggState>()
+    }
+
+    /// Fold one chunk in: vectorized hash + encode + upsert of the keys,
+    /// then one scatter-kernel pass per aggregate.
+    pub fn update_chunk(
+        &mut self,
+        groups: &[Expr],
+        aggs: &[AggExpr],
+        chunk: &DataChunk,
+    ) -> Result<()> {
+        let key_vectors: Vec<Vector> =
+            groups.iter().map(|g| g.evaluate(chunk)).collect::<Result<_>>()?;
+        self.table.upsert_rows(
+            &key_vectors,
+            chunk.len(),
+            || aggs.iter().map(AggExpr::new_state).collect(),
+            &mut self.group_ids,
+        )?;
+        for (i, agg) in aggs.iter().enumerate() {
+            let arg = agg.arg.as_ref().map(|e| e.evaluate(chunk)).transpose()?;
+            update_grouped_states(self.table.payloads_mut(), i, &self.group_ids, arg.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Merge another table's groups into this one (parallel partials, in
+    /// the other table's insertion order — deterministic given morsel
+    /// order). States of shared keys combine via [`AggState::merge`].
+    pub fn merge_from(&mut self, other: GroupTable) -> Result<()> {
+        self.table.merge_from(other.table, |states, partial| {
+            for (s, p) in states.iter_mut().zip(&partial) {
+                s.merge(p)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Emit the groups named by `indices` as one output chunk: decoded key
+    /// columns first, then finalized aggregate columns.
+    pub fn emit(&self, indices: &[u32], aggs: &[AggExpr]) -> Result<DataChunk> {
+        let mut columns: Vec<Vector> = self
+            .table
+            .layout()
+            .types()
+            .iter()
+            .map(|&t| Vector::with_capacity(t, indices.len()))
+            .collect();
+        let key_width = columns.len();
+        columns.extend(aggs.iter().map(|a| Vector::with_capacity(a.result_type(), indices.len())));
+        for &idx in indices {
+            self.table.decode_key_into(idx as usize, &mut columns[..key_width])?;
+            for (i, s) in self.table.payloads()[idx as usize].iter().enumerate() {
+                columns[key_width + i].push_value(&s.finalize()?)?;
+            }
+        }
+        DataChunk::from_vectors(columns)
+    }
+
+    /// Group indices in encoded-key (= [`Value::total_cmp`]) order — what
+    /// the parallel merge emits so output is thread-count independent.
+    pub fn sorted_order(&self) -> Vec<u32> {
+        self.table.sorted_order()
+    }
+}
+
+/// Fold one chunk into a GROUP BY table (grouping equality: NULL keys
+/// form one group). Shared by the serial operator and the parallel
 /// executor's per-morsel partials so the two engines cannot diverge.
 pub fn update_group_table(
     groups: &[Expr],
     aggs: &[AggExpr],
-    table: &mut FxHashMap<Vec<Value>, Vec<AggState>>,
+    table: &mut GroupTable,
     chunk: &DataChunk,
 ) -> Result<()> {
-    let key_vectors = groups.iter().map(|g| g.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
-    let arg_vectors: Vec<Option<eider_vector::Vector>> = aggs
-        .iter()
-        .map(|a| a.arg.as_ref().map(|e| e.evaluate(chunk)).transpose())
-        .collect::<Result<_>>()?;
-    for row in 0..chunk.len() {
-        let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
-        let states = match table.get_mut(&key) {
-            Some(s) => s,
-            None => {
-                let fresh: Vec<AggState> = aggs.iter().map(AggExpr::new_state).collect();
-                table.insert(key.clone(), fresh);
-                table.get_mut(&key).expect("just inserted")
-            }
-        };
-        for (i, state) in states.iter_mut().enumerate() {
-            match &arg_vectors[i] {
-                Some(v) => state.update(&v.get_value(row))?,
-                None => state.update(&Value::Boolean(true))?,
-            }
-        }
-    }
-    Ok(())
+    table.update_chunk(groups, aggs, chunk)
 }
 
 /// Aggregation without GROUP BY: exactly one output row.
@@ -126,17 +228,20 @@ impl PhysicalOperator for SimpleAggregateOp {
     }
 }
 
-/// GROUP BY aggregation via a hash table of group keys.
+/// GROUP BY aggregation via a hash table of row-format group keys.
 ///
-/// Group keys use *grouping equality* (NULLs form one group), which is the
-/// `Eq`/`Hash` of [`Value`]. Memory is accounted against the buffer manager
-/// as the table grows (§4's hard limits apply to aggregation state too).
+/// Group keys use *grouping equality* (NULLs form one group), realized as
+/// byte equality of the normalized key encoding. Memory is accounted
+/// against the buffer manager as the table grows, charging the real arena
+/// + bucket + state footprint (§4's hard limits apply to aggregation
+/// state too).
 pub struct HashAggregateOp {
     child: OperatorBox,
     groups: Vec<Expr>,
     aggs: Vec<AggExpr>,
     buffers: Option<Arc<BufferManager>>,
-    output: Option<std::vec::IntoIter<(Vec<Value>, Vec<AggState>)>>,
+    table: Option<GroupTable>,
+    emit_pos: usize,
     _reservation: Option<MemoryReservation>,
 }
 
@@ -147,32 +252,41 @@ impl HashAggregateOp {
         aggs: Vec<AggExpr>,
         buffers: Option<Arc<BufferManager>>,
     ) -> Self {
-        HashAggregateOp { child, groups, aggs, buffers, output: None, _reservation: None }
+        HashAggregateOp {
+            child,
+            groups,
+            aggs,
+            buffers,
+            table: None,
+            emit_pos: 0,
+            _reservation: None,
+        }
     }
 
     fn aggregate_phase(&mut self) -> Result<()> {
-        let mut table: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+        let mut table = GroupTable::new(&self.groups, &self.aggs);
         let mut reservation = match &self.buffers {
             Some(b) => Some(b.reserve(0)?),
             None => None,
         };
-        let mut accounted_groups = 0usize;
+        let mut accounted = 0usize;
         while let Some(chunk) = self.child.next_chunk()? {
             if chunk.is_empty() {
                 continue;
             }
-            update_group_table(&self.groups, &self.aggs, &mut table, &chunk)?;
-            // Periodic memory accounting: ~96 bytes per group + key data.
+            table.update_chunk(&self.groups, &self.aggs, &chunk)?;
+            // Periodic accounting of the real key-arena/bucket/state
+            // footprint (capacities only grow, so the delta is monotonic).
             if let Some(res) = &mut reservation {
-                if table.len() > accounted_groups {
-                    let growth = (table.len() - accounted_groups) * 96;
-                    res.grow(growth)?;
-                    accounted_groups = table.len();
+                let bytes = table.memory_bytes();
+                if bytes > accounted {
+                    res.grow(bytes - accounted)?;
+                    accounted = bytes;
                 }
             }
         }
         self._reservation = reservation;
-        self.output = Some(table.into_iter().collect::<Vec<_>>().into_iter());
+        self.table = Some(table);
         Ok(())
     }
 }
@@ -185,24 +299,18 @@ impl PhysicalOperator for HashAggregateOp {
     }
 
     fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
-        if self.output.is_none() {
+        if self.table.is_none() {
             self.aggregate_phase()?;
         }
-        let out_types = self.output_types();
-        let it = self.output.as_mut().expect("aggregated");
-        let mut out = DataChunk::new(&out_types);
-        for (key, states) in it.by_ref().take(VECTOR_SIZE) {
-            let mut row = key;
-            for s in &states {
-                row.push(s.finalize()?);
-            }
-            out.append_row(&row)?;
+        let table = self.table.as_ref().expect("aggregated");
+        if self.emit_pos >= table.len() {
+            return Ok(None);
         }
-        if out.is_empty() {
-            Ok(None)
-        } else {
-            Ok(Some(out))
-        }
+        let end = (self.emit_pos + VECTOR_SIZE).min(table.len());
+        // Serial emission streams groups in first-seen (insertion) order.
+        let indices: Vec<u32> = (self.emit_pos as u32..end as u32).collect();
+        self.emit_pos = end;
+        Ok(Some(table.emit(&indices, &self.aggs)?))
     }
 }
 

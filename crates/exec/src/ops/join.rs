@@ -22,13 +22,18 @@
 
 use crate::collection::{ChunkCache, ChunkCollection};
 use crate::expression::Expr;
-use crate::fxhash::{fxhash, FxHashMap};
+use crate::fxhash::hash_vector;
 use crate::ops::{OperatorBox, PhysicalOperator};
+use crate::rowkey::{encode_keys, KeyLayout, KeyScratch};
 use eider_coop::compression::CompressionLevel;
-use eider_storage::buffer::BufferManager;
-use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, VECTOR_SIZE};
+use eider_storage::buffer::{BufferManager, MemoryReservation};
+use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, Vector, VECTOR_SIZE};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+const EMPTY_SLOT: u32 = u32::MAX;
+/// Entry marker for an unmatched output row (LEFT joins pad with NULLs).
+const NULL_ENTRY: u32 = u32::MAX;
 
 /// Join flavours supported by the hash and nested-loop joins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +55,10 @@ impl JoinType {
 }
 
 /// The immutable hashed build side of an equi-join: materialized rows plus
-/// an Fx-hashed bucket table over the precomputed key values.
+/// a chained hash table over *row-format* key encodings
+/// ([`crate::rowkey`]): every build key lives as normalized bytes in one
+/// arena, probed by `memcmp` after a vectorized hash — no `Vec<Value>` per
+/// row anywhere on the build or probe path.
 ///
 /// Mutable only while building ([`BuildSide::append_chunk`] /
 /// [`BuildSide::append_partial`]); every probe accessor takes `&self` with
@@ -59,10 +67,21 @@ impl JoinType {
 /// state.
 pub struct BuildSide {
     rows: ChunkCollection,
-    /// Key values per build row, parallel to (chunk, row) positions.
-    keys: Vec<Vec<Value>>,
+    /// Key layout shared with probers; `None` until the first partial.
+    layout: Option<KeyLayout>,
+    /// Encoded key bytes of all entries, contiguous.
+    key_arena: Vec<u8>,
+    /// `(offset, len)` of each entry's key in `key_arena`.
+    key_locs: Vec<(u32, u32)>,
+    hashes: Vec<u64>,
     positions: Vec<(u32, u32)>,
-    buckets: FxHashMap<u64, Vec<u32>>,
+    /// Power-of-two bucket heads (entry indexes) + per-entry chain links.
+    slots: Vec<u32>,
+    next: Vec<u32>,
+    /// Charges the key table (arena + buckets + chains) to the buffer
+    /// manager on top of the rows the `ChunkCollection` accounts itself.
+    key_reservation: Option<MemoryReservation>,
+    key_accounted: usize,
 }
 
 impl BuildSide {
@@ -72,21 +91,31 @@ impl BuildSide {
         compression: CompressionLevel,
         buffers: Option<Arc<BufferManager>>,
     ) -> Result<BuildSide> {
+        let key_reservation = match &buffers {
+            Some(b) => Some(b.reserve(0)?),
+            None => None,
+        };
         Ok(BuildSide {
             rows: match buffers {
                 Some(b) => ChunkCollection::with_accounting(compression, b)?,
                 None => ChunkCollection::new(compression),
             },
-            keys: Vec::new(),
+            layout: None,
+            key_arena: Vec::new(),
+            key_locs: Vec::new(),
+            hashes: Vec::new(),
             positions: Vec::new(),
-            buckets: FxHashMap::default(),
+            slots: Vec::new(),
+            next: Vec::new(),
+            key_reservation,
+            key_accounted: 0,
         })
     }
 
     /// Splice morsel-parallel build partials (in scan order) into one
     /// build side — the merge/finalize step of a parallel build pipeline.
-    /// The expensive part (expression evaluation, hashing) happened on the
-    /// workers; this only fills the bucket table.
+    /// The expensive part (expression evaluation, hashing, key encoding)
+    /// happened on the workers; this only fills the bucket table.
     pub fn from_partials(
         partials: Vec<BuildPartial>,
         compression: CompressionLevel,
@@ -104,14 +133,52 @@ impl BuildSide {
         self.append_partial(BuildPartial::compute(chunk, key_exprs)?)
     }
 
+    /// Ensure the bucket array can absorb `additional` entries at < 50%
+    /// load, rebuilding the chains from stored hashes when it grows.
+    fn ensure_slots(&mut self, additional: usize) {
+        let needed = ((self.positions.len() + additional) * 2).next_power_of_two().max(16);
+        if self.slots.len() >= needed {
+            return;
+        }
+        self.slots.clear();
+        self.slots.resize(needed, EMPTY_SLOT);
+        self.next.clear();
+        self.next.reserve(self.positions.len() + additional);
+        let mask = (needed - 1) as u64;
+        for (idx, &h) in self.hashes.iter().enumerate() {
+            let slot = (h & mask) as usize;
+            self.next.push(self.slots[slot]);
+            self.slots[slot] = idx as u32;
+        }
+    }
+
     /// Append one precomputed partial (see [`BuildPartial::compute`]).
     pub fn append_partial(&mut self, partial: BuildPartial) -> Result<()> {
         let chunk_idx = self.rows.chunk_count() as u32;
-        for (row, key, hash) in partial.entries {
+        if self.layout.is_none() {
+            self.layout = Some(partial.layout.clone());
+        }
+        self.ensure_slots(partial.entries.len());
+        let mask = (self.slots.len() - 1) as u64;
+        for &(row, off, len, hash) in &partial.entries {
             let idx = self.positions.len() as u32;
+            let dst = self.key_arena.len() as u32;
+            self.key_arena
+                .extend_from_slice(&partial.key_bytes[off as usize..(off + len) as usize]);
+            self.key_locs.push((dst, len));
+            self.hashes.push(hash);
             self.positions.push((chunk_idx, row));
-            self.keys.push(key);
-            self.buckets.entry(hash).or_default().push(idx);
+            let slot = (hash & mask) as usize;
+            self.next.push(self.slots[slot]);
+            self.slots[slot] = idx;
+        }
+        if self.key_reservation.is_some() {
+            let bytes = self.key_table_bytes();
+            if bytes > self.key_accounted {
+                let growth = bytes - self.key_accounted;
+                self.key_reservation.as_mut().expect("checked").grow(growth)?;
+                self.key_accounted = bytes;
+            }
         }
         self.rows.append(partial.chunk)
     }
@@ -126,35 +193,93 @@ impl BuildSide {
         self.rows.row_count()
     }
 
-    /// Indices of build entries whose key equals `key` (empty for NULL
-    /// keys — they never join).
-    pub fn matches(&self, key: &[Value]) -> Vec<u32> {
-        if key.iter().any(Value::is_null) {
-            return Vec::new();
-        }
-        let h = fxhash(key);
-        self.buckets
-            .get(&h)
-            .map(|cands| {
-                cands
-                    .iter()
-                    .copied()
-                    .filter(|&i| {
-                        let bk = &self.keys[i as usize];
-                        bk.iter()
-                            .zip(key)
-                            .all(|(a, b)| a.sql_cmp(b) == Some(std::cmp::Ordering::Equal))
-                    })
-                    .collect()
-            })
-            .unwrap_or_default()
+    /// The key layout probers must encode with (`None` while empty).
+    pub fn key_layout(&self) -> Option<&KeyLayout> {
+        self.layout.as_ref()
     }
 
-    /// Values of build entry `idx` (as returned by [`BuildSide::matches`]),
-    /// read through the caller's decompression cache.
-    pub fn entry_values(&self, cache: &mut ChunkCache, idx: u32) -> Result<Vec<Value>> {
-        let (c, r) = self.positions[idx as usize];
-        self.rows.row_shared(cache, c as usize, r as usize)
+    /// Heap footprint of the key table (arena + buckets + chains), charged
+    /// by memory accounting on top of the materialized rows.
+    pub fn key_table_bytes(&self) -> usize {
+        self.key_arena.capacity()
+            + self.key_locs.capacity() * 8
+            + self.hashes.capacity() * 8
+            + self.positions.capacity() * 8
+            + self.slots.capacity() * 4
+            + self.next.capacity() * 4
+    }
+
+    #[inline]
+    fn key_at(&self, idx: u32) -> &[u8] {
+        let (off, len) = self.key_locs[idx as usize];
+        &self.key_arena[off as usize..(off + len) as usize]
+    }
+
+    /// Iterate the build entries matching `(hash, key)` — a bucket-chain
+    /// walk comparing hash first, then raw key bytes. Allocation-free.
+    #[inline]
+    pub fn probe<'a>(&'a self, hash: u64, key: &'a [u8]) -> BuildMatches<'a> {
+        let head = if self.slots.is_empty() {
+            EMPTY_SLOT
+        } else {
+            self.slots[(hash & (self.slots.len() - 1) as u64) as usize]
+        };
+        BuildMatches { build: self, cur: head, hash, key }
+    }
+
+    /// Gather build rows into output vectors (one per build column), with
+    /// `NULL_ENTRY` padding NULLs (LEFT-join misses). Uncompressed chunks
+    /// are read in place; compressed ones go through the caller's cache.
+    pub fn gather_entries(
+        &self,
+        cache: &mut ChunkCache,
+        entries: &[u32],
+        out: &mut [Vector],
+    ) -> Result<()> {
+        for &e in entries {
+            if e == NULL_ENTRY {
+                for v in out.iter_mut() {
+                    v.push_null();
+                }
+                continue;
+            }
+            let (c, r) = self.positions[e as usize];
+            if let Some(chunk) = self.rows.plain_chunk(c as usize) {
+                for (j, v) in out.iter_mut().enumerate() {
+                    v.push_from(chunk.column(j), r as usize)?;
+                }
+            } else {
+                let vals = self.rows.row_shared(cache, c as usize, r as usize)?;
+                for (j, v) in out.iter_mut().enumerate() {
+                    v.push_value(&vals[j])?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over build entries whose key matches a probe key (chain walk).
+pub struct BuildMatches<'a> {
+    build: &'a BuildSide,
+    cur: u32,
+    hash: u64,
+    key: &'a [u8],
+}
+
+impl Iterator for BuildMatches<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.cur != EMPTY_SLOT {
+            let e = self.cur;
+            self.cur = self.build.next[e as usize];
+            if self.build.hashes[e as usize] == self.hash && self.build.key_at(e) == self.key {
+                return Some(e);
+            }
+        }
+        None
     }
 }
 
@@ -164,47 +289,59 @@ const _: () = {
     assert_sync::<BuildSide>()
 };
 
-/// One build-side chunk with its hash-eligible rows, produced by a
-/// parallel-build worker and consumed by [`BuildSide::from_partials`].
+/// One build-side chunk with its hash-eligible rows (keys pre-encoded and
+/// pre-hashed), produced by a parallel-build worker and consumed by
+/// [`BuildSide::from_partials`].
 pub struct BuildPartial {
     /// The build-side rows as produced by the worker's pipeline.
     pub chunk: DataChunk,
-    /// `(row index, key values, fxhash of the key)` for every row whose
-    /// key has no NULLs (NULL keys never join).
-    pub entries: Vec<(u32, Vec<Value>, u64)>,
+    layout: KeyLayout,
+    /// Encoded key bytes of the whole chunk (entries reference subranges).
+    key_bytes: Vec<u8>,
+    /// `(row, key offset, key len, hash)` for every row whose key has no
+    /// NULLs (NULL keys never join).
+    entries: Vec<(u32, u32, u32, u64)>,
 }
 
 impl BuildPartial {
-    /// Evaluate `keys` over `chunk` and precompute the hash-table entries
-    /// — the per-worker (parallel) half of the build.
+    /// Evaluate `keys` over `chunk`, hash them vectorized and encode them
+    /// into row format — the per-worker (parallel) half of the build.
     pub fn compute(chunk: DataChunk, keys: &[Expr]) -> Result<BuildPartial> {
+        let layout = KeyLayout::new(keys.iter().map(Expr::result_type).collect());
         let key_vectors = keys.iter().map(|k| k.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
+        // Hash and encode must see the same (possibly cast) values.
+        let conformed = crate::rowkey::conform_columns(&layout, &key_vectors)?;
+        let key_vectors = conformed.unwrap_or(key_vectors);
+        let mut scratch = KeyScratch::default();
+        for (c, v) in key_vectors.iter().enumerate() {
+            hash_vector(v, &mut scratch.hashes, c == 0);
+        }
+        encode_keys(&layout, &key_vectors, chunk.len(), &mut scratch)?;
         let mut entries = Vec::with_capacity(chunk.len());
         for row in 0..chunk.len() {
-            let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
-            if key.iter().any(Value::is_null) {
+            if scratch.has_null(row) {
                 continue;
             }
-            let h = fxhash(&key);
-            entries.push((row as u32, key, h));
+            let (off, len) = scratch.key_range(row);
+            entries.push((row as u32, off, len, scratch.hashes[row]));
         }
-        Ok(BuildPartial { chunk, entries })
+        Ok(BuildPartial { chunk, layout, key_bytes: scratch.take_bytes(), entries })
     }
 
-    /// Approximate heap footprint (chunk plus hash entries), used by the
-    /// parallel build's memory accounting.
+    /// Number of join-eligible rows in this partial.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate heap footprint (chunk plus encoded keys and entries),
+    /// used by the parallel build's memory accounting.
     pub fn footprint_bytes(&self) -> usize {
-        self.chunk.size_bytes()
-            + self
-                .entries
-                .iter()
-                .map(|(_, key, _)| 24 + key.iter().map(Value::size_bytes).sum::<usize>())
-                .sum::<usize>()
+        self.chunk.size_bytes() + self.key_bytes.capacity() + self.entries.len() * 16
     }
 }
 
 /// Streaming probe against a borrowed build side: pulls chunks from its
-/// child, joins each row via [`BuildSide::matches`], and emits the joined
+/// child, joins each row via [`BuildSide::probe`], and emits the joined
 /// chunks in child-row order.
 ///
 /// This single implementation serves both engines: [`HashJoinOp`] wraps it
@@ -216,10 +353,13 @@ pub struct JoinProbeOp {
     build: Arc<BuildSide>,
     left_keys: Vec<Expr>,
     join_type: JoinType,
-    right_types: Vec<LogicalType>,
     out_types: Vec<LogicalType>,
     cache: ChunkCache,
     pending: VecDeque<DataChunk>,
+    /// Reused per-chunk buffers: encoded probe keys + matched pair lists.
+    scratch: KeyScratch,
+    probe_rows: Vec<u32>,
+    match_entries: Vec<u32>,
 }
 
 impl JoinProbeOp {
@@ -239,61 +379,97 @@ impl JoinProbeOp {
             build,
             left_keys,
             join_type,
-            right_types,
             out_types,
             cache: ChunkCache::new(),
             pending: VecDeque::new(),
+            scratch: KeyScratch::default(),
+            probe_rows: Vec::new(),
+            match_entries: Vec::new(),
         }
     }
 
     /// Probe one chunk, queueing output chunks in row order.
+    ///
+    /// The key path is fully vectorized: hash every probe key column with
+    /// [`hash_vector`], encode the keys into the reused scratch (zero
+    /// per-row allocation), then walk bucket chains per row collecting
+    /// `(probe row, build entry)` pairs. Output rows materialize as batch
+    /// gathers — typed column copies, not per-row `Vec<Value>`s.
     fn probe_chunk(&mut self, chunk: &DataChunk) -> Result<()> {
-        let key_vectors =
-            self.left_keys.iter().map(|k| k.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
-        let mut out = DataChunk::new(&self.out_types);
-        for row in 0..chunk.len() {
-            let key: Vec<Value> = key_vectors.iter().map(|v| v.get_value(row)).collect();
-            let matches = self.build.matches(&key);
+        let count = chunk.len();
+        self.probe_rows.clear();
+        self.match_entries.clear();
+        let emits_right = self.join_type.emits_right_columns();
+        if self.build.entry_count() == 0 {
+            // Empty build side: nothing matches.
             match self.join_type {
-                JoinType::Inner => {
-                    for &m in &matches {
-                        let mut vals = chunk.row_values(row);
-                        vals.extend(self.build.entry_values(&mut self.cache, m)?);
-                        out.append_row(&vals)?;
-                    }
+                JoinType::Inner | JoinType::Semi => return Ok(()),
+                JoinType::Left | JoinType::Anti => {
+                    self.probe_rows.extend(0..count as u32);
+                    self.match_entries.extend(std::iter::repeat(NULL_ENTRY).take(count));
                 }
-                JoinType::Left => {
-                    if matches.is_empty() {
-                        let mut vals = chunk.row_values(row);
-                        vals.extend(self.right_types.iter().map(|_| Value::Null));
-                        out.append_row(&vals)?;
-                    } else {
-                        for &m in &matches {
-                            let mut vals = chunk.row_values(row);
-                            vals.extend(self.build.entry_values(&mut self.cache, m)?);
-                            out.append_row(&vals)?;
+            }
+        } else {
+            let layout = self.build.key_layout().expect("non-empty build has a layout").clone();
+            let key_vectors =
+                self.left_keys.iter().map(|k| k.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
+            // Probe keys conform to the *build* layout before hashing, so
+            // hash and encoded bytes agree with the build side's.
+            let conformed = crate::rowkey::conform_columns(&layout, &key_vectors)?;
+            let key_vectors = conformed.unwrap_or(key_vectors);
+            let mut scratch = std::mem::take(&mut self.scratch);
+            for (c, v) in key_vectors.iter().enumerate() {
+                hash_vector(v, &mut scratch.hashes, c == 0);
+            }
+            encode_keys(&layout, &key_vectors, count, &mut scratch)?;
+            for row in 0..count {
+                let mut matched = false;
+                if !scratch.has_null(row) {
+                    // NULL keys never join; everything else walks its chain.
+                    for e in self.build.probe(scratch.hashes[row], scratch.key(row)) {
+                        matched = true;
+                        match self.join_type {
+                            JoinType::Inner | JoinType::Left => {
+                                self.probe_rows.push(row as u32);
+                                self.match_entries.push(e);
+                            }
+                            JoinType::Semi | JoinType::Anti => break,
                         }
                     }
                 }
-                JoinType::Semi => {
-                    if !matches.is_empty() {
-                        out.append_row(&chunk.row_values(row))?;
+                match self.join_type {
+                    JoinType::Left if !matched => {
+                        self.probe_rows.push(row as u32);
+                        self.match_entries.push(NULL_ENTRY);
                     }
-                }
-                JoinType::Anti => {
-                    if matches.is_empty() {
-                        out.append_row(&chunk.row_values(row))?;
-                    }
+                    JoinType::Semi if matched => self.probe_rows.push(row as u32),
+                    JoinType::Anti if !matched => self.probe_rows.push(row as u32),
+                    _ => {}
                 }
             }
-            // Split oversized outputs (many-to-many joins can fan out).
-            if out.len() >= VECTOR_SIZE * 4 {
-                self.pending.push_back(out);
-                out = DataChunk::new(&self.out_types);
-            }
+            self.scratch = scratch;
         }
-        if !out.is_empty() {
-            self.pending.push_back(out);
+        // Materialize in bounded slices (many-to-many joins can fan out).
+        let total = self.probe_rows.len();
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + VECTOR_SIZE * 4).min(total);
+            let rows = &self.probe_rows[start..end];
+            let mut columns: Vec<Vector> =
+                self.out_types.iter().map(|&t| Vector::with_capacity(t, rows.len())).collect();
+            let left_width = chunk.column_count();
+            for (c, col) in chunk.columns().iter().enumerate() {
+                columns[c].append_selected(col, rows)?;
+            }
+            if emits_right {
+                self.build.gather_entries(
+                    &mut self.cache,
+                    &self.match_entries[start..end],
+                    &mut columns[left_width..],
+                )?;
+            }
+            self.pending.push_back(DataChunk::from_vectors(columns)?);
+            start = end;
         }
         Ok(())
     }
@@ -634,6 +810,32 @@ mod tests {
         let rows = drain_rows(&mut anti).unwrap();
         // key 2 and the NULL-key row have no matches.
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn build_side_charges_key_table_to_buffer_manager() {
+        use eider_storage::buffer::{BufferManager, BufferManagerConfig};
+        let buffers = BufferManager::new(BufferManagerConfig {
+            memory_limit: 64 << 20,
+            memtest_allocations: false,
+        });
+        let rows: Vec<Vec<Value>> =
+            (0..5000).map(|i| vec![Value::Integer(i), Value::Varchar(format!("row{i}"))]).collect();
+        let chunk =
+            DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Varchar], &rows).unwrap();
+        let mut build = BuildSide::new(CompressionLevel::None, Some(Arc::clone(&buffers))).unwrap();
+        build.append_chunk(chunk, &[Expr::column(0, LogicalType::Integer)]).unwrap();
+        assert!(build.key_table_bytes() > 0);
+        assert!(
+            buffers.used_memory() >= build.rows.stored_bytes() + build.key_table_bytes(),
+            "rows ({}) AND key table ({}) must be charged, used = {}",
+            build.rows.stored_bytes(),
+            build.key_table_bytes(),
+            buffers.used_memory()
+        );
+        let used = buffers.used_memory();
+        drop(build);
+        assert!(buffers.used_memory() < used, "reservations release on drop");
     }
 
     #[test]

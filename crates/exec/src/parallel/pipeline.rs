@@ -30,8 +30,7 @@
 //! travel inside [`PipelineOutput`] and release on pipeline teardown.
 
 use crate::aggregate::AggState;
-use crate::fxhash::FxHashMap;
-use crate::ops::agg::{update_group_table, update_simple_states, AggExpr};
+use crate::ops::agg::{update_group_table, update_simple_states, AggExpr, GroupTable};
 use crate::ops::join::{BuildPartial, BuildSide, JoinProbeOp, JoinType};
 use crate::ops::sort::{compare_keys, SortKey};
 use crate::ops::{FilterOp, OperatorBox, PhysicalOperator, ProjectionOp};
@@ -291,7 +290,9 @@ enum LocalState {
 /// Partial aggregate state of one morsel.
 enum AggPartial {
     Simple(Vec<AggState>),
-    Hash(FxHashMap<Vec<Value>, Vec<AggState>>),
+    /// Byte-keyed group table (see [`crate::rowkey`]); merged on encoded
+    /// keys, emitted key-sorted.
+    Hash(GroupTable),
 }
 
 /// Per-execution context shared by all workers of one pipeline run.
@@ -451,6 +452,9 @@ impl ParallelPipeline {
             }
             PipelineSink::JoinBuild { .. } => LocalState::JoinBuild(Vec::new(), self.reserve()?),
         };
+        // Group cardinality observed on this worker's previous morsel,
+        // used to pre-size the next morsel's table.
+        let mut group_hint = 0usize;
         while let Some(morsel) = self.source.next_morsel() {
             let mut op: OperatorBox = Box::new(MorselScanOp::new(
                 Arc::clone(&self.source),
@@ -464,7 +468,9 @@ impl ParallelPipeline {
                 PipelineSink::SimpleAggregate(aggs) => {
                     Some(AggPartial::Simple(aggs.iter().map(new_state).collect()))
                 }
-                PipelineSink::HashAggregate { .. } => Some(AggPartial::Hash(FxHashMap::default())),
+                PipelineSink::HashAggregate { groups, aggs } => {
+                    Some(AggPartial::Hash(GroupTable::with_capacity(groups, aggs, group_hint)))
+                }
                 _ => None,
             };
             let mut intra = 0usize;
@@ -484,14 +490,20 @@ impl ParallelPipeline {
             }
             if let (Some(partial), LocalState::Agg(parts, reservation)) = (agg_partial, &mut local)
             {
+                if let AggPartial::Hash(table) = &partial {
+                    group_hint = table.len();
+                }
                 if let Some(res) = reservation {
-                    // Same ~96 bytes/group heuristic the serial hash
-                    // aggregate accounts with.
-                    let groups = match &partial {
-                        AggPartial::Simple(states) => states.len(),
-                        AggPartial::Hash(table) => table.len(),
+                    // Charge the real partial footprint: key arena +
+                    // buckets + states for group tables, state rows for
+                    // ungrouped partials.
+                    let bytes = match &partial {
+                        AggPartial::Simple(states) => {
+                            states.iter().map(AggState::size_bytes).sum::<usize>()
+                        }
+                        AggPartial::Hash(table) => table.memory_bytes(),
                     };
-                    res.grow(groups * 96)?;
+                    res.grow(bytes)?;
                 }
                 parts.push((morsel.seq, partial));
             }
@@ -606,53 +618,34 @@ impl ParallelPipeline {
                 out.append_row(&row)?;
                 Ok(PipelineOutput::Chunks { chunks: vec![out], reservations: Vec::new() })
             }
-            PipelineSink::HashAggregate { .. } => {
+            PipelineSink::HashAggregate { groups, aggs } => {
                 let (mut parts, _worker_reservations) = collect_agg_partials(locals);
                 parts.sort_by_key(|(seq, _)| *seq);
                 let mut merge_reservation = match &self.buffers {
                     Some(b) => Some(b.reserve(0)?),
                     None => None,
                 };
-                let mut table: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+                // Merge per-morsel tables on encoded byte keys, in morsel
+                // order — the merged states do not depend on which worker
+                // claimed which morsel.
+                let mut table = GroupTable::new(groups, aggs);
                 for (_, partial) in parts {
                     let AggPartial::Hash(part) = partial else { unreachable!() };
-                    for (key, part_states) in part {
-                        match table.get_mut(&key) {
-                            Some(states) => {
-                                for (s, p) in states.iter_mut().zip(&part_states) {
-                                    s.merge(p)?;
-                                }
-                            }
-                            None => {
-                                table.insert(key, part_states);
-                            }
-                        }
-                    }
+                    table.merge_from(part)?;
                 }
                 if let Some(res) = &mut merge_reservation {
-                    res.grow(table.len() * 96)?;
+                    // Charge the merged table's real arena + bucket +
+                    // state footprint.
+                    res.grow(table.memory_bytes())?;
                 }
-                // Serial hash aggregation emits groups in hash-iteration
-                // order, which is unspecified anyway; the parallel merge
-                // sorts by key so output is identical for every worker
-                // count.
-                let mut entries: Vec<(Vec<Value>, Vec<AggState>)> = table.into_iter().collect();
-                entries.sort_by(|a, b| cmp_value_rows(&a.0, &b.0));
-                let out_types = self.output_types();
+                // Serial hash aggregation emits groups in first-seen
+                // order, which is scan-dependent anyway; the parallel
+                // merge emits in encoded-key (total) order so output is
+                // identical for every worker count.
+                let order = table.sorted_order();
                 let mut chunks = Vec::new();
-                let mut out = DataChunk::new(&out_types);
-                for (key, states) in entries {
-                    let mut row = key;
-                    for s in &states {
-                        row.push(s.finalize()?);
-                    }
-                    out.append_row(&row)?;
-                    if out.len() >= VECTOR_SIZE {
-                        chunks.push(std::mem::replace(&mut out, DataChunk::new(&out_types)));
-                    }
-                }
-                if !out.is_empty() {
-                    chunks.push(out);
+                for window in order.chunks(VECTOR_SIZE) {
+                    chunks.push(table.emit(window, aggs)?);
                 }
                 Ok(PipelineOutput::Chunks {
                     chunks,
@@ -732,7 +725,10 @@ fn new_state(agg: &AggExpr) -> AggState {
     )
 }
 
-/// Lexicographic total order over group-key rows.
+/// Lexicographic total order over group-key rows. The merge itself now
+/// orders on encoded byte keys; this stays as the reference comparator
+/// the equivalence tests check that order against.
+#[cfg_attr(not(test), allow(dead_code))]
 fn cmp_value_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     for (x, y) in a.iter().zip(b) {
         let ord = x.total_cmp(y);

@@ -69,9 +69,11 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Iterations measured per benchmark (default 10).
+    /// Iterations measured per benchmark (default 10). The
+    /// `EIDER_BENCH_SAMPLES` environment variable overrides every group's
+    /// request — CI smoke runs set it low to bound wall time.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(1);
+        self.samples = env_samples().unwrap_or(n).max(1);
         self
     }
 
@@ -99,7 +101,7 @@ impl BenchmarkGroup<'_> {
                     min,
                     self.samples
                 );
-                self.criterion.results.push((format!("{}/{}", self.name, id), mean));
+                self.criterion.results.push((format!("{}/{}", self.name, id), mean, min));
             }
             None => println!("bench {}/{}: closure never called iter()", self.name, id),
         }
@@ -109,10 +111,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+fn env_samples() -> Option<usize> {
+    std::env::var("EIDER_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok())
+}
+
 /// Benchmark driver handed to `criterion_group!` functions.
 #[derive(Default)]
 pub struct Criterion {
-    results: Vec<(String, Duration)>,
+    /// `(full name, mean, min)` per finished benchmark.
+    results: Vec<(String, Duration, Duration)>,
 }
 
 impl Criterion {
@@ -122,7 +129,9 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), criterion: self, samples: 10 }
+        // The env override applies even to groups that never call
+        // sample_size().
+        BenchmarkGroup { name: name.into(), criterion: self, samples: env_samples().unwrap_or(10) }
     }
 
     /// Ungrouped single benchmark.
@@ -138,7 +147,77 @@ impl Criterion {
     /// Mean per-iteration duration of a finished benchmark, by full name
     /// (`"group/id"`). Used by benches that assert speedup ratios.
     pub fn mean_of(&self, full_name: &str) -> Option<Duration> {
-        self.results.iter().find(|(n, _)| n == full_name).map(|(_, d)| *d)
+        self.results.iter().find(|(n, _, _)| n == full_name).map(|(_, d, _)| *d)
+    }
+
+    /// Hand this driver's results to the process-wide sink (called by
+    /// `criterion_group!` after its targets ran).
+    pub fn publish(&self) {
+        publish_results(&self.results);
+    }
+}
+
+// ---------------- machine-readable summary ----------------
+
+use std::sync::Mutex;
+
+static ALL_RESULTS: Mutex<Vec<(String, Duration, Duration)>> = Mutex::new(Vec::new());
+
+fn publish_results(results: &[(String, Duration, Duration)]) {
+    ALL_RESULTS.lock().expect("results sink").extend(results.iter().cloned());
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write every finished benchmark of this process as JSON to the path in
+/// `EIDER_BENCH_JSON` (no-op without it). The file is a JSON array with
+/// one `{"name", "mean_ns", "min_ns"}` object per line; an existing file
+/// in the same format is merged *by name* — re-run benches replace their
+/// old entry, anything else (other bench binaries' results, recorded
+/// baselines like `baseline-pre-prN/...`) is preserved. CI's
+/// `ci.sh bench-smoke` leans on this to keep one cumulative summary.
+/// Called by `criterion_main!` after the last group.
+pub fn write_env_json() {
+    let Ok(path) = std::env::var("EIDER_BENCH_JSON") else { return };
+    let fresh: Vec<(String, String)> = ALL_RESULTS
+        .lock()
+        .expect("results sink")
+        .iter()
+        .map(|(name, mean, min)| {
+            (
+                json_escape(name),
+                format!(
+                    "{{\"name\":\"{}\",\"mean_ns\":{},\"min_ns\":{}}}",
+                    json_escape(name),
+                    mean.as_nanos(),
+                    min.as_nanos()
+                ),
+            )
+        })
+        .collect();
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with("{\"name\"") {
+                continue;
+            }
+            // Keep entries this run did not re-measure.
+            let replaced =
+                fresh.iter().any(|(name, _)| line.starts_with(&format!("{{\"name\":\"{name}\"")));
+            if !replaced {
+                entries.push(line.to_string());
+            }
+        }
+    }
+    entries.extend(fresh.into_iter().map(|(_, line)| line));
+    let mut out = String::from("[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench summary {path}: {e}");
     }
 }
 
@@ -149,16 +228,19 @@ macro_rules! criterion_group {
         pub fn $group() {
             let mut c = $crate::Criterion::default().configure_from_args();
             $( $target(&mut c); )+
+            c.publish();
         }
     };
 }
 
-/// Emit `main` running the listed groups.
+/// Emit `main` running the listed groups, then flushing the optional
+/// machine-readable summary (`EIDER_BENCH_JSON`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_env_json();
         }
     };
 }

@@ -277,6 +277,65 @@ impl Vector {
         Ok(())
     }
 
+    /// Append row `row` of `other` (same physical type) without routing
+    /// through `Value` — the join's build-row gather path. Strings clone
+    /// their bytes; everything else is a plain copy.
+    pub fn push_from(&mut self, other: &Vector, row: usize) -> Result<()> {
+        match (&mut self.data, &other.data) {
+            (VectorData::Bool(d), VectorData::Bool(s)) => d.push(s[row]),
+            (VectorData::I8(d), VectorData::I8(s)) => d.push(s[row]),
+            (VectorData::I16(d), VectorData::I16(s)) => d.push(s[row]),
+            (VectorData::I32(d), VectorData::I32(s)) => d.push(s[row]),
+            (VectorData::I64(d), VectorData::I64(s)) => d.push(s[row]),
+            (VectorData::F64(d), VectorData::F64(s)) => d.push(s[row]),
+            (VectorData::Str(d), VectorData::Str(s)) => d.push(s[row].clone()),
+            _ => return Err(EiderError::Internal("physical type mismatch in push_from".into())),
+        }
+        self.validity.push(other.validity.is_valid(row));
+        Ok(())
+    }
+
+    /// Gather-append: push the rows of `other` named by `indexes` (types
+    /// must match). Unlike [`Vector::select`] this appends to an existing
+    /// vector, letting operators batch-materialize outputs.
+    pub fn append_selected(&mut self, other: &Vector, indexes: &[u32]) -> Result<()> {
+        if other.ty != self.ty {
+            return Err(EiderError::TypeMismatch(format!(
+                "cannot gather {} rows into {} vector",
+                other.ty, self.ty
+            )));
+        }
+        macro_rules! gather {
+            ($d:expr, $s:expr) => {
+                $d.extend(indexes.iter().map(|&i| $s[i as usize].clone()))
+            };
+        }
+        match (&mut self.data, &other.data) {
+            (VectorData::Bool(d), VectorData::Bool(s)) => gather!(d, s),
+            (VectorData::I8(d), VectorData::I8(s)) => gather!(d, s),
+            (VectorData::I16(d), VectorData::I16(s)) => gather!(d, s),
+            (VectorData::I32(d), VectorData::I32(s)) => gather!(d, s),
+            (VectorData::I64(d), VectorData::I64(s)) => gather!(d, s),
+            (VectorData::F64(d), VectorData::F64(s)) => gather!(d, s),
+            (VectorData::Str(d), VectorData::Str(s)) => gather!(d, s),
+            _ => {
+                return Err(EiderError::Internal(
+                    "physical type mismatch in append_selected".into(),
+                ))
+            }
+        }
+        if other.validity.all_valid() {
+            for _ in indexes {
+                self.validity.push(true);
+            }
+        } else {
+            for &i in indexes {
+                self.validity.push(other.validity.is_valid(i as usize));
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize the rows chosen by `sel` into a new vector.
     pub fn select(&self, sel: &SelectionVector) -> Vector {
         let idx = sel.as_slice();
@@ -302,9 +361,39 @@ impl Vector {
     }
 
     /// Cast every row to `ty`, erroring on the first failure.
+    ///
+    /// Infallible numeric widenings (e.g. `INTEGER → BIGINT`,
+    /// `INTEGER → DOUBLE`) run as typed loops; everything that can fail
+    /// or has value-level semantics (narrowing, strings, `DATE`/
+    /// `TIMESTAMP` conversions, which rescale) takes the per-row path.
     pub fn cast(&self, ty: LogicalType) -> Result<Vector> {
         if ty == self.ty {
             return Ok(self.clone());
+        }
+        if !matches!(self.ty, LogicalType::Date | LogicalType::Timestamp)
+            && !matches!(ty, LogicalType::Date | LogicalType::Timestamp)
+        {
+            macro_rules! widen {
+                ($v:expr, $variant:ident, $t:ty) => {
+                    Some(VectorData::$variant($v.iter().map(|&x| x as $t).collect()))
+                };
+            }
+            let data = match (&self.data, ty) {
+                (VectorData::I8(v), LogicalType::SmallInt) => widen!(v, I16, i16),
+                (VectorData::I8(v), LogicalType::Integer) => widen!(v, I32, i32),
+                (VectorData::I8(v), LogicalType::BigInt) => widen!(v, I64, i64),
+                (VectorData::I8(v), LogicalType::Double) => widen!(v, F64, f64),
+                (VectorData::I16(v), LogicalType::Integer) => widen!(v, I32, i32),
+                (VectorData::I16(v), LogicalType::BigInt) => widen!(v, I64, i64),
+                (VectorData::I16(v), LogicalType::Double) => widen!(v, F64, f64),
+                (VectorData::I32(v), LogicalType::BigInt) => widen!(v, I64, i64),
+                (VectorData::I32(v), LogicalType::Double) => widen!(v, F64, f64),
+                (VectorData::I64(v), LogicalType::Double) => widen!(v, F64, f64),
+                _ => None,
+            };
+            if let Some(data) = data {
+                return Vector::from_parts(ty, data, self.validity.clone());
+            }
         }
         let mut out = Vector::with_capacity(ty, self.len());
         for row in 0..self.len() {
@@ -478,6 +567,47 @@ mod tests {
         assert_eq!(max, Value::Integer(5));
         let all_null = Vector::from_values(LogicalType::Integer, &[Value::Null]).unwrap();
         assert!(all_null.min_max().is_none());
+    }
+
+    #[test]
+    fn widening_casts_match_value_casts() {
+        // The typed widening kernels must agree with the per-row
+        // Value::cast_to path, including NULL slots.
+        let cases: Vec<(LogicalType, Vec<Value>, Vec<LogicalType>)> = vec![
+            (
+                LogicalType::TinyInt,
+                vec![Value::TinyInt(-3), Value::Null, Value::TinyInt(7)],
+                vec![
+                    LogicalType::SmallInt,
+                    LogicalType::Integer,
+                    LogicalType::BigInt,
+                    LogicalType::Double,
+                ],
+            ),
+            (
+                LogicalType::Integer,
+                vec![Value::Integer(i32::MIN), Value::Null, Value::Integer(i32::MAX)],
+                vec![LogicalType::BigInt, LogicalType::Double],
+            ),
+            (
+                LogicalType::BigInt,
+                vec![Value::BigInt(1 << 40), Value::Null],
+                vec![LogicalType::Double],
+            ),
+        ];
+        for (from, vals, targets) in cases {
+            let v = Vector::from_values(from, &vals).unwrap();
+            for to in targets {
+                let fast = v.cast(to).unwrap();
+                let slow: Vec<Value> = vals.iter().map(|x| x.cast_to(to).unwrap()).collect();
+                assert_eq!(fast.to_values(), slow, "{from} -> {to}");
+            }
+        }
+        // Date/Timestamp conversions rescale and must NOT take the
+        // widening kernel.
+        let d = Vector::from_values(LogicalType::Date, &[Value::Date(2)]).unwrap();
+        let ts = d.cast(LogicalType::Timestamp).unwrap();
+        assert_eq!(ts.get_value(0), Value::Date(2).cast_to(LogicalType::Timestamp).unwrap());
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Allocation accounting for the hot key paths: in steady state (all
+//! groups known, scratch buffers warm) grouped aggregation and join
+//! probing must not allocate per row — the whole point of the row-format
+//! key representation. A counting global allocator makes the claim
+//! checkable instead of aspirational.
+
+use eider_exec::aggregate::AggKind;
+use eider_exec::expression::Expr;
+use eider_exec::ops::agg::{AggExpr, GroupTable};
+use eider_exec::ops::basic::ValuesOp;
+use eider_exec::ops::join::{BuildSide, JoinType};
+use eider_exec::ops::{JoinProbeOp, OperatorBox, PhysicalOperator};
+use eider_vector::{DataChunk, LogicalType, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+const ROWS: usize = 2048;
+
+fn group_chunk() -> DataChunk {
+    let rows: Vec<Vec<Value>> =
+        (0..ROWS as i32).map(|i| vec![Value::Integer(i % 64), Value::Integer(i)]).collect();
+    DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &rows).unwrap()
+}
+
+#[test]
+fn steady_state_grouping_allocates_per_chunk_not_per_row() {
+    let groups = vec![Expr::column(0, LogicalType::Integer)];
+    let aggs = vec![
+        AggExpr { kind: AggKind::CountStar, arg: None, distinct: false },
+        AggExpr {
+            kind: AggKind::Sum,
+            arg: Some(Expr::column(1, LogicalType::Integer)),
+            distinct: false,
+        },
+    ];
+    let chunk = group_chunk();
+    let mut table = GroupTable::new(&groups, &aggs);
+    // Warm-up: discover all 64 groups, size the scratch and the table.
+    table.update_chunk(&groups, &aggs, &chunk).unwrap();
+    table.update_chunk(&groups, &aggs, &chunk).unwrap();
+    assert_eq!(table.len(), 64);
+    // Steady state: the only allocations allowed are the per-chunk ones
+    // (expression evaluation clones the key/arg columns) — a handful per
+    // 2048-row chunk, nowhere near one per row.
+    let allocs = allocations(|| {
+        table.update_chunk(&groups, &aggs, &chunk).unwrap();
+    });
+    assert!(
+        allocs < 64,
+        "steady-state group_chunk made {allocs} allocations for {ROWS} rows \
+         (per-row allocation regressed)"
+    );
+}
+
+#[test]
+fn steady_state_join_probe_allocates_per_chunk_not_per_row() {
+    use eider_coop::compression::CompressionLevel;
+    // Build side: 64 keys, one row each.
+    let build_rows: Vec<Vec<Value>> =
+        (0..64).map(|i| vec![Value::Integer(i), Value::Integer(i * 10)]).collect();
+    let build_chunk =
+        DataChunk::from_rows(&[LogicalType::Integer, LogicalType::Integer], &build_rows).unwrap();
+    let mut build = BuildSide::new(CompressionLevel::None, None).unwrap();
+    build.append_chunk(build_chunk, &[Expr::column(0, LogicalType::Integer)]).unwrap();
+    let build = Arc::new(build);
+
+    let probe_chunk = group_chunk();
+    let probe = |()| -> JoinProbeOp {
+        let child: OperatorBox = Box::new(ValuesOp::new(
+            vec![LogicalType::Integer, LogicalType::Integer],
+            vec![probe_chunk.clone()],
+        ));
+        JoinProbeOp::new(
+            child,
+            Arc::clone(&build),
+            vec![Expr::column(0, LogicalType::Integer)],
+            JoinType::Inner,
+            vec![LogicalType::Integer, LogicalType::Integer],
+        )
+    };
+    // Warm-up run.
+    let mut op = probe(());
+    let mut produced = 0usize;
+    while let Some(c) = op.next_chunk().unwrap() {
+        produced += c.len();
+    }
+    assert_eq!(produced, ROWS, "1:1 join");
+    // Measured run: operator construction + per-chunk buffers + output
+    // materialization, but nothing per input row. Budget: well under one
+    // allocation per 16 rows.
+    let allocs = allocations(|| {
+        let mut op = probe(());
+        while let Some(c) = op.next_chunk().unwrap() {
+            std::hint::black_box(c.len());
+        }
+    });
+    assert!(
+        allocs < ROWS / 16,
+        "join probe made {allocs} allocations for {ROWS} probe rows \
+         (per-row allocation regressed)"
+    );
+}
