@@ -5,6 +5,11 @@
 #   ./ci.sh bench-smoke  run the olap + parallel (join) benches with a small
 #                        sample size and write BENCH_olap.json — the
 #                        machine-readable perf trajectory CI archives
+#   ./ci.sh bench-check  measure a fresh bench-smoke, compare its means
+#                        against the committed BENCH_olap.json baselines
+#                        and fail on a >30% mean regression in any olap/*
+#                        or parallel/* bench (always re-measures, so a
+#                        stale working-tree summary can never gate)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,8 +25,24 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "bench-check" ]]; then
+    baseline="$(mktemp --suffix=.json)"
+    trap 'rm -f "$baseline"' EXIT
+    git show HEAD:BENCH_olap.json > "$baseline"
+    # Always measure: gating a BENCH_olap.json left over from before the
+    # current change would wave regressions through.
+    ./ci.sh bench-smoke
+    echo "==> bench check: fresh means vs committed baselines (gate: +30%)"
+    cargo run --release -q -p eider-bench --bin bench_check -- \
+        "$baseline" BENCH_olap.json --threshold 0.30
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -29,12 +50,13 @@ cargo build --release
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
 
-echo "==> serial/parallel equivalence: integration suites at 1 and 4 workers"
+echo "==> serial/parallel equivalence: integration suites at 1, 4 and 8 workers"
 # EIDER_THREADS pins the default worker cap, so every query in these
 # suites (not just the ones that set PRAGMA threads) runs serial once and
-# morsel-parallel once, on any host including 1-core CI runners.
+# morsel-parallel twice, on any host including 1-core CI runners.
 EIDER_THREADS=1 cargo test -q --test parallel_execution --test sql_integration
 EIDER_THREADS=4 cargo test -q --test parallel_execution --test sql_integration
+EIDER_THREADS=8 cargo test -q --test parallel_execution --test sql_integration
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q

@@ -42,7 +42,7 @@ fn scan_aggregate(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1, 2, 4, 8] {
         let conn = with_threads(&db, threads);
-        g.bench_function(&format!("threads_{threads}"), |b| {
+        g.bench_function(format!("threads_{threads}"), |b| {
             b.iter(|| conn.query(SCAN_AGG).expect("query"))
         });
     }
@@ -55,7 +55,7 @@ fn grouped_aggregate(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1, 4] {
         let conn = with_threads(&db, threads);
-        g.bench_function(&format!("threads_{threads}"), |b| {
+        g.bench_function(format!("threads_{threads}"), |b| {
             b.iter(|| conn.query(GROUP_AGG).expect("query"))
         });
     }
@@ -70,7 +70,7 @@ fn join_build(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1, 4] {
         let conn = with_threads(&db, threads);
-        g.bench_function(&format!("threads_{threads}"), |b| {
+        g.bench_function(format!("threads_{threads}"), |b| {
             b.iter(|| conn.query(sql).expect("query"))
         });
     }
@@ -88,7 +88,7 @@ fn join_probe(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1, 4] {
         let conn = with_threads(&db, threads);
-        g.bench_function(&format!("threads_{threads}"), |b| {
+        g.bench_function(format!("threads_{threads}"), |b| {
             b.iter(|| conn.query(sql).expect("query"))
         });
     }
@@ -106,7 +106,7 @@ fn big_sort(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1, 4] {
         let conn = with_threads(&db, threads);
-        g.bench_function(&format!("threads_{threads}"), |b| {
+        g.bench_function(format!("threads_{threads}"), |b| {
             b.iter(|| conn.query(sql).expect("query"))
         });
     }

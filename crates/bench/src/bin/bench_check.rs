@@ -1,0 +1,196 @@
+//! Perf-regression gate over `BENCH_olap.json` summaries.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--threshold 0.30]
+//! ```
+//!
+//! Compares the *mean* of every `olap/*` and `parallel/*` benchmark
+//! present in both files and exits non-zero when any fresh mean exceeds
+//! its baseline by more than the threshold (default +30%). Machine
+//! classes matter: when a pair's recorded `host_cpus` differ (a 1-core
+//! container baseline vs a 4-core runner), wall-clock means are not
+//! directly comparable, so the pair gates with a *relaxed* threshold
+//! (base + [`CROSS_CLASS_SLACK`]) — loose enough that 1-vs-4-core
+//! scheduling differences never flap the gate, tight enough that an
+//! order-of-magnitude regression still fails instead of passing
+//! vacuously. Recorded snapshots (`baseline-pre-prN/...`) and other
+//! bench families are informational history, not gated. `ci.sh bench-check` drives this with
+//! the committed file as baseline and a fresh `bench-smoke` run as
+//! candidate, so the perf trajectory is *enforced*, not just archived.
+//!
+//! The input is the criterion shim's line-per-entry JSON array; parsing is
+//! deliberately hand-rolled so the gate works in this dependency-free
+//! workspace.
+
+use std::process::ExitCode;
+
+/// One parsed summary entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    mean_ns: f64,
+    /// Per-iteration minimum — the noise-robust statistic (a co-tenant
+    /// burst inflates the mean but rarely the min).
+    min_ns: Option<f64>,
+    /// Core count of the machine that measured this entry (absent in
+    /// summaries written before the field existed).
+    host_cpus: Option<u32>,
+}
+
+/// Pull `"field":<number>` out of a JSON object line.
+fn field_number(line: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Pull `"name":"<value>"` out of a JSON object line (bench names never
+/// contain escaped quotes).
+fn field_name(line: &str) -> Option<String> {
+    let key = "\"name\":\"";
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn parse_summary(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"name\"") {
+            continue;
+        }
+        let (Some(name), Some(mean_ns)) = (field_name(line), field_number(line, "mean_ns")) else {
+            return Err(format!("{path}: malformed entry: {line}"));
+        };
+        let host_cpus = field_number(line, "host_cpus").map(|v| v as u32);
+        let min_ns = field_number(line, "min_ns");
+        entries.push(Entry { name, mean_ns, min_ns, host_cpus });
+    }
+    if entries.is_empty() {
+        return Err(format!("{path}: no benchmark entries found"));
+    }
+    Ok(entries)
+}
+
+/// Only these families gate CI; recorded `baseline-pre-prN/*` history and
+/// experimental families stay informational.
+fn gated(name: &str) -> bool {
+    name.starts_with("olap/") || name.starts_with("parallel/")
+}
+
+/// Extra tolerance added to the threshold when baseline and fresh entry
+/// were measured on machines with different core counts: +200% absorbs
+/// per-core speed and scheduling differences across classes while still
+/// catching catastrophic regressions.
+const CROSS_CLASS_SLACK: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.30f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("--threshold requires a number (e.g. 0.30)");
+                return ExitCode::FAILURE;
+            };
+            threshold = v;
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench_check <baseline.json> <fresh.json> [--threshold 0.30]");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, fresh) = match (parse_summary(baseline_path), parse_summary(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for base in baseline.iter().filter(|e| gated(&e.name)) {
+        let Some(now) = fresh.iter().find(|e| e.name == base.name) else {
+            println!("bench-check: WARNING {} missing from fresh run (not gated)", base.name);
+            continue;
+        };
+        // Wall-clock means are only directly comparable within a machine
+        // class; across classes the gate stays live but relaxed.
+        // Bit-identical means are a tell that the "fresh" entry is the
+        // merged-through baseline itself (bench crashed mid-run, or was
+        // renamed): wall clocks never repeat to the nanosecond. Do not
+        // let it count as a 0% pass.
+        if now.mean_ns == base.mean_ns {
+            println!(
+                "bench-check: WARNING {} mean identical to baseline — looks unmeasured (not gated)",
+                base.name
+            );
+            continue;
+        }
+        let cross_class = match (base.host_cpus, now.host_cpus) {
+            (Some(b), Some(f)) => b != f,
+            _ => false,
+        };
+        let limit = if cross_class { threshold + CROSS_CLASS_SLACK } else { threshold };
+        compared += 1;
+        let ratio = now.mean_ns / base.mean_ns.max(1.0);
+        // A real regression shifts the whole distribution; a co-tenant
+        // burst inflates only the mean. Require the *min* to regress too
+        // (when both files record one) before failing the gate.
+        let min_ratio = match (now.min_ns, base.min_ns) {
+            (Some(n), Some(b)) => n / b.max(1.0),
+            _ => ratio,
+        };
+        let regressed = ratio > 1.0 + limit && min_ratio > 1.0 + limit;
+        let verdict = if regressed {
+            "REGRESSION"
+        } else if ratio > 1.0 + limit {
+            "ok (mean spike, min within bounds — likely scheduler noise)"
+        } else if cross_class {
+            "ok (cross-class, relaxed gate)"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench-check: {:<44} {:>12.3}ms -> {:>12.3}ms  ({:+6.1}%)  {verdict}",
+            base.name,
+            base.mean_ns / 1e6,
+            now.mean_ns / 1e6,
+            (ratio - 1.0) * 100.0
+        );
+        if regressed {
+            regressions.push((base.name.clone(), ratio));
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "bench-check: no gated (olap/*, parallel/*) benches in common — refusing to pass vacuously"
+        );
+        return ExitCode::FAILURE;
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench-check: {compared} benches within +{:.0}% of the committed baselines",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-check: {} regression(s) beyond +{:.0}%:",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for (name, ratio) in &regressions {
+            eprintln!("  {name}: {:+.1}% vs baseline", (ratio - 1.0) * 100.0);
+        }
+        ExitCode::FAILURE
+    }
+}

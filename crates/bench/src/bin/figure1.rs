@@ -36,7 +36,7 @@ fn main() {
         let decision = controller.observe(usage);
         // Rebuild the intermediate at the decided compression level
         // (sampled every 4 steps to keep the trace fast).
-        if step % 4 == 0 {
+        if step.is_multiple_of(4) {
             let started = Instant::now();
             let mut collection = ChunkCollection::new(decision.compression);
             for chunk in &chunks {

@@ -152,7 +152,7 @@ fn rle_decompress(body: &[u8], raw_len: usize) -> Result<Vec<u8>> {
             let n = 257 - c as usize;
             let b = *body.get(i).ok_or_else(corrupt)?;
             i += 1;
-            out.extend(std::iter::repeat(b).take(n));
+            out.extend(std::iter::repeat_n(b, n));
         } else {
             return Err(EiderError::Corruption("reserved RLE control byte 128".into()));
         }

@@ -319,8 +319,7 @@ impl Connection {
                 };
                 let mut reader = CsvReader::open(&path, entry.column_types(), opts)?;
                 let mut loaded = 0u64;
-                loop {
-                    let Some(chunk) = reader.next_chunk()? else { break };
+                while let Some(chunk) = reader.next_chunk()? {
                     for (col, def) in chunk.columns().iter().zip(&entry.columns) {
                         if def.not_null && !col.validity().all_valid() {
                             return Err(EiderError::Constraint(format!(

@@ -12,12 +12,15 @@
 //!   (`scan → filter*/project*/probe* → sink`) or a serially-evaluated
 //!   breaker input (a join build or probe side too small or irregular to
 //!   split); breaker state — the shared immutable
-//!   [`BuildSide`](eider_exec::ops::BuildSide), spilled sort runs — flows
-//!   between nodes in dependency order. Recognized shapes: plain chains,
-//!   aggregates (grouped and simple), ORDER BY with disk-spilling runs,
-//!   ORDER BY + LIMIT as a bounded Top-N, DISTINCT as a grouped aggregate,
-//!   hash joins with morsel-parallel probe (and build, when the build side
-//!   is itself a chain), UNION ALL of parallel arms, and serial
+//!   [`BuildSide`](eider_exec::ops::BuildSide), spilled sort runs, bounded
+//!   [`ChunkQueue`] chunk streams — flows between nodes under the graph's
+//!   readiness scheduler (independent nodes run concurrently). Recognized
+//!   shapes: plain chains, aggregates (grouped and simple), ORDER BY with
+//!   disk-spilling runs, ORDER BY + LIMIT as a bounded Top-N, DISTINCT as
+//!   a grouped aggregate, hash joins with morsel-parallel probe (and
+//!   build, when the build side is itself a chain), UNION ALL of parallel
+//!   arms, agg/sort/Top-N/DISTINCT *above* a UNION ALL as chunk-queue
+//!   producers + a concurrently-consuming sink pipeline, and serial
 //!   projection/filter/aggregate/sort/distinct wrappers over any of the
 //!   above. Worker count is the cooperation policy's
 //!   [`worker_threads`](eider_coop::policy::ResourcePolicy::worker_threads)
@@ -35,7 +38,7 @@ use eider_exec::parallel::graph::{
     fold_link_types, GraphLink, GraphNode, PipelineGraph, PipelineGraphOp,
 };
 use eider_exec::parallel::morsel::{slice_morsels, Morsel, MORSEL_ROWS};
-use eider_exec::parallel::{MorselSource, PipelineSink, PipelineStep};
+use eider_exec::parallel::{ChunkQueue, MorselSource, PipelineSink, PipelineSource, PipelineStep};
 use eider_exec::Expr;
 use eider_sql::plan::LogicalPlan;
 use eider_txn::{DataTable, ScanOptions, Transaction};
@@ -289,9 +292,41 @@ impl ChainSpec {
 /// A planned DAG node; materialized into a [`GraphNode`] only once the
 /// whole shape is validated (serial inputs lower at that point).
 enum NodeSpec<'p> {
-    Pipeline { chain: ChainSpec, morsels: Vec<Morsel>, sink: PipelineSink },
-    SerialBuild { plan: &'p LogicalPlan, keys: Vec<Expr> },
-    SerialProbe { plan: &'p LogicalPlan, links: Vec<GraphLink> },
+    Pipeline {
+        chain: ChainSpec,
+        morsels: Vec<Morsel>,
+        sink: PipelineSink,
+    },
+    SerialBuild {
+        plan: &'p LogicalPlan,
+        keys: Vec<Expr>,
+    },
+    SerialProbe {
+        plan: &'p LogicalPlan,
+        links: Vec<GraphLink>,
+    },
+    /// One UNION ALL arm streaming its chunks into chunk queue `queue` as
+    /// arm `arm` (queues are planner-indexed and constructed at
+    /// materialization).
+    QueueProducer {
+        chain: ChainSpec,
+        morsels: Vec<Morsel>,
+        queue: usize,
+        arm: usize,
+    },
+    /// The sink above the union, consuming queue `queue` morsel-parallel
+    /// and concurrently with its producers.
+    QueueConsumer {
+        queue: usize,
+        sink: PipelineSink,
+    },
+}
+
+/// A planned chunk-queue edge: the chunk types flowing through it and how
+/// many producer arms feed it.
+struct QueueSpec {
+    types: Vec<LogicalType>,
+    producers: usize,
 }
 
 /// Phase-1 planner state: recognizes parallel shapes and accumulates node
@@ -300,11 +335,32 @@ enum NodeSpec<'p> {
 struct SpecBuilder<'a, 'p> {
     db: &'a Database,
     nodes: Vec<NodeSpec<'p>>,
+    queues: Vec<QueueSpec>,
+}
+
+/// Flatten a UNION ALL tree into its non-union arms (left-to-right, the
+/// serial concatenation order); `None` if `plan` is not a union.
+fn union_arms(plan: &LogicalPlan) -> Option<Vec<&LogicalPlan>> {
+    fn collect<'p>(plan: &'p LogicalPlan, out: &mut Vec<&'p LogicalPlan>) {
+        match plan {
+            LogicalPlan::Union { left, right } => {
+                collect(left, out);
+                collect(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    if !matches!(plan, LogicalPlan::Union { .. }) {
+        return None;
+    }
+    let mut arms = Vec::new();
+    collect(plan, &mut arms);
+    Some(arms)
 }
 
 impl<'a, 'p> SpecBuilder<'a, 'p> {
     fn new(db: &'a Database) -> Self {
-        SpecBuilder { db, nodes: Vec::new() }
+        SpecBuilder { db, nodes: Vec::new(), queues: Vec::new() }
     }
 
     fn push(&mut self, node: NodeSpec<'p>) -> usize {
@@ -437,24 +493,84 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
             }
             LogicalPlan::Distinct { input } => {
                 // DISTINCT = GROUP BY every column, no aggregates. Groups
-                // are column references over the chain's output.
-                let (chain, morsels) = self.chain_with_morsels(input)?;
-                let groups: Vec<Expr> = chain
+                // are column references over the input's output columns
+                // (identical to the chain/queue chunk layout).
+                let groups: Vec<Expr> = input
                     .output_types()
                     .iter()
                     .enumerate()
                     .map(|(i, &ty)| Expr::column(i, ty))
                     .collect();
-                return Some(self.push(NodeSpec::Pipeline {
-                    chain,
-                    morsels,
-                    sink: PipelineSink::HashAggregate { groups, aggs: Vec::new() },
-                }));
+                (input, PipelineSink::HashAggregate { groups, aggs: Vec::new() })
             }
             _ => return None,
         };
+        // A sink directly above a UNION ALL consumes the arms through a
+        // chunk queue, morsel-parallel and concurrent with them.
+        if let Some(node) = self.queue_consumer(input, &sink) {
+            return Some(node);
+        }
         let (chain, morsels) = self.chain_with_morsels(input)?;
         Some(self.push(NodeSpec::Pipeline { chain, morsels, sink }))
+    }
+
+    /// Plan `sink` as a chunk-queue consumer over the arms of a UNION ALL:
+    /// each arm becomes a [`NodeSpec::QueueProducer`] pipeline streaming
+    /// into a shared bounded queue, and the sink pops batches from it
+    /// concurrently — no serial concatenation wrapper, no full
+    /// materialization of the union. Projections/filters *between* the
+    /// sink and the union commute with UNION ALL and are pushed into every
+    /// arm, where they run morsel-parallel. `None` (state rolled back)
+    /// unless `input` reduces to a union whose every arm is a splittable
+    /// chain.
+    fn queue_consumer(&mut self, input: &'p LogicalPlan, sink: &PipelineSink) -> Option<usize> {
+        // Peel the streaming layers above the union, innermost-first in
+        // `shared` (the order they execute over each arm's chunks).
+        let mut shared: Vec<PipelineStep> = Vec::new();
+        let mut cur = input;
+        loop {
+            match cur {
+                LogicalPlan::Projection { input, exprs, .. } => {
+                    shared.push(PipelineStep::Project(exprs.clone()));
+                    cur = input;
+                }
+                LogicalPlan::Filter { input, predicate } => {
+                    shared.push(PipelineStep::Filter(predicate.clone()));
+                    cur = input;
+                }
+                LogicalPlan::Union { .. } => break,
+                _ => return None,
+            }
+        }
+        shared.reverse();
+        let arms = union_arms(cur)?;
+        let node_mark = self.nodes.len();
+        let mut planned: Vec<(ChainSpec, Vec<Morsel>)> = Vec::with_capacity(arms.len());
+        for arm in arms {
+            match self.chain_with_morsels(arm) {
+                Some((mut chain, morsels)) => {
+                    chain.links.extend(shared.iter().cloned().map(GraphLink::Step));
+                    planned.push((chain, morsels));
+                }
+                None => {
+                    self.nodes.truncate(node_mark);
+                    return None;
+                }
+            }
+        }
+        let types = planned[0].0.output_types();
+        if planned.iter().any(|(chain, _)| chain.output_types() != types) {
+            // The binder guarantees union-compatible *logical* rows, but
+            // only identical physical chunk layouts can share a queue.
+            self.nodes.truncate(node_mark);
+            return None;
+        }
+        let queue = self.queues.len();
+        self.queues.push(QueueSpec { types, producers: planned.len() });
+        for (arm, (chain, morsels)) in planned.into_iter().enumerate() {
+            self.push(NodeSpec::QueueProducer { chain, morsels, queue, arm });
+        }
+        Some(self.push(NodeSpec::QueueConsumer { queue, sink: sink.clone() }))
     }
 
     /// Recognize the DAG's output nodes: a sink pipeline, or a UNION ALL
@@ -512,28 +628,68 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
 
 /// Materialize a validated spec into an executable graph operator. Only
 /// now are morsel sources constructed (recording scan read predicates on
-/// the transaction) and serial inputs lowered.
+/// the transaction), chunk queues allocated, and serial inputs lowered.
 fn materialize(
     db: &Database,
     txn: &Arc<Transaction>,
     threads: usize,
-    nodes: Vec<NodeSpec<'_>>,
+    spec: SpecBuilder<'_, '_>,
     outputs: Vec<usize>,
 ) -> Result<OperatorBox> {
     let mut graph = PipelineGraph::new(Arc::clone(txn), threads)
         .with_buffers(Some(db.buffers()))
         .with_compression(db.policy().compression())
         .with_sort_budget(db.policy().memory_limit() / 4);
-    for node in nodes {
+    // Bound each streaming edge's backlog to a slice of the memory budget:
+    // enough to decouple producer and consumer, small enough that queued
+    // chunks (charged per batch) cannot crowd out sink state.
+    let queue_bytes = (db.policy().memory_limit() / 8).clamp(1 << 16, 4 << 20);
+    // A queue carries one batch per producer morsel; declaring the total
+    // lets sort consumers cap their run fan-out like table-sourced sorts.
+    let mut queue_batches = vec![0usize; spec.queues.len()];
+    for node in &spec.nodes {
+        if let NodeSpec::QueueProducer { morsels, queue, .. } = node {
+            queue_batches[*queue] += morsels.len();
+        }
+    }
+    let queues: Vec<Arc<ChunkQueue>> = spec
+        .queues
+        .into_iter()
+        .zip(queue_batches)
+        .map(|(q, batches)| {
+            Arc::new(
+                ChunkQueue::new(q.types, q.producers, queue_bytes).with_expected_batches(batches),
+            )
+        })
+        .collect();
+    let scan_source = |chain: &ChainSpec, morsels: Vec<Morsel>| {
+        Arc::new(MorselSource::from_morsels(
+            Arc::clone(&chain.table),
+            txn,
+            chain.opts.clone(),
+            morsels,
+        ))
+    };
+    for node in spec.nodes {
         match node {
             NodeSpec::Pipeline { chain, morsels, sink } => {
-                let source = Arc::new(MorselSource::from_morsels(
-                    Arc::clone(&chain.table),
-                    txn,
-                    chain.opts.clone(),
-                    morsels,
-                ));
-                graph.add(GraphNode::Pipeline { source, links: chain.links, sink });
+                let source = scan_source(&chain, morsels);
+                graph.add(GraphNode::Pipeline { source: source.into(), links: chain.links, sink });
+            }
+            NodeSpec::QueueProducer { chain, morsels, queue, arm } => {
+                let source = scan_source(&chain, morsels);
+                graph.add(GraphNode::Pipeline {
+                    source: source.into(),
+                    links: chain.links,
+                    sink: PipelineSink::Queue { queue: Arc::clone(&queues[queue]), arm },
+                });
+            }
+            NodeSpec::QueueConsumer { queue, sink } => {
+                graph.add(GraphNode::Pipeline {
+                    source: PipelineSource::Queue(Arc::clone(&queues[queue])),
+                    links: Vec::new(),
+                    sink,
+                });
             }
             NodeSpec::SerialBuild { plan, keys } => {
                 graph.add(GraphNode::SerialBuild { input: Some(lower(db, txn, plan)?), keys });
@@ -682,11 +838,11 @@ fn try_graph(
 ) -> Result<Option<OperatorBox>> {
     let mut spec = SpecBuilder::new(db);
     if let Some(outputs) = spec.output_nodes(plan) {
-        return materialize(db, txn, threads, spec.nodes, outputs).map(Some);
+        return materialize(db, txn, threads, spec, outputs).map(Some);
     }
     let mut spec = SpecBuilder::new(db);
     if let Some(output) = spec.serial_probe(plan) {
-        return materialize(db, txn, threads, spec.nodes, vec![output]).map(Some);
+        return materialize(db, txn, threads, spec, vec![output]).map(Some);
     }
     Ok(None)
 }
@@ -724,6 +880,57 @@ mod tests {
         let txn = Arc::new(db.txn_manager().begin());
         let plan = plan_of(db, sql);
         lower_parallel(db, &txn, &plan).unwrap().is_some()
+    }
+
+    /// Un-nest the projection the binder puts above SELECT lists so the
+    /// spec-level tests can hand `output_nodes` the sink-shaped subtree.
+    fn strip_projection(plan: &LogicalPlan) -> &LogicalPlan {
+        match plan {
+            LogicalPlan::Projection { input, .. } => strip_projection(input),
+            other => other,
+        }
+    }
+
+    /// Aggregates, DISTINCT and sorts directly above a UNION ALL must plan
+    /// as chunk-queue producers + a queue consumer — not as a serial
+    /// wrapper over concatenated pipeline outputs.
+    #[test]
+    fn sink_above_union_routes_through_chunk_queue() {
+        let db = fixture();
+        let union_sql = "SELECT k FROM big WHERE id < 3000 UNION ALL \
+                         SELECT k FROM big WHERE id > 5000";
+        for (sql, consumers_expected) in [
+            (format!("SELECT count(*) FROM ({union_sql}) u"), 1),
+            (format!("SELECT k, count(*), sum(k) FROM ({union_sql}) u GROUP BY k"), 1),
+            (format!("SELECT DISTINCT k FROM ({union_sql}) u"), 1),
+            (format!("SELECT k FROM ({union_sql}) u ORDER BY k DESC"), 1),
+            (format!("SELECT k FROM ({union_sql}) u ORDER BY k DESC LIMIT 5 OFFSET 1"), 1),
+        ] {
+            let plan = plan_of(&db, &sql);
+            let plan = strip_projection(&plan);
+            let mut spec = SpecBuilder::new(&db);
+            let outputs = spec
+                .output_nodes(plan)
+                .unwrap_or_else(|| panic!("expected a parallel DAG with a queue for: {sql}"));
+            assert_eq!(spec.queues.len(), 1, "{sql}");
+            let producers =
+                spec.nodes.iter().filter(|n| matches!(n, NodeSpec::QueueProducer { .. })).count();
+            let consumers =
+                spec.nodes.iter().filter(|n| matches!(n, NodeSpec::QueueConsumer { .. })).count();
+            assert_eq!(producers, 2, "{sql}");
+            assert_eq!(consumers, consumers_expected, "{sql}");
+            assert!(
+                matches!(spec.nodes[*outputs.last().unwrap()], NodeSpec::QueueConsumer { .. }),
+                "{sql}: the graph output must be the queue consumer"
+            );
+        }
+        // End to end: the same shapes still route through lower_parallel.
+        for sql in [
+            format!("SELECT count(*) FROM ({union_sql}) u"),
+            format!("SELECT DISTINCT k FROM ({union_sql}) u"),
+        ] {
+            assert!(routes_parallel(&db, &sql), "{sql}");
+        }
     }
 
     /// The acceptance-critical happy paths must route through the DAG —

@@ -151,12 +151,12 @@ impl AggState {
                 *count += 1;
             }
             AggState::Min(cur) => {
-                if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Less) {
+                if cur.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Less) {
                     *cur = Some(v.clone());
                 }
             }
             AggState::Max(cur) => {
-                if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Greater) {
+                if cur.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Greater) {
                     *cur = Some(v.clone());
                 }
             }
@@ -209,14 +209,14 @@ impl AggState {
             }
             (AggState::Min(cur), AggState::Min(other)) => {
                 if let Some(v) = other {
-                    if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Less) {
+                    if cur.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Less) {
                         *cur = Some(v.clone());
                     }
                 }
             }
             (AggState::Max(cur), AggState::Max(other)) => {
                 if let Some(v) = other {
-                    if cur.as_ref().map_or(true, |m| v.total_cmp(m) == Ordering::Greater) {
+                    if cur.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Greater) {
                         *cur = Some(v.clone());
                     }
                 }
@@ -609,12 +609,12 @@ pub fn update_grouped_states(
                 match &mut states[g as usize][agg_idx] {
                     AggState::Count(c) => *c += 1,
                     AggState::Min(cur) => {
-                        if cur.as_ref().and_then(Value::as_str).map_or(true, |m| x.as_str() < m) {
+                        if cur.as_ref().and_then(Value::as_str).is_none_or(|m| x.as_str() < m) {
                             *cur = Some(Value::Varchar(x.clone()));
                         }
                     }
                     AggState::Max(cur) => {
-                        if cur.as_ref().and_then(Value::as_str).map_or(true, |m| x.as_str() > m) {
+                        if cur.as_ref().and_then(Value::as_str).is_none_or(|m| x.as_str() > m) {
                             *cur = Some(Value::Varchar(x.clone()));
                         }
                     }
@@ -727,13 +727,7 @@ mod tests {
         // Splitting any value stream across partial states and merging
         // must match feeding one state sequentially.
         let vals: Vec<Value> = (0..100)
-            .map(|i| {
-                if i % 11 == 0 {
-                    Value::Null
-                } else {
-                    Value::Integer(((i * 37) % 50 - 25) as i32)
-                }
-            })
+            .map(|i| if i % 11 == 0 { Value::Null } else { Value::Integer((i * 37) % 50 - 25) })
             .collect();
         let cases: Vec<(AggKind, bool)> = vec![
             (AggKind::CountStar, false),
@@ -885,7 +879,7 @@ mod tests {
                     .map(|_| vec![AggState::new(kind, Some(LogicalType::Integer), distinct)])
                     .collect();
                 update_grouped_states(&mut grouped, 0, &group_ids, Some(&v)).unwrap();
-                for g in 0..4usize {
+                for (g, states) in grouped.iter().enumerate() {
                     let mut scalar = AggState::new(kind, Some(LogicalType::Integer), distinct);
                     for (row, val) in vals.iter().enumerate() {
                         if group_ids[row] as usize == g {
@@ -893,7 +887,7 @@ mod tests {
                         }
                     }
                     assert_eq!(
-                        grouped[g][0].finalize().unwrap(),
+                        states[0].finalize().unwrap(),
                         scalar.finalize().unwrap(),
                         "{kind:?} distinct={distinct} group {g}"
                     );

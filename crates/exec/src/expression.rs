@@ -180,7 +180,7 @@ impl Expr {
             Expr::IsNull { child, .. } => child.is_constant(),
             Expr::Case { branches, else_expr, .. } => {
                 branches.iter().all(|(c, v)| c.is_constant() && v.is_constant())
-                    && else_expr.as_ref().map_or(true, |e| e.is_constant())
+                    && else_expr.as_ref().is_none_or(|e| e.is_constant())
             }
             Expr::Function { args, .. } => args.iter().all(Expr::is_constant),
             Expr::Like { child, pattern, .. } => child.is_constant() && pattern.is_constant(),

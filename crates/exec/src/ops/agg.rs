@@ -106,6 +106,16 @@ impl GroupTable {
         self.table.is_empty()
     }
 
+    /// Seal a finished partial before parking it for the merge: frees the
+    /// per-chunk scratch buffers (encode/hash staging and group-id
+    /// gather), which are sized by input chunks rather than groups and
+    /// would otherwise dominate the retained footprint of low-cardinality
+    /// partials — per morsel, not per query.
+    pub fn seal(&mut self) {
+        self.table.release_scratch();
+        self.group_ids = Vec::new();
+    }
+
     /// Heap footprint of the table: key arena + buckets + scratch, plus
     /// the per-group aggregate-state rows. DISTINCT dedup sets are charged
     /// coarsely via [`AggState::size_bytes`]'s base cost only when states
@@ -232,8 +242,8 @@ impl PhysicalOperator for SimpleAggregateOp {
 ///
 /// Group keys use *grouping equality* (NULLs form one group), realized as
 /// byte equality of the normalized key encoding. Memory is accounted
-/// against the buffer manager as the table grows, charging the real arena
-/// + bucket + state footprint (§4's hard limits apply to aggregation
+/// against the buffer manager as the table grows, charging the real
+/// arena/bucket/state footprint (§4's hard limits apply to aggregation
 /// state too).
 pub struct HashAggregateOp {
     child: OperatorBox,

@@ -176,7 +176,9 @@ impl BuildSide {
             let bytes = self.key_table_bytes();
             if bytes > self.key_accounted {
                 let growth = bytes - self.key_accounted;
-                self.key_reservation.as_mut().expect("checked").grow(growth)?;
+                if let Some(res) = self.key_reservation.as_mut() {
+                    res.grow(growth)?;
+                }
                 self.key_accounted = bytes;
             }
         }
@@ -406,7 +408,7 @@ impl JoinProbeOp {
                 JoinType::Inner | JoinType::Semi => return Ok(()),
                 JoinType::Left | JoinType::Anti => {
                     self.probe_rows.extend(0..count as u32);
-                    self.match_entries.extend(std::iter::repeat(NULL_ENTRY).take(count));
+                    self.match_entries.extend(std::iter::repeat_n(NULL_ENTRY, count));
                 }
             }
         } else {

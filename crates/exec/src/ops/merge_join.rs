@@ -137,18 +137,13 @@ impl MergeJoinOp {
             return Ok(false); // NULL keys sort last; nothing joins anymore
         }
         self.right_run.push(first);
-        loop {
-            match self.right.next_row()? {
-                Some(r) => {
-                    let k = Self::key_of(&r, self.nkeys);
-                    if k == key && !k.iter().any(Value::is_null) {
-                        self.right_run.push(r);
-                    } else {
-                        self.right_lookahead = Some(r);
-                        break;
-                    }
-                }
-                None => break,
+        while let Some(r) = self.right.next_row()? {
+            let k = Self::key_of(&r, self.nkeys);
+            if k == key && !k.iter().any(Value::is_null) {
+                self.right_run.push(r);
+            } else {
+                self.right_lookahead = Some(r);
+                break;
             }
         }
         self.right_run_key = Some(key);
@@ -186,11 +181,9 @@ impl PhysicalOperator for MergeJoinOp {
                 }
             }
             // Ensure a right run.
-            if self.right_run_key.is_none() {
-                if !self.load_right_run()? {
-                    self.exhausted = true;
-                    break 'produce;
-                }
+            if self.right_run_key.is_none() && !self.load_right_run()? {
+                self.exhausted = true;
+                break 'produce;
             }
             let left_row = self.current_left.as_ref().expect("present");
             let lkey = Self::key_of(left_row, self.nkeys);

@@ -15,31 +15,58 @@
 //! * **outputs** name the nodes whose chunks concatenate (in order) into
 //!   the graph's result; more than one output node models UNION ALL.
 //!
-//! Nodes are stored in dependency order (the planner appends a join's
-//! build node before the pipeline that probes it), so execution is a
-//! simple in-order walk: each node runs to completion on the
-//! [`TaskScheduler`](crate::parallel::scheduler::TaskScheduler) fan-out,
-//! its breaker state is parked in the result table, and later nodes
-//! resolve their links against it. Every node's merge step is
-//! deterministic, so the whole DAG returns bit-identical rows at any
-//! worker count.
+//! Execution is driven by a **readiness scheduler**: a node becomes ready
+//! the moment every node it depends on (through a [`GraphLink::Probe`]
+//! edge) has completed, and *all* ready nodes run concurrently — each on
+//! its own scoped thread, fanning its workers out through the
+//! [`TaskScheduler`](crate::parallel::scheduler::TaskScheduler) with a
+//! proportional share of the fleet. Independent join builds overlap, the
+//! arms of a UNION ALL scan side by side, and a
+//! [`ChunkQueue`] edge streams batches
+//! from producer pipelines into a consumer that runs *at the same time*
+//! (queue edges are co-scheduling edges, not blocking dependencies).
+//! Every node's merge step is deterministic and queue batches carry
+//! deterministic sequence tags, so the whole DAG returns bit-identical
+//! rows at any worker count.
+//!
+//! Failure of any node aborts every queue in the graph (waking blocked
+//! producers and consumers), stops launching new nodes, and surfaces the
+//! first error received once the in-flight nodes wind down; a panicking
+//! node is caught, the graph drains the same way, and the payload is
+//! re-raised on the calling thread.
+//!
+//! The fleet split is per launch round (`threads / nodes-in-flight`,
+//! floored at one worker): co-scheduled stages mean one OS thread per
+//! concurrent node even when the policy grants few workers, and a node
+//! launched into a later round does not shrink the fleets of nodes
+//! already running — a deliberate, transient oversubscription. The
+//! converse also holds: shares never *grow* back when siblings finish,
+//! so a queue consumer that outlives its producers drains the tail on
+//! the share it launched with (dynamic rebalancing would need workers
+//! that can join a running pipeline — see ROADMAP). Bounded queue
+//! backpressure keeps the *runnable* thread count near the consumer's
+//! share, and a policy of one worker total never reaches this scheduler
+//! at all (the planner lowers serially below two workers).
 //!
 //! The [`PipelineGraphOp`] facade lets the physical planner splice a DAG
 //! into an otherwise serial plan; it holds the output's buffer-manager
-//! reservations until dropped (pipeline teardown).
+//! reservations until dropped (pipeline teardown). A [`GraphStats`]
+//! attachment records the scheduler's launch rounds and peak node
+//! concurrency for tests and inspection.
 
 use crate::expression::Expr;
 use crate::ops::join::{BuildSide, JoinType};
 use crate::ops::{OperatorBox, PhysicalOperator};
 use crate::parallel::morsel::MorselSource;
 use crate::parallel::pipeline::{
-    sink_output_types, ParallelPipeline, PipelineOutput, PipelineSink, PipelineStep,
+    sink_output_types, ParallelPipeline, PipelineOutput, PipelineSink, PipelineSource, PipelineStep,
 };
+use crate::parallel::queue::{ChunkQueue, QUEUE_ABORT_MSG};
 use eider_coop::compression::CompressionLevel;
 use eider_storage::buffer::{BufferManager, MemoryReservation};
 use eider_txn::Transaction;
 use eider_vector::{DataChunk, EiderError, LogicalType, Result};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Index of a node inside its [`PipelineGraph`].
 pub type NodeId = usize;
@@ -61,8 +88,9 @@ pub enum GraphLink {
 
 /// One node of the DAG.
 pub enum GraphNode {
-    /// A morsel-parallel pipeline over a table scan.
-    Pipeline { source: Arc<MorselSource>, links: Vec<GraphLink>, sink: PipelineSink },
+    /// A morsel-parallel pipeline over a [`PipelineSource`] — a table
+    /// scan, or a chunk queue fed by concurrently-running producer nodes.
+    Pipeline { source: PipelineSource, links: Vec<GraphLink>, sink: PipelineSink },
     /// A join build side evaluated serially (the input is not
     /// pipeline-shaped, or too small for fan-out to pay off). The *probe*
     /// side still runs morsel-parallel — this is what keeps small
@@ -72,6 +100,13 @@ pub enum GraphNode {
     /// pulled serially through the resolved probe links and drained into
     /// chunks. The expensive build pipeline stays morsel-parallel.
     SerialPipeline { input: Option<OperatorBox>, links: Vec<GraphLink> },
+}
+
+/// A secondary error a pipeline reports when the chunk queue it talks to
+/// was aborted because some *other* node failed first — never the root
+/// cause the user should see.
+fn is_queue_abort(e: &EiderError) -> bool {
+    matches!(e, EiderError::Internal(msg) if msg.contains(QUEUE_ABORT_MSG))
 }
 
 /// Column types a chain of links produces over `base`-typed chunks —
@@ -103,6 +138,119 @@ enum NodeOutput {
     Build(Arc<BuildSide>),
 }
 
+/// Scheduler instrumentation: which nodes launched together, and how many
+/// ran concurrently at peak. Attach with [`PipelineGraph::with_stats`];
+/// tests use it to prove independent nodes actually overlapped and that
+/// queue edges streamed.
+#[derive(Debug, Default)]
+pub struct GraphStats {
+    inner: Mutex<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    rounds: Vec<Vec<NodeId>>,
+    running: usize,
+    max_concurrent: usize,
+}
+
+impl GraphStats {
+    pub fn new() -> Arc<Self> {
+        Arc::new(GraphStats::default())
+    }
+
+    /// Node ids launched per scheduling round (a round launches every node
+    /// whose dependencies were satisfied at that instant).
+    pub fn launch_rounds(&self) -> Vec<Vec<NodeId>> {
+        self.inner.lock().expect("stats poisoned").rounds.clone()
+    }
+
+    /// Peak number of nodes in flight at once.
+    pub fn max_concurrent(&self) -> usize {
+        self.inner.lock().expect("stats poisoned").max_concurrent
+    }
+
+    fn record_launch(&self, round: &[NodeId]) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        inner.rounds.push(round.to_vec());
+        inner.running += round.len();
+        inner.max_concurrent = inner.max_concurrent.max(inner.running);
+    }
+
+    fn record_finish(&self) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        inner.running = inner.running.saturating_sub(1);
+    }
+}
+
+/// A node with its probe links resolved, ready to run on its own thread.
+enum ReadyNode {
+    SerialBuild { input: OperatorBox, keys: Vec<Expr> },
+    SerialPipeline { input: OperatorBox, steps: Vec<PipelineStep> },
+    Pipeline { source: PipelineSource, steps: Vec<PipelineStep>, sink: PipelineSink },
+}
+
+/// The per-node slice of graph state a node thread owns (the graph itself
+/// holds trait objects that are `Send` but not `Sync`, so threads get a
+/// cheap clone of what they need instead of a `&PipelineGraph`).
+#[derive(Clone)]
+struct NodeCtx {
+    txn: Arc<Transaction>,
+    buffers: Option<Arc<BufferManager>>,
+    compression: CompressionLevel,
+    sort_budget: usize,
+}
+
+impl NodeCtx {
+    /// Run one resolved node to completion on `share` workers (called on
+    /// the node's own scheduler thread).
+    fn run_node(&self, node: ReadyNode, share: usize) -> Result<NodeOutput> {
+        match node {
+            ReadyNode::SerialBuild { mut input, keys } => {
+                let mut build = BuildSide::new(self.compression, self.buffers.clone())?;
+                while let Some(chunk) = input.next_chunk()? {
+                    if !chunk.is_empty() {
+                        build.append_chunk(chunk, &keys)?;
+                    }
+                }
+                Ok(NodeOutput::Build(Arc::new(build)))
+            }
+            ReadyNode::SerialPipeline { input, steps } => {
+                let mut op = steps.into_iter().fold(input, |child, step| step.instantiate(child));
+                let mut chunks = Vec::new();
+                while let Some(chunk) = op.next_chunk()? {
+                    if !chunk.is_empty() {
+                        chunks.push(chunk);
+                    }
+                }
+                Ok(NodeOutput::Chunks { chunks, reservations: Vec::new() })
+            }
+            ReadyNode::Pipeline { source, steps, sink } => {
+                let pipeline = ParallelPipeline::new(source, Arc::clone(&self.txn), steps, sink)
+                    .with_buffers(self.buffers.clone())
+                    .with_sort_budget(self.sort_budget);
+                match pipeline.execute(share)? {
+                    PipelineOutput::Chunks { chunks, reservations } => {
+                        Ok(NodeOutput::Chunks { chunks, reservations })
+                    }
+                    PipelineOutput::JoinBuild { partials, reservations } => {
+                        let build = BuildSide::from_partials(
+                            partials,
+                            self.compression,
+                            self.buffers.clone(),
+                        )?;
+                        // The workers' partial reservations release only
+                        // now, after the splice re-accounted the same rows
+                        // inside the build side.
+                        drop(reservations);
+                        Ok(NodeOutput::Build(Arc::new(build)))
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// An executable DAG of parallel pipelines, bound to one query's
 /// transaction. Build with [`PipelineGraph::new`] + [`PipelineGraph::add`],
 /// then declare the output node(s) with [`PipelineGraph::set_outputs`].
@@ -114,6 +262,7 @@ pub struct PipelineGraph {
     buffers: Option<Arc<BufferManager>>,
     compression: CompressionLevel,
     sort_budget: usize,
+    stats: Option<Arc<GraphStats>>,
 }
 
 impl PipelineGraph {
@@ -126,7 +275,15 @@ impl PipelineGraph {
             buffers: None,
             compression: CompressionLevel::None,
             sort_budget: usize::MAX,
+            stats: None,
         }
+    }
+
+    /// Record scheduling decisions (launch rounds, peak concurrency) into
+    /// `stats` during execution.
+    pub fn with_stats(mut self, stats: Arc<GraphStats>) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// Account pipeline state (collected chunks, sort runs, aggregate
@@ -174,8 +331,7 @@ impl PipelineGraph {
                 input.as_ref().map(|op| op.output_types()).unwrap_or_default()
             }
             GraphNode::Pipeline { source, links, .. } => {
-                let base = source.scan_options().output_types(source.table());
-                fold_link_types(base, links)
+                fold_link_types(source.base_types(), links)
             }
             GraphNode::SerialPipeline { input, links } => {
                 let base = input.as_ref().map(|op| op.output_types()).unwrap_or_default();
@@ -195,67 +351,234 @@ impl PipelineGraph {
         }
     }
 
-    /// Execute every node in dependency order and concatenate the output
-    /// nodes' chunks. Returns the chunks plus the buffer-manager
-    /// reservations that keep them accounted until teardown.
+    /// Nodes a node must wait for: the build side of every probe link.
+    /// Queue edges are deliberately absent — a queue consumer co-schedules
+    /// with its producers and synchronizes through the queue itself.
+    fn node_deps(node: &GraphNode) -> Vec<NodeId> {
+        let links = match node {
+            GraphNode::Pipeline { links, .. } | GraphNode::SerialPipeline { links, .. } => links,
+            GraphNode::SerialBuild { .. } => return Vec::new(),
+        };
+        links
+            .iter()
+            .filter_map(|link| match link {
+                GraphLink::Probe { build, .. } => Some(*build),
+                GraphLink::Step(_) => None,
+            })
+            .collect()
+    }
+
+    /// Every morsel source the graph scans (told to stop dispensing when
+    /// the graph fails, so sibling nodes wind down at their next morsel
+    /// boundary instead of scanning to completion first).
+    fn graph_sources(nodes: &[GraphNode]) -> Vec<Arc<MorselSource>> {
+        nodes
+            .iter()
+            .filter_map(|node| match node {
+                GraphNode::Pipeline { source: PipelineSource::Table(src), .. } => {
+                    Some(Arc::clone(src))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every distinct chunk queue any node produces into or consumes from
+    /// (aborted wholesale when the graph fails, so no pipeline blocks on
+    /// an edge whose peer will never arrive).
+    fn graph_queues(nodes: &[GraphNode]) -> Vec<Arc<ChunkQueue>> {
+        let mut queues: Vec<Arc<ChunkQueue>> = Vec::new();
+        let mut remember = |q: &Arc<ChunkQueue>| {
+            if !queues.iter().any(|known| Arc::ptr_eq(known, q)) {
+                queues.push(Arc::clone(q));
+            }
+        };
+        for node in nodes {
+            if let GraphNode::Pipeline { source, sink, .. } = node {
+                if let PipelineSource::Queue(q) = source {
+                    remember(q);
+                }
+                if let PipelineSink::Queue { queue, .. } = sink {
+                    remember(queue);
+                }
+            }
+        }
+        queues
+    }
+
+    /// Execute the DAG under the readiness scheduler and concatenate the
+    /// output nodes' chunks (in output order). Returns the chunks plus the
+    /// buffer-manager reservations that keep them accounted until
+    /// teardown.
+    ///
+    /// Scheduling: each round launches *every* node whose probe
+    /// dependencies have completed, one scoped thread per node, splitting
+    /// the worker fleet proportionally; the scheduler then waits for the
+    /// next completion and re-evaluates. On the first failure it aborts
+    /// all queues, launches nothing further, and drains in-flight nodes
+    /// before surfacing the error.
     pub fn execute(mut self) -> Result<(Vec<DataChunk>, Vec<MemoryReservation>)> {
         let nodes = std::mem::take(&mut self.nodes);
-        let mut results: Vec<NodeOutput> = Vec::with_capacity(nodes.len());
-        for node in nodes {
-            let output = match node {
-                GraphNode::SerialBuild { input, keys } => {
-                    let mut op = input.ok_or_else(|| {
-                        EiderError::Internal("serial build node executed twice".into())
-                    })?;
-                    let mut build = BuildSide::new(self.compression, self.buffers.clone())?;
-                    while let Some(chunk) = op.next_chunk()? {
-                        if !chunk.is_empty() {
-                            build.append_chunk(chunk, &keys)?;
-                        }
-                    }
-                    NodeOutput::Build(Arc::new(build))
-                }
-                GraphNode::SerialPipeline { input, links } => {
-                    let op = input.ok_or_else(|| {
-                        EiderError::Internal("serial pipeline node executed twice".into())
-                    })?;
-                    let mut op = Self::resolve_links(links, &results)?
-                        .into_iter()
-                        .fold(op, |child, step| step.instantiate(child));
-                    let mut chunks = Vec::new();
-                    while let Some(chunk) = op.next_chunk()? {
-                        if !chunk.is_empty() {
-                            chunks.push(chunk);
-                        }
-                    }
-                    NodeOutput::Chunks { chunks, reservations: Vec::new() }
-                }
-                GraphNode::Pipeline { source, links, sink } => {
-                    let steps = Self::resolve_links(links, &results)?;
-                    let pipeline =
-                        ParallelPipeline::new(source, Arc::clone(&self.txn), steps, sink)
-                            .with_buffers(self.buffers.clone())
-                            .with_sort_budget(self.sort_budget);
-                    match pipeline.execute(self.threads)? {
-                        PipelineOutput::Chunks { chunks, reservations } => {
-                            NodeOutput::Chunks { chunks, reservations }
-                        }
-                        PipelineOutput::JoinBuild { partials, reservations } => {
-                            let build = BuildSide::from_partials(
-                                partials,
-                                self.compression,
-                                self.buffers.clone(),
-                            )?;
-                            // The workers' partial reservations release
-                            // only now, after the splice re-accounted the
-                            // same rows inside the build side.
-                            drop(reservations);
-                            NodeOutput::Build(Arc::new(build))
+        let n = nodes.len();
+        let deps: Vec<Vec<NodeId>> = nodes.iter().map(Self::node_deps).collect();
+        let queues = Self::graph_queues(&nodes);
+        let sources = Self::graph_sources(&nodes);
+        // Failure anywhere stops the whole graph promptly: queues wake
+        // their blocked peers, morsel dispensers stop handing out work.
+        let abort_graph = || {
+            for q in &queues {
+                q.abort();
+            }
+            for src in &sources {
+                src.abort();
+            }
+        };
+        let mut slots: Vec<Option<GraphNode>> = nodes.into_iter().map(Some).collect();
+        let mut results: Vec<NodeOutput> = (0..n).map(|_| NodeOutput::Taken).collect();
+        let mut done = vec![false; n];
+        let mut first_error: Option<EiderError> = None;
+        let ctx = NodeCtx {
+            txn: Arc::clone(&self.txn),
+            buffers: self.buffers.clone(),
+            compression: self.compression,
+            sort_budget: self.sort_budget,
+        };
+        let stats = self.stats.clone();
+        let threads = self.threads;
+        // A panicking node must not strand the scheduler: its payload is
+        // parked here and re-raised only after every in-flight node has
+        // wound down (queues aborted so none blocks forever).
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+
+        std::thread::scope(|scope| {
+            type NodeVerdict = std::thread::Result<Result<NodeOutput>>;
+            let (tx, rx) = std::sync::mpsc::channel::<(NodeId, NodeVerdict)>();
+            let mut running = 0usize;
+            loop {
+                // Launch every node whose dependencies are satisfied; skip
+                // straight to draining once something failed.
+                let mut round = Vec::new();
+                if first_error.is_none() {
+                    for id in 0..n {
+                        if slots[id].is_some() && deps[id].iter().all(|&d| done[d]) {
+                            round.push(id);
                         }
                     }
                 }
-            };
-            results.push(output);
+                if !round.is_empty() {
+                    let mut launchable = Vec::with_capacity(round.len());
+                    for id in round.drain(..) {
+                        let node = slots[id].take().expect("launch picked a live node");
+                        match Self::prepare(node, &results) {
+                            Ok(ready) => launchable.push((id, ready)),
+                            Err(e) => {
+                                done[id] = true;
+                                if first_error.is_none() {
+                                    first_error = Some(e);
+                                }
+                                abort_graph();
+                            }
+                        }
+                    }
+                    if let Some(stats) = &stats {
+                        let ids: Vec<NodeId> = launchable.iter().map(|(id, _)| *id).collect();
+                        if !ids.is_empty() {
+                            stats.record_launch(&ids);
+                        }
+                    }
+                    // Split the fleet across everything in flight; morsel
+                    // stealing rebalances skew inside each node.
+                    let share = (threads / (running + launchable.len()).max(1)).max(1);
+                    // Inline fast path: a lone ready node with nothing in
+                    // flight cannot overlap with anything — run it on the
+                    // scheduler thread. Sequential DAGs (build → probe, the
+                    // most common shape) thus keep the pre-concurrency
+                    // executor's zero thread-handoff overhead, and a panic
+                    // propagates directly (nothing else is running that a
+                    // drain would have to wake).
+                    if running == 0 && launchable.len() == 1 {
+                        let (id, ready) = launchable.pop().expect("checked");
+                        done[id] = true;
+                        let outcome = ctx.run_node(ready, share);
+                        if let Some(stats) = &stats {
+                            stats.record_finish();
+                        }
+                        match outcome {
+                            Ok(output) => results[id] = output,
+                            Err(e) => {
+                                if first_error.is_none() {
+                                    first_error = Some(e);
+                                }
+                                abort_graph();
+                            }
+                        }
+                        continue;
+                    }
+                    for (id, ready) in launchable {
+                        running += 1;
+                        let tx = tx.clone();
+                        let ctx = ctx.clone();
+                        let stats = stats.clone();
+                        scope.spawn(move || {
+                            // Catch panics so the completion message is
+                            // always sent — an unwinding node thread must
+                            // not leave the scheduler blocked in recv()
+                            // (the panic is re-raised after the drain).
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    ctx.run_node(ready, share)
+                                }));
+                            if let Some(stats) = &stats {
+                                stats.record_finish();
+                            }
+                            // The scheduler outlives every node thread; a
+                            // send can only fail if the scope is unwinding.
+                            let _ = tx.send((id, out));
+                        });
+                    }
+                    continue; // a launch may have failed: recompute
+                }
+                if running == 0 {
+                    break;
+                }
+                let (id, result) = rx.recv().expect("node completion channel");
+                running -= 1;
+                done[id] = true;
+                match result {
+                    Ok(Ok(output)) => results[id] = output,
+                    Ok(Err(e)) => {
+                        // Keep the root cause: a co-scheduled sibling's
+                        // "queue aborted" echo must not shadow the real
+                        // error, whichever order they arrive in.
+                        let replace = match &first_error {
+                            None => true,
+                            Some(cur) => is_queue_abort(cur) && !is_queue_abort(&e),
+                        };
+                        if replace {
+                            first_error = Some(e);
+                        }
+                        abort_graph();
+                    }
+                    Err(payload) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(payload);
+                        }
+                        if first_error.is_none() {
+                            first_error =
+                                Some(EiderError::Internal("pipeline node panicked".into()));
+                        }
+                        abort_graph();
+                    }
+                }
+            }
+        });
+        if let Some(payload) = panic_payload {
+            // Invariant violations surface as panics, exactly as they did
+            // when nodes ran on the calling thread.
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(e) = first_error {
+            return Err(e);
         }
         let mut chunks = Vec::new();
         let mut reservations = Vec::new();
@@ -273,6 +596,28 @@ impl PipelineGraph {
             }
         }
         Ok((chunks, reservations))
+    }
+
+    /// Resolve a launchable node's probe links against completed builds,
+    /// producing the owned state its thread runs with.
+    fn prepare(node: GraphNode, results: &[NodeOutput]) -> Result<ReadyNode> {
+        Ok(match node {
+            GraphNode::SerialBuild { input, keys } => ReadyNode::SerialBuild {
+                input: input.ok_or_else(|| {
+                    EiderError::Internal("serial build node executed twice".into())
+                })?,
+                keys,
+            },
+            GraphNode::SerialPipeline { input, links } => ReadyNode::SerialPipeline {
+                input: input.ok_or_else(|| {
+                    EiderError::Internal("serial pipeline node executed twice".into())
+                })?,
+                steps: Self::resolve_links(links, results)?,
+            },
+            GraphNode::Pipeline { source, links, sink } => {
+                ReadyNode::Pipeline { source, steps: Self::resolve_links(links, results)?, sink }
+            }
+        })
     }
 
     /// Resolve probe links against already-executed build nodes.
@@ -347,6 +692,7 @@ mod tests {
     use crate::expression::Expr;
     use crate::ops::sort::SortKey;
     use crate::ops::{drain_rows, FilterOp, HashJoinOp, TableScanOp};
+    use crate::parallel::morsel::MorselSource;
     use eider_txn::{CmpOp, DataTable, ScanOptions, TableFilter, TransactionManager};
     use eider_vector::{Value, VECTOR_SIZE};
 
@@ -418,7 +764,7 @@ mod tests {
             let source =
                 Arc::new(MorselSource::new(Arc::clone(table), txn, probe_opts(), VECTOR_SIZE));
             graph.add(GraphNode::Pipeline {
-                source,
+                source: source.into(),
                 links: vec![GraphLink::Step(PipelineStep::Filter(Expr::Compare {
                     op: CmpOp::Lt,
                     left: Box::new(Expr::column(0, LogicalType::Integer)),
@@ -435,7 +781,7 @@ mod tests {
         let source =
             Arc::new(MorselSource::new(Arc::clone(table), txn, probe_opts(), VECTOR_SIZE * 2));
         let probe = graph.add(GraphNode::Pipeline {
-            source,
+            source: source.into(),
             links: vec![GraphLink::Probe {
                 build,
                 left_keys: join_key(),
@@ -503,22 +849,22 @@ mod tests {
         for threads in [1, 2, 8] {
             let mut graph = PipelineGraph::new(Arc::clone(&txn), threads);
             let low = graph.add(GraphNode::Pipeline {
-                source: Arc::new(MorselSource::new(
+                source: PipelineSource::Table(Arc::new(MorselSource::new(
                     Arc::clone(&table),
                     &txn,
                     arm(CmpOp::Lt, 5_000),
                     VECTOR_SIZE,
-                )),
+                ))),
                 links: vec![],
                 sink: PipelineSink::Collect,
             });
             let high = graph.add(GraphNode::Pipeline {
-                source: Arc::new(MorselSource::new(
+                source: PipelineSource::Table(Arc::new(MorselSource::new(
                     Arc::clone(&table),
                     &txn,
                     arm(CmpOp::GtEq, 25_000),
                     VECTOR_SIZE,
-                )),
+                ))),
                 links: vec![],
                 sink: PipelineSink::Collect,
             });
@@ -544,12 +890,12 @@ mod tests {
                 keys: join_key(),
             });
             let probe = graph.add(GraphNode::Pipeline {
-                source: Arc::new(MorselSource::new(
+                source: PipelineSource::Table(Arc::new(MorselSource::new(
                     Arc::clone(&table),
                     &txn,
                     probe_opts(),
                     VECTOR_SIZE * 2,
-                )),
+                ))),
                 links: vec![GraphLink::Probe {
                     build,
                     left_keys: join_key(),
@@ -575,22 +921,22 @@ mod tests {
         let mut graph = PipelineGraph::new(Arc::clone(&txn), 2);
         // Node 0 collects chunks — probing it must fail, not panic.
         let collect = graph.add(GraphNode::Pipeline {
-            source: Arc::new(MorselSource::new(
+            source: PipelineSource::Table(Arc::new(MorselSource::new(
                 Arc::clone(&table),
                 &txn,
                 probe_opts(),
                 VECTOR_SIZE,
-            )),
+            ))),
             links: vec![],
             sink: PipelineSink::Collect,
         });
         let probe = graph.add(GraphNode::Pipeline {
-            source: Arc::new(MorselSource::new(
+            source: PipelineSource::Table(Arc::new(MorselSource::new(
                 Arc::clone(&table),
                 &txn,
                 probe_opts(),
                 VECTOR_SIZE,
-            )),
+            ))),
             links: vec![GraphLink::Probe {
                 build: collect,
                 left_keys: join_key(),
@@ -635,12 +981,12 @@ mod tests {
         let mut graph = PipelineGraph::new(Arc::clone(&txn), 4);
         let build = graph.add(GraphNode::SerialBuild { input: Some(filtered), keys: join_key() });
         let probe = graph.add(GraphNode::Pipeline {
-            source: Arc::new(MorselSource::new(
+            source: PipelineSource::Table(Arc::new(MorselSource::new(
                 Arc::clone(&table),
                 &txn,
                 probe_opts(),
                 VECTOR_SIZE * 2,
-            )),
+            ))),
             links: vec![GraphLink::Probe {
                 build,
                 left_keys: join_key(),
@@ -653,5 +999,235 @@ mod tests {
         let (chunks, _res) = graph.execute().unwrap();
         let n: usize = chunks.iter().map(DataChunk::len).sum();
         assert_eq!(n, ROWS as usize);
+    }
+
+    /// A `(arm, morsel)`-composed scan over half the fixture table.
+    fn half_scan(low_half: bool) -> ScanOptions {
+        let (cmp, bound) = if low_half { (CmpOp::Lt, 15_000) } else { (CmpOp::GtEq, 15_000) };
+        ScanOptions {
+            columns: vec![0, 1],
+            filters: vec![TableFilter::new(0, cmp, Value::Integer(bound))],
+            emit_row_ids: false,
+        }
+    }
+
+    /// Aggregate sink shared by the queue tests: GROUP BY col1 with
+    /// integer aggregates (exact at every thread count).
+    fn union_agg_sink() -> PipelineSink {
+        PipelineSink::HashAggregate {
+            groups: vec![Expr::column(1, LogicalType::Integer)],
+            aggs: vec![
+                crate::ops::agg::AggExpr {
+                    kind: crate::aggregate::AggKind::CountStar,
+                    arg: None,
+                    distinct: false,
+                },
+                crate::ops::agg::AggExpr {
+                    kind: crate::aggregate::AggKind::Sum,
+                    arg: Some(Expr::column(0, LogicalType::Integer)),
+                    distinct: false,
+                },
+            ],
+        }
+    }
+
+    /// Build the union-under-aggregate DAG: two scan arms streaming into a
+    /// shared chunk queue, consumed by an aggregate pipeline that runs
+    /// concurrently with them.
+    fn union_agg_graph(
+        table: &Arc<DataTable>,
+        txn: &Arc<Transaction>,
+        threads: usize,
+        buffers: Option<Arc<eider_storage::buffer::BufferManager>>,
+    ) -> (PipelineGraph, Arc<ChunkQueue>, Arc<GraphStats>) {
+        let stats = GraphStats::new();
+        let mut graph = PipelineGraph::new(Arc::clone(txn), threads)
+            .with_buffers(buffers)
+            .with_stats(Arc::clone(&stats));
+        let queue =
+            Arc::new(ChunkQueue::new(vec![LogicalType::Integer, LogicalType::Integer], 2, 1 << 18));
+        for (arm, low_half) in [true, false].into_iter().enumerate() {
+            graph.add(GraphNode::Pipeline {
+                source: PipelineSource::Table(Arc::new(MorselSource::new(
+                    Arc::clone(table),
+                    txn,
+                    half_scan(low_half),
+                    VECTOR_SIZE,
+                ))),
+                links: vec![],
+                sink: PipelineSink::Queue { queue: Arc::clone(&queue), arm },
+            });
+        }
+        let consumer = graph.add(GraphNode::Pipeline {
+            source: PipelineSource::Queue(Arc::clone(&queue)),
+            links: vec![],
+            sink: union_agg_sink(),
+        });
+        graph.set_outputs(vec![consumer]);
+        (graph, queue, stats)
+    }
+
+    /// Serial reference for the union-under-aggregate shape: the two arms
+    /// cover the whole table, so a plain serial aggregate over a full scan
+    /// is the ground truth (sorted into the parallel key order).
+    fn union_agg_reference(table: &Arc<DataTable>, txn: &Arc<Transaction>) -> Vec<Vec<Value>> {
+        let PipelineSink::HashAggregate { groups, aggs } = union_agg_sink() else { unreachable!() };
+        let mut op = crate::ops::HashAggregateOp::new(
+            Box::new(TableScanOp::new(Arc::clone(table), Arc::clone(txn), probe_opts())),
+            groups,
+            aggs,
+            None,
+        );
+        let mut rows = drain_rows(&mut op).unwrap();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        rows
+    }
+
+    #[test]
+    fn independent_join_builds_launch_concurrently() {
+        // Two JoinBuild pipelines with no edges between them must share
+        // the first scheduling round; the probe that needs both launches
+        // only after they complete.
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let stats = GraphStats::new();
+        let mut graph = PipelineGraph::new(Arc::clone(&txn), 4).with_stats(Arc::clone(&stats));
+        let build_arm = |cmp: CmpOp, bound: i32| GraphNode::Pipeline {
+            source: PipelineSource::Table(Arc::new(MorselSource::new(
+                Arc::clone(&table),
+                &txn,
+                ScanOptions {
+                    columns: vec![0, 1],
+                    filters: vec![TableFilter::new(0, cmp, Value::Integer(bound))],
+                    emit_row_ids: false,
+                },
+                VECTOR_SIZE,
+            ))),
+            links: vec![],
+            sink: PipelineSink::JoinBuild { keys: join_key() },
+        };
+        let b1 = graph.add(build_arm(CmpOp::Lt, 100));
+        let b2 = graph.add(build_arm(CmpOp::Lt, 100));
+        let probe_link = |build: NodeId| GraphLink::Probe {
+            build,
+            left_keys: join_key(),
+            join_type: JoinType::Inner,
+            right_types: vec![LogicalType::Integer, LogicalType::Integer],
+        };
+        let probe = graph.add(GraphNode::Pipeline {
+            source: PipelineSource::Table(Arc::new(MorselSource::new(
+                Arc::clone(&table),
+                &txn,
+                probe_opts(),
+                VECTOR_SIZE * 2,
+            ))),
+            links: vec![probe_link(b1), probe_link(b2)],
+            sink: PipelineSink::Collect,
+        });
+        graph.set_outputs(vec![probe]);
+        let (chunks, _res) = graph.execute().unwrap();
+        // Both builds have one row per key, so the double probe keeps the
+        // row count and widens to 6 columns.
+        let n: usize = chunks.iter().map(DataChunk::len).sum();
+        assert_eq!(n, ROWS as usize);
+        assert_eq!(chunks[0].column_count(), 6);
+        let rounds = stats.launch_rounds();
+        assert!(
+            rounds[0].contains(&b1) && rounds[0].contains(&b2),
+            "independent builds must launch in the same round: {rounds:?}"
+        );
+        assert!(
+            !rounds[0].contains(&probe),
+            "the probe depends on both builds and cannot launch with them: {rounds:?}"
+        );
+        assert!(stats.max_concurrent() >= 2, "builds must overlap");
+    }
+
+    #[test]
+    fn union_under_aggregate_streams_through_chunk_queue() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let expected = union_agg_reference(&table, &txn);
+        assert_eq!(expected.len(), 100);
+        for threads in [1, 2, 4, 8] {
+            let (graph, queue, stats) = union_agg_graph(&table, &txn, threads, None);
+            let (chunks, _res) = graph.execute().unwrap();
+            let rows: Vec<Vec<Value>> = chunks.iter().flat_map(DataChunk::to_rows).collect();
+            assert_eq!(rows, expected, "threads={threads}");
+            assert!(
+                queue.pushed_batches() > 0,
+                "the union arms must stream batches through the queue"
+            );
+            // Producers and consumer co-schedule: all three nodes launch
+            // in the first round and overlap.
+            assert_eq!(stats.launch_rounds()[0], vec![0, 1, 2], "threads={threads}");
+            assert_eq!(stats.max_concurrent(), 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn union_under_aggregate_respects_a_tight_memory_limit() {
+        use eider_storage::buffer::{BufferManager, BufferManagerConfig};
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let expected = union_agg_reference(&table, &txn);
+        for threads in [1, 2, 4, 8] {
+            let buffers = BufferManager::new(BufferManagerConfig {
+                memory_limit: 1 << 20,
+                memtest_allocations: false,
+            });
+            let (graph, queue, _stats) =
+                union_agg_graph(&table, &txn, threads, Some(Arc::clone(&buffers)));
+            let (chunks, res) = graph.execute().unwrap();
+            let rows: Vec<Vec<Value>> = chunks.iter().flat_map(DataChunk::to_rows).collect();
+            assert_eq!(rows, expected, "threads={threads}");
+            assert!(queue.pushed_batches() > 0);
+            drop(res);
+            drop(chunks);
+            assert_eq!(buffers.used_memory(), 0, "all queue/agg reservations released");
+        }
+    }
+
+    #[test]
+    fn failing_union_arm_aborts_the_queue_and_surfaces_the_error() {
+        // Arm 1 overflows an integer multiply mid-scan; the consumer must
+        // wind down instead of waiting forever for the queue to close.
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let mut graph = PipelineGraph::new(Arc::clone(&txn), 2);
+        let queue =
+            Arc::new(ChunkQueue::new(vec![LogicalType::Integer, LogicalType::Integer], 2, 1 << 18));
+        let bad_filter = Expr::Compare {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Arithmetic {
+                op: crate::expression::ArithOp::Mul,
+                left: Box::new(Expr::column(0, LogicalType::Integer)),
+                right: Box::new(Expr::constant(Value::BigInt(i64::MAX))),
+                ty: LogicalType::BigInt,
+            }),
+            right: Box::new(Expr::constant(Value::BigInt(1))),
+        };
+        for (arm, links) in [vec![], vec![GraphLink::Step(PipelineStep::Filter(bad_filter))]]
+            .into_iter()
+            .enumerate()
+        {
+            graph.add(GraphNode::Pipeline {
+                source: PipelineSource::Table(Arc::new(MorselSource::new(
+                    Arc::clone(&table),
+                    &txn,
+                    half_scan(arm == 0),
+                    VECTOR_SIZE,
+                ))),
+                links,
+                sink: PipelineSink::Queue { queue: Arc::clone(&queue), arm },
+            });
+        }
+        let consumer = graph.add(GraphNode::Pipeline {
+            source: PipelineSource::Queue(Arc::clone(&queue)),
+            links: vec![],
+            sink: union_agg_sink(),
+        });
+        graph.set_outputs(vec![consumer]);
+        assert!(graph.execute().is_err(), "the failing arm's error must surface");
     }
 }

@@ -21,11 +21,19 @@
 //!   aggregate (which with no aggregate functions is DISTINCT), sort
 //!   (disk-spilling, optionally Top-N-bounded), or hash-join build — each
 //!   with a worker-local state and an explicit merge/finalize step;
-//! * a [`PipelineGraph`] connects pipelines into a **DAG** executed in
-//!   dependency order, passing breaker state between them: a join's build
-//!   pipeline produces an `Arc<BuildSide>` its probe pipeline shares
-//!   across workers, sort runs spill to disk between production and
-//!   merge, and UNION ALL concatenates sibling pipelines' outputs.
+//! * a [`PipelineGraph`] connects pipelines into a **DAG** executed by a
+//!   readiness scheduler — every node whose dependencies are satisfied
+//!   runs concurrently on its own scoped thread with a share of the
+//!   fleet — passing breaker state between them: a join's build pipeline
+//!   produces an `Arc<BuildSide>` its probe pipeline shares across
+//!   workers, sort runs spill to disk between production and merge, and
+//!   UNION ALL concatenates sibling pipelines' outputs;
+//! * a [`ChunkQueue`] is a bounded streaming edge between pipelines: the
+//!   arms of a UNION ALL push per-morsel batches into it while the sink
+//!   above the union (aggregate, sort, DISTINCT) consumes them
+//!   morsel-parallel *at the same time* — no serial concatenation
+//!   wrapper, no full materialization, deterministic via composed
+//!   batch sequence numbers.
 //!
 //! Worker count is decided per query by
 //! [`ResourcePolicy::worker_threads`](eider_coop::policy::ResourcePolicy::worker_threads):
@@ -47,11 +55,14 @@
 pub mod graph;
 pub mod morsel;
 pub mod pipeline;
+pub mod queue;
 pub mod scheduler;
 
-pub use graph::{GraphLink, GraphNode, NodeId, PipelineGraph, PipelineGraphOp};
+pub use graph::{GraphLink, GraphNode, GraphStats, NodeId, PipelineGraph, PipelineGraphOp};
 pub use morsel::{Morsel, MorselScanOp, MorselSource};
 pub use pipeline::{
-    ParallelPipeline, ParallelPipelineOp, PipelineOutput, PipelineSink, PipelineStep,
+    ParallelPipeline, ParallelPipelineOp, PipelineOutput, PipelineSink, PipelineSource,
+    PipelineStep,
 };
+pub use queue::{compose_seq, ChunkQueue, QueueBatch};
 pub use scheduler::TaskScheduler;

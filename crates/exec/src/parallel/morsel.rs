@@ -64,6 +64,15 @@ pub struct MorselSource {
     aborted: AtomicBool,
 }
 
+impl std::fmt::Debug for MorselSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MorselSource")
+            .field("morsels", &self.morsels.len())
+            .field("dispensed", &self.cursor.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 impl MorselSource {
     /// Slice `table` into morsels of about `morsel_rows` rows (clamped to
     /// whole vectors). Records the scan's read predicates on `txn` once —

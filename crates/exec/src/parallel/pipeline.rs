@@ -14,6 +14,12 @@
 //! | [`PipelineSink::HashAggregate`] | per-morsel group hash tables | merge tables in morsel order, emit groups key-sorted |
 //! | [`PipelineSink::Sort`] | sorted runs, spilled past the budget | streaming k-way merge of memory + disk runs, ties broken by scan position |
 //! | [`PipelineSink::JoinBuild`] | hashed build chunks ([`BuildPartial`]) | splice via [`BuildSide::from_partials`] |
+//! | [`PipelineSink::Queue`] | chunks of the current work unit | none — batches stream into a [`ChunkQueue`] per unit |
+//!
+//! Sources are [`PipelineSource`]s: a morsel-sliced table scan, or a
+//! bounded chunk queue fed by upstream pipelines running concurrently
+//! (each popped batch is a unit of work carrying a deterministic
+//! sequence).
 //!
 //! Partial aggregate states are kept *per morsel* (not just per worker)
 //! and merged in morsel order, so results do not depend on which worker
@@ -33,14 +39,72 @@ use crate::aggregate::AggState;
 use crate::ops::agg::{update_group_table, update_simple_states, AggExpr, GroupTable};
 use crate::ops::join::{BuildPartial, BuildSide, JoinProbeOp, JoinType};
 use crate::ops::sort::{compare_keys, SortKey};
-use crate::ops::{FilterOp, OperatorBox, PhysicalOperator, ProjectionOp};
-use crate::parallel::morsel::{MorselScanOp, MorselSource};
+use crate::ops::{FilterOp, OperatorBox, PhysicalOperator, ProjectionOp, ValuesOp};
+use crate::parallel::morsel::{Morsel, MorselScanOp, MorselSource};
+use crate::parallel::queue::{compose_seq, ChunkQueue, QueueBatch};
 use crate::parallel::scheduler::TaskScheduler;
 use eider_storage::buffer::{BufferManager, MemoryReservation};
 use eider_storage::spill::{SpillFile, SpillReader};
 use eider_txn::Transaction;
 use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, VECTOR_SIZE};
 use std::sync::Arc;
+
+/// Where a pipeline's workers claim their units of work.
+#[derive(Debug, Clone)]
+pub enum PipelineSource {
+    /// A morsel-sliced table scan (the classic pipeline leaf).
+    Table(Arc<MorselSource>),
+    /// A bounded [`ChunkQueue`] fed by upstream pipelines running
+    /// concurrently; each popped batch is one unit of work, tagged with a
+    /// deterministic sequence so merges stay order-independent.
+    Queue(Arc<ChunkQueue>),
+}
+
+impl From<Arc<MorselSource>> for PipelineSource {
+    fn from(source: Arc<MorselSource>) -> Self {
+        PipelineSource::Table(source)
+    }
+}
+
+impl From<Arc<ChunkQueue>> for PipelineSource {
+    fn from(queue: Arc<ChunkQueue>) -> Self {
+        PipelineSource::Queue(queue)
+    }
+}
+
+/// One claimed unit of work: a table morsel or a queued chunk batch.
+enum WorkUnit {
+    Morsel(Morsel),
+    Batch(QueueBatch),
+}
+
+impl PipelineSource {
+    /// Column types the source feeds into the chain.
+    pub fn base_types(&self) -> Vec<LogicalType> {
+        match self {
+            PipelineSource::Table(src) => src.scan_options().output_types(src.table()),
+            PipelineSource::Queue(queue) => queue.types().to_vec(),
+        }
+    }
+
+    /// Claim the next unit of work; blocks on a queue source until a
+    /// producer pushes or every producer closed.
+    fn next_work(&self) -> Option<WorkUnit> {
+        match self {
+            PipelineSource::Table(src) => src.next_morsel().map(WorkUnit::Morsel),
+            PipelineSource::Queue(queue) => queue.pop().map(WorkUnit::Batch),
+        }
+    }
+
+    /// Stop dispensing work after a worker failed (and, for queues, fail
+    /// the producers still pushing into the edge).
+    pub fn abort(&self) {
+        match self {
+            PipelineSource::Table(src) => src.abort(),
+            PipelineSource::Queue(queue) => queue.abort(),
+        }
+    }
+}
 
 /// One streaming operator of the per-worker chain.
 #[derive(Clone)]
@@ -131,6 +195,13 @@ pub enum PipelineSink {
     /// Hash-join build side: chunks plus precomputed key hashes, spliced
     /// into a shared [`BuildSide`] by the pipeline DAG.
     JoinBuild { keys: Vec<crate::expression::Expr> },
+    /// Stream the chain's chunks into a [`ChunkQueue`] consumed by a
+    /// concurrently-running downstream pipeline (a UNION ALL arm feeding a
+    /// sink above the union). Workers push one batch per morsel, tagged
+    /// [`compose_seq`]`(arm, morsel)`; the pipeline itself produces no
+    /// output chunks. On completion the producer closes its queue slot; on
+    /// failure it aborts the queue so the consumer winds down.
+    Queue { queue: Arc<ChunkQueue>, arm: usize },
 }
 
 /// What a pipeline produces. Reservations keep materialized state charged
@@ -276,6 +347,9 @@ impl SortRun {
 }
 
 /// Worker-local partial results, tagged for deterministic merging.
+/// Variant sizes differ wildly but only one exists per worker, so the
+/// indirection boxing would add buys nothing.
+#[allow(clippy::large_enum_variant)]
 enum LocalState {
     /// Produced chunks plus the reservation charging them to the budget.
     Collect(Vec<((usize, usize), DataChunk)>, Option<MemoryReservation>),
@@ -285,9 +359,15 @@ enum LocalState {
     Sort(SortLocal),
     /// Build partials plus the reservation charging them.
     JoinBuild(Vec<(usize, usize, BuildPartial)>, Option<MemoryReservation>),
+    /// Chunks of the current morsel, pushed as one queue batch at morsel
+    /// end (nothing survives to the merge step).
+    Queue(Vec<DataChunk>),
 }
 
-/// Partial aggregate state of one morsel.
+/// Partial aggregate state of one morsel. A `GroupTable` is an order of
+/// magnitude bigger than a simple-aggregate row, but a query holds only
+/// one partial per morsel — not worth a box per table.
+#[allow(clippy::large_enum_variant)]
 enum AggPartial {
     Simple(Vec<AggState>),
     /// Byte-keyed group table (see [`crate::rowkey`]); merged on encoded
@@ -308,7 +388,7 @@ struct WorkerCtx {
 
 /// A parallel pipeline instance, bound to one query's transaction.
 pub struct ParallelPipeline {
-    source: Arc<MorselSource>,
+    source: PipelineSource,
     txn: Arc<Transaction>,
     steps: Vec<PipelineStep>,
     sink: PipelineSink,
@@ -317,14 +397,27 @@ pub struct ParallelPipeline {
     sort_budget: usize,
 }
 
+/// A sort pipeline caps its fleet so every worker contributes at least
+/// this many morsels to its run: more workers mean more (smaller) runs,
+/// and past this point the extra merge fan-in costs more than the extra
+/// run-sort parallelism buys (each merge step compares every run head).
+const MIN_SORT_MORSELS_PER_WORKER: usize = 8;
+
 impl ParallelPipeline {
     pub fn new(
-        source: Arc<MorselSource>,
+        source: impl Into<PipelineSource>,
         txn: Arc<Transaction>,
         steps: Vec<PipelineStep>,
         sink: PipelineSink,
     ) -> Self {
-        ParallelPipeline { source, txn, steps, sink, buffers: None, sort_budget: usize::MAX }
+        ParallelPipeline {
+            source: source.into(),
+            txn,
+            steps,
+            sink,
+            buffers: None,
+            sort_budget: usize::MAX,
+        }
     }
 
     /// Account sink state against a buffer manager (§4's hard memory
@@ -348,7 +441,7 @@ impl ParallelPipeline {
 
     /// Column types the per-worker chain feeds into the sink.
     pub fn chain_types(&self) -> Vec<LogicalType> {
-        let mut types = self.source.scan_options().output_types(self.source.table());
+        let mut types = self.source.base_types();
         for step in &self.steps {
             types = step.output_types(types);
         }
@@ -360,10 +453,48 @@ impl ParallelPipeline {
         sink_output_types(&self.sink, || self.chain_types())
     }
 
-    /// Execute on `threads` workers (clamped to the morsel count — there
-    /// is no point spawning a worker with nothing to claim).
+    /// Worker count for this pipeline: clamped to the morsel count (no
+    /// point spawning a worker with nothing to claim), and further capped
+    /// for sort sinks so a fleet never splits a modest scan into more runs
+    /// than the merge fan-in can absorb.
+    fn plan_threads(&self, threads: usize) -> usize {
+        let threads = match &self.source {
+            PipelineSource::Table(src) => threads.clamp(1, src.morsel_count().max(1)),
+            PipelineSource::Queue(_) => threads.max(1),
+        };
+        match (&self.sink, &self.source) {
+            (PipelineSink::Sort { .. }, PipelineSource::Table(src)) => {
+                threads.min((src.morsel_count() / MIN_SORT_MORSELS_PER_WORKER).max(1))
+            }
+            (PipelineSink::Sort { .. }, PipelineSource::Queue(queue)) => {
+                // Batches play the role of morsels; the planner declares
+                // how many the producers will push.
+                let cap = queue.expected_batches() / MIN_SORT_MORSELS_PER_WORKER;
+                threads.min(cap.max(1))
+            }
+            _ => threads,
+        }
+    }
+
+    /// Execute on (at most) `threads` workers — clamped to the source's
+    /// morsel count, and for sort sinks capped so each worker contributes
+    /// several morsels per run (merge fan-in costs more than tiny runs
+    /// save).
     pub fn execute(&self, threads: usize) -> Result<PipelineOutput> {
-        let threads = threads.clamp(1, self.source.morsel_count().max(1));
+        let result = self.execute_inner(threads);
+        // A queue-sink pipeline participates in the edge's shutdown
+        // protocol whether it succeeded or died.
+        if let PipelineSink::Queue { queue, .. } = &self.sink {
+            match &result {
+                Ok(_) => queue.close_producer(),
+                Err(_) => queue.abort(),
+            }
+        }
+        result
+    }
+
+    fn execute_inner(&self, threads: usize) -> Result<PipelineOutput> {
+        let threads = self.plan_threads(threads);
         let ctx = self.worker_ctx(threads);
         let scheduler = TaskScheduler::new(threads);
         let locals = scheduler.run(|_| self.run_worker(&ctx))?;
@@ -451,16 +582,32 @@ impl ParallelPipeline {
                 })
             }
             PipelineSink::JoinBuild { .. } => LocalState::JoinBuild(Vec::new(), self.reserve()?),
+            PipelineSink::Queue { .. } => LocalState::Queue(Vec::new()),
         };
         // Group cardinality observed on this worker's previous morsel,
         // used to pre-size the next morsel's table.
         let mut group_hint = 0usize;
-        while let Some(morsel) = self.source.next_morsel() {
-            let mut op: OperatorBox = Box::new(MorselScanOp::new(
-                Arc::clone(&self.source),
-                Arc::clone(&self.txn),
-                morsel,
-            ));
+        // Hoisted off the per-batch path (queue batches arrive thousands
+        // of times per query).
+        let base_types = self.source.base_types();
+        while let Some(work) = self.source.next_work() {
+            // The batch's reservation (charging its bytes while queued)
+            // lives until this work unit is fully consumed.
+            let mut _batch_reservation: Option<MemoryReservation> = None;
+            let (seq, mut op): (usize, OperatorBox) = match work {
+                WorkUnit::Morsel(morsel) => {
+                    let PipelineSource::Table(src) = &self.source else { unreachable!() };
+                    (
+                        morsel.seq,
+                        Box::new(MorselScanOp::new(Arc::clone(src), Arc::clone(&self.txn), morsel)),
+                    )
+                }
+                WorkUnit::Batch(batch) => {
+                    let QueueBatch { seq, chunks, reservation } = batch;
+                    _batch_reservation = reservation;
+                    (seq, Box::new(ValuesOp::new(base_types.clone(), chunks)))
+                }
+            };
             for step in &self.steps {
                 op = step.instantiate(op);
             }
@@ -478,20 +625,33 @@ impl ParallelPipeline {
                 if chunk.is_empty() {
                     continue;
                 }
-                self.consume_chunk(
-                    ctx,
-                    &mut local,
-                    agg_partial.as_mut(),
-                    morsel.seq,
-                    intra,
-                    chunk,
-                )?;
+                self.consume_chunk(ctx, &mut local, agg_partial.as_mut(), seq, intra, chunk)?;
                 intra += 1;
             }
-            if let (Some(partial), LocalState::Agg(parts, reservation)) = (agg_partial, &mut local)
+            if let (PipelineSink::Queue { queue, arm }, LocalState::Queue(pending)) =
+                (&self.sink, &mut local)
             {
-                if let AggPartial::Hash(table) = &partial {
+                // Flush this work unit's chunks as one batch, charged to
+                // the budget while it waits in the queue.
+                if !pending.is_empty() {
+                    let chunks = std::mem::take(pending);
+                    let reservation = match &self.buffers {
+                        Some(b) => queue
+                            .reserve_batch(b, chunks.iter().map(DataChunk::size_bytes).sum())?,
+                        None => None,
+                    };
+                    queue.push(QueueBatch { seq: compose_seq(*arm, seq), chunks, reservation })?;
+                }
+            }
+            if let (Some(mut partial), LocalState::Agg(parts, reservation)) =
+                (agg_partial, &mut local)
+            {
+                if let AggPartial::Hash(table) = &mut partial {
                     group_hint = table.len();
+                    // Parked partials keep only groups + states; the
+                    // chunk-sized scratch would otherwise accumulate once
+                    // per morsel.
+                    table.seal();
                 }
                 if let Some(res) = reservation {
                     // Charge the real partial footprint: key arena +
@@ -505,7 +665,7 @@ impl ParallelPipeline {
                     };
                     res.grow(bytes)?;
                 }
-                parts.push((morsel.seq, partial));
+                parts.push((seq, partial));
             }
         }
         if let LocalState::Sort(state) = &mut local {
@@ -574,6 +734,10 @@ impl ParallelPipeline {
                     res.grow(partial.footprint_bytes())?;
                 }
                 parts.push((seq, intra, partial));
+            }
+            (PipelineSink::Queue { .. }, LocalState::Queue(pending)) => {
+                // Batched per work unit; pushed at the end of the unit.
+                pending.push(chunk);
             }
             _ => unreachable!("local state matches sink"),
         }
@@ -692,6 +856,11 @@ impl ParallelPipeline {
                     reservations,
                 })
             }
+            PipelineSink::Queue { .. } => {
+                // Everything streamed through the queue already; the node
+                // itself has no output.
+                Ok(PipelineOutput::Chunks { chunks: Vec::new(), reservations: Vec::new() })
+            }
         }
     }
 }
@@ -707,6 +876,8 @@ pub fn sink_output_types(
         PipelineSink::Collect | PipelineSink::Sort { .. } | PipelineSink::JoinBuild { .. } => {
             chain_types()
         }
+        // A queue sink emits into its queue, not out of the pipeline.
+        PipelineSink::Queue { .. } => Vec::new(),
         PipelineSink::SimpleAggregate(aggs) => aggs.iter().map(AggExpr::result_type).collect(),
         PipelineSink::HashAggregate { groups, aggs } => {
             let mut t: Vec<LogicalType> =
@@ -739,11 +910,41 @@ fn cmp_value_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     a.len().cmp(&b.len())
 }
 
+/// One run's head row inside the merge heap. Ordered as a *min*-heap
+/// entry: `BinaryHeap` pops its maximum, so the comparison is reversed
+/// here — the heap's top is the smallest (key, scan position) pair.
+struct HeapEntry<'a> {
+    row: SortRow,
+    run: usize,
+    keys: &'a [SortKey],
+}
+
+impl PartialEq for HeapEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry<'_> {}
+impl PartialOrd for HeapEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: smallest sorts to the heap's top.
+        compare_keys(&other.row.0, &self.row.0, self.keys).then(other.row.1.cmp(&self.row.1))
+    }
+}
+
 /// Streaming k-way merge of sorted runs (in-memory and spilled) into
 /// output chunks, skipping `skip` rows and emitting at most `take`. Ties
 /// fall back to scan position, reproducing a stable serial sort — the
 /// comparator is total, so the merged order does not depend on how rows
-/// were distributed across runs.
+/// were distributed across runs. Run heads sit in a binary heap, so each
+/// emitted row costs `O(log k)` comparisons instead of a scan over every
+/// head — the difference between usable and pathological once spilling
+/// yields dozens of runs.
 fn merge_sort_runs(
     mut runs: Vec<SortRun>,
     keys: &[SortKey],
@@ -751,43 +952,48 @@ fn merge_sort_runs(
     take: usize,
     skip: usize,
 ) -> Result<Vec<DataChunk>> {
-    let mut heads: Vec<Option<SortRow>> = Vec::with_capacity(runs.len());
-    for run in &mut runs {
-        heads.push(run.next()?);
+    if take == 0 {
+        return Ok(Vec::new());
     }
     let mut chunks = Vec::new();
     let mut out = DataChunk::new(out_types);
     let mut skipped = 0usize;
     let mut emitted = 0usize;
-    while emitted < take {
-        let mut best: Option<usize> = None;
-        for (i, head) in heads.iter().enumerate() {
-            let Some(candidate) = head else { continue };
-            best = match best {
-                None => Some(i),
-                Some(j) => {
-                    let current = heads[j].as_ref().expect("best is populated");
-                    let ord = compare_keys(&candidate.0, &current.0, keys)
-                        .then(candidate.1.cmp(&current.1));
-                    if ord == std::cmp::Ordering::Less {
-                        Some(i)
-                    } else {
-                        Some(j)
-                    }
-                }
-            };
-        }
-        let Some(i) = best else { break };
-        let row = heads[i].take().expect("best is populated");
-        heads[i] = runs[i].next()?;
+    let mut emit = |row: SortRow, out: &mut DataChunk| -> Result<bool> {
         if skipped < skip {
             skipped += 1;
-            continue;
+            return Ok(emitted < take);
         }
         out.append_row(&row.2)?;
         emitted += 1;
         if out.len() >= VECTOR_SIZE {
-            chunks.push(std::mem::replace(&mut out, DataChunk::new(out_types)));
+            chunks.push(std::mem::replace(out, DataChunk::new(out_types)));
+        }
+        Ok(emitted < take)
+    };
+    if runs.len() == 1 {
+        // A single run (one worker, nothing spilled) is already in order:
+        // stream it out without per-row comparisons.
+        while let Some(row) = runs[0].next()? {
+            if !emit(row, &mut out)? {
+                break;
+            }
+        }
+    } else {
+        let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
+        for (i, run) in runs.iter_mut().enumerate() {
+            if let Some(row) = run.next()? {
+                heap.push(HeapEntry { row, run: i, keys });
+            }
+        }
+        while let Some(HeapEntry { row, run, .. }) = heap.pop() {
+            let more = emit(row, &mut out)?;
+            if let Some(next) = runs[run].next()? {
+                heap.push(HeapEntry { row: next, run, keys });
+            }
+            if !more {
+                break;
+            }
         }
     }
     if !out.is_empty() {

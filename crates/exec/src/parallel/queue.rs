@@ -1,0 +1,348 @@
+//! Bounded chunk queues: streaming edges between pipelines of a DAG.
+//!
+//! A [`ChunkQueue`] connects *producer* pipelines (sink
+//! [`PipelineSink::Queue`](crate::parallel::pipeline::PipelineSink)) to one
+//! *consumer* pipeline (source
+//! [`PipelineSource::Queue`](crate::parallel::pipeline::PipelineSource))
+//! that runs **concurrently** with them under the graph's readiness
+//! scheduler. Producer workers push one [`QueueBatch`] per morsel — the
+//! chunks that morsel produced, tagged with a deterministic sequence
+//! number — and consumer workers pop batches as their unit of work, so a
+//! sink above a UNION ALL (aggregate, sort, DISTINCT) consumes prior
+//! pipelines morsel-parallel instead of through a serial concatenation
+//! wrapper.
+//!
+//! **Determinism.** Arrival order at the queue is racy, but every batch
+//! carries a sequence composed from its producer's arm index and morsel
+//! number ([`compose_seq`]). Consumer-side partial states are tagged with
+//! that sequence and merged in sequence order, exactly like table-scan
+//! morsels — so results stay bit-identical at every worker count.
+//!
+//! **Backpressure & §4 accounting.** The queue is bounded by buffered
+//! *bytes*: producers block once `max_bytes` of chunks sit unconsumed
+//! (always admitting at least one batch so a single oversized batch cannot
+//! deadlock). Each batch travels with an optional
+//! [`MemoryReservation`] charging its bytes to the buffer manager; the
+//! reservation drops when the consumer finishes the batch, so concurrent
+//! stages stay inside the memory budget.
+//!
+//! **Shutdown.** Producers [`close_producer`](ChunkQueue::close_producer)
+//! when their pipeline completes; `pop` returns `None` once every producer
+//! closed and the buffer drained. Any failing pipeline (either side)
+//! [`abort`](ChunkQueue::abort)s the queue: blocked producers fail fast
+//! with an error, blocked consumers wake and wind down, and the graph
+//! surfaces the root cause.
+
+use eider_storage::buffer::{BufferManager, MemoryReservation};
+use eider_vector::{DataChunk, EiderError, LogicalType, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+
+/// Error text of the secondary failure a pipeline reports when its queue
+/// was aborted from the outside. One definition, shared with the graph
+/// scheduler's root-cause error selection ([`super::graph`]) so the
+/// classification cannot drift from the message.
+pub(crate) const QUEUE_ABORT_MSG: &str = "pipeline chunk queue aborted";
+
+/// Bits of a composed sequence reserved for the in-arm morsel number.
+const ARM_SHIFT: u32 = 48;
+
+/// Compose a deterministic batch sequence from a producer arm index and a
+/// morsel sequence: arm-major, morsel-minor. Sorting consumer partials by
+/// the composed value reproduces "arm 0's rows, then arm 1's" — the serial
+/// UNION ALL order — regardless of queue arrival order.
+pub fn compose_seq(arm: usize, morsel_seq: usize) -> usize {
+    debug_assert!(arm < (1 << (usize::BITS - ARM_SHIFT - 1)), "arm index out of range");
+    debug_assert!(morsel_seq < (1 << ARM_SHIFT), "morsel sequence out of range");
+    (arm << ARM_SHIFT) | morsel_seq
+}
+
+/// One unit of queued work: the chunks one producer morsel emitted.
+pub struct QueueBatch {
+    /// Deterministic merge position (see [`compose_seq`]).
+    pub seq: usize,
+    pub chunks: Vec<DataChunk>,
+    /// Charges the batch's bytes to the buffer manager while it sits in
+    /// the queue and until the consumer finishes it.
+    pub reservation: Option<MemoryReservation>,
+}
+
+impl QueueBatch {
+    fn bytes(&self) -> usize {
+        self.chunks.iter().map(DataChunk::size_bytes).sum()
+    }
+}
+
+struct QueueState {
+    batches: VecDeque<QueueBatch>,
+    buffered_bytes: usize,
+    open_producers: usize,
+    aborted: bool,
+    /// Bytes of batches admitted *without* a reservation under §4
+    /// pressure (see [`ChunkQueue::reserve_batch`]); at most one such
+    /// batch is in flight, so the untracked footprint stays bounded.
+    untracked_bytes: usize,
+}
+
+/// A bounded multi-producer multi-consumer queue of chunk batches.
+pub struct ChunkQueue {
+    types: Vec<LogicalType>,
+    max_bytes: usize,
+    /// Upper bound on batches the producers will ever push (the planner
+    /// knows their morsel counts); consumers size their fan-out from it.
+    expected_batches: usize,
+    state: Mutex<QueueState>,
+    /// Producers wait here for buffered bytes to drop below the bound.
+    space: Condvar,
+    /// Consumers wait here for batches (or for the last producer to close).
+    items: Condvar,
+    /// Total batches ever pushed (scheduler instrumentation: proves the
+    /// edge streamed rather than materialized).
+    pushed: AtomicUsize,
+}
+
+impl std::fmt::Debug for ChunkQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkQueue")
+            .field("types", &self.types)
+            .field("max_bytes", &self.max_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChunkQueue {
+    /// A queue carrying `types`-shaped chunks from `producers` pipelines.
+    /// `max_bytes` bounds the buffered backlog (floored at one vector's
+    /// worth so tiny budgets cannot stall).
+    pub fn new(types: Vec<LogicalType>, producers: usize, max_bytes: usize) -> Self {
+        ChunkQueue {
+            types,
+            max_bytes: max_bytes.max(1 << 16),
+            expected_batches: usize::MAX,
+            state: Mutex::new(QueueState {
+                batches: VecDeque::new(),
+                buffered_bytes: 0,
+                open_producers: producers,
+                aborted: false,
+                untracked_bytes: 0,
+            }),
+            space: Condvar::new(),
+            items: Condvar::new(),
+            pushed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Declare how many batches the producers will push at most (their
+    /// total morsel count). Lets a sort consumer cap its worker fan-out
+    /// the same way table-sourced sorts do — more workers mean more runs
+    /// for the merge to absorb.
+    pub fn with_expected_batches(mut self, batches: usize) -> Self {
+        self.expected_batches = batches.max(1);
+        self
+    }
+
+    /// Upper bound on batches this queue will carry (`usize::MAX` when
+    /// the producers never declared one).
+    pub fn expected_batches(&self) -> usize {
+        self.expected_batches
+    }
+
+    /// Column types of every chunk flowing through the queue.
+    pub fn types(&self) -> &[LogicalType] {
+        &self.types
+    }
+
+    /// Batches pushed so far (instrumentation).
+    pub fn pushed_batches(&self) -> usize {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Reserve budget for a batch about to be pushed, cooperating with the
+    /// queue under §4 memory pressure: when the ledger cannot grant the
+    /// bytes, wait for the consumer to drain the backlog (every pop
+    /// releases an earlier batch's reservation) and retry. Only when the
+    /// backlog is empty *and* no other unaccounted batch is in flight may
+    /// the push proceed unaccounted (`None`) — the claim is taken under
+    /// the queue lock, so concurrent producers cannot stack untracked
+    /// batches; the worst-case untracked footprint is one batch,
+    /// mirroring the serial operators' small unaccounted buffers.
+    pub fn reserve_batch(
+        &self,
+        buffers: &Arc<BufferManager>,
+        bytes: usize,
+    ) -> Result<Option<MemoryReservation>> {
+        loop {
+            if let Ok(r) = buffers.reserve(bytes) {
+                return Ok(Some(r));
+            }
+            let mut state = self.state.lock().expect("chunk queue poisoned");
+            if state.aborted {
+                return Err(EiderError::Internal(QUEUE_ABORT_MSG.into()));
+            }
+            if state.batches.is_empty() && state.untracked_bytes == 0 {
+                // Claimed under the lock: the matching release happens
+                // when the unaccounted batch is popped.
+                state.untracked_bytes = bytes.max(1);
+                return Ok(None);
+            }
+            // A pop will free space (ledger bytes or the untracked slot)
+            // shortly; park until it does.
+            drop(self.space.wait(state).expect("chunk queue poisoned"));
+        }
+    }
+
+    /// Block until the queue has space, then enqueue `batch`. Fails once
+    /// the queue is aborted so a producer stops scanning promptly after
+    /// its consumer (or a sibling) died.
+    pub fn push(&self, batch: QueueBatch) -> Result<()> {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        loop {
+            if state.aborted {
+                return Err(EiderError::Internal(QUEUE_ABORT_MSG.into()));
+            }
+            // Admit when under the bound, or when empty: a single batch
+            // larger than the whole bound must still make progress.
+            if state.buffered_bytes < self.max_bytes || state.batches.is_empty() {
+                break;
+            }
+            state = self.space.wait(state).expect("chunk queue poisoned");
+        }
+        state.buffered_bytes += batch.bytes();
+        state.batches.push_back(batch);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.items.notify_one();
+        Ok(())
+    }
+
+    /// Block until a batch is available and dequeue it. Returns `None`
+    /// once every producer has closed and the backlog drained, or as soon
+    /// as the queue is aborted (the consumer's output is discarded on the
+    /// error path, so winding down early is safe).
+    pub fn pop(&self) -> Option<QueueBatch> {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        loop {
+            if state.aborted {
+                return None;
+            }
+            if let Some(batch) = state.batches.pop_front() {
+                state.buffered_bytes -= batch.bytes();
+                if batch.reservation.is_none() {
+                    // Release the unaccounted-batch slot claimed in
+                    // `reserve_batch` (no-op for unbuffered queues).
+                    state.untracked_bytes = 0;
+                }
+                // All waiters: byte-bound blockers in `push` and producers
+                // parked in `reserve_batch` both watch this condvar.
+                self.space.notify_all();
+                return Some(batch);
+            }
+            if state.open_producers == 0 {
+                return None;
+            }
+            state = self.items.wait(state).expect("chunk queue poisoned");
+        }
+    }
+
+    /// Mark one producer pipeline as complete; once all have closed,
+    /// consumers drain the backlog and see end-of-stream.
+    pub fn close_producer(&self) {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        state.open_producers = state.open_producers.saturating_sub(1);
+        if state.open_producers == 0 {
+            self.items.notify_all();
+        }
+    }
+
+    /// Fail the edge: wake every blocked producer (their next `push`
+    /// errors) and consumer (`pop` returns `None`). Idempotent.
+    pub fn abort(&self) {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        state.aborted = true;
+        state.batches.clear();
+        state.buffered_bytes = 0;
+        state.untracked_bytes = 0;
+        self.space.notify_all();
+        self.items.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eider_vector::Value;
+    use std::sync::Arc;
+
+    fn chunk(n: i32) -> DataChunk {
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Integer(i)]).collect();
+        DataChunk::from_rows(&[LogicalType::Integer], &rows).unwrap()
+    }
+
+    fn batch(seq: usize, n: i32) -> QueueBatch {
+        QueueBatch { seq, chunks: vec![chunk(n)], reservation: None }
+    }
+
+    #[test]
+    fn compose_seq_is_arm_major() {
+        assert!(compose_seq(0, 5) < compose_seq(1, 0));
+        assert!(compose_seq(1, 0) < compose_seq(1, 1));
+        assert!(compose_seq(1, usize::MAX >> 20) < compose_seq(2, 0));
+    }
+
+    #[test]
+    fn drains_in_fifo_order_then_ends_after_close() {
+        let q = ChunkQueue::new(vec![LogicalType::Integer], 1, usize::MAX);
+        q.push(batch(3, 4)).unwrap();
+        q.push(batch(1, 2)).unwrap();
+        q.close_producer();
+        assert_eq!(q.pop().unwrap().seq, 3);
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert!(q.pop().is_none());
+        assert_eq!(q.pushed_batches(), 2);
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_consumer_drains() {
+        // Bound small enough that the second push must wait for a pop.
+        let q = Arc::new(ChunkQueue::new(vec![LogicalType::Integer], 1, 1 << 16));
+        q.push(QueueBatch {
+            seq: 0,
+            chunks: (0..20).map(|_| chunk(2048)).collect(),
+            reservation: None,
+        })
+        .unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                q.push(batch(1, 8)).unwrap();
+                q.close_producer();
+            })
+        };
+        // The consumer side frees space; the producer finishes.
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert!(q.pop().is_none());
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn abort_wakes_producers_with_error_and_consumers_with_none() {
+        let q = Arc::new(ChunkQueue::new(vec![LogicalType::Integer], 2, usize::MAX));
+        q.push(batch(0, 4)).unwrap();
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // First pop gets the batch; the second blocks until abort.
+                let first = q.pop();
+                let second = q.pop();
+                (first.is_some(), second.is_none())
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.abort();
+        let (first, second) = popper.join().unwrap();
+        assert!(first && second);
+        assert!(q.push(batch(1, 4)).is_err(), "push after abort must fail");
+    }
+}

@@ -486,6 +486,14 @@ impl<T> KeyedTable<T> {
         &mut self.payloads
     }
 
+    /// Free the per-chunk encode/hash staging buffers. Call when the table
+    /// becomes a parked partial awaiting a merge: `merge_from` never
+    /// touches scratch, and the buffers otherwise dominate the footprint
+    /// of small tables (they are sized per input chunk, not per group).
+    pub fn release_scratch(&mut self) {
+        self.scratch = KeyScratch::default();
+    }
+
     /// Approximate heap footprint of keys, slots and scratch buffers
     /// (payload internals are the caller's to account).
     pub fn table_bytes(&self) -> usize {

@@ -231,7 +231,7 @@ mod tests {
         mem.write(1, 0);
         assert_eq!(mem.read(1), 1 << 3);
         mem.write(2, u64::MAX);
-        assert_eq!(mem.read(2), u64::MAX & !1);
+        assert_eq!(mem.read(2), !1);
         mem.write(0, 0xDEAD);
         assert_eq!(mem.read(0), 0xDEAD);
     }

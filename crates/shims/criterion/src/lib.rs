@@ -173,14 +173,17 @@ fn json_escape(s: &str) -> String {
 
 /// Write every finished benchmark of this process as JSON to the path in
 /// `EIDER_BENCH_JSON` (no-op without it). The file is a JSON array with
-/// one `{"name", "mean_ns", "min_ns"}` object per line; an existing file
-/// in the same format is merged *by name* — re-run benches replace their
-/// old entry, anything else (other bench binaries' results, recorded
-/// baselines like `baseline-pre-prN/...`) is preserved. CI's
+/// one `{"name", "mean_ns", "min_ns", "host_cpus"}` object per line; an
+/// existing file in the same format is merged *by name* — re-run benches
+/// replace their old entry, anything else (other bench binaries' results,
+/// recorded baselines like `baseline-pre-prN/...`) is preserved. CI's
 /// `ci.sh bench-smoke` leans on this to keep one cumulative summary.
-/// Called by `criterion_main!` after the last group.
+/// `host_cpus` records the runner's core count so numbers from multi-core
+/// machines are distinguishable from 1-core CI containers when comparing
+/// perf trajectories. Called by `criterion_main!` after the last group.
 pub fn write_env_json() {
     let Ok(path) = std::env::var("EIDER_BENCH_JSON") else { return };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let fresh: Vec<(String, String)> = ALL_RESULTS
         .lock()
         .expect("results sink")
@@ -189,10 +192,11 @@ pub fn write_env_json() {
             (
                 json_escape(name),
                 format!(
-                    "{{\"name\":\"{}\",\"mean_ns\":{},\"min_ns\":{}}}",
+                    "{{\"name\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"host_cpus\":{}}}",
                     json_escape(name),
                     mean.as_nanos(),
-                    min.as_nanos()
+                    min.as_nanos(),
+                    host_cpus
                 ),
             )
         })

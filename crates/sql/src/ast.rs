@@ -3,6 +3,9 @@
 use eider_vector::Value;
 
 /// A parsed SQL statement.
+/// Variant sizes span from a table name to a whole SELECT; statements are
+/// parsed one at a time, so boxing the big variants would only add hops.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Statement {
     Select(SelectStatement),
@@ -103,6 +106,9 @@ pub struct SelectStatement {
 }
 
 /// The set-operation structure of a SELECT.
+/// `Query` carries a full block inline; union arms are already boxed, and
+/// a query holds only a handful of these at once.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum SelectBody {
     Query(QueryBlock),

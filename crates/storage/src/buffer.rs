@@ -118,7 +118,7 @@ impl BufferManager {
     /// refused — the quarantine policy §3 sketches.
     pub fn allocate_tested(self: &Arc<Self>, bytes: usize) -> Result<TestedBuffer> {
         let reservation = self.reserve(bytes)?;
-        let words = (bytes + 7) / 8;
+        let words = bytes.div_ceil(8);
         let mut data = vec![0u64; words];
         if self.memtest_allocations {
             let kind = match self.health.mode() {

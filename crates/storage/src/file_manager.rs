@@ -261,11 +261,10 @@ impl BlockManager for SingleFileBlockManager {
             file.seek(SeekFrom::Start((RESERVED_SLOTS + id) * BLOCK_SIZE as u64))?;
             file.read_exact(&mut buf)?;
         }
-        decode_block(&buf, id).map_err(|e| {
+        decode_block(&buf, id).inspect_err(|_e| {
             // A checksum mismatch on read is exactly the silent disk error
             // §3 warns about: record it so checking escalates.
             self.health.record_fault(FaultCategory::DiskCorruption);
-            e
         })
     }
 
@@ -339,9 +338,8 @@ impl BlockManager for InMemoryBlockManager {
         let buf = blocks
             .get(&id)
             .ok_or_else(|| EiderError::Storage(format!("block {id} does not exist")))?;
-        decode_block(buf, id).map_err(|e| {
+        decode_block(buf, id).inspect_err(|_e| {
             self.health.record_fault(FaultCategory::DiskCorruption);
-            e
         })
     }
 

@@ -276,7 +276,7 @@ pub fn write_vector(w: &mut BinWriter, v: &Vector) {
     let has_nulls = !v.validity().all_valid();
     w.write_bool(has_nulls);
     if has_nulls {
-        let mut bitmap = vec![0u8; (len + 7) / 8];
+        let mut bitmap = vec![0u8; len.div_ceil(8)];
         for row in 0..len {
             if v.validity().is_valid(row) {
                 bitmap[row / 8] |= 1 << (row % 8);
@@ -306,7 +306,7 @@ pub fn read_vector(r: &mut BinReader) -> Result<Vector> {
     let mut validity = ValidityMask::new_all_valid(0);
     if has_nulls {
         let bitmap = r.read_bytes()?;
-        if bitmap.len() != (len + 7) / 8 {
+        if bitmap.len() != len.div_ceil(8) {
             return Err(EiderError::Corruption("null bitmap size mismatch".into()));
         }
         for row in 0..len {

@@ -251,10 +251,10 @@ impl DataTable {
             for (c, col) in g.columns.iter_mut().enumerate() {
                 col.append_from(chunk.column(c), offset, count)?;
             }
-            g.insert_ids.extend(std::iter::repeat(txn.id()).take(count));
-            g.delete_ids.extend(std::iter::repeat(NOT_DELETED).take(count));
+            g.insert_ids.extend(std::iter::repeat_n(txn.id(), count));
+            g.delete_ids.extend(std::iter::repeat_n(NOT_DELETED, count));
             if let Some(stamps) = g.update_stamps.as_mut() {
-                stamps.extend(std::iter::repeat(0u64).take(count));
+                stamps.extend(std::iter::repeat_n(0u64, count));
             }
             for c in 0..self.types.len() {
                 for row in offset..offset + count {

@@ -88,7 +88,7 @@ pub fn parse_timestamp(s: &str) -> Result<i64> {
         EiderError::TypeMismatch(format!("'{s}' is not a valid TIMESTAMP (YYYY-MM-DD HH:MM:SS)"))
     };
     let s = s.trim();
-    let (date_part, time_part) = match s.find(|c| c == ' ' || c == 'T') {
+    let (date_part, time_part) = match s.find([' ', 'T']) {
         Some(idx) => (&s[..idx], Some(&s[idx + 1..])),
         None => (s, None),
     };
@@ -109,7 +109,7 @@ pub fn parse_timestamp(s: &str) -> Result<i64> {
         if h > 23 || mi > 59 || sec > 59 {
             return Err(err());
         }
-        micros += ((h * 3600 + mi * 60 + sec) * MICROS_PER_SEC) as i64;
+        micros += (h * 3600 + mi * 60 + sec) * MICROS_PER_SEC;
         if let Some(frac) = frac {
             if frac.is_empty() || frac.len() > 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
                 return Err(err());

@@ -33,7 +33,7 @@ impl ValidityMask {
 
     fn materialize(&mut self) {
         if self.bits.is_empty() {
-            self.bits = vec![u64::MAX; (self.len + 63) / 64];
+            self.bits = vec![u64::MAX; self.len.div_ceil(64)];
             self.mask_tail();
         }
     }
@@ -82,7 +82,7 @@ impl ValidityMask {
         let row = self.len;
         self.len += 1;
         if !self.bits.is_empty() {
-            if row % 64 == 0 {
+            if row.is_multiple_of(64) {
                 self.bits.push(0);
             }
             if valid {
@@ -153,7 +153,7 @@ impl ValidityMask {
         assert!(new_len <= self.len);
         self.len = new_len;
         if !self.bits.is_empty() {
-            self.bits.truncate((new_len + 63) / 64);
+            self.bits.truncate(new_len.div_ceil(64));
             self.mask_tail();
         }
     }

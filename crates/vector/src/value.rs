@@ -370,7 +370,7 @@ mod tests {
 
     #[test]
     fn total_order_puts_nulls_last() {
-        let mut vals = vec![Value::Integer(2), Value::Null, Value::Integer(1)];
+        let mut vals = [Value::Integer(2), Value::Null, Value::Integer(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Integer(1));
         assert_eq!(vals[1], Value::Integer(2));

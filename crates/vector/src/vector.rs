@@ -434,7 +434,7 @@ impl Vector {
                     + v.iter().map(|s| s.capacity()).sum::<usize>()
             }
         };
-        data + (self.len() + 7) / 8
+        data + self.len().div_ceil(8)
     }
 
     /// Min and max over valid rows, or `None` if all rows are NULL. This

@@ -26,6 +26,16 @@ const WRANGLING_QUERIES: &[&str] = &[
     "SELECT DISTINCT d % 10 FROM t WHERE d <> -999",
     "SELECT id FROM t WHERE id < 3000 UNION ALL SELECT id FROM t WHERE id >= 57000",
     "SELECT count(*) FROM (SELECT id FROM t WHERE id < 100 UNION ALL SELECT id FROM t WHERE id >= 59900) u",
+    // Sinks directly above a UNION ALL: these stream through the chunk
+    // queue (grouped aggregate, DISTINCT, sort, Top-N above the union).
+    "SELECT d % 10, count(*), sum(id) FROM (SELECT id, d FROM t WHERE id < 20000 \
+     UNION ALL SELECT id, d FROM t WHERE id >= 40000) u GROUP BY d % 10",
+    "SELECT DISTINCT d % 10 FROM (SELECT id, d FROM t WHERE id < 20000 \
+     UNION ALL SELECT id, d FROM t WHERE id >= 40000) u",
+    "SELECT id FROM (SELECT id FROM t WHERE id < 2000 \
+     UNION ALL SELECT id FROM t WHERE id >= 58000) u ORDER BY id DESC",
+    "SELECT id FROM (SELECT id FROM t WHERE id < 2000 \
+     UNION ALL SELECT id FROM t WHERE id >= 58000) u ORDER BY id DESC LIMIT 30 OFFSET 3",
 ];
 
 fn rows_for(db: &std::sync::Arc<eider::Database>, sql: &str, threads: usize) -> Vec<Vec<Value>> {
@@ -212,6 +222,41 @@ fn topn_and_distinct_survive_tight_memory_limits() {
     assert_eq!(conn.query(topn).unwrap().to_rows(), topn_rows);
     assert_eq!(sorted(conn.query(distinct).unwrap().to_rows()), distinct_rows);
     conn.execute("PRAGMA memory_limit = 1073741824").unwrap();
+}
+
+#[test]
+fn union_under_aggregate_is_identical_across_thread_counts_and_memory_limits() {
+    // The acceptance shape: a UNION ALL of two table scans under an
+    // aggregate. Both arms stream through the bounded chunk queue into
+    // the concurrently-running aggregate; integer aggregates make the
+    // output exact, so every thread count must match the serial run
+    // bit for bit (the parallel aggregate emits key-sorted, hence the
+    // sort on both sides).
+    let db = wrangling_db(ROWS, 0.25, 31).unwrap();
+    let grouped = "SELECT d % 16, count(*), sum(id), min(id), max(id) FROM \
+                   (SELECT id, d FROM t WHERE id < 25000 \
+                    UNION ALL SELECT id, d FROM t WHERE id >= 35000) u \
+                   GROUP BY d % 16";
+    let simple = "SELECT count(*), sum(id) FROM \
+                  (SELECT id, d FROM t WHERE id < 25000 \
+                   UNION ALL SELECT id, d FROM t WHERE id >= 35000) u";
+    let grouped_serial = sorted(rows_for(&db, grouped, 1));
+    let simple_serial = rows_for(&db, simple, 1);
+    assert_eq!(grouped_serial.len(), 17, "16 buckets plus the NULL-d bucket");
+    for threads in [2, 4, 8] {
+        assert_eq!(sorted(rows_for(&db, grouped, threads)), grouped_serial, "threads={threads}");
+        assert_eq!(rows_for(&db, simple, threads), simple_serial, "threads={threads}");
+    }
+    // A 1 MB limit: queue batches, their reservations and the aggregate
+    // tables all fit by spilling nothing and bounding the queue backlog;
+    // results stay identical and everything is released afterwards.
+    let conn = db.connect();
+    conn.execute("PRAGMA memory_limit = 1000000").unwrap();
+    for threads in [1, 2, 4, 8] {
+        assert_eq!(sorted(rows_for(&db, grouped, threads)), grouped_serial, "threads={threads}");
+    }
+    conn.execute("PRAGMA memory_limit = 1073741824").unwrap();
+    assert_eq!(db.buffers().used_memory(), 0, "queue/aggregate reservations all released");
 }
 
 #[test]
