@@ -61,6 +61,9 @@ EIDER_THREADS=8 cargo test -q --test parallel_execution --test sql_integration
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test --doc --workspace (doc examples execute, incl. docs/EMBEDDING.md)"
+cargo test --doc --workspace -q
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

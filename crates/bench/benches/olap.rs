@@ -90,6 +90,27 @@ fn olap(c: &mut Criterion) {
     g.bench_function("zone_map_selective_scan", |b| {
         b.iter(|| conn.query("SELECT count(*) FROM t WHERE id > 190000").unwrap())
     });
+
+    // The streaming result path: a large SELECT consumed through the
+    // cursor chunk by chunk (the embedding API's bounded-memory handoff).
+    // Peak accounted memory during the stream is recorded as a summary
+    // metric so the §4 footprint of the path is archived next to its
+    // timing.
+    db.buffers().reset_peak();
+    g.bench_function("streaming_result", |b| {
+        b.iter(|| {
+            let mut cursor = conn.query_stream("SELECT id, d, v FROM t WHERE d <> -999").unwrap();
+            let mut rows = 0usize;
+            while let Some(chunk) = cursor.next_chunk().unwrap() {
+                rows += chunk.len();
+            }
+            criterion::black_box(rows)
+        })
+    });
+    criterion::record_metric(
+        "metric/streaming_result_peak_accounted_bytes",
+        db.buffers().peak_memory() as u64,
+    );
     g.finish();
 }
 

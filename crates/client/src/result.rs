@@ -21,6 +21,16 @@ impl MaterializedResult {
         MaterializedResult { names, types, chunks: chunks.into_iter().map(Arc::new).collect() }
     }
 
+    /// Assemble from already-shared chunks (the streaming cursor's
+    /// `materialize` path hands over the `Arc`s it pulled — no copy).
+    pub fn from_shared(
+        names: Vec<String>,
+        types: Vec<LogicalType>,
+        chunks: Vec<Arc<DataChunk>>,
+    ) -> Self {
+        MaterializedResult { names, types, chunks }
+    }
+
     pub fn column_names(&self) -> &[String] {
         &self.names
     }

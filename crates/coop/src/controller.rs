@@ -15,6 +15,41 @@
 use crate::compression::CompressionLevel;
 use crate::monitor::ResourceUsage;
 
+/// Memory-axis cooperation against a *real* host (§4): shrink the
+/// configured DBMS memory limit while the rest of the machine is under
+/// memory pressure, never below a 1/20 floor of the configured limit (the
+/// same floor ratio [`ControllerConfig::for_budget`] uses for the
+/// simulated controller).
+///
+/// `host_total` and `host_other_used` come from the `/proc` probe
+/// (`HostResourceProbe::sample_host_memory`): total machine RAM and the
+/// bytes everything *except* this process currently uses. The effective
+/// limit is the configured one capped by what the machine actually has
+/// left — an embedded DBMS takes the memory the host application is not
+/// using, it does not hold a budget the machine cannot back.
+///
+/// ```
+/// use eider_coop::controller::effective_memory_limit;
+/// // Plenty free: the configured limit stands.
+/// assert_eq!(effective_memory_limit(1 << 30, 16 << 30, 4 << 30), 1 << 30);
+/// // The host is squeezed: only what is left, down to the floor.
+/// assert_eq!(effective_memory_limit(1 << 30, 16 << 30, (16u64 << 30) as usize - (1 << 28)),
+///            1 << 28);
+/// assert_eq!(effective_memory_limit(1 << 30, 16 << 30, 16 << 30), (1 << 30) / 20);
+/// ```
+pub fn effective_memory_limit(
+    configured: usize,
+    host_total: usize,
+    host_other_used: usize,
+) -> usize {
+    if host_total == 0 {
+        return configured; // no measurement: the configured limit stands
+    }
+    let free_for_dbms = host_total.saturating_sub(host_other_used);
+    let floor = (configured / 20).max(1);
+    configured.min(free_for_dbms).max(floor)
+}
+
 /// Thresholds as fractions of the total memory budget.
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {
@@ -119,6 +154,24 @@ impl AdaptiveController {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn effective_limit_tracks_host_pressure() {
+        let gib = 1usize << 30;
+        // Unconstrained host: configured limit untouched.
+        assert_eq!(effective_memory_limit(gib, 16 * gib, 2 * gib), gib);
+        // Exactly enough left: still the full limit.
+        assert_eq!(effective_memory_limit(gib, 16 * gib, 15 * gib), gib);
+        // Less left than configured: the limit shrinks to what exists.
+        assert_eq!(effective_memory_limit(gib, 16 * gib, 15 * gib + gib / 2), gib / 2);
+        // Host fully committed (or over-committed): the 1/20 floor holds.
+        assert_eq!(effective_memory_limit(gib, 16 * gib, 16 * gib), gib / 20);
+        assert_eq!(effective_memory_limit(gib, 16 * gib, 20 * gib), gib / 20);
+        // No measurement: pass through.
+        assert_eq!(effective_memory_limit(gib, 0, 123), gib);
+        // Tiny configured limits keep a non-zero floor.
+        assert_eq!(effective_memory_limit(10, 100, 100), 1);
+    }
 
     fn usage(frac: f64, total: usize) -> ResourceUsage {
         ResourceUsage { app_memory_bytes: (total as f64 * frac) as usize, app_cpu: 0.0 }

@@ -123,6 +123,15 @@ impl HostResourceProbe {
     /// Bytes of RAM in use by everything except this process. `None` when
     /// `/proc/meminfo` is unavailable.
     pub fn sample_other_memory(&self) -> Option<usize> {
+        self.sample_host_memory().map(|m| m.other_used_bytes)
+    }
+
+    /// Full memory snapshot: machine total plus the bytes everything
+    /// *except* this process uses. Feeds
+    /// [`effective_memory_limit`](crate::controller::effective_memory_limit)
+    /// — the memory-side half of the §4 loop. `None` when `/proc/meminfo`
+    /// is unavailable.
+    pub fn sample_host_memory(&self) -> Option<HostMemory> {
         let meminfo = std::fs::read_to_string("/proc/meminfo").ok()?;
         let total = parse_meminfo_kb(&meminfo, "MemTotal:")? * 1024;
         let available = parse_meminfo_kb(&meminfo, "MemAvailable:")? * 1024;
@@ -130,8 +139,21 @@ impl HostResourceProbe {
             .ok()
             .and_then(|s| s.split_whitespace().nth(1)?.parse::<u64>().ok())
             .map_or(0, |pages| pages * 4096);
-        Some(total.saturating_sub(available).saturating_sub(own) as usize)
+        Some(HostMemory {
+            total_bytes: total as usize,
+            other_used_bytes: total.saturating_sub(available).saturating_sub(own) as usize,
+        })
     }
+}
+
+/// One `/proc/meminfo` snapshot, with this process's own resident set
+/// subtracted out of the "in use" figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostMemory {
+    /// Machine RAM (MemTotal).
+    pub total_bytes: usize,
+    /// Bytes in use by everything except this process.
+    pub other_used_bytes: usize,
 }
 
 impl ResourceMonitor for HostResourceProbe {

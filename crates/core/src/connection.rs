@@ -1,5 +1,13 @@
 //! `Connection`: the statement execution surface of the embedded database.
+//!
+//! Two result paths, one execution engine underneath:
+//! [`Connection::query_stream`] opens a [`ResultCursor`] that pulls
+//! chunks incrementally (the embedding API's bounded-memory handoff —
+//! see [`crate::cursor`]); [`Connection::query`] is the same stream
+//! drained into a [`MaterializedResult`] for callers that want the whole
+//! result at once.
 
+use crate::cursor::ResultCursor;
 use crate::database::Database;
 use crate::persist::{self, WalRecord};
 use crate::planner;
@@ -29,17 +37,99 @@ impl Connection {
         &self.db
     }
 
-    /// Run one or more `;`-separated statements; returns the last result.
+    /// Run one or more `;`-separated statements; returns the last result,
+    /// fully materialized.
+    ///
+    /// The execution underneath streams: this is
+    /// [`query_stream`](Connection::query_stream) followed by
+    /// [`ResultCursor::materialize`], kept for the many call sites that
+    /// want the whole result at once. Bounded-memory consumers should use
+    /// `query_stream` directly.
+    ///
+    /// ```
+    /// use eider_core::{Database, Value};
+    /// let db = Database::in_memory().unwrap();
+    /// let conn = db.connect();
+    /// conn.execute("CREATE TABLE t (x INTEGER)").unwrap();
+    /// conn.execute("INSERT INTO t VALUES (41), (1)").unwrap();
+    /// let result = conn.query("SELECT sum(x) FROM t").unwrap();
+    /// assert_eq!(result.scalar().unwrap(), Value::BigInt(42));
+    /// ```
     pub fn query(&self, sql: &str) -> Result<MaterializedResult> {
+        self.query_stream(sql)?.materialize()
+    }
+
+    /// Run one or more `;`-separated statements; the last one's result
+    /// comes back as a streaming [`ResultCursor`] that pulls chunks
+    /// incrementally from the executor (earlier statements execute to
+    /// completion first). Plain `SELECT`-shaped statements stream — serial
+    /// plans pull on demand, parallel plans run on a background scheduler
+    /// throttled by the cursor — while DDL/DML/PRAGMA statements execute
+    /// eagerly and replay their (small) result through the same cursor
+    /// type. See [`crate::cursor`] for the accounting and transaction
+    /// protocol.
+    ///
+    /// ```
+    /// use eider_core::Database;
+    /// let db = Database::in_memory().unwrap();
+    /// let conn = db.connect();
+    /// conn.execute("CREATE TABLE t (x INTEGER)").unwrap();
+    /// conn.execute("INSERT INTO t VALUES (7), (8), (9)").unwrap();
+    /// let mut rows = 0;
+    /// let mut cursor = conn.query_stream("SELECT x FROM t WHERE x > 7").unwrap();
+    /// while let Some(chunk) = cursor.next_chunk().unwrap() {
+    ///     rows += chunk.len();
+    /// }
+    /// assert_eq!(rows, 2);
+    /// ```
+    pub fn query_stream(&self, sql: &str) -> Result<ResultCursor> {
         let statements = eider_sql::parse_statements(sql)?;
-        if statements.is_empty() {
+        let Some((last, rest)) = statements.split_last() else {
             return Err(EiderError::Parse("empty statement".into()));
+        };
+        for stmt in rest {
+            self.run_statement(stmt)?;
         }
-        let mut last = None;
-        for stmt in &statements {
-            last = Some(self.run_statement(stmt)?);
+        let plan = Binder::new(Arc::clone(self.db.catalog())).bind_statement(last)?;
+        let plan = optimizer::optimize(plan)?;
+        self.stream_plan(plan)
+    }
+
+    /// Open a cursor over `plan`: plain queries keep their operator tree
+    /// (and transaction) alive inside the cursor; every other statement
+    /// executes through the materialized path and replays its result.
+    fn stream_plan(&self, plan: LogicalPlan) -> Result<ResultCursor> {
+        if !is_plain_query(&plan) {
+            let result = self.run_plan(plan)?;
+            return Ok(ResultCursor::from_materialized(Arc::clone(&self.db), result));
         }
-        Ok(last.expect("at least one statement"))
+        let names = plan.output_names();
+        let types = plan.output_types();
+        let (txn, auto) = {
+            let cur = self.current_txn.lock();
+            match &*cur {
+                Some(t) => (Arc::clone(t), false),
+                None => (Arc::new(self.db.txn_manager().begin()), true),
+            }
+        };
+        let lowered = match planner::lower_parallel(&self.db, &txn, &plan) {
+            Ok(Some(parallel)) => Ok(parallel),
+            Ok(None) => planner::lower(&self.db, &txn, &plan),
+            Err(e) => Err(e),
+        };
+        match lowered {
+            Ok(op) => {
+                Ok(ResultCursor::streaming(Arc::clone(&self.db), txn, auto, names, types, op))
+            }
+            Err(e) => {
+                if auto {
+                    if let Ok(txn) = Arc::try_unwrap(txn) {
+                        let _ = txn.rollback();
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Run statements, returning the affected-row count of the last one
@@ -152,16 +242,22 @@ impl Connection {
     }
 
     fn take_txn(&self) -> Result<Transaction> {
-        let arc = self
-            .current_txn
-            .lock()
+        let mut cur = self.current_txn.lock();
+        let arc = cur
             .take()
             .ok_or_else(|| EiderError::Transaction("no transaction is in progress".into()))?;
-        Arc::try_unwrap(arc).map_err(|_| {
-            EiderError::Transaction(
-                "cannot finish transaction: a query result stream is still open".into(),
-            )
-        })
+        match Arc::try_unwrap(arc) {
+            Ok(txn) => Ok(txn),
+            Err(arc) => {
+                // A cursor still reads under this transaction: refuse to
+                // finish it, but keep it open — the session can retry once
+                // the stream is closed.
+                *cur = Some(arc);
+                Err(EiderError::Transaction(
+                    "cannot finish transaction: a query result stream is still open".into(),
+                ))
+            }
+        }
     }
 
     fn execute_in_txn(
@@ -383,6 +479,10 @@ impl Connection {
                     let bytes = v.as_i64().ok_or_else(|| {
                         EiderError::Bind("PRAGMA memory_limit takes a byte count".into())
                     })?;
+                    // The configured base: host-probe memory feedback
+                    // shrinks the effective limit from (and recovers to)
+                    // this value.
+                    db.set_base_memory_limit(bytes as usize);
                     db.buffers().set_memory_limit(bytes as usize);
                     db.policy().set_memory_limit(bytes as usize);
                     reply(Value::BigInt(bytes))
@@ -441,6 +541,29 @@ impl Connection {
             other => Err(EiderError::Bind(format!("unknown PRAGMA \"{other}\""))),
         }
     }
+}
+
+/// Plan shapes the streaming path executes directly: the read-only query
+/// subset whose operators pull chunks on demand. Everything else (DDL,
+/// DML, transaction control, PRAGMAs, EXPLAIN, …) runs eagerly through
+/// the materialized statement path.
+fn is_plain_query(plan: &LogicalPlan) -> bool {
+    matches!(
+        plan,
+        LogicalPlan::TableScan { .. }
+            | LogicalPlan::Filter { .. }
+            | LogicalPlan::Projection { .. }
+            | LogicalPlan::Aggregate { .. }
+            | LogicalPlan::Sort { .. }
+            | LogicalPlan::Limit { .. }
+            | LogicalPlan::Distinct { .. }
+            | LogicalPlan::Join { .. }
+            | LogicalPlan::NestedLoopJoin { .. }
+            | LogicalPlan::CrossJoin { .. }
+            | LogicalPlan::Union { .. }
+            | LogicalPlan::Values { .. }
+            | LogicalPlan::SingleRow
+    )
 }
 
 fn empty_result() -> MaterializedResult {

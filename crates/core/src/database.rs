@@ -188,10 +188,15 @@ impl Database {
 
     /// Refresh the cooperation policy's view of the host (§4's loop): when
     /// the real probe is enabled, push the measured "everyone but us" CPU
-    /// load into [`ResourcePolicy::set_app_cpu_load`]. With the probe off
-    /// (the default), whatever a simulated-application driver
-    /// ([`eider_coop::monitor::SimulatedApplication`]) last pushed stays
-    /// authoritative.
+    /// load into [`ResourcePolicy::set_app_cpu_load`] **and** shrink the
+    /// effective memory limit while the rest of the machine is under
+    /// memory pressure
+    /// ([`effective_memory_limit`](eider_coop::controller::effective_memory_limit)
+    /// over the probe's `sample_host_memory`; the limit recovers — up to
+    /// the configured `PRAGMA memory_limit` — as the host frees memory).
+    /// With the probe off (the default), whatever a simulated-application
+    /// driver ([`eider_coop::monitor::SimulatedApplication`]) last pushed
+    /// stays authoritative.
     pub fn refresh_host_load(&self) {
         if !self.config.lock().host_probe {
             return;
@@ -200,7 +205,29 @@ impl Database {
             if let Some(cpu) = probe.sample_other_cpu() {
                 self.policy.set_app_cpu_load(cpu);
             }
+            if let Some(mem) = probe.sample_host_memory() {
+                self.apply_host_memory(mem.total_bytes, mem.other_used_bytes);
+            }
         }
+    }
+
+    /// Apply one host memory observation: the configured limit (the base
+    /// the user set, remembered in the config) capped by what the machine
+    /// has left, floored at 1/20 of the configured limit. Split out from
+    /// [`Database::refresh_host_load`] so tests can inject observations
+    /// without a live `/proc`.
+    pub fn apply_host_memory(&self, host_total: usize, host_other_used: usize) {
+        let configured = self.config.lock().memory_limit;
+        let effective =
+            eider_coop::controller::effective_memory_limit(configured, host_total, host_other_used);
+        self.buffers.set_memory_limit(effective);
+        self.policy.set_memory_limit(effective);
+    }
+
+    /// Record a new user-configured memory limit (`PRAGMA memory_limit`):
+    /// the base the host-probe feedback shrinks from.
+    pub(crate) fn set_base_memory_limit(&self, bytes: usize) {
+        self.config.lock().memory_limit = bytes;
     }
 
     pub fn is_persistent(&self) -> bool {
@@ -315,5 +342,30 @@ impl std::fmt::Debug for Database {
             .field("persistent", &self.is_persistent())
             .field("tables", &self.catalog.table_names())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_memory_observations_shrink_and_restore_the_effective_limit() {
+        let db = Database::in_memory().unwrap();
+        let configured = db.config().memory_limit;
+        // Squeezed host: the effective limit shrinks to what is left.
+        db.apply_host_memory(configured * 16, configured * 16 - configured / 2);
+        assert_eq!(db.buffers().memory_limit(), configured / 2);
+        assert_eq!(db.policy().memory_limit(), configured / 2);
+        // Fully committed host: the 1/20 floor holds.
+        db.apply_host_memory(configured * 16, configured * 16);
+        assert_eq!(db.buffers().memory_limit(), configured / 20);
+        // Pressure gone: the configured base recovers.
+        db.apply_host_memory(configured * 16, 0);
+        assert_eq!(db.buffers().memory_limit(), configured);
+        // A new PRAGMA-set base feeds later observations.
+        db.set_base_memory_limit(configured / 4);
+        db.apply_host_memory(configured * 16, 0);
+        assert_eq!(db.buffers().memory_limit(), configured / 4);
     }
 }

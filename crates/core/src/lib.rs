@@ -23,12 +23,14 @@
 
 pub mod config;
 pub mod connection;
+pub mod cursor;
 pub mod database;
 pub mod persist;
 pub mod planner;
 
 pub use config::DatabaseConfig;
 pub use connection::Connection;
+pub use cursor::ResultCursor;
 pub use database::Database;
 pub use eider_client::MaterializedResult;
 pub use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value};

@@ -243,13 +243,6 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
 /// thread dispatch (two minimum-size morsels).
 const PARALLEL_MIN_ROWS: usize = 2 * VECTOR_SIZE;
 
-/// Bound on `limit + offset` for the *parallel* Top-N sink. Each worker
-/// buffers up to twice this many rows unaccounted (mirroring the serial
-/// `TopNOp`, which is also unaccounted but exists once, not per worker),
-/// so the parallel fusion keeps a deliberately smaller cap; larger fused
-/// Top-Ns fall back to the serial operator.
-const PARALLEL_TOPN_MAX_ROWS: usize = 100_000;
-
 /// Slice a table into morsels, or `None` when it is too small for
 /// parallel workers to earn their dispatch cost. Morsel size depends only
 /// on the data (aiming for ~16 morsels on moderate tables, capped at
@@ -483,9 +476,13 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
             }
             LogicalPlan::Limit { input, limit, offset } => {
                 let LogicalPlan::Sort { input: sort_input, keys } = &**input else { return None };
-                if *limit == usize::MAX || limit.saturating_add(*offset) > PARALLEL_TOPN_MAX_ROWS {
+                if *limit == usize::MAX {
                     return None;
                 }
+                // No row-count cap: per-worker Top-N buffers charge their
+                // real footprint against the buffer manager and spill
+                // under pressure, so arbitrarily large `limit + offset`
+                // stays fused on the parallel path.
                 (
                     sort_input,
                     PipelineSink::Sort { keys: keys.clone(), limit: Some((*limit, *offset)) },
@@ -969,6 +966,26 @@ mod tests {
         assert!(
             routes_parallel(&db, "SELECT id, v FROM big ORDER BY v DESC, id"),
             "sort beyond the old estimate gate must stay on the parallel DAG"
+        );
+    }
+
+    /// The parallel Top-N fusion used to cap `limit + offset` at 100k rows
+    /// because per-worker buffers were unaccounted; they now charge the
+    /// buffer manager and spill under pressure, so big fused Top-Ns stay
+    /// on the DAG instead of falling back to the serial operator.
+    #[test]
+    fn big_topn_stays_on_the_parallel_dag() {
+        let db = fixture();
+        assert!(
+            routes_parallel(&db, "SELECT id FROM big ORDER BY id DESC LIMIT 150000 OFFSET 5000"),
+            "limit+offset beyond the old 100k cap must stay parallel"
+        );
+        assert!(
+            routes_parallel(
+                &db,
+                "SELECT id FROM big ORDER BY id DESC LIMIT 1000000 OFFSET 1000000"
+            ),
+            "even multi-million-row fused Top-Ns route through the DAG"
         );
     }
 

@@ -49,10 +49,13 @@
 //! at all (the planner lowers serially below two workers).
 //!
 //! The [`PipelineGraphOp`] facade lets the physical planner splice a DAG
-//! into an otherwise serial plan; it holds the output's buffer-manager
-//! reservations until dropped (pipeline teardown). A [`GraphStats`]
-//! attachment records the scheduler's launch rounds and peak node
-//! concurrency for tests and inspection.
+//! into an otherwise serial plan — and is where results *leave* the
+//! graph: instead of materializing, the graph is rerouted through an
+//! ordered result [`ChunkQueue`] ([`PipelineGraph::stream_into`]) and
+//! executed on a background thread while the facade replays batches in
+//! composed-sequence order, one chunk per pull (see the type docs for the
+//! protocol). A [`GraphStats`] attachment records the scheduler's launch
+//! rounds and peak node concurrency for tests and inspection.
 
 use crate::expression::Expr;
 use crate::ops::join::{BuildSide, JoinType};
@@ -61,11 +64,12 @@ use crate::parallel::morsel::MorselSource;
 use crate::parallel::pipeline::{
     sink_output_types, ParallelPipeline, PipelineOutput, PipelineSink, PipelineSource, PipelineStep,
 };
-use crate::parallel::queue::{ChunkQueue, QUEUE_ABORT_MSG};
+use crate::parallel::queue::{compose_seq, ChunkQueue, OrderedPop, QueueBatch, QUEUE_ABORT_MSG};
 use eider_coop::compression::CompressionLevel;
 use eider_storage::buffer::{BufferManager, MemoryReservation};
 use eider_txn::Transaction;
 use eider_vector::{DataChunk, EiderError, LogicalType, Result};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// Index of a node inside its [`PipelineGraph`].
@@ -184,10 +188,25 @@ impl GraphStats {
 }
 
 /// A node with its probe links resolved, ready to run on its own thread.
+/// `out` is the result-edge attachment for streamed output nodes: the
+/// ordered queue and the arm this node feeds (see
+/// [`PipelineGraph::stream_into`]).
 enum ReadyNode {
-    SerialBuild { input: OperatorBox, keys: Vec<Expr> },
-    SerialPipeline { input: OperatorBox, steps: Vec<PipelineStep> },
-    Pipeline { source: PipelineSource, steps: Vec<PipelineStep>, sink: PipelineSink },
+    SerialBuild {
+        input: OperatorBox,
+        keys: Vec<Expr>,
+    },
+    SerialPipeline {
+        input: OperatorBox,
+        steps: Vec<PipelineStep>,
+        out: Option<(Arc<ChunkQueue>, usize)>,
+    },
+    Pipeline {
+        source: PipelineSource,
+        steps: Vec<PipelineStep>,
+        sink: PipelineSink,
+        out: Option<(Arc<ChunkQueue>, usize)>,
+    },
 }
 
 /// The per-node slice of graph state a node thread owns (the graph itself
@@ -215,20 +234,50 @@ impl NodeCtx {
                 }
                 Ok(NodeOutput::Build(Arc::new(build)))
             }
-            ReadyNode::SerialPipeline { input, steps } => {
+            ReadyNode::SerialPipeline { input, steps, out } => {
                 let mut op = steps.into_iter().fold(input, |child, step| step.instantiate(child));
-                let mut chunks = Vec::new();
-                while let Some(chunk) = op.next_chunk()? {
-                    if !chunk.is_empty() {
-                        chunks.push(chunk);
+                let Some((queue, arm)) = out else {
+                    let mut chunks = Vec::new();
+                    while let Some(chunk) = op.next_chunk()? {
+                        if !chunk.is_empty() {
+                            chunks.push(chunk);
+                        }
                     }
+                    return Ok(NodeOutput::Chunks { chunks, reservations: Vec::new() });
+                };
+                // Streamed output node: chunks go into the result edge as
+                // they are pulled, each a charged single-chunk batch; the
+                // same close/abort protocol as a parallel producer.
+                let streamed = (|| -> Result<()> {
+                    let mut seq = 0usize;
+                    while let Some(chunk) = op.next_chunk()? {
+                        if chunk.is_empty() {
+                            continue;
+                        }
+                        queue.push_charged(
+                            self.buffers.as_ref(),
+                            compose_seq(arm, seq),
+                            vec![chunk],
+                        )?;
+                        seq += 1;
+                    }
+                    Ok(())
+                })();
+                match &streamed {
+                    Ok(()) => queue.close_arm(arm),
+                    Err(_) => queue.abort(),
                 }
-                Ok(NodeOutput::Chunks { chunks, reservations: Vec::new() })
+                streamed
+                    .map(|()| NodeOutput::Chunks { chunks: Vec::new(), reservations: Vec::new() })
             }
-            ReadyNode::Pipeline { source, steps, sink } => {
-                let pipeline = ParallelPipeline::new(source, Arc::clone(&self.txn), steps, sink)
-                    .with_buffers(self.buffers.clone())
-                    .with_sort_budget(self.sort_budget);
+            ReadyNode::Pipeline { source, steps, sink, out } => {
+                let mut pipeline =
+                    ParallelPipeline::new(source, Arc::clone(&self.txn), steps, sink)
+                        .with_buffers(self.buffers.clone())
+                        .with_sort_budget(self.sort_budget);
+                if let Some((queue, arm)) = out {
+                    pipeline = pipeline.with_output_queue(queue, arm);
+                }
                 match pipeline.execute(share)? {
                     PipelineOutput::Chunks { chunks, reservations } => {
                         Ok(NodeOutput::Chunks { chunks, reservations })
@@ -263,6 +312,13 @@ pub struct PipelineGraph {
     compression: CompressionLevel,
     sort_budget: usize,
     stats: Option<Arc<GraphStats>>,
+    /// Result-edge streaming (see [`PipelineGraph::stream_into`]): the
+    /// ordered queue the graph's outputs feed instead of materializing.
+    stream_queue: Option<Arc<ChunkQueue>>,
+    /// Output nodes whose merge/serial drain streams into the result edge
+    /// (Collect outputs are rewritten to worker-level `Queue` sinks and
+    /// are not listed here).
+    stream_arms: Vec<(NodeId, usize)>,
 }
 
 impl PipelineGraph {
@@ -276,6 +332,8 @@ impl PipelineGraph {
             compression: CompressionLevel::None,
             sort_budget: usize::MAX,
             stats: None,
+            stream_queue: None,
+            stream_arms: Vec::new(),
         }
     }
 
@@ -322,6 +380,42 @@ impl PipelineGraph {
 
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of declared output nodes (the arms of the result edge).
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Reroute the graph's result through `queue` instead of materializing
+    /// it: output nodes with a `Collect` sink over a table scan become
+    /// worker-level [`PipelineSink::Queue`] producers (one gap-free batch
+    /// per morsel), every other output node streams its merge/drain output
+    /// into the queue chunk by chunk. `queue` must be
+    /// [ordered](ChunkQueue::with_ordered) and sized for one producer per
+    /// output node; the consumer replays batches in composed-sequence
+    /// order ([`PipelineGraphOp`] does exactly that). Call after
+    /// [`PipelineGraph::set_outputs`], before execution.
+    pub fn stream_into(&mut self, queue: Arc<ChunkQueue>) -> Result<()> {
+        for (arm, &id) in self.outputs.clone().iter().enumerate() {
+            match &mut self.nodes[id] {
+                GraphNode::Pipeline { source: PipelineSource::Table(_), sink, .. }
+                    if matches!(sink, PipelineSink::Collect) =>
+                {
+                    *sink = PipelineSink::Queue { queue: Arc::clone(&queue), arm };
+                }
+                GraphNode::Pipeline { .. } | GraphNode::SerialPipeline { .. } => {
+                    self.stream_arms.push((id, arm));
+                }
+                GraphNode::SerialBuild { .. } => {
+                    return Err(EiderError::Internal(
+                        "a join build side cannot be a streamed graph output".into(),
+                    ));
+                }
+            }
+        }
+        self.stream_queue = Some(queue);
+        Ok(())
     }
 
     /// Column types a node's chain feeds into its sink.
@@ -421,7 +515,16 @@ impl PipelineGraph {
         let nodes = std::mem::take(&mut self.nodes);
         let n = nodes.len();
         let deps: Vec<Vec<NodeId>> = nodes.iter().map(Self::node_deps).collect();
-        let queues = Self::graph_queues(&nodes);
+        let mut queues = Self::graph_queues(&nodes);
+        let stream_queue = self.stream_queue.clone();
+        let stream_arms = std::mem::take(&mut self.stream_arms);
+        if let Some(q) = &stream_queue {
+            // Merge-streamed output nodes reference the result edge outside
+            // their sinks; it must still abort with the rest of the graph.
+            if !queues.iter().any(|known| Arc::ptr_eq(known, q)) {
+                queues.push(Arc::clone(q));
+            }
+        }
         let sources = Self::graph_sources(&nodes);
         // Failure anywhere stops the whole graph promptly: queues wake
         // their blocked peers, morsel dispensers stop handing out work.
@@ -469,7 +572,11 @@ impl PipelineGraph {
                     let mut launchable = Vec::with_capacity(round.len());
                     for id in round.drain(..) {
                         let node = slots[id].take().expect("launch picked a live node");
-                        match Self::prepare(node, &results) {
+                        let out = stream_arms
+                            .iter()
+                            .find(|(nid, _)| *nid == id)
+                            .and_then(|&(_, arm)| stream_queue.clone().map(|q| (q, arm)));
+                        match Self::prepare(node, &results, out) {
                             Ok(ready) => launchable.push((id, ready)),
                             Err(e) => {
                                 done[id] = true;
@@ -599,8 +706,13 @@ impl PipelineGraph {
     }
 
     /// Resolve a launchable node's probe links against completed builds,
-    /// producing the owned state its thread runs with.
-    fn prepare(node: GraphNode, results: &[NodeOutput]) -> Result<ReadyNode> {
+    /// producing the owned state its thread runs with. `out` attaches the
+    /// result edge for streamed output nodes.
+    fn prepare(
+        node: GraphNode,
+        results: &[NodeOutput],
+        out: Option<(Arc<ChunkQueue>, usize)>,
+    ) -> Result<ReadyNode> {
         Ok(match node {
             GraphNode::SerialBuild { input, keys } => ReadyNode::SerialBuild {
                 input: input.ok_or_else(|| {
@@ -613,10 +725,14 @@ impl PipelineGraph {
                     EiderError::Internal("serial pipeline node executed twice".into())
                 })?,
                 steps: Self::resolve_links(links, results)?,
+                out,
             },
-            GraphNode::Pipeline { source, links, sink } => {
-                ReadyNode::Pipeline { source, steps: Self::resolve_links(links, results)?, sink }
-            }
+            GraphNode::Pipeline { source, links, sink } => ReadyNode::Pipeline {
+                source,
+                steps: Self::resolve_links(links, results)?,
+                sink,
+                out,
+            },
         })
     }
 
@@ -646,14 +762,52 @@ impl PipelineGraph {
     }
 }
 
-/// A [`PhysicalOperator`] facade over a pipeline DAG: executes eagerly on
-/// the first pull, then streams the concatenated output chunks. Holds the
-/// output's memory reservations until dropped.
+/// Consumer half of a running streamed graph: the readiness scheduler
+/// executes on a dedicated background thread, its output nodes push
+/// batches into an ordered [`ChunkQueue`], and this side replays them in
+/// composed-sequence order — "arm 0's batches in sequence, then arm 1's"
+/// — so the stream is row-identical to the old materialized concatenation
+/// at every worker count. Batches that arrive ahead of their turn wait in
+/// a reorder buffer; they keep their buffer-manager reservations (the §4
+/// charge) until activated for emission, at which point the charge moves
+/// to the cursor holding the chunk. The buffer is *bounded*: within an
+/// arm, workers claim morsels in dispense order (≈ one out-of-order batch
+/// per worker), and across arms the queue's per-arm quota blocks a
+/// not-yet-active arm's producers once `max_bytes` of its pushes sit
+/// unconsumed ([`ChunkQueue::batch_consumed`] frees quota as batches
+/// activate) — a fast later UNION arm cannot pile its whole result here
+/// while an earlier arm is still streaming.
+struct ResultStream {
+    queue: Arc<ChunkQueue>,
+    /// The scheduler thread; joined on completion (errors and panics
+    /// surface there) or on drop (after aborting the queue).
+    handle: Option<std::thread::JoinHandle<Result<()>>>,
+    /// Batches that arrived ahead of their turn, keyed by composed seq.
+    held: BTreeMap<usize, QueueBatch>,
+    /// Chunks of the batch currently being replayed.
+    pending: VecDeque<DataChunk>,
+    arm: usize,
+    arms: usize,
+    next_seq: usize,
+    /// The queue reported end-of-stream: every producer closed and the
+    /// backlog drained, or the graph aborted.
+    drained: bool,
+}
+
+/// A [`PhysicalOperator`] facade over a pipeline DAG. The DAG no longer
+/// materializes its result: on the first pull the graph is rerouted
+/// through an ordered result [`ChunkQueue`]
+/// ([`PipelineGraph::stream_into`]) and executed on a background thread;
+/// each subsequent pull replays the next in-order chunk, so a slow
+/// consumer back-pressures the workers through the queue's byte bound
+/// instead of the engine buffering the whole result set. Dropping the
+/// operator mid-stream aborts the queue and joins the scheduler thread —
+/// an abandoned cursor cancels its query.
 pub struct PipelineGraphOp {
     graph: Option<PipelineGraph>,
     out_types: Vec<LogicalType>,
-    output: Option<std::vec::IntoIter<DataChunk>>,
-    _reservations: Vec<MemoryReservation>,
+    stream: Option<ResultStream>,
+    done: bool,
 }
 
 impl PipelineGraphOp {
@@ -661,8 +815,73 @@ impl PipelineGraphOp {
         PipelineGraphOp {
             out_types: graph.output_types(),
             graph: Some(graph),
-            output: None,
-            _reservations: Vec::new(),
+            stream: None,
+            done: false,
+        }
+    }
+
+    /// Reroute the graph through a fresh ordered result queue and launch
+    /// the scheduler on its own thread.
+    fn start(&mut self) -> Result<()> {
+        let mut graph = self
+            .graph
+            .take()
+            .ok_or_else(|| EiderError::Internal("pipeline DAG executed twice".into()))?;
+        let arms = graph.output_count();
+        // The same byte bound as inter-node queue edges: a slice of the
+        // memory budget, big enough to decouple producer and consumer,
+        // small enough that the backlog cannot crowd out operator state.
+        let queue_bytes = graph
+            .buffers
+            .as_ref()
+            .map(|b| (b.memory_limit() / 8).clamp(1 << 16, 4 << 20))
+            .unwrap_or(4 << 20);
+        let queue =
+            Arc::new(ChunkQueue::new(self.out_types.clone(), arms, queue_bytes).with_ordered());
+        graph.stream_into(Arc::clone(&queue))?;
+        let handle = std::thread::Builder::new()
+            .name("eider-graph".into())
+            .spawn(move || graph.execute().map(|_| ()))
+            .map_err(|e| EiderError::Internal(format!("failed to spawn graph thread: {e}")))?;
+        self.stream = Some(ResultStream {
+            queue,
+            handle: Some(handle),
+            held: BTreeMap::new(),
+            pending: VecDeque::new(),
+            arm: 0,
+            arms,
+            next_seq: 0,
+            drained: false,
+        });
+        Ok(())
+    }
+
+    /// Reap the scheduler thread: its error is the query's root cause, and
+    /// a panic re-raises on the consumer thread exactly as it did when the
+    /// graph ran inline.
+    fn join_scheduler(&mut self) -> Result<()> {
+        let Some(handle) = self.stream.as_mut().and_then(|s| s.handle.take()) else {
+            return Ok(());
+        };
+        match handle.join() {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for PipelineGraphOp {
+    fn drop(&mut self) {
+        if let Some(stream) = &mut self.stream {
+            if let Some(handle) = stream.handle.take() {
+                // Cancel the query: the abort fails blocked producers fast
+                // and the scheduler drains; joining bounds the query's
+                // threads to the operator's lifetime. Errors (and panic
+                // payloads) are dropped — nothing re-raises from a
+                // destructor.
+                stream.queue.abort();
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -673,16 +892,77 @@ impl PhysicalOperator for PipelineGraphOp {
     }
 
     fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
-        if self.output.is_none() {
-            let graph = self
-                .graph
-                .take()
-                .ok_or_else(|| EiderError::Internal("pipeline DAG executed twice".into()))?;
-            let (chunks, reservations) = graph.execute()?;
-            self.output = Some(chunks.into_iter());
-            self._reservations = reservations;
+        if self.done {
+            return Ok(None);
         }
-        Ok(self.output.as_mut().expect("executed").next())
+        if self.stream.is_none() {
+            self.start()?;
+        }
+        loop {
+            let stream = self.stream.as_mut().expect("stream started");
+            if let Some(chunk) = stream.pending.pop_front() {
+                return Ok(Some(chunk));
+            }
+            if stream.arm >= stream.arms {
+                // Every arm replayed; reap the scheduler so its error or
+                // panic cannot be lost (and the thread never outlives the
+                // stream).
+                self.done = true;
+                return self.join_scheduler().map(|()| None);
+            }
+            let key = compose_seq(stream.arm, stream.next_seq);
+            if let Some(batch) = stream.held.remove(&key) {
+                // Activating the batch drops its queue-side reservation
+                // and frees its share of the arm's reorder-buffer quota;
+                // the chunks are handed onward and the consumer's cursor
+                // charges them from here.
+                stream.queue.batch_consumed(stream.arm, batch.bytes());
+                stream.next_seq += 1;
+                stream.pending.extend(batch.chunks);
+                continue;
+            }
+            if let Some(total) = stream.queue.arm_batches(stream.arm) {
+                if stream.next_seq >= total {
+                    stream.arm += 1;
+                    stream.next_seq = 0;
+                    // Unpark the new active arm's producers (they may be
+                    // waiting behind the per-arm quota).
+                    stream.queue.set_active_arm(stream.arm);
+                    continue;
+                }
+            }
+            if stream.drained {
+                // The expected batch can never arrive: the graph failed
+                // (abort discards queued batches). Surface the scheduler's
+                // root-cause error.
+                self.done = true;
+                self.join_scheduler()?;
+                return Err(EiderError::Internal(
+                    "result stream ended before every batch arrived".into(),
+                ));
+            }
+            match stream.queue.pop_ordered(stream.arm) {
+                OrderedPop::Batch(batch) => {
+                    stream.held.insert(batch.seq, batch);
+                }
+                OrderedPop::Done => stream.drained = true,
+                OrderedPop::ArmClosed => {
+                    // The current arm closed with an empty backlog: every
+                    // one of its batches is in `held` or already replayed,
+                    // so the next iteration advances via `held` or the
+                    // arm-total check. If the expected batch is genuinely
+                    // absent the graph lost it — fail instead of spinning.
+                    let total = stream.queue.arm_batches(stream.arm).unwrap_or(0);
+                    if stream.next_seq < total && !stream.held.contains_key(&key) {
+                        self.done = true;
+                        self.join_scheduler()?;
+                        return Err(EiderError::Internal(
+                            "result stream lost a batch of a closed arm".into(),
+                        ));
+                    }
+                }
+            }
+        }
     }
 }
 

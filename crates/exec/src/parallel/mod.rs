@@ -33,7 +33,13 @@
 //!   above the union (aggregate, sort, DISTINCT) consumes them
 //!   morsel-parallel *at the same time* — no serial concatenation
 //!   wrapper, no full materialization, deterministic via composed
-//!   batch sequence numbers.
+//!   batch sequence numbers. In *ordered* mode the same queue is every
+//!   graph's **result edge**: output nodes stream into it (worker-level
+//!   for collects, merge-level for sorts/aggregates) and the
+//!   [`PipelineGraphOp`] facade replays batches
+//!   in sequence order to the pulling cursor, so a slow consumer
+//!   throttles the workers through the queue's byte bound instead of the
+//!   engine buffering the result.
 //!
 //! Worker count is decided per query by
 //! [`ResourcePolicy::worker_threads`](eider_coop::policy::ResourcePolicy::worker_threads):
@@ -64,5 +70,5 @@ pub use pipeline::{
     ParallelPipeline, ParallelPipelineOp, PipelineOutput, PipelineSink, PipelineSource,
     PipelineStep,
 };
-pub use queue::{compose_seq, ChunkQueue, QueueBatch};
+pub use queue::{compose_seq, decompose_seq, ChunkQueue, QueueBatch};
 pub use scheduler::TaskScheduler;

@@ -31,9 +31,14 @@
 //!
 //! Memory accounting (§4): when a [`BufferManager`] is attached, workers
 //! charge their partial state as it grows — aggregate groups, buffered
-//! sort rows (released again when a run spills to disk), collected result
+//! sort rows (released again when a run spills to disk), Top-N candidate
+//! buffers (spilled when the ledger refuses a grow), collected result
 //! chunks, and join-build partials. Reservations for materialized output
-//! travel inside [`PipelineOutput`] and release on pipeline teardown.
+//! travel inside [`PipelineOutput`] and release on pipeline teardown —
+//! unless the pipeline is a streamed graph output
+//! ([`ParallelPipeline::with_output_queue`]), in which case the
+//! merge/finalize step pushes chunks into a bounded result queue as
+//! charged batches and materializes nothing.
 
 use crate::aggregate::AggState;
 use crate::ops::agg::{update_group_table, update_simple_states, AggExpr, GroupTable};
@@ -190,7 +195,9 @@ pub enum PipelineSink {
     /// Runs larger than the pipeline's sort budget spill to disk in the
     /// serial external sort's run format, so arbitrarily large sorts
     /// parallelize. `limit` (as `(limit, offset)`) makes it a Top-N:
-    /// workers keep a bounded buffer and the merge stops early.
+    /// workers keep a cap-bounded candidate buffer *charged to the buffer
+    /// manager* (spilling it under §4 pressure, so no fusion size cap is
+    /// needed) and the merge stops early.
     Sort { keys: Vec<SortKey>, limit: Option<(usize, usize)> },
     /// Hash-join build side: chunks plus precomputed key hashes, spliced
     /// into a shared [`BuildSide`] by the pipeline DAG.
@@ -300,6 +307,32 @@ impl SortLocal {
         self.rows.truncate(cap);
         self.bytes = self.rows.iter().map(sort_row_bytes).sum();
     }
+
+    /// Charged Top-N mode: keep the worker's reservation equal to its
+    /// buffered bytes (growing as candidates stage, shrinking when a prune
+    /// discards losers). When the ledger refuses a grow — §4 pressure —
+    /// the buffered candidates spill to disk like a full sort's run and
+    /// their charge releases: the fused parallel Top-N therefore needs no
+    /// row-count cap, arbitrarily large `limit + offset` stays bounded by
+    /// the budget, trading disk for RAM instead of failing the query.
+    fn sync_cap_charge(&mut self, keys: &[SortKey], spill_types: &[LogicalType]) -> Result<()> {
+        if self.reservation.is_none() {
+            return Ok(());
+        }
+        let held = self.reservation.as_ref().expect("checked").bytes();
+        if self.bytes > held {
+            let grew = self.reservation.as_mut().expect("checked").grow(self.bytes - held).is_ok();
+            if !grew {
+                self.spill(keys, spill_types)?;
+                let res = self.reservation.as_mut().expect("checked");
+                let stale = res.bytes();
+                res.shrink(stale);
+            }
+        } else {
+            self.reservation.as_mut().expect("checked").shrink(held - self.bytes);
+        }
+        Ok(())
+    }
 }
 
 /// One sorted run feeding the merge: either a worker's in-memory leftover
@@ -395,6 +428,13 @@ pub struct ParallelPipeline {
     buffers: Option<Arc<BufferManager>>,
     /// Total sort-run budget (split across workers); rows beyond it spill.
     sort_budget: usize,
+    /// Result-edge streaming: when set, the merge/finalize step pushes its
+    /// output chunks into this [`ChunkQueue`] (as arm `.1`, contiguous
+    /// batch sequences) instead of materializing them in the
+    /// [`PipelineOutput`] — a sort merge or aggregate emission then never
+    /// holds the full result, and the queue's byte bound back-pressures
+    /// the merge against a slow consumer.
+    output_queue: Option<(Arc<ChunkQueue>, usize)>,
 }
 
 /// A sort pipeline caps its fleet so every worker contributes at least
@@ -417,7 +457,21 @@ impl ParallelPipeline {
             sink,
             buffers: None,
             sort_budget: usize::MAX,
+            output_queue: None,
         }
+    }
+
+    /// Stream the merge/finalize step's output chunks into `queue` as arm
+    /// `arm` (one chunk per batch, contiguous sequences, each batch
+    /// charged via [`ChunkQueue::reserve_batch`]) instead of returning
+    /// them. The pipeline closes the arm on success and aborts the queue
+    /// on failure, exactly like a [`PipelineSink::Queue`] producer. Not
+    /// meaningful for [`PipelineSink::JoinBuild`] (which produces breaker
+    /// state, not chunks) or [`PipelineSink::Queue`] (which already
+    /// streams at worker granularity).
+    pub fn with_output_queue(mut self, queue: Arc<ChunkQueue>, arm: usize) -> Self {
+        self.output_queue = Some((queue, arm));
+        self
     }
 
     /// Account sink state against a buffer manager (§4's hard memory
@@ -483,10 +537,18 @@ impl ParallelPipeline {
     pub fn execute(&self, threads: usize) -> Result<PipelineOutput> {
         let result = self.execute_inner(threads);
         // A queue-sink pipeline participates in the edge's shutdown
-        // protocol whether it succeeded or died.
-        if let PipelineSink::Queue { queue, .. } = &self.sink {
+        // protocol whether it succeeded or died; closing by arm finalizes
+        // the per-arm batch count an ordered consumer relies on.
+        if let PipelineSink::Queue { queue, arm } = &self.sink {
             match &result {
-                Ok(_) => queue.close_producer(),
+                Ok(_) => queue.close_arm(*arm),
+                Err(_) => queue.abort(),
+            }
+        }
+        // Same protocol for a merge-streamed result edge.
+        if let Some((queue, arm)) = &self.output_queue {
+            match &result {
+                Ok(_) => queue.close_arm(*arm),
                 Err(_) => queue.abort(),
             }
         }
@@ -551,12 +613,13 @@ impl ParallelPipeline {
                 LocalState::Agg(Vec::new(), self.reserve()?)
             }
             PipelineSink::Sort { .. } => {
-                // Top-N buffers are bounded by their cap (like the serial
-                // TopNOp, unaccounted); full sorts reserve their run budget
-                // upfront, halving under pressure — each halving doubles
-                // how often the worker spills instead of failing the query.
+                // Top-N buffers charge their actual footprint as they grow
+                // (spilling under pressure — see `sync_cap_charge`); full
+                // sorts reserve their run budget upfront, halving under
+                // pressure — each halving doubles how often the worker
+                // spills instead of failing the query.
                 let (reservation, budget) = if ctx.sort_cap.is_some() {
-                    (None, usize::MAX)
+                    (self.reserve()?, usize::MAX)
                 } else {
                     match (&self.buffers, ctx.sort_budget) {
                         (Some(buffers), mut want) if ctx.sort_budget != usize::MAX => loop {
@@ -632,15 +695,13 @@ impl ParallelPipeline {
                 (&self.sink, &mut local)
             {
                 // Flush this work unit's chunks as one batch, charged to
-                // the budget while it waits in the queue.
-                if !pending.is_empty() {
+                // the budget while it waits in the queue. Ordered (result)
+                // edges get a batch per work unit even when it produced
+                // nothing — the empty batch is the sequence marker that
+                // keeps the consumer's replay gap-free.
+                if !pending.is_empty() || queue.is_ordered() {
                     let chunks = std::mem::take(pending);
-                    let reservation = match &self.buffers {
-                        Some(b) => queue
-                            .reserve_batch(b, chunks.iter().map(DataChunk::size_bytes).sum())?,
-                        None => None,
-                    };
-                    queue.push(QueueBatch { seq: compose_seq(*arm, seq), chunks, reservation })?;
+                    queue.push_charged(self.buffers.as_ref(), compose_seq(*arm, seq), chunks)?;
                 }
             }
             if let (Some(mut partial), LocalState::Agg(parts, reservation)) =
@@ -674,7 +735,12 @@ impl ParallelPipeline {
             if let PipelineSink::Sort { keys, .. } = &self.sink {
                 SortLocal::order(&mut state.rows, keys);
                 if let Some(cap) = ctx.sort_cap {
+                    // The final prune can discard up to ~cap rows (pruning
+                    // is amortized at 2x); give their charge back before
+                    // the merge phase instead of holding it to teardown.
                     state.rows.truncate(cap);
+                    state.bytes = state.rows.iter().map(sort_row_bytes).sum();
+                    state.sync_cap_charge(keys, &ctx.spill_types)?;
                 }
             }
         }
@@ -720,7 +786,10 @@ impl ParallelPipeline {
                 state.rows.extend(staged);
                 state.bytes += chunk_bytes;
                 match ctx.sort_cap {
-                    Some(cap) => state.prune(cap, keys),
+                    Some(cap) => {
+                        state.prune(cap, keys);
+                        state.sync_cap_charge(keys, &ctx.spill_types)?;
+                    }
                     None => {
                         if state.bytes >= state.budget {
                             state.spill(keys, &ctx.spill_types)?;
@@ -746,7 +815,47 @@ impl ParallelPipeline {
 
     // ---- merge/finalize side ----
 
+    /// Forward one merged result chunk into the pipeline's output queue as
+    /// a charged single-chunk batch with the next contiguous sequence.
+    fn push_result_chunk(
+        buffers: &Option<Arc<BufferManager>>,
+        queue: &Arc<ChunkQueue>,
+        arm: usize,
+        seq: &mut usize,
+        chunk: DataChunk,
+    ) -> Result<()> {
+        let composed = compose_seq(arm, *seq);
+        *seq += 1;
+        queue.push_charged(buffers.as_ref(), composed, vec![chunk])
+    }
+
     fn merge(&self, locals: Vec<LocalState>) -> Result<PipelineOutput> {
+        let output = self.merge_inner(locals)?;
+        // Result-edge streaming for the sinks the specialized branches in
+        // `merge_inner` did not already stream (simple aggregates, serial
+        // collect fallbacks): forward the finished chunks into the queue
+        // and release the merge-side reservations once everything is
+        // queued (each batch now carries its own charge).
+        match (&self.output_queue, output) {
+            (None, output) => Ok(output),
+            (Some(_), PipelineOutput::Chunks { chunks, .. }) if chunks.is_empty() => {
+                Ok(PipelineOutput::Chunks { chunks: Vec::new(), reservations: Vec::new() })
+            }
+            (Some((queue, arm)), PipelineOutput::Chunks { chunks, reservations }) => {
+                let mut seq = 0usize;
+                for chunk in chunks {
+                    Self::push_result_chunk(&self.buffers, queue, *arm, &mut seq, chunk)?;
+                }
+                drop(reservations);
+                Ok(PipelineOutput::Chunks { chunks: Vec::new(), reservations: Vec::new() })
+            }
+            (Some(_), PipelineOutput::JoinBuild { .. }) => Err(EiderError::Internal(
+                "join-build pipelines produce breaker state, not a result stream".into(),
+            )),
+        }
+    }
+
+    fn merge_inner(&self, locals: Vec<LocalState>) -> Result<PipelineOutput> {
         match &self.sink {
             PipelineSink::Collect => {
                 let mut tagged: Vec<((usize, usize), DataChunk)> = Vec::new();
@@ -807,6 +916,22 @@ impl ParallelPipeline {
                 // merge emits in encoded-key (total) order so output is
                 // identical for every worker count.
                 let order = table.sorted_order();
+                if let Some((queue, arm)) = &self.output_queue {
+                    // Stream windows straight into the result edge: the
+                    // merged table is the memory floor, the emitted chunks
+                    // never pile up beside it. The table's reservation
+                    // holds until the last window left it.
+                    let mut seq = 0usize;
+                    for window in order.chunks(VECTOR_SIZE) {
+                        let chunk = table.emit(window, aggs)?;
+                        Self::push_result_chunk(&self.buffers, queue, *arm, &mut seq, chunk)?;
+                    }
+                    drop(merge_reservation);
+                    return Ok(PipelineOutput::Chunks {
+                        chunks: Vec::new(),
+                        reservations: Vec::new(),
+                    });
+                }
                 let mut chunks = Vec::new();
                 for window in order.chunks(VECTOR_SIZE) {
                     chunks.push(table.emit(window, aggs)?);
@@ -835,7 +960,28 @@ impl ParallelPipeline {
                     Some((l, o)) => (*l, *o),
                     None => (usize::MAX, 0),
                 };
-                let chunks = merge_sort_runs(runs, keys, &self.output_types(), take, skip)?;
+                let out_types = self.output_types();
+                if let Some((queue, arm)) = &self.output_queue {
+                    // The k-way merge feeds the result edge chunk by
+                    // chunk: the sorted output is never materialized, and
+                    // the queue's byte bound throttles the merge when the
+                    // consumer lags (in-memory runs release their
+                    // reservations as they drain; spilled runs stay on
+                    // disk until pulled).
+                    let mut seq = 0usize;
+                    merge_sort_runs(runs, keys, &out_types, take, skip, &mut |chunk| {
+                        Self::push_result_chunk(&self.buffers, queue, *arm, &mut seq, chunk)
+                    })?;
+                    return Ok(PipelineOutput::Chunks {
+                        chunks: Vec::new(),
+                        reservations: Vec::new(),
+                    });
+                }
+                let mut chunks = Vec::new();
+                merge_sort_runs(runs, keys, &out_types, take, skip, &mut |chunk| {
+                    chunks.push(chunk);
+                    Ok(())
+                })?;
                 Ok(PipelineOutput::Chunks { chunks, reservations: Vec::new() })
             }
             PipelineSink::JoinBuild { .. } => {
@@ -937,8 +1083,10 @@ impl Ord for HeapEntry<'_> {
     }
 }
 
-/// Streaming k-way merge of sorted runs (in-memory and spilled) into
-/// output chunks, skipping `skip` rows and emitting at most `take`. Ties
+/// Streaming k-way merge of sorted runs (in-memory and spilled), skipping
+/// `skip` rows and emitting at most `take` — each completed output chunk
+/// is handed to `sink` as soon as it fills, so a caller that forwards
+/// chunks into a bounded queue never holds the full sorted result. Ties
 /// fall back to scan position, reproducing a stable serial sort — the
 /// comparator is total, so the merged order does not depend on how rows
 /// were distributed across runs. Run heads sit in a binary heap, so each
@@ -951,15 +1099,18 @@ fn merge_sort_runs(
     out_types: &[LogicalType],
     take: usize,
     skip: usize,
-) -> Result<Vec<DataChunk>> {
+    sink: &mut dyn FnMut(DataChunk) -> Result<()>,
+) -> Result<()> {
     if take == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
-    let mut chunks = Vec::new();
     let mut out = DataChunk::new(out_types);
     let mut skipped = 0usize;
     let mut emitted = 0usize;
-    let mut emit = |row: SortRow, out: &mut DataChunk| -> Result<bool> {
+    let mut emit = |row: SortRow,
+                    out: &mut DataChunk,
+                    sink: &mut dyn FnMut(DataChunk) -> Result<()>|
+     -> Result<bool> {
         if skipped < skip {
             skipped += 1;
             return Ok(emitted < take);
@@ -967,7 +1118,7 @@ fn merge_sort_runs(
         out.append_row(&row.2)?;
         emitted += 1;
         if out.len() >= VECTOR_SIZE {
-            chunks.push(std::mem::replace(out, DataChunk::new(out_types)));
+            sink(std::mem::replace(out, DataChunk::new(out_types)))?;
         }
         Ok(emitted < take)
     };
@@ -975,7 +1126,7 @@ fn merge_sort_runs(
         // A single run (one worker, nothing spilled) is already in order:
         // stream it out without per-row comparisons.
         while let Some(row) = runs[0].next()? {
-            if !emit(row, &mut out)? {
+            if !emit(row, &mut out, sink)? {
                 break;
             }
         }
@@ -987,7 +1138,7 @@ fn merge_sort_runs(
             }
         }
         while let Some(HeapEntry { row, run, .. }) = heap.pop() {
-            let more = emit(row, &mut out)?;
+            let more = emit(row, &mut out, sink)?;
             if let Some(next) = runs[run].next()? {
                 heap.push(HeapEntry { row: next, run, keys });
             }
@@ -997,9 +1148,9 @@ fn merge_sort_runs(
         }
     }
     if !out.is_empty() {
-        chunks.push(out);
+        sink(out)?;
     }
-    Ok(chunks)
+    Ok(())
 }
 
 /// A [`PhysicalOperator`] facade over a parallel pipeline, so the physical

@@ -27,11 +27,28 @@
 //! stages stay inside the memory budget.
 //!
 //! **Shutdown.** Producers [`close_producer`](ChunkQueue::close_producer)
-//! when their pipeline completes; `pop` returns `None` once every producer
-//! closed and the buffer drained. Any failing pipeline (either side)
+//! (or, per arm, [`close_arm`](ChunkQueue::close_arm)) when their pipeline
+//! completes; `pop` returns `None` once every producer closed and the
+//! buffer drained. Any failing pipeline (either side)
 //! [`abort`](ChunkQueue::abort)s the queue: blocked producers fail fast
 //! with an error, blocked consumers wake and wind down, and the graph
 //! surfaces the root cause.
+//!
+//! **Ordered mode (result edges).** A queue built
+//! [`with_ordered`](ChunkQueue::with_ordered) is the *final* edge of a
+//! graph: the cursor-facing side
+//! ([`PipelineGraphOp`](crate::parallel::graph::PipelineGraphOp)) must
+//! replay batches in composed-sequence order, not in arrival order. Two
+//! extra guarantees make that possible without the consumer guessing:
+//!
+//! 1. producers push a batch for **every** work unit, even an empty one
+//!    (sequence numbers per arm are gap-free), and
+//! 2. the queue counts pushed batches per arm, so once an arm is closed
+//!    ([`close_arm`](ChunkQueue::close_arm))
+//!    [`arm_batches`](ChunkQueue::arm_batches) reports exactly how many
+//!    batches that arm contributed — the consumer knows when to move on
+//!    to the next arm instead of waiting forever for a sequence number
+//!    that will never come.
 
 use eider_storage::buffer::{BufferManager, MemoryReservation};
 use eider_vector::{DataChunk, EiderError, LogicalType, Result};
@@ -59,6 +76,23 @@ pub fn compose_seq(arm: usize, morsel_seq: usize) -> usize {
     (arm << ARM_SHIFT) | morsel_seq
 }
 
+/// Invert [`compose_seq`]: `(arm, morsel_seq)` of a composed sequence.
+pub fn decompose_seq(seq: usize) -> (usize, usize) {
+    (seq >> ARM_SHIFT, seq & ((1 << ARM_SHIFT) - 1))
+}
+
+/// Outcome of an ordering consumer's [`ChunkQueue::pop_ordered`].
+pub enum OrderedPop {
+    /// A batch was dequeued (any arm — the consumer reorders).
+    Batch(QueueBatch),
+    /// The watched arm has closed and the backlog is empty: all of its
+    /// batches are already in the consumer's hands; advance the arm.
+    ArmClosed,
+    /// Every producer closed and the backlog drained — or the queue
+    /// aborted; nothing further will arrive.
+    Done,
+}
+
 /// One unit of queued work: the chunks one producer morsel emitted.
 pub struct QueueBatch {
     /// Deterministic merge position (see [`compose_seq`]).
@@ -70,7 +104,8 @@ pub struct QueueBatch {
 }
 
 impl QueueBatch {
-    fn bytes(&self) -> usize {
+    /// Total bytes of the batch's chunks.
+    pub fn bytes(&self) -> usize {
         self.chunks.iter().map(DataChunk::size_bytes).sum()
     }
 }
@@ -84,6 +119,30 @@ struct QueueState {
     /// pressure (see [`ChunkQueue::reserve_batch`]); at most one such
     /// batch is in flight, so the untracked footprint stays bounded.
     untracked_bytes: usize,
+    /// Per-arm batch counts, maintained only for ordered queues (indexed
+    /// by the arm encoded in each batch's composed sequence).
+    arm_pushed: Vec<usize>,
+    /// Arms whose producer pipeline has closed; their `arm_pushed` count
+    /// is final from that point on.
+    arm_closed: Vec<bool>,
+    /// Ordered queues: bytes pushed per arm and not yet *consumed* by the
+    /// ordering consumer ([`ChunkQueue::batch_consumed`]) — pops into the
+    /// consumer's reorder buffer do **not** decrement this, which is what
+    /// lets the queue bound that buffer (see [`ChunkQueue::push`]).
+    arm_outstanding: Vec<usize>,
+    /// The arm the ordering consumer is currently replaying; its pushes
+    /// are never arm-gated, so the replay always makes progress.
+    active_arm: usize,
+}
+
+impl QueueState {
+    fn arm_slot(&mut self, arm: usize) {
+        if self.arm_pushed.len() <= arm {
+            self.arm_pushed.resize(arm + 1, 0);
+            self.arm_closed.resize(arm + 1, false);
+            self.arm_outstanding.resize(arm + 1, 0);
+        }
+    }
 }
 
 /// A bounded multi-producer multi-consumer queue of chunk batches.
@@ -93,6 +152,11 @@ pub struct ChunkQueue {
     /// Upper bound on batches the producers will ever push (the planner
     /// knows their morsel counts); consumers size their fan-out from it.
     expected_batches: usize,
+    /// Result-edge mode: producers push gap-free per-arm sequences (one
+    /// batch per work unit, empty ones included) and the queue tracks
+    /// per-arm batch counts so an ordering consumer can replay batches in
+    /// composed-sequence order (see the module docs).
+    ordered: bool,
     state: Mutex<QueueState>,
     /// Producers wait here for buffered bytes to drop below the bound.
     space: Condvar,
@@ -121,17 +185,37 @@ impl ChunkQueue {
             types,
             max_bytes: max_bytes.max(1 << 16),
             expected_batches: usize::MAX,
+            ordered: false,
             state: Mutex::new(QueueState {
                 batches: VecDeque::new(),
                 buffered_bytes: 0,
                 open_producers: producers,
                 aborted: false,
                 untracked_bytes: 0,
+                arm_pushed: Vec::new(),
+                arm_closed: Vec::new(),
+                arm_outstanding: Vec::new(),
+                active_arm: 0,
             }),
             space: Condvar::new(),
             items: Condvar::new(),
             pushed: AtomicUsize::new(0),
         }
+    }
+
+    /// Turn on ordered (result-edge) mode: producers commit to gap-free
+    /// per-arm sequences — a batch per work unit, pushed even when the
+    /// unit produced no chunks — and the queue counts batches per arm so
+    /// [`ChunkQueue::arm_batches`] can tell an ordering consumer when an
+    /// arm is exhausted.
+    pub fn with_ordered(mut self) -> Self {
+        self.ordered = true;
+        self
+    }
+
+    /// Whether this queue is a result edge requiring gap-free sequences.
+    pub fn is_ordered(&self) -> bool {
+        self.ordered
     }
 
     /// Declare how many batches the producers will push at most (their
@@ -193,27 +277,126 @@ impl ChunkQueue {
         }
     }
 
+    /// Reserve-and-push in one step: the standard charged producer push
+    /// shared by every producer kind — worker-level queue sinks,
+    /// merge-streamed result edges, serially-drained output nodes — so
+    /// the reservation and gap-free-sequence invariants the ordered
+    /// consumer relies on cannot drift between them. Non-empty batches
+    /// travel with a reservation from [`ChunkQueue::reserve_batch`] when
+    /// `buffers` is attached (degrading per its §4 rules); empty
+    /// sequence-marker batches push uncharged.
+    pub fn push_charged(
+        &self,
+        buffers: Option<&Arc<BufferManager>>,
+        seq: usize,
+        chunks: Vec<DataChunk>,
+    ) -> Result<()> {
+        let reservation = match buffers {
+            Some(b) if !chunks.is_empty() => {
+                self.reserve_batch(b, chunks.iter().map(DataChunk::size_bytes).sum())?
+            }
+            _ => None,
+        };
+        self.push(QueueBatch { seq, chunks, reservation })
+    }
+
     /// Block until the queue has space, then enqueue `batch`. Fails once
     /// the queue is aborted so a producer stops scanning promptly after
     /// its consumer (or a sibling) died.
+    ///
+    /// **Ordered queues gate per arm too:** an arm the consumer is *not*
+    /// currently replaying blocks once `max_bytes` of its pushes sit
+    /// unconsumed ([`ChunkQueue::batch_consumed`]) — popped-but-held
+    /// batches count, which is what bounds the consumer's reorder buffer
+    /// to ~`max_bytes` per arm instead of letting a fast later arm pile
+    /// its whole result there. The active arm is never arm-gated, so the
+    /// in-order replay always makes progress (no circular wait: active
+    /// producers depend only on the consumer, which depends on no one).
     pub fn push(&self, batch: QueueBatch) -> Result<()> {
+        let arm = self.ordered.then(|| decompose_seq(batch.seq).0);
         let mut state = self.state.lock().expect("chunk queue poisoned");
         loop {
             if state.aborted {
                 return Err(EiderError::Internal(QUEUE_ABORT_MSG.into()));
             }
+            // A non-active arm past its unconsumed-bytes quota waits for
+            // the consumer to reach it (first batch always admitted, so a
+            // single oversized batch cannot deadlock the arm).
+            let arm_gated = match arm {
+                Some(a) => {
+                    a != state.active_arm
+                        && state.arm_outstanding.get(a).is_some_and(|&b| b >= self.max_bytes)
+                }
+                None => false,
+            };
             // Admit when under the bound, or when empty: a single batch
             // larger than the whole bound must still make progress.
-            if state.buffered_bytes < self.max_bytes || state.batches.is_empty() {
+            if !arm_gated && (state.buffered_bytes < self.max_bytes || state.batches.is_empty()) {
                 break;
             }
             state = self.space.wait(state).expect("chunk queue poisoned");
+        }
+        if let Some(arm) = arm {
+            state.arm_slot(arm);
+            state.arm_pushed[arm] += 1;
+            state.arm_outstanding[arm] += batch.bytes();
         }
         state.buffered_bytes += batch.bytes();
         state.batches.push_back(batch);
         self.pushed.fetch_add(1, Ordering::Relaxed);
         self.items.notify_one();
         Ok(())
+    }
+
+    /// Ordering-consumer side: declare that replay has advanced to `arm`
+    /// (earlier arms are exhausted). Wakes producers of the new active arm
+    /// that were parked behind the per-arm quota.
+    pub fn set_active_arm(&self, arm: usize) {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        state.active_arm = arm;
+        self.space.notify_all();
+    }
+
+    /// Ordering-consumer side: `bytes` of `arm`'s pushes have been
+    /// activated for emission (left the reorder buffer), freeing that much
+    /// of the arm's quota.
+    pub fn batch_consumed(&self, arm: usize, bytes: usize) {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        state.arm_slot(arm);
+        state.arm_outstanding[arm] = state.arm_outstanding[arm].saturating_sub(bytes);
+        self.space.notify_all();
+    }
+
+    /// Like [`ChunkQueue::pop`], but for the *ordering* consumer: also
+    /// returns (without a batch) as soon as `waiting_arm` has closed and
+    /// the backlog is empty. The consumer needs that extra wake-up: once
+    /// the arm it is replaying closes, every one of its batches is in the
+    /// consumer's reorder buffer, and the consumer must advance the
+    /// active arm — which a plain `pop` would sleep through while a
+    /// *later* arm's producers sit parked behind the per-arm quota
+    /// (neither side could ever wake the other).
+    pub fn pop_ordered(&self, waiting_arm: usize) -> OrderedPop {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        loop {
+            if state.aborted {
+                return OrderedPop::Done;
+            }
+            if let Some(batch) = state.batches.pop_front() {
+                state.buffered_bytes -= batch.bytes();
+                if batch.reservation.is_none() && !batch.chunks.is_empty() {
+                    state.untracked_bytes = 0;
+                }
+                self.space.notify_all();
+                return OrderedPop::Batch(batch);
+            }
+            if state.open_producers == 0 {
+                return OrderedPop::Done;
+            }
+            if state.arm_closed.get(waiting_arm) == Some(&true) {
+                return OrderedPop::ArmClosed;
+            }
+            state = self.items.wait(state).expect("chunk queue poisoned");
+        }
     }
 
     /// Block until a batch is available and dequeue it. Returns `None`
@@ -228,9 +411,11 @@ impl ChunkQueue {
             }
             if let Some(batch) = state.batches.pop_front() {
                 state.buffered_bytes -= batch.bytes();
-                if batch.reservation.is_none() {
+                if batch.reservation.is_none() && !batch.chunks.is_empty() {
                     // Release the unaccounted-batch slot claimed in
-                    // `reserve_batch` (no-op for unbuffered queues).
+                    // `reserve_batch` (no-op for unbuffered queues). Empty
+                    // sequence-marker batches never claimed the slot and
+                    // must not free it on some other batch's behalf.
                     state.untracked_bytes = 0;
                 }
                 // All waiters: byte-bound blockers in `push` and producers
@@ -255,6 +440,35 @@ impl ChunkQueue {
         }
     }
 
+    /// [`close_producer`](ChunkQueue::close_producer), additionally
+    /// finalizing `arm`'s batch count: [`ChunkQueue::arm_batches`] reports
+    /// `Some` for the arm from now on. Every push of the arm happens
+    /// before its close (the pipeline closes only after all its workers
+    /// joined), so the count is exact, never provisional.
+    pub fn close_arm(&self, arm: usize) {
+        let mut state = self.state.lock().expect("chunk queue poisoned");
+        state.arm_slot(arm);
+        state.arm_closed[arm] = true;
+        state.open_producers = state.open_producers.saturating_sub(1);
+        // Always wake consumers: an ordering consumer parked in
+        // `pop_ordered` must observe *this arm's* closure even while
+        // other producers stay open (it may need to advance the active
+        // arm before those producers can push anything).
+        self.items.notify_all();
+    }
+
+    /// Total batches arm `arm` pushed, once it closed (`None` while the
+    /// arm is still producing). On an ordered queue this equals the arm's
+    /// gap-free sequence length, so a consumer that has replayed this many
+    /// batches of the arm knows it is exhausted.
+    pub fn arm_batches(&self, arm: usize) -> Option<usize> {
+        let state = self.state.lock().expect("chunk queue poisoned");
+        match state.arm_closed.get(arm) {
+            Some(true) => Some(state.arm_pushed[arm]),
+            _ => None,
+        }
+    }
+
     /// Fail the edge: wake every blocked producer (their next `push`
     /// errors) and consumer (`pop` returns `None`). Idempotent.
     pub fn abort(&self) {
@@ -263,6 +477,7 @@ impl ChunkQueue {
         state.batches.clear();
         state.buffered_bytes = 0;
         state.untracked_bytes = 0;
+        state.arm_outstanding.iter_mut().for_each(|b| *b = 0);
         self.space.notify_all();
         self.items.notify_all();
     }
@@ -324,6 +539,99 @@ mod tests {
         assert_eq!(q.pop().unwrap().seq, 1);
         assert!(q.pop().is_none());
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn ordered_queue_tracks_per_arm_batch_counts() {
+        let q = ChunkQueue::new(vec![LogicalType::Integer], 2, usize::MAX).with_ordered();
+        assert!(q.is_ordered());
+        q.push(batch(compose_seq(0, 0), 4)).unwrap();
+        q.push(batch(compose_seq(1, 0), 4)).unwrap();
+        q.push(batch(compose_seq(0, 1), 4)).unwrap();
+        assert_eq!(q.arm_batches(0), None, "open arm: count not final yet");
+        q.close_arm(0);
+        assert_eq!(q.arm_batches(0), Some(2));
+        assert_eq!(q.arm_batches(1), None);
+        q.close_arm(1);
+        assert_eq!(q.arm_batches(1), Some(1));
+        assert_eq!(q.arm_batches(7), None, "arm that never pushed nor closed");
+        // Both arms closed: the backlog drains, then end-of-stream.
+        for _ in 0..3 {
+            assert!(q.pop().is_some());
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ordered_queue_gates_non_active_arms_by_unconsumed_bytes() {
+        // Quota = max_bytes (floored at 64 KiB). Arm 1 is not active, so
+        // once its unconsumed pushes exceed the quota, further pushes
+        // must park until the consumer activates its earlier batches.
+        let q = Arc::new(ChunkQueue::new(vec![LogicalType::Integer], 2, 1 << 16).with_ordered());
+        q.push(QueueBatch {
+            seq: compose_seq(1, 0),
+            chunks: vec![chunk(40_000)], // ~160 KiB: first batch always admitted
+            reservation: None,
+        })
+        .unwrap();
+        // Popping into the reorder buffer does NOT free the arm's quota.
+        let held = q.pop().unwrap();
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(batch(compose_seq(1, 1), 4)).unwrap())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "non-active arm must wait behind its quota");
+        // The active arm is never arm-gated.
+        q.push(batch(compose_seq(0, 0), 4)).unwrap();
+        // Activating the held batch frees the quota and unparks arm 1.
+        q.batch_consumed(1, held.bytes());
+        blocked.join().unwrap();
+        assert_eq!(q.pushed_batches(), 3);
+    }
+
+    #[test]
+    fn pop_ordered_wakes_on_watched_arm_close_while_later_arm_is_gated() {
+        // The deadlock interleaving the ordering consumer must survive:
+        // arm 1 parked behind its quota, arm 0 closing with nothing left —
+        // a plain `pop` would sleep forever (arm 1 cannot push until the
+        // consumer advances the active arm, which it cannot do while
+        // blocked). `pop_ordered` must return `ArmClosed` instead.
+        let q = Arc::new(ChunkQueue::new(vec![LogicalType::Integer], 2, 1 << 16).with_ordered());
+        q.push(QueueBatch {
+            seq: compose_seq(1, 0),
+            chunks: vec![chunk(40_000)], // exhausts arm 1's quota
+            reservation: None,
+        })
+        .unwrap();
+        let OrderedPop::Batch(held) = q.pop_ordered(0) else { panic!("expected the batch") };
+        let gated = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(batch(compose_seq(1, 1), 4)).unwrap())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!gated.is_finished(), "arm 1 must park behind its quota");
+        q.close_arm(0);
+        assert!(
+            matches!(q.pop_ordered(0), OrderedPop::ArmClosed),
+            "watched-arm closure must wake the consumer, not strand it"
+        );
+        // The consumer advances: activate the held batch, move the active
+        // arm — the gated producer unparks.
+        q.batch_consumed(1, held.bytes());
+        q.set_active_arm(1);
+        gated.join().unwrap();
+        q.close_arm(1);
+        let OrderedPop::Batch(b) = q.pop_ordered(1) else { panic!("arm 1's second batch") };
+        assert_eq!(b.seq, compose_seq(1, 1));
+        assert!(matches!(q.pop_ordered(1), OrderedPop::Done));
+    }
+
+    #[test]
+    fn decompose_inverts_compose() {
+        for (arm, seq) in [(0, 0), (3, 17), (255, (1 << 40) + 5)] {
+            assert_eq!(decompose_seq(compose_seq(arm, seq)), (arm, seq));
+        }
     }
 
     #[test]

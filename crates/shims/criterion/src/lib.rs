@@ -167,6 +167,19 @@ fn publish_results(results: &[(String, Duration, Duration)]) {
     ALL_RESULTS.lock().expect("results sink").extend(results.iter().cloned());
 }
 
+/// Record a non-timing metric (bytes, counts) into the machine-readable
+/// summary: it lands as a `{"name", "mean_ns": value, ...}` entry next to
+/// the timing rows, merged by name like everything else. Use a family
+/// prefix outside the gated ones (`olap/`, `parallel/`) — deterministic
+/// values would otherwise trip the gate's "bit-identical means look
+/// unmeasured" heuristic. eider's benches use `metric/...` for peak
+/// accounted memory.
+pub fn record_metric(name: &str, value: u64) {
+    let d = Duration::from_nanos(value);
+    publish_results(&[(name.to_string(), d, d)]);
+    println!("{name:<40} value {value}");
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }

@@ -42,6 +42,10 @@ impl Default for BufferManagerConfig {
 pub struct BufferManager {
     limit: AtomicUsize,
     used: AtomicUsize,
+    /// High-water mark of `used` since construction (or the last
+    /// [`BufferManager::reset_peak`]); benchmarks report it as the peak
+    /// accounted footprint of a workload.
+    peak: AtomicUsize,
     memtest_allocations: bool,
     health: Arc<HealthMonitor>,
 }
@@ -55,6 +59,7 @@ impl BufferManager {
         Arc::new(BufferManager {
             limit: AtomicUsize::new(config.memory_limit),
             used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
             memtest_allocations: config.memtest_allocations,
             health,
         })
@@ -76,6 +81,18 @@ impl BufferManager {
 
     pub fn available_memory(&self) -> usize {
         self.memory_limit().saturating_sub(self.used_memory())
+    }
+
+    /// High-water mark of accounted memory since construction or the last
+    /// [`BufferManager::reset_peak`] — what a workload's §4 footprint
+    /// actually peaked at, as opposed to where it happens to sit now.
+    pub fn peak_memory(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restart peak tracking (benchmarks call this between phases).
+    pub fn reset_peak(&self) {
+        self.peak.store(self.used_memory(), Ordering::Relaxed);
     }
 
     pub fn health(&self) -> &Arc<HealthMonitor> {
@@ -101,7 +118,10 @@ impl BufferManager {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(MemoryReservation { mgr: Arc::clone(self), bytes }),
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(MemoryReservation { mgr: Arc::clone(self), bytes });
+                }
                 Err(actual) => current = actual,
             }
         }
@@ -254,6 +274,20 @@ mod tests {
         assert_eq!(m.used_memory(), 600);
         drop(r2);
         assert_eq!(m.used_memory(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_the_high_water_mark() {
+        let m = mgr(1000);
+        let r = m.reserve(400).unwrap();
+        let r2 = m.reserve(300).unwrap();
+        drop(r);
+        assert_eq!(m.used_memory(), 300);
+        assert_eq!(m.peak_memory(), 700, "peak survives releases");
+        m.reset_peak();
+        assert_eq!(m.peak_memory(), 300, "reset re-bases on current usage");
+        drop(r2);
+        assert_eq!(m.peak_memory(), 300);
     }
 
     #[test]

@@ -24,3 +24,10 @@
 //! execution model, and README.md for a tour of the workspace.
 
 pub use eider_core::*;
+
+/// The embedding guide — `docs/EMBEDDING.md` rendered here and compiled
+/// as doctests, so every snippet in the guide is built and executed by
+/// `cargo test --doc`: open → query → streaming cursors → resource
+/// PRAGMAs.
+#[doc = include_str!("../docs/EMBEDDING.md")]
+pub mod embedding_guide {}

@@ -260,6 +260,80 @@ fn union_under_aggregate_is_identical_across_thread_counts_and_memory_limits() {
 }
 
 #[test]
+fn streaming_cursor_completes_results_larger_than_the_memory_limit() {
+    // The acceptance shape for the streaming result path: queries whose
+    // *full* result exceeds the memory limit must complete through the
+    // cursor under a 1 MB buffer manager — the serial path charges one
+    // in-flight chunk, the parallel path streams the root node's output
+    // through a byte-bounded queue whose backpressure throttles workers —
+    // with bit-identical rows at 1, 2, 4 and 8 threads.
+    let db = wrangling_db(ROWS, 0.25, 37).unwrap();
+    let conn = db.connect();
+    const LIMIT: usize = 500_000;
+    let queries = [
+        // Plain scan: the whole table flows through the cursor.
+        ("SELECT id, d, v FROM t", true),
+        // Parallel sort: the k-way merge feeds the result edge directly.
+        ("SELECT id, v FROM t ORDER BY v DESC, id", true),
+        // Fused Top-N far beyond the old 100k cap: worker buffers charge
+        // the ledger and spill under the tight limit instead of falling
+        // back to serial.
+        ("SELECT id, v FROM t ORDER BY v DESC, id LIMIT 150000 OFFSET 17", false),
+        // Multi-output graph covering the whole table: both arms stream
+        // into the ordered result edge, replayed in arm-major order; the
+        // per-arm quota keeps the second arm from piling its (oversized)
+        // result into the reorder buffer while arm 0 drains.
+        (
+            "SELECT id, d, v FROM t WHERE id < 30000 \
+             UNION ALL SELECT id, d, v FROM t WHERE id >= 30000",
+            true,
+        ),
+    ];
+    for (sql, oversized) in queries {
+        let reference = rows_for(&db, sql, 1);
+        conn.execute(&format!("PRAGMA memory_limit = {LIMIT}")).unwrap();
+        for threads in [1, 2, 4, 8] {
+            conn.execute(&format!("PRAGMA threads = {threads}")).unwrap();
+            let mut cursor = conn.query_stream(sql).unwrap();
+            let mut rows = Vec::new();
+            let mut result_bytes = 0usize;
+            while let Some(chunk) = cursor.next_chunk().unwrap() {
+                result_bytes += chunk.size_bytes();
+                rows.extend(chunk.to_rows());
+            }
+            if oversized {
+                assert!(
+                    result_bytes > LIMIT,
+                    "{sql}: result ({result_bytes} B) must exceed the {LIMIT} B limit \
+                     for the test to mean anything"
+                );
+            }
+            assert_eq!(rows, reference, "{sql} threads={threads}");
+        }
+        conn.execute("PRAGMA memory_limit = 1073741824").unwrap();
+    }
+    assert_eq!(db.buffers().used_memory(), 0, "every stream charge released");
+}
+
+#[test]
+fn dropping_a_cursor_mid_stream_cancels_cleanly() {
+    let db = wrangling_db(ROWS, 0.25, 41).unwrap();
+    let conn = db.connect();
+    for threads in [1, 4] {
+        conn.execute(&format!("PRAGMA threads = {threads}")).unwrap();
+        let mut cursor = conn.query_stream("SELECT id, d, v FROM t ORDER BY v, id").unwrap();
+        // Take one chunk, abandon the rest: the parallel scheduler must
+        // wind down (not leak its thread or reservations) and the
+        // connection must stay usable.
+        assert!(cursor.next_chunk().unwrap().is_some());
+        drop(cursor);
+        assert_eq!(db.buffers().used_memory(), 0, "threads={threads}: charges released");
+        let again = conn.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(again.scalar().unwrap(), Value::BigInt(ROWS as i64));
+    }
+}
+
+#[test]
 fn host_probe_pragma_feeds_the_policy_from_proc() {
     let db = wrangling_db(ROWS, 0.25, 29).unwrap();
     let conn = db.connect();
@@ -268,14 +342,27 @@ fn host_probe_pragma_feeds_the_policy_from_proc() {
     db.policy().set_app_cpu_load(0.5);
     conn.query("SELECT count(*) FROM t").unwrap();
     assert_eq!(db.policy().app_cpu_load(), 0.5, "probe off: load untouched");
-    // On Linux the real probe overwrites it with a measured fraction.
+    // On Linux the real probe overwrites it with a measured fraction, and
+    // the memory side shrinks the effective limit toward what the machine
+    // has left (never below the 1/20 floor, never above the configured
+    // base).
+    let configured = db.config().memory_limit;
     if conn.execute("PRAGMA host_probe = 1").is_ok() {
         let r = conn.query("SELECT count(*) FROM t WHERE d <> -999").unwrap();
         assert_eq!(r.row_count(), 1);
         let load = db.policy().app_cpu_load();
         assert!((0.0..=1.0).contains(&load), "measured load {load}");
+        let effective = db.buffers().memory_limit();
+        assert!(
+            (configured / 20..=configured).contains(&effective),
+            "effective limit {effective} outside [{}, {configured}]",
+            configured / 20
+        );
         conn.execute("PRAGMA host_probe = 0").unwrap();
     }
+    // PRAGMA memory_limit resets the base (and the effective limit).
+    conn.execute(&format!("PRAGMA memory_limit = {configured}")).unwrap();
+    assert_eq!(db.buffers().memory_limit(), configured);
     db.policy().set_app_cpu_load(0.0);
 }
 

@@ -220,3 +220,83 @@ fn large_scale_aggregation_across_row_groups() {
     assert_eq!(row[2], Value::Integer(0));
     assert_eq!(row[3], Value::Integer(129_999));
 }
+
+#[test]
+fn streaming_cursor_shares_an_explicit_transaction() {
+    let conn = db().connect();
+    conn.execute("CREATE TABLE t (x INTEGER)").unwrap();
+    conn.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t VALUES (4)").unwrap();
+    // The cursor reads under the open transaction: it sees the
+    // uncommitted row.
+    let mut cursor = conn.query_stream("SELECT count(*) FROM t").unwrap();
+    let first = cursor.next_chunk().unwrap().unwrap();
+    assert_eq!(first.column(0).get_value(0), Value::BigInt(4));
+    // Committing while the stream is open must fail — the cursor still
+    // holds a reference to the transaction.
+    let err = conn.execute("COMMIT").unwrap_err();
+    assert!(err.to_string().contains("still open"), "{err}");
+    drop(cursor);
+    conn.execute("COMMIT").unwrap();
+    let r = conn.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::BigInt(4));
+}
+
+#[test]
+fn streaming_cursor_wraps_non_query_statements() {
+    let conn = db().connect();
+    // DDL/DML through query_stream: the statement executes eagerly and
+    // the (small) result replays through the cursor.
+    let mut cursor = conn.query_stream("CREATE TABLE t (x INTEGER)").unwrap();
+    assert!(cursor.next_chunk().unwrap().is_none());
+    let mut cursor = conn.query_stream("INSERT INTO t VALUES (5), (6)").unwrap();
+    assert_eq!(cursor.column_names(), ["Count"]);
+    let chunk = cursor.next_chunk().unwrap().unwrap();
+    assert_eq!(chunk.column(0).get_value(0), Value::BigInt(2));
+    assert!(cursor.next_chunk().unwrap().is_none());
+    // Multi-statement strings: earlier statements run to completion, the
+    // last one streams.
+    let mut cursor =
+        conn.query_stream("INSERT INTO t VALUES (7); SELECT x FROM t ORDER BY x").unwrap();
+    let mut values = Vec::new();
+    while let Some(chunk) = cursor.next_chunk().unwrap() {
+        for row in 0..chunk.len() {
+            values.push(chunk.column(0).get_value(row));
+        }
+    }
+    assert_eq!(values, vec![Value::Integer(5), Value::Integer(6), Value::Integer(7)]);
+}
+
+#[test]
+fn streaming_cursor_surfaces_mid_stream_errors_and_recovers() {
+    let conn = db().connect();
+    conn.execute("CREATE TABLE t (x INTEGER)").unwrap();
+    let rows: Vec<String> = (0..20_000).map(|i| format!("({i})")).collect();
+    conn.execute(&format!("INSERT INTO t VALUES {}", rows.join(","))).unwrap();
+    // The second union arm overflows (x * i64::MAX): the first arm
+    // streams fine, then the error must surface from next_chunk, the
+    // auto-commit transaction roll back, and the connection keep working.
+    let mut cursor = conn
+        .query_stream(
+            "SELECT x FROM t WHERE x < 1000 \
+             UNION ALL SELECT x * 9223372036854775807 FROM t",
+        )
+        .unwrap();
+    let mut saw_error = false;
+    loop {
+        match cursor.next_chunk() {
+            Ok(Some(_)) => continue,
+            Ok(None) => break,
+            Err(_) => {
+                saw_error = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_error, "the multiplication overflow must surface through the stream");
+    drop(cursor);
+    assert!(!conn.in_transaction());
+    let r = conn.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::BigInt(20_000));
+}
