@@ -21,6 +21,7 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
     # entries survive while re-measured benches replace their own rows.
     cargo bench -p eider-bench --bench olap
     cargo bench -p eider-bench --bench parallel
+    cargo bench -p eider-bench --bench multi_session
     echo "==> wrote $EIDER_BENCH_JSON"
     exit 0
 fi
@@ -57,6 +58,14 @@ echo "==> serial/parallel equivalence: integration suites at 1, 4 and 8 workers"
 EIDER_THREADS=1 cargo test -q --test parallel_execution --test sql_integration
 EIDER_THREADS=4 cargo test -q --test parallel_execution --test sql_integration
 EIDER_THREADS=8 cargo test -q --test parallel_execution --test sql_integration
+
+echo "==> multi-session concurrency harness at 1, 2, 4 and 8 workers"
+# The deterministic session storm: N concurrent connections must observe
+# bit-identical results vs a serial replay at every fleet size.
+EIDER_THREADS=1 cargo test -q --test multi_session
+EIDER_THREADS=2 cargo test -q --test multi_session
+EIDER_THREADS=4 cargo test -q --test multi_session
+EIDER_THREADS=8 cargo test -q --test multi_session
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q

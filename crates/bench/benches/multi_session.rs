@@ -1,0 +1,26 @@
+//! Multi-session dashboard latency: the §2 dashboard scenario (E2c) run at
+//! session scale — 7 OLAP reader sessions and 1 ETL writer session over one
+//! shared database, each connection its own session with its own quota
+//! sub-account and fleet share. Records the readers' per-query p50 / p99
+//! into the machine-readable summary under the gated `olap/` family, so a
+//! regression in cross-session latency (admission starvation, quota
+//! contention, fleet mis-sharing) fails `ci.sh bench-check` like any other
+//! OLAP slowdown.
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+
+fn multi_session(_c: &mut Criterion) {
+    // Queries per reader session: enough for a stable p99 (7 readers x 40
+    // queries = 280 samples), scaled up when CI asks for more samples.
+    let iters = std::env::var("EIDER_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(40, |s| (s * 10).max(40));
+    let stats = eider_bench::dashboard_storm(100_000, 8, iters).expect("dashboard storm");
+    assert_eq!(stats.torn, 0, "MVCC served a torn snapshot under the 8-session storm");
+    record_metric("olap/dashboard_8session_p50_ns", stats.p50_ns);
+    record_metric("olap/dashboard_8session_p99_ns", stats.p99_ns);
+}
+
+criterion_group!(benches, multi_session);
+criterion_main!(benches);

@@ -8,6 +8,12 @@
 //! consistent snapshot (the sum is always a multiple of the row count)
 //! while both sides make progress.
 
+//! With `--sessions N [--iters K]` it instead runs the session-scale storm
+//! ([`eider_bench::dashboard_storm`]): N-1 reader sessions × K queries each
+//! against one ETL writer, reporting the OLAP latency distribution (p50 /
+//! p99) the embedding host would observe — the numbers CI records into
+//! BENCH_olap.json via the `multi_session` bench.
+
 use eider_core::Database;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,6 +21,34 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let rows = 200_000;
+    let mut args = std::env::args().skip(1);
+    let mut sessions: Option<usize> = None;
+    let mut iters = 40usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => sessions = args.next().and_then(|v| v.parse().ok()),
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(iters),
+            other => {
+                eprintln!("dashboard_sim: unknown argument {other}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(sessions) = sessions {
+        let stats = eider_bench::dashboard_storm(rows, sessions, iters).expect("storm");
+        println!(
+            "# E2c at session scale: {rows} rows, {} OLAP reader sessions x {iters} queries \
+             + 1 ETL writer session",
+            sessions.saturating_sub(1).max(1)
+        );
+        println!("  OLAP queries completed : {}", stats.reads);
+        println!("  bulk updates committed : {}", stats.writes);
+        println!("  OLAP latency p50       : {:.3} ms", stats.p50_ns as f64 / 1e6);
+        println!("  OLAP latency p99       : {:.3} ms", stats.p99_ns as f64 / 1e6);
+        println!("  torn snapshots observed: {} (must be 0)", stats.torn);
+        assert_eq!(stats.torn, 0, "MVCC must serve consistent snapshots");
+        return;
+    }
     let db = Database::in_memory().expect("db");
     let conn = db.connect();
     conn.execute("CREATE TABLE metrics (id INTEGER, val INTEGER)").expect("ddl");

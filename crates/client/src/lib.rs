@@ -23,6 +23,7 @@
 pub mod appender;
 pub mod protocol;
 pub mod result;
+pub mod wire;
 
 pub use appender::Appender;
 pub use result::{MaterializedResult, ValueCursor};

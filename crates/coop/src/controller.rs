@@ -50,6 +50,27 @@ pub fn effective_memory_limit(
     configured.min(free_for_dbms).max(floor)
 }
 
+/// Fair per-session slice of the DBMS memory budget when the host-probe
+/// feedback loop is on: the effective limit divided evenly across the
+/// sessions participating in rebalancing, floored at a 1/20 slice of the
+/// limit so a burst of connections cannot shrink anyone's quota to
+/// nothing. (With the probe off, sessions are not rebalanced at all —
+/// each may use the whole limit, and the account chain alone prevents a
+/// combined overshoot.)
+///
+/// ```
+/// use eider_coop::controller::fair_session_share;
+/// assert_eq!(fair_session_share(1 << 20, 4), 1 << 18);
+/// assert_eq!(fair_session_share(1 << 20, 1), 1 << 20);
+/// // The floor: 40 sessions do not get 1/40 slices.
+/// assert_eq!(fair_session_share(1 << 20, 40), (1 << 20) / 20);
+/// assert_eq!(fair_session_share(1 << 20, 0), 1 << 20);
+/// ```
+pub fn fair_session_share(effective_limit: usize, sessions: usize) -> usize {
+    let floor = (effective_limit / 20).max(1);
+    (effective_limit / sessions.max(1)).max(floor)
+}
+
 /// Thresholds as fractions of the total memory budget.
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {

@@ -8,9 +8,9 @@
 //! result at once.
 
 use crate::cursor::ResultCursor;
-use crate::database::Database;
+use crate::database::{Database, SessionState};
 use crate::persist::{self, WalRecord};
-use crate::planner;
+use crate::planner::{self, PlanCtx};
 use eider_client::MaterializedResult;
 use eider_coop::compression::CompressionLevel;
 use eider_etl::csv::{CsvReadOptions, CsvReader, CsvWriter};
@@ -22,19 +22,34 @@ use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, Vector};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// A session: runs SQL, owns the current explicit transaction (if any).
+/// A session: runs SQL, owns the current explicit transaction (if any)
+/// and the session's memory quota account — every operator its queries
+/// plan charges that account, so concurrent sessions stay inside their
+/// own slices of the global budget.
 pub struct Connection {
     db: Arc<Database>,
+    session: Arc<SessionState>,
     current_txn: Mutex<Option<Arc<Transaction>>>,
 }
 
 impl Connection {
     pub(crate) fn new(db: Arc<Database>) -> Self {
-        Connection { db, current_txn: Mutex::new(None) }
+        let session = db.register_session();
+        Connection { db, session, current_txn: Mutex::new(None) }
     }
 
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// This connection's session state (id + quota account).
+    pub fn session(&self) -> &Arc<SessionState> {
+        &self.session
+    }
+
+    /// The session-scoped planning context every statement lowers under.
+    fn plan_ctx(&self) -> PlanCtx<'_> {
+        PlanCtx::new(&self.db, self.session.buffers())
     }
 
     /// Run one or more `;`-separated statements; returns the last result,
@@ -112,15 +127,22 @@ impl Connection {
                 None => (Arc::new(self.db.txn_manager().begin()), true),
             }
         };
-        let lowered = match planner::lower_parallel(&self.db, &txn, &plan) {
+        let ctx = self.plan_ctx();
+        let lowered = match planner::lower_parallel(&ctx, &txn, &plan) {
             Ok(Some(parallel)) => Ok(parallel),
-            Ok(None) => planner::lower(&self.db, &txn, &plan),
+            Ok(None) => planner::lower(&ctx, &txn, &plan),
             Err(e) => Err(e),
         };
         match lowered {
-            Ok(op) => {
-                Ok(ResultCursor::streaming(Arc::clone(&self.db), txn, auto, names, types, op))
-            }
+            Ok(op) => Ok(ResultCursor::streaming(
+                Arc::clone(&self.db),
+                self.session.buffers(),
+                txn,
+                auto,
+                names,
+                types,
+                op,
+            )),
             Err(e) => {
                 if auto {
                     if let Ok(txn) = Arc::try_unwrap(txn) {
@@ -305,7 +327,7 @@ impl Connection {
             LogicalPlan::Insert { entry, input } => {
                 // Materialize the source so the WAL can log it, then append
                 // under the append lock (faithful physical positions).
-                let mut child = planner::lower(&self.db, txn, &input)?;
+                let mut child = planner::lower(&self.plan_ctx(), txn, &input)?;
                 let chunks = drain(child.as_mut())?;
                 // Cast to table layout before logging: the WAL image must
                 // be exactly what lands in storage.
@@ -345,7 +367,7 @@ impl Connection {
                 Ok(count_result(inserted))
             }
             LogicalPlan::Update { entry, input, columns } => {
-                let mut child = planner::lower(&self.db, txn, &input)?;
+                let mut child = planner::lower(&self.plan_ctx(), txn, &input)?;
                 let chunks = drain(child.as_mut())?;
                 let (payloads, rows) = persist::split_row_ids(&chunks)?;
                 // Log one record per assigned column (column-wise, §2).
@@ -382,7 +404,7 @@ impl Connection {
                 Ok(count_result(n as u64))
             }
             LogicalPlan::Delete { entry, input } => {
-                let mut child = planner::lower(&self.db, txn, &input)?;
+                let mut child = planner::lower(&self.plan_ctx(), txn, &input)?;
                 let chunks = drain(child.as_mut())?;
                 let (_, rows) = persist::split_row_ids(&chunks)?;
                 self.db.wal_append(&WalRecord::Delete {
@@ -440,7 +462,7 @@ impl Connection {
             }
             LogicalPlan::CopyTo { input, path, options } => {
                 let names = input.output_names();
-                let mut child = planner::lower(&self.db, txn, &input)?;
+                let mut child = planner::lower(&self.plan_ctx(), txn, &input)?;
                 let header = if options.header { Some(names.as_slice()) } else { None };
                 let mut writer = CsvWriter::create(&path, header, options.delimiter)?;
                 while let Some(chunk) = child.next_chunk()? {
@@ -454,9 +476,10 @@ impl Connection {
             query => {
                 let names = query.output_names();
                 let types = query.output_types();
-                let mut op = match planner::lower_parallel(&self.db, txn, &query)? {
+                let ctx = self.plan_ctx();
+                let mut op = match planner::lower_parallel(&ctx, txn, &query)? {
                     Some(parallel) => parallel,
-                    None => planner::lower(&self.db, txn, &query)?,
+                    None => planner::lower(&ctx, txn, &query)?,
                 };
                 let chunks = drain(op.as_mut())?;
                 Ok(MaterializedResult::new(names, types, chunks))
@@ -505,9 +528,44 @@ impl Connection {
                 Some(v) => {
                     let n = v.as_i64().unwrap_or(1).max(1) as usize;
                     db.policy().set_threads(n);
+                    // The shared fleet divides this new total across
+                    // admitted graphs from their next launch round.
+                    db.fleet().set_threads(db.policy().worker_threads());
                     reply(Value::BigInt(n as i64))
                 }
                 None => reply(Value::BigInt(db.policy().threads() as i64)),
+            },
+            "session_memory_limit" => match value {
+                Some(v) => {
+                    let bytes = v.as_i64().ok_or_else(|| {
+                        EiderError::Bind("PRAGMA session_memory_limit takes a byte count".into())
+                    })?;
+                    if bytes <= 0 {
+                        return Err(EiderError::Bind(
+                            "PRAGMA session_memory_limit must be positive".into(),
+                        ));
+                    }
+                    // Pin this session's quota; pinned quotas are exempt
+                    // from host-probe rebalancing.
+                    self.session.set_quota(bytes as usize);
+                    reply(Value::BigInt(bytes))
+                }
+                // The *effective* quota: the session account's limit
+                // capped by the global one.
+                None => reply(Value::BigInt(self.session.buffers().memory_limit() as i64)),
+            },
+            "admission_limit" => match value {
+                Some(v) => {
+                    let n = v.as_i64().unwrap_or(0);
+                    if n <= 0 {
+                        return Err(EiderError::Bind(
+                            "PRAGMA admission_limit must be positive".into(),
+                        ));
+                    }
+                    db.fleet().set_admission_cap(n as usize);
+                    reply(Value::BigInt(n))
+                }
+                None => reply(Value::BigInt(db.fleet().admission_cap() as i64)),
             },
             "compression" => match value {
                 Some(v) => {
@@ -540,6 +598,19 @@ impl Connection {
             "wal_size" => reply(Value::BigInt(db.wal_size() as i64)),
             other => Err(EiderError::Bind(format!("unknown PRAGMA \"{other}\""))),
         }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        // Abandon any open explicit transaction, then let the database
+        // prune this session and return its quota share to the survivors.
+        if let Some(txn) = self.current_txn.lock().take() {
+            if let Ok(txn) = Arc::try_unwrap(txn) {
+                let _ = txn.rollback();
+            }
+        }
+        self.db.session_closed(self.session.id());
     }
 }
 

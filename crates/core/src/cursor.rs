@@ -56,7 +56,7 @@
 use crate::database::Database;
 use eider_client::MaterializedResult;
 use eider_exec::ops::OperatorBox;
-use eider_storage::buffer::MemoryReservation;
+use eider_storage::buffer::{BufferManager, MemoryReservation};
 use eider_txn::Transaction;
 use eider_vector::{DataChunk, EiderError, LogicalType, Result};
 use std::sync::Arc;
@@ -79,6 +79,11 @@ enum Source {
 /// methods construct it.
 pub struct ResultCursor {
     db: Arc<Database>,
+    /// The account in-flight chunks are charged against: the issuing
+    /// session's quota sub-account (so an undrained cursor counts against
+    /// its own session, not its siblings), or the root account for
+    /// pre-materialized results.
+    buffers: Arc<BufferManager>,
     /// The transaction the stream reads under (`None` once finished, or
     /// for pre-materialized results that already committed).
     txn: Option<Arc<Transaction>>,
@@ -96,6 +101,7 @@ pub struct ResultCursor {
 impl ResultCursor {
     pub(crate) fn streaming(
         db: Arc<Database>,
+        buffers: Arc<BufferManager>,
         txn: Arc<Transaction>,
         auto: bool,
         names: Vec<String>,
@@ -104,6 +110,7 @@ impl ResultCursor {
     ) -> Self {
         ResultCursor {
             db,
+            buffers,
             txn: Some(txn),
             auto,
             names,
@@ -120,8 +127,10 @@ impl ResultCursor {
         let names = result.column_names().to_vec();
         let types = result.column_types().to_vec();
         let chunks: Vec<Arc<DataChunk>> = result.chunks().collect();
+        let buffers = db.buffers();
         ResultCursor {
             db,
+            buffers,
             txn: None,
             auto: false,
             names,
@@ -171,7 +180,7 @@ impl ResultCursor {
         };
         match next {
             Some(Ok(chunk)) => {
-                self.charge = self.db.buffers().reserve(chunk.size_bytes()).ok();
+                self.charge = self.buffers.reserve(chunk.size_bytes()).ok();
                 Ok(Some(chunk))
             }
             None => {

@@ -5,6 +5,7 @@ use crate::persist;
 use eider_catalog::Catalog;
 use eider_coop::hostprobe::HostResourceProbe;
 use eider_coop::policy::ResourcePolicy;
+use eider_exec::parallel::WorkerFleet;
 use eider_resilience::health::HealthMonitor;
 use eider_storage::buffer::{BufferManager, BufferManagerConfig};
 use eider_storage::file_manager::{BlockManager, SingleFileBlockManager};
@@ -14,7 +15,47 @@ use eider_txn::{Transaction, TransactionManager};
 use eider_vector::{EiderError, Result};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Quota granted to sessions that never ran
+/// `PRAGMA session_memory_limit`: effectively unbounded, so the account
+/// chain's min leaves the *global* limit in charge and a single-session
+/// embedding behaves exactly as it did before sessions existed. (Half of
+/// `usize::MAX` rather than all of it so in-flight charges can never
+/// overflow the account's `used + bytes` arithmetic.)
+pub(crate) const DEFAULT_SESSION_QUOTA: usize = usize::MAX / 2;
+
+/// Per-connection session state: identity plus the session's memory
+/// quota, a [`BufferManager::sub_account`] carved out of the database's
+/// root account. Every operator a session's queries plan charges this
+/// account, so its reservations are capped by both its quota and the
+/// global limit — and are invisible to sibling sessions' quotas.
+pub struct SessionState {
+    id: u64,
+    buffers: Arc<BufferManager>,
+    /// Set once the user pins the quota with `PRAGMA
+    /// session_memory_limit`; exempt from host-probe rebalancing.
+    explicit_quota: AtomicBool,
+}
+
+impl SessionState {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The session's buffer account (charges propagate to the root).
+    pub fn buffers(&self) -> Arc<BufferManager> {
+        Arc::clone(&self.buffers)
+    }
+
+    /// Pin the session quota (`PRAGMA session_memory_limit`); a pinned
+    /// quota is left alone by [`Database::rebalance_session_quotas`].
+    pub(crate) fn set_quota(&self, bytes: usize) {
+        self.buffers.set_memory_limit(bytes);
+        self.explicit_quota.store(true, Ordering::Relaxed);
+    }
+}
 
 struct StorageState {
     block_mgr: SingleFileBlockManager,
@@ -38,6 +79,13 @@ pub struct Database {
     /// The `/proc`-based host sampler (`None` off-Linux); consulted only
     /// while `config.host_probe` is on.
     host_probe: Option<HostResourceProbe>,
+    /// The database-wide worker budget and admission gate shared by every
+    /// session's parallel queries.
+    fleet: Arc<WorkerFleet>,
+    /// Live sessions (weak — a dropped [`crate::Connection`] unregisters
+    /// itself lazily) for quota rebalancing.
+    sessions: Mutex<Vec<Weak<SessionState>>>,
+    next_session_id: AtomicU64,
     config: Mutex<DatabaseConfig>,
     storage: Option<StorageState>,
     /// Serializes commit finalization + WAL commit marker (see
@@ -135,6 +183,9 @@ impl Database {
             policy,
             health,
             host_probe: HostResourceProbe::available().then(HostResourceProbe::new),
+            fleet: WorkerFleet::new(config.threads),
+            sessions: Mutex::new(Vec::new()),
+            next_session_id: AtomicU64::new(1),
             config: Mutex::new(config),
             storage: None,
             commit_lock: Mutex::new(()),
@@ -165,6 +216,67 @@ impl Database {
 
     pub fn health(&self) -> &Arc<HealthMonitor> {
         &self.health
+    }
+
+    /// The shared worker fleet: the database-wide worker budget divided
+    /// across concurrently admitted pipeline graphs.
+    pub fn fleet(&self) -> Arc<WorkerFleet> {
+        Arc::clone(&self.fleet)
+    }
+
+    /// Open a new session: a fresh quota sub-account registered for
+    /// rebalancing. Called by [`crate::Connection::new`].
+    pub(crate) fn register_session(&self) -> Arc<SessionState> {
+        let session = Arc::new(SessionState {
+            id: self.next_session_id.fetch_add(1, Ordering::Relaxed),
+            buffers: self.buffers.sub_account(DEFAULT_SESSION_QUOTA),
+            explicit_quota: AtomicBool::new(false),
+        });
+        let mut sessions = self.sessions.lock();
+        sessions.retain(|w| w.strong_count() > 0);
+        sessions.push(Arc::downgrade(&session));
+        drop(sessions);
+        self.rebalance_session_quotas();
+        session
+    }
+
+    /// Prune a closing session from the registry and return its quota
+    /// share to the survivors. Called from [`crate::Connection`]'s drop,
+    /// where the session `Arc` is still alive — hence the explicit id
+    /// rather than relying on the weak pointer being dead.
+    pub(crate) fn session_closed(&self, id: u64) {
+        self.sessions.lock().retain(|w| w.upgrade().is_some_and(|s| s.id != id));
+        self.rebalance_session_quotas();
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().iter().filter(|w| w.strong_count() > 0).count()
+    }
+
+    /// Divide the effective global limit fairly across live sessions.
+    ///
+    /// Only active while the host probe is on — the same opt-in as the
+    /// rest of the §4 feedback loop — so the default remains "every
+    /// session may use the whole global limit, first come first served"
+    /// (the account chain still prevents any *combined* overshoot).
+    /// Quotas pinned with `PRAGMA session_memory_limit` are never moved.
+    pub(crate) fn rebalance_session_quotas(&self) {
+        if !self.config.lock().host_probe {
+            return;
+        }
+        let live: Vec<Arc<SessionState>> =
+            self.sessions.lock().iter().filter_map(Weak::upgrade).collect();
+        let auto: Vec<&Arc<SessionState>> =
+            live.iter().filter(|s| !s.explicit_quota.load(Ordering::Relaxed)).collect();
+        if auto.is_empty() {
+            return;
+        }
+        let share =
+            eider_coop::controller::fair_session_share(self.buffers.memory_limit(), auto.len());
+        for session in auto {
+            session.buffers.set_memory_limit(share);
+        }
     }
 
     pub fn config(&self) -> DatabaseConfig {
@@ -222,6 +334,10 @@ impl Database {
             eider_coop::controller::effective_memory_limit(configured, host_total, host_other_used);
         self.buffers.set_memory_limit(effective);
         self.policy.set_memory_limit(effective);
+        // The shrunken (or recovered) global limit re-divides across
+        // sessions — §4's feedback now splits across N clients instead of
+        // each of them assuming the whole budget.
+        self.rebalance_session_quotas();
     }
 
     /// Record a new user-configured memory limit (`PRAGMA memory_limit`):

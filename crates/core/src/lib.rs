@@ -31,6 +31,6 @@ pub mod planner;
 pub use config::DatabaseConfig;
 pub use connection::Connection;
 pub use cursor::ResultCursor;
-pub use database::Database;
+pub use database::{Database, SessionState};
 pub use eider_client::MaterializedResult;
 pub use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value};

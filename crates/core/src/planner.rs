@@ -41,9 +41,52 @@ use eider_exec::parallel::morsel::{slice_morsels, Morsel, MORSEL_ROWS};
 use eider_exec::parallel::{ChunkQueue, MorselSource, PipelineSink, PipelineSource, PipelineStep};
 use eider_exec::Expr;
 use eider_sql::plan::LogicalPlan;
+use eider_storage::buffer::BufferManager;
 use eider_txn::{DataTable, ScanOptions, Transaction};
 use eider_vector::{DataChunk, EiderError, LogicalType, Result, VECTOR_SIZE};
 use std::sync::Arc;
+
+/// Per-session planning context: the shared database plus the issuing
+/// session's buffer-manager account (a quota sub-account carved out of
+/// the database's root account — see
+/// [`BufferManager::sub_account`]). Every budget-sized decision — sort
+/// run budgets, streaming-queue bounds, hash-vs-merge join strategy,
+/// operator accounting — goes through the session account, whose
+/// *effective* limit is its quota capped by the global limit, so one
+/// session's plans are sized inside its own slice of memory and its
+/// reservations can never starve a sibling's quota.
+pub struct PlanCtx<'a> {
+    db: &'a Database,
+    buffers: Arc<BufferManager>,
+}
+
+impl<'a> PlanCtx<'a> {
+    pub fn new(db: &'a Database, buffers: Arc<BufferManager>) -> Self {
+        PlanCtx { db, buffers }
+    }
+
+    /// A context accounting directly against the database's root account
+    /// (single-session embedding paths and tests).
+    pub fn root(db: &'a Database) -> Self {
+        let buffers = db.buffers();
+        PlanCtx { db, buffers }
+    }
+
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The session's buffer account; charges propagate to the root.
+    pub fn buffers(&self) -> Arc<BufferManager> {
+        Arc::clone(&self.buffers)
+    }
+
+    /// The session-scoped memory budget: the quota capped by the global
+    /// limit (and by the §4 host-feedback controller when enabled).
+    fn budget(&self) -> usize {
+        self.buffers.memory_limit()
+    }
+}
 
 /// Chain two operators: pull left until exhausted, then right (UNION ALL).
 struct UnionAllOp {
@@ -105,7 +148,7 @@ fn estimate_build_bytes(plan: &LogicalPlan) -> usize {
 
 /// Lower a logical query plan (SELECT-shaped nodes plus INSERT/UPDATE/
 /// DELETE) to a physical operator tree.
-pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Result<OperatorBox> {
+pub fn lower(ctx: &PlanCtx<'_>, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Result<OperatorBox> {
     Ok(match plan {
         LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, .. } => {
             let opts = ScanOptions {
@@ -116,13 +159,13 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
             Box::new(TableScanOp::new(Arc::clone(&entry.data), Arc::clone(txn), opts))
         }
         LogicalPlan::Filter { input, predicate } => {
-            Box::new(FilterOp::new(lower(db, txn, input)?, predicate.clone()))
+            Box::new(FilterOp::new(lower(ctx, txn, input)?, predicate.clone()))
         }
         LogicalPlan::Projection { input, exprs, .. } => {
-            Box::new(ProjectionOp::new(lower(db, txn, input)?, exprs.clone()))
+            Box::new(ProjectionOp::new(lower(ctx, txn, input)?, exprs.clone()))
         }
         LogicalPlan::Aggregate { input, groups, aggs, .. } => {
-            let child = lower(db, txn, input)?;
+            let child = lower(ctx, txn, input)?;
             if groups.is_empty() {
                 Box::new(SimpleAggregateOp::new(child, aggs.clone()))
             } else {
@@ -130,32 +173,46 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
                     child,
                     groups.clone(),
                     aggs.clone(),
-                    Some(db.buffers()),
+                    Some(ctx.buffers()),
                 ))
             }
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = lower(db, txn, input)?;
-            let budget = db.policy().memory_limit() / 4;
-            Box::new(ExternalSortOp::new(child, keys.clone(), budget, Some(db.buffers()), false))
+            let child = lower(ctx, txn, input)?;
+            let budget = ctx.budget() / 4;
+            Box::new(ExternalSortOp::new(child, keys.clone(), budget, Some(ctx.buffers()), false))
         }
         LogicalPlan::Limit { input, limit, offset } => {
-            // ORDER BY + LIMIT fuses into Top-N.
+            // ORDER BY + LIMIT fuses into Top-N — when the bounded buffer
+            // fits. The serial Top-N keeps `limit + offset` rows resident
+            // and charges them to the session account (it has no spill
+            // path), so an estimate too big for a quarter of the budget
+            // takes the spilling external-sort + LIMIT route instead of
+            // failing under memory pressure.
             if let LogicalPlan::Sort { input: sort_input, keys } = &**input {
                 if *limit != usize::MAX && limit.saturating_add(*offset) <= 1_000_000 {
-                    let child = lower(db, txn, sort_input)?;
-                    return Ok(Box::new(TopNOp::new(child, keys.clone(), *limit, *offset)));
+                    let rows = limit.saturating_add(*offset) as u64;
+                    let width = ((keys.len() + sort_input.output_types().len()).max(1) as u64)
+                        .saturating_mul(16);
+                    let estimated = rows.saturating_mul(width) as usize;
+                    if estimated <= ctx.budget() / 4 {
+                        let child = lower(ctx, txn, sort_input)?;
+                        return Ok(Box::new(
+                            TopNOp::new(child, keys.clone(), *limit, *offset)
+                                .with_buffers(Some(ctx.buffers())),
+                        ));
+                    }
                 }
             }
-            Box::new(LimitOp::new(lower(db, txn, input)?, *limit, *offset))
+            Box::new(LimitOp::new(lower(ctx, txn, input)?, *limit, *offset))
         }
-        LogicalPlan::Distinct { input } => Box::new(DistinctOp::new(lower(db, txn, input)?)),
+        LogicalPlan::Distinct { input } => Box::new(DistinctOp::new(lower(ctx, txn, input)?)),
         LogicalPlan::Join { left, right, join_type, left_keys, right_keys } => {
-            let lchild = lower(db, txn, left)?;
+            let lchild = lower(ctx, txn, left)?;
             // §4: the build side's estimated footprint against currently
             // available memory decides hash vs out-of-core merge join.
             let strategy = if *join_type == JoinType::Inner {
-                choose_join_strategy(estimate_build_bytes(right), db.buffers().available_memory())
+                choose_join_strategy(estimate_build_bytes(right), ctx.buffers.available_memory())
             } else {
                 JoinStrategy::Hash // left/semi/anti are hash-only
             };
@@ -164,7 +221,7 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
                 // large table builds morsel-parallel (the probe then
                 // streams with early-stop semantics intact — LIMIT over a
                 // join pulls only what it needs).
-                JoinStrategy::Hash => match parallel_build_side(db, txn, right, right_keys)? {
+                JoinStrategy::Hash => match parallel_build_side(ctx, txn, right, right_keys)? {
                     Some(build) => Box::new(eider_exec::ops::JoinProbeOp::new(
                         lchild,
                         build,
@@ -174,36 +231,36 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
                     )),
                     None => Box::new(HashJoinOp::new(
                         lchild,
-                        lower(db, txn, right)?,
+                        lower(ctx, txn, right)?,
                         left_keys.clone(),
                         right_keys.clone(),
                         *join_type,
-                        db.policy().compression(),
-                        Some(db.buffers()),
+                        ctx.db.policy().compression(),
+                        Some(ctx.buffers()),
                     )?),
                 },
                 JoinStrategy::OutOfCoreMerge => Box::new(MergeJoinOp::new(
                     lchild,
-                    lower(db, txn, right)?,
+                    lower(ctx, txn, right)?,
                     left_keys.clone(),
                     right_keys.clone(),
-                    db.policy().memory_limit() / 8,
-                    Some(db.buffers()),
+                    ctx.budget() / 8,
+                    Some(ctx.buffers()),
                 )),
             }
         }
         LogicalPlan::NestedLoopJoin { left, right, predicate } => Box::new(NestedLoopJoinOp::new(
-            lower(db, txn, left)?,
-            lower(db, txn, right)?,
+            lower(ctx, txn, left)?,
+            lower(ctx, txn, right)?,
             predicate.clone(),
             JoinType::Inner,
         )?),
         LogicalPlan::CrossJoin { left, right } => {
-            Box::new(CrossProductOp::new(lower(db, txn, left)?, lower(db, txn, right)?))
+            Box::new(CrossProductOp::new(lower(ctx, txn, left)?, lower(ctx, txn, right)?))
         }
         LogicalPlan::Union { left, right } => Box::new(UnionAllOp {
-            left: lower(db, txn, left)?,
-            right: lower(db, txn, right)?,
+            left: lower(ctx, txn, left)?,
+            right: lower(ctx, txn, right)?,
             on_right: false,
         }),
         LogicalPlan::Values { rows, types, .. } => {
@@ -220,16 +277,16 @@ pub fn lower(db: &Database, txn: &Arc<Transaction>, plan: &LogicalPlan) -> Resul
         }
         LogicalPlan::SingleRow => Box::new(ValuesOp::single_row()),
         LogicalPlan::Insert { entry, input } => {
-            Box::new(InsertOp::new(Arc::clone(entry), lower(db, txn, input)?, Arc::clone(txn)))
+            Box::new(InsertOp::new(Arc::clone(entry), lower(ctx, txn, input)?, Arc::clone(txn)))
         }
         LogicalPlan::Update { entry, input, columns } => Box::new(UpdateOp::new(
             Arc::clone(entry),
-            lower(db, txn, input)?,
+            lower(ctx, txn, input)?,
             Arc::clone(txn),
             columns.clone(),
         )),
         LogicalPlan::Delete { entry, input } => {
-            Box::new(DeleteOp::new(Arc::clone(entry), lower(db, txn, input)?, Arc::clone(txn)))
+            Box::new(DeleteOp::new(Arc::clone(entry), lower(ctx, txn, input)?, Arc::clone(txn)))
         }
         other => {
             return Err(EiderError::Internal(format!(
@@ -326,7 +383,7 @@ struct QueueSpec {
 /// specs without side effects, so any failure can simply discard it and
 /// fall back to the serial path.
 struct SpecBuilder<'a, 'p> {
-    db: &'a Database,
+    ctx: &'a PlanCtx<'a>,
     nodes: Vec<NodeSpec<'p>>,
     queues: Vec<QueueSpec>,
 }
@@ -352,8 +409,8 @@ fn union_arms(plan: &LogicalPlan) -> Option<Vec<&LogicalPlan>> {
 }
 
 impl<'a, 'p> SpecBuilder<'a, 'p> {
-    fn new(db: &'a Database) -> Self {
-        SpecBuilder { db, nodes: Vec::new(), queues: Vec::new() }
+    fn new(ctx: &'a PlanCtx<'a>) -> Self {
+        SpecBuilder { ctx, nodes: Vec::new(), queues: Vec::new() }
     }
 
     fn push(&mut self, node: NodeSpec<'p>) -> usize {
@@ -367,7 +424,7 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
         join_type != JoinType::Inner
             || choose_join_strategy(
                 estimate_build_bytes(build_plan),
-                self.db.buffers().available_memory(),
+                self.ctx.buffers.available_memory(),
             ) == JoinStrategy::Hash
     }
 
@@ -627,20 +684,21 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
 /// now are morsel sources constructed (recording scan read predicates on
 /// the transaction), chunk queues allocated, and serial inputs lowered.
 fn materialize(
-    db: &Database,
+    ctx: &PlanCtx<'_>,
     txn: &Arc<Transaction>,
     threads: usize,
     spec: SpecBuilder<'_, '_>,
     outputs: Vec<usize>,
 ) -> Result<OperatorBox> {
     let mut graph = PipelineGraph::new(Arc::clone(txn), threads)
-        .with_buffers(Some(db.buffers()))
-        .with_compression(db.policy().compression())
-        .with_sort_budget(db.policy().memory_limit() / 4);
+        .with_buffers(Some(ctx.buffers()))
+        .with_compression(ctx.db.policy().compression())
+        .with_sort_budget(ctx.budget() / 4)
+        .with_fleet(Some(ctx.db.fleet()));
     // Bound each streaming edge's backlog to a slice of the memory budget:
     // enough to decouple producer and consumer, small enough that queued
     // chunks (charged per batch) cannot crowd out sink state.
-    let queue_bytes = (db.policy().memory_limit() / 8).clamp(1 << 16, 4 << 20);
+    let queue_bytes = (ctx.budget() / 8).clamp(1 << 16, 4 << 20);
     // A queue carries one batch per producer morsel; declaring the total
     // lets sort consumers cap their run fan-out like table-sourced sorts.
     let mut queue_batches = vec![0usize; spec.queues.len()];
@@ -689,10 +747,10 @@ fn materialize(
                 });
             }
             NodeSpec::SerialBuild { plan, keys } => {
-                graph.add(GraphNode::SerialBuild { input: Some(lower(db, txn, plan)?), keys });
+                graph.add(GraphNode::SerialBuild { input: Some(lower(ctx, txn, plan)?), keys });
             }
             NodeSpec::SerialProbe { plan, links } => {
-                graph.add(GraphNode::SerialPipeline { input: Some(lower(db, txn, plan)?), links });
+                graph.add(GraphNode::SerialPipeline { input: Some(lower(ctx, txn, plan)?), links });
             }
         }
     }
@@ -710,16 +768,16 @@ fn materialize(
 ///
 /// [`BuildSide`]: eider_exec::ops::BuildSide
 fn parallel_build_side(
-    db: &Database,
+    ctx: &PlanCtx<'_>,
     txn: &Arc<Transaction>,
     build_plan: &LogicalPlan,
     keys: &[Expr],
 ) -> Result<Option<Arc<eider_exec::ops::BuildSide>>> {
-    let threads = db.policy().worker_threads();
+    let threads = ctx.db.policy().worker_threads();
     if threads <= 1 {
         return Ok(None);
     }
-    let mut spec = SpecBuilder::new(db);
+    let mut spec = SpecBuilder::new(ctx);
     let Some(chain) = spec.chain_of(build_plan) else { return Ok(None) };
     if !spec.nodes.is_empty() {
         return Ok(None); // nested build sides: keep the serial path simple
@@ -741,7 +799,7 @@ fn parallel_build_side(
         steps,
         PipelineSink::JoinBuild { keys: keys.to_vec() },
     )
-    .with_buffers(Some(db.buffers()));
+    .with_buffers(Some(ctx.buffers()));
     let eider_exec::parallel::PipelineOutput::JoinBuild { partials, reservations } =
         pipeline.execute(threads)?
     else {
@@ -749,8 +807,8 @@ fn parallel_build_side(
     };
     let build = eider_exec::ops::BuildSide::from_partials(
         partials,
-        db.policy().compression(),
-        Some(db.buffers()),
+        ctx.db.policy().compression(),
+        Some(ctx.buffers()),
     )?;
     drop(reservations);
     Ok(Some(Arc::new(build)))
@@ -761,27 +819,30 @@ fn parallel_build_side(
 /// worker, or the tables are too small to split — callers then use the
 /// serial [`lower`].
 pub fn lower_parallel(
-    db: &Database,
+    ctx: &PlanCtx<'_>,
     txn: &Arc<Transaction>,
     plan: &LogicalPlan,
 ) -> Result<Option<OperatorBox>> {
     // §4's loop: sample the real host before deciding the fan-out (no-op
     // unless `PRAGMA host_probe` enabled the /proc sampler).
-    db.refresh_host_load();
-    let threads = db.policy().worker_threads();
+    ctx.db.refresh_host_load();
+    let threads = ctx.db.policy().worker_threads();
     if threads <= 1 {
         return Ok(None);
     }
-    parallel_plan(db, txn, plan, threads)
+    // Publish the policy's worker total to the shared fleet: concurrently
+    // admitted graphs divide *this* number between them each launch round.
+    ctx.db.fleet().set_threads(threads);
+    parallel_plan(ctx, txn, plan, threads)
 }
 
 fn parallel_plan(
-    db: &Database,
+    ctx: &PlanCtx<'_>,
     txn: &Arc<Transaction>,
     plan: &LogicalPlan,
     threads: usize,
 ) -> Result<Option<OperatorBox>> {
-    if let Some(op) = try_graph(db, txn, plan, threads)? {
+    if let Some(op) = try_graph(ctx, txn, plan, threads)? {
         return Ok(Some(op));
     }
     // Serial wrappers over a parallel child: the few result rows of an
@@ -789,12 +850,12 @@ fn parallel_plan(
     // UNION ALL flow through ordinary serial operators while the heavy
     // scan work underneath stays morsel-parallel.
     Ok(match plan {
-        LogicalPlan::Projection { input, exprs, .. } => parallel_plan(db, txn, input, threads)?
+        LogicalPlan::Projection { input, exprs, .. } => parallel_plan(ctx, txn, input, threads)?
             .map(|child| -> OperatorBox { Box::new(ProjectionOp::new(child, exprs.clone())) }),
-        LogicalPlan::Filter { input, predicate } => parallel_plan(db, txn, input, threads)?
+        LogicalPlan::Filter { input, predicate } => parallel_plan(ctx, txn, input, threads)?
             .map(|child| -> OperatorBox { Box::new(FilterOp::new(child, predicate.clone())) }),
         LogicalPlan::Aggregate { input, groups, aggs, .. } => {
-            parallel_plan(db, txn, input, threads)?.map(|child| -> OperatorBox {
+            parallel_plan(ctx, txn, input, threads)?.map(|child| -> OperatorBox {
                 if groups.is_empty() {
                     Box::new(SimpleAggregateOp::new(child, aggs.clone()))
                 } else {
@@ -802,23 +863,23 @@ fn parallel_plan(
                         child,
                         groups.clone(),
                         aggs.clone(),
-                        Some(db.buffers()),
+                        Some(ctx.buffers()),
                     ))
                 }
             })
         }
         LogicalPlan::Sort { input, keys } => {
-            parallel_plan(db, txn, input, threads)?.map(|child| -> OperatorBox {
+            parallel_plan(ctx, txn, input, threads)?.map(|child| -> OperatorBox {
                 Box::new(ExternalSortOp::new(
                     child,
                     keys.clone(),
-                    db.policy().memory_limit() / 4,
-                    Some(db.buffers()),
+                    ctx.budget() / 4,
+                    Some(ctx.buffers()),
                     false,
                 ))
             })
         }
-        LogicalPlan::Distinct { input } => parallel_plan(db, txn, input, threads)?
+        LogicalPlan::Distinct { input } => parallel_plan(ctx, txn, input, threads)?
             .map(|child| -> OperatorBox { Box::new(DistinctOp::new(child)) }),
         _ => None,
     })
@@ -828,18 +889,18 @@ fn parallel_plan(
 /// UNION ALL trees first, then the serial-probe fallback for joins with a
 /// small probe side.
 fn try_graph(
-    db: &Database,
+    ctx: &PlanCtx<'_>,
     txn: &Arc<Transaction>,
     plan: &LogicalPlan,
     threads: usize,
 ) -> Result<Option<OperatorBox>> {
-    let mut spec = SpecBuilder::new(db);
+    let mut spec = SpecBuilder::new(ctx);
     if let Some(outputs) = spec.output_nodes(plan) {
-        return materialize(db, txn, threads, spec, outputs).map(Some);
+        return materialize(ctx, txn, threads, spec, outputs).map(Some);
     }
-    let mut spec = SpecBuilder::new(db);
+    let mut spec = SpecBuilder::new(ctx);
     if let Some(output) = spec.serial_probe(plan) {
-        return materialize(db, txn, threads, spec, vec![output]).map(Some);
+        return materialize(ctx, txn, threads, spec, vec![output]).map(Some);
     }
     Ok(None)
 }
@@ -876,7 +937,7 @@ mod tests {
     fn routes_parallel(db: &Arc<Database>, sql: &str) -> bool {
         let txn = Arc::new(db.txn_manager().begin());
         let plan = plan_of(db, sql);
-        lower_parallel(db, &txn, &plan).unwrap().is_some()
+        lower_parallel(&PlanCtx::root(db), &txn, &plan).unwrap().is_some()
     }
 
     /// Un-nest the projection the binder puts above SELECT lists so the
@@ -905,7 +966,8 @@ mod tests {
         ] {
             let plan = plan_of(&db, &sql);
             let plan = strip_projection(&plan);
-            let mut spec = SpecBuilder::new(&db);
+            let ctx = PlanCtx::root(&db);
+            let mut spec = SpecBuilder::new(&ctx);
             let outputs = spec
                 .output_nodes(plan)
                 .unwrap_or_else(|| panic!("expected a parallel DAG with a queue for: {sql}"));

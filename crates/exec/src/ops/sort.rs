@@ -9,7 +9,7 @@
 
 use crate::expression::Expr;
 use crate::ops::{OperatorBox, PhysicalOperator};
-use eider_storage::buffer::BufferManager;
+use eider_storage::buffer::{BufferManager, MemoryReservation};
 use eider_storage::spill::{SpillFile, SpillReader};
 use eider_vector::{DataChunk, LogicalType, Result, Value, VECTOR_SIZE};
 use std::cmp::Ordering;
@@ -169,10 +169,27 @@ impl ExternalSortOp {
         let mut run_bytes = 0usize;
         let mut spills: Vec<SpillReader> = Vec::new();
         let all_types = self.all_types();
-        let _reservation = match &self.buffers {
-            Some(b) => Some(b.reserve(self.budget)?),
-            None => None,
-        };
+        // Claim the sort budget from the ledger, degrading under pressure:
+        // when concurrent sessions hold the pool, halve the ask until it
+        // fits (smaller in-memory runs, more spilling — same rows out).
+        // Below the 64 KB floor, run unaccounted at the floor, the same
+        // bounded exception the other serial scratch buffers use.
+        let mut _reservation = None;
+        if let Some(b) = &self.buffers {
+            let mut want = self.budget.min(b.memory_limit());
+            loop {
+                if want < (1 << 16) {
+                    self.budget = 1 << 16;
+                    break;
+                }
+                if let Ok(r) = b.reserve(want) {
+                    self.budget = want;
+                    _reservation = Some(r);
+                    break;
+                }
+                want /= 2;
+            }
+        }
         while let Some(chunk) = child.next_chunk()? {
             if chunk.is_empty() {
                 continue;
@@ -306,7 +323,8 @@ impl PhysicalOperator for ExternalSortOp {
 }
 
 /// Top-N: ORDER BY + LIMIT without a full sort — a bounded insertion
-/// buffer of `limit + offset` rows.
+/// buffer of `limit + offset` rows, its real footprint charged against
+/// the buffer manager like the parallel cap-mode path.
 pub struct TopNOp {
     child: Option<OperatorBox>,
     keys: Vec<SortKey>,
@@ -314,12 +332,58 @@ pub struct TopNOp {
     offset: usize,
     out: Option<std::vec::IntoIter<Row>>,
     types: Vec<LogicalType>,
+    buffers: Option<Arc<BufferManager>>,
+    /// Charge for the buffered candidate rows, synced per input chunk and
+    /// held until the operator drops (the survivors stay resident while
+    /// the consumer drains them).
+    reservation: Option<MemoryReservation>,
 }
 
 impl TopNOp {
     pub fn new(child: OperatorBox, keys: Vec<SortKey>, limit: usize, offset: usize) -> Self {
         let types = child.output_types();
-        TopNOp { child: Some(child), keys, limit, offset, out: None, types }
+        TopNOp {
+            child: Some(child),
+            keys,
+            limit,
+            offset,
+            out: None,
+            types,
+            buffers: None,
+            reservation: None,
+        }
+    }
+
+    /// Account the candidate buffer against `buffers` (§4 budget).
+    pub fn with_buffers(mut self, buffers: Option<Arc<BufferManager>>) -> Self {
+        self.buffers = buffers;
+        self
+    }
+
+    /// Bytes currently charged for the candidate buffer (0 when
+    /// unaccounted).
+    pub fn accounted_bytes(&self) -> usize {
+        self.reservation.as_ref().map_or(0, MemoryReservation::bytes)
+    }
+
+    /// Keep the reservation equal to the buffered candidate bytes. Unlike
+    /// the parallel cap-mode path there is no per-worker spill fallback
+    /// here: a refused grow surfaces as an out-of-memory error in the
+    /// issuing session's own quota.
+    fn sync_charge(&mut self, bytes: usize) -> Result<()> {
+        let Some(buffers) = &self.buffers else { return Ok(()) };
+        match self.reservation.as_mut() {
+            None => self.reservation = Some(buffers.reserve(bytes)?),
+            Some(res) => {
+                let held = res.bytes();
+                if bytes > held {
+                    res.grow(bytes - held)?;
+                } else {
+                    res.shrink(held - bytes);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn fill(&mut self) -> Result<()> {
@@ -327,6 +391,7 @@ impl TopNOp {
         let cap = self.limit + self.offset;
         // (keys, payload) rows kept sorted ascending; worst row trimmed.
         let mut top: Vec<(Row, Row)> = Vec::with_capacity(cap + 1);
+        let mut bytes = 0usize;
         while let Some(chunk) = child.next_chunk()? {
             let key_vectors =
                 self.keys.iter().map(|k| k.expr.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
@@ -340,14 +405,17 @@ impl TopNOp {
                     }
                 }
                 let payload = chunk.row_values(row);
+                bytes += row_bytes(&key) + row_bytes(&payload);
                 let pos = top
                     .binary_search_by(|(k, _)| compare_keys(k, &key, &self.keys))
                     .unwrap_or_else(|p| p);
                 top.insert(pos, (key, payload));
                 if top.len() > cap {
-                    top.pop();
+                    let (k, p) = top.pop().expect("over cap");
+                    bytes -= row_bytes(&k) + row_bytes(&p);
                 }
             }
+            self.sync_charge(bytes)?;
         }
         let rows: Vec<Row> =
             top.into_iter().skip(self.offset).map(|(_, payload)| payload).collect();
@@ -499,5 +567,52 @@ mod tests {
         let mut topn = TopNOp::new(shuffled_source(3), keys, 100, 0);
         let rows = drain_rows(&mut topn).unwrap();
         assert_eq!(rows.len(), 4);
+    }
+
+    fn test_buffers(limit: usize) -> Arc<BufferManager> {
+        BufferManager::new(eider_storage::buffer::BufferManagerConfig {
+            memory_limit: limit,
+            memtest_allocations: false,
+        })
+    }
+
+    #[test]
+    fn topn_charges_its_buffer_and_releases_on_drop() {
+        let mgr = test_buffers(1 << 30);
+        let keys = vec![SortKey::asc(Expr::column(0, LogicalType::Integer))];
+        let mut topn =
+            TopNOp::new(shuffled_source(1000), keys, 7, 3).with_buffers(Some(Arc::clone(&mgr)));
+        let rows = drain_rows(&mut topn).unwrap();
+        assert_eq!(rows.len(), 7);
+        // The charge pins the *retained* footprint: the `limit + offset`
+        // buffered rows (each one key tuple + payload row), not the 1001
+        // rows streamed through — losers are refunded as they are trimmed.
+        let per_row: usize =
+            rows.iter().map(|r| row_bytes(&[r[0].clone()]) + row_bytes(r)).sum::<usize>() / 7;
+        let expected = per_row * 10; // limit=7 + offset=3 rows held
+        assert_eq!(topn.accounted_bytes(), mgr.used_memory());
+        assert!(
+            topn.accounted_bytes() >= expected - expected / 4
+                && topn.accounted_bytes() <= expected + expected / 4,
+            "accounted {} should pin ~{} (10 buffered rows), not the whole input",
+            topn.accounted_bytes(),
+            expected
+        );
+        drop(topn);
+        assert_eq!(mgr.used_memory(), 0, "reservation released with the operator");
+    }
+
+    #[test]
+    fn topn_over_budget_errors_instead_of_silently_buffering() {
+        // 64 bytes cannot hold 100 buffered rows: the charge must surface
+        // as an out-of-memory error rather than an unaccounted allocation.
+        let mgr = test_buffers(64);
+        let keys = vec![SortKey::asc(Expr::column(0, LogicalType::Integer))];
+        let mut topn =
+            TopNOp::new(shuffled_source(1000), keys, 100, 0).with_buffers(Some(Arc::clone(&mgr)));
+        let err = drain_rows(&mut topn).unwrap_err();
+        assert!(err.to_string().contains("emory"), "unexpected error: {err}");
+        drop(topn);
+        assert_eq!(mgr.used_memory(), 0);
     }
 }

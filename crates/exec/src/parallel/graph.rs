@@ -60,6 +60,7 @@
 use crate::expression::Expr;
 use crate::ops::join::{BuildSide, JoinType};
 use crate::ops::{OperatorBox, PhysicalOperator};
+use crate::parallel::fleet::{FleetLease, WorkerFleet};
 use crate::parallel::morsel::MorselSource;
 use crate::parallel::pipeline::{
     sink_output_types, ParallelPipeline, PipelineOutput, PipelineSink, PipelineSource, PipelineStep,
@@ -311,6 +312,13 @@ pub struct PipelineGraph {
     buffers: Option<Arc<BufferManager>>,
     compression: CompressionLevel,
     sort_budget: usize,
+    /// Shared worker fleet: when present, each launch round's share comes
+    /// from the fleet's fair split across admitted graphs instead of this
+    /// graph's private `threads` budget.
+    fleet: Option<Arc<WorkerFleet>>,
+    /// Admission slot held while the graph executes (released when
+    /// execution finishes — including via abort — by dropping the graph).
+    lease: Option<FleetLease>,
     stats: Option<Arc<GraphStats>>,
     /// Result-edge streaming (see [`PipelineGraph::stream_into`]): the
     /// ordered queue the graph's outputs feed instead of materializing.
@@ -331,9 +339,41 @@ impl PipelineGraph {
             buffers: None,
             compression: CompressionLevel::None,
             sort_budget: usize::MAX,
+            fleet: None,
+            lease: None,
             stats: None,
             stream_queue: None,
             stream_arms: Vec::new(),
+        }
+    }
+
+    /// Partition workers through a shared [`WorkerFleet`] instead of this
+    /// graph's private thread budget. [`PipelineGraphOp`] acquires the
+    /// admission lease; a graph executed directly (tests, the serial
+    /// build-side path) reserves its own slot during [`execute`].
+    ///
+    /// [`execute`]: PipelineGraph::execute
+    pub fn with_fleet(mut self, fleet: Option<Arc<WorkerFleet>>) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// The shared fleet this graph draws workers from, if any.
+    pub fn fleet(&self) -> Option<&Arc<WorkerFleet>> {
+        self.fleet.as_ref()
+    }
+
+    /// Acquire the fleet admission slot (blocking at the gate if the
+    /// database is at its admission limit). Idempotent; a no-op without a
+    /// fleet. [`PipelineGraphOp`] calls this on the *session's* thread
+    /// before spawning the background scheduler, so a query waiting for
+    /// admission costs no engine threads and holds no queue a running
+    /// graph could block on.
+    pub fn admit(&mut self) {
+        if self.lease.is_none() {
+            if let Some(fleet) = &self.fleet {
+                self.lease = Some(fleet.admit());
+            }
         }
     }
 
@@ -512,6 +552,11 @@ impl PipelineGraph {
     /// all queues, launches nothing further, and drains in-flight nodes
     /// before surfacing the error.
     pub fn execute(mut self) -> Result<(Vec<DataChunk>, Vec<MemoryReservation>)> {
+        // A graph executed without going through `PipelineGraphOp` (tests,
+        // inline build sides) still takes its admission slot; the lease
+        // drops with `self` when execution finishes either way.
+        self.admit();
+        let fleet = self.fleet.clone();
         let nodes = std::mem::take(&mut self.nodes);
         let n = nodes.len();
         let deps: Vec<Vec<NodeId>> = nodes.iter().map(Self::node_deps).collect();
@@ -594,8 +639,15 @@ impl PipelineGraph {
                         }
                     }
                     // Split the fleet across everything in flight; morsel
-                    // stealing rebalances skew inside each node.
-                    let share = (threads / (running + launchable.len()).max(1)).max(1);
+                    // stealing rebalances skew inside each node. With a
+                    // shared fleet the split is database-wide — re-read
+                    // every round, so workers migrate between graphs at
+                    // launch-round granularity as siblings come and go.
+                    let in_flight = (running + launchable.len()).max(1);
+                    let share = match &fleet {
+                        Some(f) => f.node_share(in_flight).min(threads.max(1)),
+                        None => (threads / in_flight).max(1),
+                    };
                     // Inline fast path: a lone ready node with nothing in
                     // flight cannot overlap with anything — run it on the
                     // scheduler thread. Sequential DAGs (build → probe, the
@@ -839,6 +891,11 @@ impl PipelineGraphOp {
         let queue =
             Arc::new(ChunkQueue::new(self.out_types.clone(), arms, queue_bytes).with_ordered());
         graph.stream_into(Arc::clone(&queue))?;
+        // Admission happens here, on the consumer's own thread, *before*
+        // the background scheduler exists: a query blocked at the fleet
+        // gate holds no engine thread and owns no queue a peer could be
+        // waiting on, so the gate can never deadlock the fleet.
+        graph.admit();
         let handle = std::thread::Builder::new()
             .name("eider-graph".into())
             .spawn(move || graph.execute().map(|_| ()))
@@ -1242,6 +1299,72 @@ mod tests {
         assert_eq!(rows.len(), ROWS as usize);
         // Exhausted: further pulls keep returning None, not re-executing.
         assert!(op.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn concurrent_graphs_share_a_fleet_and_stay_deterministic() {
+        // Two whole DAGs racing on one fleet: each computes the same join,
+        // each must return exactly the serial rows — fair-share splitting
+        // must never change *what* a graph produces, only how fast.
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let serial = serial_join_rows(&table, &txn);
+        let fleet = WorkerFleet::new(4);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let graph =
+                        probe_graph(&table, &txn, 4, true).with_fleet(Some(Arc::clone(&fleet)));
+                    scope.spawn(move || {
+                        let (chunks, _res) = graph.execute().unwrap();
+                        chunks.iter().flat_map(DataChunk::to_rows).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), serial);
+            }
+        });
+        assert_eq!(fleet.active(), 0, "every lease released");
+    }
+
+    #[test]
+    fn streamed_graph_waits_at_the_admission_gate() {
+        // Fixed interleaving for the admission handoff: a lease held by a
+        // stand-in long-running query keeps a capacity-1 fleet full; the
+        // streamed graph must observably block at the gate (on the
+        // consumer's thread, before its scheduler spawns) and complete
+        // with correct results once the slot frees.
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let serial = serial_join_rows(&table, &txn);
+        let fleet = WorkerFleet::with_cap(4, 1);
+        let occupant = fleet.admit();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let puller = {
+            let graph = probe_graph(&table, &txn, 4, false).with_fleet(Some(Arc::clone(&fleet)));
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut op = PipelineGraphOp::new(graph);
+                tx.send("pulling").unwrap();
+                let rows = drain_rows(&mut op).unwrap();
+                tx.send("done").unwrap();
+                rows
+            })
+        };
+        assert_eq!(rx.recv().unwrap(), "pulling");
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_millis(100)).is_err(),
+            "query ran while the admission gate was full"
+        );
+        drop(occupant);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            "done",
+            "released slot admits the waiting query"
+        );
+        assert_eq!(puller.join().unwrap(), serial);
+        assert_eq!(fleet.active(), 0);
     }
 
     #[test]

@@ -58,12 +58,14 @@
 //! chunks and build sides all charge the §4 budget, and output
 //! reservations release on pipeline teardown.
 
+pub mod fleet;
 pub mod graph;
 pub mod morsel;
 pub mod pipeline;
 pub mod queue;
 pub mod scheduler;
 
+pub use fleet::{FleetLease, WorkerFleet};
 pub use graph::{GraphLink, GraphNode, GraphStats, NodeId, PipelineGraph, PipelineGraphOp};
 pub use morsel::{Morsel, MorselScanOp, MorselSource};
 pub use pipeline::{

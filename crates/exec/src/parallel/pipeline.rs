@@ -625,12 +625,15 @@ impl ParallelPipeline {
                         (Some(buffers), mut want) if ctx.sort_budget != usize::MAX => loop {
                             match buffers.reserve(want) {
                                 Ok(r) => break (Some(r), want),
-                                Err(e) => {
-                                    if want <= (1 << 16) {
-                                        return Err(e);
-                                    }
-                                    want /= 2;
+                                Err(_) if want <= (1 << 16) => {
+                                    // Even the floor was refused (sibling
+                                    // sessions hold the pool): run at the
+                                    // floor unaccounted — a bounded
+                                    // exception, like the serial sort's —
+                                    // rather than failing the query.
+                                    break (None, 1 << 16);
                                 }
+                                Err(_) => want /= 2,
                             }
                         },
                         (_, budget) => (None, budget),

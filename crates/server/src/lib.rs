@@ -1,0 +1,220 @@
+//! eider-server: the thin out-of-process front end.
+//!
+//! The paper's position (§5) is that the *default* deployment is embedded —
+//! the engine links into the application and results are handed over as
+//! shared chunks. But some applications still need a socket (a remote
+//! dashboard, a notebook on another machine), and the measurement in §5 is
+//! precisely that the client protocol then dominates end-to-end time. This
+//! crate keeps that path honest: a deliberately thin server that pumps
+//! [`ResultCursor`](eider_core::ResultCursor) chunks straight into the columnar wire encoding
+//! ([`eider_client::wire`]) with no row pivot in between.
+//!
+//! One process hosts one [`Database`]; every inbound connection becomes an
+//! engine [`Connection`] — i.e. its own *session*, with its own memory
+//! quota sub-account and fair share of the worker fleet, exactly as an
+//! embedded multi-threaded host would get. The request protocol is
+//! minimal: each request is a length-prefixed SQL string
+//! (`[u32 LE][bytes]`); each response is one wire result stream
+//! (header / chunks / end-or-error). Statements stream back-to-back on the
+//! same session, so `BEGIN`/`COMMIT` work across requests.
+//!
+//! [`serve_session`] is transport-agnostic (any `Read` source + `Write`
+//! sink), which is how the tests drive it in memory; the `eider-server`
+//! binary wraps it around TCP accept + thread-per-connection.
+
+use eider_client::wire::ChunkWriter;
+use eider_core::{Connection, Database};
+use eider_vector::{EiderError, Result};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Read one length-prefixed SQL request. `Ok(None)` on clean EOF at a
+/// request boundary (the client hung up between statements).
+fn read_request<R: Read>(input: &mut R) -> Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match input.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(EiderError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_REQUEST_BYTES {
+        return Err(EiderError::Execution(format!(
+            "SQL request of {len} bytes exceeds the {MAX_REQUEST_BYTES} byte limit"
+        )));
+    }
+    let mut sql = vec![0u8; len];
+    input.read_exact(&mut sql).map_err(EiderError::Io)?;
+    let sql = String::from_utf8(sql)
+        .map_err(|_| EiderError::Parse("SQL request is not valid UTF-8".into()))?;
+    Ok(Some(sql))
+}
+
+/// Requests are SQL text; anything this large is a protocol desync.
+const MAX_REQUEST_BYTES: usize = 16 << 20;
+
+/// Send one length-prefixed SQL request (the client side of
+/// `read_request`). Exposed so client shims and tests share the framing.
+pub fn write_request<W: Write>(output: &mut W, sql: &str) -> Result<()> {
+    output.write_all(&(sql.len() as u32).to_le_bytes()).map_err(EiderError::Io)?;
+    output.write_all(sql.as_bytes()).map_err(EiderError::Io)?;
+    output.flush().map_err(EiderError::Io)
+}
+
+/// Execute one SQL statement on `conn` and stream the result to `output`
+/// as a wire stream. Engine errors become protocol frames (an `Error`
+/// frame terminates the stream); only transport failures return `Err`.
+pub fn serve_statement<W: Write>(conn: &Connection, sql: &str, output: W) -> Result<()> {
+    let mut writer = ChunkWriter::new(output);
+    let mut cursor = match conn.query_stream(sql) {
+        Ok(cursor) => cursor,
+        Err(e) => return writer.write_error(&e.to_string()),
+    };
+    writer.write_header(cursor.column_names(), cursor.column_types())?;
+    loop {
+        match cursor.next_chunk() {
+            Ok(Some(chunk)) => writer.write_chunk(&chunk)?,
+            Ok(None) => return writer.finish(),
+            // Mid-stream failure (e.g. the session ran out of its memory
+            // quota): the header is already on the wire, so the error
+            // travels as the stream terminator.
+            Err(e) => return writer.write_error(&e.to_string()),
+        }
+    }
+}
+
+/// Serve one client session: read SQL requests from `input` and stream
+/// each result to `output` until the client disconnects. The connection —
+/// and with it the session's quota sub-account and fleet registration — is
+/// dropped when this returns.
+pub fn serve_session<R: Read, W: Write>(
+    db: &Arc<Database>,
+    mut input: R,
+    mut output: W,
+) -> Result<()> {
+    let conn = db.connect();
+    while let Some(sql) = read_request(&mut input)? {
+        serve_statement(&conn, &sql, &mut output)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eider_client::wire::ChunkReader;
+    use eider_vector::Value;
+
+    fn request_bytes(statements: &[&str]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for sql in statements {
+            write_request(&mut buf, sql).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn session_round_trip_over_in_memory_transport() {
+        let db = Database::in_memory().unwrap();
+        let requests = request_bytes(&[
+            "CREATE TABLE t (x INTEGER, s VARCHAR)",
+            "INSERT INTO t VALUES (1, 'a'), (2, NULL), (3, 'c')",
+            "SELECT x, s FROM t ORDER BY x",
+        ]);
+        let mut response = Vec::new();
+        serve_session(&db, &requests[..], &mut response).unwrap();
+
+        let mut reader = ChunkReader::new(&response[..]);
+        let _create = reader.read_result().unwrap();
+        let _insert = reader.read_result().unwrap();
+        let select = reader.read_result().unwrap();
+        assert_eq!(select.names, ["x", "s"]);
+        assert_eq!(
+            select.to_rows(),
+            vec![
+                vec![Value::Integer(1), Value::Varchar("a".into())],
+                vec![Value::Integer(2), Value::Null],
+                vec![Value::Integer(3), Value::Varchar("c".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn transactions_span_requests_within_a_session() {
+        let db = Database::in_memory().unwrap();
+        let requests = request_bytes(&[
+            "CREATE TABLE t (x INTEGER)",
+            "BEGIN",
+            "INSERT INTO t VALUES (42)",
+            "ROLLBACK",
+            "SELECT count(*) FROM t",
+        ]);
+        let mut response = Vec::new();
+        serve_session(&db, &requests[..], &mut response).unwrap();
+        let mut reader = ChunkReader::new(&response[..]);
+        for _ in 0..4 {
+            reader.read_result().unwrap();
+        }
+        let count = reader.read_result().unwrap();
+        assert_eq!(count.to_rows(), vec![vec![Value::BigInt(0)]]);
+    }
+
+    #[test]
+    fn engine_errors_travel_as_error_frames_not_transport_failures() {
+        let db = Database::in_memory().unwrap();
+        let requests = request_bytes(&[
+            "SELECT nope FROM missing",
+            "SELECT 1 + 1", // the session survives the failed statement
+        ]);
+        let mut response = Vec::new();
+        serve_session(&db, &requests[..], &mut response).unwrap();
+        let mut reader = ChunkReader::new(&response[..]);
+        let err = reader.read_result().unwrap_err();
+        assert!(matches!(err, EiderError::Execution(_)));
+        let ok = reader.read_result().unwrap();
+        assert_eq!(ok.rows, 1);
+    }
+
+    #[test]
+    fn serves_real_tcp_sockets() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+
+        let db = Database::in_memory().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let reader = stream.try_clone().unwrap();
+            serve_session(&db, reader, stream).unwrap();
+        });
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        for sql in
+            ["CREATE TABLE t (x INTEGER)", "INSERT INTO t VALUES (5), (6)", "SELECT sum(x) FROM t"]
+        {
+            write_request(&mut client, sql).unwrap();
+        }
+        client.flush().unwrap();
+        // Half-close the write side so the server sees EOF and finishes.
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+
+        let mut reader = ChunkReader::new(client);
+        let _create = reader.read_result().unwrap();
+        let _insert = reader.read_result().unwrap();
+        let sum = reader.read_result().unwrap();
+        assert_eq!(sum.to_rows(), vec![vec![Value::BigInt(11)]]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn each_socket_becomes_its_own_session() {
+        let db = Database::in_memory().unwrap();
+        let base = db.session_count();
+        let requests = request_bytes(&["SELECT 1"]);
+        let mut response = Vec::new();
+        serve_session(&db, &requests[..], &mut response).unwrap();
+        // The serving connection registered and then unregistered.
+        assert_eq!(db.session_count(), base);
+    }
+}

@@ -1,0 +1,72 @@
+//! The `eider-server` binary: a TCP front end over one shared [`Database`].
+//!
+//! ```text
+//! eider-server [DB_PATH] [--listen ADDR]
+//! ```
+//!
+//! Opens `DB_PATH` (or an in-memory database when omitted) and serves the
+//! length-prefixed SQL / columnar-chunk protocol (see [`eider_server`]) on
+//! `ADDR` (default `127.0.0.1:5744`), one thread and one engine session
+//! per client connection. The engine's own admission layer — not the
+//! accept loop — decides how many queries run concurrently and how the
+//! worker fleet is shared between them.
+
+use eider_core::Database;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut db_path: Option<String> = None;
+    let mut listen = "127.0.0.1:5744".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => die("--listen requires an address"),
+            },
+            "--help" | "-h" => {
+                println!("usage: eider-server [DB_PATH] [--listen ADDR]");
+                return;
+            }
+            path if db_path.is_none() => db_path = Some(path.to_string()),
+            other => die(&format!("unexpected argument: {other}")),
+        }
+    }
+
+    let db = match &db_path {
+        Some(path) => Database::open(path),
+        None => Database::in_memory(),
+    }
+    .unwrap_or_else(|e| die(&format!("cannot open database: {e}")));
+
+    let listener = TcpListener::bind(&listen)
+        .unwrap_or_else(|e| die(&format!("cannot listen on {listen}: {e}")));
+    eprintln!(
+        "eider-server: serving {} on {}",
+        db_path.as_deref().unwrap_or("(in-memory)"),
+        listener.local_addr().map_or(listen, |a| a.to_string())
+    );
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("eider-server: cannot clone socket: {e}");
+                    return;
+                }
+            };
+            if let Err(e) = eider_server::serve_session(&db, reader, stream) {
+                eprintln!("eider-server: session ended with error: {e}");
+            }
+        });
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("eider-server: {msg}");
+    std::process::exit(1)
+}

@@ -38,6 +38,12 @@ impl Default for BufferManagerConfig {
 }
 
 /// Tracks all operator memory against the configured limit.
+///
+/// Accounts form a tree: [`BufferManager::sub_account`] carves a
+/// per-session *quota* out of a parent account. A reservation on a
+/// sub-account charges every level up to the root, so a session can never
+/// exceed its own quota *or* push the database past its global limit, and
+/// one session's hunger is invisible to its siblings' quotas.
 #[derive(Debug)]
 pub struct BufferManager {
     limit: AtomicUsize,
@@ -48,6 +54,9 @@ pub struct BufferManager {
     peak: AtomicUsize,
     memtest_allocations: bool,
     health: Arc<HealthMonitor>,
+    /// Parent account when this is a session sub-account; charges and
+    /// releases propagate up the chain.
+    parent: Option<Arc<BufferManager>>,
 }
 
 impl BufferManager {
@@ -62,11 +71,39 @@ impl BufferManager {
             peak: AtomicUsize::new(0),
             memtest_allocations: config.memtest_allocations,
             health,
+            parent: None,
         })
     }
 
+    /// A session quota carved out of this account. The sub-account shares
+    /// the parent's health monitor and memtest policy; its reservations
+    /// are charged against *both* its own quota and every ancestor, so
+    /// the global limit still holds across all sessions combined.
+    pub fn sub_account(self: &Arc<Self>, quota: usize) -> Arc<BufferManager> {
+        Arc::new(BufferManager {
+            limit: AtomicUsize::new(quota),
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            memtest_allocations: self.memtest_allocations,
+            health: Arc::clone(&self.health),
+            parent: Some(Arc::clone(self)),
+        })
+    }
+
+    /// True for accounts created via [`BufferManager::sub_account`].
+    pub fn is_sub_account(&self) -> bool {
+        self.parent.is_some()
+    }
+
+    /// The effective limit: this account's own limit capped by every
+    /// ancestor's (a session quota larger than the global limit still
+    /// cannot reserve past the global limit).
     pub fn memory_limit(&self) -> usize {
-        self.limit.load(Ordering::Relaxed)
+        let own = self.limit.load(Ordering::Relaxed);
+        match &self.parent {
+            Some(p) => own.min(p.memory_limit()),
+            None => own,
+        }
     }
 
     /// Adjust the limit at runtime (`PRAGMA memory_limit`, or the adaptive
@@ -79,8 +116,14 @@ impl BufferManager {
         self.used.load(Ordering::Relaxed)
     }
 
+    /// Headroom before a reservation would fail: this account's own
+    /// headroom capped by every ancestor's.
     pub fn available_memory(&self) -> usize {
-        self.memory_limit().saturating_sub(self.used_memory())
+        let own = self.limit.load(Ordering::Relaxed).saturating_sub(self.used_memory());
+        match &self.parent {
+            Some(p) => own.min(p.available_memory()),
+            None => own,
+        }
     }
 
     /// High-water mark of accounted memory since construction or the last
@@ -100,16 +143,28 @@ impl BufferManager {
     }
 
     /// Reserve `bytes` against the limit; fails with `OutOfMemory` when the
-    /// budget is exhausted, which is the signal operators use to spill.
+    /// budget is exhausted, which is the signal operators use to spill. On
+    /// a sub-account the charge propagates through every ancestor (and is
+    /// rolled back at each level if a higher one refuses).
     pub fn reserve(self: &Arc<Self>, bytes: usize) -> Result<MemoryReservation> {
+        self.charge(bytes)?;
+        Ok(MemoryReservation { mgr: Arc::clone(self), bytes })
+    }
+
+    fn charge(&self, bytes: usize) -> Result<()> {
+        let own_limit = self.limit.load(Ordering::Relaxed);
         let mut current = self.used.load(Ordering::Relaxed);
         loop {
             let new = current + bytes;
-            if new > self.memory_limit() {
+            if new > own_limit {
+                let knob = if self.parent.is_some() {
+                    "raise the quota with PRAGMA session_memory_limit"
+                } else {
+                    "raise the limit with PRAGMA memory_limit"
+                };
                 return Err(EiderError::OutOfMemory(format!(
-                    "cannot reserve {bytes} bytes: {current} of {} in use \
-                     (raise the limit with PRAGMA memory_limit or let the operator spill)",
-                    self.memory_limit()
+                    "cannot reserve {bytes} bytes: {current} of {own_limit} in use \
+                     ({knob} or let the operator spill)",
                 )));
             }
             match self.used.compare_exchange_weak(
@@ -118,17 +173,25 @@ impl BufferManager {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => {
-                    self.peak.fetch_max(new, Ordering::Relaxed);
-                    return Ok(MemoryReservation { mgr: Arc::clone(self), bytes });
-                }
+                Ok(_) => break,
                 Err(actual) => current = actual,
             }
         }
+        if let Some(parent) = &self.parent {
+            if let Err(e) = parent.charge(bytes) {
+                self.used.fetch_sub(bytes, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        self.peak.fetch_max(self.used.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
     }
 
     fn release(&self, bytes: usize) {
         self.used.fetch_sub(bytes, Ordering::Relaxed);
+        if let Some(parent) = &self.parent {
+            parent.release(bytes);
+        }
     }
 
     /// Allocate a zeroed, memory-tested buffer of `bytes` (rounded up to
@@ -362,6 +425,76 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.used_memory(), 0);
+    }
+
+    #[test]
+    fn sub_account_charges_propagate_to_the_root() {
+        let root = mgr(1000);
+        let a = root.sub_account(600);
+        let b = root.sub_account(600);
+        assert!(a.is_sub_account() && !root.is_sub_account());
+        let ra = a.reserve(400).unwrap();
+        assert_eq!(a.used_memory(), 400);
+        assert_eq!(root.used_memory(), 400, "session charge visible at the root");
+        // b's quota would allow 600, but the root only has 600 left and a
+        // holds 400 of it: b can take 600 only if the root agrees.
+        let rb = b.reserve(600).unwrap();
+        assert_eq!(root.used_memory(), 1000);
+        assert!(a.reserve(1).is_err(), "root exhausted even inside a's quota");
+        drop(ra);
+        drop(rb);
+        assert_eq!(root.used_memory(), 0);
+        assert_eq!(a.used_memory(), 0);
+        assert_eq!(b.used_memory(), 0);
+    }
+
+    #[test]
+    fn sub_account_quota_is_enforced_independently() {
+        let root = mgr(1000);
+        let a = root.sub_account(200);
+        let err = a.reserve(300).unwrap_err();
+        assert!(err.to_string().contains("session_memory_limit"), "{err}");
+        assert_eq!(root.used_memory(), 0, "refused charge leaves the root untouched");
+        let _r = a.reserve(200).unwrap();
+        assert!(a.reserve(1).is_err(), "quota full");
+        assert_eq!(root.available_memory(), 800, "siblings keep the rest");
+    }
+
+    #[test]
+    fn sub_account_rolls_back_own_charge_when_the_root_refuses() {
+        let root = mgr(500);
+        let a = root.sub_account(400);
+        let b = root.sub_account(400);
+        let _rb = b.reserve(300).unwrap();
+        assert!(a.reserve(400).is_err(), "root has only 200 left");
+        assert_eq!(a.used_memory(), 0, "failed reservation fully rolled back");
+        assert_eq!(root.used_memory(), 300);
+    }
+
+    #[test]
+    fn sub_account_effective_limit_is_min_over_the_chain() {
+        let root = mgr(1000);
+        let a = root.sub_account(1 << 40);
+        assert_eq!(a.memory_limit(), 1000, "quota larger than the root is capped");
+        let b = root.sub_account(100);
+        assert_eq!(b.memory_limit(), 100);
+        let _r = root.reserve(950).unwrap();
+        assert_eq!(b.available_memory(), 50, "available is capped by root headroom");
+    }
+
+    #[test]
+    fn sub_account_grow_and_shrink_propagate() {
+        let root = mgr(1000);
+        let a = root.sub_account(500);
+        let mut r = a.reserve(100).unwrap();
+        r.grow(200).unwrap();
+        assert_eq!(a.used_memory(), 300);
+        assert_eq!(root.used_memory(), 300);
+        r.shrink(250);
+        assert_eq!(a.used_memory(), 50);
+        assert_eq!(root.used_memory(), 50);
+        drop(r);
+        assert_eq!(root.used_memory(), 0);
     }
 
     #[test]
