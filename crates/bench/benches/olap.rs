@@ -74,6 +74,73 @@ fn olap(c: &mut Criterion) {
         b.iter(|| wconn.query("SELECT name, count(*) FROM customers GROUP BY name").unwrap())
     });
 
+    // Compressed-domain shapes (PR 8): a table one-and-a-half row groups
+    // deep whose varchar column is dictionary-coded (12 distinct cities)
+    // and whose integer column is run-length encoded (runs of 1000), so
+    // the group-by hashes dictionary codes and the filter short-circuits
+    // whole runs.
+    let enc_db = {
+        use eider_vector::DataChunk;
+        use std::sync::Arc;
+        let db = eider_core::Database::in_memory().expect("db");
+        let conn = db.connect();
+        conn.execute("CREATE TABLE events (city VARCHAR, bucket INTEGER, amount BIGINT)")
+            .expect("create");
+        let entry = db.catalog().get_table("events").expect("table");
+        let txn = Arc::new(db.txn_manager().begin());
+        let types = [LogicalType::Varchar, LogicalType::Integer, LogicalType::BigInt];
+        for base in (0..ROWS).step_by(2048) {
+            let hi = (base + 2048).min(ROWS);
+            let rows: Vec<Vec<Value>> = (base..hi)
+                .map(|i| {
+                    vec![
+                        Value::Varchar(format!("city_{}", i * 31 % 12)),
+                        Value::Integer((i / 1000) as i32),
+                        Value::BigInt((i % 97) as i64),
+                    ]
+                })
+                .collect();
+            let chunk = DataChunk::from_rows(&types, &rows).expect("chunk");
+            entry.data.append_chunk(&txn, &chunk).expect("append");
+        }
+        db.commit_transaction(Arc::try_unwrap(txn).expect("sole owner")).expect("commit");
+        db
+    };
+    let econn = enc_db.connect();
+    g.bench_function("dict_group_by", |b| {
+        b.iter(|| {
+            econn.query("SELECT city, count(*), sum(amount) FROM events GROUP BY city").unwrap()
+        })
+    });
+    g.bench_function("rle_filter_agg", |b| {
+        b.iter(|| {
+            econn.query("SELECT count(*), sum(amount) FROM events WHERE bucket >= 150").unwrap()
+        })
+    });
+    // Archive how small the encoded chunk really is: the canonical
+    // dict+RLE chunk's serialized size, next to the timings it buys.
+    {
+        use eider_storage::serde::{write_chunk, BinWriter};
+        use eider_vector::DataChunk;
+        let types = [LogicalType::Varchar, LogicalType::Integer, LogicalType::BigInt];
+        let rows: Vec<Vec<Value>> = (0..2048)
+            .map(|i| {
+                vec![
+                    Value::Varchar(format!("city_{}", i * 31 % 12)),
+                    Value::Integer(i / 1000),
+                    Value::BigInt((i % 97) as i64),
+                ]
+            })
+            .collect();
+        let chunk = DataChunk::from_rows(&types, &rows).expect("chunk");
+        let cols: Vec<_> =
+            chunk.into_columns().into_iter().map(|c| c.encode_auto().unwrap_or(c)).collect();
+        let encoded = DataChunk::from_vectors(cols).expect("chunk");
+        let mut w = BinWriter::new();
+        write_chunk(&mut w, &encoded);
+        criterion::record_metric("metric/encoded_chunk_bytes", w.len() as u64);
+    }
+
     let star = star_db(ROWS, 5_000, 13).expect("db");
     let sconn = star.connect();
     g.bench_function("vectorized_join_agg", |b| {

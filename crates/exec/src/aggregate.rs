@@ -318,6 +318,137 @@ impl AggState {
             }
             return Ok(true);
         }
+        // Compressed-domain fast paths. Only the exact-integer states
+        // (SUM over an integer input, MIN/MAX) aggregate straight off the
+        // encoded form: integer arithmetic is associative, so folding a
+        // whole FOR frame or RLE run at once is bit-identical to the
+        // per-row loop. Floating-point states fall through to the lazily
+        // decoded path below, which keeps their summation order.
+        if let Some((frame, deltas)) = v.for_parts() {
+            let validity = v.validity();
+            match self {
+                AggState::SumInt { sum, seen } => {
+                    // sum = frame * valid_count + sum(valid deltas).
+                    let (mut acc, mut n): (i128, i128) = (0, 0);
+                    match sel {
+                        None if validity.all_valid() => {
+                            n = deltas.len() as i128;
+                            acc = deltas.iter().map(|&d| i128::from(d)).sum();
+                        }
+                        None => {
+                            for (i, &d) in deltas.iter().enumerate() {
+                                if validity.is_valid(i) {
+                                    acc += i128::from(d);
+                                    n += 1;
+                                }
+                            }
+                        }
+                        Some(sel) => {
+                            for &i in sel.iter() {
+                                let i = i as usize;
+                                if validity.is_valid(i) {
+                                    acc += i128::from(deltas[i]);
+                                    n += 1;
+                                }
+                            }
+                        }
+                    }
+                    *sum += i128::from(frame) * n + acc;
+                    *seen |= n > 0;
+                    return Ok(true);
+                }
+                AggState::Min(_) | AggState::Max(_) => {
+                    // The frame offset is order-preserving: reduce over the
+                    // u32 deltas and add the frame back once at the end.
+                    let want = if matches!(self, AggState::Max(_)) {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Less
+                    };
+                    let mut best: Option<u32> = None;
+                    let mut consider = |d: u32| {
+                        best = Some(match best {
+                            None => d,
+                            Some(b) if d.cmp(&b) == want => d,
+                            Some(b) => b,
+                        });
+                    };
+                    match sel {
+                        None => {
+                            for (i, &d) in deltas.iter().enumerate() {
+                                if validity.is_valid(i) {
+                                    consider(d);
+                                }
+                            }
+                        }
+                        Some(sel) => {
+                            for &i in sel.iter() {
+                                let i = i as usize;
+                                if validity.is_valid(i) {
+                                    consider(deltas[i]);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(b) = best {
+                        self.update(&value_of(v.logical_type(), &(frame + i64::from(b))))?;
+                    }
+                    return Ok(true);
+                }
+                _ => {}
+            }
+        }
+        if sel.is_none() && v.validity().all_valid() {
+            if let Some((runs, starts)) = v.rle_parts() {
+                let len = v.len();
+                let run_len =
+                    |i: usize| starts.get(i + 1).map_or(len, |&s| s as usize) - starts[i] as usize;
+                macro_rules! rle_kernels {
+                    ($rv:expr, $t:ty, $as_i64:expr) => {
+                        match self {
+                            AggState::SumInt { sum, seen } => {
+                                // One multiply per run instead of one add
+                                // per row; exact in i128.
+                                for (i, x) in $rv.iter().enumerate() {
+                                    *sum += i128::from($as_i64(x)) * run_len(i) as i128;
+                                }
+                                *seen |= !$rv.is_empty();
+                                return Ok(true);
+                            }
+                            AggState::Min(_) | AggState::Max(_) => {
+                                // Run lengths are irrelevant to extremes:
+                                // reduce over the run values alone.
+                                let want = if matches!(self, AggState::Max(_)) {
+                                    Ordering::Greater
+                                } else {
+                                    Ordering::Less
+                                };
+                                let mut best: Option<$t> = None;
+                                for x in $rv.iter() {
+                                    best = Some(match best {
+                                        None => *x,
+                                        Some(b) if x.cmp(&b) == want => *x,
+                                        Some(b) => b,
+                                    });
+                                }
+                                if let Some(b) = best {
+                                    self.update(&value_of(v.logical_type(), &b))?;
+                                }
+                                return Ok(true);
+                            }
+                            _ => {}
+                        }
+                    };
+                }
+                match runs {
+                    VectorData::I8(rv) => rle_kernels!(rv, i8, |x: &i8| i64::from(*x)),
+                    VectorData::I16(rv) => rle_kernels!(rv, i16, |x: &i16| i64::from(*x)),
+                    VectorData::I32(rv) => rle_kernels!(rv, i32, |x: &i32| i64::from(*x)),
+                    VectorData::I64(rv) => rle_kernels!(rv, i64, |x: &i64| *x),
+                    _ => {}
+                }
+            }
+        }
         macro_rules! reduce {
             ($d:expr, $body:expr) => {{
                 let d = $d;
@@ -511,14 +642,15 @@ fn value_of<T: TypedValue>(ty: LogicalType, x: &T) -> Value {
 /// per-row [`AggState::update`] semantics inside the same loop, so the
 /// two paths cannot diverge.
 pub fn update_grouped_states(
-    states: &mut [Vec<AggState>],
+    states: &mut [AggState],
+    width: usize,
     agg_idx: usize,
     group_ids: &[u32],
     arg: Option<&Vector>,
 ) -> Result<()> {
     let Some(v) = arg else {
         for &g in group_ids {
-            match &mut states[g as usize][agg_idx] {
+            match &mut states[g as usize * width + agg_idx] {
                 AggState::Count(c) => *c += 1,
                 st => st.update(&Value::Boolean(true))?,
             }
@@ -536,7 +668,7 @@ pub fn update_grouped_states(
                     continue;
                 }
                 let x = d[row];
-                match &mut states[g as usize][agg_idx] {
+                match &mut states[g as usize * width + agg_idx] {
                     AggState::Count(c) => *c += 1,
                     AggState::SumInt { sum, seen } => {
                         *sum += i128::from($as_i64(x));
@@ -578,7 +710,7 @@ pub fn update_grouped_states(
                     continue;
                 }
                 let x = d[row];
-                match &mut states[g as usize][agg_idx] {
+                match &mut states[g as usize * width + agg_idx] {
                     AggState::Count(c) => *c += 1,
                     AggState::SumDouble { sum, seen } => {
                         *sum += x;
@@ -606,7 +738,7 @@ pub fn update_grouped_states(
                     continue;
                 }
                 let x = &d[row];
-                match &mut states[g as usize][agg_idx] {
+                match &mut states[g as usize * width + agg_idx] {
                     AggState::Count(c) => *c += 1,
                     AggState::Min(cur) => {
                         if cur.as_ref().and_then(Value::as_str).is_none_or(|m| x.as_str() < m) {
@@ -627,7 +759,7 @@ pub fn update_grouped_states(
                 if !validity.is_valid(row) {
                     continue;
                 }
-                match &mut states[g as usize][agg_idx] {
+                match &mut states[g as usize * width + agg_idx] {
                     AggState::Count(c) => *c += 1,
                     st => st.update(&Value::Boolean(d[row]))?,
                 }
@@ -875,11 +1007,11 @@ mod tests {
         let kinds = [AggKind::Count, AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max];
         for kind in kinds {
             for distinct in [false, true] {
-                let mut grouped: Vec<Vec<AggState>> = (0..4)
-                    .map(|_| vec![AggState::new(kind, Some(LogicalType::Integer), distinct)])
+                let mut grouped: Vec<AggState> = (0..4)
+                    .map(|_| AggState::new(kind, Some(LogicalType::Integer), distinct))
                     .collect();
-                update_grouped_states(&mut grouped, 0, &group_ids, Some(&v)).unwrap();
-                for (g, states) in grouped.iter().enumerate() {
+                update_grouped_states(&mut grouped, 1, 0, &group_ids, Some(&v)).unwrap();
+                for (g, state) in grouped.iter().enumerate() {
                     let mut scalar = AggState::new(kind, Some(LogicalType::Integer), distinct);
                     for (row, val) in vals.iter().enumerate() {
                         if group_ids[row] as usize == g {
@@ -887,7 +1019,7 @@ mod tests {
                         }
                     }
                     assert_eq!(
-                        states[0].finalize().unwrap(),
+                        state.finalize().unwrap(),
                         scalar.finalize().unwrap(),
                         "{kind:?} distinct={distinct} group {g}"
                     );

@@ -167,6 +167,52 @@ pub fn hash_vector(v: &Vector, hashes: &mut Vec<u64>, first: bool) {
     }
     debug_assert_eq!(hashes.len(), v.len());
     let validity = v.validity();
+    // Dictionary-coded varchar: hash each distinct value once per
+    // *dictionary* (cached on it), then the per-row work is a table
+    // lookup instead of a byte-string hash.
+    if let Some((dict, codes)) = v.dict_parts() {
+        let words = dict.hashes(|vals| vals.iter().map(|s| fx_bytes_word(s.as_bytes())).collect());
+        if validity.all_valid() {
+            for (h, &c) in hashes.iter_mut().zip(codes.iter()) {
+                *h = if first {
+                    fx_mix(0, words[c as usize])
+                } else {
+                    fx_mix(*h, words[c as usize])
+                };
+            }
+        } else {
+            for (i, (h, &c)) in hashes.iter_mut().zip(codes.iter()).enumerate() {
+                let w = if validity.is_valid(i) { words[c as usize] } else { NULL_HASH_WORD };
+                *h = if first { fx_mix(0, w) } else { fx_mix(*h, w) };
+            }
+        }
+        return;
+    }
+    // Run-length encoding: one hash word per run, broadcast over the run.
+    if let Some((runs, starts)) = v.rle_parts() {
+        let n = v.len();
+        let words = run_hash_words(runs);
+        for (i, &w) in words.iter().enumerate() {
+            let begin = starts[i] as usize;
+            let end = starts.get(i + 1).map_or(n, |&s| s as usize);
+            if validity.all_valid() {
+                for h in &mut hashes[begin..end] {
+                    *h = if first { fx_mix(0, w) } else { fx_mix(*h, w) };
+                }
+            } else {
+                for (off, h) in hashes[begin..end].iter_mut().enumerate() {
+                    let word = if validity.is_valid(begin + off) { w } else { NULL_HASH_WORD };
+                    *h = if first { fx_mix(0, word) } else { fx_mix(*h, word) };
+                }
+            }
+        }
+        return;
+    }
+    // Frame-of-reference: hash `frame + delta` inline, no materialization.
+    if let Some((frame, deltas)) = v.for_parts() {
+        hash_loop!(deltas, validity, hashes, first, |x: &u32| (frame + *x as i64) as u64);
+        return;
+    }
     match v.data() {
         VectorData::Bool(d) => hash_loop!(d, validity, hashes, first, |x: &bool| u64::from(*x)),
         VectorData::I8(d) => hash_loop!(d, validity, hashes, first, |x: &i8| *x as i64 as u64),
@@ -179,6 +225,19 @@ pub fn hash_vector(v: &Vector, hashes: &mut Vec<u64>, first: bool) {
         VectorData::Str(d) => {
             hash_loop!(d, validity, hashes, first, |x: &String| fx_bytes_word(x.as_bytes()))
         }
+    }
+}
+
+/// Hash word per RLE run value, matching the flat per-type hash words.
+fn run_hash_words(runs: &VectorData) -> Vec<u64> {
+    match runs {
+        VectorData::Bool(d) => d.iter().map(|&x| u64::from(x)).collect(),
+        VectorData::I8(d) => d.iter().map(|&x| x as i64 as u64).collect(),
+        VectorData::I16(d) => d.iter().map(|&x| x as i64 as u64).collect(),
+        VectorData::I32(d) => d.iter().map(|&x| x as i64 as u64).collect(),
+        VectorData::I64(d) => d.iter().map(|&x| x as u64).collect(),
+        VectorData::F64(d) => d.iter().map(|&x| normalize_f64(x).to_bits()).collect(),
+        VectorData::Str(d) => d.iter().map(|s| fx_bytes_word(s.as_bytes())).collect(),
     }
 }
 

@@ -70,14 +70,17 @@ pub fn update_simple_states(
     Ok(())
 }
 
-/// The GROUP BY hash table: an arena-backed [`KeyedTable`] whose payloads
-/// are the per-group aggregate states, plus the reused per-chunk group-id
-/// buffer. One instance per serial operator; the parallel sink keeps one
-/// per morsel and merges them on encoded byte keys.
+/// The GROUP BY hash table: an arena-backed [`KeyedTable`] of group keys
+/// plus one *flat* aggregate-state array — group `g`'s state for
+/// aggregate `a` lives at `states[g * state_width + a]`, so a million
+/// groups cost one allocation, not a `Vec` each. One instance per serial
+/// operator; the parallel sink keeps one per morsel and merges them on
+/// encoded byte keys.
 pub struct GroupTable {
-    table: KeyedTable<Vec<AggState>>,
+    table: KeyedTable<()>,
+    states: Vec<AggState>,
     group_ids: Vec<u32>,
-    /// Aggregates per group, for the state part of memory accounting.
+    /// Aggregates per group: the stride of `states`.
     state_width: usize,
 }
 
@@ -92,6 +95,7 @@ impl GroupTable {
         let layout = KeyLayout::new(groups.iter().map(Expr::result_type).collect());
         GroupTable {
             table: KeyedTable::with_capacity(layout, cap),
+            states: Vec::new(),
             group_ids: Vec::new(),
             state_width: aggs.len(),
         }
@@ -134,17 +138,40 @@ impl GroupTable {
         aggs: &[AggExpr],
         chunk: &DataChunk,
     ) -> Result<()> {
-        let key_vectors: Vec<Vector> =
-            groups.iter().map(|g| g.evaluate(chunk)).collect::<Result<_>>()?;
-        self.table.upsert_rows(
-            &key_vectors,
-            chunk.len(),
-            || aggs.iter().map(AggExpr::new_state).collect(),
-            &mut self.group_ids,
-        )?;
+        // Bare column references — the overwhelmingly common GROUP BY
+        // shape — borrow the chunk's vector directly; evaluating them
+        // would deep-copy every string in the key column per chunk.
+        let mut computed: Vec<Vector> = Vec::new();
+        for g in groups {
+            if !matches!(g, Expr::ColumnRef { .. }) {
+                computed.push(g.evaluate(chunk)?);
+            }
+        }
+        let mut computed_iter = computed.iter();
+        let key_vectors: Vec<&Vector> = groups
+            .iter()
+            .map(|g| match g {
+                Expr::ColumnRef { index, .. } => chunk.column(*index),
+                _ => computed_iter.next().expect("evaluated above"),
+            })
+            .collect();
+        let known_groups = self.table.len();
+        self.table.upsert_rows(&key_vectors, chunk.len(), || (), &mut self.group_ids)?;
+        // New groups are appended in insertion order; their fresh states
+        // extend the flat array to keep `states[g * width + a]` aligned.
+        self.states.reserve((self.table.len() - known_groups) * self.state_width);
+        for _ in known_groups..self.table.len() {
+            self.states.extend(aggs.iter().map(AggExpr::new_state));
+        }
         for (i, agg) in aggs.iter().enumerate() {
             let arg = agg.arg.as_ref().map(|e| e.evaluate(chunk)).transpose()?;
-            update_grouped_states(self.table.payloads_mut(), i, &self.group_ids, arg.as_ref())?;
+            update_grouped_states(
+                &mut self.states,
+                self.state_width,
+                i,
+                &self.group_ids,
+                arg.as_ref(),
+            )?;
         }
         Ok(())
     }
@@ -153,9 +180,18 @@ impl GroupTable {
     /// the other table's insertion order — deterministic given morsel
     /// order). States of shared keys combine via [`AggState::merge`].
     pub fn merge_from(&mut self, other: GroupTable) -> Result<()> {
-        self.table.merge_from(other.table, |states, partial| {
-            for (s, p) in states.iter_mut().zip(&partial) {
-                s.merge(p)?;
+        let GroupTable { table, states, state_width, .. } = self;
+        let w = *state_width;
+        let mut incoming: Vec<Option<AggState>> = other.states.into_iter().map(Some).collect();
+        table.merge_from_with(other.table, |idx, other_idx, inserted| {
+            let partial = incoming[other_idx * w..(other_idx + 1) * w].iter_mut().map(|s| s.take());
+            if inserted {
+                debug_assert_eq!(idx * w, states.len(), "new groups append in order");
+                states.extend(partial.map(|s| s.expect("moved once")));
+            } else {
+                for (a, p) in partial.enumerate() {
+                    states[idx * w + a].merge(&p.expect("moved once"))?;
+                }
             }
             Ok(())
         })
@@ -175,7 +211,9 @@ impl GroupTable {
         columns.extend(aggs.iter().map(|a| Vector::with_capacity(a.result_type(), indices.len())));
         for &idx in indices {
             self.table.decode_key_into(idx as usize, &mut columns[..key_width])?;
-            for (i, s) in self.table.payloads()[idx as usize].iter().enumerate() {
+            let states = &self.states
+                [idx as usize * self.state_width..(idx as usize + 1) * self.state_width];
+            for (i, s) in states.iter().enumerate() {
                 columns[key_width + i].push_value(&s.finalize()?)?;
             }
         }

@@ -3,7 +3,7 @@
 use crate::expression::{filter_selection, Expr};
 use crate::fxhash::FxBuildHasher;
 use crate::ops::{OperatorBox, PhysicalOperator};
-use eider_vector::{DataChunk, LogicalType, Result, Value};
+use eider_vector::{DataChunk, LogicalType, Result, Value, Vector};
 use std::collections::HashSet;
 
 /// Produces a fixed list of chunks (VALUES clauses, function results).
@@ -93,6 +93,31 @@ impl PhysicalOperator for ProjectionOp {
     fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
         match self.child.next_chunk()? {
             Some(chunk) => {
+                // A projection of distinct bare column references (the
+                // common prune/reorder after an aggregate or scan) moves
+                // the vectors out of the consumed chunk instead of
+                // deep-copying them.
+                let bare: Option<Vec<usize>> = self
+                    .exprs
+                    .iter()
+                    .map(|e| match e {
+                        Expr::ColumnRef { index, .. } => Some(*index),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(idx) = &bare {
+                    let distinct = idx.iter().enumerate().all(|(i, c)| !idx[..i].contains(c));
+                    if distinct {
+                        let mut source = chunk.into_columns();
+                        let cols = idx
+                            .iter()
+                            .map(|&i| {
+                                std::mem::replace(&mut source[i], Vector::new(LogicalType::Boolean))
+                            })
+                            .collect();
+                        return Ok(Some(DataChunk::from_vectors(cols)?));
+                    }
+                }
                 let cols =
                     self.exprs.iter().map(|e| e.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
                 Ok(Some(DataChunk::from_vectors(cols)?))

@@ -77,13 +77,24 @@ impl MorselSource {
     /// Slice `table` into morsels of about `morsel_rows` rows (clamped to
     /// whole vectors). Records the scan's read predicates on `txn` once —
     /// the per-worker range cursors deliberately do not.
+    ///
+    /// Row groups whose zone maps exclude the pushed-down filters are
+    /// dropped from the work list up front: on a selective scan workers
+    /// never even claim morsels in pruned groups. (Sequence numbers keep
+    /// their serial-scan positions, so merges stay deterministic.)
     pub fn new(
         table: Arc<DataTable>,
         txn: &Transaction,
         opts: ScanOptions,
         morsel_rows: usize,
     ) -> Self {
-        let morsels = slice_morsels(&table.group_sizes(), morsel_rows);
+        let sizes = table.group_sizes();
+        let mut morsels = slice_morsels(&sizes, morsel_rows);
+        if !opts.filters.is_empty() {
+            let prunable: Vec<bool> =
+                (0..sizes.len()).map(|g| table.group_prunable(g, &opts.filters)).collect();
+            morsels.retain(|m| !prunable[m.group]);
+        }
         Self::from_morsels(table, txn, opts, morsels)
     }
 
@@ -247,6 +258,41 @@ mod tests {
         let mut all: Vec<usize> = taken.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, (0..src.morsel_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zone_maps_prune_morsels_before_dispensing() {
+        use eider_txn::{CmpOp, TableFilter};
+        // Two row groups of ascending values: group 0 covers
+        // [0, ROW_GROUP_SIZE), group 1 the rest. A filter selecting only
+        // the tail must drop every group-0 morsel from the work list.
+        let n = (eider_txn::table::ROW_GROUP_SIZE + 30_000) as i32;
+        let (mgr, table) = table_with(n);
+        let txn = mgr.begin();
+        let unfiltered = ScanOptions { columns: vec![0], ..Default::default() };
+        let full =
+            MorselSource::new(Arc::clone(&table), &txn, unfiltered, MORSEL_ROWS).morsel_count();
+        let opts = ScanOptions {
+            columns: vec![0],
+            filters: vec![TableFilter::new(0, CmpOp::GtEq, Value::Integer(n - 1000))],
+            ..Default::default()
+        };
+        let src = Arc::new(MorselSource::new(Arc::clone(&table), &txn, opts.clone(), MORSEL_ROWS));
+        let group1_morsels = 30_000usize.div_ceil(MORSEL_ROWS);
+        assert_eq!(
+            src.morsel_count(),
+            group1_morsels,
+            "selective scan must only dispense group-1 morsels (full scan has {full})"
+        );
+        assert!(src.morsel_count() < full);
+        // The pruned scan still returns exactly the qualifying rows.
+        let txn = Arc::new(mgr.begin());
+        let mut rows = Vec::new();
+        while let Some(m) = src.next_morsel() {
+            let mut op = MorselScanOp::new(Arc::clone(&src), Arc::clone(&txn), m);
+            rows.extend(drain_rows(&mut op).unwrap());
+        }
+        assert_eq!(rows.len(), 1000);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 use crate::fxhash::{hash_vector, normalize_f64};
 use eider_vector::{EiderError, LogicalType, Result, Value, Vector, VectorData};
+use std::borrow::Borrow;
 
 /// Sentinel byte of a valid (non-NULL) key column.
 pub const KEY_VALID: u8 = 0x01;
@@ -161,14 +162,24 @@ impl KeyScratch {
 /// encoder writes, or byte-equal keys could carry different hashes.
 /// Returns `None` when every column already matches (the common case;
 /// no copies made).
-pub fn conform_columns(layout: &KeyLayout, columns: &[Vector]) -> Result<Option<Vec<Vector>>> {
-    if columns.iter().zip(layout.types()).all(|(v, &t)| v.logical_type() == t) {
+pub fn conform_columns<V: Borrow<Vector>>(
+    layout: &KeyLayout,
+    columns: &[V],
+) -> Result<Option<Vec<Vector>>> {
+    if columns.iter().zip(layout.types()).all(|(v, &t)| v.borrow().logical_type() == t) {
         return Ok(None);
     }
     columns
         .iter()
         .zip(layout.types())
-        .map(|(v, &t)| if v.logical_type() == t { Ok(v.clone()) } else { v.cast(t) })
+        .map(|(v, &t)| {
+            let v = v.borrow();
+            if v.logical_type() == t {
+                Ok(v.clone())
+            } else {
+                v.cast(t)
+            }
+        })
         .collect::<Result<Vec<_>>>()
         .map(Some)
 }
@@ -212,13 +223,20 @@ macro_rules! fixed_column_loop {
     }};
 }
 
-/// Append one value's escape-terminated varchar encoding.
+/// Append one value's escape-terminated varchar encoding. Strings
+/// without embedded NULs — virtually all of them — copy in one memcpy;
+/// only strings containing `0x00` take the per-byte escaping loop.
 fn encode_str(bytes: &mut Vec<u8>, s: &str) {
-    for &b in s.as_bytes() {
-        if b == 0 {
-            bytes.extend_from_slice(&[0x00, 0xFF]);
-        } else {
-            bytes.push(b);
+    let raw = s.as_bytes();
+    if !raw.contains(&0) {
+        bytes.extend_from_slice(raw);
+    } else {
+        for &b in raw {
+            if b == 0 {
+                bytes.extend_from_slice(&[0x00, 0xFF]);
+            } else {
+                bytes.push(b);
+            }
         }
     }
     bytes.extend_from_slice(&[0x00, 0x00]);
@@ -229,9 +247,9 @@ fn encode_str(bytes: &mut Vec<u8>, s: &str) {
 ///
 /// Columns must match `layout.types()`; a column whose vector type
 /// diverges (rare planner edge) is cast once per chunk, never per row.
-pub fn encode_keys(
+pub fn encode_keys<V: Borrow<Vector>>(
     layout: &KeyLayout,
-    columns: &[Vector],
+    columns: &[V],
     count: usize,
     scratch: &mut KeyScratch,
 ) -> Result<()> {
@@ -249,6 +267,7 @@ pub fn encode_keys(
     // Cast stragglers up front so the hot loops see the layout's types.
     let mut casts: Vec<Option<Vector>> = Vec::new();
     for (c, v) in columns.iter().enumerate() {
+        let v = v.borrow();
         if v.logical_type() != layout.types[c] {
             if casts.is_empty() {
                 casts.resize(columns.len(), None);
@@ -256,8 +275,9 @@ pub fn encode_keys(
             casts[c] = Some(v.cast(layout.types[c])?);
         }
     }
-    let col =
-        |c: usize| -> &Vector { casts.get(c).and_then(|o| o.as_ref()).unwrap_or(&columns[c]) };
+    let col = |c: usize| -> &Vector {
+        casts.get(c).and_then(|o| o.as_ref()).unwrap_or_else(|| columns[c].borrow())
+    };
     if let Some(stride) = layout.fixed_width {
         scratch.bytes.resize(count * stride, 0);
         scratch.starts.extend((0..count as u32).map(|i| i * stride as u32));
@@ -306,13 +326,40 @@ pub fn encode_keys(
         // Variable layout (VARCHAR present): row-major encoding. NULL
         // columns carry no payload here — the sentinel alone decides both
         // equality and order.
+        //
+        // Dictionary-coded varchar columns encode each distinct value
+        // once per *dictionary* (the escape-terminated fragment is cached
+        // on it); per row the encoder then copies the pre-built fragment
+        // instead of re-escaping the string bytes.
+        type DictParts<'a> = Option<(&'a [Vec<u8>], &'a [u32])>;
+        let dict_cols: Vec<DictParts> = (0..columns.len())
+            .map(|c| {
+                col(c).dict_parts().map(|(dict, codes)| {
+                    let frags = dict.key_fragments(|vals| {
+                        vals.iter()
+                            .map(|s| {
+                                let mut b = Vec::with_capacity(s.len() + 2);
+                                encode_str(&mut b, s);
+                                b
+                            })
+                            .collect()
+                    });
+                    (frags, codes)
+                })
+            })
+            .collect();
         for i in 0..count {
             scratch.starts.push(scratch.bytes.len() as u32);
-            for c in 0..columns.len() {
+            for (c, dict_col) in dict_cols.iter().enumerate() {
                 let v = col(c);
                 if v.is_null(i) {
                     scratch.bytes.push(KEY_NULL);
                     scratch.has_null[i] = true;
+                    continue;
+                }
+                if let Some((frags, codes)) = dict_col {
+                    scratch.bytes.push(KEY_VALID);
+                    scratch.bytes.extend_from_slice(&frags[codes[i] as usize]);
                     continue;
                 }
                 scratch.bytes.push(KEY_VALID);
@@ -387,18 +434,17 @@ pub fn decode_key_into(layout: &KeyLayout, key: &[u8], out: &mut [Vector]) -> Re
             LogicalType::Varchar => {
                 let mut s = Vec::new();
                 loop {
-                    let b = key[p];
-                    if b == 0x00 {
-                        let esc = key[p + 1];
-                        p += 2;
-                        if esc == 0x00 {
-                            break;
-                        }
-                        s.push(0x00);
-                    } else {
-                        s.push(b);
-                        p += 1;
+                    // Copy whole NUL-free stretches at once; a 0x00 is
+                    // either the terminator (followed by 0x00) or an
+                    // escaped NUL (followed by 0xFF).
+                    let rest = &key[p..];
+                    let z = rest.iter().position(|&b| b == 0x00).expect("terminated key");
+                    s.extend_from_slice(&rest[..z]);
+                    p += z + 2;
+                    if rest[z + 1] == 0x00 {
+                        break;
                     }
+                    s.push(0x00);
                 }
                 v.as_str_mut().push(String::from_utf8(s).map_err(|_| {
                     EiderError::Internal("key decoding produced invalid UTF-8".into())
@@ -505,13 +551,20 @@ impl<T> KeyedTable<T> {
             + self.scratch.heap_bytes()
     }
 
+    /// Home slot of a hash: fold the high half in before masking, so keys
+    /// whose hashes differ only in upper bits don't share probe chains.
+    #[inline(always)]
+    fn slot_of(hash: u64, mask: u64) -> usize {
+        ((hash ^ (hash >> 32)) & mask) as usize
+    }
+
     fn grow(&mut self) {
         let new_len = (self.slots.len() * 2).max(16);
         self.slots.clear();
         self.slots.resize(new_len, EMPTY_SLOT);
         let mask = (new_len - 1) as u64;
         for (idx, &h) in self.hashes.iter().enumerate() {
-            let mut i = (h & mask) as usize;
+            let mut i = Self::slot_of(h, mask);
             while self.slots[i] != EMPTY_SLOT {
                 i = (i + 1) & mask as usize;
             }
@@ -527,11 +580,14 @@ impl<T> KeyedTable<T> {
         key: &[u8],
         new_payload: impl FnOnce() -> T,
     ) -> (usize, bool) {
-        if (self.payloads.len() + 1) * 8 > self.slots.len() * 7 {
+        // Cap the load factor at 3/4: linear probing degrades sharply past
+        // ~75% occupancy, and slots are only 4 bytes each — far cheaper to
+        // keep sparse than the probe chains they would otherwise grow.
+        if (self.payloads.len() + 1) * 4 > self.slots.len() * 3 {
             self.grow();
         }
         let mask = (self.slots.len() - 1) as u64;
-        let mut i = (hash & mask) as usize;
+        let mut i = Self::slot_of(hash, mask);
         loop {
             let s = self.slots[i];
             if s == EMPTY_SLOT {
@@ -558,7 +614,7 @@ impl<T> KeyedTable<T> {
             return None;
         }
         let mask = (self.slots.len() - 1) as u64;
-        let mut i = (hash & mask) as usize;
+        let mut i = Self::slot_of(hash, mask);
         loop {
             let s = self.slots[i];
             if s == EMPTY_SLOT {
@@ -575,9 +631,9 @@ impl<T> KeyedTable<T> {
     /// Vectorized find-or-insert of a whole chunk's keys: hash every key
     /// column with [`hash_vector`], encode rows into the reused scratch,
     /// then probe each row. `group_ids[row]` receives the entry index.
-    pub fn upsert_rows(
+    pub fn upsert_rows<V: Borrow<Vector>>(
         &mut self,
-        columns: &[Vector],
+        columns: &[V],
         count: usize,
         mut new_payload: impl FnMut() -> T,
         group_ids: &mut Vec<u32>,
@@ -590,16 +646,19 @@ impl<T> KeyedTable<T> {
                 return Err(e);
             }
         };
-        let columns = conformed.as_deref().unwrap_or(columns);
+        let columns: Vec<&Vector> = match &conformed {
+            Some(cast) => cast.iter().collect(),
+            None => columns.iter().map(Borrow::borrow).collect(),
+        };
         if columns.is_empty() {
             scratch.hashes.clear();
             scratch.hashes.resize(count, 0);
         } else {
-            for (c, v) in columns.iter().enumerate() {
+            for (c, &v) in columns.iter().enumerate() {
                 hash_vector(v, &mut scratch.hashes, c == 0);
             }
         }
-        let result = encode_keys(&self.layout, columns, count, &mut scratch);
+        let result = encode_keys(&self.layout, &columns, count, &mut scratch);
         if result.is_ok() {
             group_ids.clear();
             group_ids.reserve(count);
@@ -628,6 +687,27 @@ impl<T> KeyedTable<T> {
             if !inserted {
                 combine(&mut self.payloads[idx], moved.take().expect("payload"))?;
             }
+        }
+        Ok(())
+    }
+
+    /// Like [`KeyedTable::merge_from`], but for callers that keep
+    /// per-entry state *outside* the payload (e.g. a flat aggregate-state
+    /// array indexed by entry): reports, in `other`'s insertion order,
+    /// each key's entry index in `self` and whether it was newly
+    /// inserted. Payloads of keys already present are dropped.
+    pub fn merge_from_with(
+        &mut self,
+        other: KeyedTable<T>,
+        mut on_entry: impl FnMut(usize, usize, bool) -> Result<()>,
+    ) -> Result<()> {
+        let KeyedTable { arena, keys, hashes, payloads, .. } = other;
+        let mut payloads = payloads.into_iter();
+        for (other_idx, (&(off, len), &h)) in keys.iter().zip(&hashes).enumerate() {
+            let key = &arena[off as usize..(off + len) as usize];
+            let mut moved = payloads.next();
+            let (idx, inserted) = self.upsert(h, key, || moved.take().expect("payload"));
+            on_entry(idx, other_idx, inserted)?;
         }
         Ok(())
     }

@@ -132,6 +132,19 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($a:expr, $b:expr, $fmt:literal $(, $arg:expr)* $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "prop_assert_eq! failed: {:?} != {:?} ({}) at {}:{}",
+                a,
+                b,
+                format!($fmt $(, $arg)*),
+                file!(),
+                line!()
+            )));
+        }
+    }};
 }
 
 /// Assert inequality inside a proptest body.

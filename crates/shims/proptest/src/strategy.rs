@@ -129,6 +129,24 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Tuples of strategies are strategies over tuples, as in real proptest
+/// (`(prop::option::of(any::<u8>()), 0u8..12)`).
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
 /// Types with a canonical "any value" strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;

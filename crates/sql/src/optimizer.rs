@@ -1,15 +1,19 @@
 //! Logical-plan rewrites: constant folding, filter splitting and pushdown
-//! into table scans (where the zone maps of §6 can skip row groups).
+//! into table scans (where the zone maps of §6 can skip row groups), and
+//! scan column pruning (a columnar engine should read only the columns a
+//! query touches — §2).
 
 use crate::plan::LogicalPlan;
 use eider_exec::expression::Expr;
 use eider_txn::{CmpOp, TableFilter};
 use eider_vector::Result;
+use std::collections::BTreeSet;
 
 /// Run all rewrite passes.
 pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
     let plan = fold_constants(plan)?;
     let plan = push_filters(plan)?;
+    let plan = prune_scan_columns(plan)?;
     Ok(plan)
 }
 
@@ -272,6 +276,194 @@ fn map_plan(
         leaf => leaf,
     };
     f(rewritten)
+}
+
+// ---------------- scan column pruning ----------------
+
+/// Collect every input column index an expression references.
+fn collect_columns(e: &Expr, out: &mut BTreeSet<usize>) {
+    match e {
+        Expr::ColumnRef { index, .. } => {
+            out.insert(*index);
+        }
+        Expr::Constant { .. } => {}
+        Expr::Compare { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::And(es) | Expr::Or(es) => es.iter().for_each(|e| collect_columns(e, out)),
+        Expr::Not(child) | Expr::Cast { child, .. } | Expr::IsNull { child, .. } => {
+            collect_columns(child, out)
+        }
+        Expr::Arithmetic { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Case { branches, else_expr, .. } => {
+            for (when, then) in branches {
+                collect_columns(when, out);
+                collect_columns(then, out);
+            }
+            if let Some(e) = else_expr {
+                collect_columns(e, out);
+            }
+        }
+        Expr::Function { args, .. } => args.iter().for_each(|e| collect_columns(e, out)),
+        Expr::Like { child, pattern, .. } => {
+            collect_columns(child, out);
+            collect_columns(pattern, out);
+        }
+        Expr::InList { child, list, .. } => {
+            collect_columns(child, out);
+            list.iter().for_each(|e| collect_columns(e, out));
+        }
+    }
+}
+
+/// Rewrite column references through `map[old_output_position] = new`.
+fn remap_columns(e: &mut Expr, map: &dyn Fn(usize) -> usize) {
+    match e {
+        Expr::ColumnRef { index, .. } => *index = map(*index),
+        Expr::Constant { .. } => {}
+        Expr::Compare { left, right, .. } => {
+            remap_columns(left, map);
+            remap_columns(right, map);
+        }
+        Expr::And(es) | Expr::Or(es) => es.iter_mut().for_each(|e| remap_columns(e, map)),
+        Expr::Not(child) | Expr::Cast { child, .. } | Expr::IsNull { child, .. } => {
+            remap_columns(child, map)
+        }
+        Expr::Arithmetic { left, right, .. } => {
+            remap_columns(left, map);
+            remap_columns(right, map);
+        }
+        Expr::Case { branches, else_expr, .. } => {
+            for (when, then) in branches {
+                remap_columns(when, map);
+                remap_columns(then, map);
+            }
+            if let Some(e) = else_expr {
+                remap_columns(e, map);
+            }
+        }
+        Expr::Function { args, .. } => args.iter_mut().for_each(|e| remap_columns(e, map)),
+        Expr::Like { child, pattern, .. } => {
+            remap_columns(child, map);
+            remap_columns(pattern, map);
+        }
+        Expr::InList { child, list, .. } => {
+            remap_columns(child, map);
+            list.iter_mut().for_each(|e| remap_columns(e, map));
+        }
+    }
+}
+
+/// Narrow the scan feeding `input` (directly, or through one residual
+/// Filter) to the output positions in `used`, returning the rewritten
+/// input and, when anything was dropped, the position translation the
+/// consumer must apply to its own expressions.
+///
+/// `used` positions address the scan's *output*; scan-level
+/// [`TableFilter`]s address physical ids and keep working even when their
+/// column is no longer output. A consumer using no columns at all (bare
+/// `count(*)`) still scans one column — chunks derive their row count
+/// from their columns — so the cheapest one is kept.
+fn narrow_scan(input: LogicalPlan, mut used: BTreeSet<usize>) -> (LogicalPlan, Option<Vec<usize>>) {
+    match input {
+        LogicalPlan::Filter { input: inner, predicate } => {
+            collect_columns(&predicate, &mut used);
+            let (inner, map) = narrow_scan(*inner, used);
+            let mut predicate = predicate;
+            if let Some(positions) = &map {
+                remap_columns(&mut predicate, &|old| {
+                    positions.iter().position(|&p| p == old).expect("collected above")
+                });
+            }
+            (LogicalPlan::Filter { input: Box::new(inner), predicate }, map)
+        }
+        LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, names, types } => {
+            if used.is_empty() {
+                // Keep the narrowest column so chunks still carry counts.
+                let cheapest = types
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| match t {
+                        eider_vector::LogicalType::Varchar => usize::MAX,
+                        t => t.physical_width(),
+                    })
+                    .map(|(i, _)| i);
+                used.extend(cheapest);
+            }
+            if used.len() == column_ids.len() || emit_row_ids {
+                let scan = LogicalPlan::TableScan {
+                    entry,
+                    column_ids,
+                    filters,
+                    emit_row_ids,
+                    names,
+                    types,
+                };
+                return (scan, None);
+            }
+            let positions: Vec<usize> = used.into_iter().collect();
+            let scan = LogicalPlan::TableScan {
+                entry,
+                column_ids: positions.iter().map(|&p| column_ids[p]).collect(),
+                filters,
+                emit_row_ids,
+                names: positions.iter().map(|&p| names[p].clone()).collect(),
+                types: positions.iter().map(|&p| types[p]).collect(),
+            };
+            (scan, Some(positions))
+        }
+        other => (other, None),
+    }
+}
+
+/// Scans read only the columns their consumer touches. Applied where the
+/// consumer's column set is closed over one node — a Projection or an
+/// Aggregate directly above a scan (residual Filters in between keep
+/// their columns too). Join inputs are left alone: their parents address
+/// the concatenated child outputs positionally.
+fn prune_scan_columns(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan(plan, &|p| {
+        Ok(match p {
+            LogicalPlan::Projection { input, mut exprs, names } => {
+                let mut used = BTreeSet::new();
+                exprs.iter().for_each(|e| collect_columns(e, &mut used));
+                let (input, map) = narrow_scan(*input, used);
+                let input = Box::new(input);
+                if let Some(positions) = &map {
+                    for e in &mut exprs {
+                        remap_columns(e, &|old| {
+                            positions.iter().position(|&p| p == old).expect("collected above")
+                        });
+                    }
+                }
+                LogicalPlan::Projection { input, exprs, names }
+            }
+            LogicalPlan::Aggregate { input, mut groups, mut aggs, names } => {
+                let mut used = BTreeSet::new();
+                groups.iter().for_each(|e| collect_columns(e, &mut used));
+                aggs.iter()
+                    .filter_map(|a| a.arg.as_ref())
+                    .for_each(|e| collect_columns(e, &mut used));
+                let (input, map) = narrow_scan(*input, used);
+                let input = Box::new(input);
+                if let Some(positions) = &map {
+                    let remap = |old: usize| -> usize {
+                        positions.iter().position(|&p| p == old).expect("collected above")
+                    };
+                    groups.iter_mut().for_each(|e| remap_columns(e, &remap));
+                    aggs.iter_mut()
+                        .filter_map(|a| a.arg.as_mut())
+                        .for_each(|e| remap_columns(e, &remap));
+                }
+                LogicalPlan::Aggregate { input, groups, aggs, names }
+            }
+            other => other,
+        })
+    })
 }
 
 /// Used by tests and EXPLAIN consumers: count scan filters in a plan.

@@ -6,7 +6,7 @@
 //! this kind of encoding against zero-copy chunk handover.
 
 use eider_vector::{
-    DataChunk, EiderError, LogicalType, Result, ValidityMask, Value, Vector, VectorData,
+    DataChunk, EiderError, LogicalType, Result, StrDict, ValidityMask, Value, Vector, VectorData,
 };
 
 /// Append-only binary writer.
@@ -268,9 +268,16 @@ pub fn read_value(r: &mut BinReader) -> Result<Value> {
     })
 }
 
-/// Serialize a vector: `[type tag][row count][null bitmap flag + bitmap][data]`.
-pub fn write_vector(w: &mut BinWriter, v: &Vector) {
-    w.write_u8(type_to_tag(v.logical_type()));
+/// High bit of the type tag marks an encoded (compressed) vector frame.
+/// Plain vectors keep the legacy `[tag][len][nulls][flat data]` layout
+/// byte-for-byte, so frames written by older code parse unchanged and
+/// frames of plain vectors round-trip through older decoders.
+const ENCODED_FLAG: u8 = 0x80;
+const ENC_DICT: u8 = 1;
+const ENC_RLE: u8 = 2;
+const ENC_FOR: u8 = 3;
+
+fn write_len_and_nulls(w: &mut BinWriter, v: &Vector) {
     let len = v.len();
     w.write_u64(len as u64);
     let has_nulls = !v.validity().all_valid();
@@ -284,7 +291,10 @@ pub fn write_vector(w: &mut BinWriter, v: &Vector) {
         }
         w.write_bytes(&bitmap);
     }
-    match v.data() {
+}
+
+fn write_flat_data(w: &mut BinWriter, data: &VectorData) {
+    match data {
         VectorData::Bool(d) => d.iter().for_each(|&x| w.write_bool(x)),
         VectorData::I8(d) => d.iter().for_each(|&x| w.write_i8(x)),
         VectorData::I16(d) => d.iter().for_each(|&x| w.write_i16(x)),
@@ -295,27 +305,48 @@ pub fn write_vector(w: &mut BinWriter, v: &Vector) {
     }
 }
 
-pub fn read_vector(r: &mut BinReader) -> Result<Vector> {
-    let ty = tag_to_type(r.read_u8()?)?;
-    let len = r.read_u64()? as usize;
-    // Guard against absurd lengths from corrupted input before allocating.
-    if len > (1 << 40) {
-        return Err(EiderError::Corruption(format!("implausible vector length {len}")));
-    }
-    let has_nulls = r.read_bool()?;
-    let mut validity = ValidityMask::new_all_valid(0);
-    if has_nulls {
-        let bitmap = r.read_bytes()?;
-        if bitmap.len() != len.div_ceil(8) {
-            return Err(EiderError::Corruption("null bitmap size mismatch".into()));
+/// Serialize a vector. Plain: `[type tag][row count][null bitmap flag +
+/// bitmap][data]`. Encoded vectors serialize their compressed form
+/// directly — `[tag | 0x80][encoding][row count][nulls][payload]` — so
+/// dictionary/RLE/FOR columns spill and checkpoint at compressed size and
+/// reload still encoded.
+pub fn write_vector(w: &mut BinWriter, v: &Vector) {
+    let tag = type_to_tag(v.logical_type());
+    if let Some((dict, codes)) = v.dict_parts() {
+        w.write_u8(tag | ENCODED_FLAG);
+        w.write_u8(ENC_DICT);
+        write_len_and_nulls(w, v);
+        w.write_u32(dict.len() as u32);
+        for s in dict.values() {
+            w.write_str(s);
         }
-        for row in 0..len {
-            validity.push(bitmap[row / 8] & (1 << (row % 8)) != 0);
-        }
-    } else {
-        validity = ValidityMask::new_all_valid(len);
+        codes.iter().for_each(|&c| w.write_u32(c));
+        return;
     }
-    let data = match ty {
+    if let Some((runs, starts)) = v.rle_parts() {
+        w.write_u8(tag | ENCODED_FLAG);
+        w.write_u8(ENC_RLE);
+        write_len_and_nulls(w, v);
+        w.write_u32(starts.len() as u32);
+        starts.iter().for_each(|&s| w.write_u32(s));
+        write_flat_data(w, runs);
+        return;
+    }
+    if let Some((frame, deltas)) = v.for_parts() {
+        w.write_u8(tag | ENCODED_FLAG);
+        w.write_u8(ENC_FOR);
+        write_len_and_nulls(w, v);
+        w.write_i64(frame);
+        deltas.iter().for_each(|&d| w.write_u32(d));
+        return;
+    }
+    w.write_u8(tag);
+    write_len_and_nulls(w, v);
+    write_flat_data(w, v.data());
+}
+
+fn read_flat_data(r: &mut BinReader, ty: LogicalType, len: usize) -> Result<VectorData> {
+    Ok(match ty {
         LogicalType::Boolean => {
             let mut d = Vec::with_capacity(len);
             for _ in 0..len {
@@ -365,8 +396,78 @@ pub fn read_vector(r: &mut BinReader) -> Result<Vector> {
             }
             VectorData::Str(d)
         }
-    };
-    Vector::from_parts(ty, data, validity)
+    })
+}
+
+pub fn read_vector(r: &mut BinReader) -> Result<Vector> {
+    let raw_tag = r.read_u8()?;
+    let encoded = raw_tag & ENCODED_FLAG != 0;
+    let ty = tag_to_type(raw_tag & !ENCODED_FLAG)?;
+    let enc = if encoded { r.read_u8()? } else { 0 };
+    let len = r.read_u64()? as usize;
+    // Guard against absurd lengths from corrupted input before allocating.
+    if len > (1 << 40) {
+        return Err(EiderError::Corruption(format!("implausible vector length {len}")));
+    }
+    let has_nulls = r.read_bool()?;
+    let mut validity = ValidityMask::new_all_valid(0);
+    if has_nulls {
+        let bitmap = r.read_bytes()?;
+        if bitmap.len() != len.div_ceil(8) {
+            return Err(EiderError::Corruption("null bitmap size mismatch".into()));
+        }
+        for row in 0..len {
+            validity.push(bitmap[row / 8] & (1 << (row % 8)) != 0);
+        }
+    } else {
+        validity = ValidityMask::new_all_valid(len);
+    }
+    if !encoded {
+        let data = read_flat_data(r, ty, len)?;
+        return Vector::from_parts(ty, data, validity);
+    }
+    let corrupt = |e: EiderError| EiderError::Corruption(format!("invalid encoded vector: {e}"));
+    match enc {
+        ENC_DICT => {
+            let dict_len = r.read_u32()? as usize;
+            if dict_len > len {
+                return Err(EiderError::Corruption(format!(
+                    "dictionary larger than vector: {dict_len} > {len}"
+                )));
+            }
+            let mut values = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                values.push(r.read_str()?);
+            }
+            let mut codes = Vec::with_capacity(len);
+            for _ in 0..len {
+                codes.push(r.read_u32()?);
+            }
+            Vector::from_dict(ty, std::sync::Arc::new(StrDict::new(values)), codes, validity)
+                .map_err(corrupt)
+        }
+        ENC_RLE => {
+            let runs = r.read_u32()? as usize;
+            if runs > len {
+                return Err(EiderError::Corruption(format!("more runs than rows: {runs} > {len}")));
+            }
+            let mut starts = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                starts.push(r.read_u32()?);
+            }
+            let values = read_flat_data(r, ty, runs)?;
+            Vector::from_rle(ty, values, starts, len, validity).map_err(corrupt)
+        }
+        ENC_FOR => {
+            let frame = r.read_i64()?;
+            let mut deltas = Vec::with_capacity(len);
+            for _ in 0..len {
+                deltas.push(r.read_u32()?);
+            }
+            Vector::from_for(ty, frame, deltas, validity).map_err(corrupt)
+        }
+        other => Err(EiderError::Corruption(format!("unknown vector encoding {other}"))),
+    }
 }
 
 /// Serialize a chunk: `[column count][vectors...]`.
@@ -488,6 +589,81 @@ mod tests {
         let bytes = w.into_bytes();
         let back = read_chunk(&mut BinReader::new(&bytes)).unwrap();
         assert_eq!(back.to_rows(), chunk.to_rows());
+    }
+
+    #[test]
+    fn encoded_vectors_round_trip_still_encoded() {
+        use eider_vector::Encoding;
+        // Dict: low-cardinality varchar with NULL slots.
+        let mut dict = Vector::new(LogicalType::Varchar);
+        for i in 0..256 {
+            if i % 11 == 0 {
+                dict.push_null();
+            } else {
+                dict.push_value(&Value::Varchar(format!("name_{}", i % 5))).unwrap();
+            }
+        }
+        // RLE: runny integers. FOR: big ints in a narrow range.
+        let mut rle = Vector::new(LogicalType::Integer);
+        for i in 0..256 {
+            rle.push_value(&Value::Integer(i / 64)).unwrap();
+        }
+        let mut forv = Vector::new(LogicalType::BigInt);
+        for i in 0..256i64 {
+            forv.push_value(&Value::BigInt((1 << 40) + i * 37 % 1000)).unwrap();
+        }
+        for (v, want) in [(dict, Encoding::Dict), (rle, Encoding::Rle), (forv, Encoding::For)] {
+            let enc = v.encode_auto().expect("chooser should encode fixture");
+            assert_eq!(enc.encoding(), want);
+            let mut w = BinWriter::new();
+            write_vector(&mut w, &enc);
+            let encoded_size = w.len();
+            let mut plain_w = BinWriter::new();
+            write_vector(&mut plain_w, &v);
+            assert!(
+                encoded_size < plain_w.len(),
+                "{want:?}: encoded frame {encoded_size} >= plain {}",
+                plain_w.len()
+            );
+            let bytes = w.into_bytes();
+            let back = read_vector(&mut BinReader::new(&bytes)).unwrap();
+            assert_eq!(back.encoding(), want, "deserialized vector stays encoded");
+            assert_eq!(back.to_values(), v.to_values());
+        }
+    }
+
+    #[test]
+    fn plain_frames_keep_legacy_layout() {
+        // A plain vector's frame must start with the bare type tag (no
+        // encoding flag), so decoders predating compressed frames parse it.
+        let v = Vector::from_values(
+            LogicalType::Integer,
+            &(0..4).map(Value::Integer).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut w = BinWriter::new();
+        write_vector(&mut w, &v);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], type_to_tag(LogicalType::Integer));
+        assert_eq!(bytes[0] & super::ENCODED_FLAG, 0);
+    }
+
+    #[test]
+    fn corrupted_encoded_frames_rejected() {
+        let mut v = Vector::new(LogicalType::Varchar);
+        for i in 0..128 {
+            v.push_value(&Value::Varchar(format!("k{}", i % 3))).unwrap();
+        }
+        let enc = v.encode_auto().unwrap();
+        let mut w = BinWriter::new();
+        write_vector(&mut w, &enc);
+        let bytes = w.into_bytes();
+        // Unknown encoding id.
+        let mut bad = bytes.clone();
+        bad[1] = 99;
+        assert!(read_vector(&mut BinReader::new(&bad)).is_err());
+        // Truncated payload.
+        assert!(read_vector(&mut BinReader::new(&bytes[..bytes.len() - 2])).is_err());
     }
 
     #[test]

@@ -158,6 +158,47 @@ mod tests {
     }
 
     #[test]
+    fn encoded_chunks_spill_smaller_and_stay_encoded() {
+        use eider_vector::{Encoding, Vector};
+        // A dictionary-friendly chunk: 2048 rows over 8 distinct strings
+        // plus a runny integer column.
+        let mut names = Vector::new(LogicalType::Varchar);
+        let mut vals = Vector::new(LogicalType::Integer);
+        for i in 0..2048 {
+            names.push_value(&Value::Varchar(format!("name_{}", i % 8))).unwrap();
+            vals.push_value(&Value::Integer(i / 256)).unwrap();
+        }
+        let plain = DataChunk::from_vectors(vec![names.clone(), vals.clone()]).unwrap();
+        let encoded = DataChunk::from_vectors(vec![
+            names.encode_auto().unwrap(),
+            vals.encode_auto().unwrap(),
+        ])
+        .unwrap();
+
+        let mut plain_spill = SpillFile::create().unwrap();
+        plain_spill.write_chunk(&plain).unwrap();
+        let plain_path = plain_spill.path.clone();
+        let _plain_reader = plain_spill.finish().unwrap();
+        let plain_size = std::fs::metadata(&plain_path).unwrap().len();
+
+        let mut enc_spill = SpillFile::create().unwrap();
+        enc_spill.write_chunk(&encoded).unwrap();
+        let enc_path = enc_spill.path.clone();
+        let mut enc_reader = enc_spill.finish().unwrap();
+        let enc_size = std::fs::metadata(&enc_path).unwrap().len();
+
+        assert!(
+            enc_size * 2 < plain_size,
+            "encoded spill {enc_size}B should be well under half of plain {plain_size}B"
+        );
+        // Spilled columns come back encoded and value-identical.
+        let back = enc_reader.next_chunk().unwrap().unwrap();
+        assert_eq!(back.column(0).encoding(), Encoding::Dict);
+        assert_eq!(back.column(1).encoding(), Encoding::Rle);
+        assert_eq!(back.to_rows(), plain.to_rows());
+    }
+
+    #[test]
     fn spill_file_removed_on_drop() {
         let path;
         {

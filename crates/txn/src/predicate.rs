@@ -12,7 +12,7 @@
 //!   committed transaction wrote, tested for intersection with later
 //!   committers' read predicates.
 
-use eider_vector::{Value, Vector};
+use eider_vector::{value_at, Value, Vector};
 use std::cmp::Ordering;
 
 /// Comparison operator for pushed-down filters.
@@ -96,6 +96,32 @@ impl TableFilter {
     /// Vectorized evaluation into a selection of qualifying row indexes,
     /// refining an existing selection.
     pub fn filter_vector(&self, vector: &Vector, sel: &mut Vec<u32>) {
+        // Compressed-domain short-circuits: evaluate the comparison once
+        // per distinct value (dictionary) or once per run (RLE) and then
+        // consult only the keep table per row — whole runs of a losing
+        // value drop without a single per-row comparison.
+        if let Some((dict, codes)) = vector.dict_parts() {
+            let keep: Vec<bool> =
+                dict.values().iter().map(|s| self.matches(&Value::Varchar(s.clone()))).collect();
+            sel.retain(|&row| {
+                let row = row as usize;
+                !vector.is_null(row) && keep[codes[row] as usize]
+            });
+            return;
+        }
+        if let Some((runs, starts)) = vector.rle_parts() {
+            let ty = vector.logical_type();
+            let keep: Vec<bool> =
+                (0..starts.len()).map(|i| self.matches(&value_at(runs, ty, i))).collect();
+            sel.retain(|&row| {
+                if vector.is_null(row as usize) {
+                    return false;
+                }
+                let run = starts.partition_point(|&s| s <= row) - 1;
+                keep[run]
+            });
+            return;
+        }
         sel.retain(|&row| {
             let v = vector.get_value(row as usize);
             self.matches(&v)

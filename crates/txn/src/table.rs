@@ -109,6 +109,19 @@ impl RowGroupInner {
         self.update_stamps.get_or_insert_with(|| vec![0; len])
     }
 
+    /// Run the stats-driven encoding chooser over every column once the
+    /// group is full. Encoded columns flow through scans unchanged
+    /// (slice/select preserve encodings), so downstream hash, key and
+    /// aggregate kernels operate on codes; an in-place update simply
+    /// flattens the touched column.
+    fn compress_columns(&mut self) {
+        for col in &mut self.columns {
+            if let Some(encoded) = col.encode_auto() {
+                *col = encoded;
+            }
+        }
+    }
+
     fn stamp_of(&self, row: usize) -> u64 {
         self.update_stamps.as_ref().map_or(0, |s| s[row])
     }
@@ -262,6 +275,9 @@ impl DataTable {
                     g.widen_zone(c, &v);
                 }
             }
+            if g.len() >= ROW_GROUP_SIZE {
+                g.compress_columns();
+            }
             drop(g);
             let mut state = txn.state.lock();
             state.inserts.push(InsertRecord {
@@ -333,6 +349,34 @@ impl DataTable {
         self.groups.read().iter().map(|g| g.read().len()).collect()
     }
 
+    /// Conservative group-level pruning test: `true` when `group`'s zone
+    /// maps prove no row can satisfy `filters` — the same test
+    /// [`DataTable::scan_next`] applies per cursor, exposed so the
+    /// morsel-driven scheduler can drop whole groups from its work list
+    /// before any worker claims a morsel in them. Groups with undo
+    /// entries are never pruned (zone maps only widen, but pruning here
+    /// mirrors the serial scan's belt-and-braces rule exactly).
+    pub fn group_prunable(&self, group: usize, filters: &[TableFilter]) -> bool {
+        if filters.is_empty() {
+            return false;
+        }
+        let group_arc = {
+            let groups = self.groups.read();
+            match groups.get(group) {
+                Some(g) => Arc::clone(g),
+                None => return false,
+            }
+        };
+        let g = group_arc.read();
+        if !g.undo.is_empty() || g.len() == 0 {
+            return false;
+        }
+        filters.iter().any(|f| match &g.zone_maps[f.column] {
+            Some((min, max)) => !f.zone_may_match(min, max),
+            None => true, // all-NULL column never matches a filter
+        })
+    }
+
     /// Produce the next chunk (≤ [`VECTOR_SIZE`] rows) of the scan, or
     /// `None` when exhausted. Rows are reconstructed for the transaction's
     /// snapshot: stamps decide visibility and undo chains roll values back.
@@ -388,11 +432,20 @@ impl DataTable {
             let hi = (lo + VECTOR_SIZE).min(group_end);
             state.offset = hi;
 
-            // 1. Visibility.
+            // 1. Visibility. Cold windows — every row committed before
+            // this snapshot, nothing ever deleted, the analytical common
+            // case — are recognized with two branch-free sweeps; only
+            // windows with in-flight or undone rows take the per-row walk.
+            let all_visible = g.insert_ids[lo..hi].iter().all(|&id| id <= txn.start_ts())
+                && g.delete_ids[lo..hi].iter().all(|&id| id == NOT_DELETED);
             let mut sel: Vec<u32> = Vec::with_capacity(hi - lo);
-            for row in lo..hi {
-                if visible(g.insert_ids[row], g.delete_ids[row], txn.start_ts(), txn.id()) {
-                    sel.push((row - lo) as u32);
+            if all_visible {
+                sel.extend(0..(hi - lo) as u32);
+            } else {
+                for row in lo..hi {
+                    if visible(g.insert_ids[row], g.delete_ids[row], txn.start_ts(), txn.id()) {
+                        sel.push((row - lo) as u32);
+                    }
                 }
             }
             if sel.is_empty() {
@@ -436,11 +489,25 @@ impl DataTable {
                 continue;
             }
 
-            // 4. Output.
-            let selvec = SelectionVector::from_indexes(sel.clone());
+            // 4. Output. When every row of the window survived (fully
+            // visible, filters dropped nothing — the common case on cold
+            // analytical data) the sliced windows ARE the output: skip the
+            // gather, which would copy every string a second time.
+            let distinct_columns =
+                opts.columns.iter().enumerate().all(|(i, c)| !opts.columns[..i].contains(c));
+            let full_window = sel.len() == hi - lo && distinct_columns;
             let mut out: Vec<Vector> = Vec::with_capacity(opts.columns.len() + 1);
-            for &c in &opts.columns {
-                out.push(col_vec(c).select(&selvec));
+            if full_window {
+                for &c in &opts.columns {
+                    let (_, vec) =
+                        window.iter_mut().find(|(idx, _)| *idx == c).expect("materialized");
+                    out.push(std::mem::replace(vec, Vector::new(LogicalType::Boolean)));
+                }
+            } else {
+                let selvec = SelectionVector::from_indexes(sel.clone());
+                for &c in &opts.columns {
+                    out.push(col_vec(c).select(&selvec));
+                }
             }
             if opts.emit_row_ids {
                 let mut ids = Vector::with_capacity(LogicalType::BigInt, sel.len());

@@ -12,6 +12,7 @@
 
 pub mod chunk;
 pub mod date;
+pub mod encoding;
 pub mod error;
 pub mod selection;
 pub mod types;
@@ -21,12 +22,13 @@ pub mod value;
 pub mod vector;
 
 pub use chunk::DataChunk;
+pub use encoding::{Encoding, StrDict};
 pub use error::{EiderError, Result};
 pub use selection::SelectionVector;
 pub use types::LogicalType;
 pub use validity::ValidityMask;
 pub use value::Value;
-pub use vector::{Vector, VectorData};
+pub use vector::{value_at, Vector, VectorData};
 
 /// The number of rows processed per vector, i.e. the chunk granularity of
 /// the vectorized engine. 2048 matches DuckDB's `STANDARD_VECTOR_SIZE`:

@@ -1,11 +1,20 @@
 //! A `Vector` is one column slice: up to [`crate::VECTOR_SIZE`] values of a
 //! single logical type plus a validity mask.
+//!
+//! Internally a vector may hold its data in a compressed representation
+//! (dictionary, run-length or frame-of-reference; see [`crate::encoding`]).
+//! Plain-path callers are unaffected: [`Vector::data`] lazily decodes (and
+//! caches) a flat copy, while compression-aware kernels query
+//! [`Vector::encoding`] and use the typed part accessors to stay in the
+//! compressed domain.
 
+use crate::encoding::{choose, DictRepr, Encoding, ForRepr, Repr, RleRepr, StrDict};
 use crate::error::{EiderError, Result};
 use crate::selection::SelectionVector;
 use crate::types::LogicalType;
 use crate::validity::ValidityMask;
 use crate::value::Value;
+use std::sync::{Arc, OnceLock};
 
 /// Typed storage behind a [`Vector`].
 ///
@@ -22,8 +31,40 @@ pub enum VectorData {
     Str(Vec<String>),
 }
 
+/// Apply `$body` to the inner `Vec` of any variant, binding it as `$v`.
+macro_rules! for_each_variant {
+    ($data:expr, $v:ident => $body:expr) => {
+        match $data {
+            VectorData::Bool($v) => $body,
+            VectorData::I8($v) => $body,
+            VectorData::I16($v) => $body,
+            VectorData::I32($v) => $body,
+            VectorData::I64($v) => $body,
+            VectorData::F64($v) => $body,
+            VectorData::Str($v) => $body,
+        }
+    };
+}
+
+/// Apply `$body` to same-variant pairs, binding them as `$d`/`$s`; runs
+/// `$err` on a physical type mismatch.
+macro_rules! for_each_pair {
+    ($dst:expr, $src:expr, $d:ident, $s:ident => $body:expr, $err:expr) => {
+        match ($dst, $src) {
+            (VectorData::Bool($d), VectorData::Bool($s)) => $body,
+            (VectorData::I8($d), VectorData::I8($s)) => $body,
+            (VectorData::I16($d), VectorData::I16($s)) => $body,
+            (VectorData::I32($d), VectorData::I32($s)) => $body,
+            (VectorData::I64($d), VectorData::I64($s)) => $body,
+            (VectorData::F64($d), VectorData::F64($s)) => $body,
+            (VectorData::Str($d), VectorData::Str($s)) => $body,
+            _ => $err,
+        }
+    };
+}
+
 impl VectorData {
-    fn new_for(ty: LogicalType, cap: usize) -> VectorData {
+    pub(crate) fn new_for(ty: LogicalType, cap: usize) -> VectorData {
         match ty {
             LogicalType::Boolean => VectorData::Bool(Vec::with_capacity(cap)),
             LogicalType::TinyInt => VectorData::I8(Vec::with_capacity(cap)),
@@ -38,36 +79,167 @@ impl VectorData {
     }
 
     pub fn len(&self) -> usize {
-        match self {
-            VectorData::Bool(v) => v.len(),
-            VectorData::I8(v) => v.len(),
-            VectorData::I16(v) => v.len(),
-            VectorData::I32(v) => v.len(),
-            VectorData::I64(v) => v.len(),
-            VectorData::F64(v) => v.len(),
-            VectorData::Str(v) => v.len(),
-        }
+        for_each_variant!(self, v => v.len())
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Append the default value (what a NULL slot stores).
+    pub(crate) fn push_default(&mut self) {
+        match self {
+            VectorData::Bool(v) => v.push(false),
+            VectorData::I8(v) => v.push(0),
+            VectorData::I16(v) => v.push(0),
+            VectorData::I32(v) => v.push(0),
+            VectorData::I64(v) => v.push(0),
+            VectorData::F64(v) => v.push(0.0),
+            VectorData::Str(v) => v.push(String::new()),
+        }
+    }
+
+    pub(crate) fn truncate(&mut self, new_len: usize) {
+        for_each_variant!(self, v => v.truncate(new_len))
+    }
+
+    /// Copy of the rows `[offset, end)`.
+    pub(crate) fn slice_range(&self, offset: usize, end: usize) -> VectorData {
+        for_each_variant!(self, v => {
+            let mut out = Vec::with_capacity(end - offset);
+            out.extend_from_slice(&v[offset..end]);
+            rewrap(self, out)
+        })
+    }
+
+    /// Gather-copy of the rows named by `idx`.
+    #[allow(clippy::clone_on_copy)] // macro is generic over String variants
+    pub(crate) fn gather(&self, idx: &[u32]) -> VectorData {
+        for_each_variant!(self, v => {
+            rewrap(self, idx.iter().map(|&i| v[i as usize].clone()).collect())
+        })
+    }
+
+    /// Append `other`'s rows `[offset, end)`; errors on physical mismatch.
+    pub(crate) fn extend_range(
+        &mut self,
+        other: &VectorData,
+        offset: usize,
+        end: usize,
+    ) -> Result<()> {
+        for_each_pair!(self, other, d, s => {
+            d.extend_from_slice(&s[offset..end]);
+            Ok(())
+        }, Err(EiderError::Internal("physical type mismatch in append_from".into())))
+    }
+
+    /// Append row `row` of `other`; errors on physical mismatch.
+    #[allow(clippy::clone_on_copy)] // macro is generic over String variants
+    pub(crate) fn push_row(&mut self, other: &VectorData, row: usize) -> Result<()> {
+        for_each_pair!(self, other, d, s => {
+            d.push(s[row].clone());
+            Ok(())
+        }, Err(EiderError::Internal("physical type mismatch in push_from".into())))
+    }
+
+    /// Gather-append `other`'s rows named by `idx`; errors on mismatch.
+    #[allow(clippy::clone_on_copy)] // macro is generic over String variants
+    pub(crate) fn gather_from(&mut self, other: &VectorData, idx: &[u32]) -> Result<()> {
+        for_each_pair!(self, other, d, s => {
+            d.extend(idx.iter().map(|&i| s[i as usize].clone()));
+            Ok(())
+        }, Err(EiderError::Internal("physical type mismatch in append_selected".into())))
+    }
+
+    /// Heap footprint in bytes (capacity-based, matching `Vec` accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            VectorData::Bool(v) => v.capacity(),
+            VectorData::I8(v) => v.capacity(),
+            VectorData::I16(v) => v.capacity() * 2,
+            VectorData::I32(v) => v.capacity() * 4,
+            VectorData::I64(v) => v.capacity() * 8,
+            VectorData::F64(v) => v.capacity() * 8,
+            VectorData::Str(v) => {
+                v.capacity() * std::mem::size_of::<String>()
+                    + v.iter().map(|s| s.capacity()).sum::<usize>()
+            }
+        }
+    }
 }
 
+/// Re-wrap a collected `Vec` in the same variant as `like`.
+fn rewrap<T>(like: &VectorData, out: Vec<T>) -> VectorData
+where
+    Vec<T>: IntoVectorData,
+{
+    out.into_vector_data(like)
+}
+
+/// Helper trait so [`rewrap`] can stay generic over element types.
+pub(crate) trait IntoVectorData {
+    fn into_vector_data(self, like: &VectorData) -> VectorData;
+}
+
+macro_rules! impl_into_vector_data {
+    ($t:ty, $variant:ident) => {
+        impl IntoVectorData for Vec<$t> {
+            fn into_vector_data(self, like: &VectorData) -> VectorData {
+                debug_assert!(matches!(like, VectorData::$variant(_)));
+                VectorData::$variant(self)
+            }
+        }
+    };
+}
+
+impl_into_vector_data!(bool, Bool);
+impl_into_vector_data!(i8, I8);
+impl_into_vector_data!(i16, I16);
+impl_into_vector_data!(i32, I32);
+impl_into_vector_data!(i64, I64);
+impl_into_vector_data!(f64, F64);
+impl_into_vector_data!(String, Str);
+
 /// One column slice with NULL tracking.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Vector {
     ty: LogicalType,
-    data: VectorData,
+    repr: Repr,
     validity: ValidityMask,
+    /// Lazily decoded flat copy of an encoded `repr` (never set for
+    /// [`Repr::Flat`]). Cleared on mutation; skipped by `Clone`.
+    decoded: OnceLock<Box<VectorData>>,
+}
+
+impl Clone for Vector {
+    fn clone(&self) -> Self {
+        // The decode cache is deliberately not cloned: clones are cheap
+        // handles to the encoded data and re-decode only if they need to.
+        Vector {
+            ty: self.ty,
+            repr: self.repr.clone(),
+            validity: self.validity.clone(),
+            decoded: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Vector {
+    /// Equality is representation-independent: an encoded vector equals a
+    /// plain vector holding the same rows (including NULL-slot storage,
+    /// which encodings preserve bit-identically).
+    fn eq(&self, other: &Self) -> bool {
+        self.ty == other.ty && self.validity == other.validity && self.data() == other.data()
+    }
 }
 
 macro_rules! typed_accessors {
     ($as_ref:ident, $as_mut:ident, $variant:ident, $t:ty) => {
-        /// Borrow the typed data slice. Panics if the physical type differs
-        /// (an internal invariant violation, not a user error).
+        /// Borrow the typed data slice (decoding first if the vector is
+        /// encoded). Panics if the physical type differs (an internal
+        /// invariant violation, not a user error).
         pub fn $as_ref(&self) -> &[$t] {
-            match &self.data {
+            match self.data() {
                 VectorData::$variant(v) => v,
                 other => panic!(
                     concat!("vector is not ", stringify!($variant), ": {:?}"),
@@ -76,10 +248,10 @@ macro_rules! typed_accessors {
             }
         }
 
-        /// Mutable access to the typed data. The caller must keep `validity`
-        /// in sync with any length change.
+        /// Mutable access to the typed data (flattens any encoding). The
+        /// caller must keep `validity` in sync with any length change.
         pub fn $as_mut(&mut self) -> &mut Vec<$t> {
-            match &mut self.data {
+            match self.flat_mut() {
                 VectorData::$variant(v) => v,
                 _ => panic!(concat!("vector is not ", stringify!($variant))),
             }
@@ -93,7 +265,12 @@ impl Vector {
     }
 
     pub fn with_capacity(ty: LogicalType, cap: usize) -> Self {
-        Vector { ty, data: VectorData::new_for(ty, cap), validity: ValidityMask::default() }
+        Vector {
+            ty,
+            repr: Repr::Flat(VectorData::new_for(ty, cap)),
+            validity: ValidityMask::default(),
+            decoded: OnceLock::new(),
+        }
     }
 
     /// Build from raw parts; `validity.len()` must match the data length.
@@ -105,7 +282,88 @@ impl Vector {
                 validity.len()
             )));
         }
-        Ok(Vector { ty, data, validity })
+        Ok(Vector { ty, repr: Repr::Flat(data), validity, decoded: OnceLock::new() })
+    }
+
+    /// Build a dictionary-coded varchar vector from a shared dictionary
+    /// and per-row codes.
+    pub fn from_dict(
+        ty: LogicalType,
+        dict: Arc<StrDict>,
+        codes: Vec<u32>,
+        validity: ValidityMask,
+    ) -> Result<Self> {
+        if ty != LogicalType::Varchar {
+            return Err(EiderError::Internal(format!("dictionary vector of type {ty}")));
+        }
+        if codes.len() != validity.len() {
+            return Err(EiderError::Internal("dict codes length != validity length".into()));
+        }
+        if codes.iter().any(|&c| c as usize >= dict.len()) {
+            return Err(EiderError::Corruption("dictionary code out of range".into()));
+        }
+        Ok(Vector {
+            ty,
+            repr: Repr::Dict(DictRepr { dict, codes }),
+            validity,
+            decoded: OnceLock::new(),
+        })
+    }
+
+    /// Build a run-length-encoded vector: `values[i]` repeats over rows
+    /// `starts[i] .. starts[i+1]` (last run ends at `len`).
+    pub fn from_rle(
+        ty: LogicalType,
+        values: VectorData,
+        starts: Vec<u32>,
+        len: usize,
+        validity: ValidityMask,
+    ) -> Result<Self> {
+        if validity.len() != len {
+            return Err(EiderError::Internal("rle length != validity length".into()));
+        }
+        if values.len() != starts.len() {
+            return Err(EiderError::Corruption("rle run values / starts mismatch".into()));
+        }
+        if len > 0 {
+            let ascending = starts.windows(2).all(|w| w[0] < w[1]);
+            if starts.first() != Some(&0)
+                || !ascending
+                || starts.last().is_some_and(|&s| s as usize >= len)
+            {
+                return Err(EiderError::Corruption("rle run starts malformed".into()));
+            }
+        } else if !starts.is_empty() {
+            return Err(EiderError::Corruption("rle runs in empty vector".into()));
+        }
+        Ok(Vector {
+            ty,
+            repr: Repr::Rle(RleRepr { values: Box::new(values), starts, len }),
+            validity,
+            decoded: OnceLock::new(),
+        })
+    }
+
+    /// Build a frame-of-reference vector: `row[i] = frame + deltas[i]`
+    /// (physical I64).
+    pub fn from_for(
+        ty: LogicalType,
+        frame: i64,
+        deltas: Vec<u32>,
+        validity: ValidityMask,
+    ) -> Result<Self> {
+        if !matches!(ty, LogicalType::BigInt | LogicalType::Timestamp) {
+            return Err(EiderError::Internal(format!("frame-of-reference vector of type {ty}")));
+        }
+        if deltas.len() != validity.len() {
+            return Err(EiderError::Internal("for deltas length != validity length".into()));
+        }
+        Ok(Vector {
+            ty,
+            repr: Repr::For(ForRepr { frame, deltas }),
+            validity,
+            decoded: OnceLock::new(),
+        })
     }
 
     /// Build a vector from `Value`s, casting each to `ty`.
@@ -131,11 +389,11 @@ impl Vector {
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.repr.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     pub fn validity(&self) -> &ValidityMask {
@@ -146,8 +404,90 @@ impl Vector {
         &mut self.validity
     }
 
+    /// The flat typed data. For an encoded vector this decodes once and
+    /// caches the flat copy, so plain-path callers keep working unchanged.
     pub fn data(&self) -> &VectorData {
-        &self.data
+        match &self.repr {
+            Repr::Flat(d) => d,
+            repr => self.decoded.get_or_init(|| Box::new(repr.decode())),
+        }
+    }
+
+    /// Which representation this vector currently uses.
+    pub fn encoding(&self) -> Encoding {
+        match &self.repr {
+            Repr::Flat(_) => Encoding::Plain,
+            Repr::Dict(_) => Encoding::Dict,
+            Repr::Rle(_) => Encoding::Rle,
+            Repr::For(_) => Encoding::For,
+        }
+    }
+
+    pub fn is_encoded(&self) -> bool {
+        !matches!(self.repr, Repr::Flat(_))
+    }
+
+    /// Dictionary parts `(dict, codes)` when dictionary-coded.
+    pub fn dict_parts(&self) -> Option<(&Arc<StrDict>, &[u32])> {
+        match &self.repr {
+            Repr::Dict(d) => Some((&d.dict, &d.codes)),
+            _ => None,
+        }
+    }
+
+    /// RLE parts `(run_values, run_starts)` when run-length-encoded. Run
+    /// `i` covers rows `starts[i] .. starts[i+1]` (last run ends at
+    /// `self.len()`).
+    pub fn rle_parts(&self) -> Option<(&VectorData, &[u32])> {
+        match &self.repr {
+            Repr::Rle(r) => Some((&r.values, &r.starts)),
+            _ => None,
+        }
+    }
+
+    /// FOR parts `(frame, deltas)` when frame-of-reference-encoded.
+    pub fn for_parts(&self) -> Option<(i64, &[u32])> {
+        match &self.repr {
+            Repr::For(f) => Some((f.frame, &f.deltas)),
+            _ => None,
+        }
+    }
+
+    /// Run the stats-driven encoding chooser over this vector's data and
+    /// return an encoded copy when an encoding pays, `None` when plain
+    /// wins (see [`crate::encoding`] for the decision rules).
+    pub fn encode_auto(&self) -> Option<Vector> {
+        if self.is_encoded() {
+            return None;
+        }
+        let repr = choose(self.data())?;
+        Some(Vector {
+            ty: self.ty,
+            repr,
+            validity: self.validity.clone(),
+            decoded: OnceLock::new(),
+        })
+    }
+
+    /// Flatten in place: decode any encoding so the vector is plain.
+    pub fn flatten(&mut self) {
+        if let Repr::Flat(_) = self.repr {
+            return;
+        }
+        let data = match self.decoded.take() {
+            Some(cached) => *cached,
+            None => self.repr.decode(),
+        };
+        self.repr = Repr::Flat(data);
+    }
+
+    /// Mutable flat data, flattening and invalidating the decode cache.
+    fn flat_mut(&mut self) -> &mut VectorData {
+        self.flatten();
+        match &mut self.repr {
+            Repr::Flat(d) => d,
+            _ => unreachable!("flatten left vector encoded"),
+        }
     }
 
     pub fn is_null(&self, row: usize) -> bool {
@@ -168,12 +508,10 @@ impl Vector {
             self.push_null();
             return Ok(());
         }
-        let value = if value.logical_type() == Some(self.ty) {
-            value.clone()
-        } else {
-            value.cast_to(self.ty)?
-        };
-        match (&mut self.data, value) {
+        let ty = self.ty;
+        let value =
+            if value.logical_type() == Some(ty) { value.clone() } else { value.cast_to(ty)? };
+        match (self.flat_mut(), value) {
             (VectorData::Bool(v), Value::Boolean(x)) => v.push(x),
             (VectorData::I8(v), Value::TinyInt(x)) => v.push(x),
             (VectorData::I16(v), Value::SmallInt(x)) => v.push(x),
@@ -185,8 +523,7 @@ impl Vector {
             (VectorData::Str(v), Value::Varchar(x)) => v.push(x),
             (_, v) => {
                 return Err(EiderError::Internal(format!(
-                    "cast produced {v:?} for vector of type {}",
-                    self.ty
+                    "cast produced {v:?} for vector of type {ty}"
                 )))
             }
         }
@@ -196,44 +533,42 @@ impl Vector {
 
     /// Append a NULL (a default value occupies the data slot).
     pub fn push_null(&mut self) {
-        match &mut self.data {
-            VectorData::Bool(v) => v.push(false),
-            VectorData::I8(v) => v.push(0),
-            VectorData::I16(v) => v.push(0),
-            VectorData::I32(v) => v.push(0),
-            VectorData::I64(v) => v.push(0),
-            VectorData::F64(v) => v.push(0.0),
-            VectorData::Str(v) => v.push(String::new()),
-        }
+        self.flat_mut().push_default();
         self.validity.push(false);
     }
 
     /// Read one row out as a `Value` (slow path; kernels use typed slices).
+    /// Encoded vectors answer without materializing.
     pub fn get_value(&self, row: usize) -> Value {
         if self.is_null(row) {
             return Value::Null;
         }
-        match (&self.data, self.ty) {
-            (VectorData::Bool(v), _) => Value::Boolean(v[row]),
-            (VectorData::I8(v), _) => Value::TinyInt(v[row]),
-            (VectorData::I16(v), _) => Value::SmallInt(v[row]),
-            (VectorData::I32(v), LogicalType::Date) => Value::Date(v[row]),
-            (VectorData::I32(v), _) => Value::Integer(v[row]),
-            (VectorData::I64(v), LogicalType::Timestamp) => Value::Timestamp(v[row]),
-            (VectorData::I64(v), _) => Value::BigInt(v[row]),
-            (VectorData::F64(v), _) => Value::Double(v[row]),
-            (VectorData::Str(v), _) => Value::Varchar(v[row].clone()),
+        match &self.repr {
+            Repr::Flat(d) => value_at(d, self.ty, row),
+            Repr::Dict(d) => Value::Varchar(d.dict.get(d.codes[row]).to_string()),
+            Repr::Rle(r) => value_at(&r.values, self.ty, r.run_of(row)),
+            Repr::For(f) => {
+                let v = f.frame + f.deltas[row] as i64;
+                if self.ty == LogicalType::Timestamp {
+                    Value::Timestamp(v)
+                } else {
+                    Value::BigInt(v)
+                }
+            }
         }
     }
 
-    /// Overwrite one row (used by in-place MVCC updates, §6).
+    /// Overwrite one row (used by in-place MVCC updates, §6). Flattens any
+    /// encoding: point mutation invalidates shared compressed state.
     pub fn set_value(&mut self, row: usize, value: &Value) -> Result<()> {
         if value.is_null() {
+            self.flatten();
             self.validity.set_invalid(row);
             return Ok(());
         }
-        let value = value.cast_to(self.ty)?;
-        match (&mut self.data, value) {
+        let ty = self.ty;
+        let value = value.cast_to(ty)?;
+        match (self.flat_mut(), value) {
             (VectorData::Bool(v), Value::Boolean(x)) => v[row] = x,
             (VectorData::I8(v), Value::TinyInt(x)) => v[row] = x,
             (VectorData::I16(v), Value::SmallInt(x)) => v[row] = x,
@@ -245,8 +580,7 @@ impl Vector {
             (VectorData::Str(v), Value::Varchar(x)) => v[row] = x,
             (_, v) => {
                 return Err(EiderError::Internal(format!(
-                    "cast produced {v:?} for vector of type {}",
-                    self.ty
+                    "cast produced {v:?} for vector of type {ty}"
                 )))
             }
         }
@@ -254,7 +588,9 @@ impl Vector {
         Ok(())
     }
 
-    /// Append `count` rows of `other` starting at `offset`. Types must match.
+    /// Append `count` rows of `other` starting at `offset`. Types must
+    /// match. Dictionary sources append in the compressed domain when the
+    /// destination shares (or can adopt) the same dictionary.
     pub fn append_from(&mut self, other: &Vector, offset: usize, count: usize) -> Result<()> {
         if other.ty != self.ty {
             return Err(EiderError::TypeMismatch(format!(
@@ -263,16 +599,24 @@ impl Vector {
             )));
         }
         let end = offset + count;
-        match (&mut self.data, &other.data) {
-            (VectorData::Bool(d), VectorData::Bool(s)) => d.extend_from_slice(&s[offset..end]),
-            (VectorData::I8(d), VectorData::I8(s)) => d.extend_from_slice(&s[offset..end]),
-            (VectorData::I16(d), VectorData::I16(s)) => d.extend_from_slice(&s[offset..end]),
-            (VectorData::I32(d), VectorData::I32(s)) => d.extend_from_slice(&s[offset..end]),
-            (VectorData::I64(d), VectorData::I64(s)) => d.extend_from_slice(&s[offset..end]),
-            (VectorData::F64(d), VectorData::F64(s)) => d.extend_from_slice(&s[offset..end]),
-            (VectorData::Str(d), VectorData::Str(s)) => d.extend_from_slice(&s[offset..end]),
-            _ => return Err(EiderError::Internal("physical type mismatch in append_from".into())),
+        if end > other.len() {
+            return Err(EiderError::Internal("append_from range out of bounds".into()));
         }
+        // An empty destination adopts the source's encoding wholesale.
+        if self.is_empty() && other.is_encoded() {
+            let sliced = other.slice(offset, count);
+            *self = sliced;
+            return Ok(());
+        }
+        if let (Repr::Dict(dst), Repr::Dict(src)) = (&mut self.repr, &other.repr) {
+            if Arc::ptr_eq(&dst.dict, &src.dict) {
+                dst.codes.extend_from_slice(&src.codes[offset..end]);
+                self.decoded = OnceLock::new();
+                self.validity.extend_from(&other.validity, offset, count);
+                return Ok(());
+            }
+        }
+        self.flat_mut().extend_range(other.data(), offset, end)?;
         self.validity.extend_from(&other.validity, offset, count);
         Ok(())
     }
@@ -281,16 +625,15 @@ impl Vector {
     /// through `Value` — the join's build-row gather path. Strings clone
     /// their bytes; everything else is a plain copy.
     pub fn push_from(&mut self, other: &Vector, row: usize) -> Result<()> {
-        match (&mut self.data, &other.data) {
-            (VectorData::Bool(d), VectorData::Bool(s)) => d.push(s[row]),
-            (VectorData::I8(d), VectorData::I8(s)) => d.push(s[row]),
-            (VectorData::I16(d), VectorData::I16(s)) => d.push(s[row]),
-            (VectorData::I32(d), VectorData::I32(s)) => d.push(s[row]),
-            (VectorData::I64(d), VectorData::I64(s)) => d.push(s[row]),
-            (VectorData::F64(d), VectorData::F64(s)) => d.push(s[row]),
-            (VectorData::Str(d), VectorData::Str(s)) => d.push(s[row].clone()),
-            _ => return Err(EiderError::Internal("physical type mismatch in push_from".into())),
+        if let (Repr::Dict(dst), Repr::Dict(src)) = (&mut self.repr, &other.repr) {
+            if Arc::ptr_eq(&dst.dict, &src.dict) {
+                dst.codes.push(src.codes[row]);
+                self.decoded = OnceLock::new();
+                self.validity.push(other.validity.is_valid(row));
+                return Ok(());
+            }
         }
+        self.flat_mut().push_row(other.data(), row)?;
         self.validity.push(other.validity.is_valid(row));
         Ok(())
     }
@@ -305,25 +648,24 @@ impl Vector {
                 other.ty, self.ty
             )));
         }
-        macro_rules! gather {
-            ($d:expr, $s:expr) => {
-                $d.extend(indexes.iter().map(|&i| $s[i as usize].clone()))
-            };
+        if self.is_empty() && other.is_encoded() {
+            *self = other.select(&SelectionVector::from_indexes(indexes.to_vec()));
+            return Ok(());
         }
-        match (&mut self.data, &other.data) {
-            (VectorData::Bool(d), VectorData::Bool(s)) => gather!(d, s),
-            (VectorData::I8(d), VectorData::I8(s)) => gather!(d, s),
-            (VectorData::I16(d), VectorData::I16(s)) => gather!(d, s),
-            (VectorData::I32(d), VectorData::I32(s)) => gather!(d, s),
-            (VectorData::I64(d), VectorData::I64(s)) => gather!(d, s),
-            (VectorData::F64(d), VectorData::F64(s)) => gather!(d, s),
-            (VectorData::Str(d), VectorData::Str(s)) => gather!(d, s),
-            _ => {
-                return Err(EiderError::Internal(
-                    "physical type mismatch in append_selected".into(),
-                ))
+        if let (Repr::Dict(dst), Repr::Dict(src)) = (&mut self.repr, &other.repr) {
+            if Arc::ptr_eq(&dst.dict, &src.dict) {
+                dst.codes.extend(indexes.iter().map(|&i| src.codes[i as usize]));
+                self.decoded = OnceLock::new();
+                self.push_selected_validity(other, indexes);
+                return Ok(());
             }
         }
+        self.flat_mut().gather_from(other.data(), indexes)?;
+        self.push_selected_validity(other, indexes);
+        Ok(())
+    }
+
+    fn push_selected_validity(&mut self, other: &Vector, indexes: &[u32]) {
         if other.validity.all_valid() {
             for _ in indexes {
                 self.validity.push(true);
@@ -333,31 +675,69 @@ impl Vector {
                 self.validity.push(other.validity.is_valid(i as usize));
             }
         }
-        Ok(())
     }
 
-    /// Materialize the rows chosen by `sel` into a new vector.
+    /// Materialize the rows chosen by `sel` into a new vector. Dictionary
+    /// and FOR vectors gather codes/deltas and keep their encoding.
     pub fn select(&self, sel: &SelectionVector) -> Vector {
         let idx = sel.as_slice();
-        let data = match &self.data {
-            VectorData::Bool(v) => VectorData::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
-            VectorData::I8(v) => VectorData::I8(idx.iter().map(|&i| v[i as usize]).collect()),
-            VectorData::I16(v) => VectorData::I16(idx.iter().map(|&i| v[i as usize]).collect()),
-            VectorData::I32(v) => VectorData::I32(idx.iter().map(|&i| v[i as usize]).collect()),
-            VectorData::I64(v) => VectorData::I64(idx.iter().map(|&i| v[i as usize]).collect()),
-            VectorData::F64(v) => VectorData::F64(idx.iter().map(|&i| v[i as usize]).collect()),
-            VectorData::Str(v) => {
-                VectorData::Str(idx.iter().map(|&i| v[i as usize].clone()).collect())
-            }
+        let (repr, validity) = match &self.repr {
+            Repr::Flat(d) => (Repr::Flat(d.gather(idx)), self.validity.select(idx)),
+            Repr::Dict(d) => (
+                Repr::Dict(DictRepr {
+                    dict: Arc::clone(&d.dict),
+                    codes: idx.iter().map(|&i| d.codes[i as usize]).collect(),
+                }),
+                self.validity.select(idx),
+            ),
+            Repr::For(f) => (
+                Repr::For(ForRepr {
+                    frame: f.frame,
+                    deltas: idx.iter().map(|&i| f.deltas[i as usize]).collect(),
+                }),
+                self.validity.select(idx),
+            ),
+            // Arbitrary selections break runs; materialize.
+            Repr::Rle(_) => (Repr::Flat(self.data().gather(idx)), self.validity.select(idx)),
         };
-        Vector { ty: self.ty, data, validity: self.validity.select(idx) }
+        Vector { ty: self.ty, repr, validity, decoded: OnceLock::new() }
     }
 
     /// A contiguous sub-slice `[offset, offset+count)` as a new vector.
+    /// Encoded vectors slice in the compressed domain (RLE re-windows its
+    /// runs), which is what keeps table scans compressed end to end.
     pub fn slice(&self, offset: usize, count: usize) -> Vector {
-        let mut out = Vector::with_capacity(self.ty, count);
-        out.append_from(self, offset, count).expect("same type");
-        out
+        let end = offset + count;
+        assert!(end <= self.len(), "slice out of bounds");
+        let mut validity = ValidityMask::default();
+        validity.extend_from(&self.validity, offset, count);
+        let repr = match &self.repr {
+            Repr::Flat(d) => Repr::Flat(d.slice_range(offset, end)),
+            Repr::Dict(d) => Repr::Dict(DictRepr {
+                dict: Arc::clone(&d.dict),
+                codes: d.codes[offset..end].to_vec(),
+            }),
+            Repr::For(f) => {
+                Repr::For(ForRepr { frame: f.frame, deltas: f.deltas[offset..end].to_vec() })
+            }
+            Repr::Rle(r) => {
+                if count == 0 {
+                    Repr::Flat(VectorData::new_for(self.ty, 0))
+                } else {
+                    let first = r.run_of(offset);
+                    let last = r.run_of(end - 1);
+                    let starts = (first..=last)
+                        .map(|i| (r.starts[i] as usize).max(offset) as u32 - offset as u32)
+                        .collect();
+                    Repr::Rle(RleRepr {
+                        values: Box::new(r.values.slice_range(first, last + 1)),
+                        starts,
+                        len: count,
+                    })
+                }
+            }
+        };
+        Vector { ty: self.ty, repr, validity, decoded: OnceLock::new() }
     }
 
     /// Cast every row to `ty`, erroring on the first failure.
@@ -366,6 +746,7 @@ impl Vector {
     /// `INTEGER → DOUBLE`) run as typed loops; everything that can fail
     /// or has value-level semantics (narrowing, strings, `DATE`/
     /// `TIMESTAMP` conversions, which rescale) takes the per-row path.
+    /// A same-type cast is a clone and preserves any encoding.
     pub fn cast(&self, ty: LogicalType) -> Result<Vector> {
         if ty == self.ty {
             return Ok(self.clone());
@@ -378,7 +759,7 @@ impl Vector {
                     Some(VectorData::$variant($v.iter().map(|&x| x as $t).collect()))
                 };
             }
-            let data = match (&self.data, ty) {
+            let data = match (self.data(), ty) {
                 (VectorData::I8(v), LogicalType::SmallInt) => widen!(v, I16, i16),
                 (VectorData::I8(v), LogicalType::Integer) => widen!(v, I32, i32),
                 (VectorData::I8(v), LogicalType::BigInt) => widen!(v, I64, i64),
@@ -403,36 +784,39 @@ impl Vector {
     }
 
     pub fn truncate(&mut self, new_len: usize) {
-        match &mut self.data {
-            VectorData::Bool(v) => v.truncate(new_len),
-            VectorData::I8(v) => v.truncate(new_len),
-            VectorData::I16(v) => v.truncate(new_len),
-            VectorData::I32(v) => v.truncate(new_len),
-            VectorData::I64(v) => v.truncate(new_len),
-            VectorData::F64(v) => v.truncate(new_len),
-            VectorData::Str(v) => v.truncate(new_len),
+        if new_len >= self.len() {
+            return;
         }
+        match &mut self.repr {
+            Repr::Flat(d) => d.truncate(new_len),
+            Repr::Dict(d) => d.codes.truncate(new_len),
+            Repr::For(f) => f.deltas.truncate(new_len),
+            Repr::Rle(_) => {
+                self.flatten();
+                if let Repr::Flat(d) = &mut self.repr {
+                    d.truncate(new_len);
+                }
+            }
+        }
+        self.decoded = OnceLock::new();
         self.validity.truncate(new_len);
     }
 
     pub fn clear(&mut self) {
-        self.truncate(0);
+        self.repr = Repr::Flat(VectorData::new_for(self.ty, 0));
+        self.decoded = OnceLock::new();
         self.validity.clear();
     }
 
     /// Approximate heap footprint in bytes, for memory accounting (§4).
+    /// Encoded vectors report their compressed footprint (dictionary bytes
+    /// included, even when the dictionary is shared).
     pub fn size_bytes(&self) -> usize {
-        let data = match &self.data {
-            VectorData::Bool(v) => v.capacity(),
-            VectorData::I8(v) => v.capacity(),
-            VectorData::I16(v) => v.capacity() * 2,
-            VectorData::I32(v) => v.capacity() * 4,
-            VectorData::I64(v) => v.capacity() * 8,
-            VectorData::F64(v) => v.capacity() * 8,
-            VectorData::Str(v) => {
-                v.capacity() * std::mem::size_of::<String>()
-                    + v.iter().map(|s| s.capacity()).sum::<usize>()
-            }
+        let data = match &self.repr {
+            Repr::Flat(d) => d.heap_bytes(),
+            Repr::Dict(d) => d.codes.capacity() * 4 + d.dict.size_bytes(),
+            Repr::Rle(r) => r.values.heap_bytes() + r.starts.capacity() * 4,
+            Repr::For(f) => f.deltas.capacity() * 4 + 8,
         };
         data + self.len().div_ceil(8)
     }
@@ -469,6 +853,24 @@ impl Vector {
     /// Collect all rows as values (testing / display convenience).
     pub fn to_values(&self) -> Vec<Value> {
         (0..self.len()).map(|i| self.get_value(i)).collect()
+    }
+}
+
+/// Read row `row` of flat data as a `Value` under logical type `ty`.
+/// Public so compressed-domain kernels (e.g. per-run predicate
+/// evaluation over [`Vector::rle_parts`]) can lift run values without
+/// materializing the whole vector.
+pub fn value_at(data: &VectorData, ty: LogicalType, row: usize) -> Value {
+    match (data, ty) {
+        (VectorData::Bool(v), _) => Value::Boolean(v[row]),
+        (VectorData::I8(v), _) => Value::TinyInt(v[row]),
+        (VectorData::I16(v), _) => Value::SmallInt(v[row]),
+        (VectorData::I32(v), LogicalType::Date) => Value::Date(v[row]),
+        (VectorData::I32(v), _) => Value::Integer(v[row]),
+        (VectorData::I64(v), LogicalType::Timestamp) => Value::Timestamp(v[row]),
+        (VectorData::I64(v), _) => Value::BigInt(v[row]),
+        (VectorData::F64(v), _) => Value::Double(v[row]),
+        (VectorData::Str(v), _) => Value::Varchar(v[row].clone()),
     }
 }
 
@@ -640,5 +1042,189 @@ mod tests {
         assert!(v.to_values().iter().all(|x| *x == Value::Integer(7)));
         let n = Vector::constant(LogicalType::Integer, &Value::Null, 3).unwrap();
         assert_eq!(n.validity().count_invalid(), 3);
+    }
+
+    // ---------------- encoded representations ----------------
+
+    fn varchar(vals: &[&str]) -> Vector {
+        Vector::from_values(
+            LogicalType::Varchar,
+            &vals.iter().map(|s| Value::Varchar(s.to_string())).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    /// A low-cardinality varchar column long enough to dictionary-encode.
+    fn dict_fixture() -> (Vector, Vector) {
+        let vals: Vec<String> = (0..256).map(|i| format!("name_{}", i % 7)).collect();
+        let plain = Vector::from_values(
+            LogicalType::Varchar,
+            &vals.iter().map(|s| Value::Varchar(s.clone())).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let encoded = plain.encode_auto().expect("low cardinality must dictionary-encode");
+        (plain, encoded)
+    }
+
+    #[test]
+    fn chooser_adapts_to_cardinality() {
+        // Low-cardinality: 7 distinct over 256 rows -> dictionary.
+        let (_, encoded) = dict_fixture();
+        assert_eq!(encoded.encoding(), Encoding::Dict);
+        assert_eq!(encoded.dict_parts().unwrap().0.len(), 7);
+        // High-cardinality: all distinct -> stays plain.
+        let vals: Vec<Value> = (0..256).map(|i| Value::Varchar(format!("unique_{i}"))).collect();
+        let high = Vector::from_values(LogicalType::Varchar, &vals).unwrap();
+        assert!(high.encode_auto().is_none(), "high-cardinality varchar must stay plain");
+        // Short vectors never encode.
+        let short = varchar(&["a"; 8]);
+        assert!(short.encode_auto().is_none());
+    }
+
+    #[test]
+    fn chooser_picks_rle_for_runny_ints() {
+        let vals: Vec<Value> = (0..512).map(|i| Value::Integer(i / 128)).collect();
+        let v = Vector::from_values(LogicalType::Integer, &vals).unwrap();
+        let e = v.encode_auto().unwrap();
+        assert_eq!(e.encoding(), Encoding::Rle);
+        let (runs, starts) = e.rle_parts().unwrap();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(starts, &[0, 128, 256, 384]);
+        assert_eq!(e.data(), v.data());
+        // High-churn ints stay plain.
+        let vals: Vec<Value> = (0..512).map(Value::Integer).collect();
+        let v = Vector::from_values(LogicalType::Integer, &vals).unwrap();
+        assert!(v.encode_auto().is_none());
+    }
+
+    #[test]
+    fn chooser_picks_for_when_range_fits() {
+        let base = 1_600_000_000_000_000i64;
+        let vals: Vec<Value> = (0..256).map(|i| Value::BigInt(base + (i * 37) % 1000)).collect();
+        let v = Vector::from_values(LogicalType::BigInt, &vals).unwrap();
+        let e = v.encode_auto().unwrap();
+        assert_eq!(e.encoding(), Encoding::For);
+        let (frame, deltas) = e.for_parts().unwrap();
+        assert_eq!(frame, base);
+        assert_eq!(deltas.len(), 256);
+        assert_eq!(e.data(), v.data());
+        // A range wider than u32 stays plain.
+        let wide = Vector::from_values(
+            LogicalType::BigInt,
+            &(0..128).map(|i| Value::BigInt(i * (1i64 << 33))).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(wide.encode_auto().is_none());
+    }
+
+    #[test]
+    fn encoded_vectors_equal_plain_and_round_trip() {
+        let (plain, encoded) = dict_fixture();
+        assert_eq!(plain, encoded, "encoded vector must equal its plain source");
+        assert_eq!(encoded.to_values(), plain.to_values());
+        assert_eq!(encoded.data(), plain.data());
+        // Flatten restores a plain representation with identical rows.
+        let mut flat = encoded.clone();
+        flat.flatten();
+        assert_eq!(flat.encoding(), Encoding::Plain);
+        assert_eq!(flat, plain);
+    }
+
+    #[test]
+    fn encoded_slice_and_select_stay_compressed() {
+        let (plain, encoded) = dict_fixture();
+        let s = encoded.slice(10, 100);
+        assert_eq!(s.encoding(), Encoding::Dict);
+        assert_eq!(s.to_values(), plain.slice(10, 100).to_values());
+        let sel = SelectionVector::from_indexes((0..256).step_by(3).collect());
+        let g = encoded.select(&sel);
+        assert_eq!(g.encoding(), Encoding::Dict);
+        assert_eq!(g.to_values(), plain.select(&sel).to_values());
+    }
+
+    #[test]
+    fn rle_slice_rewindows_runs() {
+        let vals: Vec<Value> = (0..512).map(|i| Value::Integer(i / 100)).collect();
+        let plain = Vector::from_values(LogicalType::Integer, &vals).unwrap();
+        let e = plain.encode_auto().unwrap();
+        assert_eq!(e.encoding(), Encoding::Rle);
+        // A window crossing run boundaries re-windows without decoding.
+        let s = e.slice(150, 200);
+        assert_eq!(s.encoding(), Encoding::Rle);
+        assert_eq!(s.to_values(), plain.slice(150, 200).to_values());
+        let (_, starts) = s.rle_parts().unwrap();
+        assert_eq!(starts[0], 0);
+        // A window inside one run is a single run.
+        let inner = e.slice(110, 50);
+        assert_eq!(inner.rle_parts().unwrap().1.len(), 1);
+        assert_eq!(inner.to_values(), plain.slice(110, 50).to_values());
+    }
+
+    #[test]
+    fn encoded_append_paths() {
+        let (plain, encoded) = dict_fixture();
+        // Empty destination adopts the dictionary.
+        let mut dst = Vector::new(LogicalType::Varchar);
+        dst.append_from(&encoded, 0, 128).unwrap();
+        assert_eq!(dst.encoding(), Encoding::Dict);
+        // Same-dictionary appends stay in the compressed domain.
+        dst.append_from(&encoded, 128, 128).unwrap();
+        assert_eq!(dst.encoding(), Encoding::Dict);
+        assert_eq!(dst.to_values(), plain.to_values());
+        // push_from with a shared dictionary pushes a code.
+        dst.push_from(&encoded, 0).unwrap();
+        assert_eq!(dst.encoding(), Encoding::Dict);
+        assert_eq!(dst.get_value(256), plain.get_value(0));
+        // Appending to a non-empty plain vector flattens the source rows.
+        let mut mixed = varchar(&["x"]);
+        mixed.append_from(&encoded, 0, 4).unwrap();
+        assert_eq!(mixed.encoding(), Encoding::Plain);
+        assert_eq!(mixed.len(), 5);
+    }
+
+    #[test]
+    fn mutation_flattens_encoded_vectors() {
+        let (_, encoded) = dict_fixture();
+        let mut v = encoded.clone();
+        v.set_value(0, &Value::Varchar("patched".into())).unwrap();
+        assert_eq!(v.encoding(), Encoding::Plain);
+        assert_eq!(v.get_value(0), Value::Varchar("patched".into()));
+        let mut v = encoded.clone();
+        v.push_value(&Value::Varchar("tail".into())).unwrap();
+        assert_eq!(v.encoding(), Encoding::Plain);
+        assert_eq!(v.len(), 257);
+        // Truncate keeps the dictionary encoding (codes shrink).
+        let mut v = encoded.clone();
+        v.truncate(10);
+        assert_eq!(v.encoding(), Encoding::Dict);
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn encoding_preserves_null_slots() {
+        let mut vals = Vec::new();
+        for i in 0..256 {
+            if i % 5 == 0 {
+                vals.push(Value::Null);
+            } else {
+                vals.push(Value::Varchar(format!("v{}", i % 3)));
+            }
+        }
+        let plain = Vector::from_values(LogicalType::Varchar, &vals).unwrap();
+        let e = plain.encode_auto().unwrap();
+        assert_eq!(e.encoding(), Encoding::Dict);
+        assert_eq!(e, plain);
+        assert_eq!(e.validity().count_invalid(), plain.validity().count_invalid());
+    }
+
+    #[test]
+    fn encoded_size_is_smaller() {
+        let (plain, encoded) = dict_fixture();
+        assert!(
+            encoded.size_bytes() < plain.size_bytes(),
+            "dict {} must be under plain {}",
+            encoded.size_bytes(),
+            plain.size_bytes()
+        );
     }
 }

@@ -80,6 +80,36 @@ proptest! {
         prop_assert_eq!(result.to_rows(), want);
     }
 
+    // Low-cardinality varchar streams take the dictionary-coded wire path
+    // (the chooser accepts once a chunk crosses its minimum length), and
+    // must still decode to exactly the source rows — NULLs, embedded NULs,
+    // and repeated values included.
+    #[test]
+    fn wire_round_trips_dict_coded_varchar(
+        seeds in prop::collection::vec(
+            prop::option::of(0u8..5),
+            64..300,
+        ),
+    ) {
+        let values: Vec<Value> = seeds
+            .iter()
+            .map(|s| match s {
+                None => Value::Null,
+                Some(k) => Value::Varchar(format!("label\0{k}")),
+            })
+            .collect();
+        let col = Vector::from_values(LogicalType::Varchar, &values).unwrap();
+        let chunk = DataChunk::from_vectors(vec![col]).unwrap();
+
+        let mut w = ChunkWriter::new(Vec::new());
+        w.write_header(&["s".to_string()], &[LogicalType::Varchar]).unwrap();
+        w.write_chunk(&chunk).unwrap();
+        w.finish().unwrap();
+        let bytes = w.into_inner();
+        let result = ChunkReader::new(&bytes[..]).read_result().unwrap();
+        prop_assert_eq!(result.to_rows(), chunk.to_rows());
+    }
+
     // Live engine results pumped through the protocol the way the server
     // does (cursor chunk → wire frame) decode to exactly what the
     // in-process materialized API returns.
