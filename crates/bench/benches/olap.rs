@@ -158,6 +158,53 @@ fn olap(c: &mut Criterion) {
         b.iter(|| conn.query("SELECT count(*) FROM t WHERE id > 190000").unwrap())
     });
 
+    // External source cold scans (PR 9): every iteration hits the file
+    // through `read_csv` / `read_arrow` from scratch — sniff, byte-range
+    // partitioning, parse and the morsel-parallel merge are all on the
+    // clock, none of it amortized into a resident table.
+    let (csv_path, arrow_path) = eider_bench::scan_fixtures(ROWS).expect("fixtures");
+    let ext_db = eider_core::Database::in_memory().expect("db");
+    let ext_conn = ext_db.connect();
+    let csv_scan =
+        format!("SELECT count(*), min(val), max(val) FROM read_csv('{}')", csv_path.display());
+    g.bench_function("csv_cold_scan", |b| b.iter(|| ext_conn.query(&csv_scan).unwrap()));
+    let arrow_scan =
+        format!("SELECT count(*), min(val), max(val) FROM read_arrow('{}')", arrow_path.display());
+    g.bench_function("arrow_cold_scan", |b| b.iter(|| ext_conn.query(&arrow_scan).unwrap()));
+
+    // Bulk columnar ingest through `Appender::from_source` — the COPY
+    // FROM code path. Each iteration loads the full fixture into a fresh
+    // table; the sustained rows/s of the final iteration is archived as a
+    // summary metric next to the timings.
+    {
+        use eider_client::Appender;
+        use eider_etl::csv::{CsvReadOptions, CsvSource};
+        use std::sync::Arc;
+        let mut rows_per_sec = 0u64;
+        g.bench_function("appender_ingest", |b| {
+            b.iter(|| {
+                let db = eider_core::Database::in_memory().expect("db");
+                db.connect()
+                    .execute(
+                        "CREATE TABLE ingest \
+                         (id BIGINT, grp VARCHAR, val DOUBLE, note VARCHAR)",
+                    )
+                    .expect("create");
+                let entry = db.catalog().get_table("ingest").expect("table");
+                let txn = Arc::new(db.txn_manager().begin());
+                let source = CsvSource::open(&csv_path, CsvReadOptions::default()).expect("open");
+                let start = std::time::Instant::now();
+                let loaded =
+                    Appender::from_source(entry, Arc::clone(&txn), &source).expect("ingest");
+                let secs = start.elapsed().as_secs_f64();
+                db.commit_transaction(Arc::try_unwrap(txn).expect("sole owner")).expect("commit");
+                rows_per_sec = (loaded as f64 / secs.max(1e-9)) as u64;
+                criterion::black_box(loaded)
+            })
+        });
+        criterion::record_metric("metric/appender_ingest_rows_per_sec", rows_per_sec);
+    }
+
     // The streaming result path: a large SELECT consumed through the
     // cursor chunk by chunk (the embedding API's bounded-memory handoff).
     // Peak accounted memory during the stream is recorded as a summary

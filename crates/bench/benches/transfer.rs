@@ -54,7 +54,7 @@ fn transfer(c: &mut Criterion) {
                 let txn = std::sync::Arc::new(db.txn_manager().begin());
                 let mut app = eider_client::Appender::new(entry, std::sync::Arc::clone(&txn));
                 for chunk in result.chunks() {
-                    app.append_chunk(&chunk).unwrap();
+                    app.append_chunk((*chunk).clone()).unwrap();
                 }
                 app.finish().unwrap()
             },

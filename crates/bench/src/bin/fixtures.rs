@@ -1,0 +1,20 @@
+//! Regenerate the deterministic external-scan fixtures under
+//! `target/fixtures/` (nothing is checked in — the files are a pure
+//! function of the row count). The cold-scan benches in `benches/olap.rs`
+//! call the same generator; this binary exists so a fixture can be
+//! rebuilt or inspected by hand:
+//!
+//! ```text
+//! cargo run -p eider-bench --bin fixtures -- [rows]
+//! ```
+
+fn main() {
+    let rows = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<usize>().expect("rows must be an integer"))
+        .unwrap_or(200_000);
+    let (csv, arrow) = eider_bench::scan_fixtures(rows).expect("fixture generation");
+    let size = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    println!("{} ({} bytes)", csv.display(), size(&csv));
+    println!("{} ({} bytes)", arrow.display(), size(&arrow));
+}

@@ -13,7 +13,8 @@ use crate::persist::{self, WalRecord};
 use crate::planner::{self, PlanCtx};
 use eider_client::MaterializedResult;
 use eider_coop::compression::CompressionLevel;
-use eider_etl::csv::{CsvReadOptions, CsvReader, CsvWriter};
+use eider_etl::csv::{CsvReadOptions, CsvSource, CsvWriter};
+use eider_etl::for_each_chunk;
 use eider_exec::ops::drain;
 use eider_sql::plan::LogicalPlan;
 use eider_sql::{optimizer, Binder};
@@ -435,9 +436,14 @@ impl Connection {
                     null_string: options.null_string.clone(),
                     ..Default::default()
                 };
-                let mut reader = CsvReader::open(&path, entry.column_types(), opts)?;
+                // Fields parse directly as the table's declared types
+                // (no sniff-and-cast); the TableSource drain loop is the
+                // same one behind read_csv and Appender::from_source,
+                // with WAL logging layered on here where it belongs.
+                let source = CsvSource::open(&path, opts)?.with_types(entry.column_types())?;
+                let projection: Vec<usize> = (0..entry.columns.len()).collect();
                 let mut loaded = 0u64;
-                while let Some(chunk) = reader.next_chunk()? {
+                for_each_chunk(&source, &projection, |chunk| {
                     for (col, def) in chunk.columns().iter().zip(&entry.columns) {
                         if def.not_null && !col.validity().all_valid() {
                             return Err(EiderError::Constraint(format!(
@@ -457,7 +463,8 @@ impl Connection {
                         entry.data.append_chunk(txn, &chunk)
                     })?;
                     loaded += chunk.len() as u64;
-                }
+                    Ok(())
+                })?;
                 Ok(count_result(loaded))
             }
             LogicalPlan::CopyTo { input, path, options } => {
@@ -622,6 +629,7 @@ fn is_plain_query(plan: &LogicalPlan) -> bool {
     matches!(
         plan,
         LogicalPlan::TableScan { .. }
+            | LogicalPlan::ExternalScan { .. }
             | LogicalPlan::Filter { .. }
             | LogicalPlan::Projection { .. }
             | LogicalPlan::Aggregate { .. }

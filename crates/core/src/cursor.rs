@@ -55,6 +55,7 @@
 
 use crate::database::Database;
 use eider_client::MaterializedResult;
+use eider_etl::ArrowWriter;
 use eider_exec::ops::OperatorBox;
 use eider_storage::buffer::{BufferManager, MemoryReservation};
 use eider_txn::Transaction;
@@ -194,6 +195,24 @@ impl ResultCursor {
                 Err(e)
             }
         }
+    }
+
+    /// Stream the remaining chunks into `out` as an Arrow IPC file (the
+    /// engine's hand-rolled framing — see [`eider_etl::arrow`]) and
+    /// return the number of rows written. Each result chunk becomes one
+    /// record batch as it is pulled, so the export is as incremental as
+    /// the query itself: a parallel plan's workers stay throttled by the
+    /// writer, and nothing is materialized first. Dictionary-encoded
+    /// varchar columns are exported in the compressed domain — codes plus
+    /// a shared dictionary batch, no decode. The file round-trips through
+    /// `read_arrow` losslessly.
+    pub fn export_arrow_ipc(mut self, out: impl std::io::Write) -> Result<u64> {
+        let mut writer =
+            ArrowWriter::new(out, std::mem::take(&mut self.names), self.types.clone())?;
+        while let Some(chunk) = self.next_chunk()? {
+            writer.write_chunk(&chunk)?;
+        }
+        writer.finish()
     }
 
     /// Drain the remaining stream into a [`MaterializedResult`] (the

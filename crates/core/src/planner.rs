@@ -28,11 +28,12 @@
 
 use crate::database::Database;
 use eider_coop::policy::{choose_join_strategy, JoinStrategy};
+use eider_etl::{SourcePartition, TableSource};
 use eider_exec::ops::join::JoinType;
 use eider_exec::ops::{
     CrossProductOp, DeleteOp, DistinctOp, ExternalSortOp, FilterOp, HashAggregateOp, HashJoinOp,
     InsertOp, LimitOp, MergeJoinOp, NestedLoopJoinOp, OperatorBox, PhysicalOperator, ProjectionOp,
-    SimpleAggregateOp, TableScanOp, TopNOp, UpdateOp, ValuesOp,
+    SimpleAggregateOp, SourceScanOp, TableScanOp, TopNOp, UpdateOp, ValuesOp,
 };
 use eider_exec::parallel::graph::{
     fold_link_types, GraphLink, GraphNode, PipelineGraph, PipelineGraphOp,
@@ -124,6 +125,9 @@ fn estimate_rows(plan: &LogicalPlan) -> u64 {
                 (base / 3).max(1)
             }
         }
+        // External files without footer row counts (CSV) guess moderately
+        // large: a file worth scanning in parallel is rarely tiny.
+        LogicalPlan::ExternalScan { source, .. } => source.estimated_rows().unwrap_or(1 << 16),
         LogicalPlan::Filter { input, .. } => (estimate_rows(input) / 3).max(1),
         LogicalPlan::Limit { input, limit, .. } => estimate_rows(input).min(*limit as u64),
         LogicalPlan::Join { left, right, .. } => estimate_rows(left).max(estimate_rows(right)),
@@ -157,6 +161,9 @@ pub fn lower(ctx: &PlanCtx<'_>, txn: &Arc<Transaction>, plan: &LogicalPlan) -> R
                 emit_row_ids: *emit_row_ids,
             };
             Box::new(TableScanOp::new(Arc::clone(&entry.data), Arc::clone(txn), opts))
+        }
+        LogicalPlan::ExternalScan { source, column_ids, filters, .. } => {
+            Box::new(SourceScanOp::new(Arc::clone(source), column_ids.clone(), filters.clone()))
         }
         LogicalPlan::Filter { input, predicate } => {
             Box::new(FilterOp::new(lower(ctx, txn, input)?, predicate.clone()))
@@ -323,19 +330,98 @@ fn plan_morsels(table: &DataTable) -> Option<Vec<Morsel>> {
     Some(morsels)
 }
 
-/// The streaming part of a pipeline-shaped plan: one base table scan plus
+/// What a chain scans: the engine's own versioned tables, or an external
+/// [`TableSource`] whose partitions stand in for row-group morsels.
+enum ChainBase {
+    Table {
+        table: Arc<DataTable>,
+        opts: ScanOptions,
+    },
+    External {
+        source: Arc<dyn TableSource>,
+        /// Full-schema column positions, in emission order.
+        projection: Vec<usize>,
+        /// Pruning-only filters (full-schema positions).
+        filters: Vec<eider_txn::TableFilter>,
+    },
+}
+
+/// The streaming part of a pipeline-shaped plan: one base scan plus
 /// filter/projection/probe links, all safe to replicate per worker.
 /// Links are [`GraphLink`]s directly — probe links refer to planned nodes
 /// by index, resolved when the graph executes.
 struct ChainSpec {
-    table: Arc<DataTable>,
-    opts: ScanOptions,
+    base: ChainBase,
     links: Vec<GraphLink>,
 }
 
+/// External partition target: mirror the table path's ~16-morsel aim.
+/// A fixed constant — never the thread count — so the decomposition (and
+/// with it the merge order) is identical at any parallelism.
+const EXTERNAL_PARTITION_TARGET: usize = 16;
+
 impl ChainSpec {
+    fn base_types(&self) -> Vec<LogicalType> {
+        match &self.base {
+            ChainBase::Table { table, opts } => opts.output_types(table),
+            ChainBase::External { source, projection, .. } => {
+                let types = source.column_types();
+                projection.iter().map(|&i| types[i]).collect()
+            }
+        }
+    }
+
     fn output_types(&self) -> Vec<LogicalType> {
-        fold_link_types(self.opts.output_types(&self.table), &self.links)
+        fold_link_types(self.base_types(), &self.links)
+    }
+
+    /// Slice the base into morsels, or `None` when it is too small to
+    /// earn the dispatch cost (see [`plan_morsels`]). External sources
+    /// partition to a fixed target with metadata-pruned partitions
+    /// dropped up front; a partitioning error also yields `None` — the
+    /// serial path will open the same source and surface it.
+    fn plan_chain_morsels(&self) -> Option<Vec<Morsel>> {
+        match &self.base {
+            ChainBase::Table { table, .. } => plan_morsels(table),
+            ChainBase::External { source, filters, .. } => {
+                let mut parts = source.partitions(EXTERNAL_PARTITION_TARGET).ok()?;
+                parts.retain(|p| !source.prunable(p, filters));
+                if parts.len() < 2 {
+                    return None;
+                }
+                Some(
+                    parts
+                        .into_iter()
+                        .map(|p| Morsel {
+                            seq: p.seq,
+                            group: p.seq,
+                            row_begin: p.begin as usize,
+                            row_end: p.end as usize,
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Construct the dispenser (recording table read predicates on `txn`).
+    fn morsel_source(&self, txn: &Transaction, morsels: Vec<Morsel>) -> MorselSource {
+        match &self.base {
+            ChainBase::Table { table, opts } => {
+                MorselSource::from_morsels(Arc::clone(table), txn, opts.clone(), morsels)
+            }
+            ChainBase::External { source, projection, .. } => {
+                let parts = morsels
+                    .into_iter()
+                    .map(|m| SourcePartition {
+                        seq: m.seq,
+                        begin: m.row_begin as u64,
+                        end: m.row_end as u64,
+                    })
+                    .collect();
+                MorselSource::external(Arc::clone(source), projection.clone(), parts)
+            }
+        }
     }
 }
 
@@ -441,15 +527,25 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
                 if !emit_row_ids =>
             {
                 Some(ChainSpec {
-                    table: Arc::clone(&entry.data),
-                    opts: ScanOptions {
-                        columns: column_ids.clone(),
-                        filters: filters.clone(),
-                        emit_row_ids: false,
+                    base: ChainBase::Table {
+                        table: Arc::clone(&entry.data),
+                        opts: ScanOptions {
+                            columns: column_ids.clone(),
+                            filters: filters.clone(),
+                            emit_row_ids: false,
+                        },
                     },
                     links: Vec::new(),
                 })
             }
+            LogicalPlan::ExternalScan { source, column_ids, filters, .. } => Some(ChainSpec {
+                base: ChainBase::External {
+                    source: Arc::clone(source),
+                    projection: column_ids.clone(),
+                    filters: filters.clone(),
+                },
+                links: Vec::new(),
+            }),
             LogicalPlan::Filter { input, predicate } => {
                 let mut chain = self.chain_of(input)?;
                 chain.links.push(GraphLink::Step(PipelineStep::Filter(predicate.clone())));
@@ -483,7 +579,7 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
     fn build_node(&mut self, plan: &'p LogicalPlan, keys: &[Expr]) -> usize {
         let mark = self.nodes.len();
         if let Some(chain) = self.chain_of(plan) {
-            if let Some(morsels) = plan_morsels(&chain.table) {
+            if let Some(morsels) = chain.plan_chain_morsels() {
                 return self.push(NodeSpec::Pipeline {
                     chain,
                     morsels,
@@ -500,7 +596,7 @@ impl<'a, 'p> SpecBuilder<'a, 'p> {
     fn chain_with_morsels(&mut self, plan: &'p LogicalPlan) -> Option<(ChainSpec, Vec<Morsel>)> {
         let mark = self.nodes.len();
         if let Some(chain) = self.chain_of(plan) {
-            if let Some(morsels) = plan_morsels(&chain.table) {
+            if let Some(morsels) = chain.plan_chain_morsels() {
                 return Some((chain, morsels));
             }
         }
@@ -717,14 +813,8 @@ fn materialize(
             )
         })
         .collect();
-    let scan_source = |chain: &ChainSpec, morsels: Vec<Morsel>| {
-        Arc::new(MorselSource::from_morsels(
-            Arc::clone(&chain.table),
-            txn,
-            chain.opts.clone(),
-            morsels,
-        ))
-    };
+    let scan_source =
+        |chain: &ChainSpec, morsels: Vec<Morsel>| Arc::new(chain.morsel_source(txn, morsels));
     for node in spec.nodes {
         match node {
             NodeSpec::Pipeline { chain, morsels, sink } => {
@@ -782,9 +872,8 @@ fn parallel_build_side(
     if !spec.nodes.is_empty() {
         return Ok(None); // nested build sides: keep the serial path simple
     }
-    let Some(morsels) = plan_morsels(&chain.table) else { return Ok(None) };
-    let source =
-        Arc::new(MorselSource::from_morsels(Arc::clone(&chain.table), txn, chain.opts, morsels));
+    let Some(morsels) = chain.plan_chain_morsels() else { return Ok(None) };
+    let source = Arc::new(chain.morsel_source(txn, morsels));
     let steps: Vec<PipelineStep> = chain
         .links
         .into_iter()
@@ -1068,5 +1157,60 @@ mod tests {
         assert!(!routes_parallel(&db, "SELECT k FROM small"));
         db.policy().set_threads(1);
         assert!(!routes_parallel(&db, "SELECT id FROM big"));
+    }
+
+    /// `read_csv` over a file big enough to split must route through the
+    /// parallel DAG — no serial fallback — and the projection must be
+    /// pushed down into the external scan itself.
+    #[test]
+    fn read_csv_routes_morsel_parallel_with_projection_pushdown() {
+        use std::io::Write as _;
+        let mut path = std::env::temp_dir();
+        path.push(format!("eider_planner_read_csv_{}.csv", std::process::id()));
+        {
+            // ~130KB: comfortably above the 2×16KB floor two byte-range
+            // partitions need, so the scan is parallel-eligible.
+            let mut f = std::fs::File::create(&path).unwrap();
+            writeln!(f, "id,name,score").unwrap();
+            for i in 0..4000 {
+                writeln!(f, "{i},row_{i}_padding_padding_padding,{}.25", i % 97).unwrap();
+            }
+        }
+        let db = fixture();
+        let path_sql = path.display().to_string();
+        for sql in [
+            format!("SELECT count(*) FROM read_csv('{path_sql}')"),
+            format!("SELECT id, count(*) FROM read_csv('{path_sql}') GROUP BY id"),
+            format!("SELECT id FROM read_csv('{path_sql}') WHERE id < 100"),
+        ] {
+            assert!(routes_parallel(&db, &sql), "expected parallel DAG for: {sql}");
+        }
+
+        // Projection pushdown: only the referenced column survives into
+        // the external scan (`name`, the widest column, is never read).
+        fn external_scan(plan: &LogicalPlan) -> Option<(&[usize], &[String])> {
+            match plan {
+                LogicalPlan::ExternalScan { column_ids, names, .. } => Some((column_ids, names)),
+                other => other.children().into_iter().find_map(external_scan),
+            }
+        }
+        let plan = plan_of(&db, &format!("SELECT id FROM read_csv('{path_sql}')"));
+        let (column_ids, names) =
+            external_scan(&plan).expect("plan must contain an ExternalScan leaf");
+        assert_eq!(column_ids, &[0], "only `id` may be read from the file");
+        assert_eq!(names, &["id".to_string()]);
+
+        // A file too small to split still executes — serially.
+        let mut small_path = std::env::temp_dir();
+        small_path.push(format!("eider_planner_read_csv_small_{}.csv", std::process::id()));
+        std::fs::write(&small_path, "id,name\n1,a\n2,b\n").unwrap();
+        let sql = format!("SELECT count(*) FROM read_csv('{}')", small_path.display());
+        assert!(!routes_parallel(&db, &sql), "tiny files keep the serial path");
+        let conn = db.connect();
+        let result = conn.query(&sql).unwrap();
+        assert_eq!(result.scalar().unwrap(), eider_vector::Value::BigInt(2));
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&small_path).unwrap();
     }
 }

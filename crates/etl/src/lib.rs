@@ -1,12 +1,19 @@
-//! ETL support: CSV reading (with type sniffing) and writing.
+//! ETL support: external table sources (CSV, Arrow IPC) behind the
+//! [`TableSource`] scan API, plus CSV writing.
 //!
 //! §2: "the database can directly scan existing files (e.g. CSV), reshape
 //! the result and then append it to a persistent table ... out-of-core
 //! processing, parallelization and transactional behaviour is also highly
-//! relevant in the ETL process." `COPY t FROM 'file.csv'` lands here; the
-//! reader streams chunk-at-a-time so arbitrarily large files load in
-//! bounded memory, inside a transaction.
+//! relevant in the ETL process." `COPY t FROM 'file.csv'`,
+//! `SELECT ... FROM read_csv(...)` / `read_arrow(...)` and
+//! `Appender::from_source` all land here. Sources stream chunk-at-a-time
+//! so arbitrarily large files scan in bounded memory, and partition into
+//! independent slices so the pipeline DAG scans them morsel-parallel.
 
+pub mod arrow;
 pub mod csv;
+pub mod source;
 
-pub use csv::{sniff_csv_schema, CsvReadOptions, CsvReader, CsvWriter};
+pub use arrow::{ArrowFileSource, ArrowWriter};
+pub use csv::{sniff_csv_schema, CsvReadOptions, CsvReader, CsvSource, CsvWriter};
+pub use source::{for_each_chunk, SourcePartition, SourceReader, TableSource};

@@ -1,0 +1,124 @@
+//! The [`TableSource`] trait: a partitionable, schema-bearing,
+//! projectable stream of [`DataChunk`]s.
+//!
+//! The paper's §3 pitch is that the engine lives *inside* the data-science
+//! workflow — and that workflow lives in files, not in pre-ingested
+//! tables. `TableSource` is the one columnar contract those files plug in
+//! behind: the morsel dispenser
+//! ([`MorselSource`](../../eider_exec/parallel/morsel/struct.MorselSource.html))
+//! hands out source *partitions* exactly like table row-group slices, so a
+//! CSV byte range or an Arrow record batch flows through the same
+//! pipeline-DAG machinery as a `DataTable` scan — projection pushdown,
+//! zone-map pruning and bit-identical merge order included.
+//!
+//! Implementations in this crate: [`CsvSource`](crate::csv::CsvSource)
+//! (byte-range partitioned with quote-aware boundary resolution) and
+//! [`ArrowFileSource`](crate::arrow::ArrowFileSource) (record-batch
+//! partitioned with footer min/max pruning). The engine's own table scan
+//! is the third implementation, living in `eider-exec` next to the
+//! dispenser. Bulk ingest reuses the same contract from the other side:
+//! `Appender::from_source` drains any `TableSource` into a table.
+
+use eider_txn::TableFilter;
+use eider_vector::{DataChunk, LogicalType, Result};
+
+/// One independently scannable slice of a source.
+///
+/// `begin`/`end` are *source-defined units* — byte offsets for a CSV
+/// range, record-batch indexes for an Arrow file, row offsets for a table
+/// row group. Only the source that produced a partition interprets them;
+/// the dispenser treats partitions as opaque claim tickets. `seq` is the
+/// partition's position in the source's canonical order: results merged
+/// in `seq` order are bit-identical no matter how many workers scanned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourcePartition {
+    /// Position in the source's canonical (serial) scan order.
+    pub seq: usize,
+    /// First unit of the slice (inclusive), in source-defined units.
+    pub begin: u64,
+    /// One past the last unit of the slice, in source-defined units.
+    pub end: u64,
+}
+
+/// A scanner over one partition: pulls chunks until the slice is drained.
+pub trait SourceReader: Send {
+    /// The next chunk of the partition, already projected to the columns
+    /// the partition was opened with; `None` when the slice is exhausted.
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>>;
+}
+
+/// A partitionable, schema-bearing, projectable stream of chunks.
+///
+/// The contract the morsel dispenser needs and nothing more:
+///
+/// * **schema** — [`column_names`](TableSource::column_names) /
+///   [`column_types`](TableSource::column_types) describe the full
+///   source schema; filters and projections address these positions;
+/// * **partitioning** — [`partitions`](TableSource::partitions) splits
+///   the source into independent slices. The decomposition must depend
+///   only on the data and the `target` hint, never on thread count, so a
+///   fixed merge order yields bit-identical results at any parallelism;
+/// * **pruning** — [`prunable`](TableSource::prunable) may skip a
+///   partition when format-level min/max metadata proves no row can
+///   match (conservative: `false` means "must scan");
+/// * **projection** — [`open`](TableSource::open) yields a reader that
+///   emits exactly the requested columns in the requested order.
+pub trait TableSource: Send + Sync {
+    /// Short human-readable name for plans and errors (e.g.
+    /// `read_csv('data.csv')`).
+    fn name(&self) -> String;
+
+    /// Column names of the full source schema.
+    fn column_names(&self) -> &[String];
+
+    /// Column types of the full source schema.
+    fn column_types(&self) -> &[LogicalType];
+
+    /// Split the source into at most ~`target` independent partitions
+    /// (fewer when the source is small or its format bounds the split).
+    /// The decomposition must be a pure function of the source data and
+    /// `target`.
+    fn partitions(&self, target: usize) -> Result<Vec<SourcePartition>>;
+
+    /// `true` when the source's metadata proves no row of `partition` can
+    /// satisfy all `filters` (which address full-schema column
+    /// positions). The default never prunes.
+    fn prunable(&self, partition: &SourcePartition, filters: &[TableFilter]) -> bool {
+        let _ = (partition, filters);
+        false
+    }
+
+    /// Open one partition for scanning, projected to `projection`
+    /// (full-schema column positions, emitted in the given order).
+    fn open(
+        &self,
+        partition: &SourcePartition,
+        projection: &[usize],
+    ) -> Result<Box<dyn SourceReader>>;
+
+    /// Total row estimate when the format knows it cheaply (Arrow footer
+    /// row counts); `None` when rows are unknown before scanning (CSV).
+    fn estimated_rows(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Drain an entire source serially in canonical partition order — the
+/// shared bulk path behind `COPY FROM`, `Appender::from_source` and the
+/// serial scan operator's fallbacks. `projection` selects and orders
+/// columns; the callback receives each chunk in deterministic order.
+pub fn for_each_chunk(
+    source: &dyn TableSource,
+    projection: &[usize],
+    mut f: impl FnMut(DataChunk) -> Result<()>,
+) -> Result<()> {
+    let mut parts = source.partitions(1)?;
+    parts.sort_by_key(|p| p.seq);
+    for part in &parts {
+        let mut reader = source.open(part, projection)?;
+        while let Some(chunk) = reader.next_chunk()? {
+            f(chunk)?;
+        }
+    }
+    Ok(())
+}

@@ -17,7 +17,7 @@ pub use join::{
 };
 pub use merge_join::MergeJoinOp;
 pub use modify::{DeleteOp, InsertOp, UpdateOp};
-pub use scan::TableScanOp;
+pub use scan::{SourceScanOp, TableScanOp};
 pub use sort::{ExternalSortOp, SortKey, TopNOp};
 
 /// The pull interface: every operator produces chunks until exhausted.

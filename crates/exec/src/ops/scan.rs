@@ -36,6 +36,63 @@ impl PhysicalOperator for TableScanOp {
     }
 }
 
+/// Serial scan over an external [`TableSource`](eider_etl::TableSource):
+/// drains the source's
+/// partitions in canonical (`seq`) order, skipping partitions the
+/// source's metadata proves empty under the pushed-down filters. The
+/// serial twin of the morsel-parallel external scan — both read the same
+/// partitions in the same order, so results are bit-identical.
+pub struct SourceScanOp {
+    source: Arc<dyn eider_etl::TableSource>,
+    projection: Vec<usize>,
+    filters: Vec<eider_txn::TableFilter>,
+    types: Vec<LogicalType>,
+    parts: Option<Vec<eider_etl::SourcePartition>>,
+    reader: Option<Box<dyn eider_etl::SourceReader>>,
+    next_part: usize,
+}
+
+impl SourceScanOp {
+    pub fn new(
+        source: Arc<dyn eider_etl::TableSource>,
+        projection: Vec<usize>,
+        filters: Vec<eider_txn::TableFilter>,
+    ) -> Self {
+        let all = source.column_types();
+        let types = projection.iter().map(|&i| all[i]).collect();
+        SourceScanOp { source, projection, filters, types, parts: None, reader: None, next_part: 0 }
+    }
+}
+
+impl PhysicalOperator for SourceScanOp {
+    fn output_types(&self) -> Vec<LogicalType> {
+        self.types.clone()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if self.parts.is_none() {
+            let mut parts = self.source.partitions(1)?;
+            parts.sort_by_key(|p| p.seq);
+            parts.retain(|p| !self.source.prunable(p, &self.filters));
+            self.parts = Some(parts);
+        }
+        loop {
+            if let Some(reader) = self.reader.as_mut() {
+                if let Some(chunk) = reader.next_chunk()? {
+                    return Ok(Some(chunk));
+                }
+                self.reader = None;
+            }
+            let parts = self.parts.as_ref().expect("initialized");
+            let Some(part) = parts.get(self.next_part) else {
+                return Ok(None);
+            };
+            self.reader = Some(self.source.open(part, &self.projection)?);
+            self.next_part += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,13 +1,16 @@
 //! Morsels: the unit of parallel scan work.
 //!
-//! A morsel is a contiguous, vector-aligned row range inside one row group
-//! of a [`DataTable`]. The [`MorselSource`] snapshots the table's group
-//! sizes once, slices them into morsels, and dispenses them through an
-//! atomic cursor: workers that finish early simply grab the next morsel,
-//! so load balances without any up-front partitioning (the core idea of
-//! morsel-driven scheduling).
+//! A morsel is a contiguous slice of one *source partition* — a
+//! vector-aligned row range inside a [`DataTable`] row group, a byte range
+//! of a CSV file, or one Arrow record batch. The [`MorselSource`] fixes
+//! the partition decomposition once (snapshotting a table's group sizes,
+//! or asking a [`TableSource`] for its partitions), and dispenses morsels
+//! through an atomic cursor: workers that finish early simply grab the
+//! next morsel, so load balances without any up-front assignment (the
+//! core idea of morsel-driven scheduling).
 
 use crate::ops::PhysicalOperator;
+use eider_etl::source::{SourcePartition, SourceReader, TableSource};
 use eider_txn::{DataTable, ScanOptions, Transaction};
 use eider_vector::{DataChunk, LogicalType, Result, VECTOR_SIZE};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -17,7 +20,13 @@ use std::sync::Arc;
 /// that a handful of morsels per worker keeps the fleet busy.
 pub const MORSEL_ROWS: usize = 8 * VECTOR_SIZE;
 
-/// One unit of scan work: rows `[row_begin, row_end)` of `group`.
+/// One unit of scan work: units `[row_begin, row_end)` of `group`.
+///
+/// For a table scan the units are rows inside a row group; for an
+/// external source they are whatever the source's partitions are measured
+/// in (bytes, record batches) with `group` equal to the partition's
+/// sequence number. Only the backend that produced a morsel interprets
+/// the bounds — the dispenser treats them as opaque claim tickets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Morsel {
     /// Position in the serial scan order; merges sort by this to make
@@ -53,14 +62,22 @@ pub fn slice_morsels(group_sizes: &[usize], morsel_rows: usize) -> Vec<Morsel> {
     morsels
 }
 
-/// Shared dispenser of a table scan's morsels.
+/// What a [`MorselSource`] actually scans: the engine's own versioned
+/// tables, or any external [`TableSource`] (CSV byte ranges, Arrow record
+/// batches). Workers never look inside — they claim morsels and build a
+/// [`MorselScanOp`], which dispatches to the right reader.
+enum ScanBackend {
+    Table { table: Arc<DataTable>, opts: ScanOptions },
+    External { source: Arc<dyn TableSource>, projection: Vec<usize> },
+}
+
+/// Shared dispenser of a scan's morsels.
 pub struct MorselSource {
-    table: Arc<DataTable>,
-    opts: ScanOptions,
+    backend: ScanBackend,
     morsels: Vec<Morsel>,
     cursor: AtomicUsize,
     /// Set by a failing worker so its peers stop claiming work instead of
-    /// scanning the rest of the table before the error surfaces.
+    /// scanning the rest of the source before the error surfaces.
     aborted: AtomicBool,
 }
 
@@ -98,8 +115,9 @@ impl MorselSource {
         Self::from_morsels(table, txn, opts, morsels)
     }
 
-    /// Build a source over pre-sliced morsels (see [`slice_morsels`]).
-    /// Records the scan's read predicates on `txn` once.
+    /// Build a table-backed source over pre-sliced morsels (see
+    /// [`slice_morsels`]). Records the scan's read predicates on `txn`
+    /// once.
     pub fn from_morsels(
         table: Arc<DataTable>,
         txn: &Transaction,
@@ -108,8 +126,7 @@ impl MorselSource {
     ) -> Self {
         table.record_scan_read(txn, &opts);
         MorselSource {
-            table,
-            opts,
+            backend: ScanBackend::Table { table, opts },
             morsels,
             cursor: AtomicUsize::new(0),
             aborted: AtomicBool::new(false),
@@ -125,19 +142,50 @@ impl MorselSource {
         Self::new(table, txn, opts, MORSEL_ROWS)
     }
 
-    pub fn table(&self) -> &Arc<DataTable> {
-        &self.table
+    /// Build a dispenser over an external source's partitions (already
+    /// pruned by the caller). Each partition becomes one morsel whose
+    /// bounds carry the partition's source-defined units; `projection`
+    /// lists full-schema column positions in emission order.
+    pub fn external(
+        source: Arc<dyn TableSource>,
+        projection: Vec<usize>,
+        partitions: Vec<SourcePartition>,
+    ) -> Self {
+        let morsels = partitions
+            .into_iter()
+            .map(|p| Morsel {
+                seq: p.seq,
+                group: p.seq,
+                row_begin: p.begin as usize,
+                row_end: p.end as usize,
+            })
+            .collect();
+        MorselSource {
+            backend: ScanBackend::External { source, projection },
+            morsels,
+            cursor: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+        }
     }
 
-    pub fn scan_options(&self) -> &ScanOptions {
-        &self.opts
+    /// Output chunk types: the scan's projected columns in emission order.
+    pub fn output_types(&self) -> Vec<LogicalType> {
+        match &self.backend {
+            ScanBackend::Table { table, opts } => opts.output_types(table),
+            ScanBackend::External { source, projection } => {
+                let types = source.column_types();
+                projection.iter().map(|&i| types[i]).collect()
+            }
+        }
     }
 
     pub fn morsel_count(&self) -> usize {
         self.morsels.len()
     }
 
-    /// Total rows covered (physical, before visibility/filters).
+    /// Total units covered — physical rows for a table scan (before
+    /// visibility/filters), source-defined units (bytes, batches) for an
+    /// external scan.
     pub fn total_rows(&self) -> usize {
         self.morsels.iter().map(Morsel::rows).sum()
     }
@@ -156,7 +204,7 @@ impl MorselSource {
     /// Stop dispensing: peers finish their current morsel and return,
     /// letting the failing worker's error surface promptly (the serial
     /// engine aborts at the first bad chunk; a fleet should not scan the
-    /// rest of the table first).
+    /// rest of the source first).
     pub fn abort(&self) {
         self.aborted.store(true, Ordering::Relaxed);
     }
@@ -168,6 +216,18 @@ impl MorselSource {
     }
 }
 
+/// Per-morsel scan progress, matching the dispenser's backend.
+enum ScanState {
+    Table(eider_txn::table::TableScanState),
+    /// The reader is opened lazily on the first `next_chunk` so that
+    /// open errors (missing file, truncated footer) surface through the
+    /// operator's fallible pull path instead of a panicking constructor.
+    External {
+        morsel: Morsel,
+        reader: Option<Box<dyn SourceReader>>,
+    },
+}
+
 /// A [`PhysicalOperator`] leaf that scans exactly one morsel. Workers
 /// build one per claimed morsel and stack the pipeline's filter and
 /// projection operators on top, so per-thread execution reuses the serial
@@ -175,14 +235,21 @@ impl MorselSource {
 pub struct MorselScanOp {
     source: Arc<MorselSource>,
     txn: Arc<Transaction>,
-    state: eider_txn::table::TableScanState,
+    state: ScanState,
     types: Vec<LogicalType>,
 }
 
 impl MorselScanOp {
     pub fn new(source: Arc<MorselSource>, txn: Arc<Transaction>, morsel: Morsel) -> Self {
-        let types = source.scan_options().output_types(source.table());
-        let state = source.table().begin_scan_range(morsel.group, morsel.row_begin, morsel.row_end);
+        let types = source.output_types();
+        let state = match &source.backend {
+            ScanBackend::Table { table, .. } => ScanState::Table(table.begin_scan_range(
+                morsel.group,
+                morsel.row_begin,
+                morsel.row_end,
+            )),
+            ScanBackend::External { .. } => ScanState::External { morsel, reader: None },
+        };
         MorselScanOp { source, txn, state, types }
     }
 }
@@ -193,7 +260,26 @@ impl PhysicalOperator for MorselScanOp {
     }
 
     fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
-        self.source.table().scan_next(&self.txn, self.source.scan_options(), &mut self.state)
+        match (&self.source.backend, &mut self.state) {
+            (ScanBackend::Table { table, opts }, ScanState::Table(state)) => {
+                table.scan_next(&self.txn, opts, state)
+            }
+            (
+                ScanBackend::External { source, projection },
+                ScanState::External { morsel, reader },
+            ) => {
+                if reader.is_none() {
+                    let part = SourcePartition {
+                        seq: morsel.seq,
+                        begin: morsel.row_begin as u64,
+                        end: morsel.row_end as u64,
+                    };
+                    *reader = Some(source.open(&part, projection)?);
+                }
+                reader.as_mut().expect("just opened").next_chunk()
+            }
+            _ => unreachable!("scan state always matches its backend"),
+        }
     }
 }
 
@@ -322,5 +408,42 @@ mod tests {
         let serial: Vec<Vec<Value>> =
             table.scan_collect(&txn, &opts).unwrap().iter().flat_map(|c| c.to_rows()).collect();
         assert_eq!(rows, serial);
+    }
+
+    #[test]
+    fn external_partitions_dispense_and_merge_deterministically() {
+        use eider_etl::csv::{CsvReadOptions, CsvSource};
+        use std::io::Write as _;
+        let mut path = std::env::temp_dir();
+        path.push(format!("eider_morsel_ext_{}.csv", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            writeln!(f, "id,name").unwrap();
+            for i in 0..4000 {
+                writeln!(f, "{i},row_{i}_padding_padding_padding").unwrap();
+            }
+        }
+        let csv = Arc::new(CsvSource::open(&path, CsvReadOptions::default()).unwrap());
+        let parts = csv.partitions(4).unwrap();
+        assert!(parts.len() >= 2, "file is large enough to split");
+        let src = Arc::new(MorselSource::external(
+            Arc::clone(&csv) as Arc<dyn TableSource>,
+            vec![0],
+            parts,
+        ));
+        assert_eq!(src.output_types(), vec![LogicalType::BigInt]);
+        let mgr = TransactionManager::new();
+        let txn = Arc::new(mgr.begin());
+        let mut by_seq = Vec::new();
+        while let Some(m) = src.next_morsel() {
+            let mut op = MorselScanOp::new(Arc::clone(&src), Arc::clone(&txn), m);
+            by_seq.push((m.seq, drain_rows(&mut op).unwrap()));
+        }
+        by_seq.sort_by_key(|(seq, _)| *seq);
+        let rows: Vec<Vec<Value>> = by_seq.into_iter().flat_map(|(_, r)| r).collect();
+        assert_eq!(rows.len(), 4000);
+        assert_eq!(rows[0], vec![Value::BigInt(0)]);
+        assert_eq!(rows[3999], vec![Value::BigInt(3999)]);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -87,7 +87,7 @@ impl PipelineSource {
     /// Column types the source feeds into the chain.
     pub fn base_types(&self) -> Vec<LogicalType> {
         match self {
-            PipelineSource::Table(src) => src.scan_options().output_types(src.table()),
+            PipelineSource::Table(src) => src.output_types(),
             PipelineSource::Queue(queue) => queue.types().to_vec(),
         }
     }

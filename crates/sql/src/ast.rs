@@ -140,9 +140,27 @@ pub enum SelectItem {
 /// A FROM-clause table reference.
 #[derive(Debug, Clone)]
 pub enum TableRef {
-    Named { name: String, alias: Option<String> },
-    Subquery { query: Box<SelectStatement>, alias: String },
-    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<AstExpr> },
+    Named {
+        name: String,
+        alias: Option<String>,
+    },
+    Subquery {
+        query: Box<SelectStatement>,
+        alias: String,
+    },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<AstExpr>,
+    },
+    /// A table-producing function call, e.g. `read_csv('f.csv', header = true)`.
+    /// Arguments are literals, optionally named (`(None, v)` is positional).
+    Function {
+        name: String,
+        args: Vec<(Option<String>, Value)>,
+        alias: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

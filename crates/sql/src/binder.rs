@@ -4,6 +4,7 @@
 use crate::ast::*;
 use crate::plan::{CsvOptions, LogicalPlan};
 use eider_catalog::{Catalog, ColumnDefinition, TableEntry};
+use eider_etl::{ArrowFileSource, CsvReadOptions, CsvSource, TableSource};
 use eider_exec::aggregate::AggKind;
 use eider_exec::expression::{ArithOp, Expr, ScalarFunc};
 use eider_exec::ops::agg::AggExpr;
@@ -11,6 +12,7 @@ use eider_exec::ops::join::JoinType;
 use eider_exec::ops::sort::SortKey;
 use eider_vector::{EiderError, LogicalType, Result, Value};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// One visible column during binding.
@@ -609,6 +611,25 @@ impl Binder {
                 }
                 Ok((plan, ctx))
             }
+            TableRef::Function { name, args, alias } => {
+                let source = bind_table_function(name, args)?;
+                let qualifier = alias.clone().unwrap_or_else(|| name.to_ascii_lowercase());
+                let names = source.column_names().to_vec();
+                let types = source.column_types().to_vec();
+                let mut ctx = BindContext::default();
+                for (n, t) in names.iter().zip(&types) {
+                    ctx.push(Some(&qualifier), n, *t);
+                }
+                let column_ids = (0..names.len()).collect();
+                let plan = LogicalPlan::ExternalScan {
+                    source,
+                    column_ids,
+                    filters: Vec::new(),
+                    names,
+                    types,
+                };
+                Ok((plan, ctx))
+            }
             TableRef::Join { left, right, kind, on } => {
                 let (lplan, lctx) = self.bind_table_ref(left)?;
                 let (rplan, rctx) = self.bind_table_ref(right)?;
@@ -1133,6 +1154,58 @@ impl Binder {
 }
 
 // ---------------- helpers ----------------
+
+/// Resolve a FROM-clause table function to its [`TableSource`]. The file
+/// is opened (and its schema sniffed) at bind time so the plan's types
+/// are fixed before execution.
+fn bind_table_function(
+    name: &str,
+    args: &[(Option<String>, Value)],
+) -> Result<Arc<dyn TableSource>> {
+    let path = match args.first() {
+        Some((None, Value::Varchar(p))) => p.clone(),
+        _ => {
+            return Err(EiderError::Bind(format!(
+                "{name} expects a file path string as its first argument"
+            )))
+        }
+    };
+    match name.to_ascii_lowercase().as_str() {
+        "read_csv" => {
+            let mut options = CsvReadOptions::default();
+            for (opt, value) in &args[1..] {
+                let Some(opt) = opt.as_deref() else {
+                    return Err(EiderError::Bind(
+                        "read_csv options after the path must be named, e.g. header = false".into(),
+                    ));
+                };
+                match (opt, value) {
+                    ("header", Value::Boolean(b)) => options.header = *b,
+                    ("delimiter", Value::Varchar(s)) if s.chars().count() == 1 => {
+                        options.delimiter = s.chars().next().expect("one char");
+                    }
+                    ("null_string", Value::Varchar(s)) => options.null_string = s.clone(),
+                    ("sample_rows", Value::BigInt(n)) if *n > 0 => {
+                        options.sample_rows = *n as usize;
+                    }
+                    _ => {
+                        return Err(EiderError::Bind(format!(
+                            "read_csv: unsupported option {opt} = {value}"
+                        )))
+                    }
+                }
+            }
+            Ok(Arc::new(CsvSource::open(Path::new(&path), options)?))
+        }
+        "read_arrow" => {
+            if args.len() > 1 {
+                return Err(EiderError::Bind("read_arrow takes only a file path".into()));
+            }
+            Ok(Arc::new(ArrowFileSource::open(Path::new(&path))?))
+        }
+        other => Err(EiderError::Bind(format!("unknown table function {other}"))),
+    }
+}
 
 fn cast_to(e: Expr, to: LogicalType) -> Expr {
     if e.result_type() == to {

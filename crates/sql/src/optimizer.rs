@@ -189,6 +189,30 @@ fn push_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
                             LogicalPlan::Filter { input: Box::new(scan), predicate }
                         }
                     }
+                    // External scans never evaluate filters — formats
+                    // only expose coarse min/max metadata. Pushable
+                    // conjuncts are *copied* into the scan as pruning
+                    // hints (skip whole partitions) while the Filter
+                    // node keeps the full predicate for exactness.
+                    LogicalPlan::ExternalScan { source, column_ids, mut filters, names, types } => {
+                        let mut conjuncts = Vec::new();
+                        split_conjuncts(predicate, &mut conjuncts);
+                        for c in &conjuncts {
+                            if let Some((out_idx, op, value)) = as_table_filter(c) {
+                                if out_idx < column_ids.len() {
+                                    filters.push(TableFilter::new(column_ids[out_idx], op, value));
+                                }
+                            }
+                        }
+                        let scan =
+                            LogicalPlan::ExternalScan { source, column_ids, filters, names, types };
+                        let predicate = if conjuncts.len() == 1 {
+                            conjuncts.into_iter().next().expect("one")
+                        } else {
+                            Expr::And(conjuncts)
+                        };
+                        LogicalPlan::Filter { input: Box::new(scan), predicate }
+                    }
                     other => LogicalPlan::Filter { input: Box::new(other), predicate },
                 }
             }
@@ -411,6 +435,32 @@ fn narrow_scan(input: LogicalPlan, mut used: BTreeSet<usize>) -> (LogicalPlan, O
                 column_ids: positions.iter().map(|&p| column_ids[p]).collect(),
                 filters,
                 emit_row_ids,
+                names: positions.iter().map(|&p| names[p].clone()).collect(),
+                types: positions.iter().map(|&p| types[p]).collect(),
+            };
+            (scan, Some(positions))
+        }
+        LogicalPlan::ExternalScan { source, column_ids, filters, names, types } => {
+            if used.is_empty() {
+                let cheapest = types
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| match t {
+                        eider_vector::LogicalType::Varchar => usize::MAX,
+                        t => t.physical_width(),
+                    })
+                    .map(|(i, _)| i);
+                used.extend(cheapest);
+            }
+            if used.len() == column_ids.len() {
+                let scan = LogicalPlan::ExternalScan { source, column_ids, filters, names, types };
+                return (scan, None);
+            }
+            let positions: Vec<usize> = used.into_iter().collect();
+            let scan = LogicalPlan::ExternalScan {
+                source,
+                column_ids: positions.iter().map(|&p| column_ids[p]).collect(),
+                filters,
                 names: positions.iter().map(|&p| names[p].clone()).collect(),
                 types: positions.iter().map(|&p| types[p]).collect(),
             };

@@ -607,6 +607,27 @@ impl Parser {
             return Ok(TableRef::Subquery { query: Box::new(query), alias });
         }
         let name = self.expect_ident()?;
+        if self.eat_token(&Token::LParen) {
+            let args = self.parse_table_func_args()?;
+            let alias = if self.eat_kw("AS") {
+                Some(self.expect_ident()?)
+            } else {
+                match self.peek() {
+                    Some(Token::Ident(s)) if !is_reserved_after_table(s) => {
+                        let a = s.clone();
+                        self.pos += 1;
+                        Some(a)
+                    }
+                    Some(Token::QuotedIdent(s)) => {
+                        let a = s.clone();
+                        self.pos += 1;
+                        Some(a)
+                    }
+                    _ => None,
+                }
+            };
+            return Ok(TableRef::Function { name, args, alias });
+        }
         let alias = if self.eat_kw("AS") {
             Some(self.expect_ident()?)
         } else {
@@ -625,6 +646,49 @@ impl Parser {
             }
         };
         Ok(TableRef::Named { name, alias })
+    }
+
+    /// Arguments of a FROM-clause table function: comma-separated
+    /// literals, each optionally named (`header = true`). The opening
+    /// paren has been consumed; consumes through the closing paren.
+    fn parse_table_func_args(&mut self) -> Result<Vec<(Option<String>, Value)>> {
+        let mut args = Vec::new();
+        if self.eat_token(&Token::RParen) {
+            return Ok(args);
+        }
+        loop {
+            let name = match (self.peek(), self.peek_at(1)) {
+                (Some(Token::Ident(s)), Some(Token::Eq)) => {
+                    let n = s.to_ascii_lowercase();
+                    self.pos += 2;
+                    Some(n)
+                }
+                _ => None,
+            };
+            let value = self.parse_table_func_literal()?;
+            args.push((name, value));
+            if !self.eat_token(&Token::Comma) {
+                self.expect_token(&Token::RParen)?;
+                return Ok(args);
+            }
+        }
+    }
+
+    fn parse_table_func_literal(&mut self) -> Result<Value> {
+        let value = match self.peek().cloned() {
+            Some(Token::Str(s)) => Value::Varchar(s),
+            Some(Token::Integer(v)) => Value::BigInt(v),
+            Some(Token::Float(v)) => Value::Double(v),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Value::Boolean(true),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Value::Boolean(false),
+            other => {
+                return Err(EiderError::Parse(format!(
+                    "table function arguments must be literals, found {other:?}"
+                )))
+            }
+        };
+        self.pos += 1;
+        Ok(value)
     }
 
     // ---------------- expressions (precedence climbing) ----------------

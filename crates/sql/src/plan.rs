@@ -2,6 +2,7 @@
 //! the input of eider-core's physical planner.
 
 use eider_catalog::{ColumnDefinition, TableEntry};
+use eider_etl::TableSource;
 use eider_exec::expression::Expr;
 use eider_exec::ops::agg::AggExpr;
 use eider_exec::ops::join::JoinType;
@@ -27,6 +28,19 @@ pub enum LogicalPlan {
         /// Pushed-down filters (zone-map eligible).
         filters: Vec<TableFilter>,
         emit_row_ids: bool,
+        names: Vec<String>,
+        types: Vec<LogicalType>,
+    },
+    /// Scan of an external [`TableSource`] (`read_csv`, `read_arrow`).
+    /// `filters` are pruning hints only — partitions whose metadata
+    /// excludes them are skipped, but rows are never filtered here; exact
+    /// evaluation stays in the enclosing `Filter`.
+    ExternalScan {
+        source: Arc<dyn TableSource>,
+        /// Full-schema column positions to emit, in order.
+        column_ids: Vec<usize>,
+        /// Pruning-only filters over full-schema column positions.
+        filters: Vec<TableFilter>,
         names: Vec<String>,
         types: Vec<LogicalType>,
     },
@@ -155,7 +169,9 @@ impl LogicalPlan {
     /// Output column types.
     pub fn output_types(&self) -> Vec<LogicalType> {
         match self {
-            LogicalPlan::TableScan { types, .. } => types.clone(),
+            LogicalPlan::TableScan { types, .. } | LogicalPlan::ExternalScan { types, .. } => {
+                types.clone()
+            }
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
@@ -195,7 +211,9 @@ impl LogicalPlan {
     /// Output column names.
     pub fn output_names(&self) -> Vec<String> {
         match self {
-            LogicalPlan::TableScan { names, .. } => names.clone(),
+            LogicalPlan::TableScan { names, .. } | LogicalPlan::ExternalScan { names, .. } => {
+                names.clone()
+            }
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
@@ -242,6 +260,14 @@ impl LogicalPlan {
         let line: String = match self {
             LogicalPlan::TableScan { entry, column_ids, filters, .. } => {
                 format!("SCAN {} cols={:?} filters={}", entry.name, column_ids, filters.len())
+            }
+            LogicalPlan::ExternalScan { source, column_ids, filters, .. } => {
+                format!(
+                    "EXTERNAL_SCAN {} cols={:?} prune_filters={}",
+                    source.name(),
+                    column_ids,
+                    filters.len()
+                )
             }
             LogicalPlan::Filter { .. } => "FILTER".into(),
             LogicalPlan::Projection { names, .. } => format!("PROJECT {names:?}"),

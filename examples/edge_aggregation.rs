@@ -29,7 +29,7 @@ fn main() -> Result<()> {
     let entry = db.catalog().get_table("readings")?;
     let txn = Arc::new(db.txn_manager().begin());
     let mut appender = Appender::new(entry, Arc::clone(&txn));
-    for chunk in &raw_chunks {
+    for chunk in raw_chunks {
         appender.append_chunk(chunk)?;
     }
     let ingested = appender.finish()?;
