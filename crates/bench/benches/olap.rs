@@ -154,6 +154,26 @@ fn olap(c: &mut Criterion) {
         })
     });
 
+    // Cost-based join ordering (PR 10): a 3-table join written with the
+    // 200k-row fact table in build position ("buckets JOIN orders JOIN
+    // customers" hashes orders innermost). The optimizer flips orders into
+    // the probe root so only the 49-row and 5000-row dimensions are
+    // hashed; the _syntactic twin pins `PRAGMA optimizer=0` and executes
+    // the written order. The gap between the two is the reorderer's win.
+    {
+        let jconn = star.connect();
+        jconn.execute("CREATE TABLE buckets (qty INTEGER, tier INTEGER)").expect("create");
+        let rows: Vec<String> = (1..50).map(|q| format!("({q}, {})", q / 10)).collect();
+        jconn.execute(&format!("INSERT INTO buckets VALUES {}", rows.join(","))).expect("insert");
+        const MULTI_JOIN: &str = "SELECT tier, count(*), sum(amount) \
+             FROM buckets JOIN orders ON orders.qty = buckets.qty \
+             JOIN customers ON orders.cid = customers.cid GROUP BY tier";
+        g.bench_function("multi_join", |b| b.iter(|| jconn.query(MULTI_JOIN).unwrap()));
+        let raw = star.connect();
+        raw.execute("PRAGMA optimizer=0").expect("pragma");
+        g.bench_function("multi_join_syntactic", |b| b.iter(|| raw.query(MULTI_JOIN).unwrap()));
+    }
+
     g.bench_function("zone_map_selective_scan", |b| {
         b.iter(|| conn.query("SELECT count(*) FROM t WHERE id > 190000").unwrap())
     });

@@ -62,6 +62,12 @@ impl TableEntry {
     pub fn column_names(&self) -> Vec<String> {
         self.columns.iter().map(|c| c.name.clone()).collect()
     }
+
+    /// Current table statistics for the cost-based optimizer, derived
+    /// on demand from storage metadata (see [`eider_txn::TableStats`]).
+    pub fn stats(&self) -> std::sync::Arc<eider_txn::TableStats> {
+        self.data.table_stats()
+    }
 }
 
 /// A named view: a stored SQL query expanded at bind time.

@@ -21,6 +21,7 @@ use eider_sql::{optimizer, Binder};
 use eider_txn::Transaction;
 use eider_vector::{DataChunk, EiderError, LogicalType, Result, Value, Vector};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A session: runs SQL, owns the current explicit transaction (if any)
@@ -31,12 +32,17 @@ pub struct Connection {
     db: Arc<Database>,
     session: Arc<SessionState>,
     current_txn: Mutex<Option<Arc<Transaction>>>,
+    /// `PRAGMA optimizer`: per-session switch for the logical optimizer.
+    /// Off, plans execute exactly as bound (syntactic join order, no
+    /// pushdown) — the baseline the plan-shape and property tests compare
+    /// cost-based plans against.
+    optimize: AtomicBool,
 }
 
 impl Connection {
     pub(crate) fn new(db: Arc<Database>) -> Self {
         let session = db.register_session();
-        Connection { db, session, current_txn: Mutex::new(None) }
+        Connection { db, session, current_txn: Mutex::new(None), optimize: AtomicBool::new(true) }
     }
 
     pub fn database(&self) -> &Arc<Database> {
@@ -107,8 +113,17 @@ impl Connection {
             self.run_statement(stmt)?;
         }
         let plan = Binder::new(Arc::clone(self.db.catalog())).bind_statement(last)?;
-        let plan = optimizer::optimize(plan)?;
+        let plan = self.optimize_plan(plan)?;
         self.stream_plan(plan)
+    }
+
+    /// Apply the logical optimizer unless this session disabled it.
+    fn optimize_plan(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        if self.optimize.load(Ordering::Relaxed) {
+            optimizer::optimize(plan)
+        } else {
+            Ok(plan)
+        }
     }
 
     /// Open a cursor over `plan`: plain queries keep their operator tree
@@ -174,7 +189,7 @@ impl Connection {
 
     fn run_statement(&self, stmt: &eider_sql::ast::Statement) -> Result<MaterializedResult> {
         let plan = Binder::new(Arc::clone(self.db.catalog())).bind_statement(stmt)?;
-        let plan = optimizer::optimize(plan)?;
+        let plan = self.optimize_plan(plan)?;
         self.run_plan(plan)
     }
 
@@ -207,8 +222,14 @@ impl Connection {
             }
             LogicalPlan::Pragma { name, value } => return self.run_pragma(name, value.as_ref()),
             LogicalPlan::Explain { input } => {
-                let lines: Vec<Vec<Value>> =
+                let mut lines: Vec<Vec<Value>> =
                     input.explain().lines().map(|l| vec![Value::Varchar(l.to_string())]).collect();
+                // Physical routing verdict: would this plan run on the
+                // parallel pipeline DAG, and with how many workers?
+                if is_plain_query(input) {
+                    let hint = planner::routing_hint(&self.plan_ctx(), input);
+                    lines.push(vec![Value::Varchar(hint)]);
+                }
                 let chunk = DataChunk::from_rows(&[LogicalType::Varchar], &lines)?;
                 return Ok(MaterializedResult::new(
                     vec!["explain".into()],
@@ -598,6 +619,14 @@ impl Connection {
                     reply(Value::BigInt(bytes as i64))
                 }
                 None => reply(Value::BigInt(db.config().wal_autocheckpoint as i64)),
+            },
+            "optimizer" => match value {
+                Some(v) => {
+                    let enabled = v.as_i64().unwrap_or(1) != 0;
+                    self.optimize.store(enabled, Ordering::Relaxed);
+                    reply(Value::BigInt(i64::from(enabled)))
+                }
+                None => reply(Value::BigInt(i64::from(self.optimize.load(Ordering::Relaxed)))),
             },
             "database_size" => {
                 reply(Value::BigInt((db.block_count() * eider_storage::BLOCK_SIZE as u64) as i64))

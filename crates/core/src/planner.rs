@@ -112,42 +112,29 @@ impl PhysicalOperator for UnionAllOp {
     }
 }
 
-/// Rough cardinality estimate for join-strategy selection (§4). No real
-/// statistics: base tables report physical rows, filters assume 1/3
-/// selectivity, everything else passes through.
+/// Cardinality estimate for physical decisions (build-side sizing,
+/// serial-vs-parallel routing, worker-share weights). Delegates to the
+/// optimizer's statistics-backed model — zone-map min/max, encoding-derived
+/// distinct counts, filter selectivities — the same numbers join
+/// reordering used, so logical and physical planning agree on sizes.
 fn estimate_rows(plan: &LogicalPlan) -> u64 {
-    match plan {
-        LogicalPlan::TableScan { entry, filters, .. } => {
-            let base = entry.data.physical_rows() as u64;
-            if filters.is_empty() {
-                base
-            } else {
-                (base / 3).max(1)
-            }
-        }
-        // External files without footer row counts (CSV) guess moderately
-        // large: a file worth scanning in parallel is rarely tiny.
-        LogicalPlan::ExternalScan { source, .. } => source.estimated_rows().unwrap_or(1 << 16),
-        LogicalPlan::Filter { input, .. } => (estimate_rows(input) / 3).max(1),
-        LogicalPlan::Limit { input, limit, .. } => estimate_rows(input).min(*limit as u64),
-        LogicalPlan::Join { left, right, .. } => estimate_rows(left).max(estimate_rows(right)),
-        LogicalPlan::CrossJoin { left, right } => {
-            estimate_rows(left).saturating_mul(estimate_rows(right))
-        }
-        LogicalPlan::Union { left, right } => {
-            estimate_rows(left).saturating_add(estimate_rows(right))
-        }
-        LogicalPlan::Values { rows, .. } => rows.len() as u64,
-        LogicalPlan::SingleRow => 1,
-        other => other.children().first().map_or(1, |c| estimate_rows(c)),
-    }
+    eider_sql::optimizer::cardinality::estimate(plan)
 }
 
-/// Estimated bytes of a materialized build side (the same crude ~16
-/// bytes/value the planner has always used in lieu of real statistics).
+/// Estimated bytes of a materialized build side: estimated rows times the
+/// schema's physical row width (variable-width columns count a pointer's
+/// worth plus a modest payload guess) plus per-row hash-table overhead.
 fn estimate_build_bytes(plan: &LogicalPlan) -> usize {
-    estimate_rows(plan).saturating_mul((plan.output_types().len() as u64).saturating_mul(16))
-        as usize
+    let width: u64 = plan
+        .output_types()
+        .iter()
+        .map(|t| match t {
+            LogicalType::Varchar => 24, // pointer + short-string payload
+            t => t.physical_width() as u64,
+        })
+        .sum();
+    // ~16 bytes/row of hash-table entry + bucket overhead on top of data.
+    estimate_rows(plan).saturating_mul(width.saturating_add(16)) as usize
 }
 
 /// Lower a logical query plan (SELECT-shaped nodes plus INSERT/UPDATE/
@@ -316,14 +303,23 @@ const PARALLEL_MIN_ROWS: usize = 2 * VECTOR_SIZE;
 /// aggregates. Pure — sources are constructed only after the whole DAG
 /// shape is validated, so a rejected plan leaves no trace on the
 /// transaction.
-fn plan_morsels(table: &DataTable) -> Option<Vec<Morsel>> {
+///
+/// Zone-map-prunable row groups are dropped up front (the same
+/// [`DataTable::group_prunable`] test scan cursors apply per group): a
+/// selective filter over a huge table routes by the rows it will actually
+/// touch, and workers are never dispatched onto morsels their scan would
+/// immediately skip. Pruning is deterministic — it depends only on data
+/// and filters — so the decomposition stays thread-count-independent.
+fn plan_morsels(table: &DataTable, filters: &[eider_txn::TableFilter]) -> Option<Vec<Morsel>> {
     let sizes = table.group_sizes();
-    let total: usize = sizes.iter().sum();
+    let prunable: Vec<bool> = (0..sizes.len()).map(|g| table.group_prunable(g, filters)).collect();
+    let total: usize = sizes.iter().zip(&prunable).filter(|(_, &p)| !p).map(|(&s, _)| s).sum();
     if total < PARALLEL_MIN_ROWS {
         return None;
     }
     let morsel_rows = (total / 16).clamp(VECTOR_SIZE, MORSEL_ROWS);
-    let morsels = slice_morsels(&sizes, morsel_rows);
+    let mut morsels = slice_morsels(&sizes, morsel_rows);
+    morsels.retain(|m| !prunable[m.group]);
     if morsels.len() < 2 {
         return None;
     }
@@ -382,7 +378,7 @@ impl ChainSpec {
     /// serial path will open the same source and surface it.
     fn plan_chain_morsels(&self) -> Option<Vec<Morsel>> {
         match &self.base {
-            ChainBase::Table { table, .. } => plan_morsels(table),
+            ChainBase::Table { table, opts } => plan_morsels(table, &opts.filters),
             ChainBase::External { source, filters, .. } => {
                 let mut parts = source.partitions(EXTERNAL_PARTITION_TARGET).ok()?;
                 parts.retain(|p| !source.prunable(p, filters));
@@ -797,10 +793,15 @@ fn materialize(
     let queue_bytes = (ctx.budget() / 8).clamp(1 << 16, 4 << 20);
     // A queue carries one batch per producer morsel; declaring the total
     // lets sort consumers cap their run fan-out like table-sourced sorts.
+    // Queue consumers are weighted by the rows their producers feed them.
+    let morsel_rows =
+        |morsels: &[Morsel]| morsels.iter().map(|m| (m.row_end - m.row_begin) as u64).sum::<u64>();
     let mut queue_batches = vec![0usize; spec.queues.len()];
+    let mut queue_weights = vec![0u64; spec.queues.len()];
     for node in &spec.nodes {
         if let NodeSpec::QueueProducer { morsels, queue, .. } = node {
             queue_batches[*queue] += morsels.len();
+            queue_weights[*queue] += morsel_rows(morsels);
         }
     }
     let queues: Vec<Arc<ChunkQueue>> = spec
@@ -815,26 +816,41 @@ fn materialize(
         .collect();
     let scan_source =
         |chain: &ChainSpec, morsels: Vec<Morsel>| Arc::new(chain.morsel_source(txn, morsels));
+    // Node weights are estimated input rows: when independent nodes launch
+    // in the same round (e.g. two join builds, or union arms), the graph
+    // splits the worker budget proportionally instead of evenly. Serial
+    // nodes run single-threaded by construction and weigh the minimum.
     for node in spec.nodes {
         match node {
             NodeSpec::Pipeline { chain, morsels, sink } => {
+                let weight = morsel_rows(&morsels);
                 let source = scan_source(&chain, morsels);
-                graph.add(GraphNode::Pipeline { source: source.into(), links: chain.links, sink });
+                graph.add_weighted(
+                    GraphNode::Pipeline { source: source.into(), links: chain.links, sink },
+                    weight,
+                );
             }
             NodeSpec::QueueProducer { chain, morsels, queue, arm } => {
+                let weight = morsel_rows(&morsels);
                 let source = scan_source(&chain, morsels);
-                graph.add(GraphNode::Pipeline {
-                    source: source.into(),
-                    links: chain.links,
-                    sink: PipelineSink::Queue { queue: Arc::clone(&queues[queue]), arm },
-                });
+                graph.add_weighted(
+                    GraphNode::Pipeline {
+                        source: source.into(),
+                        links: chain.links,
+                        sink: PipelineSink::Queue { queue: Arc::clone(&queues[queue]), arm },
+                    },
+                    weight,
+                );
             }
             NodeSpec::QueueConsumer { queue, sink } => {
-                graph.add(GraphNode::Pipeline {
-                    source: PipelineSource::Queue(Arc::clone(&queues[queue])),
-                    links: Vec::new(),
-                    sink,
-                });
+                graph.add_weighted(
+                    GraphNode::Pipeline {
+                        source: PipelineSource::Queue(Arc::clone(&queues[queue])),
+                        links: Vec::new(),
+                        sink,
+                    },
+                    queue_weights[queue],
+                );
             }
             NodeSpec::SerialBuild { plan, keys } => {
                 graph.add(GraphNode::SerialBuild { input: Some(lower(ctx, txn, plan)?), keys });
@@ -992,6 +1008,42 @@ fn try_graph(
         return materialize(ctx, txn, threads, spec, vec![output]).map(Some);
     }
     Ok(None)
+}
+
+/// One-line routing summary for `EXPLAIN`: replays the phase-1 shape
+/// recognition (pure — no morsel sources constructed, nothing recorded on
+/// any transaction) and reports whether the plan would execute on the
+/// parallel pipeline DAG, and with how many workers and DAG nodes.
+pub fn routing_hint(ctx: &PlanCtx<'_>, plan: &LogicalPlan) -> String {
+    let threads = ctx.db.policy().worker_threads();
+    if threads > 1 {
+        if let Some(nodes) = routed_nodes(ctx, plan) {
+            return format!("ROUTING parallel threads={threads} nodes={nodes}");
+        }
+    }
+    "ROUTING serial".to_string()
+}
+
+/// DAG node count if the plan routes parallel, mirroring [`parallel_plan`]:
+/// whole-plan shapes first, then the serial-probe fallback, then serial
+/// wrappers over a parallel child.
+fn routed_nodes(ctx: &PlanCtx<'_>, plan: &LogicalPlan) -> Option<usize> {
+    let mut spec = SpecBuilder::new(ctx);
+    if spec.output_nodes(plan).is_some() {
+        return Some(spec.nodes.len());
+    }
+    let mut spec = SpecBuilder::new(ctx);
+    if spec.serial_probe(plan).is_some() {
+        return Some(spec.nodes.len());
+    }
+    match plan {
+        LogicalPlan::Projection { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Distinct { input } => routed_nodes(ctx, input),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,7 @@ struct StatsInner {
     rounds: Vec<Vec<NodeId>>,
     running: usize,
     max_concurrent: usize,
+    shares: Vec<(NodeId, usize)>,
 }
 
 impl GraphStats {
@@ -173,6 +174,17 @@ impl GraphStats {
     /// Peak number of nodes in flight at once.
     pub fn max_concurrent(&self) -> usize {
         self.inner.lock().expect("stats poisoned").max_concurrent
+    }
+
+    /// Worker share granted to each node at launch, in launch order.
+    /// Proves the weighted split: a heavy scan node should receive more
+    /// workers than the single-row build launched alongside it.
+    pub fn node_shares(&self) -> Vec<(NodeId, usize)> {
+        self.inner.lock().expect("stats poisoned").shares.clone()
+    }
+
+    fn record_share(&self, id: NodeId, share: usize) {
+        self.inner.lock().expect("stats poisoned").shares.push((id, share));
     }
 
     fn record_launch(&self, round: &[NodeId]) {
@@ -306,6 +318,11 @@ impl NodeCtx {
 /// then declare the output node(s) with [`PipelineGraph::set_outputs`].
 pub struct PipelineGraph {
     nodes: Vec<GraphNode>,
+    /// Relative work estimate per node (same index as `nodes`), used to
+    /// split each launch round's worker budget proportionally. Nodes added
+    /// via [`PipelineGraph::add`] weigh 1; the planner supplies estimated
+    /// input rows through [`PipelineGraph::add_weighted`].
+    weights: Vec<u64>,
     outputs: Vec<NodeId>,
     txn: Arc<Transaction>,
     threads: usize,
@@ -333,6 +350,7 @@ impl PipelineGraph {
     pub fn new(txn: Arc<Transaction>, threads: usize) -> Self {
         PipelineGraph {
             nodes: Vec::new(),
+            weights: Vec::new(),
             outputs: Vec::new(),
             txn,
             threads: threads.max(1),
@@ -408,7 +426,17 @@ impl PipelineGraph {
     /// [`GraphLink::Probe`] must be appended before their probers —
     /// execution walks in append order.
     pub fn add(&mut self, node: GraphNode) -> NodeId {
+        self.add_weighted(node, 1)
+    }
+
+    /// Append a node with a relative work estimate (e.g. estimated input
+    /// rows). When several nodes launch in the same scheduling round, the
+    /// round's worker budget is split proportionally to these weights
+    /// instead of evenly, so a small dimension-table build does not pin
+    /// workers a concurrent fact-table scan could use.
+    pub fn add_weighted(&mut self, node: GraphNode, weight: u64) -> NodeId {
         self.nodes.push(node);
+        self.weights.push(weight.max(1));
         self.nodes.len() - 1
     }
 
@@ -558,6 +586,7 @@ impl PipelineGraph {
         self.admit();
         let fleet = self.fleet.clone();
         let nodes = std::mem::take(&mut self.nodes);
+        let weights = std::mem::take(&mut self.weights);
         let n = nodes.len();
         let deps: Vec<Vec<NodeId>> = nodes.iter().map(Self::node_deps).collect();
         let mut queues = Self::graph_queues(&nodes);
@@ -648,6 +677,21 @@ impl PipelineGraph {
                         Some(f) => f.node_share(in_flight).min(threads.max(1)),
                         None => (threads / in_flight).max(1),
                     };
+                    // The round's budget splits proportionally to the
+                    // planner's estimated input rows, not evenly: launching
+                    // a 50-row dimension build beside a million-row scan
+                    // should not halve the scan's workers. Equal weights
+                    // (the `add` default) reproduce the even split.
+                    let round_pool = share.saturating_mul(launchable.len());
+                    let round_weight: u64 = launchable
+                        .iter()
+                        .map(|&(id, _)| weights.get(id).copied().unwrap_or(1))
+                        .sum();
+                    let node_share = |id: NodeId| -> usize {
+                        let w = weights.get(id).copied().unwrap_or(1);
+                        let exact = (round_pool as u64).saturating_mul(w) / round_weight.max(1);
+                        (exact as usize).clamp(1, threads.max(1))
+                    };
                     // Inline fast path: a lone ready node with nothing in
                     // flight cannot overlap with anything — run it on the
                     // scheduler thread. Sequential DAGs (build → probe, the
@@ -658,6 +702,9 @@ impl PipelineGraph {
                     if running == 0 && launchable.len() == 1 {
                         let (id, ready) = launchable.pop().expect("checked");
                         done[id] = true;
+                        if let Some(stats) = &stats {
+                            stats.record_share(id, share);
+                        }
                         let outcome = ctx.run_node(ready, share);
                         if let Some(stats) = &stats {
                             stats.record_finish();
@@ -675,6 +722,10 @@ impl PipelineGraph {
                     }
                     for (id, ready) in launchable {
                         running += 1;
+                        let share = node_share(id);
+                        if let Some(stats) = &stats {
+                            stats.record_share(id, share);
+                        }
                         let tx = tx.clone();
                         let ctx = ctx.clone();
                         let stats = stats.clone();
@@ -1157,6 +1208,62 @@ mod tests {
             let rows: Vec<Vec<Value>> = chunks.iter().flat_map(DataChunk::to_rows).collect();
             assert_eq!(rows, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn weighted_nodes_split_the_round_budget_by_estimated_rows() {
+        let (mgr, table) = fixture();
+        let txn = Arc::new(mgr.begin());
+        let arm = |cmp: CmpOp, bound: i32| ScanOptions {
+            columns: vec![0, 1],
+            filters: vec![TableFilter::new(0, cmp, Value::Integer(bound))],
+            emit_row_ids: false,
+        };
+        // Two independent scans launch in the same round; the one weighted
+        // like a fact table should receive nearly the whole budget while
+        // the dimension-sized one still gets its guaranteed worker.
+        let mut graph = PipelineGraph::new(Arc::clone(&txn), 8);
+        let heavy = graph.add_weighted(
+            GraphNode::Pipeline {
+                source: PipelineSource::Table(Arc::new(MorselSource::new(
+                    Arc::clone(&table),
+                    &txn,
+                    arm(CmpOp::GtEq, 100),
+                    VECTOR_SIZE,
+                ))),
+                links: vec![],
+                sink: PipelineSink::Collect,
+            },
+            ROWS as u64,
+        );
+        let light = graph.add_weighted(
+            GraphNode::Pipeline {
+                source: PipelineSource::Table(Arc::new(MorselSource::new(
+                    Arc::clone(&table),
+                    &txn,
+                    arm(CmpOp::Lt, 100),
+                    VECTOR_SIZE,
+                ))),
+                links: vec![],
+                sink: PipelineSink::Collect,
+            },
+            100,
+        );
+        graph.set_outputs(vec![heavy, light]);
+        let stats = GraphStats::new();
+        let graph = graph.with_stats(Arc::clone(&stats));
+        let (chunks, _res) = graph.execute().unwrap();
+        let rows: usize = chunks.iter().map(DataChunk::len).sum();
+        assert_eq!(rows, ROWS as usize);
+        let shares = stats.node_shares();
+        let share_of = |id: NodeId| {
+            shares.iter().find(|(n, _)| *n == id).map(|&(_, s)| s).expect("node launched")
+        };
+        assert!(
+            share_of(heavy) > share_of(light),
+            "fact-sized node should out-rank the dimension-sized one: {shares:?}"
+        );
+        assert_eq!(share_of(light), 1, "light node keeps its guaranteed worker: {shares:?}");
     }
 
     #[test]

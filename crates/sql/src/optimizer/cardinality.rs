@@ -1,0 +1,260 @@
+//! Cardinality estimation over logical plans.
+//!
+//! The cost model every other pass (and the physical planner) consumes.
+//! Estimates are derived from [`eider_txn::TableStats`] — physical row
+//! counts, zone-map min/max and encoding-based distinct counts — with
+//! textbook fallbacks where stats are silent:
+//!
+//! * scan: `rows × Π selectivity(filter)`; equality selects `1/ndv`,
+//!   ranges select the covered fraction of `[min, max]`;
+//! * equi-join: `|L|·|R| / max(ndv(l), ndv(r))` per key pair;
+//! * aggregate: the product of the group columns' distinct counts,
+//!   clamped to the input;
+//! * cross join: the full product (its size *is* the penalty the join
+//!   reorderer charges for it).
+//!
+//! Estimates are upper-bound-leaning on purpose: the stats layer never
+//! under-counts rows, so a plan chosen here can be worse than optimal but
+//! routing decisions (serial vs parallel, build side) fail safe.
+
+use crate::plan::LogicalPlan;
+use eider_exec::expression::Expr;
+use eider_exec::ops::join::JoinType;
+use eider_txn::{CmpOp, TableFilter, TableStats};
+
+/// Selectivity assumed for a predicate we cannot see through.
+const DEFAULT_FILTER_SEL: f64 = 1.0 / 3.0;
+/// Selectivity assumed for an equality against an unknown distinct count.
+const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Row estimate for external sources that cannot report one (CSV).
+const DEFAULT_EXTERNAL_ROWS: u64 = 10_000;
+
+/// Estimated output rows of a plan node.
+pub fn estimate(plan: &LogicalPlan) -> u64 {
+    match plan {
+        LogicalPlan::TableScan { entry, filters, .. } => {
+            let stats = entry.stats();
+            let mut rows = stats.row_count as f64;
+            for f in filters {
+                rows *= filter_selectivity(&stats, f);
+            }
+            rows.ceil() as u64
+        }
+        LogicalPlan::ExternalScan { source, .. } => {
+            source.estimated_rows().unwrap_or(DEFAULT_EXTERNAL_ROWS)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut conjuncts = Vec::new();
+            count_conjuncts(predicate, &mut conjuncts);
+            let sel = DEFAULT_FILTER_SEL.powi(conjuncts.len().min(3) as i32);
+            scale(estimate(input), sel)
+        }
+        LogicalPlan::Projection { input, .. } | LogicalPlan::Sort { input, .. } => estimate(input),
+        LogicalPlan::Limit { input, limit, offset } => estimate(input).min((limit + offset) as u64),
+        LogicalPlan::Distinct { input } => estimate(input),
+        LogicalPlan::Aggregate { input, groups, aggs: _, .. } => {
+            let input_rows = estimate(input);
+            if groups.is_empty() {
+                return 1;
+            }
+            let mut ndv_product: u64 = 1;
+            let mut any_known = false;
+            for g in groups {
+                if let Some(ndv) = expr_ndv(input, g) {
+                    any_known = true;
+                    ndv_product = ndv_product.saturating_mul(ndv.max(1));
+                }
+            }
+            if any_known {
+                ndv_product.clamp(1, input_rows.max(1))
+            } else {
+                (input_rows / 4).max(1)
+            }
+        }
+        LogicalPlan::Join { left, right, join_type, left_keys, right_keys } => {
+            let l = estimate(left);
+            let r = estimate(right);
+            match join_type {
+                JoinType::Inner | JoinType::Left => {
+                    let inner = equi_join_rows(left, right, left_keys, right_keys, l, r);
+                    if matches!(join_type, JoinType::Left) {
+                        inner.max(l)
+                    } else {
+                        inner
+                    }
+                }
+                // Semi/anti keep a subset of the left side.
+                JoinType::Semi | JoinType::Anti => (l / 2).max(1),
+            }
+        }
+        LogicalPlan::NestedLoopJoin { left, right, .. } => {
+            scale(estimate(left).saturating_mul(estimate(right)), DEFAULT_FILTER_SEL)
+        }
+        LogicalPlan::CrossJoin { left, right } => estimate(left).saturating_mul(estimate(right)),
+        LogicalPlan::Union { left, right } => estimate(left).saturating_add(estimate(right)),
+        LogicalPlan::Values { rows, .. } => rows.len() as u64,
+        LogicalPlan::SingleRow => 1,
+        LogicalPlan::Insert { input, .. }
+        | LogicalPlan::Update { input, .. }
+        | LogicalPlan::Delete { input, .. }
+        | LogicalPlan::Explain { input }
+        | LogicalPlan::CopyTo { input, .. } => estimate(input),
+        _ => 1,
+    }
+}
+
+/// `|L ⋈ R|` for an equi-join: the product scaled by `1/max(ndv)` per key
+/// pair, falling back to the larger input's cardinality as the divisor
+/// (the classic FK-join assumption) when neither side's ndv is known.
+fn equi_join_rows(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    l: u64,
+    r: u64,
+) -> u64 {
+    let mut rows = l.saturating_mul(r) as f64;
+    for (lk, rk) in left_keys.iter().zip(right_keys) {
+        let ndv_l = expr_ndv(left, lk);
+        let ndv_r = expr_ndv(right, rk);
+        let divisor = match (ndv_l, ndv_r) {
+            (Some(a), Some(b)) => a.max(b),
+            (Some(a), None) => a.max(r),
+            (None, Some(b)) => b.max(l),
+            (None, None) => l.max(r),
+        };
+        rows /= divisor.max(1) as f64;
+    }
+    (rows.ceil() as u64).max(1)
+}
+
+/// Distinct-count estimate of a key expression over `input`'s output.
+/// Sees through the casts the binder adds for key-type coercion; any
+/// expression referencing other than exactly one column is opaque.
+pub(crate) fn expr_ndv(input: &LogicalPlan, key: &Expr) -> Option<u64> {
+    let mut cols = std::collections::BTreeSet::new();
+    super::collect_columns(key, &mut cols);
+    if cols.len() != 1 {
+        return None;
+    }
+    let col = *cols.iter().next().expect("one column");
+    column_ndv(input, col)
+}
+
+/// Trace output column `col` of `plan` to a base-table column and return
+/// its distinct estimate. `None` when the column is computed or the
+/// lineage crosses a node we cannot see through.
+pub(crate) fn column_ndv(plan: &LogicalPlan, col: usize) -> Option<u64> {
+    match plan {
+        LogicalPlan::TableScan { entry, column_ids, .. } => {
+            let phys = *column_ids.get(col)?;
+            let stats = entry.stats();
+            let ndv = stats.column(phys)?.distinct;
+            (ndv > 0).then_some(ndv)
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => column_ndv(input, col),
+        LogicalPlan::Projection { input, exprs, .. } => match exprs.get(col)? {
+            Expr::ColumnRef { index, .. } => column_ndv(input, *index),
+            Expr::Cast { child, .. } => match &**child {
+                Expr::ColumnRef { index, .. } => column_ndv(input, *index),
+                _ => None,
+            },
+            _ => None,
+        },
+        LogicalPlan::Aggregate { input, groups, .. } => match groups.get(col)? {
+            Expr::ColumnRef { index, .. } => column_ndv(input, *index),
+            _ => None,
+        },
+        LogicalPlan::Join { left, right, join_type, .. } => {
+            let lw = left.output_types().len();
+            if col < lw {
+                column_ndv(left, col)
+            } else if matches!(join_type, JoinType::Inner | JoinType::Left) {
+                column_ndv(right, col - lw)
+            } else {
+                None
+            }
+        }
+        LogicalPlan::NestedLoopJoin { left, right, .. }
+        | LogicalPlan::CrossJoin { left, right } => {
+            let lw = left.output_types().len();
+            if col < lw {
+                column_ndv(left, col)
+            } else {
+                column_ndv(right, col - lw)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Fraction of a scan's rows a pushed filter keeps.
+fn filter_selectivity(stats: &TableStats, f: &TableFilter) -> f64 {
+    let Some(col) = stats.column(f.column) else {
+        return DEFAULT_FILTER_SEL;
+    };
+    match f.op {
+        CmpOp::Eq => {
+            if col.distinct > 0 {
+                1.0 / col.distinct as f64
+            } else {
+                DEFAULT_EQ_SEL
+            }
+        }
+        CmpOp::NotEq => {
+            if col.distinct > 0 {
+                1.0 - 1.0 / col.distinct as f64
+            } else {
+                1.0 - DEFAULT_EQ_SEL
+            }
+        }
+        CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq => {
+            range_fraction(col.min.as_ref(), col.max.as_ref(), f)
+        }
+    }
+}
+
+/// Interpolate how much of `[min, max]` a range predicate covers.
+fn range_fraction(
+    min: Option<&eider_vector::Value>,
+    max: Option<&eider_vector::Value>,
+    f: &TableFilter,
+) -> f64 {
+    let (Some(lo), Some(hi), Some(v)) =
+        (min.and_then(|v| v.as_f64()), max.and_then(|v| v.as_f64()), f.value.as_f64())
+    else {
+        return DEFAULT_FILTER_SEL;
+    };
+    if hi <= lo {
+        // Single-valued column: the zone test is exact.
+        let keeps = match f.op {
+            CmpOp::Lt => lo < v,
+            CmpOp::LtEq => lo <= v,
+            CmpOp::Gt => lo > v,
+            CmpOp::GtEq => lo >= v,
+            _ => true,
+        };
+        return if keeps { 1.0 } else { 0.0 };
+    }
+    let below = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    match f.op {
+        CmpOp::Lt | CmpOp::LtEq => below,
+        CmpOp::Gt | CmpOp::GtEq => 1.0 - below,
+        _ => DEFAULT_FILTER_SEL,
+    }
+}
+
+fn count_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::And(children) => children.iter().for_each(|c| count_conjuncts(c, out)),
+        other => out.push(other),
+    }
+}
+
+fn scale(rows: u64, sel: f64) -> u64 {
+    ((rows as f64 * sel).ceil() as u64).max(if rows > 0 { 1 } else { 0 })
+}

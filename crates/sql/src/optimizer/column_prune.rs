@@ -1,0 +1,149 @@
+//! Scan column pruning: a columnar engine should read only the columns a
+//! query touches (§2). Runs last — every earlier pass can change which
+//! columns are referenced.
+
+use super::{collect_columns, map_plan, remap_columns};
+use crate::plan::LogicalPlan;
+use eider_txn::TableFilter;
+use eider_vector::Result;
+use std::collections::BTreeSet;
+
+/// Pushed-filter columns must still be scanned; verify invariant in debug.
+#[allow(dead_code)]
+fn filter_columns_visible(filters: &[TableFilter], column_ids: &[usize]) -> bool {
+    filters.iter().all(|f| column_ids.contains(&f.column))
+}
+
+/// Narrow the scan feeding `input` (directly, or through one residual
+/// Filter) to the output positions in `used`, returning the rewritten
+/// input and, when anything was dropped, the position translation the
+/// consumer must apply to its own expressions.
+///
+/// `used` positions address the scan's *output*; scan-level
+/// [`TableFilter`]s address physical ids and keep working even when their
+/// column is no longer output. A consumer using no columns at all (bare
+/// `count(*)`) still scans one column — chunks derive their row count
+/// from their columns — so the cheapest one is kept.
+fn narrow_scan(input: LogicalPlan, mut used: BTreeSet<usize>) -> (LogicalPlan, Option<Vec<usize>>) {
+    match input {
+        LogicalPlan::Filter { input: inner, predicate } => {
+            collect_columns(&predicate, &mut used);
+            let (inner, map) = narrow_scan(*inner, used);
+            let mut predicate = predicate;
+            if let Some(positions) = &map {
+                remap_columns(&mut predicate, &|old| {
+                    positions.iter().position(|&p| p == old).expect("collected above")
+                });
+            }
+            (LogicalPlan::Filter { input: Box::new(inner), predicate }, map)
+        }
+        LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, names, types } => {
+            if used.is_empty() {
+                // Keep the narrowest column so chunks still carry counts.
+                let cheapest = types
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| match t {
+                        eider_vector::LogicalType::Varchar => usize::MAX,
+                        t => t.physical_width(),
+                    })
+                    .map(|(i, _)| i);
+                used.extend(cheapest);
+            }
+            if used.len() == column_ids.len() || emit_row_ids {
+                let scan = LogicalPlan::TableScan {
+                    entry,
+                    column_ids,
+                    filters,
+                    emit_row_ids,
+                    names,
+                    types,
+                };
+                return (scan, None);
+            }
+            let positions: Vec<usize> = used.into_iter().collect();
+            let scan = LogicalPlan::TableScan {
+                entry,
+                column_ids: positions.iter().map(|&p| column_ids[p]).collect(),
+                filters,
+                emit_row_ids,
+                names: positions.iter().map(|&p| names[p].clone()).collect(),
+                types: positions.iter().map(|&p| types[p]).collect(),
+            };
+            (scan, Some(positions))
+        }
+        LogicalPlan::ExternalScan { source, column_ids, filters, names, types } => {
+            if used.is_empty() {
+                let cheapest = types
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| match t {
+                        eider_vector::LogicalType::Varchar => usize::MAX,
+                        t => t.physical_width(),
+                    })
+                    .map(|(i, _)| i);
+                used.extend(cheapest);
+            }
+            if used.len() == column_ids.len() {
+                let scan = LogicalPlan::ExternalScan { source, column_ids, filters, names, types };
+                return (scan, None);
+            }
+            let positions: Vec<usize> = used.into_iter().collect();
+            let scan = LogicalPlan::ExternalScan {
+                source,
+                column_ids: positions.iter().map(|&p| column_ids[p]).collect(),
+                filters,
+                names: positions.iter().map(|&p| names[p].clone()).collect(),
+                types: positions.iter().map(|&p| types[p]).collect(),
+            };
+            (scan, Some(positions))
+        }
+        other => (other, None),
+    }
+}
+
+/// Scans read only the columns their consumer touches. Applied where the
+/// consumer's column set is closed over one node — a Projection or an
+/// Aggregate directly above a scan (residual Filters in between keep
+/// their columns too). Join inputs are left alone: their parents address
+/// the concatenated child outputs positionally.
+pub(super) fn prune_scan_columns(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan(plan, &|p| {
+        Ok(match p {
+            LogicalPlan::Projection { input, mut exprs, names } => {
+                let mut used = BTreeSet::new();
+                exprs.iter().for_each(|e| collect_columns(e, &mut used));
+                let (input, map) = narrow_scan(*input, used);
+                let input = Box::new(input);
+                if let Some(positions) = &map {
+                    for e in &mut exprs {
+                        remap_columns(e, &|old| {
+                            positions.iter().position(|&p| p == old).expect("collected above")
+                        });
+                    }
+                }
+                LogicalPlan::Projection { input, exprs, names }
+            }
+            LogicalPlan::Aggregate { input, mut groups, mut aggs, names } => {
+                let mut used = BTreeSet::new();
+                groups.iter().for_each(|e| collect_columns(e, &mut used));
+                aggs.iter()
+                    .filter_map(|a| a.arg.as_ref())
+                    .for_each(|e| collect_columns(e, &mut used));
+                let (input, map) = narrow_scan(*input, used);
+                let input = Box::new(input);
+                if let Some(positions) = &map {
+                    let remap = |old: usize| -> usize {
+                        positions.iter().position(|&p| p == old).expect("collected above")
+                    };
+                    groups.iter_mut().for_each(|e| remap_columns(e, &remap));
+                    aggs.iter_mut()
+                        .filter_map(|a| a.arg.as_mut())
+                        .for_each(|e| remap_columns(e, &remap));
+                }
+                LogicalPlan::Aggregate { input, groups, aggs, names }
+            }
+            other => other,
+        })
+    })
+}

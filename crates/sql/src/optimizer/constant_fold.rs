@@ -1,0 +1,87 @@
+//! Constant folding: evaluate input-free expression subtrees once at plan
+//! time. Runs first so later passes (notably filter pushdown) see
+//! `a > 5` where the query said `a > 2 + 3`.
+
+use super::map_plan;
+use crate::plan::LogicalPlan;
+use eider_exec::expression::Expr;
+use eider_vector::Result;
+
+fn fold_expr(e: Expr) -> Result<Expr> {
+    // Fold bottom-up: if the whole subtree is input-free, evaluate it once.
+    if e.is_constant() {
+        if let Ok(v) = e.evaluate_row(&[]) {
+            // Preserve the static type: fold through a typed constant.
+            let ty = e.result_type();
+            let v = match v.cast_to(ty) {
+                Ok(v) => v,
+                Err(_) => v,
+            };
+            return Ok(Expr::Constant { value: v, ty });
+        }
+        return Ok(e);
+    }
+    Ok(match e {
+        Expr::Compare { op, left, right } => Expr::Compare {
+            op,
+            left: Box::new(fold_expr(*left)?),
+            right: Box::new(fold_expr(*right)?),
+        },
+        Expr::And(c) => Expr::And(c.into_iter().map(fold_expr).collect::<Result<_>>()?),
+        Expr::Or(c) => Expr::Or(c.into_iter().map(fold_expr).collect::<Result<_>>()?),
+        Expr::Not(c) => Expr::Not(Box::new(fold_expr(*c)?)),
+        Expr::Arithmetic { op, left, right, ty } => Expr::Arithmetic {
+            op,
+            left: Box::new(fold_expr(*left)?),
+            right: Box::new(fold_expr(*right)?),
+            ty,
+        },
+        Expr::Cast { child, to } => Expr::Cast { child: Box::new(fold_expr(*child)?), to },
+        Expr::IsNull { child, negated } => {
+            Expr::IsNull { child: Box::new(fold_expr(*child)?), negated }
+        }
+        Expr::Case { branches, else_expr, ty } => Expr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(c, v)| Ok::<_, eider_vector::EiderError>((fold_expr(c)?, fold_expr(v)?)))
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(fold_expr(*e)?)),
+                None => None,
+            },
+            ty,
+        },
+        Expr::Function { func, args, ty } => Expr::Function {
+            func,
+            args: args.into_iter().map(fold_expr).collect::<Result<_>>()?,
+            ty,
+        },
+        Expr::Like { child, pattern, negated } => Expr::Like {
+            child: Box::new(fold_expr(*child)?),
+            pattern: Box::new(fold_expr(*pattern)?),
+            negated,
+        },
+        Expr::InList { child, list, negated } => Expr::InList {
+            child: Box::new(fold_expr(*child)?),
+            list: list.into_iter().map(fold_expr).collect::<Result<_>>()?,
+            negated,
+        },
+        other => other,
+    })
+}
+
+pub(super) fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan(plan, &|p| {
+        Ok(match p {
+            LogicalPlan::Filter { input, predicate } => {
+                LogicalPlan::Filter { input, predicate: fold_expr(predicate)? }
+            }
+            LogicalPlan::Projection { input, exprs, names } => LogicalPlan::Projection {
+                input,
+                exprs: exprs.into_iter().map(fold_expr).collect::<Result<_>>()?,
+                names,
+            },
+            other => other,
+        })
+    })
+}

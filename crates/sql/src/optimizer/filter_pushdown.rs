@@ -1,0 +1,213 @@
+//! Filter splitting and pushdown. Conjuncts sink as deep as the plan
+//! allows: through 1:1 projections (remapped through the projected
+//! expressions), below inner joins and cross joins to whichever side
+//! their columns live on, and finally *into* table scans as
+//! [`TableFilter`]s, where the zone maps of §6 skip whole row groups and
+//! [`cardinality`](super::cardinality) sees them when estimating scan
+//! output. Running before join reordering, the pushdown also hands the
+//! reorderer filtered (smaller) leaf estimates to plan with.
+
+use super::{collect_columns, map_plan, remap_columns, split_conjuncts};
+use crate::plan::LogicalPlan;
+use eider_exec::expression::Expr;
+use eider_exec::ops::join::JoinType;
+use eider_txn::{CmpOp, TableFilter};
+use eider_vector::Result;
+use std::collections::BTreeSet;
+
+/// Try to express a conjunct as a pushable `column <op> constant` filter
+/// against scan output column indexes.
+fn as_table_filter(e: &Expr) -> Option<(usize, CmpOp, eider_vector::Value)> {
+    let Expr::Compare { op, left, right } = e else {
+        return None;
+    };
+    // Widening numeric casts the binder inserted for type coercion do not
+    // block pushdown: `TableFilter::matches` compares with numeric
+    // promotion, so `CAST(int_col AS BIGINT) > 5` pushes as `int_col > 5`.
+    // Temporal casts (DATE -> TIMESTAMP) change the scale and must stay.
+    fn as_column(e: &Expr) -> Option<usize> {
+        match e {
+            Expr::ColumnRef { index, .. } => Some(*index),
+            Expr::Cast { child, to } if to.is_numeric() => match &**child {
+                Expr::ColumnRef { index, ty } if ty.is_numeric() => Some(*index),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    match (&**left, &**right) {
+        (l, Expr::Constant { value, .. }) if !value.is_null() => {
+            as_column(l).map(|idx| (idx, *op, value.clone()))
+        }
+        (Expr::Constant { value, .. }, r) if !value.is_null() => {
+            as_column(r).map(|idx| (idx, op.flip(), value.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// AND a conjunct list back into one predicate (`None` when empty).
+fn conjoin(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    match conjuncts.len() {
+        0 => None,
+        1 => conjuncts.pop(),
+        _ => Some(Expr::And(conjuncts)),
+    }
+}
+
+/// Re-wrap conjuncts that could not sink any further.
+fn wrap_residual(plan: LogicalPlan, residual: Vec<Expr>) -> LogicalPlan {
+    match conjoin(residual) {
+        Some(predicate) => LogicalPlan::Filter { input: Box::new(plan), predicate },
+        None => plan,
+    }
+}
+
+/// The column positions a conjunct references.
+fn columns_of(e: &Expr) -> BTreeSet<usize> {
+    let mut cols = BTreeSet::new();
+    collect_columns(e, &mut cols);
+    cols
+}
+
+/// Sink `conjuncts` into one side of a join: `None` leaves the side
+/// untouched, otherwise the side is rewritten with the filter pushed as
+/// deep as it will go.
+fn sink_side(side: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    match conjoin(conjuncts) {
+        Some(p) => sink_filter(side, p),
+        None => side,
+    }
+}
+
+/// Sink `predicate` as deep into `input` as it will go, leaving a
+/// residual `Filter` above the first operator each conjunct cannot pass.
+fn sink_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(predicate, &mut conjuncts);
+    match input {
+        LogicalPlan::TableScan { entry, column_ids, mut filters, emit_row_ids, names, types } => {
+            let mut residual = Vec::new();
+            for c in conjuncts {
+                match as_table_filter(&c) {
+                    // Scan filters address *physical* column ids; scans
+                    // emit columns in column_ids order, so map through it.
+                    Some((out_idx, op, value)) if out_idx < column_ids.len() => {
+                        filters.push(TableFilter::new(column_ids[out_idx], op, value));
+                    }
+                    _ => residual.push(c),
+                }
+            }
+            let scan =
+                LogicalPlan::TableScan { entry, column_ids, filters, emit_row_ids, names, types };
+            wrap_residual(scan, residual)
+        }
+        // External scans never evaluate filters — formats only expose
+        // coarse min/max metadata. Pushable conjuncts are *copied* into
+        // the scan as pruning hints (skip whole partitions) while the
+        // Filter node keeps the full predicate for exactness.
+        LogicalPlan::ExternalScan { source, column_ids, mut filters, names, types } => {
+            for c in &conjuncts {
+                if let Some((out_idx, op, value)) = as_table_filter(c) {
+                    if out_idx < column_ids.len() {
+                        filters.push(TableFilter::new(column_ids[out_idx], op, value));
+                    }
+                }
+            }
+            let scan = LogicalPlan::ExternalScan { source, column_ids, filters, names, types };
+            wrap_residual(scan, conjuncts)
+        }
+        // A projection is 1:1 in rows; a conjunct whose referenced output
+        // positions are all plain column passthroughs commutes with it
+        // (remapped to input positions). Computed outputs keep their
+        // conjuncts above — re-evaluating an arbitrary expression below
+        // the projection could change effects (casts, division).
+        LogicalPlan::Projection { input, exprs, names } => {
+            let mut sunk = Vec::new();
+            let mut residual = Vec::new();
+            for mut c in conjuncts {
+                let passthrough = columns_of(&c)
+                    .iter()
+                    .all(|&i| matches!(exprs.get(i), Some(Expr::ColumnRef { .. })));
+                if passthrough {
+                    remap_columns(&mut c, &|old| match &exprs[old] {
+                        Expr::ColumnRef { index, .. } => *index,
+                        _ => unreachable!("checked passthrough above"),
+                    });
+                    sunk.push(c);
+                } else {
+                    residual.push(c);
+                }
+            }
+            let inner = sink_side(*input, sunk);
+            wrap_residual(
+                LogicalPlan::Projection { input: Box::new(inner), exprs, names },
+                residual,
+            )
+        }
+        // Inner joins emit left ++ right: a conjunct touching only one
+        // side filters that input directly (fewer rows hashed and
+        // probed). Outer/semi/anti joins keep their filters above — a
+        // predicate over a LEFT JOIN's right side is not equivalent to
+        // pre-filtering it (NULL-extended rows).
+        LogicalPlan::Join { left, right, join_type: JoinType::Inner, left_keys, right_keys } => {
+            let lw = left.output_types().len();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut residual = Vec::new();
+            for mut c in conjuncts {
+                let cols = columns_of(&c);
+                if cols.iter().all(|&i| i < lw) {
+                    to_left.push(c);
+                } else if cols.iter().all(|&i| i >= lw) {
+                    remap_columns(&mut c, &|old| old - lw);
+                    to_right.push(c);
+                } else {
+                    residual.push(c);
+                }
+            }
+            let left = Box::new(sink_side(*left, to_left));
+            let right = Box::new(sink_side(*right, to_right));
+            wrap_residual(
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    join_type: JoinType::Inner,
+                    left_keys,
+                    right_keys,
+                },
+                residual,
+            )
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let lw = left.output_types().len();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut residual = Vec::new();
+            for mut c in conjuncts {
+                let cols = columns_of(&c);
+                if cols.iter().all(|&i| i < lw) {
+                    to_left.push(c);
+                } else if cols.iter().all(|&i| i >= lw) {
+                    remap_columns(&mut c, &|old| old - lw);
+                    to_right.push(c);
+                } else {
+                    residual.push(c);
+                }
+            }
+            let left = Box::new(sink_side(*left, to_left));
+            let right = Box::new(sink_side(*right, to_right));
+            wrap_residual(LogicalPlan::CrossJoin { left, right }, residual)
+        }
+        other => wrap_residual(other, conjuncts),
+    }
+}
+
+pub(super) fn push_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan(plan, &|p| {
+        Ok(match p {
+            LogicalPlan::Filter { input, predicate } => sink_filter(*input, predicate),
+            other => other,
+        })
+    })
+}

@@ -1,0 +1,493 @@
+//! Cost-based join reordering.
+//!
+//! Maximal regions of inner equi-joins and cross joins are flattened into
+//! a set of *leaves* (arbitrary sub-plans) and *edges* (equi-join key
+//! pairs, re-expressed in global coordinates over the concatenated leaf
+//! outputs). An order is then chosen over estimated cardinalities —
+//! exhaustive left-deep dynamic programming for small regions, greedy
+//! construction beyond [`DP_MAX_LEAVES`] — and the region is rebuilt
+//! left-deep with each new leaf as the build (right) side of its join.
+//! A final projection restores the original column order, so nothing
+//! above the region can tell the difference.
+//!
+//! Cost of an order: the sum of intermediate result cardinalities plus
+//! each build input's cardinality (hash tables are built over every leaf
+//! after the first). Cross joins carry no explicit penalty — their
+//! product cardinality *is* the penalty — and are only considered when a
+//! subset has no connected leaf left. The syntactic order is kept unless
+//! a strictly cheaper order exists, so stats-free plans never churn.
+
+use super::{cardinality, collect_columns, map_children, remap_columns, split_conjuncts};
+use crate::plan::LogicalPlan;
+use eider_exec::expression::Expr;
+use eider_exec::ops::join::JoinType;
+use eider_txn::CmpOp;
+use eider_vector::Result;
+use std::collections::BTreeSet;
+
+/// Largest region solved by exact subset DP; 2^n × n² stays trivial here.
+const DP_MAX_LEAVES: usize = 8;
+
+pub(super) fn reorder_joins(plan: LogicalPlan) -> Result<LogicalPlan> {
+    rewrite(plan)
+}
+
+fn rewrite(plan: LogicalPlan) -> Result<LogicalPlan> {
+    match plan {
+        // A filter directly above a region carries the comma-join style
+        // (`FROM a, b WHERE a.x = b.y`) equi-predicates the pushdown pass
+        // could not sink into either side; absorbing them as edges lets
+        // the reorderer see cross joins as the equi-joins they really are.
+        LogicalPlan::Filter { input, predicate } if is_region_root(&input) => {
+            reorder_region(*input, Some(predicate))
+        }
+        p if is_region_root(&p) => reorder_region(p, None),
+        p => map_children(p, &rewrite),
+    }
+}
+
+fn is_region_root(p: &LogicalPlan) -> bool {
+    matches!(
+        p,
+        LogicalPlan::Join { join_type: JoinType::Inner, .. } | LogicalPlan::CrossJoin { .. }
+    )
+}
+
+/// One equi-join predicate in global (concatenated-leaf) coordinates.
+struct Edge {
+    left_key: Expr,
+    right_key: Expr,
+    /// Leaves each side references.
+    left_leaves: BTreeSet<usize>,
+    right_leaves: BTreeSet<usize>,
+    /// Selectivity applied to the cartesian product when this edge joins.
+    sel: f64,
+    used: bool,
+}
+
+impl Edge {
+    fn leaves(&self) -> BTreeSet<usize> {
+        self.left_leaves.union(&self.right_leaves).copied().collect()
+    }
+}
+
+struct Region {
+    leaves: Vec<LogicalPlan>,
+    /// Global output offset of each leaf in the original (syntactic) order.
+    offsets: Vec<usize>,
+    widths: Vec<usize>,
+    edges: Vec<Edge>,
+}
+
+impl Region {
+    fn leaf_of(&self, col: usize) -> usize {
+        match self.offsets.binary_search(&col) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+fn reorder_region(plan: LogicalPlan, filter: Option<Expr>) -> Result<LogicalPlan> {
+    let mut leaves = Vec::new();
+    let mut raw_edges = Vec::new();
+    let mut width = 0usize;
+    flatten(plan, &mut leaves, &mut raw_edges, &mut width)?;
+
+    let n = leaves.len();
+    let mut offsets = Vec::with_capacity(n);
+    let mut widths = Vec::with_capacity(n);
+    let mut acc = 0usize;
+    for leaf in &leaves {
+        let w = leaf.output_types().len();
+        offsets.push(acc);
+        widths.push(w);
+        acc += w;
+    }
+
+    let estimates: Vec<f64> =
+        leaves.iter().map(|l| cardinality::estimate(l).max(1) as f64).collect();
+
+    // Absorb a region-level filter: equality conjuncts whose two sides
+    // live on disjoint leaf sets become edges (already in global
+    // coordinates — the filter addressed the region's output); everything
+    // else is re-applied above the rebuilt region.
+    let mut residual: Vec<Expr> = Vec::new();
+    if let Some(predicate) = filter {
+        let leaf_of = |col: usize| match offsets.binary_search(&col) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let leaves_of = |e: &Expr| -> BTreeSet<usize> {
+            let mut cols = BTreeSet::new();
+            collect_columns(e, &mut cols);
+            cols.iter().map(|&c| leaf_of(c)).collect()
+        };
+        let mut conjuncts = Vec::new();
+        split_conjuncts(predicate, &mut conjuncts);
+        for c in conjuncts {
+            let absorbed = match &c {
+                Expr::Compare { op: CmpOp::Eq, left, right } => {
+                    let (ls, rs) = (leaves_of(left), leaves_of(right));
+                    if !ls.is_empty() && !rs.is_empty() && ls.is_disjoint(&rs) {
+                        Some(((**left).clone(), (**right).clone()))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            match absorbed {
+                Some(edge) => raw_edges.push(edge),
+                None => residual.push(c),
+            }
+        }
+    }
+
+    let mut region = Region { leaves, offsets, widths, edges: Vec::new() };
+    for (lk, rk) in raw_edges {
+        let mut left_leaves = BTreeSet::new();
+        let mut right_leaves = BTreeSet::new();
+        let mut cols = BTreeSet::new();
+        collect_columns(&lk, &mut cols);
+        left_leaves.extend(cols.iter().map(|&c| region.leaf_of(c)));
+        cols.clear();
+        collect_columns(&rk, &mut cols);
+        right_leaves.extend(cols.iter().map(|&c| region.leaf_of(c)));
+        let sel = edge_selectivity(&region, &estimates, &lk, &rk);
+        region.edges.push(Edge {
+            left_key: lk,
+            right_key: rk,
+            left_leaves,
+            right_leaves,
+            sel,
+            used: false,
+        });
+    }
+
+    let identity: Vec<usize> = (0..n).collect();
+    let identity_cost = order_cost(&region, &estimates, &identity);
+    let best = if n <= DP_MAX_LEAVES {
+        dp_order(&region, &estimates)
+    } else {
+        greedy_order(&region, &estimates)
+    };
+    let order = match best {
+        Some((order, cost)) if cost < identity_cost => order,
+        _ => identity,
+    };
+    let mut out = rebuild(region, order)?;
+    // Residual conjuncts address the original global column order, which
+    // the rebuilt region's output (restoring projection included) matches.
+    for predicate in residual {
+        out = LogicalPlan::Filter { input: Box::new(out), predicate };
+    }
+    Ok(out)
+}
+
+/// Flatten a tree of inner joins / cross joins. Any other node — a
+/// non-inner join, a filter, a scan — becomes an opaque leaf, recursively
+/// reordered on its own.
+fn flatten(
+    node: LogicalPlan,
+    leaves: &mut Vec<LogicalPlan>,
+    edges: &mut Vec<(Expr, Expr)>,
+    width: &mut usize,
+) -> Result<()> {
+    match node {
+        LogicalPlan::Join { left, right, join_type: JoinType::Inner, left_keys, right_keys } => {
+            let left_base = *width;
+            flatten(*left, leaves, edges, width)?;
+            let right_base = *width;
+            flatten(*right, leaves, edges, width)?;
+            for (mut lk, mut rk) in left_keys.into_iter().zip(right_keys) {
+                remap_columns(&mut lk, &|i| i + left_base);
+                remap_columns(&mut rk, &|i| i + right_base);
+                edges.push((lk, rk));
+            }
+            Ok(())
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            flatten(*left, leaves, edges, width)?;
+            flatten(*right, leaves, edges, width)?;
+            Ok(())
+        }
+        other => {
+            let leaf = rewrite(other)?;
+            *width += leaf.output_types().len();
+            leaves.push(leaf);
+            Ok(())
+        }
+    }
+}
+
+/// `1 / max(ndv)` of the two key sides, falling back to the larger
+/// involved leaf's cardinality — the FK-join assumption.
+fn edge_selectivity(region: &Region, estimates: &[f64], lk: &Expr, rk: &Expr) -> f64 {
+    let side_ndv = |key: &Expr| -> Option<u64> {
+        let mut cols = BTreeSet::new();
+        collect_columns(key, &mut cols);
+        if cols.len() != 1 {
+            return None;
+        }
+        let col = *cols.iter().next().expect("one");
+        let leaf = region.leaf_of(col);
+        cardinality::column_ndv(&region.leaves[leaf], col - region.offsets[leaf])
+    };
+    let side_rows = |key: &Expr| -> f64 {
+        let mut cols = BTreeSet::new();
+        collect_columns(key, &mut cols);
+        cols.iter().map(|&c| estimates[region.leaf_of(c)]).fold(1.0f64, f64::max)
+    };
+    let divisor = match (side_ndv(lk), side_ndv(rk)) {
+        (Some(a), Some(b)) => a.max(b) as f64,
+        (Some(a), None) => (a as f64).max(side_rows(rk)),
+        (None, Some(b)) => (b as f64).max(side_rows(lk)),
+        (None, None) => side_rows(lk).max(side_rows(rk)),
+    };
+    1.0 / divisor.max(1.0)
+}
+
+/// Cost of joining the leaves in `order` left-deep: Σ (intermediate
+/// cardinality + build input cardinality) over every join step.
+fn order_cost(region: &Region, estimates: &[f64], order: &[usize]) -> f64 {
+    let mut placed: BTreeSet<usize> = BTreeSet::new();
+    placed.insert(order[0]);
+    let mut card = estimates[order[0]];
+    let mut cost = 0.0f64;
+    let mut applied = vec![false; region.edges.len()];
+    for &j in &order[1..] {
+        let mut step = placed.clone();
+        step.insert(j);
+        let mut sel = 1.0f64;
+        for (i, e) in region.edges.iter().enumerate() {
+            if !applied[i] && e.leaves().is_subset(&step) && e.leaves().contains(&j) {
+                applied[i] = true;
+                sel *= e.sel;
+            }
+        }
+        card = (card * estimates[j] * sel).max(1.0);
+        cost += card + estimates[j];
+        placed.insert(j);
+    }
+    cost
+}
+
+/// Exact left-deep DP over leaf subsets. Cross-join extensions are only
+/// taken from subsets with no edge-connected leaf remaining.
+fn dp_order(region: &Region, estimates: &[f64]) -> Option<(Vec<usize>, f64)> {
+    let n = region.leaves.len();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    // dp[mask] = best (cost, card, order) reaching that subset left-deep.
+    let mut dp: Vec<Option<(f64, f64, Vec<usize>)>> = vec![None; 1 << n];
+    for i in 0..n {
+        dp[1usize << i] = Some((0.0, estimates[i], vec![i]));
+    }
+    for mask in 1u32..=full {
+        let Some((cost, card, order)) = dp[mask as usize].clone() else {
+            continue;
+        };
+        // Leaves connected to `mask` by an edge fully satisfiable next.
+        let connected: Vec<usize> = (0..n)
+            .filter(|&j| mask & (1 << j) == 0)
+            .filter(|&j| {
+                region.edges.iter().any(|e| {
+                    let ls = e.leaves();
+                    ls.contains(&j) && ls.iter().all(|&x| x == j || mask & (1 << x) != 0)
+                })
+            })
+            .collect();
+        let candidates: Vec<usize> = if connected.is_empty() {
+            (0..n).filter(|&j| mask & (1 << j) == 0).collect()
+        } else {
+            connected
+        };
+        for j in candidates {
+            let next_mask = (mask | (1 << j)) as usize;
+            let mut sel = 1.0f64;
+            for e in &region.edges {
+                let ls = e.leaves();
+                if ls.contains(&j) && ls.iter().all(|&x| x == j || mask & (1 << x) != 0) {
+                    sel *= e.sel;
+                }
+            }
+            let new_card = (card * estimates[j] * sel).max(1.0);
+            let new_cost = cost + new_card + estimates[j];
+            let better = match &dp[next_mask] {
+                Some((c, _, _)) => new_cost < *c,
+                None => true,
+            };
+            if better {
+                let mut new_order = order.clone();
+                new_order.push(j);
+                dp[next_mask] = Some((new_cost, new_card, new_order));
+            }
+        }
+    }
+    dp[full as usize].take().map(|(cost, _, order)| (order, cost))
+}
+
+/// Greedy fallback for large regions: every leaf tried as the start,
+/// extended by the connected leaf with the cheapest step.
+fn greedy_order(region: &Region, estimates: &[f64]) -> Option<(Vec<usize>, f64)> {
+    let n = region.leaves.len();
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for start in 0..n {
+        let mut order = vec![start];
+        let mut placed: BTreeSet<usize> = BTreeSet::new();
+        placed.insert(start);
+        while order.len() < n {
+            let connected: Vec<usize> = (0..n)
+                .filter(|j| !placed.contains(j))
+                .filter(|&j| {
+                    region.edges.iter().any(|e| {
+                        let ls = e.leaves();
+                        ls.contains(&j) && ls.iter().all(|x| *x == j || placed.contains(x))
+                    })
+                })
+                .collect();
+            let candidates = if connected.is_empty() {
+                (0..n).filter(|j| !placed.contains(j)).collect::<Vec<_>>()
+            } else {
+                connected
+            };
+            // Cheapest next step by the same cost model as order_cost.
+            let next = candidates
+                .into_iter()
+                .min_by(|&a, &b| {
+                    let mut oa = order.clone();
+                    oa.push(a);
+                    let mut ob = order.clone();
+                    ob.push(b);
+                    order_cost(region, estimates, &oa)
+                        .total_cmp(&order_cost(region, estimates, &ob))
+                })
+                .expect("candidates nonempty");
+            order.push(next);
+            placed.insert(next);
+        }
+        let cost = order_cost(region, estimates, &order);
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((order, cost));
+        }
+    }
+    best
+}
+
+/// Rebuild the region left-deep in `order`, remapping key columns into
+/// each join's local coordinates, turning unalignable edges into filters,
+/// and restoring the original column order with a projection when the
+/// order changed.
+fn rebuild(mut region: Region, order: Vec<usize>) -> Result<LogicalPlan> {
+    let n = region.leaves.len();
+    let identity = order.iter().copied().eq(0..n);
+    let total: usize = region.widths.iter().sum();
+    let original_types: Vec<_> = region.leaves.iter().flat_map(|l| l.output_types()).collect();
+    let original_names: Vec<_> = region.leaves.iter().flat_map(|l| l.output_names()).collect();
+
+    let offsets = region.offsets.clone();
+    let widths = region.widths.clone();
+    let leaf_of = |col: usize| -> usize {
+        match offsets.binary_search(&col) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    };
+
+    let mut slots: Vec<Option<LogicalPlan>> = region.leaves.drain(..).map(Some).collect();
+    let mut cur = slots[order[0]].take().expect("leaf placed once");
+    let mut placed: BTreeSet<usize> = BTreeSet::new();
+    placed.insert(order[0]);
+    // Offset of each placed leaf inside `cur`'s output.
+    let mut cur_off = vec![usize::MAX; n];
+    cur_off[order[0]] = 0;
+    let mut cur_width = widths[order[0]];
+
+    for &j in &order[1..] {
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residuals: Vec<Expr> = Vec::new();
+        for e in region.edges.iter_mut().filter(|e| !e.used) {
+            let all = e.leaves();
+            if !all.iter().all(|&x| x == j || placed.contains(&x)) {
+                continue;
+            }
+            e.used = true;
+            let to_cur = |g: usize| cur_off[leaf_of(g)] + (g - offsets[leaf_of(g)]);
+            let to_local_j = |g: usize| g - offsets[j];
+            if e.left_leaves.iter().all(|x| placed.contains(x))
+                && e.right_leaves.len() == 1
+                && e.right_leaves.contains(&j)
+            {
+                let mut lk = e.left_key.clone();
+                let mut rk = e.right_key.clone();
+                remap_columns(&mut lk, &to_cur);
+                remap_columns(&mut rk, &to_local_j);
+                left_keys.push(lk);
+                right_keys.push(rk);
+            } else if e.right_leaves.iter().all(|x| placed.contains(x))
+                && e.left_leaves.len() == 1
+                && e.left_leaves.contains(&j)
+            {
+                let mut lk = e.right_key.clone();
+                let mut rk = e.left_key.clone();
+                remap_columns(&mut lk, &to_cur);
+                remap_columns(&mut rk, &to_local_j);
+                left_keys.push(lk);
+                right_keys.push(rk);
+            } else {
+                // A side spans the new leaf and placed leaves (or both
+                // sides are placed after a forced cross step): evaluate
+                // over the combined output instead.
+                let to_combined = |g: usize| {
+                    let leaf = leaf_of(g);
+                    if leaf == j {
+                        cur_width + (g - offsets[j])
+                    } else {
+                        cur_off[leaf] + (g - offsets[leaf])
+                    }
+                };
+                let mut lk = e.left_key.clone();
+                let mut rk = e.right_key.clone();
+                remap_columns(&mut lk, &to_combined);
+                remap_columns(&mut rk, &to_combined);
+                residuals.push(Expr::Compare {
+                    op: CmpOp::Eq,
+                    left: Box::new(lk),
+                    right: Box::new(rk),
+                });
+            }
+        }
+        let right = Box::new(slots[j].take().expect("leaf placed once"));
+        cur = if left_keys.is_empty() {
+            LogicalPlan::CrossJoin { left: Box::new(cur), right }
+        } else {
+            LogicalPlan::Join {
+                left: Box::new(cur),
+                right,
+                join_type: JoinType::Inner,
+                left_keys,
+                right_keys,
+            }
+        };
+        for predicate in residuals {
+            cur = LogicalPlan::Filter { input: Box::new(cur), predicate };
+        }
+        cur_off[j] = cur_width;
+        cur_width += widths[j];
+        placed.insert(j);
+    }
+
+    if identity {
+        return Ok(cur);
+    }
+    // Restore the original (syntactic) column order so parents are
+    // oblivious to the reorder.
+    let exprs: Vec<Expr> = (0..total)
+        .map(|g| {
+            let leaf = leaf_of(g);
+            Expr::ColumnRef { index: cur_off[leaf] + (g - offsets[leaf]), ty: original_types[g] }
+        })
+        .collect();
+    Ok(LogicalPlan::Projection { input: Box::new(cur), exprs, names: original_names })
+}

@@ -1,0 +1,39 @@
+//! Limit pushdown: sink `LIMIT` through row-preserving 1:1 operators so
+//! upstream nodes stop producing sooner.
+//!
+//! Only projections are transparent — they emit exactly one output row
+//! per input row, in order. `LIMIT` must *not* sink through `SORT` (the
+//! sort needs every row, and the physical planner fuses `LIMIT` directly
+//! above `SORT` into Top-N), nor through filters/joins/aggregates (they
+//! change row counts). Adjacent limits merge.
+
+use super::map_plan;
+use crate::plan::LogicalPlan;
+use eider_vector::Result;
+
+pub(super) fn push_limits(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan(plan, &|p| {
+        Ok(match p {
+            LogicalPlan::Limit { input, limit, offset } => match *input {
+                LogicalPlan::Projection { input: inner, exprs, names } => {
+                    // Map again so a newly created LIMIT-over-LIMIT pair
+                    // (or LIMIT over another projection) keeps sinking.
+                    let pushed = push_limits(LogicalPlan::Limit { input: inner, limit, offset })?;
+                    LogicalPlan::Projection { input: Box::new(pushed), exprs, names }
+                }
+                LogicalPlan::Limit { input: inner, limit: l2, offset: o2 } => {
+                    // LIMIT a OFFSET b over LIMIT c OFFSET d: the outer
+                    // window applied to the inner one.
+                    let avail = l2.saturating_sub(offset);
+                    LogicalPlan::Limit {
+                        input: inner,
+                        limit: limit.min(avail),
+                        offset: o2 + offset,
+                    }
+                }
+                other => LogicalPlan::Limit { input: Box::new(other), limit, offset },
+            },
+            other => other,
+        })
+    })
+}

@@ -1,0 +1,313 @@
+//! The cost-based optimizer: discrete, composable rewrite passes over
+//! bound logical plans.
+//!
+//! Pipeline (order matters):
+//!
+//! 1. `constant_fold` — evaluate input-free expressions once, turning
+//!    `a > 2 + 3` into the pushable `a > 5`;
+//! 2. `filter_pushdown` — split conjunctions and push
+//!    `column <op> constant` conjuncts into table scans, where the zone
+//!    maps of §6 skip whole row groups;
+//! 3. `join_reorder` — flatten inner-join/cross-join regions and
+//!    reorder them over estimated cardinalities ([`cardinality`]): DP
+//!    over join subsets for small regions, greedy beyond, with the build
+//!    (right) side of every join chosen small;
+//! 4. `limit_pushdown` — sink LIMIT through 1:1 projections so fewer
+//!    rows are materialized (and Top-N fusion sees `LIMIT` over `SORT`);
+//! 5. `column_prune` — narrow scans to the columns consumers touch
+//!    (§2: a columnar engine reads only what the query needs).
+//!
+//! Filter pushdown runs before join reordering so scans carry their
+//! filters when [`cardinality`] estimates them; column pruning runs last
+//! because every earlier pass can change which columns are referenced.
+//!
+//! Statistics come from [`eider_txn::TableStats`] — row counts, zone-map
+//! min/max and encoding-based distinct estimates maintained by storage —
+//! so plan quality needs no ANALYZE step and no DBA, per the paper's
+//! embedded-analytics thesis.
+
+pub mod cardinality;
+mod column_prune;
+mod constant_fold;
+mod filter_pushdown;
+mod join_reorder;
+mod limit_pushdown;
+
+use crate::plan::LogicalPlan;
+use eider_exec::expression::Expr;
+use eider_vector::Result;
+use std::collections::BTreeSet;
+
+/// Run all rewrite passes.
+pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = constant_fold::fold_constants(plan)?;
+    let plan = filter_pushdown::push_filters(plan)?;
+    let plan = join_reorder::reorder_joins(plan)?;
+    let plan = limit_pushdown::push_limits(plan)?;
+    let plan = column_prune::prune_scan_columns(plan)?;
+    Ok(plan)
+}
+
+// ---------------- shared plan/expression walkers ----------------
+
+/// Rebuild `plan` with each *direct* child passed through `f`.
+pub(crate) fn map_children(
+    plan: LogicalPlan,
+    f: &dyn Fn(LogicalPlan) -> Result<LogicalPlan>,
+) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(f(*input)?), predicate }
+        }
+        LogicalPlan::Projection { input, exprs, names } => {
+            LogicalPlan::Projection { input: Box::new(f(*input)?), exprs, names }
+        }
+        LogicalPlan::Aggregate { input, groups, aggs, names } => {
+            LogicalPlan::Aggregate { input: Box::new(f(*input)?), groups, aggs, names }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(f(*input)?), keys }
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            LogicalPlan::Limit { input: Box::new(f(*input)?), limit, offset }
+        }
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: Box::new(f(*input)?) },
+        LogicalPlan::Join { left, right, join_type, left_keys, right_keys } => LogicalPlan::Join {
+            left: Box::new(f(*left)?),
+            right: Box::new(f(*right)?),
+            join_type,
+            left_keys,
+            right_keys,
+        },
+        LogicalPlan::NestedLoopJoin { left, right, predicate } => LogicalPlan::NestedLoopJoin {
+            left: Box::new(f(*left)?),
+            right: Box::new(f(*right)?),
+            predicate,
+        },
+        LogicalPlan::CrossJoin { left, right } => {
+            LogicalPlan::CrossJoin { left: Box::new(f(*left)?), right: Box::new(f(*right)?) }
+        }
+        LogicalPlan::Union { left, right } => {
+            LogicalPlan::Union { left: Box::new(f(*left)?), right: Box::new(f(*right)?) }
+        }
+        LogicalPlan::Insert { entry, input } => {
+            LogicalPlan::Insert { entry, input: Box::new(f(*input)?) }
+        }
+        LogicalPlan::Update { entry, input, columns } => {
+            LogicalPlan::Update { entry, input: Box::new(f(*input)?), columns }
+        }
+        LogicalPlan::Delete { entry, input } => {
+            LogicalPlan::Delete { entry, input: Box::new(f(*input)?) }
+        }
+        LogicalPlan::Explain { input } => LogicalPlan::Explain { input: Box::new(f(*input)?) },
+        LogicalPlan::CopyTo { input, path, options } => {
+            LogicalPlan::CopyTo { input: Box::new(f(*input)?), path, options }
+        }
+        LogicalPlan::CreateTable { name, columns, if_not_exists, as_select } => {
+            LogicalPlan::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+                as_select: match as_select {
+                    Some(p) => Some(Box::new(f(*p)?)),
+                    None => None,
+                },
+            }
+        }
+        leaf => leaf,
+    })
+}
+
+/// Bottom-up plan rewrite: children first, then `f` on the rebuilt node.
+pub(crate) fn map_plan(
+    plan: LogicalPlan,
+    f: &dyn Fn(LogicalPlan) -> Result<LogicalPlan>,
+) -> Result<LogicalPlan> {
+    let rewritten = map_children(plan, &|child| map_plan(child, f))?;
+    f(rewritten)
+}
+
+/// Split a predicate on top-level ANDs.
+pub(crate) fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(children) => {
+            for c in children {
+                split_conjuncts(c, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+/// Collect every input column index an expression references.
+pub(crate) fn collect_columns(e: &Expr, out: &mut BTreeSet<usize>) {
+    match e {
+        Expr::ColumnRef { index, .. } => {
+            out.insert(*index);
+        }
+        Expr::Constant { .. } => {}
+        Expr::Compare { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::And(es) | Expr::Or(es) => es.iter().for_each(|e| collect_columns(e, out)),
+        Expr::Not(child) | Expr::Cast { child, .. } | Expr::IsNull { child, .. } => {
+            collect_columns(child, out)
+        }
+        Expr::Arithmetic { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Case { branches, else_expr, .. } => {
+            for (when, then) in branches {
+                collect_columns(when, out);
+                collect_columns(then, out);
+            }
+            if let Some(e) = else_expr {
+                collect_columns(e, out);
+            }
+        }
+        Expr::Function { args, .. } => args.iter().for_each(|e| collect_columns(e, out)),
+        Expr::Like { child, pattern, .. } => {
+            collect_columns(child, out);
+            collect_columns(pattern, out);
+        }
+        Expr::InList { child, list, .. } => {
+            collect_columns(child, out);
+            list.iter().for_each(|e| collect_columns(e, out));
+        }
+    }
+}
+
+/// Rewrite column references through `map(old) = new`.
+pub(crate) fn remap_columns(e: &mut Expr, map: &dyn Fn(usize) -> usize) {
+    match e {
+        Expr::ColumnRef { index, .. } => *index = map(*index),
+        Expr::Constant { .. } => {}
+        Expr::Compare { left, right, .. } => {
+            remap_columns(left, map);
+            remap_columns(right, map);
+        }
+        Expr::And(es) | Expr::Or(es) => es.iter_mut().for_each(|e| remap_columns(e, map)),
+        Expr::Not(child) | Expr::Cast { child, .. } | Expr::IsNull { child, .. } => {
+            remap_columns(child, map)
+        }
+        Expr::Arithmetic { left, right, .. } => {
+            remap_columns(left, map);
+            remap_columns(right, map);
+        }
+        Expr::Case { branches, else_expr, .. } => {
+            for (when, then) in branches {
+                remap_columns(when, map);
+                remap_columns(then, map);
+            }
+            if let Some(e) = else_expr {
+                remap_columns(e, map);
+            }
+        }
+        Expr::Function { args, .. } => args.iter_mut().for_each(|e| remap_columns(e, map)),
+        Expr::Like { child, pattern, .. } => {
+            remap_columns(child, map);
+            remap_columns(pattern, map);
+        }
+        Expr::InList { child, list, .. } => {
+            remap_columns(child, map);
+            list.iter_mut().for_each(|e| remap_columns(e, map));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::Binder;
+    use crate::parser::parse_statements;
+    use eider_catalog::{Catalog, ColumnDefinition};
+    use eider_vector::LogicalType;
+
+    fn optimized(sql: &str) -> String {
+        let cat = Catalog::new();
+        cat.create_table(
+            "t",
+            vec![
+                ColumnDefinition::new("a", LogicalType::Integer),
+                ColumnDefinition::new("b", LogicalType::Varchar),
+            ],
+            false,
+        )
+        .unwrap();
+        let stmts = parse_statements(sql).unwrap();
+        let plan = Binder::new(cat).bind_statement(&stmts[0]).unwrap();
+        optimize(plan).unwrap().explain()
+    }
+
+    #[test]
+    fn constant_folding_in_filters() {
+        let text = optimized("SELECT a FROM t WHERE a > 2 + 3");
+        // 2 + 3 folds to a constant, so the comparison becomes pushable.
+        assert!(text.contains("SCAN t cols=[0] filters=1"), "{text}");
+        assert!(!text.contains("FILTER"), "{text}");
+    }
+
+    #[test]
+    fn simple_predicates_pushed_into_scan() {
+        let text = optimized("SELECT a FROM t WHERE a = -999");
+        assert!(text.contains("filters=1"), "{text}");
+        let text = optimized("SELECT a FROM t WHERE 10 >= a AND a > 1");
+        assert!(text.contains("filters=2"), "{text}");
+        assert!(!text.contains("FILTER"), "{text}");
+    }
+
+    #[test]
+    fn complex_predicates_stay_as_filters() {
+        let text = optimized("SELECT a FROM t WHERE a + 1 > 5");
+        assert!(text.contains("filters=0"), "{text}");
+        assert!(text.contains("FILTER"), "{text}");
+        // OR cannot be split.
+        let text = optimized("SELECT a FROM t WHERE a = 1 OR a = 2");
+        assert!(text.contains("filters=0"), "{text}");
+        assert!(text.contains("FILTER"), "{text}");
+    }
+
+    #[test]
+    fn mixed_conjuncts_split() {
+        let text = optimized("SELECT a FROM t WHERE a > 5 AND length(b) > 2");
+        assert!(text.contains("filters=1"), "{text}");
+        assert!(text.contains("FILTER"), "{text}");
+    }
+
+    #[test]
+    fn filters_map_output_to_physical_columns() {
+        // Scan emits [a, b]; predicate on b (output index 1, physical 1).
+        // Pruning then narrows the scan to b alone — physical column 1.
+        let text = optimized("SELECT b FROM t WHERE b = 'x'");
+        assert!(text.contains("SCAN t cols=[1] filters=1"), "{text}");
+    }
+
+    #[test]
+    fn null_comparisons_not_pushed() {
+        // a = NULL never matches anything, but pushing it as a zone-map
+        // filter would be wrong — keep it in the filter node.
+        let text = optimized("SELECT a FROM t WHERE a = NULL");
+        assert!(text.contains("filters=0"), "{text}");
+        assert!(text.contains("FILTER"), "{text}");
+    }
+
+    #[test]
+    fn limit_sinks_through_projection() {
+        let text = optimized("SELECT a + 1 FROM t LIMIT 3");
+        let project = text.find("PROJECT").expect("projection");
+        let limit = text.find("LIMIT").expect("limit");
+        assert!(limit > project, "LIMIT should sit under PROJECT:\n{text}");
+    }
+
+    #[test]
+    fn limit_stays_above_sort_for_topn() {
+        // Top-N fusion in the physical planner needs LIMIT directly above
+        // SORT; the pass must not push through the sort.
+        let text = optimized("SELECT a FROM t ORDER BY a LIMIT 3");
+        let limit = text.find("LIMIT").expect("limit");
+        let sort = text.find("SORT").expect("sort");
+        assert!(limit < sort, "LIMIT must stay above SORT:\n{text}");
+    }
+}

@@ -278,10 +278,13 @@ impl LogicalPlan {
             LogicalPlan::Limit { limit, offset, .. } => format!("LIMIT {limit} OFFSET {offset}"),
             LogicalPlan::Distinct { .. } => "DISTINCT".into(),
             LogicalPlan::Join { join_type, left_keys, .. } => {
-                format!("JOIN {join_type:?} keys={}", left_keys.len())
+                // The physical hash join always builds over its right
+                // child; the optimizer's join reorderer places the
+                // smaller estimated input there.
+                format!("JOIN {join_type:?} keys={} build=right", left_keys.len())
             }
             LogicalPlan::NestedLoopJoin { .. } => "NESTED_LOOP_JOIN".into(),
-            LogicalPlan::CrossJoin { .. } => "CROSS_JOIN".into(),
+            LogicalPlan::CrossJoin { .. } => "CROSS_JOIN build=right".into(),
             LogicalPlan::Union { .. } => "UNION_ALL".into(),
             LogicalPlan::Values { rows, .. } => format!("VALUES rows={}", rows.len()),
             LogicalPlan::SingleRow => "SINGLE_ROW".into(),
@@ -308,10 +311,34 @@ impl LogicalPlan {
         };
         out.push_str(&pad);
         out.push_str(&line);
+        if self.has_cardinality() {
+            out.push_str(&format!(" est={}", crate::optimizer::cardinality::estimate(self)));
+        }
         out.push('\n');
         for child in self.children() {
             child.explain_into(out, depth + 1);
         }
+    }
+
+    /// Nodes whose EXPLAIN line carries an estimated cardinality — the
+    /// dataflow operators, not DDL/utility statements.
+    fn has_cardinality(&self) -> bool {
+        matches!(
+            self,
+            LogicalPlan::TableScan { .. }
+                | LogicalPlan::ExternalScan { .. }
+                | LogicalPlan::Filter { .. }
+                | LogicalPlan::Projection { .. }
+                | LogicalPlan::Aggregate { .. }
+                | LogicalPlan::Sort { .. }
+                | LogicalPlan::Limit { .. }
+                | LogicalPlan::Distinct { .. }
+                | LogicalPlan::Join { .. }
+                | LogicalPlan::NestedLoopJoin { .. }
+                | LogicalPlan::CrossJoin { .. }
+                | LogicalPlan::Union { .. }
+                | LogicalPlan::Values { .. }
+        )
     }
 
     /// Immediate child plans.

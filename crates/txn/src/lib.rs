@@ -23,10 +23,16 @@
 //!   stamps, in-place updates + undo chains, and zone-map scan skipping;
 //! * [`predicate`] — scan filters, read predicates and write summaries.
 
+//! * [`stats`] — [`TableStats`]: table/column statistics derived from
+//!   zone maps and encoding metadata, consumed by the cost-based
+//!   optimizer.
+
 pub mod manager;
 pub mod predicate;
+pub mod stats;
 pub mod table;
 
 pub use manager::{Transaction, TransactionManager, TXN_ID_START};
 pub use predicate::{CmpOp, ReadPredicate, TableFilter};
+pub use stats::{ColumnStats, TableStats};
 pub use table::{DataTable, RowId, ScanOptions, ROW_GROUP_SIZE};

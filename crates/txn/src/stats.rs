@@ -1,0 +1,39 @@
+//! Table and column statistics for the cost-based optimizer.
+//!
+//! Stats are derived entirely from storage metadata the engine already
+//! maintains — per-group zone maps (min/max, only ever widened) and the
+//! encoding chooser's per-column evidence (dictionary sizes, run counts) —
+//! so computing them is O(row groups), never a data scan. They are
+//! recomputed on demand rather than cached: appends, deletes and
+//! rollbacks need no invalidation hooks, and because zone maps only widen
+//! and physical rows only grow, every estimate stays a conservative upper
+//! bound of the live data.
+
+use eider_vector::Value;
+
+/// Statistics for one column of a table.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    /// Smallest non-NULL value ever present (from zone maps), if any.
+    pub min: Option<Value>,
+    /// Largest non-NULL value ever present (from zone maps), if any.
+    pub max: Option<Value>,
+    /// Estimated number of distinct values, clamped to the row count.
+    /// Zero only for an empty table.
+    pub distinct: u64,
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Physical row count (dead and uncommitted versions included), an
+    /// upper bound on what any snapshot can see.
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub fn column(&self, i: usize) -> Option<&ColumnStats> {
+        self.columns.get(i)
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::manager::{DeleteRecord, InsertRecord, Transaction, TXN_ID_START};
 use crate::predicate::{ReadPredicate, TableFilter};
+use crate::stats::{ColumnStats, TableStats};
 use eider_vector::{
     DataChunk, EiderError, LogicalType, Result, SelectionVector, Value, Vector, VECTOR_SIZE,
 };
@@ -189,6 +190,11 @@ pub struct DataTable {
     id: u64,
     types: Vec<LogicalType>,
     groups: RwLock<Vec<Arc<RwLock<RowGroupInner>>>>,
+    /// Bumped by every mutation that could move [`DataTable::table_stats`];
+    /// tags the memoized snapshot below so planning a read-mostly table
+    /// costs one atomic load + `Arc` clone instead of a metadata walk.
+    stats_version: AtomicU64,
+    stats_cache: RwLock<Option<(u64, Arc<TableStats>)>>,
 }
 
 impl std::fmt::Debug for DataTable {
@@ -207,7 +213,14 @@ impl DataTable {
             id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
             types,
             groups: RwLock::new(Vec::new()),
+            stats_version: AtomicU64::new(0),
+            stats_cache: RwLock::new(None),
         })
+    }
+
+    /// Invalidate the memoized [`DataTable::table_stats`] snapshot.
+    fn note_mutation(&self) {
+        self.stats_version.fetch_add(1, Ordering::Release);
     }
 
     pub fn id(&self) -> u64 {
@@ -241,6 +254,7 @@ impl DataTable {
                 self.types
             )));
         }
+        self.note_mutation();
         let mut offset = 0usize;
         while offset < chunk.len() {
             // Find (or create) a group with space.
@@ -564,6 +578,7 @@ impl DataTable {
         if column >= self.types.len() {
             return Err(EiderError::Internal(format!("no column {column}")));
         }
+        self.note_mutation();
         let mut updated = 0usize;
         let mut i = 0usize;
         while i < rows.len() {
@@ -629,6 +644,7 @@ impl DataTable {
 
     /// Delete rows (§2 bulk deletes). First-updater-wins conflicts apply.
     pub fn delete_rows(self: &Arc<Self>, txn: &Transaction, rows: &[RowId]) -> Result<usize> {
+        self.note_mutation();
         let mut deleted = 0usize;
         let mut i = 0usize;
         while i < rows.len() {
@@ -706,6 +722,7 @@ impl DataTable {
         // Rolled-back inserts keep their (dead, unique) txn id in
         // insert_ids, which no snapshot ever matches; mark them deleted at
         // ts 0 as well so vacuum can reclaim them.
+        self.note_mutation();
         let group_arc = Arc::clone(&self.groups.read()[group]);
         let mut g = group_arc.write();
         for row in start..start + count {
@@ -732,6 +749,7 @@ impl DataTable {
     }
 
     pub(crate) fn rollback_updates(&self, group: usize, txn_id: u64) {
+        self.note_mutation();
         let group_arc = Arc::clone(&self.groups.read()[group]);
         let mut g = group_arc.write();
         // Walk newest-to-oldest restoring prior values and stamps; the
@@ -792,6 +810,72 @@ impl DataTable {
         let groups = self.groups.read();
         let g = groups.get(group)?.read();
         g.zone_maps.get(column)?.clone()
+    }
+
+    /// On-demand statistics for the cost-based optimizer.
+    ///
+    /// Row count is the physical count (dead versions included — an upper
+    /// bound on any snapshot). Min/max merge the per-group zone maps.
+    /// Distinct estimates sum per-group evidence: the encoding chooser's
+    /// dictionary size or run count where a column is encoded, the
+    /// zone-map width for integer columns, and the group length otherwise
+    /// — each clamped to the group's rows, the sum clamped to the table's.
+    /// Because zone maps only widen and physical rows only grow, the
+    /// estimates stay conservative across appends, deletes and rollbacks.
+    ///
+    /// The snapshot is memoized against `note_mutation`'s
+    /// version counter: planning over a read-mostly table costs one atomic
+    /// load and an `Arc` clone, not a metadata walk per estimate. A
+    /// mutation racing the recompute can at worst tag slightly *newer*
+    /// stats with the older version — still a valid conservative snapshot.
+    pub fn table_stats(&self) -> Arc<TableStats> {
+        let version = self.stats_version.load(Ordering::Acquire);
+        if let Some((v, stats)) = &*self.stats_cache.read() {
+            if *v == version {
+                return Arc::clone(stats);
+            }
+        }
+        let stats = Arc::new(self.compute_stats());
+        *self.stats_cache.write() = Some((version, Arc::clone(&stats)));
+        stats
+    }
+
+    fn compute_stats(&self) -> TableStats {
+        let groups = self.groups.read();
+        let mut row_count = 0u64;
+        let mut columns = vec![ColumnStats::default(); self.types.len()];
+        for group in groups.iter() {
+            let g = group.read();
+            let rows = g.len() as u64;
+            row_count += rows;
+            for (c, stat) in columns.iter_mut().enumerate() {
+                if let Some((lo, hi)) = &g.zone_maps[c] {
+                    match &mut stat.min {
+                        Some(m) if lo.total_cmp(m) != std::cmp::Ordering::Less => {}
+                        slot => *slot = Some(lo.clone()),
+                    }
+                    match &mut stat.max {
+                        Some(m) if hi.total_cmp(m) != std::cmp::Ordering::Greater => {}
+                        slot => *slot = Some(hi.clone()),
+                    }
+                }
+                let ndv = g.columns[c]
+                    .distinct_estimate()
+                    .or_else(|| match &g.zone_maps[c] {
+                        Some((lo, hi)) if self.types[c].is_integral() => {
+                            let (lo, hi) = (lo.as_i64()?, hi.as_i64()?);
+                            Some(hi.saturating_sub(lo).unsigned_abs().saturating_add(1))
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or(rows);
+                stat.distinct = stat.distinct.saturating_add(ndv.min(rows));
+            }
+        }
+        for stat in &mut columns {
+            stat.distinct = stat.distinct.min(row_count);
+        }
+        TableStats { row_count, columns }
     }
 }
 

@@ -453,6 +453,17 @@ impl Vector {
         }
     }
 
+    /// Distinct-count estimate from encoding metadata, free to read: the
+    /// dictionary size for dict vectors (exact) and the run count for RLE
+    /// (an upper bound). Plain and FOR vectors carry no such evidence.
+    pub fn distinct_estimate(&self) -> Option<u64> {
+        match &self.repr {
+            Repr::Dict(d) => Some(d.dict.len() as u64),
+            Repr::Rle(r) => Some(r.starts.len() as u64),
+            _ => None,
+        }
+    }
+
     /// Run the stats-driven encoding chooser over this vector's data and
     /// return an encoded copy when an encoding pays, `None` when plain
     /// wins (see [`crate::encoding`] for the decision rules).

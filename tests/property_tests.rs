@@ -108,6 +108,80 @@ proptest! {
     }
 
     #[test]
+    fn optimizer_never_changes_results(
+        fact in prop::collection::vec((0i32..20, 0i32..10, -100i32..100), 1..300),
+        dim1 in prop::collection::vec(-50i32..50, 1..30),
+        dim2 in prop::collection::vec(-50i32..50, 1..15),
+        comma_join in any::<bool>(),
+        fact_filter in prop::option::of(-120i32..120),
+        dim_filter in prop::option::of(-60i32..60),
+    ) {
+        // Random star query over random data: the full optimizer pipeline
+        // (constant folding, filter pushdown, join reordering, column
+        // pruning, stats-driven build sides and routing) must be invisible
+        // in the results. Compare against the `PRAGMA optimizer=0`
+        // baseline at every worker count — morsel decomposition is fixed,
+        // so all eight plans must agree bit-for-bit.
+        let db = Database::in_memory().unwrap();
+        let setup = db.connect();
+        setup.execute("CREATE TABLE f (k1 INTEGER, k2 INTEGER, v INTEGER)").unwrap();
+        setup.execute("CREATE TABLE d1 (id INTEGER, w INTEGER)").unwrap();
+        setup.execute("CREATE TABLE d2 (id INTEGER, w INTEGER)").unwrap();
+        let rows: Vec<String> =
+            fact.iter().map(|(k1, k2, v)| format!("({k1},{k2},{v})")).collect();
+        setup.execute(&format!("INSERT INTO f VALUES {}", rows.join(","))).unwrap();
+        for (name, data) in [("d1", &dim1), ("d2", &dim2)] {
+            let rows: Vec<String> =
+                data.iter().enumerate().map(|(i, w)| format!("({i},{w})")).collect();
+            setup.execute(&format!("INSERT INTO {name} VALUES {}", rows.join(","))).unwrap();
+        }
+
+        let mut filters: Vec<String> = Vec::new();
+        if let Some(c) = fact_filter {
+            filters.push(format!("f.v > {c}"));
+        }
+        if let Some(c) = dim_filter {
+            filters.push(format!("d1.w < {c}"));
+        }
+        let sql = if comma_join {
+            let mut preds = vec!["f.k1 = d1.id".to_string(), "f.k2 = d2.id".to_string()];
+            preds.extend(filters);
+            format!(
+                "SELECT f.k1, count(*), sum(f.v), min(d2.w) FROM d1, d2, f \
+                 WHERE {} GROUP BY f.k1 ORDER BY f.k1",
+                preds.join(" AND ")
+            )
+        } else {
+            let where_clause = if filters.is_empty() {
+                String::new()
+            } else {
+                format!(" WHERE {}", filters.join(" AND "))
+            };
+            format!(
+                "SELECT f.k1, count(*), sum(f.v), min(d2.w) \
+                 FROM d1 JOIN f ON d1.id = f.k1 JOIN d2 ON f.k2 = d2.id\
+                 {where_clause} GROUP BY f.k1 ORDER BY f.k1"
+            )
+        };
+
+        let optimized = db.connect();
+        let baseline = db.connect();
+        baseline.execute("PRAGMA optimizer=0").unwrap();
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            optimized.execute(&format!("PRAGMA threads={threads}")).unwrap();
+            baseline.execute(&format!("PRAGMA threads={threads}")).unwrap();
+            let opt_rows = optimized.query(&sql).unwrap().to_rows();
+            let base_rows = baseline.query(&sql).unwrap().to_rows();
+            prop_assert_eq!(&opt_rows, &base_rows, "threads={} sql={}", threads, &sql);
+            match &reference {
+                Some(r) => prop_assert_eq!(r, &opt_rows, "threads={} sql={}", threads, &sql),
+                None => reference = Some(opt_rows),
+            }
+        }
+    }
+
+    #[test]
     fn sort_produces_sorted_permutation(values in prop::collection::vec(any::<i32>(), 0..200)) {
         let db = Database::in_memory().unwrap();
         let conn = db.connect();

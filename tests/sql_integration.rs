@@ -222,6 +222,74 @@ fn large_scale_aggregation_across_row_groups() {
 }
 
 #[test]
+fn planner_estimates_track_table_mutations() {
+    // Table stats are computed on demand from live storage metadata, so
+    // EXPLAIN estimates must follow appends immediately, stay conservative
+    // (never undercount live rows) across deletes and rollbacks, and the
+    // plans built from stale-looking estimates must still return exact
+    // results.
+    let conn = db().connect();
+    conn.execute("CREATE TABLE s (id INTEGER, v INTEGER)").unwrap();
+    let scan_est = |sql: &str| -> i64 {
+        let plan = conn.query(&format!("EXPLAIN {sql}")).unwrap();
+        for row in plan.to_rows() {
+            if let Value::Varchar(line) = &row[0] {
+                if line.contains("SCAN s") {
+                    let est = line.split("est=").nth(1).expect("scan line carries an estimate");
+                    return est.trim().parse().unwrap();
+                }
+            }
+        }
+        panic!("no SCAN s line");
+    };
+    let count = |sql: &str| -> i64 {
+        match conn.query(sql).unwrap().scalar().unwrap() {
+            Value::BigInt(n) => n,
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+
+    assert_eq!(scan_est("SELECT count(*) FROM s"), 0, "empty table");
+
+    // Appends are visible to the next plan without any ANALYZE step.
+    let rows: Vec<String> = (0..1000).map(|i| format!("({i}, {})", i % 10)).collect();
+    conn.execute(&format!("INSERT INTO s VALUES {}", rows.join(","))).unwrap();
+    assert_eq!(scan_est("SELECT count(*) FROM s"), 1000);
+    conn.execute(&format!("INSERT INTO s VALUES {}", rows.join(","))).unwrap();
+    assert_eq!(scan_est("SELECT count(*) FROM s"), 2000);
+
+    // Deleted rows may linger in the estimate (group row counts are not
+    // compacted eagerly) but must never make it *undercount* live rows,
+    // and execution stays exact.
+    conn.execute("DELETE FROM s WHERE id >= 500").unwrap();
+    assert_eq!(count("SELECT count(*) FROM s"), 1000);
+    assert!(scan_est("SELECT count(*) FROM s") >= 1000, "estimate undercounts after delete");
+
+    // A rolled-back append must not leave permanent rows behind; the
+    // post-rollback estimate stays within the pre-rollback bound and the
+    // results are exact.
+    let before = scan_est("SELECT count(*) FROM s");
+    conn.execute("BEGIN").unwrap();
+    conn.execute(&format!("INSERT INTO s VALUES {}", rows.join(","))).unwrap();
+    conn.execute("ROLLBACK").unwrap();
+    assert_eq!(count("SELECT count(*) FROM s"), 1000);
+    assert!(
+        scan_est("SELECT count(*) FROM s") >= before,
+        "estimate must stay conservative after rollback"
+    );
+
+    // Estimates feed filter selectivity too: zone maps know id's live
+    // range, so a predicate outside it estimates (near) zero while an
+    // in-range one does not — and both execute correctly.
+    assert_eq!(count("SELECT count(*) FROM s WHERE id < 100"), 200);
+    assert!(
+        scan_est("SELECT count(*) FROM s WHERE id < 100")
+            < scan_est("SELECT count(*) FROM s WHERE id < 2000"),
+        "narrower range must estimate fewer rows"
+    );
+}
+
+#[test]
 fn streaming_cursor_shares_an_explicit_transaction() {
     let conn = db().connect();
     conn.execute("CREATE TABLE t (x INTEGER)").unwrap();
